@@ -1,0 +1,60 @@
+"""Ablation: estimation algorithms on identical sample streams.
+
+Live BTS comparisons entangle probing and estimation; this replay
+isolates the estimators.  Across canonical stream shapes, the robust
+trims hold up on slow-start contamination, while crucial-interval
+logic collapses on stalled-ramp plateaus — the estimator-level root of
+FastBTS's Figure 25 accuracy deficit.
+"""
+
+import math
+
+import numpy as np
+
+from repro.baselines.replay import make_stream, replay
+
+TRUE_MBPS = 200.0
+KINDS = ("clean", "slow-start", "plateau", "shaped", "bursty")
+
+
+def test_ablation_estimator_replay(benchmark, record):
+    def sweep():
+        rows = {}
+        for kind in KINDS:
+            # Average each estimator over several stream realisations.
+            sums, counts = {}, {}
+            for seed in range(10):
+                stream = make_stream(
+                    kind, true_mbps=TRUE_MBPS,
+                    rng=np.random.default_rng(seed),
+                )
+                for name, value in replay(stream).items():
+                    if not math.isnan(value):
+                        sums[name] = sums.get(name, 0.0) + value
+                        counts[name] = counts.get(name, 0) + 1
+            rows[kind] = {
+                name: sums[name] / counts[name] for name in sums
+            }
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(
+        "ablation_estimator_replay",
+        {
+            kind: {
+                "paper": f"true rate {TRUE_MBPS:.0f} Mbps",
+                "measured": {k: round(v, 1) for k, v in row.items()},
+            }
+            for kind, row in rows.items()
+        },
+    )
+    # Clean streams: everyone within 5%.
+    for name, value in rows["clean"].items():
+        assert abs(value - TRUE_MBPS) / TRUE_MBPS < 0.05, name
+    # Slow start: trims hold, the naive mean sinks.
+    assert rows["slow-start"]["naive-mean"] < 190.0
+    assert abs(rows["slow-start"]["bts-app"] - TRUE_MBPS) / TRUE_MBPS < 0.05
+    # Plateau: crucial interval collapses; percentile trims survive the
+    # 50/50 split far better.
+    assert rows["plateau"]["fastbts"] < 0.6 * TRUE_MBPS
+    assert rows["plateau"]["fast"] > 0.9 * TRUE_MBPS

@@ -1,0 +1,72 @@
+"""Ablation: statistically-seeded initial rate vs a fixed 25 Mbps
+ladder (Speedtest-style).
+
+DESIGN.md design choice #1.  The data-driven seed should reach
+convergence in fewer rungs and less time on fast links, because the
+fixed ladder has to climb from 25 Mbps every time.
+"""
+
+import numpy as np
+
+from repro.core.client import SwiftestClient
+from repro.core.registry import BandwidthModelRegistry
+from repro.core.variants import FixedLadderModel
+from repro.testbed.env import make_environment
+
+
+class _FixedLadderRegistry(BandwidthModelRegistry):
+    """Registry whose every technology answers with the fixed ladder."""
+
+    def __init__(self):
+        super().__init__()
+        self._ladder = FixedLadderModel()
+
+    def model(self, tech):
+        return self._ladder
+
+
+def _run_many(client, bandwidths, tech="5G", seed=0):
+    durations, rungs = [], []
+    for i, bw in enumerate(bandwidths):
+        env = make_environment(
+            bw, rng=np.random.default_rng(seed + i), tech=tech,
+            server_capacity_mbps=100.0, fluctuation_sigma=0.03,
+        )
+        result = client.run(env)
+        durations.append(result.duration_s)
+        rungs.append(len(result.rungs_visited))
+    return float(np.mean(durations)), float(np.mean(rungs))
+
+
+def test_ablation_initial_rate(benchmark, registry, record):
+    bandwidths = [80.0, 250.0, 400.0, 600.0]
+    guided = SwiftestClient(registry)
+    fixed = SwiftestClient(_FixedLadderRegistry())
+
+    def run_both():
+        return (
+            _run_many(guided, bandwidths),
+            _run_many(fixed, bandwidths),
+        )
+
+    (g_dur, g_rungs), (f_dur, f_rungs) = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    record(
+        "ablation_initial_rate",
+        {
+            "guided (multi-modal seed)": {
+                "paper": "the §5.1 design",
+                "measured": {"mean_duration_s": round(g_dur, 2),
+                             "mean_rungs": round(g_rungs, 2)},
+            },
+            "fixed 25 Mbps ladder": {
+                "paper": "legacy Speedtest-style escalation",
+                "measured": {"mean_duration_s": round(f_dur, 2),
+                             "mean_rungs": round(f_rungs, 2)},
+            },
+        },
+    )
+    # Statistical guidance climbs fewer rungs and finishes faster.
+    assert g_rungs < f_rungs
+    assert g_dur <= f_dur * 1.05

@@ -1,0 +1,72 @@
+"""Shared fixtures for the figure/table reproduction benchmarks.
+
+Each benchmark module regenerates one table or figure of the paper.
+The campaigns here are larger than the unit-test fixtures so the
+statistics are stable; they are generated once per session.
+
+Every benchmark records its paper-vs-measured comparison through the
+``record`` fixture; the session writes ``benchmarks/results.json`` at
+the end, which is the source for EXPERIMENTS.md.
+"""
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.core.registry import BandwidthModelRegistry
+from repro.dataset.generator import CampaignConfig, generate_campaign
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results.json"
+
+_RESULTS = {}
+
+
+@pytest.fixture(scope="session")
+def campaign_2021():
+    """The main 2021 (post-refarming) campaign, 120k tests."""
+    return generate_campaign(
+        CampaignConfig(year=2021, n_tests=120_000, seed=2021)
+    )
+
+
+@pytest.fixture(scope="session")
+def campaign_2020():
+    """The 2020 (pre-refarming) campaign, 60k tests."""
+    return generate_campaign(
+        CampaignConfig(year=2020, n_tests=60_000, seed=2020)
+    )
+
+
+@pytest.fixture(scope="session")
+def registry(campaign_2021):
+    """Bandwidth models fitted from the 2021 campaign."""
+    return BandwidthModelRegistry().fit_from_dataset(
+        campaign_2021,
+        techs=["4G", "5G", "WiFi4", "WiFi5", "WiFi6"],
+        rng=np.random.default_rng(0),
+    )
+
+
+@pytest.fixture
+def record(request):
+    """Record ``{key: {paper: ..., measured: ...}}`` rows for the
+    running experiment; printed and persisted at session end."""
+
+    def _record(experiment: str, rows: dict) -> None:
+        _RESULTS[experiment] = rows
+
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _RESULTS:
+        existing = {}
+        if RESULTS_PATH.exists():
+            try:
+                existing = json.loads(RESULTS_PATH.read_text())
+            except (ValueError, OSError):
+                existing = {}
+        existing.update(_RESULTS)
+        RESULTS_PATH.write_text(json.dumps(existing, indent=2, sort_keys=True))

@@ -1,0 +1,64 @@
+"""Figure 1: average 4G/5G/WiFi bandwidth, 2020 vs 2021.
+
+Paper: 4G 68 -> 53 Mbps (down 22%), 5G 343 -> 305 (down 11%), WiFi
+132 -> 137 (flat); overall cellular 117 -> 135 (up, because 5G
+adoption doubled).
+"""
+
+from repro.analysis import figures
+
+PAPER = {
+    "4G": {2020: 68.0, 2021: 53.0},
+    "5G": {2020: 343.0, 2021: 305.0},
+    "WiFi": {2020: 132.0, 2021: 137.0},
+}
+
+
+def test_fig01_yearly_averages(benchmark, campaign_2020, campaign_2021, record):
+    data = benchmark.pedantic(
+        figures.fig01_yearly_averages,
+        args=(campaign_2020, campaign_2021),
+        rounds=1,
+        iterations=1,
+    )
+    record(
+        "fig01",
+        {
+            tech: {
+                "paper": PAPER[tech],
+                "measured": {y: round(v, 1) for y, v in by_year.items()},
+            }
+            for tech, by_year in data.items()
+        },
+    )
+    # Shape: cellular declines year over year, WiFi roughly flat.
+    assert data["4G"][2021] < data["4G"][2020]
+    assert data["5G"][2021] < data["5G"][2020]
+    assert abs(data["WiFi"][2021] - data["WiFi"][2020]) / data["WiFi"][2020] < 0.15
+    # Magnitudes within 25% of the paper.
+    for tech in PAPER:
+        for year in (2020, 2021):
+            relative_error = (
+                abs(data[tech][year] - PAPER[tech][year]) / PAPER[tech][year]
+            )
+            assert relative_error < 0.25, (tech, year, data[tech][year])
+
+
+def test_fig01_overall_cellular_rises(benchmark, campaign_2020, campaign_2021, record):
+    def both():
+        return (
+            figures.overall_cellular_average(campaign_2020),
+            figures.overall_cellular_average(campaign_2021),
+        )
+
+    avg_2020, avg_2021 = benchmark.pedantic(both, rounds=1, iterations=1)
+    record(
+        "fig01_overall_cellular",
+        {
+            "overall": {
+                "paper": {2020: 117.0, 2021: 135.0},
+                "measured": {2020: round(avg_2020, 1), 2021: round(avg_2021, 1)},
+            }
+        },
+    )
+    assert avg_2021 > avg_2020

@@ -1,0 +1,39 @@
+"""Figure 2: average bandwidth by Android version (5-12).
+
+Paper: for each access technology, bandwidth rises with the Android
+major version — the OS, not the hardware tier, statistically
+determines access bandwidth.
+"""
+
+import numpy as np
+
+from repro.analysis import figures
+
+
+def test_fig02_android_version_trend(benchmark, campaign_2021, record):
+    data = benchmark.pedantic(
+        figures.fig02_android_versions, args=(campaign_2021,), rounds=1,
+        iterations=1,
+    )
+    record(
+        "fig02",
+        {
+            tech: {
+                "paper": "monotone increase across versions 5-12",
+                "measured": {v: round(m, 1) for v, m in sorted(by_v.items())},
+            }
+            for tech, by_v in data.items()
+        },
+    )
+    for tech in ("4G", "5G", "WiFi"):
+        versions = sorted(data[tech])
+        assert len(versions) >= 5
+        low = np.mean([data[tech][v] for v in versions[:2]])
+        high = np.mean([data[tech][v] for v in versions[-2:]])
+        assert high > 1.3 * low  # clearly increasing, not noise
+        # Spearman-style monotonicity: most adjacent steps go up.
+        steps = [
+            data[tech][b] - data[tech][a]
+            for a, b in zip(versions, versions[1:])
+        ]
+        assert sum(1 for s in steps if s > 0) >= len(steps) - 2

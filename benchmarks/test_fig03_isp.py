@@ -1,0 +1,30 @@
+"""Figure 3: average 4G/5G/WiFi bandwidth per ISP.
+
+Paper: 4G similar across ISPs; 5G differs noticeably — ISP-4 (700 MHz
+N28) is far slower, ISP-3 leads (favourable N78 placement); ISP-3 also
+leads WiFi (heavier fixed-broadband investment).
+"""
+
+from repro.analysis import figures
+
+
+def test_fig03_isp_averages(benchmark, campaign_2021, record):
+    data = benchmark.pedantic(
+        figures.fig03_isp_averages, args=(campaign_2021,), rounds=1,
+        iterations=1,
+    )
+    record(
+        "fig03",
+        {
+            tech: {
+                "paper": "4G similar; 5G: ISP-3 best, ISP-4 worst; WiFi: ISP-3 best",
+                "measured": {i: round(m, 1) for i, m in sorted(by_isp.items())},
+            }
+            for tech, by_isp in data.items()
+        },
+    )
+    big_three_4g = [data["4G"][i] for i in (1, 2, 3)]
+    assert max(big_three_4g) / min(big_three_4g) < 1.4
+    assert data["5G"][4] < 0.6 * min(data["5G"][i] for i in (1, 2, 3))
+    assert data["5G"][3] == max(data["5G"][i] for i in (1, 2, 3))
+    assert data["WiFi"][3] == max(data["WiFi"].values())

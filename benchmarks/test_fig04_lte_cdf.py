@@ -1,0 +1,37 @@
+"""Figure 4: 4G bandwidth distribution.
+
+Paper annotations: median 22, mean 53, max 813 Mbps; 26.3% of tests
+below 10 Mbps; top 6.8% above 300 Mbps.
+"""
+
+from repro.analysis import figures
+
+PAPER = {
+    "median": 22.0,
+    "mean": 53.0,
+    "below_10_mbps": 0.263,
+    "above_300_mbps": 0.068,
+    "mean_above_300": 403.0,
+}
+
+
+def test_fig04_lte_distribution(benchmark, campaign_2021, record):
+    data = benchmark.pedantic(
+        figures.fig04_lte_cdf, args=(campaign_2021,), rounds=1, iterations=1
+    )
+    record(
+        "fig04",
+        {
+            key: {"paper": PAPER.get(key), "measured": round(value, 3)}
+            for key, value in data.items()
+        },
+    )
+    assert abs(data["mean"] - PAPER["mean"]) / PAPER["mean"] < 0.20
+    assert abs(data["median"] - PAPER["median"]) / PAPER["median"] < 0.30
+    # Heavy left tail and a thin fast tail, in the paper's proportions.
+    assert 0.18 < data["below_10_mbps"] < 0.38
+    assert 0.03 < data["above_300_mbps"] < 0.11
+    # Fast tests are LTE-Advanced class (~400 Mbps average).
+    assert 300.0 < data["mean_above_300"] < 650.0
+    # Strong right skew: mean is at least double the median.
+    assert data["mean"] > 2.0 * data["median"]

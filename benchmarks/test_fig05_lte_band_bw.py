@@ -1,0 +1,33 @@
+"""Figure 5: average access bandwidth per LTE band.
+
+Paper: H-Bands beat L-Bands except Band 39 (rural, 48.2 Mbps, close to
+L-Band 34's 47.1); Band 40 benefits from dense indoor deployment;
+refarmed B1 (63) and B41 (58) sit below their 2020 levels.
+"""
+
+from repro.analysis import figures
+
+PAPER = {"B39": 48.2, "B34": 47.1, "B1": 63.0, "B41": 58.0}
+
+
+def test_fig05_per_band_bandwidth(benchmark, campaign_2021, record):
+    means = benchmark.pedantic(
+        figures.fig05_lte_band_bandwidth, args=(campaign_2021,), rounds=1,
+        iterations=1,
+    )
+    record(
+        "fig05",
+        {
+            band: {"paper": PAPER.get(band), "measured": round(m, 1)}
+            for band, m in sorted(means.items())
+        },
+    )
+    # Workhorse H-Bands beat the 10 MHz L-Bands.
+    for h in ("B3", "B40", "B41", "B1"):
+        for l in ("B5", "B8"):
+            assert means[h] > means[l]
+    # Band 39 (rural) degenerates to L-Band-class bandwidth.
+    assert abs(means["B39"] - means["B34"]) / means["B34"] < 0.35
+    # Paper-value checks where given (loose: 35%).
+    for band, value in PAPER.items():
+        assert abs(means[band] - value) / value < 0.35, (band, means[band])

@@ -1,0 +1,33 @@
+"""Figure 6: number of tests per LTE band.
+
+Paper: 85.6% of LTE tests ride on H-Bands; Band 3 alone serves 55%;
+Band 28 is effectively unused (two tests in the whole study).
+"""
+
+from repro.analysis import figures
+from repro.radio.bands import lte_band
+
+
+def test_fig06_per_band_test_counts(benchmark, campaign_2021, record):
+    counts = benchmark.pedantic(
+        figures.fig06_lte_band_counts, args=(campaign_2021,), rounds=1,
+        iterations=1,
+    )
+    total = sum(counts.values())
+    shares = {band: n / total for band, n in counts.items()}
+    record(
+        "fig06",
+        {
+            band: {
+                "paper": {"B3": 0.55}.get(band),
+                "measured": round(share, 4),
+            }
+            for band, share in sorted(shares.items())
+        },
+    )
+    assert shares["B3"] > 0.40  # paper: 55%
+    h_band_share = sum(
+        share for band, share in shares.items() if lte_band(band).is_h_band
+    )
+    assert h_band_share > 0.75  # paper: 85.6%
+    assert shares.get("B28", 0.0) < 0.01  # effectively unused

@@ -1,0 +1,27 @@
+"""Figure 7: 5G bandwidth distribution.
+
+Paper annotations: median 273, mean 303, max 1,032 Mbps.
+"""
+
+from repro.analysis import figures
+
+PAPER = {"median": 273.0, "mean": 303.0, "max": 1032.0}
+
+
+def test_fig07_nr_distribution(benchmark, campaign_2021, record):
+    data = benchmark.pedantic(
+        figures.fig07_nr_cdf, args=(campaign_2021,), rounds=1, iterations=1
+    )
+    record(
+        "fig07",
+        {
+            key: {"paper": PAPER.get(key), "measured": round(value, 1)}
+            for key, value in data.items()
+        },
+    )
+    assert abs(data["mean"] - PAPER["mean"]) / PAPER["mean"] < 0.15
+    assert abs(data["median"] - PAPER["median"]) / PAPER["median"] < 0.30
+    # Gbps-class maximum, single-Gbps order of magnitude.
+    assert 800.0 < data["max"] < 2000.0
+    # Mild right skew (far milder than 4G's).
+    assert 1.0 < data["mean"] / data["median"] < 1.6

@@ -1,0 +1,32 @@
+"""Figure 8: average access bandwidth per 5G band.
+
+Paper: N41 (312, wide refarmed block) is comparable to the dedicated
+core band N78 (332); the thin refarmed N1 (103) and N28 (113) are ~3x
+slower — refarming thin spectrum is a major contributor to the 5G
+average's decline.
+"""
+
+from repro.analysis import figures
+
+PAPER = {"N1": 103.0, "N28": 113.0, "N41": 312.0, "N78": 332.0}
+
+
+def test_fig08_per_band_bandwidth(benchmark, campaign_2021, record):
+    means = benchmark.pedantic(
+        figures.fig08_nr_band_bandwidth, args=(campaign_2021,), rounds=1,
+        iterations=1,
+    )
+    record(
+        "fig08",
+        {
+            band: {"paper": PAPER.get(band), "measured": round(m, 1)}
+            for band, m in sorted(means.items())
+        },
+    )
+    # Wide-channel bands ~3x the thin refarmed bands.
+    assert means["N78"] > 2.2 * means["N1"]
+    assert means["N41"] > 2.2 * means["N28"]
+    # N41 comparable to N78 (within 20%).
+    assert abs(means["N41"] - means["N78"]) / means["N78"] < 0.20
+    for band, value in PAPER.items():
+        assert abs(means[band] - value) / value < 0.30, (band, means[band])

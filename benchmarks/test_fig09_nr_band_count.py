@@ -1,0 +1,27 @@
+"""Figure 9: number of tests per 5G band.
+
+Paper: the dedicated core band N78 carries most 5G tests, N41 second;
+the thin refarmed bands see far fewer; N79 is under test deployment
+(3 tests total).
+"""
+
+from repro.analysis import figures
+
+
+def test_fig09_per_band_test_counts(benchmark, campaign_2021, record):
+    counts = benchmark.pedantic(
+        figures.fig09_nr_band_counts, args=(campaign_2021,), rounds=1,
+        iterations=1,
+    )
+    total = sum(counts.values())
+    shares = {band: n / total for band, n in counts.items()}
+    record(
+        "fig09",
+        {band: {"paper": "N78 > N41 >> N1, N28; N79 ~ 0",
+                "measured": round(share, 4)}
+         for band, share in sorted(shares.items())},
+    )
+    assert shares["N78"] == max(shares.values())
+    assert shares["N41"] > shares["N1"]
+    assert shares["N41"] > shares["N28"]
+    assert shares.get("N79", 0.0) < 0.01

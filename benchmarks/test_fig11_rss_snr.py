@@ -1,0 +1,25 @@
+"""Figure 11: 5G RSS level vs average SNR — strictly monotone."""
+
+from repro.analysis import figures
+
+
+def test_fig11_rss_snr_monotone(benchmark, campaign_2021, record):
+    data = benchmark.pedantic(
+        figures.fig11_rss_snr, args=(campaign_2021,), rounds=1, iterations=1
+    )
+    record(
+        "fig11",
+        {
+            f"level {l}": {
+                "paper": "monotone increasing, ~5-35 dB span",
+                "measured": round(snr, 1),
+            }
+            for l, snr in sorted(data.items())
+        },
+    )
+    levels = sorted(data)
+    assert levels == [1, 2, 3, 4, 5]
+    snrs = [data[l] for l in levels]
+    assert snrs == sorted(snrs)
+    # A wide dynamic range, as in the figure (roughly 5 -> 35 dB).
+    assert snrs[-1] - snrs[0] > 15.0

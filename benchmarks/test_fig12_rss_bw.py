@@ -1,0 +1,51 @@
+"""Figure 12: 5G RSS level vs average bandwidth — the level-5 anomaly.
+
+Paper: bandwidth climbs monotonically from 204 Mbps (level 1) to 314
+(level 4), then *drops* at excellent RSS (level 5) below the level-3
+and level-4 averages, because excellent-RSS tests concentrate in
+crowded dense-urban cells with interference, load-balancing, and
+handover problems.
+"""
+
+from repro.analysis import figures
+
+PAPER = {1: 204.0, 4: 314.0}
+
+
+def test_fig12_level5_anomaly(benchmark, campaign_2021, record):
+    data = benchmark.pedantic(
+        figures.fig12_rss_bandwidth, args=(campaign_2021,), rounds=1,
+        iterations=1,
+    )
+    record(
+        "fig12",
+        {
+            f"level {l}": {
+                "paper": {1: 204.0, 2: None, 3: 283.0, 4: 314.0,
+                          5: "below levels 3-4"}[l],
+                "measured": round(bw, 1),
+            }
+            for l, bw in sorted(data.items())
+        },
+    )
+    assert data[1] < data[2] < data[3] < data[4]
+    assert data[5] < data[4]
+    assert data[5] < data[3]
+    # The level-1 -> level-4 climb is of the paper's magnitude (~1.5x).
+    assert 1.2 < data[4] / data[1] < 3.5
+
+
+def test_fig12_4g_has_no_anomaly(benchmark, campaign_2021, record):
+    """§3.3: mature 4G shows no level-5 drop."""
+    data = benchmark.pedantic(
+        figures.fig12_rss_bandwidth, args=(campaign_2021, "4G"), rounds=1,
+        iterations=1,
+    )
+    record(
+        "fig12_4g",
+        {f"level {l}": {"paper": "monotone-ish, no level-5 drop",
+                        "measured": round(bw, 1)}
+         for l, bw in sorted(data.items())},
+    )
+    assert data[5] >= data[4] * 0.9  # no collapse at excellent RSS
+    assert data[5] > data[1]

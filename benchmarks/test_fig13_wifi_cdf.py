@@ -1,0 +1,39 @@
+"""Figure 13: WiFi 4/5/6 bandwidth distributions (all bands).
+
+Paper: mean 59 / 208 / 345 Mbps, median 43 / 179 / 297, maxima 447 /
+888 / 1,231.
+"""
+
+from repro.analysis import figures
+
+PAPER = {
+    "WiFi4": {"mean": 59.0, "median": 43.0},
+    "WiFi5": {"mean": 208.0, "median": 179.0},
+    "WiFi6": {"mean": 345.0, "median": 297.0},
+}
+
+
+def test_fig13_wifi_distributions(benchmark, campaign_2021, record):
+    data = benchmark.pedantic(
+        figures.fig13_wifi_cdfs, args=(campaign_2021,), rounds=1, iterations=1
+    )
+    record(
+        "fig13",
+        {
+            tech: {
+                "paper": PAPER[tech],
+                "measured": {
+                    "mean": round(s.mean, 1),
+                    "median": round(s.median, 1),
+                    "max": round(s.max, 1),
+                },
+            }
+            for tech, s in data.items()
+        },
+    )
+    assert data["WiFi4"].mean < data["WiFi5"].mean < data["WiFi6"].mean
+    for tech, targets in PAPER.items():
+        assert abs(data[tech].mean - targets["mean"]) / targets["mean"] < 0.20
+        assert (
+            abs(data[tech].median - targets["median"]) / targets["median"] < 0.30
+        )

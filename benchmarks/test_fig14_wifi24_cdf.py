@@ -1,0 +1,38 @@
+"""Figure 14: WiFi 4/6 over the contended 2.4 GHz band.
+
+Paper: WiFi 4 mean 39 / median 33; WiFi 6 mean 83 / median 76 — both
+far below their 5 GHz results.
+"""
+
+from repro.analysis import figures
+
+PAPER = {
+    "WiFi4": {"mean": 39.0, "median": 33.0},
+    "WiFi6": {"mean": 83.0, "median": 76.0},
+}
+
+
+def test_fig14_24ghz_distributions(benchmark, campaign_2021, record):
+    data = benchmark.pedantic(
+        figures.fig14_wifi_24ghz, args=(campaign_2021,), rounds=1,
+        iterations=1,
+    )
+    record(
+        "fig14",
+        {
+            tech: {
+                "paper": PAPER[tech],
+                "measured": {"mean": round(s.mean, 1),
+                             "median": round(s.median, 1)},
+            }
+            for tech, s in data.items()
+        },
+    )
+    assert set(data) == {"WiFi4", "WiFi6"}  # WiFi 5 has no 2.4 GHz
+    assert data["WiFi4"].mean < data["WiFi6"].mean
+    for tech, targets in PAPER.items():
+        assert abs(data[tech].mean - targets["mean"]) / targets["mean"] < 0.35
+    # Both sit far below the 5 GHz results of the same generations.
+    data5 = figures.fig15_wifi_5ghz(campaign_2021)
+    for tech in ("WiFi4", "WiFi6"):
+        assert data[tech].mean < data5[tech].mean / 2

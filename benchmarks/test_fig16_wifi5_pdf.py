@@ -1,0 +1,46 @@
+"""Figure 16: WiFi 5 bandwidth is a multi-modal Gaussian.
+
+Paper: WiFi 5 bandwidths cluster at 100-multiples (100/300/500 Mbps)
+matching ISPs' fixed-broadband plan tiers; ~64% of WiFi users sit
+behind <=200 Mbps plans.
+"""
+
+import numpy as np
+
+from repro.analysis import figures
+
+
+def test_fig16_wifi5_multimodal(benchmark, campaign_2021, record):
+    centres, density, mixture = benchmark.pedantic(
+        figures.bandwidth_pdf_and_gmm,
+        args=(campaign_2021, "WiFi5"),
+        kwargs={"rng": np.random.default_rng(16)},
+        rounds=1,
+        iterations=1,
+    )
+    share = figures.broadband_cap_share(campaign_2021, 200)
+    record(
+        "fig16",
+        {
+            "modes": {
+                "paper": "clusters near 100 / 300 / 500 Mbps",
+                "measured": [round(m, 1) for m in mixture.means],
+            },
+            "weights": {"paper": None,
+                        "measured": [round(w, 3) for w in mixture.weights]},
+            "share_le_200mbps_plans": {"paper": 0.64,
+                                       "measured": round(share, 3)},
+        },
+    )
+    assert mixture.n_components >= 3
+    # Modes near the 100-multiple plan tiers.
+    assert any(abs(m - 100) < 40 for m in mixture.means)
+    assert any(abs(m - 290) < 70 for m in mixture.means)
+    assert 0.5 < share < 0.75
+    # The density is genuinely multi-modal: a local minimum exists
+    # between the first two fitted modes.
+    m1, m2 = sorted(mixture.means)[:2]
+    in_gap = density[(centres > m1) & (centres < m2)]
+    at_m1 = density[np.argmin(np.abs(centres - m1))]
+    if len(in_gap):
+        assert in_gap.min() < at_m1

@@ -1,0 +1,51 @@
+"""Figure 17: TCP slow-start / ramp time vs access bandwidth.
+
+Paper: ramp time grows with bandwidth for all three algorithms; Cubic
+is clearly the slowest (HyStart false exits + concave recovery), BBR a
+little better than Reno.  Even BBR needs seconds on gigabit links —
+the motivation for abandoning TCP probing.
+"""
+
+import numpy as np
+
+from repro.tcp.slowstart import ramp_time_sweep
+
+BANDWIDTHS = [100.0, 300.0, 500.0, 700.0, 900.0, 1100.0]
+
+
+def test_fig17_ramp_time_sweep(benchmark, record):
+    sweep = benchmark.pedantic(
+        ramp_time_sweep,
+        args=(["cubic", "reno", "bbr"], BANDWIDTHS),
+        kwargs={"repetitions": 25},
+        rounds=1,
+        iterations=1,
+    )
+    record(
+        "fig17",
+        {
+            alg: {
+                "paper": "cubic slowest; bbr slightly better than reno; "
+                         "time grows with bandwidth",
+                "measured": {
+                    f"{int(bw)}Mbps": round(t, 2)
+                    for bw, t in zip(BANDWIDTHS, times)
+                },
+            }
+            for alg, times in sweep.items()
+        },
+    )
+    cubic = np.mean(sweep["cubic"])
+    reno = np.mean(sweep["reno"])
+    bbr = np.mean(sweep["bbr"])
+    # Ordering: Cubic worst, BBR best.
+    assert cubic > reno
+    assert bbr < reno
+    # Ramp time grows with bandwidth (low vs high end of the sweep).
+    for alg in ("cubic", "reno", "bbr"):
+        low = np.mean(sweep[alg][:2])
+        high = np.mean(sweep[alg][-2:])
+        assert high >= low
+    # BBR saturates sub-second on clean links; cubic needs seconds.
+    assert bbr < 1.0
+    assert cubic > 1.0

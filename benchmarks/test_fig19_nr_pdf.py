@@ -1,0 +1,34 @@
+"""Figure 19: the 5G bandwidth PDF is a multi-modal Gaussian."""
+
+import numpy as np
+
+from repro.analysis import figures
+
+
+def test_fig19_nr_multimodal(benchmark, campaign_2021, record):
+    centres, density, mixture = benchmark.pedantic(
+        figures.bandwidth_pdf_and_gmm,
+        args=(campaign_2021, "5G"),
+        kwargs={"rng": np.random.default_rng(19), "range_max": 1000.0},
+        rounds=1,
+        iterations=1,
+    )
+    record(
+        "fig19",
+        {
+            "modes": {
+                "paper": "multi-modal over 0-1000 Mbps",
+                "measured": [round(m, 1) for m in mixture.means],
+            },
+            "weights": {"paper": None,
+                        "measured": [round(w, 3) for w in mixture.weights]},
+        },
+    )
+    assert mixture.n_components >= 2
+    # One mode from the thin refarmed bands (N1/N28 ≈ 100 Mbps class),
+    # and mass in the wide-band bulk (N41/N78, 250-450 Mbps).
+    assert min(mixture.means) < 220.0
+    assert any(250.0 < m < 520.0 for m in mixture.means)
+    fitted = mixture.pdf(centres)
+    corr = np.corrcoef(fitted, density)[0, 1]
+    assert corr > 0.85

@@ -1,0 +1,60 @@
+"""Figure 20: Swiftest test time per access technology.
+
+Paper: mean (median) probing time 1.05 s (0.79) for 4G, 0.95 (0.76)
+for 5G, 0.99 (0.75) for WiFi; max 4.49 s; with the ~0.2 s PING phase,
+1.19 s average total and 55% of tests within one second.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness.pairs import run_pair_campaign
+
+TECHS = ["4G", "5G", "WiFi4", "WiFi5", "WiFi6"]
+
+
+@pytest.fixture(scope="module")
+def pair_campaign(campaign_2021, registry):
+    return run_pair_campaign(
+        campaign_2021, registry, n_pairs=60, techs=TECHS, seed=20
+    )
+
+
+def test_fig20_swiftest_test_time(benchmark, pair_campaign, record):
+    def collect():
+        return {
+            tech: pair_campaign.swiftest_durations(tech)
+            for tech in pair_campaign.techs()
+        }
+
+    by_tech = benchmark.pedantic(collect, rounds=1, iterations=1)
+    overall = pair_campaign.swiftest_durations()
+    totals = pair_campaign.swiftest_total_times()
+    record(
+        "fig20",
+        {
+            **{
+                tech: {
+                    "paper": {"4G": 1.05, "5G": 0.95}.get(tech, 0.99),
+                    "measured": round(float(durations.mean()), 2),
+                }
+                for tech, durations in by_tech.items()
+            },
+            "overall_mean_with_ping": {
+                "paper": 1.19, "measured": round(float(totals.mean()), 2)
+            },
+            "share_within_1s": {
+                "paper": 0.55,
+                "measured": round(float((totals <= 1.0).mean()), 2),
+            },
+            "max": {"paper": 4.49, "measured": round(float(overall.max()), 2)},
+        },
+    )
+    # Every technology averages near one second, never near the legacy 10 s.
+    for tech, durations in by_tech.items():
+        assert durations.mean() < 2.0, tech
+    assert overall.max() < 5.5
+    # Median comfortably under a second (paper: 0.75-0.79).
+    assert np.median(overall) < 1.2
+    # Total time including PING stays in the ~1 s class.
+    assert totals.mean() < 2.2

@@ -1,0 +1,51 @@
+"""Figure 21: average data usage per test, BTS-APP vs Swiftest.
+
+Paper: 8.2x-9x reduction; a 5G test costs Swiftest ~32 MB vs BTS-APP's
+289 MB.
+"""
+
+import pytest
+
+from repro.harness.pairs import run_pair_campaign
+
+TECHS = ["4G", "5G", "WiFi4", "WiFi5", "WiFi6"]
+
+
+@pytest.fixture(scope="module")
+def pair_campaign(campaign_2021, registry):
+    return run_pair_campaign(
+        campaign_2021, registry, n_pairs=60, techs=TECHS, seed=21
+    )
+
+
+def test_fig21_data_usage(benchmark, pair_campaign, record):
+    def collect():
+        return {
+            tech: (
+                float(pair_campaign.data_usage_mb("bts-app", tech).mean()),
+                float(pair_campaign.data_usage_mb("swiftest", tech).mean()),
+            )
+            for tech in pair_campaign.techs()
+        }
+
+    by_tech = benchmark.pedantic(collect, rounds=1, iterations=1)
+    record(
+        "fig21",
+        {
+            tech: {
+                "paper": "8.2x-9x reduction (5G: 289 MB -> 32 MB)",
+                "measured": {
+                    "btsapp_mb": round(bts, 1),
+                    "swiftest_mb": round(swift, 1),
+                    "reduction": round(bts / swift, 1),
+                },
+            }
+            for tech, (bts, swift) in by_tech.items()
+        },
+    )
+    for tech, (bts, swift) in by_tech.items():
+        assert bts / swift > 3.0, tech  # large, consistent reduction
+    # 5G magnitudes in the paper's class.
+    bts5, swift5 = by_tech["5G"]
+    assert 100.0 < bts5 < 600.0   # paper: 289 MB
+    assert swift5 < 80.0          # paper: 32 MB

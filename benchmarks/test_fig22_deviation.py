@@ -1,0 +1,47 @@
+"""Figure 22: result deviation between Swiftest and BTS-APP.
+
+Paper: mean 5.1%, median 3.0% overall; 16% of pairs deviate >10%
+(network dynamics) and 0.7% deviate >30% (traffic shaping).
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness.pairs import run_pair_campaign
+
+TECHS = ["4G", "5G", "WiFi4", "WiFi5", "WiFi6"]
+
+
+@pytest.fixture(scope="module")
+def pair_campaign(campaign_2021, registry):
+    return run_pair_campaign(
+        campaign_2021, registry, n_pairs=80, techs=TECHS, seed=22
+    )
+
+
+def test_fig22_deviation_distribution(benchmark, pair_campaign, record):
+    deviations = benchmark.pedantic(
+        pair_campaign.deviations, rounds=1, iterations=1
+    )
+    record(
+        "fig22",
+        {
+            "mean": {"paper": 0.051, "measured": round(float(deviations.mean()), 3)},
+            "median": {
+                "paper": 0.030,
+                "measured": round(float(np.median(deviations)), 3),
+            },
+            "share_gt_10pct": {
+                "paper": 0.16,
+                "measured": round(float((deviations > 0.10).mean()), 3),
+            },
+            "share_gt_30pct": {
+                "paper": 0.007,
+                "measured": round(float((deviations > 0.30).mean()), 3),
+            },
+        },
+    )
+    assert deviations.mean() < 0.10      # paper: 5.1%
+    assert np.median(deviations) < 0.06  # paper: 3.0%
+    # Large deviations are rare.
+    assert float((deviations > 0.30).mean()) < 0.05

@@ -1,0 +1,40 @@
+"""Figures 23-25 share one comparison campaign; this module checks
+Figure 23: average test time of FAST, FastBTS, and Swiftest.
+
+Paper: Swiftest is 2.9x-16.5x faster; FAST averages 13.5 s because its
+TCP probing still pays for slow start and congestion noise.
+"""
+
+import pytest
+
+from repro.harness.comparison import run_comparison
+
+TECHS = ["4G", "5G", "WiFi4", "WiFi5", "WiFi6"]
+
+
+@pytest.fixture(scope="module")
+def comparison(campaign_2021, registry):
+    return run_comparison(
+        campaign_2021, registry, n_groups=24, techs=TECHS, seed=23
+    )
+
+
+def test_fig23_test_time(benchmark, comparison, record):
+    table = benchmark.pedantic(comparison.table, rounds=1, iterations=1)
+    record(
+        "fig23",
+        {
+            service: {
+                "paper": {"fast": 13.5, "fastbts": "seconds",
+                          "swiftest": "~1 s"}[service],
+                "measured": round(row["test_time_s"], 2),
+            }
+            for service, row in table.items()
+        },
+    )
+    swiftest = table["swiftest"]["test_time_s"]
+    fast = table["fast"]["test_time_s"]
+    fastbts = table["fastbts"]["test_time_s"]
+    assert swiftest < 2.0
+    assert fast / swiftest > 2.9  # the paper's lower bound on speedup
+    assert fast > fastbts          # FAST is the slow one of the three

@@ -1,0 +1,38 @@
+"""Figure 24: average data usage of FAST, FastBTS, and Swiftest.
+
+Paper: Swiftest uses 3x-16.7x less data; FAST averages 295 MB.
+"""
+
+import pytest
+
+from repro.harness.comparison import run_comparison
+
+TECHS = ["4G", "5G", "WiFi4", "WiFi5", "WiFi6"]
+
+
+@pytest.fixture(scope="module")
+def comparison(campaign_2021, registry):
+    return run_comparison(
+        campaign_2021, registry, n_groups=24, techs=TECHS, seed=24
+    )
+
+
+def test_fig24_data_usage(benchmark, comparison, record):
+    table = benchmark.pedantic(comparison.table, rounds=1, iterations=1)
+    record(
+        "fig24",
+        {
+            service: {
+                "paper": {"fast": 295.0, "fastbts": None, "swiftest": None}[
+                    service
+                ],
+                "measured": round(row["data_mb"], 1),
+            }
+            for service, row in table.items()
+        },
+    )
+    swiftest = table["swiftest"]["data_mb"]
+    fast = table["fast"]["data_mb"]
+    assert fast / swiftest > 3.0  # paper's lower bound on the reduction
+    assert fast > 80.0            # flooding-class usage
+    assert swiftest < 60.0        # statistical probing stays light

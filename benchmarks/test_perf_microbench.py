@@ -1,0 +1,74 @@
+"""Performance microbenchmarks of the library's hot paths.
+
+Unlike the figure-reproduction modules, these use pytest-benchmark's
+repeated timing: they track that the substrates stay fast enough for
+large campaigns (allocation rounds, record generation, GMM fits, one
+full Swiftest test).
+"""
+
+import numpy as np
+
+from repro.core.client import SwiftestClient
+from repro.core.gmm import fit_gmm
+from repro.dataset.generator import CampaignConfig, generate_campaign
+from repro.netsim.flow import Flow
+from repro.netsim.link import Link
+from repro.netsim.network import Network
+from repro.testbed.env import make_environment
+
+
+def test_perf_maxmin_allocation(benchmark):
+    """One allocation round over 10 links x 40 flows."""
+    net = Network()
+    links = [net.add_link(Link(1000.0, name=f"l{i}")) for i in range(10)]
+    rng = np.random.default_rng(0)
+    for i in range(40):
+        chosen = [links[j] for j in rng.choice(10, size=2, replace=False)]
+        demand = None if i % 4 == 0 else float(rng.uniform(10, 500))
+        net.start_flow(Flow(chosen, demand_mbps=demand))
+
+    benchmark(net.allocate, 0.0)
+    used = sum(f.allocated_mbps for f in net.flows)
+    assert used > 0
+
+
+def test_perf_campaign_generation(benchmark):
+    """Generating 2,000 records (the per-record cost drives campaign
+    wall-clock: ~100 µs/record keeps 100k campaigns near 10 s)."""
+    result = benchmark.pedantic(
+        generate_campaign,
+        args=(CampaignConfig(n_tests=2_000, seed=1),),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(result) == 2_000
+
+
+def test_perf_gmm_fit(benchmark):
+    """A 3-component EM fit over 5,000 points."""
+    rng = np.random.default_rng(2)
+    data = np.concatenate([
+        rng.normal(100, 10, 2000),
+        rng.normal(300, 25, 2000),
+        rng.normal(500, 40, 1000),
+    ])
+    model = benchmark.pedantic(
+        fit_gmm, args=(data, 3), kwargs={"rng": np.random.default_rng(0)},
+        rounds=3, iterations=1,
+    )
+    assert model.n_components == 3
+
+
+def test_perf_one_swiftest_test(benchmark, registry):
+    """One complete simulated Swiftest test (the unit of the pair
+    campaigns; thousands run per harness session)."""
+
+    def run():
+        env = make_environment(
+            300.0, rng=np.random.default_rng(3), tech="5G",
+            server_capacity_mbps=100.0,
+        )
+        return SwiftestClient(registry).run(env)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.bandwidth_mbps > 0

@@ -1,0 +1,57 @@
+"""§3.1: spatial disparity across cities and urban/rural areas.
+
+Paper: per-city averages span 28-119 (4G), 113-428 (5G), 83-256
+(WiFi) Mbps; urban areas beat rural by 24% (4G) and 33% (5G); a mega
+city does not necessarily lead (contention offsets infrastructure).
+"""
+
+import numpy as np
+
+from repro.analysis.spatial import city_disparity, tier_means, urban_rural_gap
+
+PAPER_RANGES = {"4G": (28.0, 119.0), "5G": (113.0, 428.0)}
+
+
+def test_sec31_city_disparity(benchmark, campaign_2021, record):
+    def collect():
+        return {
+            tech: city_disparity(campaign_2021, tech, min_tests=40)
+            for tech in ("4G", "5G")
+        }
+
+    disparity = benchmark.pedantic(collect, rounds=1, iterations=1)
+    gaps = {
+        tech: urban_rural_gap(campaign_2021, tech) for tech in ("4G", "5G")
+    }
+    record(
+        "sec31",
+        {
+            **{
+                f"{tech}_city_range": {
+                    "paper": list(PAPER_RANGES[tech]),
+                    "measured": [
+                        round(disparity[tech].low, 1),
+                        round(disparity[tech].high, 1),
+                    ],
+                }
+                for tech in ("4G", "5G")
+            },
+            "urban_advantage_4g": {
+                "paper": 0.24, "measured": round(gaps["4G"][2], 3)
+            },
+            "urban_advantage_5g": {
+                "paper": 0.33, "measured": round(gaps["5G"][2], 3)
+            },
+        },
+    )
+    for tech in ("4G", "5G"):
+        spread = disparity[tech].high / disparity[tech].low
+        assert spread > 1.5  # clearly visible inter-city disparity
+    # Urban advantage near the paper's +24% (4G) and +33% (5G).
+    assert 0.10 < gaps["4G"][2] < 0.45
+    assert 0.20 < gaps["5G"][2] < 0.50
+    # 5G gains more from urban deployment density than 4G.
+    assert gaps["5G"][2] > gaps["4G"][2] * 0.8
+    # Mega cities do NOT dominate: the best city is not always mega.
+    tiers = tier_means(campaign_2021, "5G")
+    assert tiers["mega"] < 2.0 * tiers["small"]

@@ -1,0 +1,56 @@
+"""§5.2: cost-effective server deployment.
+
+Paper: 20 x 100 Mbps budget servers (2 Gbps total) support the ~10K
+tests/day workload with margins, cutting backend expense ~15x versus
+the 50 x 1 Gbps flooding deployment.
+"""
+
+import numpy as np
+
+from repro.deploy import estimate_workload, onevendor_catalogue
+from repro.deploy.placement import IXP_DOMAINS
+from repro.deploy.planner import flooding_reference_cost, plan_deployment
+
+
+def test_sec52_deployment_plan(benchmark, campaign_2021, record):
+    catalogue = onevendor_catalogue()
+    workload = estimate_workload(
+        campaign_2021.bandwidth,
+        tests_per_day=10_000,
+        mean_test_duration_s=1.2,
+        rng=np.random.default_rng(52),
+    )
+
+    deployment = benchmark.pedantic(
+        plan_deployment,
+        args=(catalogue, workload.required_mbps * 2),
+        rounds=1,
+        iterations=1,
+    )
+    reference = flooding_reference_cost(catalogue)
+    ratio = reference / deployment.total_cost_usd
+    record(
+        "sec52",
+        {
+            "required_mbps": {
+                "paper": "~2000 (20 x 100 Mbps)",
+                "measured": round(workload.required_mbps * 2, 0),
+            },
+            "servers": {"paper": 20, "measured": deployment.total_servers},
+            "total_capacity_mbps": {
+                "paper": 2000.0,
+                "measured": deployment.total_capacity_mbps,
+            },
+            "cost_ratio_vs_flooding": {"paper": 15.0, "measured": round(ratio, 1)},
+        },
+    )
+    # Many budget servers spread over every IXP domain.
+    assert deployment.total_servers >= 8
+    for domain in IXP_DOMAINS:
+        assert deployment.placement.servers_in(domain) >= 1
+    # Total capacity in the 2 Gbps class (x2 tolerance band).
+    assert 1000.0 <= deployment.total_capacity_mbps <= 5000.0
+    # Order-of-magnitude cheaper than the flooding reference.
+    assert ratio > 8.0
+    # Every per-domain solve proved optimality.
+    assert all(s.optimal for s in deployment.per_domain.values())

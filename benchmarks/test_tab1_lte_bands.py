@@ -1,0 +1,30 @@
+"""Table 1: the nine LTE bands and their spectrum/channel structure."""
+
+from repro.analysis import figures
+from repro.radio.bands import h_band_spectrum_share
+
+
+def test_tab1_lte_band_rows(benchmark, record):
+    rows = benchmark(figures.tab1_lte_bands)
+    record(
+        "tab1",
+        {
+            row["band"]: {
+                "paper": "Table 1",
+                "measured": {
+                    "dl_spectrum_mhz": list(row["dl_spectrum_mhz"]),
+                    "max_channel_mhz": row["max_channel_mhz"],
+                    "isps": list(row["isps"]),
+                },
+            }
+            for row in rows
+        },
+    )
+    assert len(rows) == 9
+    assert [r["band"] for r in rows] == [
+        "B28", "B5", "B8", "B3", "B39", "B34", "B1", "B40", "B41"
+    ]
+    # Six H-Bands, three L-Bands.
+    assert sum(1 for r in rows if r["h_band"]) == 6
+    # The §3.2 anchor: refarmed bands hold 58.2% of H-Band spectrum.
+    assert abs(h_band_spectrum_share(["B1", "B28", "B41"]) - 0.582) < 0.002

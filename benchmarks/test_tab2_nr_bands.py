@@ -1,0 +1,31 @@
+"""Table 2: the five NR bands and the refarming structure behind them."""
+
+from repro.analysis import figures
+from repro.radio.refarming import REFARMING_2021
+
+
+def test_tab2_nr_band_rows(benchmark, record):
+    rows = benchmark(figures.tab2_nr_bands)
+    record(
+        "tab2",
+        {
+            row["band"]: {
+                "paper": "Table 2",
+                "measured": {
+                    "dl_spectrum_mhz": list(row["dl_spectrum_mhz"]),
+                    "max_channel_mhz": row["max_channel_mhz"],
+                    "isps": list(row["isps"]),
+                },
+            }
+            for row in rows
+        },
+    )
+    assert len(rows) == 5
+    assert [r["band"] for r in rows] == ["N28", "N1", "N41", "N78", "N79"]
+    widths = {r["band"]: r["max_channel_mhz"] for r in rows}
+    assert widths["N1"] == widths["N28"] == 20.0
+    assert widths["N41"] == widths["N78"] == widths["N79"] == 100.0
+    # Refarming plan consistency: N41 inherits a 100 MHz block, the
+    # thin bands only 20 MHz channels.
+    assert REFARMING_2021.nr_channel_mhz("N41") == 100.0
+    assert REFARMING_2021.nr_channel_mhz("N1") == 20.0

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Reproduce the paper's §3 measurement findings on synthetic campaigns.
+
+Generates a 2020 and a 2021 campaign and prints the headline analyses:
+the year-over-year bandwidth stagnation/decline (Figure 1), the LTE
+band structure (Figures 5-6), the 5G refarming damage (Figure 8), the
+RSS level-5 anomaly (Figure 12), and the WiFi broadband bottleneck
+(Figures 13-16).
+
+Run:  python examples/measurement_campaign.py [n_tests]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import CampaignConfig, generate_campaign
+from repro.analysis import figures
+from repro.analysis.plots import bar_chart, pdf_plot
+
+
+def main(n_tests: int = 60_000) -> None:
+    print(f"generating 2020 and 2021 campaigns ({n_tests} tests each)...")
+    ds20 = generate_campaign(CampaignConfig(year=2020, n_tests=n_tests, seed=11))
+    ds21 = generate_campaign(CampaignConfig(year=2021, n_tests=n_tests, seed=12))
+
+    print("\n-- Figure 1: average bandwidth by year (paper: 4G 68->53, "
+          "5G 343->305, WiFi 132->137) --")
+    for tech, by_year in figures.fig01_yearly_averages(ds20, ds21).items():
+        print(f"   {tech:5s} 2020 {by_year[2020]:6.1f} -> 2021 {by_year[2021]:6.1f} Mbps")
+
+    print("\n-- Figure 4: 4G distribution (paper: median 22, mean 53, max 813) --")
+    f4 = figures.fig04_lte_cdf(ds21)
+    print(f"   median {f4['median']:.0f}, mean {f4['mean']:.0f}, max {f4['max']:.0f}; "
+          f"{f4['below_10_mbps']*100:.1f}% below 10 Mbps, "
+          f"{f4['above_300_mbps']*100:.1f}% above 300 Mbps")
+
+    print("\n-- Figure 5: average bandwidth per LTE band --")
+    for band, mean in sorted(figures.fig05_lte_band_bandwidth(ds21).items()):
+        print(f"   {band:4s} {mean:6.1f} Mbps")
+
+    print("\n-- Figure 6: tests per LTE band (paper: Band 3 serves 55%) --")
+    counts = figures.fig06_lte_band_counts(ds21)
+    total = sum(counts.values())
+    for band, n in sorted(counts.items(), key=lambda kv: -kv[1]):
+        print(f"   {band:4s} {n:7d} ({n/total*100:4.1f}%)")
+
+    print("\n-- Figure 8: average bandwidth per 5G band "
+          "(paper: N1 103, N28 113, N41 312, N78 332) --")
+    print(bar_chart(
+        dict(sorted(figures.fig08_nr_band_bandwidth(ds21).items())), width=36
+    ))
+
+    print("\n-- Figure 12: 5G bandwidth by RSS level (paper: level 5 drops "
+          "below levels 3-4) --")
+    print(bar_chart(
+        {f"level {l}": m
+         for l, m in sorted(figures.fig12_rss_bandwidth(ds21).items())},
+        width=36,
+    ))
+
+    print("\n-- Figures 13-15: WiFi generations (paper: WiFi4 ~= WiFi5 "
+          "over 5 GHz: 195 vs 208) --")
+    for tech, summary in figures.fig15_wifi_5ghz(ds21).items():
+        print(f"   {tech:5s} 5GHz  mean {summary.mean:6.1f} median "
+              f"{summary.median:6.1f} max {summary.max:7.1f}")
+
+    print("\n-- Figure 16: WiFi 5 bandwidth is multi-modal Gaussian --")
+    centres, density, mixture = figures.bandwidth_pdf_and_gmm(
+        ds21, "WiFi5", rng=np.random.default_rng(0), range_max=800.0
+    )
+    print(pdf_plot(centres, density, overlay=mixture.pdf(centres),
+                   width=64, label="   histogram (blocks) vs fitted GMM (*)"))
+    modes = ", ".join(
+        f"{m:.0f} Mbps (w={w:.2f})"
+        for m, w in zip(mixture.means, mixture.weights)
+    )
+    print(f"   fitted {mixture.n_components} modes: {modes}")
+    share = figures.broadband_cap_share(ds21, 200)
+    print(f"   {share*100:.0f}% of WiFi tests sit behind <=200 Mbps "
+          f"broadband plans (paper: ~64%)")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 60_000)

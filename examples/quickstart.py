@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Quickstart: run one Swiftest bandwidth test against the simulator.
+
+Walks the minimal end-to-end path:
+
+1. generate a small synthetic measurement campaign (the data a real
+   deployment would already have);
+2. fit the per-technology multi-modal Gaussian bandwidth models;
+3. build a simulated 5G user with a 100 Mbps-server pool;
+4. run Swiftest and the legacy BTS-APP back to back and compare.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    BandwidthModelRegistry,
+    BtsApp,
+    CampaignConfig,
+    SwiftestClient,
+    generate_campaign,
+    make_environment,
+)
+
+
+def main() -> None:
+    print("== 1. generating a measurement campaign (20k tests) ==")
+    dataset = generate_campaign(CampaignConfig(year=2021, n_tests=20_000, seed=7))
+    print(f"   {len(dataset)} tests; 5G mean = "
+          f"{dataset.where(tech='5G').mean_bandwidth():.0f} Mbps")
+
+    print("== 2. fitting bandwidth models ==")
+    registry = BandwidthModelRegistry().fit_from_dataset(
+        dataset, techs=["4G", "5G", "WiFi5"]
+    )
+    model = registry.model("5G")
+    print(f"   5G mixture has {model.mixture.n_components} modes; "
+          f"probing ladder: {[round(r) for r in model.ladder()]} Mbps")
+
+    print("== 3. building a simulated 5G user (true capacity 320 Mbps) ==")
+    env = make_environment(
+        320.0,
+        rng=np.random.default_rng(42),
+        tech="5G",
+        n_servers=10,
+        server_capacity_mbps=100.0,
+        fluctuation_sigma=0.04,
+    )
+
+    print("== 4. Swiftest vs BTS-APP, back to back ==")
+    swift = SwiftestClient(registry).run(env)
+    env_legacy = make_environment(
+        320.0,
+        rng=np.random.default_rng(42),
+        tech="5G",
+        n_servers=5,
+        server_capacity_mbps=1000.0,
+        fluctuation_sigma=0.04,
+    )
+    legacy = BtsApp().run(env_legacy)
+
+    print(f"   swiftest: {swift.bandwidth_mbps:6.1f} Mbps in "
+          f"{swift.duration_s:.2f}s (+{swift.ping_s:.2f}s ping), "
+          f"{swift.data_mb:.1f} MB, rungs {[round(r) for r in swift.rungs_visited]}")
+    print(f"   bts-app : {legacy.bandwidth_mbps:6.1f} Mbps in "
+          f"{legacy.duration_s:.2f}s (+{legacy.ping_s:.2f}s ping), "
+          f"{legacy.data_mb:.1f} MB")
+    speedup = legacy.total_time_s / swift.total_time_s
+    savings = legacy.data_mb / swift.data_mb
+    print(f"   => {speedup:.1f}x faster, {savings:.1f}x less data")
+
+
+if __name__ == "__main__":
+    main()

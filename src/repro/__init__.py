@@ -1,0 +1,74 @@
+"""repro: reproduction of "Mobile Access Bandwidth in Practice:
+Measurement, Analysis, and Implications" (SIGCOMM 2022).
+
+The library has two halves, mirroring the paper:
+
+**Measurement study** (§2-§3) — a generative model of China's mobile
+access ecosystem producing synthetic measurement campaigns, plus the
+analysis pipeline regenerating every figure:
+
+>>> from repro import CampaignConfig, generate_campaign
+>>> ds = generate_campaign(CampaignConfig(year=2021, n_tests=50_000))
+>>> ds.where(tech="4G").mean_bandwidth()            # doctest: +SKIP
+53.1
+
+**Swiftest** (§5) — the ultra-fast, ultra-light bandwidth testing
+service: multi-modal-Gaussian-guided UDP probing, convergence-based
+stopping, and ILP-planned server deployment:
+
+>>> from repro import BandwidthModelRegistry, SwiftestClient
+>>> registry = BandwidthModelRegistry().fit_from_dataset(ds)
+>>> client = SwiftestClient(registry)               # doctest: +SKIP
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.baselines import BtsApp, BTSResult, FastBTS, FastCom, SpeedtestLike
+from repro.core import (
+    BandwidthModelRegistry,
+    GaussianMixture1D,
+    SwiftestClient,
+    SwiftestConfig,
+    SwiftestResult,
+    fit_gmm,
+    select_gmm_bic,
+)
+from repro.dataset import CampaignConfig, Dataset, generate_campaign
+from repro.deploy import (
+    estimate_workload,
+    onevendor_catalogue,
+    plan_deployment,
+    solve_purchase_plan,
+)
+from repro.harness import run_comparison, run_pair_campaign, simulate_utilization
+from repro.testbed import TestEnvironment, make_environment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BTSResult",
+    "BandwidthModelRegistry",
+    "BtsApp",
+    "CampaignConfig",
+    "Dataset",
+    "FastBTS",
+    "FastCom",
+    "GaussianMixture1D",
+    "SpeedtestLike",
+    "SwiftestClient",
+    "SwiftestConfig",
+    "SwiftestResult",
+    "TestEnvironment",
+    "estimate_workload",
+    "fit_gmm",
+    "generate_campaign",
+    "make_environment",
+    "onevendor_catalogue",
+    "plan_deployment",
+    "run_comparison",
+    "run_pair_campaign",
+    "select_gmm_bic",
+    "simulate_utilization",
+    "solve_purchase_plan",
+]

@@ -1,0 +1,26 @@
+"""Measurement analysis: regenerating the paper's §3 figures.
+
+Each function in :mod:`repro.analysis.figures` consumes generated
+:class:`~repro.dataset.records.Dataset` objects and returns the data
+behind one figure or table — the same rows/series the paper plots.
+Helpers live in :mod:`repro.analysis.stats` (CDFs, summaries),
+:mod:`repro.analysis.diurnal` (hour-of-day aggregation) and
+:mod:`repro.analysis.spatial` (city-tier / urban-rural disparity).
+"""
+
+from repro.analysis.stats import BandwidthSummary, cdf, pdf_histogram, summarize
+from repro.analysis.diurnal import hourly_profile
+from repro.analysis.report import campaign_report, compare_report
+from repro.analysis.spatial import city_disparity, urban_rural_gap
+
+__all__ = [
+    "BandwidthSummary",
+    "campaign_report",
+    "cdf",
+    "city_disparity",
+    "compare_report",
+    "hourly_profile",
+    "pdf_histogram",
+    "summarize",
+    "urban_rural_gap",
+]

@@ -1,0 +1,48 @@
+"""Hour-of-day aggregation (Figure 10)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.dataset.records import Dataset
+
+
+@dataclass(frozen=True)
+class HourlyProfile:
+    """Test volume and mean bandwidth per hour of day."""
+
+    counts: Dict[int, int]
+    mean_bandwidth: Dict[int, float]
+
+    def window_mean_bandwidth(self, start_hour: int, end_hour: int) -> float:
+        """Test-weighted mean bandwidth over ``[start, end)`` hours."""
+        hours = [h for h in range(start_hour, end_hour) if self.counts.get(h)]
+        if not hours:
+            raise ValueError(f"no tests in hours [{start_hour}, {end_hour})")
+        weights = np.array([self.counts[h] for h in hours], dtype=float)
+        values = np.array([self.mean_bandwidth[h] for h in hours])
+        return float(np.average(values, weights=weights))
+
+    def window_count(self, start_hour: int, end_hour: int) -> int:
+        return sum(self.counts.get(h, 0) for h in range(start_hour, end_hour))
+
+
+def hourly_profile(dataset: Dataset, tech: str) -> HourlyProfile:
+    """Per-hour test counts and mean bandwidth for one technology."""
+    sub = dataset.where(tech=tech)
+    if len(sub) == 0:
+        raise ValueError(f"no {tech} tests in the dataset")
+    hours = sub.column("hour")
+    bandwidth = sub.bandwidth
+    counts: Dict[int, int] = {}
+    means: Dict[int, float] = {}
+    for hour in range(24):
+        mask = hours == hour
+        n = int(mask.sum())
+        if n:
+            counts[hour] = n
+            means[hour] = float(bandwidth[mask].mean())
+    return HourlyProfile(counts=counts, mean_bandwidth=means)

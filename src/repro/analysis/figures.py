@@ -1,0 +1,277 @@
+"""One function per figure/table of the paper's measurement study.
+
+Every function consumes generated datasets and returns plain data (the
+rows/series the corresponding figure plots).  The benchmark suite under
+``benchmarks/`` calls these and checks the qualitative claims; the
+examples print them as tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.diurnal import HourlyProfile, hourly_profile
+from repro.analysis.stats import BandwidthSummary, cdf_at, pdf_histogram, summarize
+from repro.core.gmm import GaussianMixture1D, select_gmm_bic
+from repro.dataset.records import Dataset
+from repro.radio.bands import LTE_BANDS, NR_BANDS
+
+CELLULAR_TECHS = ("3G", "4G", "5G")
+WIFI_TECHS = ("WiFi4", "WiFi5", "WiFi6")
+
+
+def _wifi_subset(dataset: Dataset) -> Dataset:
+    return dataset.filter(np.isin(dataset.column("tech"), list(WIFI_TECHS)))
+
+
+# -- §3.1 general statistics --------------------------------------------
+
+
+def fig01_yearly_averages(
+    ds_2020: Dataset, ds_2021: Dataset
+) -> Dict[str, Dict[int, float]]:
+    """Figure 1: average 4G/5G/WiFi bandwidth in 2020 vs 2021."""
+    out: Dict[str, Dict[int, float]] = {}
+    for tech in ("4G", "5G"):
+        out[tech] = {
+            2020: ds_2020.where(tech=tech).mean_bandwidth(),
+            2021: ds_2021.where(tech=tech).mean_bandwidth(),
+        }
+    out["WiFi"] = {
+        2020: _wifi_subset(ds_2020).mean_bandwidth(),
+        2021: _wifi_subset(ds_2021).mean_bandwidth(),
+    }
+    return out
+
+
+def overall_cellular_average(dataset: Dataset) -> float:
+    """§3.1: the 'average overall cellular' bandwidth (2G-5G mixed)."""
+    cellular = dataset.filter(
+        np.isin(dataset.column("tech"), list(CELLULAR_TECHS))
+    )
+    return cellular.mean_bandwidth()
+
+
+def fig02_android_versions(dataset: Dataset) -> Dict[str, Dict[int, float]]:
+    """Figure 2: average bandwidth per Android version, per tech."""
+    out: Dict[str, Dict[int, float]] = {}
+    for tech, subset in (
+        ("4G", dataset.where(tech="4G")),
+        ("5G", dataset.where(tech="5G")),
+        ("WiFi", _wifi_subset(dataset)),
+    ):
+        versions = subset.column("android_version")
+        bandwidth = subset.bandwidth
+        out[tech] = {
+            int(v): float(bandwidth[versions == v].mean())
+            for v in np.unique(versions)
+            if int((versions == v).sum()) >= 20
+        }
+    return out
+
+
+def fig03_isp_averages(dataset: Dataset) -> Dict[str, Dict[int, float]]:
+    """Figure 3: average 4G/5G/WiFi bandwidth per ISP."""
+    out: Dict[str, Dict[int, float]] = {}
+    for tech, subset in (
+        ("4G", dataset.where(tech="4G")),
+        ("5G", dataset.where(tech="5G")),
+        ("WiFi", _wifi_subset(dataset)),
+    ):
+        isps = subset.column("isp")
+        bandwidth = subset.bandwidth
+        out[tech] = {
+            int(i): float(bandwidth[isps == i].mean())
+            for i in np.unique(isps)
+            if int((isps == i).sum()) >= 20
+        }
+    return out
+
+
+# -- §3.2 LTE ------------------------------------------------------------
+
+
+def fig04_lte_cdf(dataset: Dataset) -> Dict[str, float]:
+    """Figure 4: 4G bandwidth distribution and its annotations."""
+    lte = dataset.where(tech="4G")
+    summary = summarize(lte.bandwidth)
+    return {
+        **summary.as_dict(),
+        "below_10_mbps": cdf_at(lte.bandwidth, 10.0),
+        "above_300_mbps": 1.0 - cdf_at(lte.bandwidth, 300.0),
+        "mean_above_300": float(
+            lte.bandwidth[lte.bandwidth > 300.0].mean()
+        )
+        if np.any(lte.bandwidth > 300.0)
+        else float("nan"),
+    }
+
+
+def tab1_lte_bands() -> List[Dict]:
+    """Table 1 rows: the nine LTE bands in spectrum order."""
+    rows = []
+    for band in sorted(LTE_BANDS.values(), key=lambda b: b.dl_low_mhz):
+        rows.append(
+            {
+                "band": band.name,
+                "dl_spectrum_mhz": (band.dl_low_mhz, band.dl_high_mhz),
+                "max_channel_mhz": band.max_channel_mhz,
+                "isps": band.isps,
+                "h_band": band.is_h_band,
+            }
+        )
+    return rows
+
+
+def fig05_lte_band_bandwidth(dataset: Dataset) -> Dict[str, float]:
+    """Figure 5: average access bandwidth per LTE band."""
+    lte = dataset.where(tech="4G")
+    return lte.group_mean_bandwidth("band")
+
+
+def fig06_lte_band_counts(dataset: Dataset) -> Dict[str, int]:
+    """Figure 6: test counts per LTE band."""
+    return dataset.where(tech="4G").group_counts("band")
+
+
+def lte_advanced_stats(dataset: Dataset) -> Dict[str, float]:
+    """§3.2's LTE-Advanced observations: share and mean of fast tests."""
+    lte = dataset.where(tech="4G")
+    fast = lte.bandwidth > 300.0
+    return {
+        "share_above_300": float(fast.mean()),
+        "mean_above_300": float(lte.bandwidth[fast].mean()) if fast.any() else 0.0,
+        "max": float(lte.bandwidth.max()),
+        "lte_advanced_share": float(lte.column("lte_advanced").mean()),
+    }
+
+
+# -- §3.3 5G ---------------------------------------------------------------
+
+
+def fig07_nr_cdf(dataset: Dataset) -> Dict[str, float]:
+    """Figure 7: 5G bandwidth distribution annotations."""
+    nr = dataset.where(tech="5G")
+    return summarize(nr.bandwidth).as_dict()
+
+
+def tab2_nr_bands() -> List[Dict]:
+    """Table 2 rows: the five NR bands in spectrum order."""
+    rows = []
+    for band in sorted(NR_BANDS.values(), key=lambda b: b.dl_low_mhz):
+        rows.append(
+            {
+                "band": band.name,
+                "dl_spectrum_mhz": (band.dl_low_mhz, band.dl_high_mhz),
+                "max_channel_mhz": band.max_channel_mhz,
+                "isps": band.isps,
+            }
+        )
+    return rows
+
+
+def fig08_nr_band_bandwidth(dataset: Dataset) -> Dict[str, float]:
+    """Figure 8: average access bandwidth per 5G band."""
+    return dataset.where(tech="5G").group_mean_bandwidth("band")
+
+
+def fig09_nr_band_counts(dataset: Dataset) -> Dict[str, int]:
+    """Figure 9: test counts per 5G band."""
+    return dataset.where(tech="5G").group_counts("band")
+
+
+def fig10_diurnal(dataset: Dataset, tech: str = "5G") -> HourlyProfile:
+    """Figure 10: tests and bandwidth across the hours of a day."""
+    return hourly_profile(dataset, tech)
+
+
+def fig11_rss_snr(dataset: Dataset, tech: str = "5G") -> Dict[int, float]:
+    """Figure 11: average SNR per RSS level (monotone increasing)."""
+    sub = dataset.where(tech=tech)
+    levels = sub.column("rss_level")
+    snr = sub.column("snr_db")
+    return {
+        int(l): float(snr[levels == l].mean())
+        for l in np.unique(levels)
+        if l >= 1
+    }
+
+
+def fig12_rss_bandwidth(dataset: Dataset, tech: str = "5G") -> Dict[int, float]:
+    """Figure 12: average bandwidth per RSS level (level-5 anomaly)."""
+    sub = dataset.where(tech=tech)
+    levels = sub.column("rss_level")
+    bandwidth = sub.bandwidth
+    return {
+        int(l): float(bandwidth[levels == l].mean())
+        for l in np.unique(levels)
+        if l >= 1
+    }
+
+
+# -- §3.4 WiFi --------------------------------------------------------------
+
+
+def fig13_wifi_cdfs(dataset: Dataset) -> Dict[str, BandwidthSummary]:
+    """Figure 13: per-generation WiFi bandwidth distributions."""
+    return {
+        tech: summarize(dataset.where(tech=tech).bandwidth)
+        for tech in WIFI_TECHS
+        if len(dataset.where(tech=tech))
+    }
+
+
+def fig14_wifi_24ghz(dataset: Dataset) -> Dict[str, BandwidthSummary]:
+    """Figure 14: WiFi 4/6 over the 2.4 GHz band."""
+    out = {}
+    for tech in ("WiFi4", "WiFi6"):
+        sub = dataset.where(tech=tech, band="2.4GHz")
+        if len(sub):
+            out[tech] = summarize(sub.bandwidth)
+    return out
+
+
+def fig15_wifi_5ghz(dataset: Dataset) -> Dict[str, BandwidthSummary]:
+    """Figure 15: WiFi 4/5/6 over the 5 GHz band."""
+    out = {}
+    for tech in WIFI_TECHS:
+        sub = dataset.where(tech=tech, band="5GHz")
+        if len(sub):
+            out[tech] = summarize(sub.bandwidth)
+    return out
+
+
+def broadband_cap_share(dataset: Dataset, threshold_mbps: int = 200) -> float:
+    """§3.4: fraction of WiFi tests behind plans ≤ ``threshold_mbps``."""
+    wifi = _wifi_subset(dataset)
+    plans = wifi.column("plan_mbps")
+    return float(np.mean(plans <= threshold_mbps))
+
+
+# -- multi-modal distributions (Figures 16, 18, 19) -------------------------
+
+
+def bandwidth_pdf_and_gmm(
+    dataset: Dataset,
+    tech: str,
+    bins: int = 60,
+    range_max: Optional[float] = None,
+    max_components: int = 6,
+    max_samples: int = 20_000,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[np.ndarray, np.ndarray, GaussianMixture1D]:
+    """The PDF histogram of a technology's bandwidth plus its fitted
+    multi-modal Gaussian — Figures 16 (WiFi 5), 18 (4G), 19 (5G)."""
+    sub = dataset.where(tech=tech)
+    if len(sub) == 0:
+        raise ValueError(f"no {tech} tests in the dataset")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    values = sub.bandwidth
+    if len(values) > max_samples:
+        idx = rng.choice(len(values), max_samples, replace=False)
+        values = values[idx]
+    centres, density = pdf_histogram(values, bins=bins, range_max=range_max)
+    mixture = select_gmm_bic(values, max_components=max_components, rng=rng)
+    return centres, density, mixture

@@ -1,0 +1,168 @@
+"""Terminal plots: render the paper's figure types as Unicode text.
+
+The evaluation environment has no plotting stack, and the paper's
+figures are simple forms — CDFs, PDFs, bar charts, and day curves — so
+this module renders them as monospace text.  Examples and the CLI use
+these to *show* the figures, not just print numbers; everything is
+pure string manipulation and unit-testable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.stats import cdf as empirical_cdf
+
+#: Vertical resolution characters for column charts.
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def _scale(values: Sequence[float], width: int) -> List[int]:
+    """Map values to integer bar lengths in [0, width]."""
+    top = max(values) if len(values) else 0.0
+    if top <= 0:
+        return [0 for _ in values]
+    return [int(round(v / top * width)) for v in values]
+
+
+def bar_chart(
+    data: Dict, width: int = 40, value_format: str = "{:8.1f}"
+) -> str:
+    """Horizontal bar chart of ``{label: value}``.
+
+    >>> print(bar_chart({"a": 2.0, "b": 1.0}, width=4))  # doctest: +SKIP
+    a      2.0 ████
+    b      1.0 ██
+    """
+    if not data:
+        raise ValueError("nothing to plot")
+    labels = list(data)
+    values = [float(data[k]) for k in labels]
+    if any(v < 0 for v in values):
+        raise ValueError("bar charts require non-negative values")
+    lengths = _scale(values, width)
+    label_width = max(len(str(l)) for l in labels)
+    lines = []
+    for label, value, length in zip(labels, values, lengths):
+        lines.append(
+            f"{str(label):<{label_width}} "
+            f"{value_format.format(value)} {'█' * length}"
+        )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line block-character series (day curves, sample streams)."""
+    values = list(values)
+    if not values:
+        raise ValueError("nothing to plot")
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _BLOCKS[4] * len(values)
+    span = hi - lo
+    chars = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_BLOCKS) - 1))
+        chars.append(_BLOCKS[idx])
+    return "".join(chars)
+
+
+def cdf_plot(
+    values: Sequence[float],
+    width: int = 50,
+    height: int = 12,
+    label: str = "",
+) -> str:
+    """ASCII empirical CDF, x = value, y = cumulative probability."""
+    xs, ps = empirical_cdf(values)
+    x_lo, x_hi = float(xs[0]), float(xs[-1])
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, p in zip(xs, ps):
+        col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = height - 1 - int(p * (height - 1))
+        grid[row][col] = "•"
+    lines = []
+    if label:
+        lines.append(label)
+    for i, row in enumerate(grid):
+        tick = 1.0 - i / (height - 1)
+        lines.append(f"{tick:4.2f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      {x_lo:<12.1f}{'':^{max(0, width - 24)}}{x_hi:>12.1f}")
+    return "\n".join(lines)
+
+
+def pdf_plot(
+    centres: Sequence[float],
+    density: Sequence[float],
+    overlay: Optional[Sequence[float]] = None,
+    width: int = 60,
+    label: str = "",
+) -> str:
+    """Column-chart PDF with an optional fitted-curve overlay row.
+
+    The histogram renders as block columns; when ``overlay`` (e.g. a
+    fitted GMM evaluated at the centres) is given, a second line marks
+    its shape with ``*`` at matching horizontal positions.
+    """
+    centres = list(centres)
+    density = [float(d) for d in density]
+    if len(centres) != len(density):
+        raise ValueError("centres and density must align")
+    if not centres:
+        raise ValueError("nothing to plot")
+    # Downsample/resample columns to the requested width.
+    idx = np.linspace(0, len(density) - 1, min(width, len(density)))
+    cols = [density[int(round(i))] for i in idx]
+    top = max(cols) if max(cols) > 0 else 1.0
+    line = "".join(
+        _BLOCKS[int(round(c / top * (len(_BLOCKS) - 1)))] for c in cols
+    )
+    lines = []
+    if label:
+        lines.append(label)
+    lines.append(line)
+    if overlay is not None:
+        overlay = [float(v) for v in overlay]
+        if len(overlay) != len(density):
+            raise ValueError("overlay must align with density")
+        o_cols = [overlay[int(round(i))] for i in idx]
+        o_top = max(o_cols) if max(o_cols) > 0 else 1.0
+        marks = "".join(
+            "*" if c / o_top > 0.55 else " " for c in o_cols
+        )
+        lines.append(marks)
+    lines.append(
+        f"{min(centres):<10.1f}{'':^{max(0, len(line) - 20)}}{max(centres):>10.1f}"
+    )
+    return "\n".join(lines)
+
+
+def day_curve(
+    hourly: Dict[int, float], width_per_hour: int = 2, label: str = ""
+) -> str:
+    """Figure-10-style hour-of-day curve as a sparkline with an hour
+    axis underneath."""
+    if not hourly:
+        raise ValueError("nothing to plot")
+    series = [hourly.get(h, float("nan")) for h in range(24)]
+    clean = [v for v in series if not np.isnan(v)]
+    if not clean:
+        raise ValueError("no finite values")
+    filled = [v if not np.isnan(v) else min(clean) for v in series]
+    expanded: List[float] = []
+    for v in filled:
+        expanded.extend([v] * width_per_hour)
+    lines = []
+    if label:
+        lines.append(label)
+    lines.append(sparkline(expanded))
+    axis = "".join(
+        f"{h:<{width_per_hour * 3}d}" for h in range(0, 24, 3)
+    )
+    lines.append(axis)
+    return "\n".join(lines)

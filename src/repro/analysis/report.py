@@ -1,0 +1,114 @@
+"""Human-readable campaign reports.
+
+``campaign_report`` renders the headline §3 statistics of a generated
+(or loaded) campaign as a plain-text report — the library's equivalent
+of the measurement reports BTS providers publish.  Everything here is
+derived from the figure functions; the report adds no analysis of its
+own.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.analysis import figures
+from repro.dataset.records import Dataset
+
+_RULE = "-" * 64
+
+
+def _section(title: str) -> List[str]:
+    return ["", title, _RULE]
+
+
+def campaign_report(dataset: Dataset, title: str = "Measurement campaign") -> str:
+    """Render the headline statistics of a campaign as text."""
+    if len(dataset) == 0:
+        raise ValueError("cannot report on an empty dataset")
+    lines = [title, "=" * len(title)]
+    lines += [f"{len(dataset):,} tests"]
+
+    # Technology overview.
+    lines += _section("Access technologies")
+    counts = dataset.group_counts("tech")
+    means = dataset.group_mean_bandwidth("tech")
+    for tech in sorted(counts):
+        share = counts[tech] / len(dataset)
+        lines.append(
+            f"  {tech:6s} {counts[tech]:8,d} tests ({share * 100:5.1f}%)  "
+            f"mean {means[tech]:7.1f} Mbps"
+        )
+
+    # Cellular sections only when present.
+    if counts.get("4G"):
+        lte = figures.fig04_lte_cdf(dataset)
+        lines += _section("4G (LTE)")
+        lines.append(
+            f"  median {lte['median']:.1f}  mean {lte['mean']:.1f}  "
+            f"max {lte['max']:.0f} Mbps"
+        )
+        lines.append(
+            f"  below 10 Mbps: {lte['below_10_mbps'] * 100:.1f}%   "
+            f"above 300 Mbps: {lte['above_300_mbps'] * 100:.1f}%"
+        )
+        band_means = figures.fig05_lte_band_bandwidth(dataset)
+        band_counts = figures.fig06_lte_band_counts(dataset)
+        total = sum(band_counts.values())
+        for band in sorted(band_means, key=lambda b: -band_counts.get(b, 0)):
+            lines.append(
+                f"  {band:4s} {band_counts.get(band, 0) / total * 100:5.1f}% "
+                f"of tests   mean {band_means[band]:6.1f} Mbps"
+            )
+
+    if counts.get("5G"):
+        nr = figures.fig07_nr_cdf(dataset)
+        lines += _section("5G (NR)")
+        lines.append(
+            f"  median {nr['median']:.1f}  mean {nr['mean']:.1f}  "
+            f"max {nr['max']:.0f} Mbps"
+        )
+        for band, mean in sorted(
+            figures.fig08_nr_band_bandwidth(dataset).items()
+        ):
+            lines.append(f"  {band:4s} mean {mean:6.1f} Mbps")
+        rss = figures.fig12_rss_bandwidth(dataset)
+        pretty = "  ".join(f"L{l}:{rss[l]:.0f}" for l in sorted(rss))
+        lines.append(f"  bandwidth by RSS level: {pretty}")
+
+    wifi_techs = [t for t in ("WiFi4", "WiFi5", "WiFi6") if counts.get(t)]
+    if wifi_techs:
+        lines += _section("WiFi")
+        for tech, summary in figures.fig13_wifi_cdfs(dataset).items():
+            lines.append(
+                f"  {tech:5s} mean {summary.mean:6.1f}  "
+                f"median {summary.median:6.1f} Mbps"
+            )
+        share = figures.broadband_cap_share(dataset, 200)
+        lines.append(
+            f"  behind <=200 Mbps broadband plans: {share * 100:.0f}%"
+        )
+
+    return "\n".join(lines)
+
+
+def compare_report(
+    ds_before: Dataset,
+    ds_after: Dataset,
+    label_before: str = "before",
+    label_after: str = "after",
+) -> str:
+    """Render a year-over-year (or what-if) comparison of two campaigns."""
+    lines = [f"Comparison: {label_before} vs {label_after}", _RULE]
+    means_b = ds_before.group_mean_bandwidth("tech")
+    means_a = ds_after.group_mean_bandwidth("tech")
+    for tech in sorted(set(means_b) & set(means_a)):
+        before, after = means_b[tech], means_a[tech]
+        delta = (after - before) / before * 100
+        arrow = "+" if delta >= 0 else ""
+        lines.append(
+            f"  {tech:6s} {before:7.1f} -> {after:7.1f} Mbps  "
+            f"({arrow}{delta:.1f}%)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Statistical helpers for the analysis pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BandwidthSummary:
+    """The mean/median/max triple the paper annotates on its CDFs."""
+
+    mean: float
+    median: float
+    max: float
+    n: int
+
+    def as_dict(self) -> dict:
+        return {
+            "mean": self.mean,
+            "median": self.median,
+            "max": self.max,
+            "n": self.n,
+        }
+
+
+def summarize(values: Sequence[float]) -> BandwidthSummary:
+    """Mean, median, max, and count of a bandwidth sample."""
+    arr = np.asarray(list(values), dtype=float)
+    if len(arr) == 0:
+        raise ValueError("cannot summarise an empty sample")
+    return BandwidthSummary(
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        max=float(arr.max()),
+        n=len(arr),
+    )
+
+
+def cdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns (sorted values, cumulative probability)."""
+    arr = np.sort(np.asarray(list(values), dtype=float))
+    if len(arr) == 0:
+        raise ValueError("cannot build a CDF from an empty sample")
+    probs = np.arange(1, len(arr) + 1) / len(arr)
+    return arr, probs
+
+
+def cdf_at(values: Sequence[float], threshold: float) -> float:
+    """Fraction of values at or below ``threshold``."""
+    arr = np.asarray(list(values), dtype=float)
+    if len(arr) == 0:
+        raise ValueError("cannot evaluate a CDF on an empty sample")
+    return float(np.mean(arr <= threshold))
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic=np.mean,
+    confidence: float = 0.95,
+    n_resamples: int = 1000,
+    rng: "np.random.Generator" = None,
+) -> Tuple[float, float, float]:
+    """Percentile-bootstrap confidence interval for a statistic.
+
+    Returns ``(point, low, high)``.  Used by EXPERIMENTS reporting to
+    qualify how tightly a campaign pins down each headline number.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if len(arr) == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if n_resamples < 10:
+        raise ValueError(f"need >= 10 resamples, got {n_resamples}")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    point = float(statistic(arr))
+    stats = np.empty(n_resamples)
+    for i in range(n_resamples):
+        sample = arr[rng.integers(0, len(arr), size=len(arr))]
+        stats[i] = statistic(sample)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(stats, [alpha, 1.0 - alpha])
+    return point, float(low), float(high)
+
+
+def pdf_histogram(
+    values: Sequence[float],
+    bins: int = 60,
+    range_max: float = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Normalised histogram (bin centres, density) — how the paper
+    draws its probability-distribution figures (16, 18, 19)."""
+    arr = np.asarray(list(values), dtype=float)
+    if len(arr) == 0:
+        raise ValueError("cannot build a PDF from an empty sample")
+    hi = range_max if range_max is not None else float(arr.max())
+    in_range = arr[(arr >= 0.0) & (arr <= hi)]
+    if len(in_range) == 0:
+        raise ValueError(f"no samples fall within [0, {hi}]")
+    density, edges = np.histogram(
+        in_range, bins=bins, range=(0.0, hi), density=True
+    )
+    centres = (edges[:-1] + edges[1:]) / 2.0
+    return centres, density

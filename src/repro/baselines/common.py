@@ -1,0 +1,83 @@
+"""Shared types for bandwidth testing services."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.testbed.env import TestEnvironment
+from repro.units import bytes_to_mb
+
+
+@dataclass
+class BTSResult:
+    """Outcome of one bandwidth test.
+
+    Attributes
+    ----------
+    service:
+        Name of the BTS that produced the result.
+    bandwidth_mbps:
+        The reported access bandwidth.
+    duration_s:
+        Wall-clock test duration, excluding the PING phase unless the
+        service accounts it separately in ``ping_s``.
+    ping_s:
+        Server-selection (PING) time spent before probing.
+    bytes_used:
+        Total payload transferred during the test.
+    samples:
+        The 50 ms (time, Mbps) bandwidth samples collected.
+    servers_used:
+        How many test servers participated.
+    meta:
+        Service-specific diagnostics (thresholds crossed, intervals,
+        convergence round, ...).
+    """
+
+    service: str
+    bandwidth_mbps: float
+    duration_s: float
+    ping_s: float
+    bytes_used: float
+    samples: List[Tuple[float, float]] = field(repr=False, default_factory=list)
+    servers_used: int = 1
+    meta: Dict = field(default_factory=dict)
+
+    @property
+    def total_time_s(self) -> float:
+        """Duration including the PING phase."""
+        return self.duration_s + self.ping_s
+
+    @property
+    def data_mb(self) -> float:
+        """Data usage in megabytes."""
+        return bytes_to_mb(self.bytes_used)
+
+
+class BandwidthTestService(abc.ABC):
+    """Interface every BTS (baselines and Swiftest) implements."""
+
+    #: Service name used in results and benchmark tables.
+    name: str = "bts"
+
+    @abc.abstractmethod
+    def run(self, env: TestEnvironment) -> BTSResult:
+        """Execute one bandwidth test against an environment."""
+
+
+def deviation(result_a: float, result_b: float) -> float:
+    """The paper's §5.3 deviation metric:
+    ``|R_a - R_b| / max(R_a, R_b)``."""
+    if result_a < 0 or result_b < 0:
+        raise ValueError("bandwidth results must be non-negative")
+    top = max(result_a, result_b)
+    if top == 0:
+        return 0.0
+    return abs(result_a - result_b) / top
+
+
+def accuracy(result: float, reference: float) -> float:
+    """Accuracy against a ground-truth reference: ``1 - deviation``."""
+    return 1.0 - deviation(result, reference)

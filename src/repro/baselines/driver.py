@@ -1,0 +1,163 @@
+"""TCP flooding driver shared by the loss-based baseline BTSes.
+
+Implements the "probing by flooding" pattern (§2): open parallel TCP
+connections to the nearest test server, sample aggregate client
+throughput every 50 ms, and progressively recruit additional nearby
+servers when the latest sample crosses predefined thresholds (25 Mbps,
+35 Mbps, and so on, following Speedtest's design).  Individual BTSes
+differ in when they stop and how they turn samples into a result.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.tcp.connection import TcpConnection
+from repro.tcp.slowstart import make_cc
+from repro.testbed.env import TestEnvironment
+from repro.units import SAMPLE_INTERVAL_S
+
+#: Simulation slice; four slices per 50 ms sample.
+_STEP_S = 0.0125
+
+#: Parallel connections opened per recruited server.
+CONNECTIONS_PER_SERVER = 4
+
+#: Maximum servers a flooding test will recruit (5 nearby servers are
+#: PINGed per test in BTS-APP's deployment, §2).
+MAX_SERVERS = 5
+
+
+def escalation_thresholds(count: int = 12) -> List[float]:
+    """The ladder of samples (Mbps) that trigger recruiting another
+    server: 25, 35, then roughly x1.5 steps so gigabit links still
+    escalate promptly."""
+    ladder = [25.0, 35.0]
+    while len(ladder) < count:
+        ladder.append(round(ladder[-1] * 1.5, 1))
+    return ladder
+
+
+class TcpFloodSession:
+    """One flooding run over a test environment.
+
+    Parameters
+    ----------
+    env:
+        The simulated client/server world.
+    cc_name:
+        Congestion-control algorithm for the TCP connections (Cubic by
+        default, as on production servers).
+    """
+
+    def __init__(
+        self,
+        env: TestEnvironment,
+        cc_name: str = "cubic",
+        connections_per_server: int = CONNECTIONS_PER_SERVER,
+        max_servers: int = MAX_SERVERS,
+    ):
+        if connections_per_server < 1:
+            raise ValueError("need at least one connection per server")
+        if max_servers < 1:
+            raise ValueError("need at least one server")
+        self.env = env
+        self.cc_name = cc_name
+        self.connections_per_server = connections_per_server
+        self.max_servers = max_servers
+        self.connections: List[TcpConnection] = []
+        self.samples: List[Tuple[float, float]] = []
+        self._ranked = env.servers_by_rtt()
+        self._servers_used = 0
+        self._thresholds = escalation_thresholds()
+        self._threshold_idx = 0
+
+    # -- internals -----------------------------------------------------
+
+    def _recruit_server(self) -> bool:
+        """Open connections to the next-nearest unused server."""
+        if self._servers_used >= min(self.max_servers, len(self._ranked)):
+            return False
+        server = self._ranked[self._servers_used]
+        path = self.env.path_to(server)
+        for i in range(self.connections_per_server):
+            conn = TcpConnection(
+                path,
+                make_cc(self.cc_name, rng=self.env.rng),
+                rng=self.env.rng,
+                label=f"{server.name}-conn{i}",
+            )
+            conn.start()
+            self.connections.append(conn)
+        self._servers_used += 1
+        return True
+
+    def _maybe_escalate(self, sample_mbps: float) -> None:
+        while (
+            self._threshold_idx < len(self._thresholds)
+            and sample_mbps >= self._thresholds[self._threshold_idx]
+        ):
+            self._threshold_idx += 1
+            self._recruit_server()
+
+    # -- public --------------------------------------------------------
+
+    @property
+    def servers_used(self) -> int:
+        return self._servers_used
+
+    @property
+    def bytes_used(self) -> float:
+        return sum(c.bytes_received for c in self.connections)
+
+    def run(
+        self,
+        max_duration_s: float,
+        stop_check: Optional[Callable[[List[Tuple[float, float]]], bool]] = None,
+    ) -> List[Tuple[float, float]]:
+        """Flood for up to ``max_duration_s``, returning the samples.
+
+        ``stop_check`` (if given) is called after each new sample with
+        the samples so far; returning True ends the test early —
+        convergence-based services (FAST, FastBTS) use it.
+        """
+        if max_duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {max_duration_s}")
+        self._recruit_server()
+
+        now = 0.0
+        slice_bytes_start = 0.0
+        next_sample_at = SAMPLE_INTERVAL_S
+        while now < max_duration_s:
+            for conn in self.connections:
+                conn.pre_allocate(now)
+            self.env.network.allocate(now)
+            for conn in self.connections:
+                conn.post_allocate(now, _STEP_S)
+            now += _STEP_S
+            if now + 1e-9 >= next_sample_at:
+                delivered = self.bytes_used - slice_bytes_start
+                sample = delivered * 8 / 1e6 / SAMPLE_INTERVAL_S
+                self.samples.append((now, sample))
+                slice_bytes_start = self.bytes_used
+                next_sample_at += SAMPLE_INTERVAL_S
+                self._maybe_escalate(sample)
+                if stop_check is not None and stop_check(self.samples):
+                    break
+        self.close()
+        return self.samples
+
+    def close(self) -> None:
+        """Tear down all connections (idempotent)."""
+        for conn in self.connections:
+            conn.stop()
+
+
+def ping_phase_duration(env: TestEnvironment, n_pinged: int) -> float:
+    """Time spent PINGing candidate servers before probing.
+
+    PINGs are issued sequentially in practice (one RTT each) to the
+    ``n_pinged`` geographically nearest candidates.
+    """
+    ranked = env.servers_by_rtt()[: max(1, n_pinged)]
+    return sum(s.rtt_s for s in ranked)

@@ -1,0 +1,135 @@
+"""Offline estimator replay: one sample stream, every estimator.
+
+Live comparisons (Figures 23-25) entangle each BTS's probing *and*
+estimation.  Replay separates them: record (or synthesise) one 50 ms
+sample stream, then ask every estimation algorithm what it would have
+reported on exactly those samples.  This isolates the estimator design
+choices — trimming strategy, convergence rules, crucial intervals —
+under identical inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines.btsapp import group_trimmed_mean
+from repro.baselines.fast import moving_averages
+from repro.baselines.fastbts import crucial_interval
+from repro.baselines.speedtest import percentile_trimmed_mean
+from repro.core.convergence import ConvergenceDetector
+
+
+def naive_mean(samples: List[float]) -> float:
+    """The strawman: average everything, slow start included."""
+    if not samples:
+        raise ValueError("no samples")
+    return float(np.mean(samples))
+
+
+def fast_estimate(samples: List[float]) -> float:
+    """FAST's report: the last one-second moving average."""
+    averages = moving_averages(samples)
+    if not averages:
+        return naive_mean(samples)
+    return float(averages[-1])
+
+
+def fastbts_estimate(samples: List[float]) -> float:
+    """FastBTS's report: the crucial interval's weighted centre."""
+    return crucial_interval(samples)[2]
+
+
+def swiftest_estimate(samples: List[float]) -> float:
+    """Swiftest's stopping rule applied offline: the mean of the first
+    converged 10-sample window, else the trailing window's mean."""
+    detector = ConvergenceDetector()
+    for sample in samples:
+        detector.push(sample)
+        value = detector.value()
+        if value is not None:
+            return value
+    tail = samples[-detector.window:]
+    return float(np.mean(tail)) if tail else 0.0
+
+
+#: All replayable estimators by name.
+ESTIMATORS: Dict[str, Callable[[List[float]], float]] = {
+    "naive-mean": naive_mean,
+    "bts-app": group_trimmed_mean,
+    "speedtest": percentile_trimmed_mean,
+    "fast": fast_estimate,
+    "fastbts": fastbts_estimate,
+    "swiftest": swiftest_estimate,
+}
+
+
+def replay(samples: List[float]) -> Dict[str, float]:
+    """Apply every estimator to one sample stream."""
+    if not samples:
+        raise ValueError("no samples to replay")
+    out = {}
+    for name, estimator in ESTIMATORS.items():
+        try:
+            out[name] = float(estimator(list(samples)))
+        except ValueError:
+            # Stream too short for this estimator's structure (e.g.
+            # BTS-APP needs 20 groups); report NaN rather than fail.
+            out[name] = float("nan")
+    return out
+
+
+# -- canonical synthetic streams ------------------------------------------------
+
+
+def make_stream(
+    kind: str,
+    true_mbps: float = 200.0,
+    n_samples: int = 200,
+    rng: Optional[np.random.Generator] = None,
+) -> List[float]:
+    """Synthesise a canonical 50 ms sample stream with known truth.
+
+    Kinds
+    -----
+    ``clean``
+        Saturated from the first sample, small noise.
+    ``slow-start``
+        The first quarter ramps exponentially from near zero — the
+        contamination flooding estimators must trim.
+    ``plateau``
+        A long sub-capacity plateau (a stalled TCP ramp) before
+        saturation — the pattern that fools crucial-interval logic.
+    ``shaped``
+        Periodic throttling between the full rate and 40% of it.
+    ``bursty``
+        Saturated with heavy spikes and dips.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    noise = lambda n, scale=0.02: rng.normal(1.0, scale, size=n)  # noqa: E731
+    if kind == "clean":
+        return list(true_mbps * noise(n_samples))
+    if kind == "slow-start":
+        ramp_n = n_samples // 4
+        ramp = true_mbps * (1 - np.exp(-np.linspace(0, 4, ramp_n)))
+        steady = true_mbps * noise(n_samples - ramp_n)
+        return list(np.concatenate([ramp, steady]))
+    if kind == "plateau":
+        plateau_n = n_samples // 2
+        plateau = 0.45 * true_mbps * noise(plateau_n, 0.01)
+        steady = true_mbps * noise(n_samples - plateau_n)
+        return list(np.concatenate([plateau, steady]))
+    if kind == "shaped":
+        period = 40
+        values = []
+        for i in range(n_samples):
+            level = true_mbps if (i // period) % 2 == 0 else 0.4 * true_mbps
+            values.append(level * float(noise(1)[0]))
+        return values
+    if kind == "bursty":
+        base = true_mbps * noise(n_samples, 0.05)
+        spikes = rng.random(n_samples) < 0.08
+        base[spikes] *= rng.uniform(0.2, 0.5, size=int(spikes.sum()))
+        return list(base)
+    raise ValueError(f"unknown stream kind {kind!r}")

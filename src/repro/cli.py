@@ -1,0 +1,238 @@
+"""Command-line interface.
+
+Four subcommands cover the library's main workflows::
+
+    repro campaign --year 2021 --tests 50000 --out campaign.csv
+    repro analyze campaign.csv
+    repro speedtest --bandwidth 320 --tech 5G [--campaign campaign.csv]
+    repro plan --tests-per-day 10000 [--campaign campaign.csv]
+
+Everything runs against the simulator; no network access is needed.
+The module is also importable: each ``cmd_*`` function takes parsed
+arguments and returns an exit code, so tests drive it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis import figures
+from repro.baselines.btsapp import BtsApp
+from repro.core.client import SwiftestClient
+from repro.core.registry import BandwidthModelRegistry
+from repro.dataset.generator import CampaignConfig, generate_campaign
+from repro.dataset.records import Dataset
+from repro.deploy.planner import flooding_reference_cost, plan_deployment
+from repro.deploy.plans import onevendor_catalogue
+from repro.deploy.workload import estimate_workload
+
+#: Technologies the CLI fits models for by default.
+_MODEL_TECHS = ["4G", "5G", "WiFi4", "WiFi5", "WiFi6"]
+
+
+def _load_or_generate(path: Optional[str], tests: int, seed: int) -> Dataset:
+    if path:
+        return Dataset.from_csv(path)
+    return generate_campaign(
+        CampaignConfig(year=2021, n_tests=tests, seed=seed)
+    )
+
+
+# -- subcommands -----------------------------------------------------------
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Generate a synthetic measurement campaign."""
+    config = CampaignConfig(
+        year=args.year, n_tests=args.tests, seed=args.seed
+    )
+    dataset = generate_campaign(config)
+    print(f"generated {len(dataset)} tests (year {args.year}, seed {args.seed})")
+    for tech, mean in sorted(dataset.group_mean_bandwidth("tech").items()):
+        n = dataset.group_counts("tech")[tech]
+        print(f"  {tech:6s} n={n:7d}  mean {mean:7.1f} Mbps")
+    if args.out:
+        dataset.to_csv(args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Run the headline §3 analyses on a campaign."""
+    dataset = Dataset.from_csv(args.campaign)
+    print(f"loaded {len(dataset)} tests from {args.campaign}\n")
+
+    print("4G distribution (paper: median 22 / mean 53):")
+    lte = figures.fig04_lte_cdf(dataset)
+    print(f"  median {lte['median']:.1f}  mean {lte['mean']:.1f}  "
+          f"<10 Mbps {lte['below_10_mbps'] * 100:.1f}%  "
+          f">300 Mbps {lte['above_300_mbps'] * 100:.1f}%\n")
+
+    print("5G per band (paper: N1 103 / N28 113 / N41 312 / N78 332):")
+    for band, mean in sorted(figures.fig08_nr_band_bandwidth(dataset).items()):
+        print(f"  {band:4s} {mean:7.1f} Mbps")
+    print()
+
+    print("5G by RSS level (paper: rises 1-4, drops at 5):")
+    for level, mean in sorted(figures.fig12_rss_bandwidth(dataset).items()):
+        print(f"  level {level}: {mean:7.1f} Mbps")
+    print()
+
+    print("WiFi generations (paper: 59 / 208 / 345):")
+    for tech, summary in figures.fig13_wifi_cdfs(dataset).items():
+        print(f"  {tech:5s} mean {summary.mean:7.1f}  median "
+              f"{summary.median:7.1f} Mbps")
+    return 0
+
+
+def cmd_speedtest(args: argparse.Namespace) -> int:
+    """Run one simulated bandwidth test (Swiftest vs BTS-APP)."""
+    from repro.testbed.env import make_environment
+
+    dataset = _load_or_generate(args.campaign, tests=20_000, seed=args.seed)
+    registry = BandwidthModelRegistry().fit_from_dataset(
+        dataset, techs=_MODEL_TECHS, rng=np.random.default_rng(0)
+    )
+    if not registry.has_model(args.tech):
+        print(f"error: no model for {args.tech!r} "
+              f"(have {registry.technologies()})", file=sys.stderr)
+        return 1
+
+    env = make_environment(
+        args.bandwidth, rng=np.random.default_rng(args.seed),
+        tech=args.tech, server_capacity_mbps=100.0,
+        fluctuation_sigma=0.04,
+    )
+    result = SwiftestClient(registry).run(env)
+    print(f"swiftest: {result.bandwidth_mbps:7.1f} Mbps  "
+          f"{result.duration_s:.2f}s (+{result.ping_s:.2f}s ping)  "
+          f"{result.data_mb:.1f} MB  "
+          f"rungs {[round(r) for r in result.rungs_visited]}")
+    if args.compare:
+        env_legacy = make_environment(
+            args.bandwidth, rng=np.random.default_rng(args.seed),
+            tech=args.tech, n_servers=5, server_capacity_mbps=1000.0,
+            fluctuation_sigma=0.04,
+        )
+        legacy = BtsApp().run(env_legacy)
+        print(f"bts-app : {legacy.bandwidth_mbps:7.1f} Mbps  "
+              f"{legacy.duration_s:.2f}s (+{legacy.ping_s:.2f}s ping)  "
+              f"{legacy.data_mb:.1f} MB")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render a full text report (with terminal plots) for a campaign."""
+    from repro.analysis.plots import bar_chart
+    from repro.analysis.report import campaign_report
+
+    dataset = Dataset.from_csv(args.campaign)
+    print(campaign_report(dataset, title=f"Campaign: {args.campaign}"))
+    nr = dataset.where(tech="5G")
+    if len(nr):
+        print("\n5G per band")
+        print("-" * 64)
+        print(bar_chart(
+            dict(sorted(nr.group_mean_bandwidth("band").items())), width=36
+        ))
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    """Plan a cost-effective server deployment (§5.2)."""
+    dataset = _load_or_generate(args.campaign, tests=20_000, seed=args.seed)
+    workload = estimate_workload(
+        dataset.bandwidth,
+        tests_per_day=args.tests_per_day,
+        mean_test_duration_s=args.duration,
+        rng=np.random.default_rng(args.seed),
+    )
+    print(f"workload: mean {workload.mean_demand_mbps:.1f} Mbps, "
+          f"P{workload.quantile * 100:.1f} {workload.required_mbps:.0f} Mbps")
+    catalogue = onevendor_catalogue()
+    deployment = plan_deployment(
+        catalogue, workload.required_mbps * args.headroom
+    )
+    print(f"plan: {deployment.total_servers} servers / "
+          f"{deployment.total_capacity_mbps:.0f} Mbps / "
+          f"${deployment.total_cost_usd:,.2f} per month")
+    for domain in sorted(deployment.placement.assignments):
+        servers = deployment.placement.assignments[domain]
+        if servers:
+            pretty = ", ".join(f"{bw:.0f}M" for _, bw in servers)
+            print(f"  {domain:10s} {pretty}")
+    reference = flooding_reference_cost(catalogue)
+    print(f"flooding reference (50 x 1 Gbps): ${reference:,.2f} "
+          f"({reference / deployment.total_cost_usd:.1f}x more)")
+    return 0
+
+
+# -- parser -----------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mobile Access Bandwidth in Practice (SIGCOMM'22) "
+                    "reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("campaign", help="generate a measurement campaign")
+    p.add_argument("--year", type=int, default=2021, choices=(2020, 2021))
+    p.add_argument("--tests", type=int, default=50_000)
+    p.add_argument("--seed", type=int, default=20210801)
+    p.add_argument("--out", help="CSV output path")
+    p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser("analyze", help="run the §3 analyses on a campaign")
+    p.add_argument("campaign", help="CSV produced by 'repro campaign'")
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("speedtest", help="run one simulated bandwidth test")
+    p.add_argument("--bandwidth", type=float, default=300.0,
+                   help="true access capacity in Mbps")
+    p.add_argument("--tech", default="5G")
+    p.add_argument("--campaign", help="CSV to fit models from (else generated)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--compare", action="store_true",
+                   help="also run the legacy BTS-APP back to back")
+    p.set_defaults(func=cmd_speedtest)
+
+    p = sub.add_parser("report", help="full text report for a campaign")
+    p.add_argument("campaign", help="CSV produced by 'repro campaign'")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("plan", help="plan a server deployment (§5.2)")
+    p.add_argument("--tests-per-day", type=int, default=10_000)
+    p.add_argument("--duration", type=float, default=1.2,
+                   help="mean test duration in seconds")
+    p.add_argument("--headroom", type=float, default=2.0,
+                   help="provisioning multiple over the P99.9 demand")
+    p.add_argument("--campaign", help="CSV to estimate the workload from")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_plan)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output was piped into a consumer that closed early (head,
+        # less); exit quietly like other well-behaved CLIs.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,44 @@
+"""Swiftest: the ultra-fast, ultra-light bandwidth testing service (§5).
+
+The paper's systems contribution.  Three ideas, each a submodule:
+
+* **Statistical guidance** — per-technology access bandwidth follows a
+  multi-modal Gaussian distribution (:mod:`repro.core.gmm`); the most
+  probable mode seeds the initial probing rate, avoiding TCP slow
+  start's lengthy ramp (:mod:`repro.core.registry`).
+* **UDP rate-controlled probing** — an application-layer protocol sends
+  at an explicitly commanded rate, sampling throughput every 50 ms and
+  laddering the rate up through larger modes until the client's access
+  bandwidth is saturated; the test ends when the last ten samples agree
+  within 3% (:mod:`repro.core.protocol`, :mod:`repro.core.probing`,
+  :mod:`repro.core.convergence`).
+* **Client/server orchestration** — PING-based server selection sized
+  to the initial rate, with servers added as the ladder climbs
+  (:mod:`repro.core.client`, :mod:`repro.core.server`).
+
+Cost-effective server *deployment* lives in :mod:`repro.deploy`.
+"""
+
+from repro.core.client import SwiftestClient, SwiftestConfig, SwiftestResult
+from repro.core.convergence import ConvergenceDetector
+from repro.core.gmm import GaussianMixture1D, fit_gmm, select_gmm_bic
+from repro.core.probing import ProbingController
+from repro.core.registry import BandwidthModelRegistry, TechnologyModel
+from repro.core.server import SwiftestServer
+from repro.core.variants import FixedLadderModel, TcpSwiftest
+
+__all__ = [
+    "BandwidthModelRegistry",
+    "ConvergenceDetector",
+    "FixedLadderModel",
+    "GaussianMixture1D",
+    "ProbingController",
+    "SwiftestClient",
+    "SwiftestConfig",
+    "SwiftestResult",
+    "SwiftestServer",
+    "TcpSwiftest",
+    "TechnologyModel",
+    "fit_gmm",
+    "select_gmm_bic",
+]

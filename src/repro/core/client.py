@@ -1,0 +1,183 @@
+"""Swiftest client: orchestration of one bandwidth test (§5.1, §5.3).
+
+The test proceeds in three phases:
+
+1. **PING** — measure latency to all candidate servers (the deployed
+   client PINGs all 10, costing ~0.2 s on average).
+2. **Sizing** — pick the nearest servers whose total uplink capacity
+   slightly exceeds the initial probing rate (the rate itself comes
+   from the technology's bandwidth model).
+3. **Probing** — command the UDP rate, collect a 50 ms sample stream,
+   and follow the :class:`~repro.core.probing.ProbingController`'s
+   decisions: hold on saturation, ladder up otherwise, stop on
+   convergence.  Rate increases recruit additional servers on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.common import BandwidthTestService, BTSResult
+from repro.core.convergence import ConvergenceDetector
+from repro.core.probing import ProbingController
+from repro.core.protocol import wire_overhead_fraction
+from repro.core.registry import BandwidthModelRegistry
+from repro.netsim.flow import Flow
+from repro.testbed.env import ServerEndpoint, TestEnvironment
+from repro.units import SAMPLE_INTERVAL_S, mbps_to_bytes_per_s
+
+#: Simulation slice; four slices per 50 ms sample.
+_STEP_S = 0.0125
+
+
+@dataclass
+class SwiftestConfig:
+    """Client-side tunables.
+
+    Attributes
+    ----------
+    max_duration_s:
+        Hard stop for the probing phase; the paper's deployment never
+        exceeded 4.49 s, so 5 s is a comfortable safety net (a timed-out
+        test still reports the mean of its trailing window).
+    capacity_headroom:
+        Selected servers' total uplink must exceed the probing rate by
+        this fraction (uplinks come in 100 Mbps multiples, §5.1).
+    convergence_window / convergence_threshold:
+        Sample count and max/min difference ratio of the stopping rule
+        (§5.1's ten samples within 3%); exposed for ablations.
+    """
+
+    max_duration_s: float = 5.0
+    capacity_headroom: float = 0.10
+    convergence_window: int = 10
+    convergence_threshold: float = 0.03
+
+    def __post_init__(self) -> None:
+        if self.max_duration_s <= 0:
+            raise ValueError("max duration must be positive")
+        if self.capacity_headroom < 0:
+            raise ValueError("headroom must be non-negative")
+        # Window/threshold bounds are enforced by ConvergenceDetector.
+
+
+@dataclass
+class SwiftestResult(BTSResult):
+    """BTS result enriched with Swiftest-specific diagnostics."""
+
+    rungs_visited: List[float] = field(default_factory=list)
+    converged: bool = True
+
+
+class SwiftestClient(BandwidthTestService):
+    """One Swiftest test over a simulated environment."""
+
+    name = "swiftest"
+
+    def __init__(
+        self,
+        registry: BandwidthModelRegistry,
+        config: Optional[SwiftestConfig] = None,
+    ):
+        self.registry = registry
+        self.config = config or SwiftestConfig()
+
+    # -- server selection ------------------------------------------------
+
+    def _servers_for_rate(
+        self, ranked: List[ServerEndpoint], rate_mbps: float
+    ) -> List[ServerEndpoint]:
+        """Nearest-first prefix whose capacity covers the rate plus
+        headroom; always at least one server."""
+        target = rate_mbps * (1.0 + self.config.capacity_headroom)
+        chosen: List[ServerEndpoint] = []
+        total = 0.0
+        for server in ranked:
+            chosen.append(server)
+            total += server.capacity_mbps
+            if total >= target:
+                break
+        return chosen
+
+    # -- test execution ----------------------------------------------------
+
+    def run(self, env: TestEnvironment) -> SwiftestResult:
+        model = self.registry.model(env.tech)
+        controller = ProbingController(
+            model,
+            detector=ConvergenceDetector(
+                window=self.config.convergence_window,
+                threshold=self.config.convergence_threshold,
+            ),
+        )
+        ranked = env.servers_by_rtt()
+        ping_s = sum(s.rtt_s for s in ranked)
+
+        flows: Dict[str, Flow] = {}
+        active: List[ServerEndpoint] = []
+
+        def ensure_servers(rate_mbps: float) -> None:
+            for server in self._servers_for_rate(ranked, rate_mbps):
+                if server.name not in flows:
+                    path = env.path_to(server)
+                    flows[server.name] = path.open_flow(
+                        demand_mbps=0.0, label=f"swiftest-{server.name}"
+                    )
+                    active.append(server)
+
+        def set_demands(rate_mbps: float) -> None:
+            total_capacity = sum(s.capacity_mbps for s in active)
+            for server in active:
+                share = server.capacity_mbps / total_capacity
+                flows[server.name].demand_mbps = rate_mbps * share
+
+        ensure_servers(controller.rate_mbps)
+
+        samples: List[Tuple[float, float]] = []
+        received = 0.0
+        slice_start_bytes = 0.0
+        next_sample_at = SAMPLE_INTERVAL_S
+        now = 0.0
+        result_mbps: Optional[float] = None
+        converged = False
+
+        while now < self.config.max_duration_s:
+            set_demands(controller.rate_mbps)
+            env.network.allocate(now)
+            for flow in flows.values():
+                received += mbps_to_bytes_per_s(flow.allocated_mbps) * _STEP_S
+            now += _STEP_S
+            if now + 1e-9 < next_sample_at:
+                continue
+            sample = (received - slice_start_bytes) * 8 / 1e6 / SAMPLE_INTERVAL_S
+            samples.append((now, sample))
+            slice_start_bytes = received
+            next_sample_at += SAMPLE_INTERVAL_S
+            decision = controller.on_sample(sample)
+            if decision.finished:
+                result_mbps = decision.result_mbps
+                converged = True
+                break
+            if decision.rate_changed:
+                ensure_servers(decision.rate_mbps)
+
+        if result_mbps is None:
+            result_mbps = controller.force_finish().result_mbps
+
+        for server in active:
+            env.path_to(server).close_flow(flows[server.name])
+
+        bytes_used = received * (1.0 + wire_overhead_fraction())
+        return SwiftestResult(
+            service=self.name,
+            bandwidth_mbps=float(result_mbps),
+            duration_s=now,
+            ping_s=ping_s,
+            bytes_used=bytes_used,
+            samples=samples,
+            servers_used=len(active),
+            meta={"estimator": "converged-window-mean"},
+            rungs_visited=list(controller.rungs_visited),
+            converged=converged,
+        )

@@ -1,0 +1,63 @@
+"""Sample-convergence detection (§5.1).
+
+Swiftest stops a test when the latest ten bandwidth samples converge:
+the difference ratio between their maximum and minimum is ≤3%
+(following FAST's design).  The final result is the mean of those ten
+samples.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+import numpy as np
+
+#: Samples that must agree for the test to stop.
+WINDOW = 10
+#: Max/min difference ratio regarded as converged.
+THRESHOLD = 0.03
+
+
+class ConvergenceDetector:
+    """Sliding-window convergence check over bandwidth samples."""
+
+    def __init__(self, window: int = WINDOW, threshold: float = THRESHOLD):
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        if not 0 < threshold < 1:
+            raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+        self.window = window
+        self.threshold = threshold
+        self._samples: Deque[float] = deque(maxlen=window)
+
+    def push(self, sample_mbps: float) -> None:
+        """Record one bandwidth sample."""
+        if sample_mbps < 0:
+            raise ValueError(f"samples must be non-negative, got {sample_mbps}")
+        self._samples.append(float(sample_mbps))
+
+    def reset(self) -> None:
+        """Forget accumulated samples (used when the probing rate
+        changes — samples from different rate rungs must not be mixed
+        when judging convergence)."""
+        self._samples.clear()
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def converged(self) -> bool:
+        """True when a full window agrees within the threshold."""
+        if len(self._samples) < self.window:
+            return False
+        top = max(self._samples)
+        if top <= 0:
+            return False
+        return (top - min(self._samples)) / top <= self.threshold
+
+    def value(self) -> Optional[float]:
+        """Mean of the window when converged, else ``None``."""
+        if not self.converged():
+            return None
+        return float(np.mean(self._samples))

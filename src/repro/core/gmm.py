@@ -1,0 +1,229 @@
+"""One-dimensional Gaussian mixture models, fitted from scratch.
+
+Equation (1) of the paper models access bandwidth as
+``P(X) = Σ w_i N(X | μ_i, σ_i)``.  This module implements maximum-
+likelihood fitting by expectation-maximisation with k-means++-style
+initialisation, plus BIC-based selection of the component count.  It
+is deliberately self-contained (no sklearn): the fitting procedure is
+part of the system under reproduction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+_LOG_2PI = math.log(2.0 * math.pi)
+#: Variance floor, as a fraction of the data variance, preventing
+#: components from collapsing onto single points.
+_VAR_FLOOR_FRACTION = 1e-4
+
+
+@dataclass(frozen=True)
+class GaussianMixture1D:
+    """A fitted 1-D Gaussian mixture.
+
+    Components are stored sorted by mean.  ``weights`` sum to one.
+    """
+
+    weights: Tuple[float, ...]
+    means: Tuple[float, ...]
+    sigmas: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        k = len(self.weights)
+        if not (k == len(self.means) == len(self.sigmas)):
+            raise ValueError("weights, means, sigmas must have equal length")
+        if k == 0:
+            raise ValueError("a mixture needs at least one component")
+        if abs(sum(self.weights) - 1.0) > 1e-6:
+            raise ValueError(f"weights must sum to 1, got {sum(self.weights)}")
+        if any(s <= 0 for s in self.sigmas):
+            raise ValueError("sigmas must be positive")
+        if list(self.means) != sorted(self.means):
+            raise ValueError("components must be sorted by mean")
+
+    @property
+    def n_components(self) -> int:
+        return len(self.weights)
+
+    # -- densities -----------------------------------------------------
+
+    def pdf(self, x) -> np.ndarray:
+        """Mixture density at ``x`` (scalar or array)."""
+        x = np.atleast_1d(np.asarray(x, dtype=float))
+        total = np.zeros_like(x)
+        for w, mu, sigma in zip(self.weights, self.means, self.sigmas):
+            z = (x - mu) / sigma
+            total += w * np.exp(-0.5 * z * z) / (sigma * math.sqrt(2 * math.pi))
+        return total
+
+    def log_likelihood(self, data: np.ndarray) -> float:
+        """Total log-likelihood of ``data`` under the mixture."""
+        density = self.pdf(np.asarray(data, dtype=float))
+        return float(np.sum(np.log(np.maximum(density, 1e-300))))
+
+    def bic(self, data: np.ndarray) -> float:
+        """Bayesian information criterion (lower is better)."""
+        n = len(data)
+        n_params = 3 * self.n_components - 1
+        return n_params * math.log(n) - 2.0 * self.log_likelihood(data)
+
+    # -- modes ---------------------------------------------------------
+
+    def dominant_mode(self) -> float:
+        """Mean of the highest-weight component — the paper's "most
+        probable bandwidth" used as the initial probing rate (§5.1)."""
+        idx = int(np.argmax(self.weights))
+        return self.means[idx]
+
+    def modes_above(self, rate: float) -> List[Tuple[float, float]]:
+        """(mean, weight) of components whose mean exceeds ``rate``,
+        sorted by mean ascending."""
+        return [
+            (mu, w)
+            for mu, w in zip(self.means, self.weights)
+            if mu > rate
+        ]
+
+    def most_probable_mode_above(self, rate: float) -> Optional[float]:
+        """Mean of the highest-weight component above ``rate``; the
+        next rung of Swiftest's probing ladder.  ``None`` when no mode
+        lies above."""
+        candidates = self.modes_above(rate)
+        if not candidates:
+            return None
+        return max(candidates, key=lambda pair: pair[1])[0]
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` samples from the mixture."""
+        counts = rng.multinomial(n, np.asarray(self.weights))
+        chunks = [
+            rng.normal(mu, sigma, size=count)
+            for count, mu, sigma in zip(counts, self.means, self.sigmas)
+        ]
+        samples = np.concatenate(chunks) if chunks else np.empty(0)
+        rng.shuffle(samples)
+        return samples
+
+
+def _kmeans_init(
+    data: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++-style seeding followed by a few Lloyd iterations."""
+    centers = np.empty(k)
+    centers[0] = data[rng.integers(len(data))]
+    for i in range(1, k):
+        d2 = np.min(
+            np.abs(data[:, None] - centers[None, :i]) ** 2, axis=1
+        )
+        total = d2.sum()
+        if total <= 0:
+            centers[i:] = data[rng.integers(len(data), size=k - i)]
+            break
+        probs = d2 / total
+        centers[i] = data[rng.choice(len(data), p=probs)]
+    for _ in range(8):
+        assignment = np.argmin(np.abs(data[:, None] - centers[None, :]), axis=1)
+        for j in range(k):
+            members = data[assignment == j]
+            if len(members):
+                centers[j] = members.mean()
+    return np.sort(centers)
+
+
+def fit_gmm(
+    data: Sequence[float],
+    n_components: int,
+    rng: Optional[np.random.Generator] = None,
+    max_iter: int = 200,
+    tol: float = 1e-6,
+) -> GaussianMixture1D:
+    """Fit a ``n_components``-component mixture by EM.
+
+    Raises :class:`ValueError` when there are fewer data points than
+    components.
+    """
+    data = np.asarray(list(data), dtype=float)
+    if n_components < 1:
+        raise ValueError(f"need at least one component, got {n_components}")
+    if len(data) < n_components:
+        raise ValueError(
+            f"{len(data)} points cannot support {n_components} components"
+        )
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    data_var = float(np.var(data))
+    if data_var == 0:
+        # Degenerate: all points identical.
+        sigma = max(abs(data[0]) * 1e-3, 1e-6)
+        return GaussianMixture1D(
+            weights=tuple([1.0 / n_components] * n_components),
+            means=tuple(np.sort(np.full(n_components, data[0]))),
+            sigmas=tuple([sigma] * n_components),
+        )
+    var_floor = max(data_var * _VAR_FLOOR_FRACTION, 1e-12)
+
+    means = _kmeans_init(data, n_components, rng)
+    sigmas = np.full(n_components, math.sqrt(data_var / n_components))
+    weights = np.full(n_components, 1.0 / n_components)
+
+    prev_ll = -math.inf
+    for _ in range(max_iter):
+        # E-step: responsibilities.
+        z = (data[:, None] - means[None, :]) / sigmas[None, :]
+        log_pdf = (
+            -0.5 * z * z
+            - np.log(sigmas)[None, :]
+            - 0.5 * _LOG_2PI
+            + np.log(np.maximum(weights, 1e-300))[None, :]
+        )
+        log_norm = np.logaddexp.reduce(log_pdf, axis=1)
+        resp = np.exp(log_pdf - log_norm[:, None])
+        ll = float(log_norm.sum())
+
+        # M-step.
+        nk = resp.sum(axis=0) + 1e-12
+        weights = nk / len(data)
+        means = (resp * data[:, None]).sum(axis=0) / nk
+        var = (resp * (data[:, None] - means[None, :]) ** 2).sum(axis=0) / nk
+        sigmas = np.sqrt(np.maximum(var, var_floor))
+
+        if abs(ll - prev_ll) < tol * max(1.0, abs(prev_ll)):
+            break
+        prev_ll = ll
+
+    order = np.argsort(means)
+    return GaussianMixture1D(
+        weights=tuple(float(w) for w in weights[order]),
+        means=tuple(float(m) for m in means[order]),
+        sigmas=tuple(float(s) for s in sigmas[order]),
+    )
+
+
+def select_gmm_bic(
+    data: Sequence[float],
+    max_components: int = 6,
+    rng: Optional[np.random.Generator] = None,
+) -> GaussianMixture1D:
+    """Fit mixtures with 1..max_components components and keep the one
+    with the lowest BIC — how the model registry chooses ``k`` without
+    manual tuning."""
+    data = np.asarray(list(data), dtype=float)
+    if len(data) < 2:
+        raise ValueError("need at least two data points for selection")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    best: Optional[GaussianMixture1D] = None
+    best_bic = math.inf
+    upper = min(max_components, len(data))
+    for k in range(1, upper + 1):
+        model = fit_gmm(data, k, rng=rng)
+        bic = model.bic(data)
+        if bic < best_bic:
+            best = model
+            best_bic = bic
+    assert best is not None  # upper >= 1 guarantees a fit
+    return best

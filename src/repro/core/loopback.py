@@ -1,0 +1,157 @@
+"""Packet-level loopback of the Swiftest protocol.
+
+The fluid client (:mod:`repro.core.client`) models many servers'
+aggregate rate; this module complements it with a *packet-level* run
+of one probing session: real encoded messages
+(:mod:`repro.core.protocol`) travel between the client-side probing
+logic and a :class:`~repro.core.server.SwiftestServer` over the
+discrete-event engine, with a capacity cap dropping DATA packets that
+exceed the simulated access link.
+
+It exists to prove the protocol state machines interoperate
+end-to-end (session setup → rate commands → paced DATA → FIN) and is
+used by integration tests and the protocol documentation; large-scale
+experiments stay on the fluid path for speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.core.convergence import ConvergenceDetector
+from repro.core.probing import ProbingController
+from repro.core.protocol import (
+    DATA_PAYLOAD_BYTES,
+    Fin,
+    Hello,
+    RateCommand,
+    decode,
+)
+from repro.core.server import SwiftestServer
+from repro.netsim.engine import Simulator
+from repro.units import SAMPLE_INTERVAL_S
+
+
+@dataclass
+class LoopbackResult:
+    """Outcome of a packet-level session.
+
+    Attributes
+    ----------
+    bandwidth_mbps:
+        The converged (or timeout) estimate.
+    duration_s:
+        Simulated probing time.
+    packets_delivered / packets_dropped:
+        DATA packets that survived / exceeded the capacity cap.
+    rate_commands:
+        Every rate the client commanded, in order.
+    samples:
+        (time, Mbps) client-side 50 ms samples.
+    server:
+        The server instance, for post-mortem inspection (session
+        states, bytes sent).
+    """
+
+    bandwidth_mbps: float
+    duration_s: float
+    packets_delivered: int
+    packets_dropped: int
+    rate_commands: List[float]
+    samples: List[Tuple[float, float]] = field(repr=False, default_factory=list)
+    server: SwiftestServer = field(repr=False, default=None)
+
+
+def run_loopback_session(
+    model,
+    capacity_mbps: float,
+    session_id: int = 1,
+    tech: str = "5G",
+    server_capacity_mbps: float = 10_000.0,
+    max_duration_s: float = 5.0,
+) -> LoopbackResult:
+    """Run one probing session at packet granularity.
+
+    Parameters
+    ----------
+    model:
+        Rate model for the controller (a fitted
+        :class:`~repro.core.registry.TechnologyModel` or any duck-typed
+        ladder).
+    capacity_mbps:
+        Access-link cap: DATA packets beyond it within each 50 ms
+        interval are dropped, exactly like a policer.
+    """
+    if capacity_mbps <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity_mbps}")
+    sim = Simulator()
+    server = SwiftestServer("loopback", capacity_mbps=server_capacity_mbps)
+    controller = ProbingController(model, detector=ConvergenceDetector())
+
+    # Session setup: HELLO then the initial RATE_COMMAND, as real
+    # encoded bytes through the decoder.
+    server.handle(decode(Hello(session_id, tech, nonce=7).pack()), sim.now)
+    rate_commands: List[float] = []
+
+    def command_rate(rate_mbps: float) -> None:
+        wire = RateCommand(
+            session_id, rate_kbps=int(rate_mbps * 1000), rung=len(rate_commands)
+        ).pack()
+        server.handle(decode(wire), sim.now)
+        rate_commands.append(rate_mbps)
+
+    command_rate(controller.rate_mbps)
+
+    #: Packets the capacity cap lets through per 50 ms interval.
+    budget_per_interval = capacity_mbps * 1e6 / 8 * SAMPLE_INTERVAL_S / (
+        DATA_PAYLOAD_BYTES
+    )
+
+    samples: List[Tuple[float, float]] = []
+    state = {"delivered": 0, "dropped": 0, "result": None, "finished": False}
+
+    def interval() -> None:
+        if state["finished"]:
+            return
+        packets = server.emit(session_id, sim.now, SAMPLE_INTERVAL_S)
+        # Wire-format sanity: every packet round-trips the codec.
+        delivered = 0
+        for pkt in packets:
+            decoded = decode(pkt.pack())
+            assert decoded.session_id == session_id
+            if delivered < budget_per_interval:
+                delivered += 1
+        state["delivered"] += delivered
+        state["dropped"] += len(packets) - delivered
+        rate = delivered * DATA_PAYLOAD_BYTES * 8 / 1e6 / SAMPLE_INTERVAL_S
+        samples.append((sim.now + SAMPLE_INTERVAL_S, rate))
+        decision = controller.on_sample(rate)
+        if decision.finished:
+            state["result"] = decision.result_mbps
+            state["finished"] = True
+            server.handle(
+                decode(Fin(session_id, int(decision.result_mbps * 1000)).pack()),
+                sim.now,
+            )
+            return
+        if decision.rate_changed:
+            command_rate(decision.rate_mbps)
+        if sim.now + SAMPLE_INTERVAL_S < max_duration_s:
+            sim.schedule(SAMPLE_INTERVAL_S, interval)
+        else:
+            state["result"] = controller.force_finish().result_mbps
+            state["finished"] = True
+
+    sim.schedule(SAMPLE_INTERVAL_S, interval)
+    sim.run()
+
+    return LoopbackResult(
+        bandwidth_mbps=float(state["result"]),
+        duration_s=sim.now,
+        packets_delivered=state["delivered"],
+        packets_dropped=state["dropped"],
+        rate_commands=rate_commands,
+        samples=samples,
+        server=server,
+    )

@@ -1,0 +1,157 @@
+"""Data-driven probing controller (§5.1).
+
+The controller owns Swiftest's core decision loop.  Each 50 ms
+bandwidth sample drives one step:
+
+1. If the latest ten samples converge (≤3% max/min difference), the
+   test is finished; the result is their mean.
+2. Otherwise, decide whether the client's access bandwidth is
+   *saturated*: the latest sample falls below the current probing
+   rate.  If saturated, hold the rate and let convergence conclude.
+3. If not saturated after a short dwell, ladder the probing rate up to
+   the most probable larger mode of the technology's bandwidth
+   distribution (adding servers is the transport layer's job).  Above
+   the top mode, escalate geometrically.
+
+Rate changes reset the convergence window — samples taken at different
+commanded rates must not be mixed when judging agreement.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.convergence import ConvergenceDetector
+from repro.core.registry import TechnologyModel
+
+#: Sample must fall below rate x (1 - margin) to count as saturated.
+SATURATION_MARGIN = 0.05
+
+#: Consecutive unsaturated samples required before laddering up; keeps
+#: one noisy sample from triggering an escalation.
+UNSATURATED_DWELL = 3
+
+#: Geometric escalation factor once above the distribution's top mode.
+ESCAPE_FACTOR = 1.25
+
+
+class ProbeState(enum.Enum):
+    PROBING = "probing"
+    FINISHED = "finished"
+
+
+@dataclass
+class ProbingDecision:
+    """What the transport layer should do after a sample.
+
+    Attributes
+    ----------
+    rate_mbps:
+        Probing rate to command from the servers.
+    rate_changed:
+        True when this step moved to a new ladder rung.
+    finished:
+        True when the test is complete.
+    result_mbps:
+        Final bandwidth (mean of the converged window) when finished.
+    """
+
+    rate_mbps: float
+    rate_changed: bool
+    finished: bool
+    result_mbps: Optional[float] = None
+
+
+@dataclass
+class ProbingController:
+    """State machine translating samples into rate commands."""
+
+    model: TechnologyModel
+    saturation_margin: float = SATURATION_MARGIN
+    dwell: int = UNSATURATED_DWELL
+    escape_factor: float = ESCAPE_FACTOR
+    detector: ConvergenceDetector = field(default_factory=ConvergenceDetector)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.saturation_margin < 1:
+            raise ValueError(
+                f"saturation margin must be in (0, 1), got {self.saturation_margin}"
+            )
+        if self.dwell < 1:
+            raise ValueError(f"dwell must be >= 1, got {self.dwell}")
+        if self.escape_factor <= 1:
+            raise ValueError(
+                f"escape factor must exceed 1, got {self.escape_factor}"
+            )
+        self.rate_mbps: float = self.model.initial_rate_mbps()
+        self.state = ProbeState.PROBING
+        self._unsaturated_streak = 0
+        self._above_top_mode = False
+        #: Ladder rungs visited, for diagnostics and tests.
+        self.rungs_visited: List[float] = [self.rate_mbps]
+
+    # -- public ----------------------------------------------------------
+
+    def on_sample(self, sample_mbps: float) -> ProbingDecision:
+        """Feed one 50 ms bandwidth sample; get the next action."""
+        if self.state is ProbeState.FINISHED:
+            raise RuntimeError("probing already finished")
+        if sample_mbps < 0:
+            raise ValueError(f"samples must be non-negative, got {sample_mbps}")
+
+        self.detector.push(sample_mbps)
+        if self.detector.converged():
+            self.state = ProbeState.FINISHED
+            return ProbingDecision(
+                rate_mbps=self.rate_mbps,
+                rate_changed=False,
+                finished=True,
+                result_mbps=self.detector.value(),
+            )
+
+        saturated = sample_mbps < self.rate_mbps * (1.0 - self.saturation_margin)
+        if saturated:
+            self._unsaturated_streak = 0
+            return ProbingDecision(
+                rate_mbps=self.rate_mbps, rate_changed=False, finished=False
+            )
+
+        self._unsaturated_streak += 1
+        if self._unsaturated_streak < self.dwell:
+            return ProbingDecision(
+                rate_mbps=self.rate_mbps, rate_changed=False, finished=False
+            )
+
+        # Client keeps up with the commanded rate: move up the ladder.
+        self._unsaturated_streak = 0
+        next_rate = self.model.next_rate_mbps(self.rate_mbps)
+        if next_rate is None:
+            next_rate = self.rate_mbps * self.escape_factor
+            self._above_top_mode = True
+        self.rate_mbps = float(next_rate)
+        self.rungs_visited.append(self.rate_mbps)
+        self.detector.reset()
+        return ProbingDecision(
+            rate_mbps=self.rate_mbps, rate_changed=True, finished=False
+        )
+
+    def force_finish(self) -> ProbingDecision:
+        """Conclude on timeout: report the mean of whatever window has
+        accumulated (or the last rate when no samples arrived)."""
+        self.state = ProbeState.FINISHED
+        samples = list(self.detector._samples)
+        result = sum(samples) / len(samples) if samples else self.rate_mbps
+        return ProbingDecision(
+            rate_mbps=self.rate_mbps,
+            rate_changed=False,
+            finished=True,
+            result_mbps=result,
+        )
+
+    @property
+    def above_top_mode(self) -> bool:
+        """True once the ladder escaped above the distribution's top
+        mode (a client faster than the model anticipated)."""
+        return self._above_top_mode

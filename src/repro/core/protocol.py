@@ -1,0 +1,191 @@
+"""Swiftest's UDP application-layer probing protocol (§5.1).
+
+Swiftest abandons TCP so the probing rate can be commanded explicitly
+instead of discovered by slow start.  This module defines the wire
+format of the five message types and their binary encoding; the
+state machines in :mod:`repro.core.client` / :mod:`repro.core.server`
+exchange these messages, and the test suite round-trips them.
+
+All integers are big-endian.  Every message starts with a one-byte
+type tag and a 4-byte session id.
+
+====  ==============  =======================================
+tag   message         payload
+====  ==============  =======================================
+0x01  HELLO           tech (8s), client nonce (u32)
+0x02  RATE_COMMAND    rate in kbit/s (u32), ladder rung (u16)
+0x03  DATA            seq (u32), send time in µs (u64), pad
+0x04  FEEDBACK        observed rate kbit/s (u32), saturated (u8)
+0x05  FIN             result rate kbit/s (u32)
+====  ==============  =======================================
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import ClassVar, Union
+
+#: Payload bytes carried by each DATA packet (MTU-friendly).
+DATA_PAYLOAD_BYTES = 1200
+
+_HEADER = struct.Struct(">BI")
+
+
+class ProtocolError(ValueError):
+    """Raised on malformed or unknown wire data."""
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Client → server: open a probing session."""
+
+    session_id: int
+    tech: str
+    nonce: int
+
+    TAG: ClassVar[int] = 0x01
+    _BODY: ClassVar[struct.Struct] = struct.Struct(">8sI")
+
+    def pack(self) -> bytes:
+        tech = self.tech.encode("ascii")
+        if len(tech) > 8:
+            raise ProtocolError(f"tech label too long: {self.tech!r}")
+        return _HEADER.pack(self.TAG, self.session_id) + self._BODY.pack(
+            tech.ljust(8, b"\0"), self.nonce
+        )
+
+    @classmethod
+    def unpack_body(cls, session_id: int, body: bytes) -> "Hello":
+        tech_raw, nonce = cls._BODY.unpack(body)
+        return cls(session_id, tech_raw.rstrip(b"\0").decode("ascii"), nonce)
+
+
+@dataclass(frozen=True)
+class RateCommand:
+    """Client → server: send DATA at this rate."""
+
+    session_id: int
+    rate_kbps: int
+    rung: int
+
+    TAG: ClassVar[int] = 0x02
+    _BODY: ClassVar[struct.Struct] = struct.Struct(">IH")
+
+    def pack(self) -> bytes:
+        return _HEADER.pack(self.TAG, self.session_id) + self._BODY.pack(
+            self.rate_kbps, self.rung
+        )
+
+    @classmethod
+    def unpack_body(cls, session_id: int, body: bytes) -> "RateCommand":
+        rate_kbps, rung = cls._BODY.unpack(body)
+        return cls(session_id, rate_kbps, rung)
+
+    @property
+    def rate_mbps(self) -> float:
+        return self.rate_kbps / 1000.0
+
+
+@dataclass(frozen=True)
+class Data:
+    """Server → client: one probing payload packet."""
+
+    session_id: int
+    seq: int
+    send_time_us: int
+    payload_len: int = DATA_PAYLOAD_BYTES
+
+    TAG: ClassVar[int] = 0x03
+    _BODY: ClassVar[struct.Struct] = struct.Struct(">IQH")
+
+    def pack(self) -> bytes:
+        header = _HEADER.pack(self.TAG, self.session_id) + self._BODY.pack(
+            self.seq, self.send_time_us, self.payload_len
+        )
+        return header + b"\0" * self.payload_len
+
+    @classmethod
+    def unpack_body(cls, session_id: int, body: bytes) -> "Data":
+        fixed = cls._BODY.size
+        seq, send_time_us, payload_len = cls._BODY.unpack(body[:fixed])
+        if len(body) - fixed != payload_len:
+            raise ProtocolError(
+                f"DATA payload length mismatch: header says {payload_len}, "
+                f"got {len(body) - fixed}"
+            )
+        return cls(session_id, seq, send_time_us, payload_len)
+
+
+@dataclass(frozen=True)
+class Feedback:
+    """Client → server: observed throughput, saturation verdict."""
+
+    session_id: int
+    observed_kbps: int
+    saturated: bool
+
+    TAG: ClassVar[int] = 0x04
+    _BODY: ClassVar[struct.Struct] = struct.Struct(">IB")
+
+    def pack(self) -> bytes:
+        return _HEADER.pack(self.TAG, self.session_id) + self._BODY.pack(
+            self.observed_kbps, int(self.saturated)
+        )
+
+    @classmethod
+    def unpack_body(cls, session_id: int, body: bytes) -> "Feedback":
+        observed, saturated = cls._BODY.unpack(body)
+        return cls(session_id, observed, bool(saturated))
+
+
+@dataclass(frozen=True)
+class Fin:
+    """Client → server: test done, stop sending."""
+
+    session_id: int
+    result_kbps: int
+
+    TAG: ClassVar[int] = 0x05
+    _BODY: ClassVar[struct.Struct] = struct.Struct(">I")
+
+    def pack(self) -> bytes:
+        return _HEADER.pack(self.TAG, self.session_id) + self._BODY.pack(
+            self.result_kbps
+        )
+
+    @classmethod
+    def unpack_body(cls, session_id: int, body: bytes) -> "Fin":
+        (result,) = cls._BODY.unpack(body)
+        return cls(session_id, result)
+
+
+Message = Union[Hello, RateCommand, Data, Feedback, Fin]
+
+_TYPES = {cls.TAG: cls for cls in (Hello, RateCommand, Data, Feedback, Fin)}
+
+
+def decode(wire: bytes) -> Message:
+    """Decode one message off the wire.
+
+    Raises :class:`ProtocolError` for unknown tags or truncated data.
+    """
+    if len(wire) < _HEADER.size:
+        raise ProtocolError(f"message truncated: {len(wire)} bytes")
+    tag, session_id = _HEADER.unpack(wire[: _HEADER.size])
+    cls = _TYPES.get(tag)
+    if cls is None:
+        raise ProtocolError(f"unknown message tag 0x{tag:02x}")
+    try:
+        return cls.unpack_body(session_id, wire[_HEADER.size :])
+    except struct.error as exc:
+        raise ProtocolError(f"malformed {cls.__name__} body: {exc}") from exc
+
+
+def wire_overhead_fraction() -> float:
+    """Fraction of a DATA packet spent on headers (protocol + UDP/IP),
+    used when accounting data usage."""
+    protocol_header = _HEADER.size + Data._BODY.size
+    udp_ip_header = 8 + 20
+    total = protocol_header + udp_ip_header + DATA_PAYLOAD_BYTES
+    return (protocol_header + udp_ip_header) / total

@@ -1,0 +1,229 @@
+"""Per-technology bandwidth models and their lifecycle (§5.1).
+
+Swiftest's statistical guidance rests on the observation that, for a
+given access technology, measured bandwidth follows a stable
+multi-modal Gaussian distribution (Figures 16, 18, 19) whose shape
+changes only on moderate time scales (about a month).  The registry
+fits one mixture per technology from recent measurement data, exposes
+the probing ladder (dominant mode, then the most probable larger
+modes), and refreshes models when they go stale.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.gmm import GaussianMixture1D, select_gmm_bic
+from repro.dataset.records import Dataset
+
+#: Model refresh period, in days (the paper's "moderate time scale").
+DEFAULT_MAX_AGE_DAYS = 30.0
+
+#: Minimum samples per technology for a trustworthy fit.
+MIN_SAMPLES = 200
+
+
+@dataclass
+class TechnologyModel:
+    """A fitted bandwidth model for one access technology.
+
+    Attributes
+    ----------
+    tech:
+        Technology label (``"4G"``, ``"5G"``, ``"WiFi5"``, ...).
+    mixture:
+        The fitted multi-modal Gaussian.
+    n_samples:
+        Measurements the fit consumed.
+    fitted_at_day:
+        Campaign day the fit was produced (arbitrary epoch).
+    """
+
+    tech: str
+    mixture: GaussianMixture1D
+    n_samples: int
+    fitted_at_day: float = 0.0
+
+    def initial_rate_mbps(self) -> float:
+        """Most probable bandwidth — the initial probing data rate."""
+        return self.mixture.dominant_mode()
+
+    def next_rate_mbps(self, current_mbps: float) -> Optional[float]:
+        """Most probable modal bandwidth above ``current_mbps`` — the
+        next rung of the probing ladder.  ``None`` at the top."""
+        return self.mixture.most_probable_mode_above(current_mbps)
+
+    def ladder(self) -> List[float]:
+        """All rungs the probing rate can visit, starting from the
+        dominant mode and ascending."""
+        rungs = [self.initial_rate_mbps()]
+        while True:
+            nxt = self.next_rate_mbps(rungs[-1])
+            if nxt is None:
+                break
+            rungs.append(nxt)
+        return rungs
+
+    def is_stale(self, today_day: float, max_age_days: float = DEFAULT_MAX_AGE_DAYS) -> bool:
+        """True when the model is older than the refresh period."""
+        return (today_day - self.fitted_at_day) > max_age_days
+
+
+class BandwidthModelRegistry:
+    """All per-technology models a Swiftest deployment maintains."""
+
+    def __init__(self, max_components: int = 6):
+        if max_components < 1:
+            raise ValueError("need at least one mixture component")
+        self.max_components = max_components
+        self._models: Dict[str, TechnologyModel] = {}
+
+    # -- fitting -------------------------------------------------------
+
+    def fit(
+        self,
+        tech: str,
+        bandwidths_mbps: Sequence[float],
+        day: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> TechnologyModel:
+        """Fit (or refresh) the model for one technology."""
+        data = np.asarray(list(bandwidths_mbps), dtype=float)
+        if len(data) < MIN_SAMPLES:
+            raise ValueError(
+                f"{tech}: {len(data)} samples < required {MIN_SAMPLES}"
+            )
+        if np.any(data <= 0):
+            raise ValueError(f"{tech}: bandwidths must be positive")
+        mixture = select_gmm_bic(
+            data, max_components=self.max_components, rng=rng
+        )
+        model = TechnologyModel(
+            tech=tech, mixture=mixture, n_samples=len(data), fitted_at_day=day
+        )
+        self._models[tech] = model
+        return model
+
+    def fit_from_dataset(
+        self,
+        dataset: Dataset,
+        techs: Optional[Sequence[str]] = None,
+        day: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        max_samples_per_tech: int = 20_000,
+    ) -> "BandwidthModelRegistry":
+        """Fit models for every technology present in a measurement
+        dataset — how a production deployment bootstraps from its own
+        history.  Returns ``self`` for chaining."""
+        rng = rng if rng is not None else np.random.default_rng(0)
+        available = set(dataset.column("tech").tolist())
+        chosen = list(techs) if techs is not None else sorted(available)
+        for tech in chosen:
+            sub = dataset.where(tech=tech)
+            if len(sub) < MIN_SAMPLES:
+                continue
+            values = sub.bandwidth
+            if len(values) > max_samples_per_tech:
+                idx = rng.choice(len(values), max_samples_per_tech, replace=False)
+                values = values[idx]
+            self.fit(tech, values, day=day, rng=rng)
+        return self
+
+    # -- queries ---------------------------------------------------------
+
+    def model(self, tech: str) -> TechnologyModel:
+        try:
+            return self._models[tech]
+        except KeyError:
+            raise KeyError(
+                f"no model for {tech!r}; fitted: {sorted(self._models)}"
+            )
+
+    def has_model(self, tech: str) -> bool:
+        return tech in self._models
+
+    def technologies(self) -> List[str]:
+        return sorted(self._models)
+
+    def stale_technologies(
+        self, today_day: float, max_age_days: float = DEFAULT_MAX_AGE_DAYS
+    ) -> List[str]:
+        """Technologies whose models need a periodic refresh."""
+        return [
+            tech
+            for tech, model in sorted(self._models.items())
+            if model.is_stale(today_day, max_age_days)
+        ]
+
+    # -- persistence ----------------------------------------------------
+
+    def to_json(self, path: Optional[Union[str, Path]] = None) -> str:
+        """Serialise all models to JSON; optionally write to ``path``.
+
+        This is how a deployment ships its periodically-refreshed
+        models to clients (§5.1: the distributions are stable on a
+        monthly time scale, so the payload is tiny and cacheable).
+        """
+        payload = {
+            "format": "repro-bandwidth-models/1",
+            "max_components": self.max_components,
+            "models": {
+                tech: {
+                    "weights": list(model.mixture.weights),
+                    "means": list(model.mixture.means),
+                    "sigmas": list(model.mixture.sigmas),
+                    "n_samples": model.n_samples,
+                    "fitted_at_day": model.fitted_at_day,
+                }
+                for tech, model in sorted(self._models.items())
+            },
+        }
+        text = json.dumps(payload, indent=2)
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    @classmethod
+    def from_json(
+        cls, source: Union[str, Path]
+    ) -> "BandwidthModelRegistry":
+        """Load a registry serialised by :meth:`to_json`.
+
+        ``source`` is a path when it names an existing file, else it is
+        parsed as a JSON string.  Raises :class:`ValueError` on an
+        unknown format tag or malformed payload.
+        """
+        if isinstance(source, Path) or (
+            isinstance(source, str) and "\n" not in source
+            and Path(source).exists()
+        ):
+            text = Path(source).read_text()
+        else:
+            text = str(source)
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"malformed registry JSON: {exc}") from exc
+        if payload.get("format") != "repro-bandwidth-models/1":
+            raise ValueError(
+                f"unknown registry format {payload.get('format')!r}"
+            )
+        registry = cls(max_components=int(payload.get("max_components", 6)))
+        for tech, entry in payload.get("models", {}).items():
+            mixture = GaussianMixture1D(
+                weights=tuple(entry["weights"]),
+                means=tuple(entry["means"]),
+                sigmas=tuple(entry["sigmas"]),
+            )
+            registry._models[tech] = TechnologyModel(
+                tech=tech,
+                mixture=mixture,
+                n_samples=int(entry["n_samples"]),
+                fitted_at_day=float(entry["fitted_at_day"]),
+            )
+        return registry

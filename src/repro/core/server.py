@@ -1,0 +1,165 @@
+"""Swiftest server-side session logic.
+
+A test server is intentionally dumb: it answers a HELLO, then emits
+DATA packets at whatever rate the latest RATE_COMMAND dictates, until
+a FIN (or an idle timeout) ends the session.  All intelligence lives
+client-side, which is what lets Swiftest run on 100 Mbps budget VMs.
+
+This module implements the protocol state machine over abstract
+"send"/"receive" hooks so it can be unit-tested without a network; the
+fluid simulation in :mod:`repro.core.client` models the aggregate
+effect of many such servers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.protocol import (
+    DATA_PAYLOAD_BYTES,
+    Data,
+    Feedback,
+    Fin,
+    Hello,
+    Message,
+    ProtocolError,
+    RateCommand,
+)
+
+#: Sessions idle longer than this are reaped.
+SESSION_TIMEOUT_S = 5.0
+
+
+class SessionState(enum.Enum):
+    AWAITING_RATE = "awaiting_rate"
+    SENDING = "sending"
+    CLOSED = "closed"
+
+
+@dataclass
+class Session:
+    """One client's probing session on a server."""
+
+    session_id: int
+    tech: str
+    state: SessionState = SessionState.AWAITING_RATE
+    rate_mbps: float = 0.0
+    rung: int = 0
+    next_seq: int = 0
+    last_activity_s: float = 0.0
+    bytes_sent: float = 0.0
+    #: Residual fractional packet carried between pacing intervals.
+    _carry_packets: float = 0.0
+
+    def packets_due(self, interval_s: float) -> int:
+        """DATA packets to emit over ``interval_s`` at the current
+        rate, carrying fractional remainders across calls so the
+        long-run rate is exact."""
+        if interval_s <= 0:
+            raise ValueError(f"interval must be positive, got {interval_s}")
+        due = (
+            self.rate_mbps * 1e6 / 8 * interval_s / DATA_PAYLOAD_BYTES
+            + self._carry_packets
+        )
+        whole = int(due)
+        self._carry_packets = due - whole
+        return whole
+
+
+class SwiftestServer:
+    """Protocol state machine for one test server."""
+
+    def __init__(self, name: str, capacity_mbps: float):
+        if capacity_mbps <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_mbps}")
+        self.name = name
+        self.capacity_mbps = capacity_mbps
+        self.sessions: Dict[int, Session] = {}
+
+    # -- message handling ------------------------------------------------
+
+    def handle(self, message: Message, now_s: float) -> Optional[Message]:
+        """Process one client message; returns an immediate reply when
+        the protocol calls for one (none of the current messages do —
+        the data stream itself is the response)."""
+        if isinstance(message, Hello):
+            self.sessions[message.session_id] = Session(
+                session_id=message.session_id,
+                tech=message.tech,
+                last_activity_s=now_s,
+            )
+            return None
+        session = self.sessions.get(message.session_id)
+        if session is None or session.state is SessionState.CLOSED:
+            raise ProtocolError(
+                f"message for unknown/closed session {message.session_id}"
+            )
+        session.last_activity_s = now_s
+        if isinstance(message, RateCommand):
+            requested = message.rate_mbps
+            # A server never promises more than its uplink.
+            session.rate_mbps = min(requested, self.capacity_mbps)
+            session.rung = message.rung
+            session.state = SessionState.SENDING
+            return None
+        if isinstance(message, Feedback):
+            # Currently informational; recorded for operations metrics.
+            return None
+        if isinstance(message, Fin):
+            session.state = SessionState.CLOSED
+            return None
+        raise ProtocolError(f"server cannot handle {type(message).__name__}")
+
+    # -- data emission -----------------------------------------------------
+
+    def emit(self, session_id: int, now_s: float, interval_s: float) -> List[Data]:
+        """DATA packets the session owes for the elapsed interval."""
+        session = self.sessions.get(session_id)
+        if session is None:
+            raise ProtocolError(f"unknown session {session_id}")
+        if session.state is not SessionState.SENDING:
+            return []
+        packets = []
+        for _ in range(session.packets_due(interval_s)):
+            packets.append(
+                Data(
+                    session_id=session_id,
+                    seq=session.next_seq,
+                    send_time_us=int(now_s * 1e6),
+                )
+            )
+            session.next_seq += 1
+            session.bytes_sent += DATA_PAYLOAD_BYTES
+        session.last_activity_s = now_s
+        return packets
+
+    # -- housekeeping --------------------------------------------------
+
+    def reap_idle(self, now_s: float, timeout_s: float = SESSION_TIMEOUT_S) -> int:
+        """Close sessions idle beyond the timeout; returns how many."""
+        reaped = 0
+        for session in self.sessions.values():
+            if (
+                session.state is not SessionState.CLOSED
+                and now_s - session.last_activity_s > timeout_s
+            ):
+                session.state = SessionState.CLOSED
+                reaped += 1
+        return reaped
+
+    def active_sessions(self) -> int:
+        return sum(
+            1
+            for s in self.sessions.values()
+            if s.state is not SessionState.CLOSED
+        )
+
+    def committed_rate_mbps(self) -> float:
+        """Total rate currently promised to active sessions."""
+        return sum(
+            s.rate_mbps
+            for s in self.sessions.values()
+            if s.state is SessionState.SENDING
+        )

@@ -1,0 +1,114 @@
+"""Swiftest design-choice variants, for ablation studies.
+
+The paper motivates three choices: the statistically-seeded initial
+rate (§5.1), the UDP explicit-rate transport (§5.1, §7), and the
+3% convergence rule.  Each variant here swaps exactly one of them so
+the benchmark suite (``benchmarks/ablations/``) can quantify what the
+choice buys:
+
+* :class:`FixedLadderModel` — replaces the fitted mixture with the
+  Speedtest-style fixed ladder (start at 25 Mbps, multiplicative
+  steps), isolating the value of statistical guidance;
+* :class:`TcpSwiftest` — the §7 alternative: keep the convergence
+  rule but probe over TCP/BBR flooding instead of commanded-rate UDP,
+  isolating the value of skipping slow start.
+
+Convergence-threshold ablations need no variant class: pass a custom
+:class:`~repro.core.convergence.ConvergenceDetector` through
+:class:`~repro.core.probing.ProbingController`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.common import BandwidthTestService, BTSResult
+from repro.baselines.driver import TcpFloodSession, ping_phase_duration
+from repro.core.convergence import ConvergenceDetector
+from repro.testbed.env import TestEnvironment
+
+
+@dataclass(frozen=True)
+class FixedLadderModel:
+    """Duck-typed stand-in for a fitted TechnologyModel: the legacy
+    fixed probing ladder (25 Mbps, then multiplicative steps).
+
+    Implements the same rate-query protocol as
+    :class:`~repro.core.registry.TechnologyModel`, so it plugs directly
+    into :class:`~repro.core.probing.ProbingController`.
+    """
+
+    start_mbps: float = 25.0
+    step_factor: float = 1.5
+    top_mbps: float = 10_000.0
+
+    def __post_init__(self) -> None:
+        if self.start_mbps <= 0:
+            raise ValueError("ladder must start above zero")
+        if self.step_factor <= 1.0:
+            raise ValueError("step factor must exceed 1")
+
+    def initial_rate_mbps(self) -> float:
+        return self.start_mbps
+
+    def next_rate_mbps(self, current_mbps: float) -> Optional[float]:
+        nxt = current_mbps * self.step_factor
+        return nxt if nxt <= self.top_mbps else None
+
+    def ladder(self) -> List[float]:
+        rungs = [self.start_mbps]
+        while True:
+            nxt = self.next_rate_mbps(rungs[-1])
+            if nxt is None:
+                break
+            rungs.append(nxt)
+        return rungs
+
+
+class TcpSwiftest(BandwidthTestService):
+    """Swiftest's stopping rule over TCP/BBR flooding (§7 variant).
+
+    Keeps the 10-sample / 3% convergence rule and the small server
+    fleet, but lets TCP discover the rate instead of commanding it over
+    UDP — so the test still pays for the slow-start ramp, which is the
+    cost this variant exists to measure.
+    """
+
+    name = "tcp-swiftest"
+
+    def __init__(self, cc_name: str = "bbr", max_duration_s: float = 10.0):
+        self.cc_name = cc_name
+        self.max_duration_s = max_duration_s
+
+    def run(self, env: TestEnvironment) -> BTSResult:
+        ping_s = ping_phase_duration(env, len(env.servers))
+        session = TcpFloodSession(env, cc_name=self.cc_name)
+        detector = ConvergenceDetector()
+        state = {"result": None}
+
+        def stop_check(samples: List[Tuple[float, float]]) -> bool:
+            detector.push(samples[-1][1])
+            if detector.converged():
+                state["result"] = detector.value()
+                return True
+            return False
+
+        samples = session.run(self.max_duration_s, stop_check=stop_check)
+        result = state["result"]
+        if result is None:
+            values = [s for _, s in samples[-10:]]
+            result = float(np.mean(values)) if values else 0.0
+        duration = samples[-1][0] if samples else 0.0
+        return BTSResult(
+            service=self.name,
+            bandwidth_mbps=float(result),
+            duration_s=duration,
+            ping_s=ping_s,
+            bytes_used=session.bytes_used,
+            samples=samples,
+            servers_used=session.servers_used,
+            meta={"estimator": "converged-window-mean", "transport": "tcp"},
+        )

@@ -1,0 +1,141 @@
+"""City population model (§3.1's spatial disparity).
+
+The study covers 21 mega, 51 medium, and 254 small cities.  Each
+synthetic city gets an infrastructure-quality factor (how good its
+cellular deployment is) and a contention factor (how crowded it is);
+mega cities have the best infrastructure *and* the worst contention,
+which is why — as the paper observes — a mega city does not necessarily
+deliver high bandwidth.  Urban areas within a city enjoy denser
+deployment than rural ones (+24% 4G / +33% 5G on average).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+#: (tier name, number of cities, share of tests) — test volume skews
+#: heavily toward larger cities.
+CITY_TIERS: Tuple[Tuple[str, int, float], ...] = (
+    ("mega", 21, 0.45),
+    ("medium", 51, 0.35),
+    ("small", 254, 0.20),
+)
+
+#: RAW urban-vs-rural deployment-density factor per generation.  These
+#: are calibrated so the *observed* urban advantage in generated
+#: campaigns lands near the paper's §3.1 numbers (+24% for 4G, +33%
+#: for 5G) after the other urban-correlated effects act: LTE-Advanced
+#: eNodeBs skew urban (pushing the observed 4G gap above the raw
+#: factor) while dense-urban 5G interference drags urban 5G down
+#: (pushing the observed 5G gap below the raw factor).
+URBAN_ADVANTAGE = {"4G": 1.10, "5G": 1.65}
+
+#: Fraction of tests conducted in urban areas of a city.
+URBAN_TEST_SHARE = 0.72
+
+
+@dataclass(frozen=True)
+class City:
+    """One city in the synthetic population.
+
+    Attributes
+    ----------
+    city_id:
+        Stable integer identifier.
+    tier:
+        ``"mega"``, ``"medium"``, or ``"small"``.
+    infrastructure:
+        Multiplicative cellular-quality factor (better deployment,
+        newer equipment).
+    contention:
+        Multiplicative penalty from user crowding (mega cities are
+        the most contended).
+    wifi_quality:
+        Multiplicative factor on delivered fixed-broadband rates
+        (wired infrastructure evolves faster in bigger cities).
+    """
+
+    city_id: int
+    tier: str
+    infrastructure: float
+    contention: float
+    wifi_quality: float
+
+    @property
+    def cellular_factor(self) -> float:
+        """Net multiplicative effect on cellular bandwidth."""
+        return self.infrastructure * self.contention
+
+
+def make_cities(rng: np.random.Generator) -> List[City]:
+    """Generate the 326-city population with per-tier characteristics.
+
+    Tier means are chosen so that the induced 4G/5G/WiFi city averages
+    span ranges comparable to the paper's (4G 28-119, 5G 113-428,
+    WiFi 83-256 Mbps) while the tier ordering on *infrastructure* and
+    *contention* pull in opposite directions.
+    """
+    tier_params = {
+        #        infra_mu, contention_mu, wifi_mu
+        "mega": (1.18, 0.82, 1.15),
+        "medium": (1.00, 0.92, 1.00),
+        "small": (0.85, 1.00, 0.88),
+    }
+    cities: List[City] = []
+    city_id = 0
+    for tier, count, _ in CITY_TIERS:
+        infra_mu, cont_mu, wifi_mu = tier_params[tier]
+        for _ in range(count):
+            infrastructure = float(
+                np.clip(rng.lognormal(np.log(infra_mu), 0.18), 0.5, 1.8)
+            )
+            contention = float(
+                np.clip(rng.lognormal(np.log(cont_mu), 0.12), 0.5, 1.2)
+            )
+            wifi_quality = float(
+                np.clip(rng.lognormal(np.log(wifi_mu), 0.12), 0.5, 1.6)
+            )
+            cities.append(
+                City(
+                    city_id=city_id,
+                    tier=tier,
+                    infrastructure=infrastructure,
+                    contention=contention,
+                    wifi_quality=wifi_quality,
+                )
+            )
+            city_id += 1
+    return cities
+
+
+def tier_of(cities: List[City]) -> Dict[int, str]:
+    """Map ``city_id`` to tier name."""
+    return {c.city_id: c.tier for c in cities}
+
+
+def sample_city(
+    cities: List[City], rng: np.random.Generator
+) -> City:
+    """Draw a city with tier probability matching test volume."""
+    tier_share = {tier: share for tier, _, share in CITY_TIERS}
+    by_tier: Dict[str, List[City]] = {}
+    for city in cities:
+        by_tier.setdefault(city.tier, []).append(city)
+    tiers = list(tier_share)
+    probs = np.array([tier_share[t] for t in tiers])
+    tier = str(rng.choice(tiers, p=probs / probs.sum()))
+    members = by_tier[tier]
+    return members[int(rng.integers(len(members)))]
+
+
+def urban_factor(generation: str, urban: bool) -> float:
+    """Deployment-density factor for an urban or rural test."""
+    if generation not in URBAN_ADVANTAGE:
+        return 1.0
+    advantage = URBAN_ADVANTAGE[generation]
+    # Normalise so the population mean stays ~1 given the urban share.
+    mean = URBAN_TEST_SHARE * advantage + (1 - URBAN_TEST_SHARE) * 1.0
+    return (advantage if urban else 1.0) / mean

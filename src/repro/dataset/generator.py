@@ -1,0 +1,573 @@
+"""Measurement-campaign generator.
+
+Produces a :class:`~repro.dataset.records.Dataset` of synthetic
+bandwidth tests for a given year (2020 = pre-refarming, 2021 =
+post-refarming), by composing:
+
+* ISP and band selection (:mod:`repro.dataset.isp`),
+* LTE/NR cell models with per-band load profiles (:mod:`repro.radio`),
+* the RSS/SNR model with dense-urban interference
+  (:mod:`repro.radio.rss`),
+* diurnal load and 5G base-station sleeping
+  (:mod:`repro.radio.sleeping`),
+* WiFi standards and fixed-broadband plans (:mod:`repro.wifi`),
+* device (Android version) and city effects
+  (:mod:`repro.dataset.devices`, :mod:`repro.dataset.cities`).
+
+Per-band load profiles are the main calibration surface: they encode
+how crowded each band's cells are, which — together with channel
+widths set by the refarming plan — determines every per-band average
+in Figures 5 and 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dataset.cities import (
+    City,
+    URBAN_TEST_SHARE,
+    make_cities,
+    sample_city,
+    urban_factor,
+)
+from repro.dataset.devices import DevicePopulation
+from repro.dataset.isp import ISP, sample_isp, sample_wifi_isp
+from repro.dataset.records import Dataset, SCHEMA
+from repro.radio.bands import lte_band, nr_band
+from repro.radio.lte import LteAdvancedCell, LteCell
+from repro.radio.nr import NrCell
+from repro.radio.refarming import REFARMING_2021, RefarmingPlan
+from repro.radio.rss import RssModel, dense_urban_probability
+from repro.radio.sleeping import DiurnalProfile, SleepPolicy
+from repro.units import clamp
+from repro.wifi.broadband import PLAN_MIX_BY_STANDARD, DEFAULT_PLAN_RATES
+from repro.wifi.standards import wifi_standard
+
+#: RSS level distribution for a typical cellular test.
+RSS_LEVEL_PROBS: Dict[str, Tuple[float, ...]] = {
+    "default": (0.06, 0.14, 0.26, 0.33, 0.21),
+    # Band 39 serves sparse rural eNodeBs: weaker signal mix.
+    "B39": (0.12, 0.22, 0.30, 0.24, 0.12),
+    # Band 40 penetrates indoor spaces from dense eNodeBs: stronger mix.
+    "B40": (0.03, 0.10, 0.24, 0.36, 0.27),
+    # 5G coverage is concentrated where it was deployed first, so 5G
+    # tests skew toward good signal conditions.
+    "5G": (0.03, 0.10, 0.24, 0.36, 0.27),
+}
+
+#: Per-band LTE cell-load Beta(alpha, beta) parameters.  Heavier load
+#: (mean closer to 1) means a smaller scheduler share per user.  2021
+#: loads are heavier on the surviving workhorse bands because refarmed
+#: spectrum pushed users onto them (§3.2).
+LTE_LOAD_PROFILES: Dict[int, Dict[str, Tuple[float, float]]] = {
+    2021: {
+        "B3": (5.0, 0.8),
+        "B40": (3.8, 1.0),
+        "B41": (3.8, 1.05),
+        "B1": (2.5, 1.5),
+        "B39": (2.5, 1.5),
+        "B8": (1.9, 1.5),
+        "B5": (1.9, 1.5),
+        "B34": (2.0, 1.5),
+        "B28": (2.0, 2.0),
+    },
+    2020: {
+        "B3": (3.4, 1.2),
+        "B40": (3.0, 1.3),
+        "B41": (2.6, 1.4),
+        "B1": (1.9, 1.8),
+        "B39": (2.3, 1.6),
+        "B8": (1.8, 1.6),
+        "B5": (1.8, 1.6),
+        "B34": (1.9, 1.6),
+        "B28": (2.0, 2.0),
+    },
+}
+
+#: Per-band NR cell-load Beta parameters.  2020's 5G network carried
+#: half the users (17% vs 33% of cellular subscribers), so loads were
+#: lighter — one of the two reasons the 5G average fell year over year.
+NR_LOAD_PROFILES: Dict[int, Dict[str, Tuple[float, float]]] = {
+    2021: {
+        "N78": (4.3, 3.1),
+        "N41": (4.8, 3.2),
+        "N1": (2.8, 4.5),
+        "N28": (2.5, 4.8),
+    },
+    2020: {
+        "N78": (3.7, 3.6),
+        "N41": (4.0, 3.6),
+        "N1": (2.8, 4.5),
+        "N28": (2.5, 4.8),
+    },
+}
+
+#: Probability that an urban H-Band test lands on an LTE-Advanced
+#: eNodeB (deployed alongside main roads), calibrated so ~6.8% of all
+#: LTE tests exceed 300 Mbps territory (§3.2).  Rural tests can also
+#: land on LTE-A eNodeBs (highways) at a reduced rate.
+LTE_ADVANCED_PROB_URBAN = 0.13
+LTE_ADVANCED_RURAL_FACTOR = 0.75
+
+#: NR radio parameters: beamforming gain shifts the usable SINR; the
+#: TDD factor accounts for the downlink share of the frame; commercial
+#: deployments typically sustain rank-2 spatial multiplexing.
+NR_BEAMFORMING_GAIN_DB = 6.0
+NR_TDD_FACTOR = 0.75
+NR_STREAMS = 2
+
+#: Dense-urban 5G penalties (§3.3): cross-region coverage and
+#: co-channel interference degrade SINR and spatial rank, and heavy
+#: population adds cell load.
+DENSE_URBAN_INTERFERENCE_DB = 12.0
+DENSE_URBAN_RANK_FACTOR = 0.7
+DENSE_URBAN_EXTRA_LOAD = 0.12
+
+#: Amplitude of the additive diurnal shift applied to cell load.  The
+#: shift is centred on the day-average so the band profiles keep their
+#: calibrated means *and* their heavy-load tails (a convex blend would
+#: destroy the >0.93-load mass that produces the paper's 26.3% of LTE
+#: tests below 10 Mbps).
+DIURNAL_LOAD_AMPLITUDE = 0.15
+
+#: Mild daytime bonus for 4G: unlike 5G, LTE bandwidth correlates
+#: positively with test volume in the paper's data (§3.3), which we
+#: attribute to daytime mobility toward well-provisioned outdoor cells.
+LTE_DAYTIME_BONUS = 0.15
+
+#: Technology shares of all tests, by year.  2021 values follow §3.1:
+#: 21,051 / 1,632,616 / 905,471 / 21,077,214 tests for 3G/4G/5G/WiFi,
+#: with WiFi 4/5/6 at 57.2% / 31.3% / 11.5% of WiFi tests.
+TECH_SHARES: Dict[int, Dict[str, float]] = {
+    2021: {
+        "3G": 0.00089,
+        "4G": 0.06907,
+        "5G": 0.03831,
+        "WiFi4": 0.51010,
+        "WiFi5": 0.27913,
+        "WiFi6": 0.10250,
+    },
+    2020: {
+        "3G": 0.00320,
+        "4G": 0.08650,
+        "5G": 0.01840,
+        "WiFi4": 0.55290,
+        "WiFi5": 0.29430,
+        "WiFi6": 0.04470,
+    },
+}
+
+#: Operating-band split per WiFi standard (WiFi 5 is 5 GHz only).
+WIFI_BAND_SPLIT: Dict[str, Dict[str, float]] = {
+    "WiFi4": {"2.4GHz": 0.82, "5GHz": 0.18},
+    "WiFi5": {"5GHz": 1.0},
+    "WiFi6": {"2.4GHz": 0.10, "5GHz": 0.90},
+}
+
+#: WiFi channel width recorded per (standard, band), MHz.
+WIFI_CHANNEL_MHZ: Dict[Tuple[str, str], float] = {
+    ("WiFi4", "2.4GHz"): 20.0,
+    ("WiFi4", "5GHz"): 40.0,
+    ("WiFi5", "5GHz"): 80.0,
+    ("WiFi6", "2.4GHz"): 40.0,
+    ("WiFi6", "5GHz"): 80.0,
+}
+
+#: Multiplicative log-normal sigma for fast fading / measurement
+#: noise, per generation.  NR's wide channels and HARQ average out more
+#: of the fast fading, so its spread is tighter.
+FADING_SIGMA = {"4G": 0.25, "5G": 0.17}
+
+#: Average tests per user in the study (23.6M tests / 3.54M users).
+TESTS_PER_USER = 6.67
+
+
+@dataclass
+class CampaignConfig:
+    """Parameters of one synthetic measurement campaign.
+
+    Attributes
+    ----------
+    year:
+        2020 (pre-refarming) or 2021 (post-refarming); selects load
+        profiles, tech shares, and whether the refarming plan applies.
+    n_tests:
+        Number of test records to generate.
+    seed:
+        Root RNG seed; a campaign is fully reproducible from it.
+    refarming:
+        Refarming plan in force; defaults to the 2021 plan for 2021
+        campaigns and none for 2020.
+    tech_shares:
+        Optional override of the per-technology test shares — used for
+        stratified campaigns that oversample one technology (e.g. a
+        5G-heavy campaign for stable hour-of-day statistics).  Defaults
+        to the year's historical shares.
+    """
+
+    year: int = 2021
+    n_tests: int = 100_000
+    seed: int = 20210801
+    refarming: Optional[RefarmingPlan] = None
+    sleep_policy: SleepPolicy = field(default_factory=SleepPolicy)
+    diurnal: DiurnalProfile = field(default_factory=DiurnalProfile)
+    rss_model: RssModel = field(default_factory=RssModel)
+    tech_shares: Optional[Dict[str, float]] = None
+    #: Override of the urban LTE-Advanced deployment probability; used
+    #: by the §4 "widen LTE-Advanced" what-if analysis.  ``None`` keeps
+    #: the calibrated default.
+    lte_advanced_prob: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.year not in TECH_SHARES:
+            raise ValueError(
+                f"year must be one of {sorted(TECH_SHARES)}, got {self.year}"
+            )
+        if self.tech_shares is not None:
+            unknown = set(self.tech_shares) - set(TECH_SHARES[self.year])
+            if unknown:
+                raise ValueError(f"unknown technologies: {sorted(unknown)}")
+            if any(s < 0 for s in self.tech_shares.values()):
+                raise ValueError("tech shares must be non-negative")
+            if sum(self.tech_shares.values()) <= 0:
+                raise ValueError("tech shares must have positive total")
+        if self.lte_advanced_prob is not None and not (
+            0.0 <= self.lte_advanced_prob <= 1.0
+        ):
+            raise ValueError(
+                f"lte_advanced_prob must be in [0, 1], got {self.lte_advanced_prob}"
+            )
+        if self.n_tests <= 0:
+            raise ValueError(f"n_tests must be positive, got {self.n_tests}")
+        if self.refarming is None and self.year >= 2021:
+            self.refarming = REFARMING_2021
+
+
+class _ColumnBuffer:
+    """Accumulates one record at a time into per-column lists."""
+
+    def __init__(self) -> None:
+        self.columns: Dict[str, List] = {name: [] for name in SCHEMA}
+
+    def append(self, **values) -> None:
+        if set(values) != set(SCHEMA):
+            missing = set(SCHEMA) - set(values)
+            extra = set(values) - set(SCHEMA)
+            raise ValueError(f"bad record: missing={missing}, extra={extra}")
+        for name, value in values.items():
+            self.columns[name].append(value)
+
+    def to_dataset(self) -> Dataset:
+        arrays = {
+            name: np.array(col, dtype=SCHEMA[name])
+            for name, col in self.columns.items()
+        }
+        return Dataset(arrays)
+
+
+def generate_campaign(config: CampaignConfig) -> Dataset:
+    """Run a campaign and return its dataset.
+
+    Deterministic given ``config``; two calls with the same config
+    yield identical datasets.
+    """
+    rng = np.random.default_rng(config.seed)
+    cities = make_cities(np.random.default_rng(config.seed + 1))
+    devices = DevicePopulation(rng_seed=config.seed + 2)
+    version_norm = devices.normalization()
+
+    n_users = max(1, int(config.n_tests / TESTS_PER_USER))
+    user_devices = [devices.sample_device(rng) for _ in range(n_users)]
+    user_cities = [sample_city(cities, rng) for _ in range(n_users)]
+
+    shares = (
+        config.tech_shares
+        if config.tech_shares is not None
+        else TECH_SHARES[config.year]
+    )
+    tech_names = sorted(shares)
+    tech_probs = np.array([shares[t] for t in tech_names])
+    tech_probs = tech_probs / tech_probs.sum()
+    tech_draws = rng.choice(len(tech_names), size=config.n_tests, p=tech_probs)
+
+    buffer = _ColumnBuffer()
+    for test_id in range(config.n_tests):
+        tech = tech_names[int(tech_draws[test_id])]
+        user_id = int(rng.integers(n_users))
+        vendor, model, version = user_devices[user_id]
+        city = user_cities[user_id]
+        device_factor = devices.bandwidth_factor(model, version) / version_norm
+        hour = config.diurnal.sample_hour(rng)
+        common = dict(
+            test_id=test_id,
+            user_id=user_id,
+            year=config.year,
+            hour=hour,
+            city_id=city.city_id,
+            city_tier=city.tier,
+            android_version=version,
+            vendor=vendor,
+            device_model=model,
+        )
+        if tech in ("4G", "5G"):
+            record = _generate_cellular(
+                tech, config, rng, city, hour, device_factor
+            )
+        elif tech == "3G":
+            record = _generate_3g(config, rng, device_factor)
+        else:
+            record = _generate_wifi(tech, config, rng, city, device_factor)
+        buffer.append(**{**common, **record})
+    return buffer.to_dataset()
+
+
+# -- cellular ----------------------------------------------------------
+
+
+def _sample_rss_level(band_name: str, rng: np.random.Generator) -> int:
+    probs = RSS_LEVEL_PROBS.get(band_name, RSS_LEVEL_PROBS["default"])
+    return int(rng.choice([1, 2, 3, 4, 5], p=probs))
+
+
+def _sample_load(
+    profile: Tuple[float, float],
+    hour: int,
+    diurnal: DiurnalProfile,
+    rng: np.random.Generator,
+    extra: float = 0.0,
+    amplitude: float = DIURNAL_LOAD_AMPLITUDE,
+) -> float:
+    """Instantaneous cell load: band profile plus a diurnal shift.
+
+    The shift is additive and centred on the profile's day-average, so
+    quiet hours relieve load and busy hours add to it without
+    compressing the distribution's tails.
+    """
+    base = float(rng.beta(*profile))
+    shift = amplitude * (diurnal.load_at(hour) - diurnal.mean_load())
+    return clamp(base + shift + extra, 0.02, 0.99)
+
+
+def _generate_cellular(
+    tech: str,
+    config: CampaignConfig,
+    rng: np.random.Generator,
+    city: City,
+    hour: int,
+    device_factor: float,
+) -> Dict:
+    isp = sample_isp(config.year, tech, rng)
+    band_name = isp.sample_band(tech, rng)
+    urban = bool(rng.random() < URBAN_TEST_SHARE)
+    rss_level = _sample_rss_level("5G" if tech == "5G" else band_name, rng)
+    rsrp = config.rss_model.sample_rsrp_dbm(rss_level, rng)
+    fade = float(rng.lognormal(0.0, FADING_SIGMA[tech]))
+
+    if tech == "4G":
+        bandwidth, channel, snr, load, lte_advanced = _lte_bandwidth(
+            config, rng, isp, band_name, rss_level, urban, hour
+        )
+        dense = False
+    else:
+        bandwidth, channel, snr, load, dense = _nr_bandwidth(
+            config, rng, isp, band_name, rss_level, urban, hour
+        )
+        lte_advanced = False
+
+    sleeping = tech == "5G" and config.sleep_policy.is_sleeping(hour)
+    if sleeping:
+        bandwidth *= config.sleep_policy.capacity_factor
+    if tech == "4G":
+        bandwidth *= 1.0 + LTE_DAYTIME_BONUS * config.diurnal.normalized_volume(hour)
+
+    bandwidth *= (
+        fade
+        * device_factor
+        * city.cellular_factor
+        * urban_factor(tech, urban)
+    )
+    return dict(
+        tech=tech,
+        isp=isp.isp_id,
+        urban=urban,
+        dense_urban=dense,
+        band=band_name,
+        channel_mhz=channel,
+        rss_level=rss_level,
+        rsrp_dbm=rsrp,
+        snr_db=snr,
+        plan_mbps=0,
+        cell_load=load,
+        lte_advanced=lte_advanced,
+        sleeping=sleeping,
+        bandwidth_mbps=max(0.1, bandwidth),
+    )
+
+
+def _lte_bandwidth(
+    config: CampaignConfig,
+    rng: np.random.Generator,
+    isp: ISP,
+    band_name: str,
+    rss_level: int,
+    urban: bool,
+    hour: int,
+) -> Tuple[float, float, float, float, bool]:
+    band = lte_band(band_name)
+    refarming = config.refarming
+    channel = (
+        refarming.lte_channel_mhz(band_name) if refarming else band.max_channel_mhz
+    )
+    snr = config.rss_model.sample_snr_db(rss_level, rng)
+    profile = LTE_LOAD_PROFILES[config.year][band_name]
+    # Mature LTE deployments are provisioned for their daytime demand,
+    # so hour-of-day load swings are not the dominant effect; the
+    # daytime mobility bonus applied by the caller produces the mild
+    # positive volume-bandwidth correlation of §3.3.
+    load = _sample_load(profile, hour, config.diurnal, rng, amplitude=0.0)
+
+    # LTE-Advanced eNodeBs are deployed alongside main roads — mostly
+    # urban, with highway coverage reaching rural tests at a reduced
+    # rate; the rural-coverage Band 39 never hosts them and the
+    # 5G-first ISP-4 (Band 28) never invested in LTE-A.  The
+    # year-specific load profiles already encode the demand shift
+    # refarming caused, so no extra load adjustment is applied here.
+    base_prob = (
+        config.lte_advanced_prob
+        if config.lte_advanced_prob is not None
+        else LTE_ADVANCED_PROB_URBAN
+    )
+    ltea_prob = base_prob * (1.0 if urban else LTE_ADVANCED_RURAL_FACTOR)
+    lte_advanced = bool(
+        band.is_h_band
+        and band_name not in ("B39", "B28")
+        and rng.random() < ltea_prob
+    )
+    if lte_advanced:
+        carriers = int(rng.choice([2, 3], p=[0.65, 0.35]))
+        cell = LteAdvancedCell(carriers=carriers)
+        # Main-road cells: good SINR, capacity provisioned for load.
+        load = float(rng.beta(3.2, 1.8))
+        bandwidth = cell.user_throughput_mbps(snr + 3.0, load)
+    else:
+        cell = LteCell(band, channel_mhz=channel)
+        bandwidth = cell.user_throughput_mbps(snr, load)
+    return bandwidth, channel, snr, load, lte_advanced
+
+
+def _nr_bandwidth(
+    config: CampaignConfig,
+    rng: np.random.Generator,
+    isp: ISP,
+    band_name: str,
+    rss_level: int,
+    urban: bool,
+    hour: int,
+) -> Tuple[float, float, float, float, bool]:
+    band = nr_band(band_name)
+    refarming = config.refarming
+    channel = (
+        refarming.nr_channel_mhz(band_name) if refarming else band.max_channel_mhz
+    )
+    dense = bool(
+        urban and rng.random() < dense_urban_probability(rss_level)
+    )
+    snr = (
+        config.rss_model.sample_snr_db(rss_level, rng)
+        + NR_BEAMFORMING_GAIN_DB
+        + isp.nr_coverage_bonus_db
+    )
+    rank = NR_STREAMS
+    extra_load = 0.0
+    if dense:
+        snr -= DENSE_URBAN_INTERFERENCE_DB
+        rank = max(1, int(round(NR_STREAMS * DENSE_URBAN_RANK_FACTOR)))
+        extra_load = DENSE_URBAN_EXTRA_LOAD
+    profile = NR_LOAD_PROFILES[config.year][band_name]
+    load = _sample_load(profile, hour, config.diurnal, rng, extra=extra_load)
+    cell = NrCell(band, channel_mhz=channel, streams=rank)
+    bandwidth = cell.user_throughput_mbps(snr, load) * NR_TDD_FACTOR
+    return bandwidth, channel, snr, load, dense
+
+
+def _generate_3g(
+    config: CampaignConfig, rng: np.random.Generator, device_factor: float
+) -> Dict:
+    """Legacy 3G tests: a thin log-normal tail around a few Mbps."""
+    isp = sample_isp(config.year, "4G", rng)
+    bandwidth = float(rng.lognormal(np.log(4.0), 0.8)) * device_factor
+    return dict(
+        tech="3G",
+        isp=isp.isp_id,
+        urban=bool(rng.random() < URBAN_TEST_SHARE),
+        dense_urban=False,
+        band="B34",
+        channel_mhz=5.0,
+        rss_level=_sample_rss_level("default", rng),
+        rsrp_dbm=config.rss_model.sample_rsrp_dbm(3, rng),
+        snr_db=float(rng.normal(10.0, 3.0)),
+        plan_mbps=0,
+        cell_load=float(rng.beta(2.0, 2.0)),
+        lte_advanced=False,
+        sleeping=False,
+        bandwidth_mbps=max(0.1, bandwidth),
+    )
+
+
+# -- WiFi --------------------------------------------------------------
+
+
+def _shift_plan(plan: int, steps: int) -> int:
+    """Move a plan tier up or down the tier ladder."""
+    rates = list(DEFAULT_PLAN_RATES)
+    idx = rates.index(plan) if plan in rates else 0
+    return rates[int(clamp(idx + steps, 0, len(rates) - 1))]
+
+
+def _generate_wifi(
+    tech: str,
+    config: CampaignConfig,
+    rng: np.random.Generator,
+    city: City,
+    device_factor: float,
+) -> Dict:
+    isp = sample_wifi_isp(rng)
+    standard = wifi_standard(tech)
+    split = WIFI_BAND_SPLIT[tech]
+    bands = sorted(split)
+    band = str(rng.choice(bands, p=np.array([split[b] for b in bands])))
+    mix = PLAN_MIX_BY_STANDARD[tech]
+    plan = mix.sample_plan_mbps(rng)
+
+    # Better wired infrastructure (ISP investment, bigger city) shows up
+    # as a higher purchased tier, preserving the plan-tier mode
+    # structure of Figure 16 rather than smearing it.
+    quality = isp.broadband_uplift * city.wifi_quality
+    if quality > 1.0 and rng.random() < clamp(quality - 1.0, 0.0, 0.6):
+        plan = _shift_plan(plan, +1)
+    elif quality < 1.0 and rng.random() < clamp(1.0 - quality, 0.0, 0.6):
+        plan = _shift_plan(plan, -1)
+
+    link = standard.sample_link_mbps(band, rng)
+    wire = mix.sample_delivered_mbps(plan, rng)
+    bandwidth = min(link, wire) * device_factor
+    return dict(
+        tech=tech,
+        isp=isp.isp_id,
+        urban=bool(rng.random() < URBAN_TEST_SHARE),
+        dense_urban=False,
+        band=band,
+        channel_mhz=WIFI_CHANNEL_MHZ[(tech, band)],
+        rss_level=0,
+        rsrp_dbm=float("nan"),
+        snr_db=float("nan"),
+        plan_mbps=int(plan),
+        cell_load=0.0,
+        lte_advanced=False,
+        sleeping=False,
+        bandwidth_mbps=max(0.5, bandwidth),
+    )

@@ -1,0 +1,137 @@
+"""ISP model: the four Chinese mobile/broadband operators (§3.1).
+
+The paper anonymises them as ISP-1..4 (China Mobile, China Unicom,
+China Telecom, China Broadcast Network).  What the analysis needs from
+each ISP:
+
+* which LTE/NR bands it deploys and with what weight (drives the
+  per-band test counts of Figures 6 and 9);
+* cellular market shares by year and generation (5G adoption doubled
+  between 2020 and 2021);
+* 5G deployment traits — ISP-3's N78 sits on the lower-frequency range
+  of the band, gaining coverage (hence SINR) without losing channel
+  width; ISP-4 trades bandwidth for cheap nationwide coverage on the
+  700 MHz N28;
+* fixed-broadband investment level, lifting ISP-3's WiFi results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ISP:
+    """One operator.
+
+    Attributes
+    ----------
+    isp_id:
+        1..4, as in the paper's figures.
+    lte_band_weights / nr_band_weights:
+        Relative traffic weight per deployed band; zero-weight bands
+        are licensed but effectively unused for the generation.
+    nr_coverage_bonus_db:
+        SINR advantage of the ISP's 5G spectrum placement.
+    broadband_uplift:
+        Multiplicative shift applied to its fixed-broadband plan mix
+        delivery (ISP-3 invests most heavily in wired infrastructure).
+    """
+
+    isp_id: int
+    name: str
+    lte_band_weights: Dict[str, float]
+    nr_band_weights: Dict[str, float]
+    nr_coverage_bonus_db: float = 0.0
+    broadband_uplift: float = 1.0
+
+    def sample_band(
+        self, generation: str, rng: np.random.Generator
+    ) -> str:
+        """Draw the band serving one test of the given generation."""
+        weights = (
+            self.lte_band_weights if generation == "4G" else self.nr_band_weights
+        )
+        if not weights:
+            raise ValueError(f"ISP-{self.isp_id} deploys no {generation} bands")
+        names = sorted(weights)
+        probs = np.array([weights[n] for n in names], dtype=float)
+        return str(rng.choice(names, p=probs / probs.sum()))
+
+
+#: The four ISPs.  LTE band weights are tuned so the *global* per-band
+#: test shares approximate Figure 6 (Band 3 ≈ 55% overall; within-ISP
+#: Band-3 shares ≈ 31% / 63% / 76% for ISP-1/2/3 as in §3.2), and NR
+#: weights approximate Figure 9 (N78 dominant, then N41, thin N1/N28).
+ISPS: Dict[int, ISP] = {
+    isp.isp_id: isp
+    for isp in [
+        ISP(
+            isp_id=1,
+            name="ISP-1",
+            lte_band_weights={
+                "B3": 0.31, "B40": 0.25, "B41": 0.17,
+                "B39": 0.12, "B8": 0.09, "B34": 0.06,
+            },
+            nr_band_weights={"N41": 1.0},
+        ),
+        ISP(
+            isp_id=2,
+            name="ISP-2",
+            lte_band_weights={"B3": 0.63, "B1": 0.22, "B8": 0.15},
+            nr_band_weights={"N78": 0.78, "N1": 0.22},
+        ),
+        ISP(
+            isp_id=3,
+            name="ISP-3",
+            lte_band_weights={"B3": 0.76, "B1": 0.14, "B5": 0.10},
+            nr_band_weights={"N78": 0.92, "N1": 0.08},
+            nr_coverage_bonus_db=3.0,
+            broadband_uplift=1.25,
+        ),
+        ISP(
+            isp_id=4,
+            name="ISP-4",
+            lte_band_weights={"B28": 1.0},
+            nr_band_weights={"N28": 1.0},
+        ),
+    ]
+}
+
+#: Cellular test share by (year, generation) per ISP.  ISP-4 launched
+#: its 5G service on N28 around 2021 and has almost no LTE footprint.
+CELLULAR_ISP_SHARES: Dict[Tuple[int, str], Dict[int, float]] = {
+    (2021, "4G"): {1: 0.54, 2: 0.20, 3: 0.26, 4: 0.0001},
+    (2021, "5G"): {1: 0.33, 2: 0.27, 3: 0.34, 4: 0.06},
+    (2020, "4G"): {1: 0.54, 2: 0.20, 3: 0.26, 4: 0.0001},
+    (2020, "5G"): {1: 0.40, 2: 0.28, 3: 0.32, 4: 0.0},
+}
+
+#: WiFi test share per ISP (fixed-broadband subscriptions).
+WIFI_ISP_SHARES: Dict[int, float] = {1: 0.32, 2: 0.24, 3: 0.38, 4: 0.06}
+
+
+def sample_isp(
+    year: int, generation: str, rng: np.random.Generator
+) -> ISP:
+    """Draw the serving ISP for a cellular test."""
+    try:
+        shares = CELLULAR_ISP_SHARES[(year, generation)]
+    except KeyError:
+        raise KeyError(
+            f"no ISP shares for year={year}, generation={generation!r}"
+        )
+    ids = sorted(shares)
+    probs = np.array([shares[i] for i in ids], dtype=float)
+    isp_id = int(rng.choice(ids, p=probs / probs.sum()))
+    return ISPS[isp_id]
+
+
+def sample_wifi_isp(rng: np.random.Generator) -> ISP:
+    """Draw the fixed-broadband ISP behind a WiFi test."""
+    ids = sorted(WIFI_ISP_SHARES)
+    probs = np.array([WIFI_ISP_SHARES[i] for i in ids], dtype=float)
+    return ISPS[int(rng.choice(ids, p=probs / probs.sum()))]

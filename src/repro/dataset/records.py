@@ -1,0 +1,259 @@
+"""Columnar test-record storage.
+
+A measurement campaign produces hundreds of thousands of records; a
+columnar layout over numpy arrays keeps filtering and aggregation fast
+while exposing a record-oriented view for readability in tests and
+examples.  The schema mirrors what the paper's data-collection plugin
+records (§2): the test result plus PHY/MAC context.  Datasets
+round-trip through CSV (:meth:`Dataset.to_csv` /
+:meth:`Dataset.from_csv`) so campaigns can be shared between runs and
+tools.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Optional, Union
+
+import numpy as np
+
+#: Column names and their numpy dtypes.  String columns use object
+#: arrays (band names, tech names are short and low-cardinality).
+SCHEMA: Dict[str, object] = {
+    "test_id": np.int64,
+    "user_id": np.int64,
+    "year": np.int16,
+    "hour": np.int8,
+    "tech": object,            # '3G' | '4G' | '5G' | 'WiFi4' | 'WiFi5' | 'WiFi6'
+    "isp": np.int8,            # 1..4
+    "city_id": np.int32,
+    "city_tier": object,       # 'mega' | 'medium' | 'small'
+    "urban": bool,
+    "dense_urban": bool,
+    "band": object,            # 'B3', 'N78', '2.4GHz', '5GHz', ...
+    "channel_mhz": np.float64,
+    "rss_level": np.int8,      # 1..5 cellular; 0 for WiFi
+    "rsrp_dbm": np.float64,    # NaN for WiFi
+    "snr_db": np.float64,      # NaN for WiFi
+    "android_version": np.int8,
+    "vendor": object,
+    "device_model": object,
+    "plan_mbps": np.int32,     # fixed broadband plan; 0 for cellular
+    "cell_load": np.float64,
+    "lte_advanced": bool,
+    "sleeping": bool,
+    "bandwidth_mbps": np.float64,
+}
+
+
+@dataclass(frozen=True)
+class TestRecord:
+    """Row-oriented view of a single test, for readability."""
+
+    #: Not a pytest test class despite the name.
+    __test__ = False
+
+    test_id: int
+    user_id: int
+    year: int
+    hour: int
+    tech: str
+    isp: int
+    city_id: int
+    city_tier: str
+    urban: bool
+    dense_urban: bool
+    band: str
+    channel_mhz: float
+    rss_level: int
+    rsrp_dbm: float
+    snr_db: float
+    android_version: int
+    vendor: str
+    device_model: str
+    plan_mbps: int
+    cell_load: float
+    lte_advanced: bool
+    sleeping: bool
+    bandwidth_mbps: float
+
+
+class Dataset:
+    """An immutable columnar collection of test records."""
+
+    def __init__(self, columns: Mapping[str, np.ndarray]):
+        missing = set(SCHEMA) - set(columns)
+        if missing:
+            raise ValueError(f"missing columns: {sorted(missing)}")
+        extra = set(columns) - set(SCHEMA)
+        if extra:
+            raise ValueError(f"unknown columns: {sorted(extra)}")
+        lengths = {name: len(col) for name, col in columns.items()}
+        if len(set(lengths.values())) > 1:
+            raise ValueError(f"column lengths disagree: {lengths}")
+        self._columns = {
+            name: np.asarray(columns[name]) for name in SCHEMA
+        }
+
+    # -- basics --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._columns["test_id"])
+
+    def column(self, name: str) -> np.ndarray:
+        """Raw column array (do not mutate)."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(f"unknown column {name!r}; known: {sorted(SCHEMA)}")
+
+    @property
+    def bandwidth(self) -> np.ndarray:
+        """Shorthand for the bandwidth column, the most-used one."""
+        return self._columns["bandwidth_mbps"]
+
+    # -- selection -----------------------------------------------------
+
+    def filter(self, mask: np.ndarray) -> "Dataset":
+        """New dataset with rows where ``mask`` is True."""
+        mask = np.asarray(mask, dtype=bool)
+        if len(mask) != len(self):
+            raise ValueError(
+                f"mask length {len(mask)} != dataset length {len(self)}"
+            )
+        return Dataset({name: col[mask] for name, col in self._columns.items()})
+
+    def where(self, **equals) -> "Dataset":
+        """Rows matching all column==value conditions.
+
+        >>> ds.where(tech="5G", isp=3)          # doctest: +SKIP
+        """
+        mask = np.ones(len(self), dtype=bool)
+        for name, value in equals.items():
+            mask &= self.column(name) == value
+        return self.filter(mask)
+
+    def sample(self, n: int, rng: np.random.Generator) -> "Dataset":
+        """Uniform random subsample without replacement."""
+        if n > len(self):
+            raise ValueError(f"cannot sample {n} of {len(self)} rows")
+        idx = rng.choice(len(self), size=n, replace=False)
+        return Dataset({name: col[idx] for name, col in self._columns.items()})
+
+    def concat(self, other: "Dataset") -> "Dataset":
+        """Row-wise concatenation of two datasets."""
+        return Dataset(
+            {
+                name: np.concatenate([col, other.column(name)])
+                for name, col in self._columns.items()
+            }
+        )
+
+    # -- aggregation ---------------------------------------------------
+
+    def mean_bandwidth(self) -> float:
+        """Average bandwidth over all rows (NaN-safe, empty → NaN)."""
+        if len(self) == 0:
+            return float("nan")
+        return float(np.mean(self.bandwidth))
+
+    def median_bandwidth(self) -> float:
+        """Median bandwidth over all rows (empty → NaN)."""
+        if len(self) == 0:
+            return float("nan")
+        return float(np.median(self.bandwidth))
+
+    def group_mean_bandwidth(self, key: str) -> Dict:
+        """``{group value: mean bandwidth}`` over a grouping column."""
+        column = self.column(key)
+        result: Dict = {}
+        for value in sorted(set(column.tolist())):
+            result[value] = float(np.mean(self.bandwidth[column == value]))
+        return result
+
+    def group_counts(self, key: str) -> Dict:
+        """``{group value: row count}`` over a grouping column."""
+        column = self.column(key)
+        values, counts = np.unique(column, return_counts=True)
+        return {v: int(c) for v, c in zip(values.tolist(), counts.tolist())}
+
+    # -- record view ---------------------------------------------------
+
+    def records(self, limit: Optional[int] = None) -> Iterator[TestRecord]:
+        """Iterate rows as :class:`TestRecord` objects."""
+        n = len(self) if limit is None else min(limit, len(self))
+        names = list(SCHEMA)
+        for i in range(n):
+            yield TestRecord(**{name: self._columns[name][i] for name in names})
+
+    @staticmethod
+    def from_records(records: List[TestRecord]) -> "Dataset":
+        """Build a dataset from row objects (mostly for tests)."""
+        if not records:
+            raise ValueError("cannot build a dataset from zero records")
+        columns = {
+            name: np.array(
+                [getattr(r, name) for r in records], dtype=SCHEMA[name]
+            )
+            for name in SCHEMA
+        }
+        return Dataset(columns)
+
+    # -- persistence -----------------------------------------------------
+
+    def to_csv(self, path: Union[str, Path]) -> None:
+        """Write the dataset to a CSV file with a header row."""
+        names = list(SCHEMA)
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(names)
+            for i in range(len(self)):
+                writer.writerow(
+                    [self._columns[name][i] for name in names]
+                )
+
+    @staticmethod
+    def from_csv(path: Union[str, Path]) -> "Dataset":
+        """Read a dataset previously written by :meth:`to_csv`.
+
+        Raises :class:`ValueError` on a missing/extra column or an
+        empty file.
+        """
+        with open(path, newline="") as handle:
+            reader = csv.reader(handle)
+            try:
+                header = next(reader)
+            except StopIteration:
+                raise ValueError(f"{path}: empty CSV")
+            rows = list(reader)
+        if set(header) != set(SCHEMA):
+            missing = set(SCHEMA) - set(header)
+            extra = set(header) - set(SCHEMA)
+            raise ValueError(
+                f"{path}: column mismatch (missing={sorted(missing)}, "
+                f"extra={sorted(extra)})"
+            )
+        if not rows:
+            raise ValueError(f"{path}: no data rows")
+        index = {name: header.index(name) for name in SCHEMA}
+        columns = {}
+        for name, dtype in SCHEMA.items():
+            raw = [row[index[name]] for row in rows]
+            columns[name] = np.array(
+                [_parse_csv_value(v, dtype) for v in raw], dtype=dtype
+            )
+        return Dataset(columns)
+
+
+def _parse_csv_value(text: str, dtype):
+    """Parse one CSV cell according to the schema dtype."""
+    if dtype is bool:
+        return text == "True"
+    if dtype is object:
+        return text
+    if dtype is np.float64:
+        return math.nan if text in ("", "nan") else float(text)
+    return int(text)

@@ -1,0 +1,39 @@
+"""Cost-effective server deployment (§5.2).
+
+Swiftest replaces BTS-APP's over-provisioned 352-server pool with a
+small set of budget VMs:
+
+* :mod:`repro.deploy.plans` — a synthetic OneProvider-style catalogue
+  of server configurations (bandwidth, monthly price, availability);
+* :mod:`repro.deploy.workload` — estimating the bandwidth a testing
+  workload actually needs, including burstiness;
+* :mod:`repro.deploy.ilp` — the integer linear program choosing how
+  many of each configuration to buy, solved by branch-and-bound;
+* :mod:`repro.deploy.placement` — spreading purchased servers across
+  the eight core IXP domains of China Mainland.
+"""
+
+from repro.deploy.ilp import IlpSolution, solve_purchase_plan
+from repro.deploy.placement import IXP_DOMAINS, PlacementPlan, place_servers
+from repro.deploy.planner import (
+    DeploymentPlan,
+    flooding_reference_cost,
+    plan_deployment,
+)
+from repro.deploy.plans import ServerPlan, onevendor_catalogue
+from repro.deploy.workload import WorkloadEstimate, estimate_workload
+
+__all__ = [
+    "DeploymentPlan",
+    "IXP_DOMAINS",
+    "IlpSolution",
+    "PlacementPlan",
+    "ServerPlan",
+    "WorkloadEstimate",
+    "estimate_workload",
+    "flooding_reference_cost",
+    "onevendor_catalogue",
+    "place_servers",
+    "plan_deployment",
+    "solve_purchase_plan",
+]

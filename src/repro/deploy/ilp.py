@@ -1,0 +1,174 @@
+"""Integer program for the server purchase plan (§5.2).
+
+Decision: how many servers ``n_i`` of each configuration ``i`` to buy,
+with ``0 ≤ n_i ≤ a_i`` (availability), such that total bandwidth
+``Σ n_i b_i`` at least slightly exceeds the estimated workload, while
+minimising total monthly cost ``Σ n_i p_i``.
+
+The problem is NP-hard in general; following the paper we use
+branch-and-bound with an LP-relaxation bound (greedy fill by price per
+Mbps — the relaxation's exact optimum for this structure), which finds
+the optimum quickly at catalogue scale (hundreds of configurations).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.deploy.plans import ServerPlan
+
+
+@dataclass
+class IlpSolution:
+    """A purchase plan.
+
+    Attributes
+    ----------
+    counts:
+        Servers bought per catalogue entry (aligned with the input).
+    total_cost_usd:
+        Monthly cost of the plan.
+    total_capacity_mbps:
+        Aggregate bandwidth bought.
+    optimal:
+        True when branch-and-bound proved optimality (always, unless
+        the node budget was exhausted).
+    nodes_explored:
+        Search-tree size, for diagnostics.
+    """
+
+    counts: List[int]
+    total_cost_usd: float
+    total_capacity_mbps: float
+    optimal: bool
+    nodes_explored: int
+
+    def purchased(self, plans: Sequence[ServerPlan]) -> List[Tuple[int, float]]:
+        """Expand to one ``(plan_id, bandwidth)`` entry per server, for
+        placement."""
+        out: List[Tuple[int, float]] = []
+        for plan, count in zip(plans, self.counts):
+            out.extend((plan.plan_id, plan.bandwidth_mbps) for _ in range(count))
+        return out
+
+
+def _lp_bound(
+    order: List[int],
+    plans: Sequence[ServerPlan],
+    lows: List[int],
+    highs: List[int],
+    required_mbps: float,
+) -> Tuple[float, Optional[int], List[float]]:
+    """LP-relaxation optimum under the box constraints.
+
+    Returns (cost, index of the fractional variable or None, fractional
+    counts).  ``math.inf`` cost signals infeasibility.
+    """
+    counts = [float(lo) for lo in lows]
+    capacity = sum(plans[i].bandwidth_mbps * counts[i] for i in range(len(plans)))
+    cost = sum(plans[i].price_month_usd * counts[i] for i in range(len(plans)))
+    if capacity >= required_mbps:
+        return cost, None, counts
+    for i in order:
+        room = highs[i] - counts[i]
+        if room <= 0:
+            continue
+        need = (required_mbps - capacity) / plans[i].bandwidth_mbps
+        take = min(room, need)
+        counts[i] += take
+        capacity += take * plans[i].bandwidth_mbps
+        cost += take * plans[i].price_month_usd
+        if capacity >= required_mbps - 1e-9:
+            fractional = i if abs(take - round(take)) > 1e-9 else None
+            return cost, fractional, counts
+    return math.inf, None, counts
+
+
+def solve_purchase_plan(
+    plans: Sequence[ServerPlan],
+    workload_mbps: float,
+    margin: float = 0.05,
+    max_nodes: int = 200_000,
+) -> IlpSolution:
+    """Find the cheapest purchase covering ``workload x (1 + margin)``.
+
+    Raises :class:`ValueError` when the whole catalogue cannot cover
+    the requirement.
+    """
+    if workload_mbps <= 0:
+        raise ValueError(f"workload must be positive, got {workload_mbps}")
+    if margin < 0:
+        raise ValueError(f"margin cannot be negative, got {margin}")
+    plans = list(plans)
+    required = workload_mbps * (1.0 + margin)
+    max_capacity = sum(p.bandwidth_mbps * p.available for p in plans)
+    if max_capacity < required:
+        raise ValueError(
+            f"catalogue capacity {max_capacity:.0f} Mbps cannot cover the "
+            f"required {required:.0f} Mbps"
+        )
+
+    order = sorted(range(len(plans)), key=lambda i: plans[i].price_per_mbps)
+    lows = [0] * len(plans)
+    highs = [p.available for p in plans]
+
+    best_cost = math.inf
+    best_counts: Optional[List[int]] = None
+    nodes = 0
+    proved = True
+
+    stack = [(lows, highs)]
+    while stack:
+        if nodes >= max_nodes:
+            proved = False
+            break
+        nodes += 1
+        lo, hi = stack.pop()
+        cost, frac_idx, counts = _lp_bound(order, plans, lo, hi, required)
+        if cost >= best_cost - 1e-9 or math.isinf(cost):
+            continue
+        if frac_idx is None:
+            # Integral LP optimum: new incumbent.
+            best_cost = cost
+            best_counts = [int(round(c)) for c in counts]
+            continue
+        # Round the fractional variable up to get a quick feasible
+        # incumbent that tightens pruning.
+        rounded = [int(math.ceil(c)) if i == frac_idx else int(round(c))
+                   for i, c in enumerate(counts)]
+        if all(rounded[i] <= hi[i] for i in range(len(plans))):
+            r_capacity = sum(
+                plans[i].bandwidth_mbps * rounded[i] for i in range(len(plans))
+            )
+            r_cost = sum(
+                plans[i].price_month_usd * rounded[i] for i in range(len(plans))
+            )
+            if r_capacity >= required and r_cost < best_cost:
+                best_cost = r_cost
+                best_counts = rounded
+        # Branch: n_i <= floor | n_i >= ceil of the fractional value.
+        floor_v = int(math.floor(counts[frac_idx]))
+        ceil_v = floor_v + 1
+        hi_left = list(hi)
+        hi_left[frac_idx] = min(hi[frac_idx], floor_v)
+        if hi_left[frac_idx] >= lo[frac_idx]:
+            stack.append((list(lo), hi_left))
+        lo_right = list(lo)
+        lo_right[frac_idx] = max(lo[frac_idx], ceil_v)
+        if lo_right[frac_idx] <= hi[frac_idx]:
+            stack.append((lo_right, list(hi)))
+
+    if best_counts is None:
+        raise ValueError("no feasible integer purchase plan found")
+    capacity = sum(
+        plans[i].bandwidth_mbps * best_counts[i] for i in range(len(plans))
+    )
+    return IlpSolution(
+        counts=best_counts,
+        total_cost_usd=round(best_cost, 2),
+        total_capacity_mbps=capacity,
+        optimal=proved,
+        nodes_explored=nodes,
+    )

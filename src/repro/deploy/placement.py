@@ -1,0 +1,110 @@
+"""Server placement across China's core IXP domains (§5.2).
+
+In terms of Internet data exchange, China Mainland divides into eight
+domains, each anchored by a core IXP.  Test servers should spread
+evenly across the domains and sit as close to the core IXPs as
+possible; a user is served by servers in or near their own domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+#: The eight core IXP cities (§5.2).
+IXP_DOMAINS: Tuple[str, ...] = (
+    "Beijing",
+    "Shanghai",
+    "Guangzhou",
+    "Nanjing",
+    "Shenyang",
+    "Wuhan",
+    "Chengdu",
+    "Xi'an",
+)
+
+#: Approximate great-circle style inter-domain RTTs in seconds.  Same
+#: domain ≈ metro latency; neighbours tens of ms; far pairs higher.
+_BASE_RTT_S = 0.008
+_RTT_PER_HOP_S = 0.012
+
+#: Coarse adjacency rank between domains (hops on the backbone mesh).
+_DOMAIN_POSITIONS: Dict[str, Tuple[float, float]] = {
+    "Beijing": (39.9, 116.4),
+    "Shanghai": (31.2, 121.5),
+    "Guangzhou": (23.1, 113.3),
+    "Nanjing": (32.1, 118.8),
+    "Shenyang": (41.8, 123.4),
+    "Wuhan": (30.6, 114.3),
+    "Chengdu": (30.6, 104.1),
+    "Xi'an": (34.3, 108.9),
+}
+
+
+def domain_rtt_s(domain_a: str, domain_b: str) -> float:
+    """Modelled RTT between two IXP domains.
+
+    Distance-proportional on top of a metro-latency floor; symmetric.
+    """
+    for d in (domain_a, domain_b):
+        if d not in _DOMAIN_POSITIONS:
+            raise KeyError(f"unknown IXP domain {d!r}; known: {IXP_DOMAINS}")
+    if domain_a == domain_b:
+        return _BASE_RTT_S
+    lat_a, lon_a = _DOMAIN_POSITIONS[domain_a]
+    lat_b, lon_b = _DOMAIN_POSITIONS[domain_b]
+    # Degrees of separation as a backbone-hop proxy.
+    hops = ((lat_a - lat_b) ** 2 + (lon_a - lon_b) ** 2) ** 0.5 / 6.0
+    return _BASE_RTT_S + _RTT_PER_HOP_S * max(1.0, hops)
+
+
+@dataclass
+class PlacementPlan:
+    """Assignment of purchased servers to IXP domains.
+
+    Attributes
+    ----------
+    assignments:
+        ``{domain: [(plan_id, bandwidth_mbps), ...]}``.
+    """
+
+    assignments: Dict[str, List[Tuple[int, float]]] = field(default_factory=dict)
+
+    def servers_in(self, domain: str) -> int:
+        return len(self.assignments.get(domain, []))
+
+    def capacity_in(self, domain: str) -> float:
+        return sum(bw for _, bw in self.assignments.get(domain, []))
+
+    def total_servers(self) -> int:
+        return sum(len(v) for v in self.assignments.values())
+
+    def balance_ratio(self) -> float:
+        """max/min per-domain capacity over populated domains; 1.0 is
+        perfectly even."""
+        caps = [self.capacity_in(d) for d in IXP_DOMAINS if self.servers_in(d)]
+        if not caps:
+            return 1.0
+        low = min(caps)
+        return max(caps) / low if low > 0 else float("inf")
+
+
+def place_servers(
+    purchased: List[Tuple[int, float]],
+    domains: Tuple[str, ...] = IXP_DOMAINS,
+) -> PlacementPlan:
+    """Spread purchased servers evenly across the IXP domains.
+
+    Greedy balanced assignment: each server (largest bandwidth first)
+    goes to the domain with the least assigned capacity — the even
+    placement §5.2 prescribes.
+    """
+    if not domains:
+        raise ValueError("need at least one domain")
+    plan = PlacementPlan(assignments={d: [] for d in domains})
+    for plan_id, bandwidth in sorted(
+        purchased, key=lambda pair: -pair[1]
+    ):
+        target = min(domains, key=plan.capacity_in)
+        plan.assignments[target].append((plan_id, bandwidth))
+    return plan

@@ -1,0 +1,109 @@
+"""Server purchase catalogue.
+
+The paper surveys OneProvider (Speedtest's infrastructure provider):
+336 configurations, bandwidths from 100 Mbps to 10 Gbps, prices from
+$10.41 to $2,609 per month, each with limited availability.  We
+generate a synthetic catalogue with the same envelope: price grows
+sublinearly with bandwidth (bulk bandwidth is cheaper per Mbps) with
+per-configuration scatter from CPU/disk/location differences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+#: Bandwidth tiers offered, in Mbps.
+BANDWIDTH_TIERS = (100, 200, 300, 500, 1000, 2000, 5000, 10000)
+
+
+@dataclass(frozen=True)
+class ServerPlan:
+    """One purchasable server configuration.
+
+    Attributes
+    ----------
+    plan_id:
+        Catalogue index.
+    bandwidth_mbps:
+        Egress bandwidth of one server of this configuration.
+    price_month_usd:
+        Monthly price per server.
+    available:
+        Servers of this configuration in stock.
+    domain:
+        Provider region (an IXP domain name, where known).
+    """
+
+    plan_id: int
+    bandwidth_mbps: float
+    price_month_usd: float
+    available: int
+    domain: str = ""
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.price_month_usd <= 0:
+            raise ValueError("price must be positive")
+        if self.available < 0:
+            raise ValueError("availability cannot be negative")
+
+    @property
+    def price_per_mbps(self) -> float:
+        """Monthly cost per Mbps — the efficiency the ILP exploits."""
+        return self.price_month_usd / self.bandwidth_mbps
+
+
+def onevendor_catalogue(
+    n_configs: int = 336,
+    seed: int = 20220105,
+) -> List[ServerPlan]:
+    """Synthetic OneProvider-style catalogue (as of Jan. 2022).
+
+    Deterministic given the seed.  Price model:
+    ``price = a * bandwidth^0.82 * scatter`` with the constant chosen
+    so the cheapest 100 Mbps config lands near $10 and 10 Gbps configs
+    near $2,600, matching the surveyed envelope.
+    """
+    if n_configs < len(BANDWIDTH_TIERS):
+        raise ValueError(
+            f"need at least {len(BANDWIDTH_TIERS)} configs, got {n_configs}"
+        )
+    rng = np.random.default_rng(seed)
+    plans: List[ServerPlan] = []
+    from repro.deploy.placement import IXP_DOMAINS  # local import: cycle guard
+
+    for plan_id in range(n_configs):
+        bandwidth = float(BANDWIDTH_TIERS[plan_id % len(BANDWIDTH_TIERS)])
+        scatter = float(rng.lognormal(0.0, 0.25))
+        price = 0.65 * bandwidth**0.82 * scatter
+        price = float(np.clip(price, 10.41, 2609.0))
+        available = int(rng.integers(1, 12))
+        domain = IXP_DOMAINS[int(rng.integers(len(IXP_DOMAINS)))]
+        plans.append(
+            ServerPlan(
+                plan_id=plan_id,
+                bandwidth_mbps=bandwidth,
+                price_month_usd=round(price, 2),
+                available=available,
+                domain=domain,
+            )
+        )
+    return plans
+
+
+def total_capacity(plans: List[ServerPlan], counts: List[int]) -> float:
+    """Aggregate bandwidth of a purchase vector."""
+    if len(plans) != len(counts):
+        raise ValueError("plans and counts must align")
+    return sum(p.bandwidth_mbps * n for p, n in zip(plans, counts))
+
+
+def total_cost(plans: List[ServerPlan], counts: List[int]) -> float:
+    """Aggregate monthly cost of a purchase vector."""
+    if len(plans) != len(counts):
+        raise ValueError("plans and counts must align")
+    return sum(p.price_month_usd * n for p, n in zip(plans, counts))

@@ -1,0 +1,218 @@
+"""Operational server pool: session assignment and health.
+
+The deployment planner (:mod:`repro.deploy.planner`) decides what to
+buy; this module runs it.  A :class:`ServerPool` tracks each server's
+reserved capacity, assigns incoming test sessions to the least-loaded
+healthy servers near the client's IXP domain (clients need *total*
+capacity covering their probing rate, split across servers exactly as
+the Swiftest client sizes them), and releases reservations when tests
+finish.  Servers can be marked down for failure-injection scenarios;
+their sessions are reassigned.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.deploy.placement import domain_rtt_s
+
+
+class PoolError(RuntimeError):
+    """Raised when the pool cannot satisfy a request."""
+
+
+@dataclass
+class PoolServer:
+    """One deployed test server.
+
+    Attributes
+    ----------
+    name / domain:
+        Identity and IXP domain.
+    capacity_mbps:
+        Egress bandwidth.
+    reserved_mbps:
+        Currently promised to active sessions.
+    healthy:
+        False while the server is down.
+    """
+
+    name: str
+    domain: str
+    capacity_mbps: float
+    reserved_mbps: float = 0.0
+    healthy: bool = True
+
+    def __post_init__(self) -> None:
+        if self.capacity_mbps <= 0:
+            raise ValueError("capacity must be positive")
+
+    @property
+    def free_mbps(self) -> float:
+        return max(0.0, self.capacity_mbps - self.reserved_mbps)
+
+    @property
+    def utilization(self) -> float:
+        return self.reserved_mbps / self.capacity_mbps
+
+
+@dataclass
+class Assignment:
+    """A session's reservation across one or more servers."""
+
+    session_id: int
+    client_domain: str
+    shares: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_mbps(self) -> float:
+        return sum(self.shares.values())
+
+
+class ServerPool:
+    """Assigns test sessions onto a fleet of servers."""
+
+    def __init__(self, servers: List[PoolServer]):
+        if not servers:
+            raise ValueError("a pool needs at least one server")
+        names = [s.name for s in servers]
+        if len(set(names)) != len(names):
+            raise ValueError("server names must be unique")
+        self.servers: Dict[str, PoolServer] = {s.name: s for s in servers}
+        self.assignments: Dict[int, Assignment] = {}
+        self._session_ids = itertools.count(1)
+
+    # -- capacity views ----------------------------------------------------
+
+    def total_capacity_mbps(self, healthy_only: bool = True) -> float:
+        return sum(
+            s.capacity_mbps
+            for s in self.servers.values()
+            if s.healthy or not healthy_only
+        )
+
+    def total_reserved_mbps(self) -> float:
+        return sum(s.reserved_mbps for s in self.servers.values())
+
+    def utilization(self) -> float:
+        capacity = self.total_capacity_mbps()
+        return self.total_reserved_mbps() / capacity if capacity else 1.0
+
+    # -- assignment ----------------------------------------------------------
+
+    def _candidates(self, client_domain: str) -> List[PoolServer]:
+        """Healthy servers ranked by (domain RTT, load)."""
+        healthy = [s for s in self.servers.values() if s.healthy]
+        return sorted(
+            healthy,
+            key=lambda s: (
+                domain_rtt_s(client_domain, s.domain),
+                s.utilization,
+            ),
+        )
+
+    def assign(
+        self,
+        demand_mbps: float,
+        client_domain: str,
+        headroom: float = 0.10,
+    ) -> Assignment:
+        """Reserve ``demand x (1 + headroom)`` across nearby servers.
+
+        Raises :class:`PoolError` when the healthy pool cannot cover
+        the demand.
+        """
+        if demand_mbps <= 0:
+            raise ValueError("demand must be positive")
+        target = demand_mbps * (1.0 + headroom)
+        shares: Dict[str, float] = {}
+        remaining = target
+        for server in self._candidates(client_domain):
+            if remaining <= 0:
+                break
+            take = min(server.free_mbps, remaining)
+            if take > 0:
+                shares[server.name] = take
+                remaining -= take
+        if remaining > 1e-9:
+            raise PoolError(
+                f"pool cannot cover {target:.0f} Mbps "
+                f"({remaining:.0f} Mbps short)"
+            )
+        session_id = next(self._session_ids)
+        for name, share in shares.items():
+            self.servers[name].reserved_mbps += share
+        assignment = Assignment(
+            session_id=session_id, client_domain=client_domain, shares=shares
+        )
+        self.assignments[session_id] = assignment
+        return assignment
+
+    def release(self, session_id: int) -> None:
+        """Free a session's reservations.  Unknown ids raise KeyError."""
+        assignment = self.assignments.pop(session_id)
+        for name, share in assignment.shares.items():
+            server = self.servers.get(name)
+            if server is not None:
+                server.reserved_mbps = max(0.0, server.reserved_mbps - share)
+
+    # -- health ---------------------------------------------------------------
+
+    def mark_down(self, name: str) -> List[int]:
+        """Take a server out of rotation and reassign its sessions.
+
+        Returns the session ids that could not be reassigned (their
+        reservations are dropped); callers decide whether those tests
+        fail or retry.
+        """
+        try:
+            server = self.servers[name]
+        except KeyError:
+            raise KeyError(f"unknown server {name!r}")
+        server.healthy = False
+        server.reserved_mbps = 0.0
+        orphans: List[Tuple[int, float, str]] = []
+        for assignment in list(self.assignments.values()):
+            share = assignment.shares.pop(name, None)
+            if share is not None:
+                orphans.append(
+                    (assignment.session_id, share, assignment.client_domain)
+                )
+        failed: List[int] = []
+        for session_id, share, domain in orphans:
+            try:
+                replacement = self.assign(share, domain, headroom=0.0)
+            except PoolError:
+                failed.append(session_id)
+                continue
+            # Merge the replacement into the original assignment.
+            original = self.assignments[session_id]
+            extra = self.assignments.pop(replacement.session_id)
+            for srv, amount in extra.shares.items():
+                original.shares[srv] = original.shares.get(srv, 0.0) + amount
+        return failed
+
+    def mark_up(self, name: str) -> None:
+        """Return a server to rotation."""
+        try:
+            self.servers[name].healthy = True
+        except KeyError:
+            raise KeyError(f"unknown server {name!r}")
+
+
+def pool_from_deployment(deployment) -> ServerPool:
+    """Build a pool from a :class:`~repro.deploy.planner.DeploymentPlan`."""
+    servers = []
+    counter = itertools.count()
+    for domain, entries in deployment.placement.assignments.items():
+        for _, bandwidth in entries:
+            servers.append(
+                PoolServer(
+                    name=f"{domain.lower()}-{next(counter)}",
+                    domain=domain,
+                    capacity_mbps=bandwidth,
+                )
+            )
+    return ServerPool(servers)

@@ -1,0 +1,108 @@
+"""Workload estimation for server sizing (§5.2).
+
+The bandwidth a BTS backend must provision is *not* the daily average
+— it is a high quantile of the instantaneous aggregate demand, which
+is dominated by bursts of concurrent high-bandwidth tests.  The
+estimator simulates a day of test arrivals (Poisson within each hour,
+rates following the diurnal profile), assigns each test a bandwidth
+drawn from the measured distribution and a duration from the service's
+profile, and reads off the demand quantile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.radio.sleeping import DiurnalProfile
+
+
+@dataclass(frozen=True)
+class WorkloadEstimate:
+    """Sizing output.
+
+    Attributes
+    ----------
+    tests_per_day:
+        Daily test volume the estimate covers.
+    mean_demand_mbps:
+        Time-average aggregate demand.
+    required_mbps:
+        The provisioning target: the requested quantile of
+        instantaneous demand.
+    quantile:
+        Which quantile ``required_mbps`` is.
+    """
+
+    tests_per_day: int
+    mean_demand_mbps: float
+    required_mbps: float
+    quantile: float
+
+
+def estimate_workload(
+    bandwidths_mbps: Sequence[float],
+    tests_per_day: int,
+    mean_test_duration_s: float = 1.2,
+    quantile: float = 0.999,
+    diurnal: Optional[DiurnalProfile] = None,
+    rng: Optional[np.random.Generator] = None,
+    time_step_s: float = 1.0,
+) -> WorkloadEstimate:
+    """Estimate the backend bandwidth a daily workload needs.
+
+    Parameters
+    ----------
+    bandwidths_mbps:
+        Empirical per-test bandwidth distribution (e.g. from a recent
+        measurement campaign) — tests demand their access bandwidth
+        while running.
+    tests_per_day:
+        Expected daily volume (~10K during the paper's evaluation).
+    mean_test_duration_s:
+        How long one test occupies its bandwidth (Swiftest ≈ 1.2 s;
+        10 s for flooding BTSes).
+    quantile:
+        Demand quantile to provision for.
+    """
+    bandwidths = np.asarray(list(bandwidths_mbps), dtype=float)
+    if len(bandwidths) == 0:
+        raise ValueError("need an empirical bandwidth distribution")
+    if tests_per_day <= 0:
+        raise ValueError(f"tests_per_day must be positive, got {tests_per_day}")
+    if not 0 < quantile < 1:
+        raise ValueError(f"quantile must be in (0, 1), got {quantile}")
+    if mean_test_duration_s <= 0:
+        raise ValueError("duration must be positive")
+    diurnal = diurnal or DiurnalProfile()
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    steps_per_hour = int(3600 / time_step_s)
+    demand_samples = []
+    active: list = []  # (remaining_steps, bandwidth)
+    for hour in range(24):
+        hourly_tests = tests_per_day * diurnal.volume_share(hour)
+        p_arrival = hourly_tests / steps_per_hour
+        for _ in range(steps_per_hour):
+            arrivals = rng.poisson(p_arrival)
+            for _ in range(arrivals):
+                bw = float(rng.choice(bandwidths))
+                duration_steps = max(
+                    1,
+                    int(round(rng.exponential(mean_test_duration_s) / time_step_s)),
+                )
+                active.append([duration_steps, bw])
+            demand_samples.append(sum(bw for _, bw in active))
+            for entry in active:
+                entry[0] -= 1
+            active = [e for e in active if e[0] > 0]
+
+    demand = np.asarray(demand_samples)
+    return WorkloadEstimate(
+        tests_per_day=tests_per_day,
+        mean_demand_mbps=float(demand.mean()),
+        required_mbps=float(np.quantile(demand, quantile)),
+        quantile=quantile,
+    )

@@ -1,0 +1,33 @@
+"""Deployment-scale experiment harness (§5.3).
+
+* :mod:`repro.harness.pairs` — back-to-back Swiftest vs BTS-APP test
+  pairs over identical network conditions (Figures 20-22);
+* :mod:`repro.harness.comparison` — test groups against FAST and
+  FastBTS with BTS-APP as approximate ground truth (Figures 23-25);
+* :mod:`repro.harness.utilization` — a month of workload on the
+  planned server pool, tracing per-server utilization (Figure 26).
+"""
+
+from repro.harness.collection import measured_campaign, measurement_error_stats
+from repro.harness.comparison import ComparisonResult, TestGroup, run_comparison
+from repro.harness.pairs import (
+    PairCampaign,
+    PairObservation,
+    environment_for_record,
+    run_pair_campaign,
+)
+from repro.harness.utilization import UtilizationTrace, simulate_utilization
+
+__all__ = [
+    "ComparisonResult",
+    "PairCampaign",
+    "PairObservation",
+    "TestGroup",
+    "UtilizationTrace",
+    "environment_for_record",
+    "measured_campaign",
+    "measurement_error_stats",
+    "run_comparison",
+    "run_pair_campaign",
+    "simulate_utilization",
+]

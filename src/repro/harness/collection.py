@@ -1,0 +1,102 @@
+"""The §2 data-collection path: measured campaigns.
+
+The paper's dataset consists of *BTS-APP results* annotated with the
+PHY/MAC context the collection plugin recorded.  The fast generator
+(:mod:`repro.dataset.generator`) emits ground-truth access capacities
+directly; this module provides the faithful slow path: take each
+generated context, build a simulated environment whose true capacity
+is the context's bandwidth, run an actual bandwidth test over it, and
+record the *measured* value alongside the context — exactly what the
+deployed plugin does.
+
+Beyond fidelity, this closes a validation loop: the §3 analyses run on
+measured campaigns must agree with the same analyses on ground-truth
+campaigns, because a 10-second flooding test is an accurate estimator.
+``tests/integration`` and the benchmark suite check exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.baselines.btsapp import BtsApp
+from repro.baselines.common import BandwidthTestService
+from repro.dataset.records import Dataset, SCHEMA
+from repro.harness.pairs import environment_for_record
+
+
+def measured_campaign(
+    contexts: Dataset,
+    service: Optional[BandwidthTestService] = None,
+    seed: int = 0,
+    max_tests: Optional[int] = None,
+) -> Dataset:
+    """Re-measure a campaign through an actual BTS.
+
+    Parameters
+    ----------
+    contexts:
+        A generated campaign; each row's ``bandwidth_mbps`` is taken as
+        the user's true access capacity.
+    service:
+        The bandwidth test to run per row (BTS-APP by default, as in
+        the paper's data collection).
+    max_tests:
+        Optional cap — full BTS simulation costs ~50 ms per row, so
+        studies subsample.
+
+    Returns a dataset with identical context columns and the *measured*
+    bandwidth in ``bandwidth_mbps``.
+    """
+    if len(contexts) == 0:
+        raise ValueError("no contexts to measure")
+    service = service or BtsApp()
+    n = len(contexts) if max_tests is None else min(max_tests, len(contexts))
+    rng = np.random.default_rng(seed)
+    subset = contexts if n == len(contexts) else contexts.sample(n, rng)
+
+    columns: Dict[str, np.ndarray] = {
+        name: np.array(subset.column(name), copy=True) for name in SCHEMA
+    }
+    measured = np.empty(n, dtype=np.float64)
+    true_bw = subset.bandwidth
+    techs = subset.column("tech")
+    for i in range(n):
+        env = environment_for_record(
+            float(true_bw[i]),
+            str(techs[i]),
+            rng=np.random.default_rng(seed + 31 * (i + 1)),
+            n_servers=5,
+            server_capacity_mbps=1000.0,
+        )
+        measured[i] = service.run(env).bandwidth_mbps
+    columns["bandwidth_mbps"] = measured
+    return Dataset(columns)
+
+
+def measurement_error_stats(
+    contexts: Dataset, measured: Dataset
+) -> Dict[str, float]:
+    """Relative-error statistics of a measured campaign against its
+    ground-truth contexts (matched by ``test_id``)."""
+    truth_by_id = dict(
+        zip(contexts.column("test_id").tolist(), contexts.bandwidth.tolist())
+    )
+    errors = []
+    for test_id, value in zip(
+        measured.column("test_id").tolist(), measured.bandwidth.tolist()
+    ):
+        truth = truth_by_id.get(test_id)
+        if truth and truth > 0:
+            errors.append(abs(value - truth) / truth)
+    if not errors:
+        raise ValueError("no matching test ids between the datasets")
+    arr = np.asarray(errors)
+    return {
+        "mean_rel_error": float(arr.mean()),
+        "median_rel_error": float(np.median(arr)),
+        "p95_rel_error": float(np.quantile(arr, 0.95)),
+        "n": len(arr),
+    }

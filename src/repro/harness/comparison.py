@@ -1,0 +1,137 @@
+"""Benchmark comparison: Swiftest vs FAST vs FastBTS (Figures 23-25).
+
+Mirrors §5.3's controlled experiment: test groups run all three BTSes
+back-to-back on the same access conditions, with BTS-APP's result as
+the approximate ground truth for accuracy scoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines.btsapp import BtsApp
+from repro.baselines.common import BTSResult, accuracy
+from repro.baselines.fast import FastCom
+from repro.baselines.fastbts import FastBTS
+from repro.core.client import SwiftestClient
+from repro.core.registry import BandwidthModelRegistry
+from repro.dataset.records import Dataset
+from repro.harness.pairs import _access_trace, _pool_environment
+
+SERVICES = ("fast", "fastbts", "swiftest")
+
+
+@dataclass
+class TestGroup:
+    """One group: all services on the same conditions."""
+
+    #: Not a pytest test class despite the name.
+    __test__ = False
+
+    tech: str
+    true_mbps: float
+    results: Dict[str, BTSResult] = field(default_factory=dict)
+    reference: Optional[BTSResult] = None
+
+    def accuracy_of(self, service: str) -> float:
+        if self.reference is None:
+            raise ValueError("group has no BTS-APP reference result")
+        return accuracy(
+            self.results[service].bandwidth_mbps,
+            self.reference.bandwidth_mbps,
+        )
+
+
+@dataclass
+class ComparisonResult:
+    """All groups plus the aggregate views behind Figures 23-25."""
+
+    groups: List[TestGroup] = field(default_factory=list)
+
+    def techs(self) -> List[str]:
+        return sorted({g.tech for g in self.groups})
+
+    def _scoped(self, tech: Optional[str]) -> List[TestGroup]:
+        return [g for g in self.groups if tech is None or g.tech == tech]
+
+    def mean_test_time(self, service: str, tech: Optional[str] = None) -> float:
+        """Figure 23: average test time (probing phase) per service."""
+        groups = self._scoped(tech)
+        return float(
+            np.mean([g.results[service].duration_s for g in groups])
+        )
+
+    def mean_data_usage_mb(self, service: str, tech: Optional[str] = None) -> float:
+        """Figure 24: average data usage per service."""
+        groups = self._scoped(tech)
+        return float(np.mean([g.results[service].data_mb for g in groups]))
+
+    def mean_accuracy(self, service: str, tech: Optional[str] = None) -> float:
+        """Figure 25: average accuracy vs the BTS-APP reference."""
+        groups = self._scoped(tech)
+        return float(np.mean([g.accuracy_of(service) for g in groups]))
+
+    def table(self) -> Dict[str, Dict[str, float]]:
+        """service → {test_time_s, data_mb, accuracy} (overall)."""
+        return {
+            service: {
+                "test_time_s": self.mean_test_time(service),
+                "data_mb": self.mean_data_usage_mb(service),
+                "accuracy": self.mean_accuracy(service),
+            }
+            for service in SERVICES
+        }
+
+
+def run_comparison(
+    dataset: Dataset,
+    registry: BandwidthModelRegistry,
+    n_groups: int,
+    seed: int = 20220105,
+    techs: Optional[List[str]] = None,
+) -> ComparisonResult:
+    """Run ``n_groups`` test groups on contexts from a dataset."""
+    if n_groups <= 0:
+        raise ValueError(f"n_groups must be positive, got {n_groups}")
+    rng = np.random.default_rng(seed)
+    chosen_techs = techs or registry.technologies()
+    pool = dataset.filter(np.isin(dataset.column("tech"), chosen_techs))
+    if len(pool) < n_groups:
+        raise ValueError(
+            f"dataset has {len(pool)} eligible tests, needs {n_groups}"
+        )
+    sample = pool.sample(n_groups, rng)
+
+    services = {
+        "fast": FastCom(),
+        "fastbts": FastBTS(),
+        "swiftest": SwiftestClient(registry),
+    }
+    reference = BtsApp()
+
+    result = ComparisonResult()
+    bandwidths = sample.bandwidth
+    tech_col = sample.column("tech")
+    for i in range(n_groups):
+        tech = str(tech_col[i])
+        true_bw = float(bandwidths[i])
+        trace = _access_trace(true_bw, np.random.default_rng(seed + 31 * (i + 1)))
+        group = TestGroup(tech=tech, true_mbps=true_bw)
+        for name, service in services.items():
+            env = _pool_environment(
+                trace, tech,
+                n_servers=10,
+                server_capacity_mbps=100.0 if name == "swiftest" else 1000.0,
+                rng=np.random.default_rng(seed + 997 * (i + 1)),
+            )
+            group.results[name] = service.run(env)
+        ref_env = _pool_environment(
+            trace, tech, n_servers=5, server_capacity_mbps=1000.0,
+            rng=np.random.default_rng(seed + 7907 * (i + 1)),
+        )
+        group.reference = reference.run(ref_env)
+        result.groups.append(group)
+    return result

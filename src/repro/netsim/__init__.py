@@ -1,0 +1,53 @@
+"""Fluid-flow discrete-event network simulator.
+
+This package is the substrate every bandwidth-testing service in the
+repository runs on.  It replaces the live 4G/5G/WiFi networks and test
+server deployments of the paper with a simulator that preserves the
+properties the probing logic cares about:
+
+* a bottleneck access link whose capacity may vary over time
+  (:mod:`repro.netsim.trace`),
+* max-min fair sharing among concurrent flows on shared links
+  (:mod:`repro.netsim.link`, :mod:`repro.netsim.network`),
+* propagation delay and random loss on end-to-end paths
+  (:mod:`repro.netsim.path`),
+* an event engine to sequence probing state machines
+  (:mod:`repro.netsim.engine`).
+
+Bandwidth samples are taken every 50 ms exactly as BTS-APP and Swiftest
+do in the paper (§2, §5.1).
+"""
+
+from repro.netsim.crosstraffic import (
+    CrossTrafficSource,
+    OnOffSource,
+    attach_cross_traffic,
+)
+from repro.netsim.engine import Simulator
+from repro.netsim.flow import Flow
+from repro.netsim.link import Link
+from repro.netsim.network import Network
+from repro.netsim.path import NetworkPath
+from repro.netsim.trace import (
+    CapacityTrace,
+    ConstantTrace,
+    FluctuatingTrace,
+    ShapedTrace,
+    SteppedTrace,
+)
+
+__all__ = [
+    "CapacityTrace",
+    "ConstantTrace",
+    "CrossTrafficSource",
+    "FluctuatingTrace",
+    "Flow",
+    "Link",
+    "Network",
+    "NetworkPath",
+    "OnOffSource",
+    "ShapedTrace",
+    "Simulator",
+    "SteppedTrace",
+    "attach_cross_traffic",
+]

@@ -1,0 +1,124 @@
+"""Discrete-event simulation engine.
+
+A deliberately small event loop: callbacks are scheduled at absolute
+simulated times and executed in order.  Ties are broken by insertion
+order so runs are fully deterministic.  The engine knows nothing about
+networks; links and flows use it only as a clock and sequencer.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised when the engine is used inconsistently (e.g. scheduling in
+    the past)."""
+
+
+class Event:
+    """Handle for a scheduled callback, allowing cancellation."""
+
+    __slots__ = ("time", "callback", "cancelled")
+
+    def __init__(self, time: float, callback: Callable[[], Any]):
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running when its time arrives."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Deterministic discrete-event loop.
+
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.0, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [1.0]
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        Returns an :class:`Event` handle that can be cancelled.  A zero
+        delay runs the callback after all events already queued for the
+        current instant.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        event = Event(self._now + delay, callback)
+        heapq.heappush(self._queue, (event.time, next(self._seq), event))
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` at absolute simulated time ``time``."""
+        return self.schedule(time - self._now, callback)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the queue is
+        empty.  Cancelled events are skipped."""
+        while self._queue and self._queue[0][2].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        return self._queue[0][0]
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns ``False`` when no events
+        remain."""
+        while self._queue:
+            time, _, event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = time
+            event.callback()
+            return True
+        return False
+
+    def run(self) -> None:
+        """Run until the event queue drains."""
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        try:
+            while self.step():
+                pass
+        finally:
+            self._running = False
+
+    def run_until(self, time: float) -> None:
+        """Run events up to and including simulated time ``time``, then
+        advance the clock to ``time`` even if no event lands exactly
+        there."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot run backwards: now={self._now}, requested {time}"
+            )
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time > time:
+                break
+            self.step()
+        self._now = time
+
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for _, _, e in self._queue if not e.cancelled)

@@ -1,0 +1,75 @@
+"""Flows: the unit of bandwidth allocation.
+
+A :class:`Flow` traverses one or more links and asks the network for up
+to ``demand_mbps`` of rate.  The :class:`~repro.netsim.network.Network`
+assigns each flow its max-min fair ``allocated_mbps``.  Transport
+endpoints (TCP connections, UDP probe streams) own a flow and translate
+their internal state (congestion window, commanded send rate) into a
+demand before each allocation round.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.netsim.link import Link
+
+_flow_ids = itertools.count(1)
+
+
+class Flow:
+    """A unidirectional fluid flow across a list of links.
+
+    Parameters
+    ----------
+    links:
+        The links the flow traverses, in order.  Order does not affect
+        allocation (fluid model), only identity.
+    demand_mbps:
+        Maximum rate the flow wants.  ``None`` means elastic: take as
+        much as fair sharing allows.
+    label:
+        Optional human-readable tag for debugging and traces.
+    """
+
+    def __init__(
+        self,
+        links: List["Link"],
+        demand_mbps: Optional[float] = None,
+        label: str = "",
+    ):
+        if not links:
+            raise ValueError("a flow must traverse at least one link")
+        if demand_mbps is not None and demand_mbps < 0:
+            raise ValueError(f"demand must be non-negative, got {demand_mbps}")
+        self.flow_id = next(_flow_ids)
+        self.links = list(links)
+        self.demand_mbps = demand_mbps
+        self.label = label or f"flow-{self.flow_id}"
+        #: Rate granted by the most recent allocation round.
+        self.allocated_mbps = 0.0
+        #: Cumulative bytes delivered; updated by the stepping driver.
+        self.bytes_delivered = 0.0
+
+    @property
+    def effective_demand(self) -> float:
+        """Demand as a float, with ``None`` mapped to +inf (elastic)."""
+        return math.inf if self.demand_mbps is None else self.demand_mbps
+
+    def deliver(self, duration_s: float) -> float:
+        """Account ``duration_s`` seconds of transfer at the current
+        allocation.  Returns the bytes delivered in this slice."""
+        if duration_s < 0:
+            raise ValueError(f"duration must be non-negative, got {duration_s}")
+        delivered = self.allocated_mbps * 1e6 / 8 * duration_s
+        self.bytes_delivered += delivered
+        return delivered
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Flow({self.label}, demand={self.demand_mbps}, "
+            f"allocated={self.allocated_mbps:.2f} Mbps)"
+        )

@@ -1,0 +1,58 @@
+"""Links: capacity-constrained resources shared by flows.
+
+A link's instantaneous capacity comes from a
+:class:`~repro.netsim.trace.CapacityTrace`, so access links can
+fluctuate or be traffic-shaped while server uplinks stay constant.
+"""
+
+from __future__ import annotations
+
+from typing import Set, TYPE_CHECKING, Union
+
+from repro.netsim.trace import CapacityTrace, ConstantTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.netsim.flow import Flow
+
+
+class Link:
+    """A fluid link with time-varying capacity.
+
+    Parameters
+    ----------
+    capacity:
+        Either a constant capacity in Mbps or a
+        :class:`~repro.netsim.trace.CapacityTrace`.
+    name:
+        Debug label (e.g. ``"access"`` or ``"server-3"``).
+    """
+
+    def __init__(self, capacity: Union[float, CapacityTrace], name: str = "link"):
+        if isinstance(capacity, CapacityTrace):
+            self.trace = capacity
+        else:
+            self.trace = ConstantTrace(float(capacity))
+        self.name = name
+        self.flows: Set["Flow"] = set()
+
+    def capacity_at(self, time_s: float) -> float:
+        """Instantaneous capacity in Mbps."""
+        return self.trace.capacity_at(time_s)
+
+    def attach(self, flow: "Flow") -> None:
+        """Register a flow as traversing this link."""
+        self.flows.add(flow)
+
+    def detach(self, flow: "Flow") -> None:
+        """Remove a flow; missing flows are ignored so teardown is
+        idempotent."""
+        self.flows.discard(flow)
+
+    def utilization_at(self, time_s: float) -> float:
+        """Fraction of capacity consumed by currently allocated flows."""
+        capacity = self.capacity_at(time_s)
+        used = sum(f.allocated_mbps for f in self.flows)
+        return used / capacity if capacity > 0 else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Link({self.name}, base={self.trace.base_mbps:.1f} Mbps)"

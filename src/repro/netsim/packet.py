@@ -1,0 +1,242 @@
+"""Packet-level link model: FIFO queue + event-driven service.
+
+The fluid model (:mod:`repro.netsim.network`) is the workhorse for
+BTS experiments; this module provides the packet-granularity
+counterpart used to validate it and to study queue-level effects
+(buffer sizing, drop patterns, per-packet latency) that fluid flows
+abstract away.  A :class:`PacketLink` serves packets from a
+:class:`DropTailQueue` at the link rate using
+:class:`~repro.netsim.engine.Simulator` events.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Optional, Union
+
+from repro.netsim.engine import Simulator
+from repro.netsim.trace import CapacityTrace, ConstantTrace
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One packet in flight.
+
+    Attributes
+    ----------
+    size_bytes:
+        Wire size.
+    flow_id:
+        Owning flow label (any hashable).
+    created_s:
+        Enqueue time, for latency accounting.
+    packet_id:
+        Globally unique id.
+    """
+
+    size_bytes: int
+    flow_id: str
+    created_s: float
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("packet size must be positive")
+
+
+class DropTailQueue:
+    """Bounded FIFO byte queue with drop-tail admission."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ValueError("queue capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._queue: Deque[Packet] = deque()
+        self.bytes_queued = 0
+        self.bytes_dropped = 0
+        self.packets_dropped = 0
+
+    def offer(self, packet: Packet) -> bool:
+        """Admit a packet if it fits; returns False on drop."""
+        if self.bytes_queued + packet.size_bytes > self.capacity_bytes:
+            self.bytes_dropped += packet.size_bytes
+            self.packets_dropped += 1
+            return False
+        self._queue.append(packet)
+        self.bytes_queued += packet.size_bytes
+        return True
+
+    def poll(self) -> Optional[Packet]:
+        """Dequeue the head packet, or None when empty."""
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self.bytes_queued -= packet.size_bytes
+        return packet
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class PacketLink:
+    """A link serving queued packets at its (possibly varying) rate.
+
+    Parameters
+    ----------
+    sim:
+        The event engine driving departures.
+    capacity:
+        Line rate in Mbps or a :class:`~repro.netsim.trace.CapacityTrace`.
+    queue_bytes:
+        Drop-tail buffer size.
+    on_deliver:
+        Callback invoked as ``on_deliver(packet, now_s)`` at each
+        departure; receivers hang their accounting here.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: Union[float, CapacityTrace],
+        queue_bytes: int = 256 * 1024,
+        on_deliver: Optional[Callable[[Packet, float], None]] = None,
+    ):
+        self.sim = sim
+        self.trace = (
+            capacity
+            if isinstance(capacity, CapacityTrace)
+            else ConstantTrace(float(capacity))
+        )
+        self.queue = DropTailQueue(queue_bytes)
+        self.on_deliver = on_deliver
+        self._busy = False
+        self.bytes_delivered = 0
+        self.packets_delivered = 0
+        #: Cumulative per-flow delivered bytes.
+        self.per_flow_bytes: Dict[str, int] = {}
+        #: Sum of per-packet queueing+transmission latency.
+        self.total_latency_s = 0.0
+
+    # -- ingress ---------------------------------------------------------
+
+    def send(self, packet: Packet) -> bool:
+        """Submit a packet; returns False when the buffer dropped it."""
+        admitted = self.queue.offer(packet)
+        if admitted and not self._busy:
+            self._serve_next()
+        return admitted
+
+    # -- service loop ------------------------------------------------------
+
+    def _serve_next(self) -> None:
+        packet = self.queue.poll()
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        rate_mbps = self.trace.capacity_at(self.sim.now)
+        tx_time = packet.size_bytes * 8 / (rate_mbps * 1e6)
+
+        def departed() -> None:
+            self.bytes_delivered += packet.size_bytes
+            self.packets_delivered += 1
+            self.per_flow_bytes[packet.flow_id] = (
+                self.per_flow_bytes.get(packet.flow_id, 0) + packet.size_bytes
+            )
+            self.total_latency_s += self.sim.now - packet.created_s
+            if self.on_deliver is not None:
+                self.on_deliver(packet, self.sim.now)
+            self._serve_next()
+
+        self.sim.schedule(tx_time, departed)
+
+    # -- stats ---------------------------------------------------------------
+
+    def mean_latency_s(self) -> float:
+        """Average per-packet latency over delivered packets."""
+        if self.packets_delivered == 0:
+            raise ValueError("no packets delivered yet")
+        return self.total_latency_s / self.packets_delivered
+
+    def delivered_rate_mbps(self, duration_s: float) -> float:
+        """Average delivered rate over ``duration_s``."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        return self.bytes_delivered * 8 / 1e6 / duration_s
+
+
+class ConstantBitrateSender:
+    """Paces packets of one flow into a link at a fixed average rate.
+
+    Parameters
+    ----------
+    jitter:
+        Relative uniform jitter on each pacing interval.  Real senders
+        are never perfectly periodic; without jitter, two phase-locked
+        CBR sources through one drop-tail queue exhibit deterministic
+        lockout (one source always finds the queue full) — an artifact,
+        not a network property.  Requires ``rng`` when nonzero.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: PacketLink,
+        flow_id: str,
+        rate_mbps: float,
+        packet_bytes: int = 1200,
+        jitter: float = 0.0,
+        rng=None,
+    ):
+        if rate_mbps <= 0:
+            raise ValueError("rate must be positive")
+        if packet_bytes <= 0:
+            raise ValueError("packet size must be positive")
+        if not 0 <= jitter < 1:
+            raise ValueError("jitter must be in [0, 1)")
+        if jitter > 0 and rng is None:
+            raise ValueError("jitter requires an rng")
+        self.sim = sim
+        self.link = link
+        self.flow_id = flow_id
+        self.rate_mbps = rate_mbps
+        self.packet_bytes = packet_bytes
+        self.jitter = jitter
+        self.rng = rng
+        self.packets_sent = 0
+        self._stopped = False
+
+    @property
+    def interval_s(self) -> float:
+        return self.packet_bytes * 8 / (self.rate_mbps * 1e6)
+
+    def _next_interval_s(self) -> float:
+        if self.jitter == 0:
+            return self.interval_s
+        factor = 1.0 + self.jitter * (2.0 * self.rng.random() - 1.0)
+        return self.interval_s * factor
+
+    def start(self) -> None:
+        """Begin pacing; runs until :meth:`stop`."""
+        self._stopped = False
+        self._tick()
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self.link.send(
+            Packet(
+                size_bytes=self.packet_bytes,
+                flow_id=self.flow_id,
+                created_s=self.sim.now,
+            )
+        )
+        self.packets_sent += 1
+        self.sim.schedule(self._next_interval_s(), self._tick)
+
+    def stop(self) -> None:
+        self._stopped = True

@@ -1,0 +1,81 @@
+"""End-to-end paths: the route a single connection takes.
+
+A :class:`NetworkPath` bundles the links between a client and one test
+server with the path's propagation RTT and random-loss rate.  Transport
+models (:mod:`repro.tcp`) and the UDP probe protocol (:mod:`repro.core`)
+open flows on paths rather than touching links directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.netsim.flow import Flow
+from repro.netsim.link import Link
+from repro.netsim.network import Network
+
+
+class NetworkPath:
+    """A client-to-server route across ``links`` within ``network``.
+
+    Parameters
+    ----------
+    network:
+        Owning :class:`~repro.netsim.network.Network`; flows opened on
+        the path are started/stopped there.
+    links:
+        Links the path traverses (typically the client access link and
+        the server uplink).
+    rtt_s:
+        Base propagation round-trip time in seconds.
+    loss_rate:
+        Probability that any given RTT experiences a spurious loss
+        event, modelling the random losses common on cellular links
+        (§5.1).  Consumed by the TCP model; UDP probing ignores it for
+        rate purposes but reports it in diagnostics.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        links: List[Link],
+        rtt_s: float,
+        loss_rate: float = 0.0,
+    ):
+        if rtt_s <= 0:
+            raise ValueError(f"RTT must be positive, got {rtt_s}")
+        if not 0 <= loss_rate < 1:
+            raise ValueError(f"loss rate must be in [0, 1), got {loss_rate}")
+        if not links:
+            raise ValueError("a path needs at least one link")
+        self.network = network
+        self.links = list(links)
+        self.rtt_s = float(rtt_s)
+        self.loss_rate = float(loss_rate)
+
+    def open_flow(self, demand_mbps: Optional[float] = None, label: str = "") -> Flow:
+        """Create and activate a flow along this path."""
+        flow = Flow(self.links, demand_mbps=demand_mbps, label=label)
+        self.network.start_flow(flow)
+        return flow
+
+    def close_flow(self, flow: Flow) -> None:
+        """Deactivate a flow previously opened on this path."""
+        self.network.stop_flow(flow)
+
+    def bottleneck_capacity(self, time_s: float) -> float:
+        """Minimum instantaneous link capacity along the path in Mbps.
+
+        This ignores competing flows; it is the raw ceiling, not the
+        fair share.
+        """
+        return min(link.capacity_at(time_s) for link in self.links)
+
+    def bdp_bytes(self, time_s: float) -> float:
+        """Bandwidth-delay product in bytes at ``time_s``: the pipe size
+        a sender must fill to saturate the path."""
+        return self.bottleneck_capacity(time_s) * 1e6 / 8 * self.rtt_s
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        names = "+".join(l.name for l in self.links)
+        return f"NetworkPath({names}, rtt={self.rtt_s * 1000:.1f} ms)"

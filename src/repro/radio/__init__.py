@@ -1,0 +1,66 @@
+"""Cellular radio models: LTE and 5G NR access bandwidth.
+
+This package models the physical and deployment factors the paper's
+measurement study identifies as the drivers of 4G/5G access bandwidth:
+
+* the nine LTE bands and five NR bands used in China, with their
+  downlink spectrum and maximum channel bandwidth
+  (:mod:`repro.radio.bands`, Tables 1 and 2);
+* Shannon-capacity-based link throughput with practical spectral
+  efficiency caps (:mod:`repro.radio.shannon`);
+* received signal strength levels, their mapping to SNR, and the
+  dense-urban interference that breaks the RSS→bandwidth monotonicity
+  at level 5 (:mod:`repro.radio.rss`, Figures 11-12);
+* LTE cells and LTE-Advanced carrier aggregation
+  (:mod:`repro.radio.lte`, §3.2);
+* NR cells (:mod:`repro.radio.nr`, §3.3);
+* the 2021 spectrum refarming of LTE Bands 1/28/41 into NR N1/N28/N41
+  (:mod:`repro.radio.refarming`);
+* 5G base-station sleeping and the diurnal load pattern
+  (:mod:`repro.radio.sleeping`, Figure 10).
+"""
+
+from repro.radio.bands import (
+    LTE_BANDS,
+    NR_BANDS,
+    Band,
+    lte_band,
+    lte_h_bands,
+    lte_l_bands,
+    nr_band,
+)
+from repro.radio.lte import LteAdvancedCell, LteCell
+from repro.radio.nr import NrCell
+from repro.radio.refarming import REFARMING_2021, RefarmingPlan
+from repro.radio.rss import RssModel, rss_level_from_dbm
+from repro.radio.shannon import shannon_capacity_mbps, spectral_efficiency
+from repro.radio.sleeping import DiurnalProfile, SleepPolicy
+from repro.radio.spectrum import (
+    CarrierAllocation,
+    SpectrumMap,
+    china_lte_spectrum_maps,
+)
+
+__all__ = [
+    "Band",
+    "CarrierAllocation",
+    "DiurnalProfile",
+    "LTE_BANDS",
+    "LteAdvancedCell",
+    "LteCell",
+    "NR_BANDS",
+    "NrCell",
+    "REFARMING_2021",
+    "RefarmingPlan",
+    "RssModel",
+    "SleepPolicy",
+    "SpectrumMap",
+    "china_lte_spectrum_maps",
+    "lte_band",
+    "lte_h_bands",
+    "lte_l_bands",
+    "nr_band",
+    "rss_level_from_dbm",
+    "shannon_capacity_mbps",
+    "spectral_efficiency",
+]

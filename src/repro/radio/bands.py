@@ -1,0 +1,139 @@
+"""3GPP frequency bands used in China (Tables 1 and 2 of the paper).
+
+Each :class:`Band` records the downlink spectrum, the maximum supported
+channel bandwidth, and the ISPs deploying it.  The paper classifies LTE
+bands supporting a 20 MHz channel as high-bandwidth "H-Bands" and the
+rest as "L-Bands" (§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: LTE channel bandwidth required to realise the 4G bandwidth limit.
+H_BAND_CHANNEL_MHZ = 20.0
+
+
+@dataclass(frozen=True)
+class Band:
+    """A 3GPP frequency band.
+
+    Attributes
+    ----------
+    name:
+        3GPP designation (``"B3"`` for LTE Band 3, ``"N78"`` for NR).
+    generation:
+        ``"4G"`` or ``"5G"``.
+    dl_low_mhz / dl_high_mhz:
+        Downlink spectrum edges in MHz.
+    max_channel_mhz:
+        Maximum supported channel bandwidth in MHz.
+    isps:
+        ISP identifiers (1-4) licensed on the band.
+    special_purpose:
+        Deployment note explaining anomalies in the band's measured
+        bandwidth (e.g. Band 39 serves sparse rural eNodeBs).
+    """
+
+    name: str
+    generation: str
+    dl_low_mhz: float
+    dl_high_mhz: float
+    max_channel_mhz: float
+    isps: Tuple[int, ...]
+    special_purpose: str = ""
+
+    @property
+    def dl_width_mhz(self) -> float:
+        """Total downlink spectrum width in MHz."""
+        return self.dl_high_mhz - self.dl_low_mhz
+
+    @property
+    def center_mhz(self) -> float:
+        """Downlink spectrum centre frequency in MHz."""
+        return (self.dl_low_mhz + self.dl_high_mhz) / 2.0
+
+    @property
+    def is_h_band(self) -> bool:
+        """True for LTE bands supporting the full 20 MHz channel."""
+        return (
+            self.generation == "4G"
+            and self.max_channel_mhz >= H_BAND_CHANNEL_MHZ
+        )
+
+
+#: Table 1 — the nine LTE bands, ordered by downlink spectrum.
+LTE_BANDS: Dict[str, Band] = {
+    band.name: band
+    for band in [
+        Band("B28", "4G", 758.0, 803.0, 20.0, (4,)),
+        Band("B5", "4G", 869.0, 894.0, 10.0, (3,)),
+        Band("B8", "4G", 925.0, 960.0, 10.0, (1, 2)),
+        Band("B3", "4G", 1805.0, 1880.0, 20.0, (1, 2, 3)),
+        Band(
+            "B39", "4G", 1880.0, 1920.0, 20.0, (1,),
+            special_purpose="rural coverage with sparse eNodeB deployment",
+        ),
+        Band("B34", "4G", 2010.0, 2025.0, 15.0, (1,)),
+        Band("B1", "4G", 2110.0, 2170.0, 20.0, (2, 3)),
+        Band(
+            "B40", "4G", 2300.0, 2400.0, 20.0, (1,),
+            special_purpose="indoor penetration with dense eNodeB deployment",
+        ),
+        Band("B41", "4G", 2496.0, 2690.0, 20.0, (1,)),
+    ]
+}
+
+#: Table 2 — the five NR bands, ordered by downlink spectrum.
+NR_BANDS: Dict[str, Band] = {
+    band.name: band
+    for band in [
+        Band("N28", "5G", 758.0, 803.0, 20.0, (4,)),
+        Band("N1", "5G", 2110.0, 2170.0, 20.0, (2, 3)),
+        Band("N41", "5G", 2496.0, 2690.0, 100.0, (1,)),
+        Band("N78", "5G", 3300.0, 3800.0, 100.0, (2, 3)),
+        Band(
+            "N79", "5G", 4400.0, 5000.0, 100.0, (1, 4),
+            special_purpose="under test deployment; effectively unused",
+        ),
+    ]
+}
+
+
+def lte_band(name: str) -> Band:
+    """Look up an LTE band by name, e.g. ``"B3"``."""
+    try:
+        return LTE_BANDS[name]
+    except KeyError:
+        raise KeyError(f"unknown LTE band {name!r}; known: {sorted(LTE_BANDS)}")
+
+
+def nr_band(name: str) -> Band:
+    """Look up an NR band by name, e.g. ``"N78"``."""
+    try:
+        return NR_BANDS[name]
+    except KeyError:
+        raise KeyError(f"unknown NR band {name!r}; known: {sorted(NR_BANDS)}")
+
+
+def lte_h_bands() -> List[Band]:
+    """LTE bands supporting the 20 MHz channel, in spectrum order."""
+    return [b for b in LTE_BANDS.values() if b.is_h_band]
+
+
+def lte_l_bands() -> List[Band]:
+    """LTE bands limited below 20 MHz, in spectrum order."""
+    return [b for b in LTE_BANDS.values() if not b.is_h_band]
+
+
+def h_band_spectrum_share(band_names: List[str]) -> float:
+    """Fraction of total LTE H-Band downlink spectrum occupied by the
+    given bands.  The paper notes refarmed Bands 1/28/41 cover 58.2% of
+    the H-Band spectrum (§3.2)."""
+    h_bands = lte_h_bands()
+    total = sum(b.dl_width_mhz for b in h_bands)
+    chosen = sum(
+        b.dl_width_mhz for b in h_bands if b.name in set(band_names)
+    )
+    return chosen / total

@@ -1,0 +1,149 @@
+"""Spectrum refarming from LTE to NR (§3.2-§3.3, §4).
+
+In early 2021 Chinese ISPs refarmed spectrum from LTE Bands 1, 28 and
+41 — 58.2% of the high-bandwidth LTE spectrum — to the NR bands N1,
+N28 and N41.  The consequences the paper quantifies:
+
+* LTE capacity on the refarmed bands shrinks (the paper measures Band 1
+  at 63 Mbps and Band 41 at 58 Mbps, below the 68 Mbps 2020 average),
+  and LTE load concentrates on the survivors (Band 3 alone serves 55%
+  of tests);
+* NR inherits whatever *contiguous* slice could be carved out: a wide
+  100 MHz block from Band 41 (so N41 ≈ N78), but only thin 60/45 MHz
+  totals from Bands 1/28, of which at most a 20/30 MHz NR channel is
+  usable — hence N1/N28 average only ~103/113 Mbps.
+
+:class:`RefarmingPlan` captures which spectrum moved and what channel
+widths each side retains, so both the LTE and NR cell models, and the
+dataset generator, consume one consistent description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.radio.bands import lte_band, nr_band
+
+
+@dataclass(frozen=True)
+class BandRefarming:
+    """Refarming of one LTE band into its NR counterpart.
+
+    Attributes
+    ----------
+    lte_name / nr_name:
+        Source LTE band and destination NR band.
+    refarmed_contiguous_mhz:
+        Width of the contiguous block moved to NR.
+    nr_channel_mhz:
+        NR channel width actually deployable in that block (bounded by
+        the NR band's max channel bandwidth).
+    lte_channel_mhz_after:
+        LTE channel width remaining for 4G service on the band.
+    lte_capacity_retained:
+        Fraction of the band's former LTE carrier capacity still
+        serving 4G users (fewer carriers remain after refarming).
+    """
+
+    lte_name: str
+    nr_name: str
+    refarmed_contiguous_mhz: float
+    nr_channel_mhz: float
+    lte_channel_mhz_after: float
+    lte_capacity_retained: float
+
+    def __post_init__(self) -> None:
+        lte = lte_band(self.lte_name)
+        nr = nr_band(self.nr_name)
+        if self.refarmed_contiguous_mhz > lte.dl_width_mhz:
+            raise ValueError(
+                f"cannot refarm {self.refarmed_contiguous_mhz} MHz out of "
+                f"{lte.name}'s {lte.dl_width_mhz} MHz"
+            )
+        if self.nr_channel_mhz > nr.max_channel_mhz:
+            raise ValueError(
+                f"NR channel {self.nr_channel_mhz} MHz exceeds {nr.name}'s "
+                f"max {nr.max_channel_mhz} MHz"
+            )
+        if not 0 <= self.lte_capacity_retained <= 1:
+            raise ValueError("retained capacity must be a fraction")
+
+
+@dataclass(frozen=True)
+class RefarmingPlan:
+    """A complete refarming event: the per-band moves plus helpers."""
+
+    name: str
+    moves: Tuple[BandRefarming, ...]
+
+    def lte_bands_affected(self) -> Tuple[str, ...]:
+        return tuple(m.lte_name for m in self.moves)
+
+    def nr_channel_mhz(self, nr_name: str) -> float:
+        """NR channel width on ``nr_name`` after the plan; dedicated
+        bands keep their full max channel."""
+        for move in self.moves:
+            if move.nr_name == nr_name:
+                return move.nr_channel_mhz
+        return nr_band(nr_name).max_channel_mhz
+
+    def lte_channel_mhz(self, lte_name: str) -> float:
+        """LTE channel width on ``lte_name`` after the plan."""
+        for move in self.moves:
+            if move.lte_name == lte_name:
+                return move.lte_channel_mhz_after
+        return lte_band(lte_name).max_channel_mhz
+
+    def lte_capacity_factor(self, lte_name: str) -> float:
+        """Fraction of pre-refarming LTE capacity left on the band."""
+        for move in self.moves:
+            if move.lte_name == lte_name:
+                return move.lte_capacity_retained
+        return 1.0
+
+    def as_dict(self) -> Dict[str, Mapping[str, float]]:
+        """Summary used by reports and EXPERIMENTS.md generation."""
+        return {
+            m.lte_name: {
+                "refarmed_mhz": m.refarmed_contiguous_mhz,
+                "nr_channel_mhz": m.nr_channel_mhz,
+                "lte_channel_mhz_after": m.lte_channel_mhz_after,
+            }
+            for m in self.moves
+        }
+
+
+#: The early-2021 refarming event the paper analyses.  Band 41 yields a
+#: contiguous 100 MHz block (2515-2615 MHz) so N41 gets a full-width
+#: channel; Bands 1 and 28 yield only 60 and 45 MHz in total, of which
+#: a 20 MHz NR channel is deployable (Table 2 caps both at 20 MHz).
+REFARMING_2021 = RefarmingPlan(
+    name="china-2021",
+    moves=(
+        BandRefarming(
+            lte_name="B1",
+            nr_name="N1",
+            refarmed_contiguous_mhz=60.0,
+            nr_channel_mhz=20.0,
+            lte_channel_mhz_after=15.0,
+            lte_capacity_retained=0.6,
+        ),
+        BandRefarming(
+            lte_name="B28",
+            nr_name="N28",
+            refarmed_contiguous_mhz=45.0,
+            nr_channel_mhz=20.0,
+            lte_channel_mhz_after=10.0,
+            lte_capacity_retained=0.5,
+        ),
+        BandRefarming(
+            lte_name="B41",
+            nr_name="N41",
+            refarmed_contiguous_mhz=100.0,
+            nr_channel_mhz=100.0,
+            lte_channel_mhz_after=20.0,
+            lte_capacity_retained=0.55,
+        ),
+    ),
+)

@@ -1,0 +1,128 @@
+"""Received signal strength (RSS) levels, SNR, and urban interference.
+
+Android reports cellular signal strength as a level from 1 (poor) to 5
+(excellent), derived from RSRP thresholds.  The paper's Figures 11-12
+show that while RSS level and SNR correlate monotonically, 5G
+*bandwidth* does not: excellent-RSS (level 5) tests concentrate in
+crowded urban areas where dense gNodeB deployment causes cross-region
+coverage, multipath/co-channel interference, load-balancing and
+handover problems — all of which depress throughput despite the strong
+signal.
+
+:class:`RssModel` separates the two effects: ``snr_for_level`` is
+monotone in the level (Figure 11), while ``interference_penalty_db``
+and ``extra_load`` apply only in dense-urban conditions, producing the
+level-5 bandwidth drop (Figure 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+#: RSRP thresholds (dBm) separating Android signal levels 1..5.
+#: level 5: >= -85, level 4: [-95, -85), ..., level 1: < -115.
+RSS_LEVEL_THRESHOLDS_DBM: Tuple[float, ...] = (-115.0, -105.0, -95.0, -85.0)
+
+#: Representative RSRP (dBm) drawn for a device at each level.
+RSS_LEVEL_RANGES_DBM: Dict[int, Tuple[float, float]] = {
+    1: (-125.0, -115.0),
+    2: (-115.0, -105.0),
+    3: (-105.0, -95.0),
+    4: (-95.0, -85.0),
+    5: (-85.0, -70.0),
+}
+
+
+def rss_level_from_dbm(rsrp_dbm: float) -> int:
+    """Map an RSRP reading to the Android 1-5 signal level."""
+    level = 1
+    for threshold in RSS_LEVEL_THRESHOLDS_DBM:
+        if rsrp_dbm >= threshold:
+            level += 1
+    return level
+
+
+@dataclass
+class RssModel:
+    """Signal-quality model tying RSS level to SNR and interference.
+
+    Attributes
+    ----------
+    snr_mean_by_level:
+        Mean SNR (dB) at each RSS level; monotone increasing
+        (Figure 11).
+    snr_sigma_db:
+        Per-test SNR spread around the level mean.
+    dense_urban_interference_db:
+        SINR degradation applied in dense-urban cells (cross-region
+        coverage, multipath and co-channel interference).
+    dense_urban_extra_load:
+        Additional cell-load fraction in dense-urban areas (population
+        density drives contention).
+    """
+
+    snr_mean_by_level: Dict[int, float] = field(
+        default_factory=lambda: {1: 4.0, 2: 11.0, 3: 18.0, 4: 26.0, 5: 34.0}
+    )
+    snr_sigma_db: float = 3.0
+    dense_urban_interference_db: float = 9.0
+    dense_urban_extra_load: float = 0.15
+
+    def __post_init__(self) -> None:
+        levels = sorted(self.snr_mean_by_level)
+        if levels != [1, 2, 3, 4, 5]:
+            raise ValueError(f"levels must be exactly 1..5, got {levels}")
+        means = [self.snr_mean_by_level[l] for l in levels]
+        if any(b <= a for a, b in zip(means, means[1:])):
+            raise ValueError("SNR means must be strictly increasing in level")
+
+    def sample_rsrp_dbm(self, level: int, rng: np.random.Generator) -> float:
+        """Draw a plausible RSRP reading for the given level."""
+        low, high = RSS_LEVEL_RANGES_DBM[level]
+        return float(rng.uniform(low, high))
+
+    def sample_snr_db(
+        self,
+        level: int,
+        rng: np.random.Generator,
+        dense_urban: bool = False,
+    ) -> float:
+        """Draw the effective SINR for one test.
+
+        Dense-urban tests suffer the interference penalty: the reported
+        RSS stays excellent (the serving signal *is* strong) while the
+        usable SINR — what throughput actually depends on — degrades.
+        """
+        if level not in self.snr_mean_by_level:
+            raise ValueError(f"RSS level must be 1..5, got {level}")
+        snr = rng.normal(self.snr_mean_by_level[level], self.snr_sigma_db)
+        if dense_urban:
+            snr -= self.dense_urban_interference_db
+        return float(snr)
+
+    def mean_snr_db(self, level: int, dense_urban: bool = False) -> float:
+        """Expected SINR at a level (no sampling)."""
+        snr = self.snr_mean_by_level[level]
+        return snr - self.dense_urban_interference_db if dense_urban else snr
+
+    def load_adjustment(self, dense_urban: bool) -> float:
+        """Extra cell load contributed by dense-urban population."""
+        return self.dense_urban_extra_load if dense_urban else 0.0
+
+
+def dense_urban_probability(level: int, base_prob: float = 0.15) -> float:
+    """Probability a test at the given RSS level sits in a dense-urban
+    cell.
+
+    The paper observes that excellent-RSS tests are *mostly* performed
+    in crowded urban areas (§3.3): proximity to a gNodeB — which is what
+    produces level-5 RSS — is itself a symptom of dense deployment.  We
+    model that with a steeply increasing conditional probability.
+    """
+    if level not in (1, 2, 3, 4, 5):
+        raise ValueError(f"RSS level must be 1..5, got {level}")
+    by_level = {1: 0.1, 2: 0.2, 3: 0.5, 4: 0.9, 5: 4.0}
+    return min(0.95, base_prob * by_level[level])

@@ -1,0 +1,74 @@
+"""Shannon-Hartley capacity with practical modulation caps.
+
+The paper grounds its channel-bandwidth analysis in the
+Shannon-Hartley theorem (§3.2): the access-bandwidth limit grows
+linearly with channel bandwidth and logarithmically with SNR.  Real
+radios cannot realise the full Shannon bound — modulation and coding
+stop at a maximum spectral efficiency (64-QAM ≈ 6 bit/s/Hz for LTE,
+256-QAM ≈ 8 bit/s/Hz for LTE-Advanced and NR) and implementation
+overheads (control channels, cyclic prefix, coding) shave a constant
+factor.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.units import db_to_linear
+
+#: Fraction of the Shannon bound realised by practical LTE/NR PHYs
+#: (captures coding overhead, control channels, cyclic prefix).
+IMPLEMENTATION_FACTOR = 0.75
+
+#: Peak spectral efficiency per spatial stream, bit/s/Hz.
+MAX_SE_QAM64 = 6.0
+MAX_SE_QAM256 = 8.0
+
+
+def spectral_efficiency(
+    snr_db: float,
+    max_se: float = MAX_SE_QAM64,
+    implementation_factor: float = IMPLEMENTATION_FACTOR,
+) -> float:
+    """Achievable spectral efficiency in bit/s/Hz for one stream.
+
+    ``min(factor * log2(1 + SNR), max_se)`` — the Shannon bound scaled
+    by the implementation factor and clipped at the modulation ceiling.
+    Negative-SNR (in dB) channels still carry a trickle, as the Shannon
+    formula dictates.
+    """
+    if max_se <= 0:
+        raise ValueError(f"max spectral efficiency must be positive, got {max_se}")
+    if not 0 < implementation_factor <= 1:
+        raise ValueError(
+            f"implementation factor must be in (0, 1], got {implementation_factor}"
+        )
+    shannon = math.log2(1.0 + db_to_linear(snr_db))
+    return min(implementation_factor * shannon, max_se)
+
+
+def shannon_capacity_mbps(
+    channel_mhz: float,
+    snr_db: float,
+    streams: int = 2,
+    max_se: float = MAX_SE_QAM64,
+    implementation_factor: float = IMPLEMENTATION_FACTOR,
+) -> float:
+    """Practical link capacity in Mbps.
+
+    Parameters
+    ----------
+    channel_mhz:
+        Channel bandwidth in MHz.
+    snr_db:
+        Post-equalisation signal-to-noise ratio in dB.
+    streams:
+        Spatial MIMO streams (2 for baseline LTE 2x2, 4 for
+        LTE-Advanced / NR massive MIMO).
+    """
+    if channel_mhz <= 0:
+        raise ValueError(f"channel bandwidth must be positive, got {channel_mhz}")
+    if streams < 1:
+        raise ValueError(f"streams must be >= 1, got {streams}")
+    se = spectral_efficiency(snr_db, max_se, implementation_factor)
+    return channel_mhz * se * streams

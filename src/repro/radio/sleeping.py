@@ -1,0 +1,141 @@
+"""Diurnal load and 5G base-station sleeping (Figure 10, §3.3).
+
+Two interacting mechanisms shape 5G bandwidth over a day:
+
+* **Load** — more concurrent users mean heavier cell load, so measured
+  bandwidth is broadly anti-correlated with the number of tests;
+* **Sleeping** — ISPs switch off part of the active antenna units of 5G
+  gNodeBs from 21:00 to 9:00 to save energy, trimming cell capacity in
+  that window.  4G eNodeBs consume far less power and do not sleep.
+
+The combination produces the paper's signature pattern: the bandwidth
+*trough* (276 Mbps) falls at 21:00-23:00 — sleeping plus a still-busy
+network — while the *peak* (334 Mbps) falls at 3:00-5:00 when the
+network is nearly idle despite sleeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+#: Relative test volume per hour of day, shaped after Figure 10:
+#: near-idle 3:00-5:00, climbing through the morning, sustained
+#: afternoon plateau, evening taper.
+DEFAULT_HOURLY_VOLUME: Tuple[float, ...] = (
+    150, 90, 60, 46, 46, 60, 90, 150,       # 0-7h
+    250, 330, 400, 430, 440, 420, 430, 450,  # 8-15h
+    455, 440, 420, 400, 380, 362, 362, 250,  # 16-23h
+)
+
+
+@dataclass(frozen=True)
+class SleepPolicy:
+    """Energy-saving sleep window for 5G gNodeBs.
+
+    Attributes
+    ----------
+    start_hour / end_hour:
+        Sleep window bounds; the default 21:00-9:00 window wraps around
+        midnight, matching the ISPs' observed policy.
+    capacity_factor:
+        Fraction of cell capacity available while sleeping (part of
+        the active antenna processing units are off).
+    """
+
+    start_hour: int = 21
+    end_hour: int = 9
+    capacity_factor: float = 0.85
+
+    def __post_init__(self) -> None:
+        for h in (self.start_hour, self.end_hour):
+            if not 0 <= h <= 23:
+                raise ValueError(f"hours must be 0..23, got {h}")
+        if not 0 < self.capacity_factor <= 1:
+            raise ValueError(
+                f"capacity factor must be in (0, 1], got {self.capacity_factor}"
+            )
+
+    def is_sleeping(self, hour: int) -> bool:
+        """True when the sleep window covers ``hour``."""
+        if not 0 <= hour <= 23:
+            raise ValueError(f"hour must be 0..23, got {hour}")
+        if self.start_hour <= self.end_hour:
+            return self.start_hour <= hour < self.end_hour
+        return hour >= self.start_hour or hour < self.end_hour
+
+    def factor(self, hour: int) -> float:
+        """Capacity multiplier in effect at ``hour``."""
+        return self.capacity_factor if self.is_sleeping(hour) else 1.0
+
+
+#: No-op policy used for 4G (eNodeBs do not sleep).
+NO_SLEEP = SleepPolicy(start_hour=0, end_hour=0, capacity_factor=1.0)
+
+
+@dataclass
+class DiurnalProfile:
+    """Hour-of-day test volume and the cell load it implies.
+
+    Attributes
+    ----------
+    hourly_volume:
+        Relative number of tests per hour (any positive scale).
+    load_floor / load_ceiling:
+        Cell load at the quietest and busiest hour respectively; load
+        interpolates linearly with normalised volume in between.
+    """
+
+    hourly_volume: Tuple[float, ...] = DEFAULT_HOURLY_VOLUME
+    load_floor: float = 0.25
+    load_ceiling: float = 0.75
+
+    def __post_init__(self) -> None:
+        if len(self.hourly_volume) != 24:
+            raise ValueError("hourly_volume must have 24 entries")
+        if min(self.hourly_volume) <= 0:
+            raise ValueError("hourly volumes must be positive")
+        if not 0 <= self.load_floor < self.load_ceiling <= 1:
+            raise ValueError(
+                "need 0 <= load_floor < load_ceiling <= 1, got "
+                f"{self.load_floor}, {self.load_ceiling}"
+            )
+
+    def volume_share(self, hour: int) -> float:
+        """Fraction of a day's tests issued in ``hour``."""
+        return self.hourly_volume[hour] / sum(self.hourly_volume)
+
+    def normalized_volume(self, hour: int) -> float:
+        """Volume scaled to [0, 1] across the day."""
+        lo, hi = min(self.hourly_volume), max(self.hourly_volume)
+        return (self.hourly_volume[hour] - lo) / (hi - lo)
+
+    def load_at(self, hour: int) -> float:
+        """Mean cell load at ``hour``."""
+        span = self.load_ceiling - self.load_floor
+        return self.load_floor + span * self.normalized_volume(hour)
+
+    def mean_load(self) -> float:
+        """Test-volume-weighted day-average of :meth:`load_at`,
+        cached after the first call."""
+        cached = getattr(self, "_mean_load", None)
+        if cached is None:
+            cached = sum(
+                self.load_at(h) * self.volume_share(h) for h in range(24)
+            )
+            object.__setattr__(self, "_mean_load", cached)
+        return cached
+
+    def sample_hour(self, rng: np.random.Generator) -> int:
+        """Draw a test's hour of day with probability ∝ volume."""
+        weights = np.asarray(self.hourly_volume, dtype=float)
+        return int(rng.choice(24, p=weights / weights.sum()))
+
+    def sample_load(
+        self, hour: int, rng: np.random.Generator, sigma: float = 0.12
+    ) -> float:
+        """Draw an instantaneous cell load around the hourly mean."""
+        load = rng.normal(self.load_at(hour), sigma)
+        return float(min(0.97, max(0.02, load)))

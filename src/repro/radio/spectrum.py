@@ -1,0 +1,193 @@
+"""Spectrum fragmentation analytics (§4).
+
+The paper's implications section argues that LTE spectrum in China is
+*severely fragmented*: static segmentation among ISPs, guard bands
+between allocations, and legacy technologies sharing bands leave few
+contiguous blocks wide enough for NR (which wants ~100 MHz).  This
+module makes that argument computable: a :class:`SpectrumMap` holds
+per-band carrier allocations, and the analytics report contiguous
+block structure, a fragmentation index, and what defragmentation
+would unlock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.radio.bands import Band, LTE_BANDS
+
+#: Guard band inserted between adjacent allocations, MHz (§4 cites
+#: guard bands as one of the two fragmentation mechanisms).
+DEFAULT_GUARD_MHZ = 1.0
+
+
+@dataclass(frozen=True)
+class CarrierAllocation:
+    """One carrier inside a band.
+
+    Attributes
+    ----------
+    low_mhz / high_mhz:
+        Allocation edges (absolute frequency).
+    owner:
+        ISP id or technology tag (e.g. ``"isp1-lte"``, ``"gsm"``).
+    """
+
+    low_mhz: float
+    high_mhz: float
+    owner: str
+
+    def __post_init__(self) -> None:
+        if self.high_mhz <= self.low_mhz:
+            raise ValueError(
+                f"empty allocation [{self.low_mhz}, {self.high_mhz}]"
+            )
+
+    @property
+    def width_mhz(self) -> float:
+        return self.high_mhz - self.low_mhz
+
+
+class SpectrumMap:
+    """Carrier allocations within one band's downlink spectrum."""
+
+    def __init__(self, band: Band, allocations: Sequence[CarrierAllocation]):
+        self.band = band
+        ordered = sorted(allocations, key=lambda a: a.low_mhz)
+        for alloc in ordered:
+            if alloc.low_mhz < band.dl_low_mhz - 1e-9 or (
+                alloc.high_mhz > band.dl_high_mhz + 1e-9
+            ):
+                raise ValueError(
+                    f"{alloc} outside {band.name}'s "
+                    f"[{band.dl_low_mhz}, {band.dl_high_mhz}] MHz"
+                )
+        for a, b in zip(ordered, ordered[1:]):
+            if b.low_mhz < a.high_mhz - 1e-9:
+                raise ValueError(f"overlapping allocations: {a} and {b}")
+        self.allocations: Tuple[CarrierAllocation, ...] = tuple(ordered)
+
+    # -- gaps and blocks ---------------------------------------------------
+
+    def free_blocks_mhz(self) -> List[Tuple[float, float]]:
+        """Unallocated (low, high) gaps inside the band."""
+        gaps = []
+        cursor = self.band.dl_low_mhz
+        for alloc in self.allocations:
+            if alloc.low_mhz > cursor + 1e-9:
+                gaps.append((cursor, alloc.low_mhz))
+            cursor = max(cursor, alloc.high_mhz)
+        if cursor < self.band.dl_high_mhz - 1e-9:
+            gaps.append((cursor, self.band.dl_high_mhz))
+        return gaps
+
+    def largest_free_block_mhz(self) -> float:
+        """Width of the widest unallocated contiguous block."""
+        gaps = self.free_blocks_mhz()
+        return max((hi - lo for lo, hi in gaps), default=0.0)
+
+    def allocated_mhz(self) -> float:
+        return sum(a.width_mhz for a in self.allocations)
+
+    def fragmentation_index(self) -> float:
+        """1 - (largest free block / total free spectrum).
+
+        0 means all free spectrum is one contiguous block; values near
+        1 mean the free spectrum is shredded into slivers.  A fully
+        allocated band reports 0 (nothing to fragment).
+        """
+        free = self.band.dl_width_mhz - self.allocated_mhz()
+        if free <= 1e-9:
+            return 0.0
+        return 1.0 - self.largest_free_block_mhz() / free
+
+    # -- refarming ------------------------------------------------------------
+
+    def refarmable_block_mhz(
+        self,
+        clearable_owners: Sequence[str],
+        guard_mhz: float = DEFAULT_GUARD_MHZ,
+    ) -> float:
+        """Widest contiguous block obtainable by clearing the given
+        owners' carriers (plus existing gaps), keeping a guard band
+        against every surviving neighbour.
+
+        This is the §4 question: *how much NR channel can this band
+        yield without moving the carriers that must stay?*
+        """
+        clearable = set(clearable_owners)
+        survivors = [
+            a for a in self.allocations if a.owner not in clearable
+        ]
+        # Candidate region edges: band edges and survivor boundaries
+        # padded by the guard band.
+        edges = [self.band.dl_low_mhz]
+        for alloc in sorted(survivors, key=lambda a: a.low_mhz):
+            edges.append(alloc.low_mhz - guard_mhz)
+            edges.append(alloc.high_mhz + guard_mhz)
+        edges.append(self.band.dl_high_mhz)
+        best = 0.0
+        for lo, hi in zip(edges[::2], edges[1::2]):
+            best = max(best, hi - lo)
+        return max(0.0, best)
+
+    def defragmentation_gain_mhz(
+        self,
+        clearable_owners: Sequence[str],
+        guard_mhz: float = DEFAULT_GUARD_MHZ,
+    ) -> float:
+        """Extra contiguous width unlocked if the surviving carriers
+        could be repacked to one edge of the band (ideal
+        defragmentation) versus clearing in place."""
+        clearable = set(clearable_owners)
+        survivors_width = sum(
+            a.width_mhz for a in self.allocations if a.owner not in clearable
+        )
+        n_survivors = sum(
+            1 for a in self.allocations if a.owner not in clearable
+        )
+        # Repacked: survivors packed contiguously at the band edge with
+        # one guard band separating them from the cleared region.
+        guard = guard_mhz if n_survivors else 0.0
+        repacked = self.band.dl_width_mhz - survivors_width - guard
+        in_place = self.refarmable_block_mhz(clearable_owners, guard_mhz)
+        return max(0.0, repacked - in_place)
+
+
+def china_lte_spectrum_maps() -> Dict[str, SpectrumMap]:
+    """A stylised pre-refarming allocation of the nine LTE bands.
+
+    Carriers are laid out per the ISPs in Table 1, interleaved with the
+    legacy narrowband systems (§4's second fragmentation mechanism) on
+    the bands known to host them.  The layout is illustrative but
+    dimensionally faithful: per-band totals match the 3GPP band widths.
+    """
+    maps: Dict[str, SpectrumMap] = {}
+    for band in LTE_BANDS.values():
+        cursor = band.dl_low_mhz
+        allocations: List[CarrierAllocation] = []
+        isps = list(band.isps)
+        # Legacy narrowband occupants on the sub-1GHz and 2.1 GHz bands.
+        legacy = band.name in ("B5", "B8", "B1")
+        share = band.dl_width_mhz / (len(isps) + (1 if legacy else 0))
+        for idx, isp in enumerate(isps):
+            width = min(band.max_channel_mhz, share - DEFAULT_GUARD_MHZ)
+            allocations.append(
+                CarrierAllocation(
+                    low_mhz=cursor,
+                    high_mhz=cursor + width,
+                    owner=f"isp{isp}-lte",
+                )
+            )
+            cursor += share
+        if legacy:
+            allocations.append(
+                CarrierAllocation(
+                    low_mhz=cursor,
+                    high_mhz=min(cursor + 5.0, band.dl_high_mhz),
+                    owner="legacy-2g3g",
+                )
+            )
+        maps[band.name] = SpectrumMap(band, allocations)
+    return maps

@@ -1,0 +1,44 @@
+"""Fluid TCP congestion-control models.
+
+The paper's Figure 17 measures how long TCP slow start takes for Cubic,
+Reno, and BBR as access bandwidth grows, motivating Swiftest's move to
+UDP probing.  This package provides per-round (per-RTT) fluid models of
+the three algorithms plus a connection driver over
+:mod:`repro.netsim`.
+
+Fidelity notes
+--------------
+These are *behavioural* models, not packet-level reimplementations.
+They capture the properties the paper's argument rests on:
+
+* exponential window growth during slow start, with the practical
+  growth factor reduced by delayed ACKs;
+* Cubic's HyStart exiting slow start early on delay jitter (a
+  well-documented false-positive mode on wireless links), followed by
+  the slow concave Cubic climb — which is why Cubic shows the longest
+  ramp times in Figure 17;
+* Reno's loss-triggered exit and linear recovery;
+* BBR's paced STARTUP that ignores spurious losses and exits on a
+  delivery-rate plateau — why it ramps fastest;
+* spurious random losses, common on cellular paths, that truncate
+  loss-based slow start early.
+"""
+
+from repro.tcp.bbr import BBR
+from repro.tcp.congestion import CongestionControl, RoundOutcome
+from repro.tcp.connection import TcpConnection
+from repro.tcp.cubic import Cubic
+from repro.tcp.reno import Reno
+from repro.tcp.slowstart import RampMeasurement, make_cc, measure_ramp_time
+
+__all__ = [
+    "BBR",
+    "CongestionControl",
+    "Cubic",
+    "RampMeasurement",
+    "Reno",
+    "RoundOutcome",
+    "TcpConnection",
+    "make_cc",
+    "measure_ramp_time",
+]

@@ -1,0 +1,79 @@
+"""Congestion-control interface shared by Reno, Cubic, and BBR.
+
+The connection driver calls :meth:`CongestionControl.on_round` once per
+RTT with a :class:`RoundOutcome` describing what the network did to the
+flow during that round.  The algorithm updates its internal state; the
+driver then reads :meth:`CongestionControl.demand_pkts_per_rtt` to set
+the flow's demand for the next round.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+#: Standard Ethernet-ish maximum segment size used throughout.
+MSS_BYTES = 1460
+
+#: RFC 6928 initial congestion window.
+INITIAL_CWND_PKTS = 10.0
+
+
+@dataclass
+class RoundOutcome:
+    """What happened to the flow during the last RTT round.
+
+    Attributes
+    ----------
+    delivered_pkts:
+        Packets actually delivered this round (allocated rate x RTT).
+    delivery_rate_pps:
+        Smoothed delivery rate in packets per second.
+    congestion_loss:
+        True when the bottleneck buffer overflowed this round.
+    spurious_loss:
+        True when a random (non-congestion) loss occurred, as is common
+        on cellular links.
+    queue_delay_s:
+        Queueing delay added by the flow's standing backlog.
+    min_rtt_s:
+        Base propagation RTT of the path.
+    """
+
+    delivered_pkts: float
+    delivery_rate_pps: float
+    congestion_loss: bool
+    spurious_loss: bool
+    queue_delay_s: float
+    min_rtt_s: float
+
+
+class CongestionControl(abc.ABC):
+    """Base class for per-round congestion-control models."""
+
+    #: Human-readable algorithm name (used in Figure 17 outputs).
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self.cwnd_pkts = INITIAL_CWND_PKTS
+        self.rounds = 0
+
+    @property
+    @abc.abstractmethod
+    def in_slow_start(self) -> bool:
+        """True while the algorithm is still in its startup phase."""
+
+    @abc.abstractmethod
+    def on_round(self, outcome: RoundOutcome) -> None:
+        """Update state after one RTT round."""
+
+    def demand_pkts_per_rtt(self) -> float:
+        """Window the algorithm wants in flight during the next round.
+
+        Rate-based algorithms (BBR) override this to express a pacing
+        rate instead of a literal window.
+        """
+        return self.cwnd_pkts
+
+    def _tick(self) -> None:
+        self.rounds += 1

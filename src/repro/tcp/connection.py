@@ -1,0 +1,135 @@
+"""TCP connection driver over the fluid network simulator.
+
+A :class:`TcpConnection` owns one :class:`~repro.netsim.flow.Flow` on a
+:class:`~repro.netsim.path.NetworkPath` and advances in fixed time
+slices under an external driver loop (the BTS runners)::
+
+    for each slice dt:
+        conn.pre_allocate(now)      # window -> demand on the flow
+        network.allocate(now)       # fair sharing across all flows
+        conn.post_allocate(now, dt) # deliver bytes, run CC rounds
+
+Queueing is modelled per flow: a window-limited sender keeps ``cwnd``
+bytes in flight, so the standing bottleneck backlog is
+``max(0, inflight - rate x RTT)``.  When the backlog exceeds the
+buffer (a multiple of the path BDP) the round registers a congestion
+loss.  Spurious losses fire per round with the path's ``loss_rate``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.netsim.path import NetworkPath
+from repro.tcp.congestion import CongestionControl, MSS_BYTES, RoundOutcome
+from repro.units import mbps_to_bytes_per_s
+
+#: Minimum per-flow bottleneck buffer, in bytes (64 KB).
+_MIN_BUFFER_BYTES = 64 * 1024
+
+
+class TcpConnection:
+    """One TCP download over a path, driven in time slices."""
+
+    def __init__(
+        self,
+        path: NetworkPath,
+        cc: CongestionControl,
+        rng: Optional[np.random.Generator] = None,
+        buffer_factor: float = 1.0,
+        label: str = "tcp",
+    ):
+        if buffer_factor <= 0:
+            raise ValueError(f"buffer factor must be positive, got {buffer_factor}")
+        self.path = path
+        self.cc = cc
+        self.rng = rng
+        self.buffer_factor = buffer_factor
+        self.label = label
+        self.flow = None
+        self.bytes_received = 0.0
+        self._since_round_s = 0.0
+        self._round_bytes = 0.0
+        self._spurious_pending = False
+        #: (time_s, delivery_rate_mbps) recorded once per slice.
+        self.timeline: List[Tuple[float, float]] = []
+
+    # -- lifecycle ---------------------------------------------------
+
+    def start(self) -> None:
+        """Open the flow.  Idempotent."""
+        if self.flow is None:
+            self.flow = self.path.open_flow(demand_mbps=0.0, label=self.label)
+
+    def stop(self) -> None:
+        """Close the flow.  Idempotent."""
+        if self.flow is not None:
+            self.path.close_flow(self.flow)
+            self.flow = None
+
+    @property
+    def active(self) -> bool:
+        return self.flow is not None
+
+    # -- per-slice stepping -------------------------------------------
+
+    def demand_mbps(self) -> float:
+        """Current send-rate demand derived from the CC window."""
+        window_pkts = self.cc.demand_pkts_per_rtt()
+        return window_pkts * MSS_BYTES * 8 / self.path.rtt_s / 1e6
+
+    def pre_allocate(self, now_s: float) -> None:
+        """Publish the demand for the next allocation round."""
+        if self.flow is None:
+            raise RuntimeError("connection not started")
+        self.flow.demand_mbps = self.demand_mbps()
+
+    def post_allocate(self, now_s: float, dt_s: float) -> None:
+        """Account the slice and run CC rounds as RTTs complete."""
+        if self.flow is None:
+            raise RuntimeError("connection not started")
+        rate_mbps = self.flow.allocated_mbps
+        delivered = mbps_to_bytes_per_s(rate_mbps) * dt_s
+        self.bytes_received += delivered
+        self._round_bytes += delivered
+        self.timeline.append((now_s, rate_mbps))
+
+        queue_delay = self._queue_delay_s(rate_mbps)
+        effective_rtt = self.path.rtt_s + queue_delay
+        self._since_round_s += dt_s
+        if self._since_round_s < effective_rtt:
+            return
+
+        congestion_loss = self._backlog_bytes(rate_mbps) > self._buffer_bytes(now_s)
+        spurious_loss = bool(
+            self.rng is not None and self.rng.random() < self.path.loss_rate
+        )
+        outcome = RoundOutcome(
+            delivered_pkts=self._round_bytes / MSS_BYTES,
+            delivery_rate_pps=mbps_to_bytes_per_s(rate_mbps) / MSS_BYTES,
+            congestion_loss=congestion_loss,
+            spurious_loss=spurious_loss,
+            queue_delay_s=queue_delay,
+            min_rtt_s=self.path.rtt_s,
+        )
+        self.cc.on_round(outcome)
+        self._since_round_s = 0.0
+        self._round_bytes = 0.0
+
+    # -- queue model ---------------------------------------------------
+
+    def _backlog_bytes(self, rate_mbps: float) -> float:
+        """Standing bottleneck backlog: in-flight beyond the pipe."""
+        inflight = self.demand_mbps() * 1e6 / 8 * self.path.rtt_s
+        pipe = mbps_to_bytes_per_s(rate_mbps) * self.path.rtt_s
+        return max(0.0, inflight - pipe)
+
+    def _queue_delay_s(self, rate_mbps: float) -> float:
+        if rate_mbps <= 0:
+            return 0.0
+        return self._backlog_bytes(rate_mbps) / mbps_to_bytes_per_s(rate_mbps)
+
+    def _buffer_bytes(self, now_s: float) -> float:
+        return self.buffer_factor * max(self.path.bdp_bytes(now_s), _MIN_BUFFER_BYTES)

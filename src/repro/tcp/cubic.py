@@ -1,0 +1,131 @@
+"""CUBIC congestion control with HyStart (fluid per-round model).
+
+CUBIC is the Linux default and therefore what most real bandwidth tests
+run over.  Two behaviours matter for the paper's Figure 17:
+
+1. **HyStart** exits slow start when it detects rising delay.  On
+   jittery wireless paths HyStart is prone to false positives, exiting
+   long before the pipe is full (this is extensively reported for
+   cellular links and is why production Cubic ramps slowly there).
+2. After leaving slow start, the window follows the cubic function
+   ``W(t) = C * (t - K)^3 + W_max`` which is *concave* until ``t = K``:
+   the climb back to capacity takes seconds at high bandwidth-delay
+   products.
+
+Together these give Cubic the longest ramp times of the three
+algorithms, matching Figure 17.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.tcp.congestion import CongestionControl, RoundOutcome
+
+
+class Cubic(CongestionControl):
+    """CUBIC with HyStart delay-based slow-start exit.
+
+    Parameters
+    ----------
+    rng:
+        Randomness for HyStart's jitter-induced false positives.  When
+        ``None``, false positives are disabled and only genuine delay
+        growth exits slow start.
+    c:
+        Cubic scaling constant in packets/s^3 (Linux default 0.4).
+    beta:
+        Multiplicative decrease factor (Linux default 0.7 retained
+        fraction, i.e. a 30% reduction).
+    hystart_fp_prob:
+        Per-round probability during slow start that delay jitter
+        triggers a premature HyStart exit on a wireless path.
+    """
+
+    name = "cubic"
+
+    def __init__(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        c: float = 0.4,
+        beta: float = 0.7,
+        hystart_delay_factor: float = 0.125,
+        hystart_fp_prob: float = 0.05,
+    ):
+        super().__init__()
+        if not 0 < beta < 1:
+            raise ValueError(f"beta must be in (0, 1), got {beta}")
+        if c <= 0:
+            raise ValueError(f"cubic constant must be positive, got {c}")
+        self.rng = rng
+        self.c = c
+        self.beta = beta
+        self.hystart_delay_factor = hystart_delay_factor
+        self.hystart_fp_prob = hystart_fp_prob
+        self.ss_growth = 1.5  # delayed-ACK-limited, as for Reno
+        self._slow_start = True
+        self.w_max_pkts = 0.0
+        self._k_s = 0.0
+        self._t_since_epoch_s = 0.0
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self._slow_start
+
+    def _enter_avoidance(self, w_max: float, reduce: bool) -> None:
+        """Start a cubic epoch from the current operating point."""
+        self._slow_start = False
+        self.w_max_pkts = max(w_max, 2.0)
+        if reduce:
+            self.cwnd_pkts = max(2.0, self.cwnd_pkts * self.beta)
+        self._k_s = ((self.w_max_pkts - self.cwnd_pkts) / self.c) ** (1.0 / 3.0)
+        self._t_since_epoch_s = 0.0
+
+    def on_round(self, outcome: RoundOutcome) -> None:
+        self._tick()
+        rtt = outcome.min_rtt_s + outcome.queue_delay_s
+
+        if outcome.congestion_loss or outcome.spurious_loss:
+            self._enter_avoidance(w_max=self.cwnd_pkts, reduce=True)
+            return
+
+        if self._slow_start:
+            hystart_delay = outcome.queue_delay_s > (
+                self.hystart_delay_factor * outcome.min_rtt_s
+            )
+            hystart_jitter = (
+                self.rng is not None
+                and self.rng.random() < self.hystart_fp_prob
+            )
+            if hystart_delay or hystart_jitter:
+                # HyStart exit: no loss, so no multiplicative decrease,
+                # but growth from here on is the slow cubic climb.
+                self._enter_avoidance(w_max=self.cwnd_pkts * 1.25, reduce=False)
+                return
+            self.cwnd_pkts *= self.ss_growth
+            return
+
+        # Cubic window evolution in congestion avoidance.
+        self._t_since_epoch_s += rtt
+        t = self._t_since_epoch_s
+        target = self.c * (t - self._k_s) ** 3 + self.w_max_pkts
+        # TCP-friendly region: never grow slower than Reno.
+        reno_estimate = self.cwnd_pkts + 1.0
+        self.cwnd_pkts = max(self.cwnd_pkts, min(max(target, reno_estimate), 1e7))
+
+    def expected_recovery_time_s(self) -> float:
+        """Seconds until the cubic function returns to ``w_max`` — the
+        ``K`` constant; exposed for tests and documentation."""
+        return self._k_s if not self._slow_start else 0.0
+
+
+def cubic_k(w_max_pkts: float, drop_fraction: float = 0.3, c: float = 0.4) -> float:
+    """Closed-form CUBIC ``K``: time to regain ``w_max`` after a loss.
+
+    ``K = (W_max * drop / C)^(1/3)``.  Useful for analytical checks.
+    """
+    if w_max_pkts <= 0:
+        raise ValueError(f"w_max must be positive, got {w_max_pkts}")
+    return (w_max_pkts * drop_fraction / c) ** (1.0 / 3.0)

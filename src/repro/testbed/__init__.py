@@ -1,0 +1,11 @@
+"""Shared simulated test environments for bandwidth testing services.
+
+Both the baseline BTSes (:mod:`repro.baselines`) and Swiftest
+(:mod:`repro.core`) run against a :class:`~repro.testbed.env.TestEnvironment`:
+an access link with a (possibly fluctuating or shaped) capacity trace,
+plus a pool of test servers with individual uplink capacities and RTTs.
+"""
+
+from repro.testbed.env import ServerEndpoint, TestEnvironment, make_environment
+
+__all__ = ["ServerEndpoint", "TestEnvironment", "make_environment"]

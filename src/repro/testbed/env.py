@@ -1,0 +1,158 @@
+"""Test environment: one client, one access link, many test servers.
+
+This is the simulation stand-in for a real user device on a real
+4G/5G/WiFi network reaching a BTS's server pool.  The access link is
+the client's true bottleneck; each server contributes an uplink link
+and an RTT.  A BTS under test opens flows across (access, uplink)
+paths and reads 50 ms bandwidth samples off them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.netsim.link import Link
+from repro.netsim.network import Network
+from repro.netsim.path import NetworkPath
+from repro.netsim.trace import CapacityTrace, ConstantTrace, FluctuatingTrace
+
+
+@dataclass
+class ServerEndpoint:
+    """One test server as seen from the client.
+
+    Attributes
+    ----------
+    name:
+        Server identifier.
+    uplink:
+        The server's egress link (shared by all its concurrent tests).
+    rtt_s:
+        Propagation RTT from this client.
+    capacity_mbps:
+        Nominal uplink bandwidth, used by server-selection logic.
+    domain:
+        IXP domain the server sits in (see :mod:`repro.deploy.placement`).
+    """
+
+    name: str
+    uplink: Link
+    rtt_s: float
+    capacity_mbps: float
+    domain: str = ""
+
+
+class TestEnvironment:
+    """A client's view of the network and the BTS server pool."""
+
+    #: Not a pytest test class despite the name.
+    __test__ = False
+
+    def __init__(
+        self,
+        network: Network,
+        access: Link,
+        servers: List[ServerEndpoint],
+        tech: str = "WiFi5",
+        loss_rate: float = 0.005,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if not servers:
+            raise ValueError("an environment needs at least one server")
+        self.network = network
+        self.access = access
+        self.servers = list(servers)
+        self.tech = tech
+        self.loss_rate = loss_rate
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def path_to(self, server: ServerEndpoint) -> NetworkPath:
+        """End-to-end path from the client to one server."""
+        return NetworkPath(
+            self.network,
+            [self.access, server.uplink],
+            rtt_s=server.rtt_s,
+            loss_rate=self.loss_rate,
+        )
+
+    def servers_by_rtt(self) -> List[ServerEndpoint]:
+        """Servers sorted nearest-first, as PING selection would rank
+        them."""
+        return sorted(self.servers, key=lambda s: s.rtt_s)
+
+    def true_capacity(self, time_s: float) -> float:
+        """Ground-truth access capacity at an instant, in Mbps."""
+        return self.access.capacity_at(time_s)
+
+    def true_mean_capacity(self, start_s: float, end_s: float) -> float:
+        """Ground-truth mean access capacity over a window, in Mbps.
+
+        This is what an ideal bandwidth test would report; harness code
+        uses it to score estimator accuracy.
+        """
+        return self.access.trace.mean_capacity(start_s, end_s)
+
+
+def make_environment(
+    access_mbps: Union[float, CapacityTrace],
+    rng: np.random.Generator,
+    n_servers: int = 10,
+    server_capacity_mbps: float = 1000.0,
+    rtt_range_s: Sequence[float] = (0.010, 0.060),
+    tech: str = "WiFi5",
+    fluctuation_sigma: float = 0.0,
+    loss_rate: float = 0.005,
+    duration_hint_s: float = 30.0,
+) -> TestEnvironment:
+    """Build a standard single-client environment.
+
+    Parameters
+    ----------
+    access_mbps:
+        Access capacity — a number for a constant link, or a
+        pre-built :class:`~repro.netsim.trace.CapacityTrace`.
+    fluctuation_sigma:
+        When nonzero (and ``access_mbps`` is a number), wraps the
+        access capacity in a mean-reverting fluctuation of this
+        relative magnitude.
+    rtt_range_s:
+        Server RTTs are drawn uniformly from this range — geographic
+        spread of the pool.
+    """
+    if n_servers < 1:
+        raise ValueError(f"need at least one server, got {n_servers}")
+    network = Network()
+    if isinstance(access_mbps, CapacityTrace):
+        trace = access_mbps
+    elif fluctuation_sigma > 0:
+        trace = FluctuatingTrace(
+            float(access_mbps),
+            sigma=fluctuation_sigma,
+            tau_s=2.0,
+            duration_s=duration_hint_s,
+            rng=rng,
+        )
+    else:
+        trace = ConstantTrace(float(access_mbps))
+    access = network.add_link(Link(trace, name="access"))
+
+    lo, hi = rtt_range_s
+    servers = []
+    for i in range(n_servers):
+        uplink = network.add_link(
+            Link(server_capacity_mbps, name=f"server-{i}")
+        )
+        servers.append(
+            ServerEndpoint(
+                name=f"server-{i}",
+                uplink=uplink,
+                rtt_s=float(rng.uniform(lo, hi)),
+                capacity_mbps=server_capacity_mbps,
+            )
+        )
+    return TestEnvironment(
+        network, access, servers, tech=tech, loss_rate=loss_rate, rng=rng
+    )

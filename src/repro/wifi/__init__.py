@@ -1,0 +1,35 @@
+"""WiFi access models: WiFi 4/5/6 over 2.4 GHz and 5 GHz (§3.4).
+
+The paper's WiFi findings hinge on two facts this package models:
+
+* the WiFi *link* is rarely the bottleneck for WiFi 5/6 — the fixed
+  broadband plan behind the AP is (64% of WiFi users sit on ≤200 Mbps
+  plans), which is why WiFi 4 and WiFi 5 tie at ~200 Mbps over 5 GHz
+  and why WiFi bandwidth clusters at the 100-multiple plan rates
+  (Figure 16's multi-modal Gaussian);
+* the 2.4 GHz band is heavily degraded by contention and interference,
+  dragging WiFi 4's overall average down to 59 Mbps.
+"""
+
+from repro.wifi.ap import AccessPoint, sample_wifi_bandwidth
+from repro.wifi.broadband import (
+    BroadbandPlanMix,
+    DEFAULT_PLAN_RATES,
+    fraction_at_or_below,
+)
+from repro.wifi.standards import (
+    WIFI_STANDARDS,
+    WifiStandard,
+    wifi_standard,
+)
+
+__all__ = [
+    "AccessPoint",
+    "BroadbandPlanMix",
+    "DEFAULT_PLAN_RATES",
+    "WIFI_STANDARDS",
+    "WifiStandard",
+    "fraction_at_or_below",
+    "sample_wifi_bandwidth",
+    "wifi_standard",
+]

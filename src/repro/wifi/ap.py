@@ -1,0 +1,70 @@
+"""Access points: composing the WiFi link with the wired uplink.
+
+The measured WiFi bandwidth of one test is the minimum of what the
+radio link and the fixed broadband connection can carry — the paper's
+central WiFi finding is that the latter usually binds for WiFi 5/6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.wifi.broadband import BroadbandPlanMix, PLAN_MIX_BY_STANDARD
+from repro.wifi.standards import WifiStandard, wifi_standard
+
+
+@dataclass
+class AccessPoint:
+    """One WiFi AP with its wired uplink.
+
+    Attributes
+    ----------
+    standard:
+        WiFi generation the AP (and client) negotiate.
+    band:
+        Operating band (``"2.4GHz"`` or ``"5GHz"``).
+    plan_mbps:
+        The household's fixed broadband plan tier.
+    """
+
+    standard: WifiStandard
+    band: str
+    plan_mbps: int
+
+    def __post_init__(self) -> None:
+        if not self.standard.supports_band(self.band):
+            raise ValueError(f"{self.standard.name} does not support {self.band}")
+        if self.plan_mbps <= 0:
+            raise ValueError(f"plan must be positive, got {self.plan_mbps}")
+
+    def sample_bandwidth_mbps(
+        self,
+        rng: np.random.Generator,
+        plan_mix: Optional[BroadbandPlanMix] = None,
+    ) -> float:
+        """One measured bandwidth: ``min(WiFi link, delivered wire)``."""
+        mix = plan_mix or PLAN_MIX_BY_STANDARD[self.standard.name]
+        link = self.standard.sample_link_mbps(self.band, rng)
+        wire = mix.sample_delivered_mbps(self.plan_mbps, rng)
+        return min(link, wire)
+
+
+def sample_wifi_bandwidth(
+    standard_name: str,
+    band: str,
+    rng: np.random.Generator,
+    plan_mix: Optional[BroadbandPlanMix] = None,
+) -> tuple:
+    """Draw (plan_mbps, bandwidth_mbps) for one WiFi test.
+
+    Convenience wrapper used by the dataset generator: samples the
+    household plan from the standard's mix, then the test bandwidth.
+    """
+    standard = wifi_standard(standard_name)
+    mix = plan_mix or PLAN_MIX_BY_STANDARD[standard_name]
+    plan = mix.sample_plan_mbps(rng)
+    ap = AccessPoint(standard=standard, band=band, plan_mbps=plan)
+    return plan, ap.sample_bandwidth_mbps(rng, plan_mix=mix)

@@ -1,0 +1,104 @@
+"""Fixed broadband plans behind WiFi access points (§3.4).
+
+Chinese ISPs sell fixed broadband in round 100-multiple tiers
+(100/200/300/500/1000 Mbps).  The plan caps whatever the WiFi link can
+carry, so the measured WiFi bandwidth distribution inherits the plan
+tiers as Gaussian modes (Figure 16) — the statistical structure
+Swiftest's data-driven probing later exploits (§5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+#: Plan tiers offered by all four ISPs, in Mbps.
+DEFAULT_PLAN_RATES: Tuple[int, ...] = (100, 200, 300, 500, 1000)
+
+
+@dataclass
+class BroadbandPlanMix:
+    """A distribution over fixed-broadband plan tiers.
+
+    Attributes
+    ----------
+    weights:
+        ``{plan_mbps: probability}``; must sum to 1.
+    delivery_mean / delivery_sigma:
+        The plan is delivered at ``plan x N(mean, sigma)`` — ISPs
+        slightly over- or under-provision the advertised rate.  The
+        spread is what turns each plan tier into a Gaussian *mode*
+        rather than a spike.
+    """
+
+    weights: Dict[int, float]
+    delivery_mean: float = 0.96
+    delivery_sigma: float = 0.07
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ValueError("plan mix needs at least one tier")
+        total = sum(self.weights.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"plan weights must sum to 1, got {total}")
+        if any(rate <= 0 for rate in self.weights):
+            raise ValueError("plan rates must be positive")
+        if any(w < 0 for w in self.weights.values()):
+            raise ValueError("plan weights must be non-negative")
+
+    def sample_plan_mbps(self, rng: np.random.Generator) -> int:
+        """Draw a subscriber's plan tier."""
+        rates = sorted(self.weights)
+        probs = np.array([self.weights[r] for r in rates])
+        return int(rng.choice(rates, p=probs / probs.sum()))
+
+    def sample_delivered_mbps(self, plan_mbps: int, rng: np.random.Generator) -> float:
+        """Draw the rate the wired access actually delivers for a plan."""
+        if plan_mbps <= 0:
+            raise ValueError(f"plan must be positive, got {plan_mbps}")
+        factor = rng.normal(self.delivery_mean, self.delivery_sigma)
+        return max(1.0, plan_mbps * factor)
+
+    def mean_plan_mbps(self) -> float:
+        """Expected plan tier."""
+        return sum(rate * w for rate, w in self.weights.items())
+
+
+def fraction_at_or_below(mix: BroadbandPlanMix, threshold_mbps: int) -> float:
+    """Probability mass on plans at or below ``threshold_mbps``.
+
+    The paper infers ~64% of WiFi users sit on ≤200 Mbps plans overall
+    and ~39% among WiFi 6 users.
+    """
+    return sum(w for rate, w in mix.weights.items() if rate <= threshold_mbps)
+
+
+#: Plan mix of the overall WiFi population (~64% at ≤200 Mbps).
+OVERALL_PLAN_MIX = BroadbandPlanMix(
+    weights={100: 0.31, 200: 0.33, 300: 0.17, 500: 0.13, 1000: 0.06}
+)
+
+#: Plan mix among WiFi 6 households (~39% at ≤200 Mbps — urban users
+#: whose wired infrastructure evolved faster).
+WIFI6_PLAN_MIX = BroadbandPlanMix(
+    weights={100: 0.13, 200: 0.26, 300: 0.22, 500: 0.22, 1000: 0.17}
+)
+
+#: Plan mix among WiFi 4 households (older installations).
+WIFI4_PLAN_MIX = BroadbandPlanMix(
+    weights={100: 0.38, 200: 0.33, 300: 0.15, 500: 0.10, 1000: 0.04}
+)
+
+#: Plan mix among WiFi 5 households.
+WIFI5_PLAN_MIX = BroadbandPlanMix(
+    weights={100: 0.30, 200: 0.34, 300: 0.18, 500: 0.12, 1000: 0.06}
+)
+
+#: Per-standard defaults used by the dataset generator.
+PLAN_MIX_BY_STANDARD: Dict[str, BroadbandPlanMix] = {
+    "WiFi4": WIFI4_PLAN_MIX,
+    "WiFi5": WIFI5_PLAN_MIX,
+    "WiFi6": WIFI6_PLAN_MIX,
+}

@@ -1,0 +1,194 @@
+"""Per-figure analysis functions over the session campaigns.
+
+These are the qualitative claims of §3; the benchmark suite checks the
+same claims on freshly generated campaigns with the paper's numbers
+alongside.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import figures
+from repro.analysis.diurnal import hourly_profile
+from repro.analysis.spatial import city_disparity, tier_means, urban_rural_gap
+
+
+def test_fig01_shapes(campaign_2020, campaign_2021):
+    data = figures.fig01_yearly_averages(campaign_2020, campaign_2021)
+    assert set(data) == {"4G", "5G", "WiFi"}
+    assert data["4G"][2021] < data["4G"][2020]
+    assert data["5G"][2021] < data["5G"][2020]
+    # WiFi roughly unchanged (within 15%).
+    assert data["WiFi"][2021] == pytest.approx(data["WiFi"][2020], rel=0.15)
+
+
+def test_fig02_android_monotone_trend(campaign_2021):
+    data = figures.fig02_android_versions(campaign_2021)
+    for tech in ("4G", "5G", "WiFi"):
+        versions = sorted(data[tech])
+        assert len(versions) >= 4
+        low = np.mean([data[tech][v] for v in versions[:2]])
+        high = np.mean([data[tech][v] for v in versions[-2:]])
+        assert high > low
+
+
+def test_fig03_isp_structure(campaign_2021):
+    data = figures.fig03_isp_averages(campaign_2021)
+    # ISP-4's 5G runs on the 700 MHz N28: clearly the slowest (§3.1).
+    assert data["5G"][4] < min(data["5G"][i] for i in (1, 2, 3))
+    # ISP-3 tops both 5G and WiFi.
+    assert data["5G"][3] == max(data["5G"][i] for i in (1, 2, 3))
+    assert data["WiFi"][3] == max(data["WiFi"].values())
+    # 4G averages are similar across the big three (within 40%).
+    four_g = [data["4G"][i] for i in (1, 2, 3)]
+    assert max(four_g) / min(four_g) < 1.4
+
+
+def test_fig04_lte_annotations(campaign_2021):
+    data = figures.fig04_lte_cdf(campaign_2021)
+    assert data["median"] < data["mean"] < data["mean_above_300"]
+    assert 0.15 < data["below_10_mbps"] < 0.40
+    assert 0.02 < data["above_300_mbps"] < 0.12
+
+
+def test_tab1_and_tab2_rows():
+    t1 = figures.tab1_lte_bands()
+    assert len(t1) == 9
+    assert t1[0]["band"] == "B28"  # lowest spectrum first
+    assert t1[-1]["band"] == "B41"
+    t2 = figures.tab2_nr_bands()
+    assert len(t2) == 5
+    assert t2[0]["band"] == "N28"
+
+
+def test_fig05_h_bands_beat_l_bands(campaign_2021):
+    means = figures.fig05_lte_band_bandwidth(campaign_2021)
+    h_workhorses = [means[b] for b in ("B3", "B40", "B41") if b in means]
+    l_bands = [means[b] for b in ("B5", "B8") if b in means]
+    assert min(h_workhorses) > max(l_bands)
+
+
+def test_fig06_band3_dominates(campaign_2021):
+    counts = figures.fig06_lte_band_counts(campaign_2021)
+    assert counts["B3"] == max(counts.values())
+
+
+def test_fig07_nr_summary(campaign_2021):
+    data = figures.fig07_nr_cdf(campaign_2021)
+    assert data["median"] < data["mean"]
+    assert data["max"] > 2 * data["mean"]
+
+
+def test_fig08_fig09_refarming_signature(campaign_2021):
+    means = figures.fig08_nr_band_bandwidth(campaign_2021)
+    counts = figures.fig09_nr_band_counts(campaign_2021)
+    assert means["N1"] < means["N78"] / 2
+    assert means["N28"] < means["N41"] / 2
+    assert counts["N78"] == max(counts.values())
+
+
+def test_fig10_diurnal_pattern(campaign_2021):
+    profile = figures.fig10_diurnal(campaign_2021)
+    # The sleeping+busy evening window is the bandwidth trough vs the
+    # awake afternoon (§3.3).  The night *peak* needs a 5G-stratified
+    # campaign for stable statistics and is asserted in the Figure 10
+    # benchmark instead (the natural mix leaves only a handful of 5G
+    # tests at 3-5 am).
+    afternoon = profile.window_mean_bandwidth(15, 17)
+    evening = profile.window_mean_bandwidth(21, 23)
+    assert evening < afternoon
+    # Test volume: tiny at night, large in the afternoon.
+    assert profile.window_count(3, 5) < profile.window_count(15, 17) / 4
+
+
+def test_fig11_rss_snr_monotone(campaign_2021):
+    data = figures.fig11_rss_snr(campaign_2021)
+    snrs = [data[l] for l in sorted(data)]
+    assert snrs == sorted(snrs)
+
+
+def test_fig12_level5_anomaly(campaign_2021):
+    data = figures.fig12_rss_bandwidth(campaign_2021)
+    assert data[5] < data[4]
+    assert data[5] < data[3]
+    assert data[1] < data[2] < data[3] < data[4]
+
+
+def test_fig13_wifi_generation_ordering(campaign_2021):
+    data = figures.fig13_wifi_cdfs(campaign_2021)
+    assert data["WiFi4"].mean < data["WiFi5"].mean < data["WiFi6"].mean
+
+
+def test_fig15_wifi4_ties_wifi5_on_5ghz(campaign_2021):
+    """§3.4's surprise: WiFi 4 ≈ WiFi 5 over 5 GHz."""
+    data = figures.fig15_wifi_5ghz(campaign_2021)
+    assert data["WiFi4"].mean == pytest.approx(data["WiFi5"].mean, rel=0.30)
+    # ...whereas overall WiFi 5 beats WiFi 4 by 3x+ (2.4 GHz drag).
+    overall = figures.fig13_wifi_cdfs(campaign_2021)
+    assert overall["WiFi5"].mean > 2.5 * overall["WiFi4"].mean
+
+
+def test_fig14_24ghz_is_slow(campaign_2021):
+    data24 = figures.fig14_wifi_24ghz(campaign_2021)
+    data5 = figures.fig15_wifi_5ghz(campaign_2021)
+    for tech in ("WiFi4", "WiFi6"):
+        assert data24[tech].mean < data5[tech].mean / 2
+
+
+def test_broadband_cap_share(campaign_2021):
+    share = figures.broadband_cap_share(campaign_2021, 200)
+    assert 0.45 < share < 0.75  # paper: ~64%
+
+
+def test_fig16_wifi5_multimodal(campaign_2021, rng):
+    centres, density, mixture = figures.bandwidth_pdf_and_gmm(
+        campaign_2021, "WiFi5", rng=rng
+    )
+    assert mixture.n_components >= 3
+    assert len(centres) == len(density)
+    # Modes roughly at plan tiers: at least one near 100 and one near
+    # 300 Mbps (Figure 16's 100x clustering).
+    assert any(abs(m - 100) < 40 for m in mixture.means)
+    assert any(abs(m - 290) < 60 for m in mixture.means)
+
+
+def test_bandwidth_pdf_unknown_tech(campaign_2021):
+    with pytest.raises(ValueError):
+        figures.bandwidth_pdf_and_gmm(campaign_2021, "6G")
+
+
+def test_overall_cellular_average(campaign_2020, campaign_2021):
+    assert figures.overall_cellular_average(
+        campaign_2021
+    ) > figures.overall_cellular_average(campaign_2020)
+
+
+# -- diurnal / spatial helpers -------------------------------------------------
+
+
+def test_hourly_profile_unknown_tech(campaign_2021):
+    with pytest.raises(ValueError):
+        hourly_profile(campaign_2021, "6G")
+
+
+def test_hourly_profile_window_errors(campaign_2021):
+    profile = hourly_profile(campaign_2021, "5G")
+    with pytest.raises(ValueError):
+        profile.window_mean_bandwidth(5, 5)
+
+
+def test_city_disparity_ranges(campaign_2021):
+    disparity = city_disparity(campaign_2021, "4G", min_tests=20)
+    assert disparity.high > disparity.low
+    assert disparity.high / disparity.low > 1.3  # visible spread
+
+
+def test_urban_rural_gap(campaign_2021):
+    urban, rural, gap = urban_rural_gap(campaign_2021, "5G")
+    assert urban > rural
+    assert 0.05 < gap < 0.80  # paper: 33% for 5G
+
+
+def test_tier_means(campaign_2021):
+    means = tier_means(campaign_2021, "4G")
+    assert set(means) == {"mega", "medium", "small"}

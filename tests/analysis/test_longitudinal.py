@@ -1,0 +1,44 @@
+"""Matched-group longitudinal declines (§3.1)."""
+
+import pytest
+
+from repro.analysis.longitudinal import (
+    GroupDecline,
+    decline_summary,
+    matched_group_declines,
+)
+
+
+def test_declines_found_for_4g(campaign_2020, campaign_2021):
+    declines = matched_group_declines(campaign_2020, campaign_2021, "4G")
+    assert len(declines) >= 3
+    summary = decline_summary(declines)
+    # Most matched groups decline, as §3.1 reports.
+    assert summary["declining_share"] > 0.6
+    assert summary["mean"] > 0.05
+
+
+def test_declines_found_for_5g(campaign_2020, campaign_2021):
+    declines = matched_group_declines(
+        campaign_2020, campaign_2021, "5G", min_tests=25
+    )
+    summary = decline_summary(declines)
+    assert summary["declining_share"] > 0.5
+
+
+def test_group_decline_sign():
+    up = GroupDecline(isp=1, city_tier="mega", mean_before=50.0, mean_after=60.0)
+    down = GroupDecline(isp=1, city_tier="mega", mean_before=60.0, mean_after=48.0)
+    assert up.decline < 0
+    assert down.decline == pytest.approx(0.2)
+
+
+def test_validation(campaign_2020, campaign_2021):
+    with pytest.raises(ValueError):
+        matched_group_declines(campaign_2020, campaign_2021, "6G")
+    with pytest.raises(ValueError):
+        matched_group_declines(
+            campaign_2020, campaign_2021, "4G", min_tests=10**9
+        )
+    with pytest.raises(ValueError):
+        decline_summary([])

@@ -1,0 +1,102 @@
+"""Terminal plot rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.plots import (
+    bar_chart,
+    cdf_plot,
+    day_curve,
+    pdf_plot,
+    sparkline,
+)
+
+
+def test_bar_chart_lengths_proportional():
+    chart = bar_chart({"a": 100.0, "b": 50.0, "c": 0.0}, width=10)
+    lines = chart.splitlines()
+    assert lines[0].count("█") == 10
+    assert lines[1].count("█") == 5
+    assert lines[2].count("█") == 0
+
+
+def test_bar_chart_contains_labels_and_values():
+    chart = bar_chart({"N78": 332.0}, width=5)
+    assert "N78" in chart
+    assert "332.0" in chart
+
+
+def test_bar_chart_validation():
+    with pytest.raises(ValueError):
+        bar_chart({})
+    with pytest.raises(ValueError):
+        bar_chart({"x": -1.0})
+
+
+def test_sparkline_monotone_series():
+    line = sparkline([1, 2, 3, 4, 5])
+    assert len(line) == 5
+    assert line[0] == " " or ord(line[0]) < ord(line[-1])
+
+
+def test_sparkline_flat_series():
+    assert len(set(sparkline([3.0, 3.0, 3.0]))) == 1
+
+
+def test_sparkline_empty_rejected():
+    with pytest.raises(ValueError):
+        sparkline([])
+
+
+def test_cdf_plot_shape(rng):
+    values = rng.normal(100, 10, size=500)
+    plot = cdf_plot(values, width=40, height=10, label="test cdf")
+    lines = plot.splitlines()
+    assert lines[0] == "test cdf"
+    assert len(lines) == 1 + 10 + 2  # label + grid + axis rows
+    assert "1.00" in lines[1]
+    assert "•" in plot
+
+
+def test_cdf_plot_axis_bounds(rng):
+    values = [10.0, 20.0, 30.0]
+    plot = cdf_plot(values, width=30, height=5)
+    assert "10.0" in plot
+    assert "30.0" in plot
+
+
+def test_pdf_plot_with_overlay(rng):
+    centres = np.linspace(0, 100, 50)
+    density = np.exp(-((centres - 50) ** 2) / 200)
+    plot = pdf_plot(centres, density, overlay=density, width=50, label="pdf")
+    lines = plot.splitlines()
+    assert lines[0] == "pdf"
+    assert "*" in lines[2]
+    assert "0.0" in lines[-1] and "100.0" in lines[-1]
+
+
+def test_pdf_plot_validation():
+    with pytest.raises(ValueError):
+        pdf_plot([1.0], [0.5, 0.6])
+    with pytest.raises(ValueError):
+        pdf_plot([], [])
+    with pytest.raises(ValueError):
+        pdf_plot([1.0, 2.0], [0.5, 0.6], overlay=[0.1])
+
+
+def test_day_curve_has_axis():
+    hourly = {h: 100.0 + h for h in range(24)}
+    plot = day_curve(hourly, label="day")
+    lines = plot.splitlines()
+    assert lines[0] == "day"
+    assert "21" in lines[-1]  # hour axis
+
+
+def test_day_curve_missing_hours_filled():
+    plot = day_curve({3: 10.0, 15: 20.0})
+    assert len(plot.splitlines()) == 2
+
+
+def test_day_curve_validation():
+    with pytest.raises(ValueError):
+        day_curve({})

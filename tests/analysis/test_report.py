@@ -1,0 +1,51 @@
+"""Textual campaign reports."""
+
+import pytest
+
+from repro.analysis.report import campaign_report, compare_report
+from repro.dataset.generator import CampaignConfig, generate_campaign
+
+
+@pytest.fixture(scope="module")
+def report_text(request):
+    campaign = request.getfixturevalue("campaign_2021")
+    return campaign_report(campaign, title="Test campaign")
+
+
+def test_report_has_all_sections(report_text):
+    for heading in ("Test campaign", "Access technologies", "4G (LTE)",
+                    "5G (NR)", "WiFi"):
+        assert heading in report_text
+
+
+def test_report_contains_key_stats(report_text):
+    assert "below 10 Mbps" in report_text
+    assert "bandwidth by RSS level" in report_text
+    assert "broadband plans" in report_text
+    assert "N78" in report_text and "B3" in report_text
+
+
+def test_report_skips_missing_sections():
+    wifi_only = generate_campaign(
+        CampaignConfig(n_tests=2000, seed=8, tech_shares={"WiFi5": 1.0})
+    )
+    text = campaign_report(wifi_only)
+    assert "WiFi" in text
+    assert "4G (LTE)" not in text
+    assert "5G (NR)" not in text
+
+
+def test_report_empty_dataset_rejected(campaign_2021):
+    empty = campaign_2021.where(tech="6G")
+    with pytest.raises(ValueError):
+        campaign_report(empty)
+
+
+def test_compare_report_directions(campaign_2020, campaign_2021):
+    text = compare_report(
+        campaign_2020, campaign_2021, label_before="2020", label_after="2021"
+    )
+    assert "2020 vs 2021" in text
+    # The 4G row shows a decline (negative delta).
+    lte_line = next(l for l in text.splitlines() if l.strip().startswith("4G"))
+    assert "-" in lte_line.split("(")[1]

@@ -1,0 +1,126 @@
+"""BTS estimator algorithms in isolation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.btsapp import group_trimmed_mean
+from repro.baselines.common import accuracy, deviation
+from repro.baselines.fast import is_stable, moving_averages
+from repro.baselines.fastbts import crucial_interval
+from repro.baselines.speedtest import percentile_trimmed_mean
+
+
+# -- BTS-APP group trimming -------------------------------------------------
+
+
+def test_group_trimmed_mean_clean_signal():
+    assert group_trimmed_mean([100.0] * 200) == pytest.approx(100.0)
+
+
+def test_group_trimmed_mean_drops_slow_start():
+    """The first 5 groups (slow-start ramp) must not drag the result."""
+    ramp = list(np.linspace(1, 99, 50))  # 5 groups of low samples
+    steady = [100.0] * 150
+    result = group_trimmed_mean(ramp + steady)
+    assert result == pytest.approx(100.0)
+
+
+def test_group_trimmed_mean_drops_bursts():
+    steady = [100.0] * 180
+    bursts = [1000.0] * 20  # 2 groups of spikes at the end
+    assert group_trimmed_mean(steady + bursts) == pytest.approx(100.0)
+
+
+def test_group_trimmed_mean_needs_enough_samples():
+    with pytest.raises(ValueError):
+        group_trimmed_mean([1.0] * 19)
+
+
+def test_group_trimmed_mean_trim_validation():
+    with pytest.raises(ValueError):
+        group_trimmed_mean([1.0] * 200, n_groups=10, drop_lowest=6, drop_highest=4)
+
+
+# -- Speedtest percentile trim ------------------------------------------------
+
+
+def test_percentile_trim_clean_signal():
+    assert percentile_trimmed_mean([50.0] * 100) == pytest.approx(50.0)
+
+
+def test_percentile_trim_removes_tails():
+    values = [1.0] * 25 + [100.0] * 65 + [10000.0] * 10
+    assert percentile_trimmed_mean(values) == pytest.approx(100.0)
+
+
+def test_percentile_trim_validation():
+    with pytest.raises(ValueError):
+        percentile_trimmed_mean([], )
+    with pytest.raises(ValueError):
+        percentile_trimmed_mean([1.0], trim_top=0.6, trim_bottom=0.5)
+
+
+# -- FAST stability -----------------------------------------------------------
+
+
+def test_moving_averages_window():
+    avgs = moving_averages([1.0, 2.0, 3.0, 4.0], window=2)
+    assert avgs == pytest.approx([1.5, 2.5, 3.5])
+    assert moving_averages([1.0], window=2) == []
+    with pytest.raises(ValueError):
+        moving_averages([1.0], window=0)
+
+
+def test_is_stable_on_flat_signal():
+    assert is_stable([100.0] * 60, window=20, stable_windows=5)
+
+
+def test_is_stable_rejects_ramp():
+    assert not is_stable(list(np.linspace(1, 100, 60)), window=20, stable_windows=5)
+
+
+def test_is_stable_needs_enough_windows():
+    assert not is_stable([100.0] * 21, window=20, stable_windows=5)
+
+
+# -- FastBTS crucial interval -------------------------------------------------
+
+
+def test_crucial_interval_finds_dense_cluster():
+    values = list(np.linspace(1, 50, 20)) + [100.0] * 50 + [300.0] * 5
+    low, high, center = crucial_interval(values)
+    assert low <= 100.0 <= high
+    assert center == pytest.approx(100.0, rel=0.05)
+
+
+def test_crucial_interval_prefers_quantity_times_density():
+    # 30 samples at 50 beat 5 samples at 500 despite equal density.
+    values = [50.0] * 30 + [500.0] * 5
+    _, _, center = crucial_interval(values)
+    assert center == pytest.approx(50.0, rel=0.05)
+
+
+def test_crucial_interval_empty_rejected():
+    with pytest.raises(ValueError):
+        crucial_interval([])
+    with pytest.raises(ValueError):
+        crucial_interval([1.0], ratio=1.0)
+
+
+# -- deviation metric -----------------------------------------------------------
+
+
+def test_deviation_definition():
+    # |a-b| / max(a,b), §5.3.
+    assert deviation(90.0, 100.0) == pytest.approx(0.1)
+    assert deviation(100.0, 90.0) == pytest.approx(0.1)
+    assert deviation(0.0, 0.0) == 0.0
+
+
+def test_deviation_negative_rejected():
+    with pytest.raises(ValueError):
+        deviation(-1.0, 5.0)
+
+
+def test_accuracy_is_one_minus_deviation():
+    assert accuracy(95.0, 100.0) == pytest.approx(0.95)

@@ -1,0 +1,80 @@
+"""Offline estimator replay on canonical streams."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.replay import ESTIMATORS, make_stream, replay
+
+
+def test_all_estimators_present():
+    assert set(ESTIMATORS) == {
+        "naive-mean", "bts-app", "speedtest", "fast", "fastbts", "swiftest"
+    }
+
+
+def test_replay_on_clean_stream_everyone_agrees(rng):
+    stream = make_stream("clean", true_mbps=200.0, rng=rng)
+    estimates = replay(stream)
+    for name, value in estimates.items():
+        assert value == pytest.approx(200.0, rel=0.05), name
+
+
+def test_slow_start_punishes_naive_mean(rng):
+    stream = make_stream("slow-start", true_mbps=200.0, rng=rng)
+    estimates = replay(stream)
+    # The trimming estimators survive the ramp; averaging does not.
+    assert estimates["naive-mean"] < 190.0
+    for robust in ("bts-app", "speedtest", "fast"):
+        assert estimates[robust] == pytest.approx(200.0, rel=0.06), robust
+
+
+def test_plateau_fools_crucial_interval(rng):
+    """A long sub-capacity plateau is the densest cluster, so FastBTS's
+    estimator locks onto it — the §5.3 failure mode, reproduced at the
+    estimator level."""
+    stream = make_stream("plateau", true_mbps=200.0, rng=rng)
+    estimates = replay(stream)
+    assert estimates["fastbts"] < 120.0          # locked on the plateau
+    assert estimates["fast"] == pytest.approx(200.0, rel=0.06)
+    # Swiftest's online rule also converges on the plateau when fed a
+    # stalled-TCP stream — which is exactly why Swiftest does not let
+    # TCP drive the rate (the controller would have laddered up).
+    assert estimates["swiftest"] < 120.0
+
+
+def test_shaped_stream_disagreement(rng):
+    stream = make_stream("shaped", true_mbps=200.0, rng=rng)
+    estimates = replay(stream)
+    # Shaping makes the "right" answer ambiguous: estimators spread out.
+    values = [v for v in estimates.values() if not math.isnan(v)]
+    assert max(values) > 1.2 * min(values)
+
+
+def test_bursty_stream_trims_protect(rng):
+    stream = make_stream("bursty", true_mbps=200.0, rng=rng)
+    estimates = replay(stream)
+    assert estimates["bts-app"] == pytest.approx(200.0, rel=0.08)
+    assert estimates["naive-mean"] < estimates["bts-app"]
+
+
+def test_replay_short_stream_degrades_gracefully():
+    estimates = replay([100.0] * 10)
+    # BTS-APP needs 20 groups; its slot reports NaN instead of raising.
+    assert math.isnan(estimates["bts-app"])
+    assert estimates["swiftest"] == pytest.approx(100.0)
+
+
+def test_replay_empty_rejected():
+    with pytest.raises(ValueError):
+        replay([])
+
+
+def test_make_stream_kinds_and_validation(rng):
+    for kind in ("clean", "slow-start", "plateau", "shaped", "bursty"):
+        stream = make_stream(kind, rng=rng)
+        assert len(stream) == 200
+        assert all(v >= 0 for v in stream)
+    with pytest.raises(ValueError):
+        make_stream("wavy")

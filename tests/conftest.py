@@ -1,0 +1,41 @@
+"""Shared fixtures: session-scoped campaigns and fitted registries.
+
+Campaign generation is the most expensive setup in the suite, so the
+2020/2021 datasets and the model registry are generated once and
+shared; tests must treat them as read-only.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import BandwidthModelRegistry
+from repro.dataset.generator import CampaignConfig, generate_campaign
+
+#: Techs with enough samples in the session campaigns for model fits.
+MODEL_TECHS = ["4G", "5G", "WiFi4", "WiFi5", "WiFi6"]
+
+
+@pytest.fixture(scope="session")
+def campaign_2021():
+    """A 40k-test 2021 (post-refarming) campaign."""
+    return generate_campaign(CampaignConfig(year=2021, n_tests=40_000, seed=101))
+
+
+@pytest.fixture(scope="session")
+def campaign_2020():
+    """A 25k-test 2020 (pre-refarming) campaign."""
+    return generate_campaign(CampaignConfig(year=2020, n_tests=25_000, seed=102))
+
+
+@pytest.fixture(scope="session")
+def registry(campaign_2021):
+    """Bandwidth models fitted from the 2021 campaign."""
+    return BandwidthModelRegistry().fit_from_dataset(
+        campaign_2021, techs=MODEL_TECHS, rng=np.random.default_rng(0)
+    )
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic RNG per test."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,123 @@
+"""Swiftest client end-to-end over simulated environments."""
+
+import numpy as np
+import pytest
+
+from repro.core.client import SwiftestClient, SwiftestConfig
+from repro.core.gmm import GaussianMixture1D
+from repro.core.registry import BandwidthModelRegistry, TechnologyModel
+from repro.testbed.env import make_environment
+
+
+@pytest.fixture
+def simple_registry():
+    """Hand-built registry with known modes, avoiding fit noise."""
+    reg = BandwidthModelRegistry()
+    mixture = GaussianMixture1D(
+        weights=(0.5, 0.3, 0.2),
+        means=(100.0, 300.0, 600.0),
+        sigmas=(10.0, 30.0, 60.0),
+    )
+    reg._models["5G"] = TechnologyModel(
+        tech="5G", mixture=mixture, n_samples=1000
+    )
+    return reg
+
+
+def run_once(simple_registry, true_bw, **env_kwargs):
+    env = make_environment(
+        true_bw,
+        rng=np.random.default_rng(3),
+        tech="5G",
+        n_servers=10,
+        server_capacity_mbps=100.0,
+        **env_kwargs,
+    )
+    return SwiftestClient(simple_registry).run(env)
+
+
+def test_accurate_below_first_mode(simple_registry):
+    result = run_once(simple_registry, 60.0)
+    assert result.bandwidth_mbps == pytest.approx(60.0, rel=0.05)
+    assert result.converged
+    assert result.rungs_visited == [100.0]
+
+
+def test_ladders_to_reach_fast_client(simple_registry):
+    result = run_once(simple_registry, 450.0)
+    assert result.bandwidth_mbps == pytest.approx(450.0, rel=0.08)
+    assert result.rungs_visited[0] == 100.0
+    assert len(result.rungs_visited) >= 3
+
+
+def test_escapes_above_top_mode(simple_registry):
+    result = run_once(simple_registry, 900.0)
+    assert result.bandwidth_mbps == pytest.approx(900.0, rel=0.10)
+    assert max(result.rungs_visited) > 600.0
+
+
+def test_duration_is_ultra_fast(simple_registry):
+    result = run_once(simple_registry, 300.0)
+    assert result.duration_s < 2.0
+    assert result.ping_s > 0
+
+
+def test_servers_scale_with_rate(simple_registry):
+    slow = run_once(simple_registry, 60.0)
+    fast = run_once(simple_registry, 550.0)
+    assert fast.servers_used > slow.servers_used
+    # 100 Mbps servers: covering 600 Mbps rate needs at least 7.
+    assert fast.servers_used >= 6
+
+
+def test_data_usage_far_below_flooding(simple_registry):
+    result = run_once(simple_registry, 300.0)
+    flooding_estimate_mb = 300.0 / 8 * 10.0  # 10 s at full rate
+    assert result.data_mb < flooding_estimate_mb / 4
+
+
+def test_samples_recorded_every_50ms(simple_registry):
+    result = run_once(simple_registry, 200.0)
+    times = [t for t, _ in result.samples]
+    gaps = np.diff(times)
+    assert np.allclose(gaps, 0.05, atol=1e-6)
+
+
+def test_flows_closed_after_test(simple_registry):
+    env = make_environment(
+        300.0, rng=np.random.default_rng(3), tech="5G",
+        n_servers=10, server_capacity_mbps=100.0,
+    )
+    SwiftestClient(simple_registry).run(env)
+    assert len(env.network.flows) == 0
+
+
+def test_timeout_still_reports(simple_registry):
+    """On a violently fluctuating link the 3% rule may never fire; the
+    client must still report the trailing-window mean within budget."""
+    result = run_once(simple_registry, 200.0, fluctuation_sigma=0.5)
+    config = SwiftestConfig()
+    assert result.duration_s <= config.max_duration_s + 0.05
+    assert result.bandwidth_mbps > 0
+
+
+def test_unknown_tech_raises(simple_registry):
+    env = make_environment(
+        100.0, rng=np.random.default_rng(3), tech="WiFi4",
+    )
+    with pytest.raises(KeyError):
+        SwiftestClient(simple_registry).run(env)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SwiftestConfig(max_duration_s=0.0)
+    with pytest.raises(ValueError):
+        SwiftestConfig(capacity_headroom=-0.1)
+
+
+def test_result_total_time_includes_ping(simple_registry):
+    result = run_once(simple_registry, 100.0)
+    assert result.total_time_s == pytest.approx(
+        result.duration_s + result.ping_s
+    )

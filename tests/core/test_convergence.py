@@ -1,0 +1,89 @@
+"""Convergence detector (§5.1's 10-sample, 3% rule)."""
+
+import pytest
+
+from repro.core.convergence import ConvergenceDetector
+
+
+def test_not_converged_before_full_window():
+    det = ConvergenceDetector()
+    for _ in range(9):
+        det.push(100.0)
+    assert not det.converged()
+    det.push(100.0)
+    assert det.converged()
+
+
+def test_three_percent_rule_boundary():
+    det = ConvergenceDetector()
+    for _ in range(9):
+        det.push(100.0)
+    det.push(97.1)  # spread 2.9% — converged
+    assert det.converged()
+
+    det2 = ConvergenceDetector()
+    for _ in range(9):
+        det2.push(100.0)
+    det2.push(96.0)  # spread 4% — not converged
+    assert not det2.converged()
+
+
+def test_value_is_window_mean():
+    det = ConvergenceDetector()
+    for v in [100.0] * 5 + [98.0] * 5:
+        det.push(v)
+    assert det.converged()
+    assert det.value() == pytest.approx(99.0)
+
+
+def test_value_none_before_convergence():
+    det = ConvergenceDetector()
+    det.push(100.0)
+    assert det.value() is None
+
+
+def test_sliding_window_forgets_old_noise():
+    det = ConvergenceDetector()
+    det.push(10.0)  # noise
+    for _ in range(10):
+        det.push(100.0)
+    assert det.converged()
+
+
+def test_reset_clears_window():
+    det = ConvergenceDetector()
+    for _ in range(10):
+        det.push(100.0)
+    det.reset()
+    assert det.count == 0
+    assert not det.converged()
+
+
+def test_zero_samples_never_converge():
+    det = ConvergenceDetector()
+    for _ in range(10):
+        det.push(0.0)
+    assert not det.converged()
+
+
+def test_negative_sample_rejected():
+    det = ConvergenceDetector()
+    with pytest.raises(ValueError):
+        det.push(-1.0)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        ConvergenceDetector(window=1)
+    with pytest.raises(ValueError):
+        ConvergenceDetector(threshold=0.0)
+    with pytest.raises(ValueError):
+        ConvergenceDetector(threshold=1.0)
+
+
+def test_custom_window_and_threshold():
+    det = ConvergenceDetector(window=3, threshold=0.10)
+    det.push(100.0)
+    det.push(95.0)
+    det.push(92.0)
+    assert det.converged()  # 8% spread within the 10% threshold

@@ -1,0 +1,116 @@
+"""Gaussian mixture fitting (Equation 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.gmm import GaussianMixture1D, fit_gmm, select_gmm_bic
+
+
+def two_mode_data(rng, n=3000, mu1=100.0, mu2=500.0, w1=0.6):
+    n1 = int(n * w1)
+    return np.concatenate([
+        rng.normal(mu1, 15.0, size=n1),
+        rng.normal(mu2, 40.0, size=n - n1),
+    ])
+
+
+def test_mixture_validation():
+    with pytest.raises(ValueError):
+        GaussianMixture1D(weights=(0.5, 0.4), means=(1.0, 2.0), sigmas=(1.0, 1.0))
+    with pytest.raises(ValueError):
+        GaussianMixture1D(weights=(1.0,), means=(1.0,), sigmas=(0.0,))
+    with pytest.raises(ValueError):
+        GaussianMixture1D(weights=(0.5, 0.5), means=(2.0, 1.0), sigmas=(1.0, 1.0))
+    with pytest.raises(ValueError):
+        GaussianMixture1D(weights=(), means=(), sigmas=())
+
+
+def test_pdf_integrates_to_one():
+    gmm = GaussianMixture1D(weights=(0.3, 0.7), means=(0.0, 10.0), sigmas=(1.0, 2.0))
+    xs = np.linspace(-20, 40, 4000)
+    trapezoid = getattr(np, "trapezoid", None) or np.trapz
+    integral = trapezoid(gmm.pdf(xs), xs)
+    assert integral == pytest.approx(1.0, abs=1e-3)
+
+
+def test_fit_recovers_two_modes(rng):
+    data = two_mode_data(rng)
+    gmm = fit_gmm(data, 2, rng=rng)
+    assert gmm.means[0] == pytest.approx(100.0, abs=8.0)
+    assert gmm.means[1] == pytest.approx(500.0, abs=25.0)
+    assert gmm.weights[0] == pytest.approx(0.6, abs=0.05)
+
+
+def test_dominant_mode_is_heaviest(rng):
+    data = two_mode_data(rng, w1=0.7)
+    gmm = fit_gmm(data, 2, rng=rng)
+    assert gmm.dominant_mode() == pytest.approx(100.0, abs=10.0)
+
+
+def test_modes_above_and_next_rung(rng):
+    data = two_mode_data(rng)
+    gmm = fit_gmm(data, 2, rng=rng)
+    above = gmm.modes_above(gmm.dominant_mode())
+    assert len(above) == 1
+    next_rung = gmm.most_probable_mode_above(gmm.dominant_mode())
+    assert next_rung == pytest.approx(500.0, abs=25.0)
+    assert gmm.most_probable_mode_above(1e9) is None
+
+
+def test_fit_requires_enough_points(rng):
+    with pytest.raises(ValueError):
+        fit_gmm([1.0, 2.0], 3, rng=rng)
+    with pytest.raises(ValueError):
+        fit_gmm([1.0], 0, rng=rng)
+
+
+def test_fit_degenerate_constant_data(rng):
+    gmm = fit_gmm([5.0] * 100, 2, rng=rng)
+    assert all(m == pytest.approx(5.0) for m in gmm.means)
+
+
+def test_single_component_fit_matches_moments(rng):
+    data = rng.normal(50.0, 7.0, size=5000)
+    gmm = fit_gmm(data, 1, rng=rng)
+    assert gmm.means[0] == pytest.approx(50.0, abs=0.5)
+    assert gmm.sigmas[0] == pytest.approx(7.0, abs=0.5)
+
+
+def test_bic_prefers_two_components_for_bimodal(rng):
+    data = two_mode_data(rng)
+    one = fit_gmm(data, 1, rng=rng)
+    two = fit_gmm(data, 2, rng=rng)
+    assert two.bic(data) < one.bic(data)
+
+
+def test_select_gmm_bic_finds_bimodal_structure(rng):
+    data = two_mode_data(rng)
+    best = select_gmm_bic(data, max_components=5, rng=rng)
+    assert best.n_components >= 2
+    # The two dominant fitted means bracket the true modes.
+    top_two = sorted(
+        range(best.n_components), key=lambda i: -best.weights[i]
+    )[:2]
+    means = sorted(best.means[i] for i in top_two)
+    assert means[0] == pytest.approx(100.0, abs=20.0)
+    assert means[1] == pytest.approx(500.0, abs=50.0)
+
+
+def test_select_requires_two_points(rng):
+    with pytest.raises(ValueError):
+        select_gmm_bic([1.0], rng=rng)
+
+
+def test_sampling_round_trip(rng):
+    gmm = GaussianMixture1D(
+        weights=(0.5, 0.5), means=(10.0, 100.0), sigmas=(2.0, 5.0)
+    )
+    samples = gmm.sample(4000, rng)
+    refit = fit_gmm(samples, 2, rng=rng)
+    assert refit.means[0] == pytest.approx(10.0, abs=1.0)
+    assert refit.means[1] == pytest.approx(100.0, abs=2.0)
+
+
+def test_log_likelihood_finite_far_from_modes():
+    gmm = GaussianMixture1D(weights=(1.0,), means=(0.0,), sigmas=(1.0,))
+    assert np.isfinite(gmm.log_likelihood(np.array([1e6])))

@@ -1,0 +1,119 @@
+"""Probing controller state machine."""
+
+import pytest
+
+from repro.core.gmm import GaussianMixture1D
+from repro.core.probing import ProbingController
+from repro.core.registry import TechnologyModel
+
+
+def make_model(weights=(0.6, 0.3, 0.1), means=(100.0, 300.0, 600.0)):
+    mixture = GaussianMixture1D(
+        weights=weights, means=means, sigmas=tuple(10.0 for _ in means)
+    )
+    return TechnologyModel(tech="x", mixture=mixture, n_samples=1000)
+
+
+def test_initial_rate_is_dominant_mode():
+    ctrl = ProbingController(make_model())
+    assert ctrl.rate_mbps == 100.0
+
+
+def test_saturated_samples_converge_on_client_capacity():
+    """Client capacity 80 < initial rate 100: hold and converge."""
+    ctrl = ProbingController(make_model())
+    decision = None
+    for _ in range(10):
+        decision = ctrl.on_sample(80.0)
+    assert decision.finished
+    assert decision.result_mbps == pytest.approx(80.0)
+    assert ctrl.rungs_visited == [100.0]
+
+
+def test_unsaturated_samples_ladder_up():
+    """Client keeps up with 100: after the dwell, move to 300."""
+    ctrl = ProbingController(make_model())
+    changed = False
+    for _ in range(3):
+        decision = ctrl.on_sample(99.0)
+        changed = changed or decision.rate_changed
+    assert changed
+    assert ctrl.rate_mbps == 300.0
+    assert ctrl.rungs_visited == [100.0, 300.0]
+
+
+def test_full_ladder_then_geometric_escape():
+    ctrl = ProbingController(make_model())
+    # Client faster than every mode: climb 100 -> 300 -> 600 -> 750...
+    for _ in range(9):
+        ctrl.on_sample(ctrl.rate_mbps)  # always "keeping up"
+    assert ctrl.above_top_mode
+    assert ctrl.rate_mbps == pytest.approx(600.0 * 1.25)
+
+
+def test_ladder_resets_convergence_window():
+    ctrl = ProbingController(make_model())
+    for _ in range(3):
+        ctrl.on_sample(100.0)
+    # After the rate change the detector window must restart: nine more
+    # identical samples are not enough to converge (need ten).
+    assert ctrl.detector.count == 0
+
+
+def test_mid_ladder_convergence():
+    """Client capacity 250: ladder to 300, then converge at 250."""
+    ctrl = ProbingController(make_model())
+    for _ in range(3):
+        ctrl.on_sample(100.0)  # unsaturated at rung 100
+    assert ctrl.rate_mbps == 300.0
+    decision = None
+    for _ in range(10):
+        decision = ctrl.on_sample(250.0)  # saturated below 300
+    assert decision.finished
+    assert decision.result_mbps == pytest.approx(250.0)
+
+
+def test_noisy_sample_does_not_trigger_ladder():
+    ctrl = ProbingController(make_model())
+    ctrl.on_sample(99.0)
+    ctrl.on_sample(80.0)  # saturation signal resets the streak
+    ctrl.on_sample(99.0)
+    ctrl.on_sample(99.0)
+    assert ctrl.rate_mbps == 100.0  # dwell never reached 3 in a row
+
+
+def test_force_finish_reports_window_mean():
+    ctrl = ProbingController(make_model())
+    ctrl.on_sample(80.0)
+    ctrl.on_sample(90.0)
+    decision = ctrl.force_finish()
+    assert decision.finished
+    assert decision.result_mbps == pytest.approx(85.0)
+
+
+def test_force_finish_without_samples_reports_rate():
+    ctrl = ProbingController(make_model())
+    assert ctrl.force_finish().result_mbps == 100.0
+
+
+def test_on_sample_after_finish_raises():
+    ctrl = ProbingController(make_model())
+    for _ in range(10):
+        ctrl.on_sample(50.0)
+    with pytest.raises(RuntimeError):
+        ctrl.on_sample(50.0)
+
+
+def test_negative_sample_rejected():
+    ctrl = ProbingController(make_model())
+    with pytest.raises(ValueError):
+        ctrl.on_sample(-1.0)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        ProbingController(make_model(), saturation_margin=0.0)
+    with pytest.raises(ValueError):
+        ProbingController(make_model(), dwell=0)
+    with pytest.raises(ValueError):
+        ProbingController(make_model(), escape_factor=1.0)

@@ -1,0 +1,87 @@
+"""UDP probing protocol wire format."""
+
+import pytest
+
+from repro.core.protocol import (
+    DATA_PAYLOAD_BYTES,
+    Data,
+    Feedback,
+    Fin,
+    Hello,
+    ProtocolError,
+    RateCommand,
+    decode,
+    wire_overhead_fraction,
+)
+
+
+def test_hello_round_trip():
+    msg = Hello(session_id=42, tech="5G", nonce=0xDEADBEEF)
+    assert decode(msg.pack()) == msg
+
+
+def test_rate_command_round_trip_and_mbps():
+    msg = RateCommand(session_id=7, rate_kbps=312_500, rung=2)
+    decoded = decode(msg.pack())
+    assert decoded == msg
+    assert decoded.rate_mbps == pytest.approx(312.5)
+
+
+def test_data_round_trip_with_payload():
+    msg = Data(session_id=1, seq=99, send_time_us=1_000_000)
+    wire = msg.pack()
+    assert len(wire) > DATA_PAYLOAD_BYTES
+    assert decode(wire) == msg
+
+
+def test_feedback_round_trip():
+    msg = Feedback(session_id=3, observed_kbps=98_000, saturated=True)
+    assert decode(msg.pack()) == msg
+
+
+def test_fin_round_trip():
+    msg = Fin(session_id=3, result_kbps=250_000)
+    assert decode(msg.pack()) == msg
+
+
+def test_unknown_tag_rejected():
+    wire = bytes([0x7F]) + b"\x00" * 8
+    with pytest.raises(ProtocolError):
+        decode(wire)
+
+
+def test_truncated_header_rejected():
+    with pytest.raises(ProtocolError):
+        decode(b"\x01")
+
+
+def test_truncated_body_rejected():
+    wire = Hello(1, "4G", 5).pack()[:-2]
+    with pytest.raises(ProtocolError):
+        decode(wire)
+
+
+def test_data_payload_length_mismatch_rejected():
+    wire = Data(1, 0, 0).pack() + b"extra"
+    with pytest.raises(ProtocolError):
+        decode(wire)
+
+
+def test_long_tech_label_rejected():
+    with pytest.raises(ProtocolError):
+        Hello(1, "WiFi6-ultra", 0).pack()
+
+
+def test_tech_label_edge_length():
+    msg = Hello(1, "WiFi6ghz", 0)  # exactly 8 chars
+    assert decode(msg.pack()).tech == "WiFi6ghz"
+
+
+def test_wire_overhead_small_but_positive():
+    overhead = wire_overhead_fraction()
+    assert 0.01 < overhead < 0.05
+
+
+def test_all_tags_distinct():
+    tags = {cls.TAG for cls in (Hello, RateCommand, Data, Feedback, Fin)}
+    assert len(tags) == 5

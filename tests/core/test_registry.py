@@ -1,0 +1,136 @@
+"""Bandwidth model registry and probing ladders."""
+
+import numpy as np
+import pytest
+
+from repro.core.gmm import GaussianMixture1D
+from repro.core.registry import (
+    BandwidthModelRegistry,
+    MIN_SAMPLES,
+    TechnologyModel,
+)
+
+
+def synthetic_bimodal(rng, n=2000):
+    return np.concatenate([
+        rng.normal(100.0, 10.0, size=n // 2),
+        rng.normal(400.0, 30.0, size=n // 2),
+    ])
+
+
+def test_fit_and_query(rng):
+    reg = BandwidthModelRegistry()
+    reg.fit("5G", np.abs(synthetic_bimodal(rng)), rng=rng)
+    model = reg.model("5G")
+    assert model.n_samples == 2000
+    assert reg.has_model("5G")
+    assert reg.technologies() == ["5G"]
+
+
+def test_missing_model_raises():
+    reg = BandwidthModelRegistry()
+    with pytest.raises(KeyError):
+        reg.model("4G")
+
+
+def test_min_samples_enforced(rng):
+    reg = BandwidthModelRegistry()
+    with pytest.raises(ValueError):
+        reg.fit("4G", [10.0] * (MIN_SAMPLES - 1), rng=rng)
+
+
+def test_nonpositive_bandwidths_rejected(rng):
+    reg = BandwidthModelRegistry()
+    data = [10.0] * MIN_SAMPLES
+    data[0] = 0.0
+    with pytest.raises(ValueError):
+        reg.fit("4G", data, rng=rng)
+
+
+def test_ladder_ascends(rng):
+    reg = BandwidthModelRegistry()
+    model = reg.fit("5G", np.abs(synthetic_bimodal(rng)), rng=rng)
+    ladder = model.ladder()
+    assert ladder == sorted(ladder)
+    assert ladder[0] == model.initial_rate_mbps()
+
+
+def test_initial_rate_is_dominant_mode():
+    mixture = GaussianMixture1D(
+        weights=(0.7, 0.3), means=(100.0, 400.0), sigmas=(10.0, 20.0)
+    )
+    model = TechnologyModel(tech="x", mixture=mixture, n_samples=1000)
+    assert model.initial_rate_mbps() == 100.0
+    assert model.next_rate_mbps(100.0) == 400.0
+    assert model.next_rate_mbps(400.0) is None
+
+
+def test_staleness():
+    mixture = GaussianMixture1D(weights=(1.0,), means=(50.0,), sigmas=(5.0,))
+    model = TechnologyModel(tech="x", mixture=mixture, n_samples=500, fitted_at_day=0.0)
+    assert not model.is_stale(today_day=10.0)
+    assert model.is_stale(today_day=31.0)
+
+
+def test_stale_technologies_listing(rng):
+    reg = BandwidthModelRegistry()
+    reg.fit("4G", np.abs(rng.normal(50, 5, MIN_SAMPLES)) + 1, day=0.0, rng=rng)
+    reg.fit("5G", np.abs(rng.normal(300, 30, MIN_SAMPLES)) + 1, day=20.0, rng=rng)
+    assert reg.stale_technologies(today_day=35.0) == ["4G"]
+
+
+def test_refit_replaces_model(rng):
+    reg = BandwidthModelRegistry()
+    reg.fit("4G", np.abs(rng.normal(50, 5, MIN_SAMPLES)) + 1, day=0.0, rng=rng)
+    old_day = reg.model("4G").fitted_at_day
+    reg.fit("4G", np.abs(rng.normal(60, 5, MIN_SAMPLES)) + 1, day=30.0, rng=rng)
+    assert reg.model("4G").fitted_at_day > old_day
+
+
+def test_fit_from_dataset_skips_thin_techs(campaign_2021, rng):
+    reg = BandwidthModelRegistry().fit_from_dataset(
+        campaign_2021, techs=["4G", "3G"], rng=rng
+    )
+    # 3G has very few tests in a 40k campaign; 4G has plenty.
+    assert reg.has_model("4G")
+    assert not reg.has_model("3G")
+
+
+def test_fit_from_dataset_wifi5_is_multimodal(registry):
+    """Figure 16's structural claim: WiFi 5 bandwidth needs several
+    Gaussian modes (broadband plan tiers)."""
+    model = registry.model("WiFi5")
+    assert model.mixture.n_components >= 3
+
+
+def test_registry_validation():
+    with pytest.raises(ValueError):
+        BandwidthModelRegistry(max_components=0)
+
+
+def test_registry_json_round_trip(registry, tmp_path):
+    path = tmp_path / "models.json"
+    registry.to_json(path)
+    loaded = type(registry).from_json(path)
+    assert loaded.technologies() == registry.technologies()
+    for tech in registry.technologies():
+        original = registry.model(tech)
+        restored = loaded.model(tech)
+        assert restored.mixture == original.mixture
+        assert restored.n_samples == original.n_samples
+        assert restored.initial_rate_mbps() == original.initial_rate_mbps()
+        assert restored.ladder() == original.ladder()
+
+
+def test_registry_from_json_string(registry):
+    text = registry.to_json()
+    loaded = type(registry).from_json(text)
+    assert loaded.technologies() == registry.technologies()
+
+
+def test_registry_from_json_rejects_garbage():
+    from repro.core.registry import BandwidthModelRegistry
+    with pytest.raises(ValueError):
+        BandwidthModelRegistry.from_json("{not json")
+    with pytest.raises(ValueError):
+        BandwidthModelRegistry.from_json('{"format": "other/9"}')

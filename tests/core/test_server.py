@@ -1,0 +1,125 @@
+"""Swiftest server session state machine."""
+
+import pytest
+
+from repro.core.protocol import (
+    DATA_PAYLOAD_BYTES,
+    Feedback,
+    Fin,
+    Hello,
+    ProtocolError,
+    RateCommand,
+)
+from repro.core.server import SessionState, SwiftestServer
+
+
+def open_session(server, session_id=1, tech="5G", now=0.0):
+    server.handle(Hello(session_id=session_id, tech=tech, nonce=0), now)
+
+
+def test_hello_opens_session():
+    server = SwiftestServer("s0", capacity_mbps=100.0)
+    open_session(server)
+    assert server.active_sessions() == 1
+    assert server.sessions[1].state is SessionState.AWAITING_RATE
+
+
+def test_rate_command_starts_sending():
+    server = SwiftestServer("s0", capacity_mbps=100.0)
+    open_session(server)
+    server.handle(RateCommand(session_id=1, rate_kbps=50_000, rung=0), 0.1)
+    session = server.sessions[1]
+    assert session.state is SessionState.SENDING
+    assert session.rate_mbps == pytest.approx(50.0)
+
+
+def test_rate_clamped_to_capacity():
+    server = SwiftestServer("s0", capacity_mbps=100.0)
+    open_session(server)
+    server.handle(RateCommand(session_id=1, rate_kbps=500_000, rung=1), 0.1)
+    assert server.sessions[1].rate_mbps == pytest.approx(100.0)
+
+
+def test_emit_paces_at_commanded_rate():
+    server = SwiftestServer("s0", capacity_mbps=100.0)
+    open_session(server)
+    server.handle(RateCommand(session_id=1, rate_kbps=96_000, rung=0), 0.0)
+    total = 0
+    for step in range(20):  # 20 x 50 ms = 1 s
+        packets = server.emit(1, now_s=step * 0.05, interval_s=0.05)
+        total += len(packets)
+    expected = 96e6 / 8 / DATA_PAYLOAD_BYTES  # packets per second
+    assert total == pytest.approx(expected, abs=1.0)
+
+
+def test_emit_sequence_numbers_monotone():
+    server = SwiftestServer("s0", capacity_mbps=100.0)
+    open_session(server)
+    server.handle(RateCommand(session_id=1, rate_kbps=80_000, rung=0), 0.0)
+    packets = server.emit(1, 0.05, 0.05) + server.emit(1, 0.10, 0.05)
+    seqs = [p.seq for p in packets]
+    assert seqs == list(range(len(seqs)))
+
+
+def test_emit_before_rate_command_is_silent():
+    server = SwiftestServer("s0", capacity_mbps=100.0)
+    open_session(server)
+    assert server.emit(1, 0.05, 0.05) == []
+
+
+def test_fin_closes_session():
+    server = SwiftestServer("s0", capacity_mbps=100.0)
+    open_session(server)
+    server.handle(RateCommand(session_id=1, rate_kbps=10_000, rung=0), 0.0)
+    server.handle(Fin(session_id=1, result_kbps=9_500), 0.5)
+    assert server.sessions[1].state is SessionState.CLOSED
+    assert server.active_sessions() == 0
+    assert server.emit(1, 0.6, 0.05) == []
+
+
+def test_message_for_unknown_session_rejected():
+    server = SwiftestServer("s0", capacity_mbps=100.0)
+    with pytest.raises(ProtocolError):
+        server.handle(RateCommand(session_id=9, rate_kbps=1, rung=0), 0.0)
+
+
+def test_message_for_closed_session_rejected():
+    server = SwiftestServer("s0", capacity_mbps=100.0)
+    open_session(server)
+    server.handle(Fin(session_id=1, result_kbps=0), 0.0)
+    with pytest.raises(ProtocolError):
+        server.handle(Feedback(session_id=1, observed_kbps=1, saturated=False), 0.1)
+
+
+def test_idle_sessions_reaped():
+    server = SwiftestServer("s0", capacity_mbps=100.0)
+    open_session(server, now=0.0)
+    assert server.reap_idle(now_s=10.0) == 1
+    assert server.active_sessions() == 0
+
+
+def test_committed_rate_sums_active_sessions():
+    server = SwiftestServer("s0", capacity_mbps=200.0)
+    open_session(server, session_id=1)
+    open_session(server, session_id=2)
+    server.handle(RateCommand(session_id=1, rate_kbps=40_000, rung=0), 0.0)
+    server.handle(RateCommand(session_id=2, rate_kbps=60_000, rung=0), 0.0)
+    assert server.committed_rate_mbps() == pytest.approx(100.0)
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        SwiftestServer("s0", capacity_mbps=0.0)
+
+
+def test_packets_due_carries_fraction():
+    server = SwiftestServer("s0", capacity_mbps=100.0)
+    open_session(server)
+    server.handle(RateCommand(session_id=1, rate_kbps=1_000, rung=0), 0.0)
+    session = server.sessions[1]
+    # 1 Mbps over 5 ms = ~0.52 packets: first call emits 0, carry
+    # accumulates until whole packets come due.
+    counts = [session.packets_due(0.005) for _ in range(10)]
+    assert sum(counts) >= 4
+    with pytest.raises(ValueError):
+        session.packets_due(0.0)

@@ -1,0 +1,111 @@
+"""Swiftest design-choice variants."""
+
+import numpy as np
+import pytest
+
+from repro.core.client import SwiftestClient, SwiftestConfig
+from repro.core.gmm import GaussianMixture1D
+from repro.core.probing import ProbingController
+from repro.core.registry import BandwidthModelRegistry, TechnologyModel
+from repro.core.variants import FixedLadderModel, TcpSwiftest
+from repro.testbed.env import make_environment
+
+
+def test_fixed_ladder_rungs():
+    ladder = FixedLadderModel(start_mbps=25.0, step_factor=2.0, top_mbps=100.0)
+    assert ladder.initial_rate_mbps() == 25.0
+    assert ladder.next_rate_mbps(25.0) == 50.0
+    assert ladder.next_rate_mbps(100.0) is None
+    assert ladder.ladder() == [25.0, 50.0, 100.0]
+
+
+def test_fixed_ladder_validation():
+    with pytest.raises(ValueError):
+        FixedLadderModel(start_mbps=0.0)
+    with pytest.raises(ValueError):
+        FixedLadderModel(step_factor=1.0)
+
+
+def test_fixed_ladder_plugs_into_controller():
+    ctrl = ProbingController(FixedLadderModel())
+    assert ctrl.rate_mbps == 25.0
+    for _ in range(3):
+        ctrl.on_sample(25.0)  # keeping up
+    assert ctrl.rate_mbps == 37.5
+
+
+def test_fixed_ladder_takes_more_rungs_than_guided():
+    """The ablation's claim at unit scale: for a 400 Mbps client, the
+    guided model starts near the answer; the fixed ladder climbs."""
+    mixture = GaussianMixture1D(
+        weights=(0.6, 0.4), means=(300.0, 600.0), sigmas=(30.0, 60.0)
+    )
+    reg = BandwidthModelRegistry()
+    reg._models["5G"] = TechnologyModel(tech="5G", mixture=mixture, n_samples=500)
+
+    env_guided = make_environment(
+        400.0, rng=np.random.default_rng(1), tech="5G",
+        server_capacity_mbps=100.0,
+    )
+    guided = SwiftestClient(reg).run(env_guided)
+
+    class FixedRegistry(BandwidthModelRegistry):
+        def model(self, tech):
+            return FixedLadderModel()
+
+    env_fixed = make_environment(
+        400.0, rng=np.random.default_rng(1), tech="5G",
+        server_capacity_mbps=100.0,
+    )
+    fixed = SwiftestClient(FixedRegistry()).run(env_fixed)
+    assert len(guided.rungs_visited) < len(fixed.rungs_visited)
+    assert guided.bandwidth_mbps == pytest.approx(400.0, rel=0.08)
+    assert fixed.bandwidth_mbps == pytest.approx(400.0, rel=0.08)
+
+
+def test_tcp_swiftest_runs_and_is_reasonable():
+    env = make_environment(
+        120.0, rng=np.random.default_rng(2), tech="5G",
+        server_capacity_mbps=1000.0,
+    )
+    result = TcpSwiftest().run(env)
+    assert result.bandwidth_mbps == pytest.approx(120.0, rel=0.15)
+    assert result.service == "tcp-swiftest"
+    assert result.meta["transport"] == "tcp"
+
+
+def test_tcp_swiftest_slower_than_udp_on_high_bdp_paths(registry):
+    """§7's argument concerns high bandwidth-delay-product paths: the
+    TCP ramp spans many samples there, delaying the 3% convergence
+    rule, while UDP's commanded rate is RTT-insensitive.  (On
+    low-RTT paths the fluid TCP model ramps within one sample and the
+    two variants tie.)"""
+    kwargs = dict(
+        tech="5G", server_capacity_mbps=100.0,
+        rtt_range_s=(0.060, 0.120), fluctuation_sigma=0.04,
+    )
+    udp_total, tcp_total = 0.0, 0.0
+    for seed in range(4):
+        env_udp = make_environment(
+            600.0, rng=np.random.default_rng(seed), **kwargs
+        )
+        udp_total += SwiftestClient(registry).run(env_udp).duration_s
+        env_tcp = make_environment(
+            600.0, rng=np.random.default_rng(seed), **kwargs
+        )
+        tcp_total += TcpSwiftest().run(env_tcp).duration_s
+    assert udp_total < tcp_total
+
+
+def test_custom_convergence_threshold_config(registry):
+    loose = SwiftestClient(
+        registry, SwiftestConfig(convergence_threshold=0.2)
+    )
+    env = make_environment(
+        200.0, rng=np.random.default_rng(4), tech="5G",
+        server_capacity_mbps=100.0, fluctuation_sigma=0.08,
+    )
+    result = loose.run(env)
+    assert result.converged
+    with pytest.raises(ValueError):
+        SwiftestClient(registry, SwiftestConfig(convergence_threshold=0.0)).run(env)

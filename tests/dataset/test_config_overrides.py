@@ -1,0 +1,73 @@
+"""CampaignConfig extension knobs: stratified shares, LTE-A what-ifs,
+custom sleep policies."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.generator import CampaignConfig, generate_campaign
+from repro.radio.refarming import RefarmingPlan
+from repro.radio.sleeping import NO_SLEEP
+
+
+def test_tech_share_override_stratifies():
+    ds = generate_campaign(
+        CampaignConfig(n_tests=2000, seed=1, tech_shares={"5G": 1.0})
+    )
+    assert set(ds.column("tech").tolist()) == {"5G"}
+
+
+def test_tech_share_mix():
+    ds = generate_campaign(
+        CampaignConfig(n_tests=4000, seed=1,
+                       tech_shares={"4G": 0.5, "5G": 0.5})
+    )
+    counts = ds.group_counts("tech")
+    assert set(counts) == {"4G", "5G"}
+    assert abs(counts["4G"] - counts["5G"]) < 400
+
+
+def test_tech_share_validation():
+    with pytest.raises(ValueError):
+        CampaignConfig(n_tests=10, tech_shares={"6G": 1.0})
+    with pytest.raises(ValueError):
+        CampaignConfig(n_tests=10, tech_shares={"4G": -0.5})
+    with pytest.raises(ValueError):
+        CampaignConfig(n_tests=10, tech_shares={"4G": 0.0})
+
+
+def test_lte_advanced_prob_override():
+    base = generate_campaign(
+        CampaignConfig(n_tests=6000, seed=2, tech_shares={"4G": 1.0},
+                       lte_advanced_prob=0.0)
+    )
+    boosted = generate_campaign(
+        CampaignConfig(n_tests=6000, seed=2, tech_shares={"4G": 1.0},
+                       lte_advanced_prob=0.5)
+    )
+    assert not np.any(base.column("lte_advanced"))
+    assert float(boosted.column("lte_advanced").mean()) > 0.2
+    assert boosted.mean_bandwidth() > base.mean_bandwidth()
+
+
+def test_lte_advanced_prob_validation():
+    with pytest.raises(ValueError):
+        CampaignConfig(n_tests=10, lte_advanced_prob=1.5)
+
+
+def test_no_sleep_policy_removes_flag():
+    ds = generate_campaign(
+        CampaignConfig(n_tests=3000, seed=3, tech_shares={"5G": 1.0},
+                       sleep_policy=NO_SLEEP)
+    )
+    assert not np.any(ds.column("sleeping"))
+
+
+def test_custom_refarming_plan_changes_channels():
+    empty = RefarmingPlan(name="none", moves=())
+    ds = generate_campaign(
+        CampaignConfig(n_tests=4000, seed=4, refarming=empty,
+                       tech_shares={"4G": 1.0})
+    )
+    b1 = ds.where(band="B1")
+    if len(b1):
+        assert np.all(b1.column("channel_mhz") == 20.0)

@@ -1,0 +1,61 @@
+"""Dataset CSV persistence."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.generator import CampaignConfig, generate_campaign
+from repro.dataset.records import Dataset
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    return generate_campaign(CampaignConfig(n_tests=1500, seed=31))
+
+
+def test_round_trip_identity(small_dataset, tmp_path):
+    path = tmp_path / "ds.csv"
+    small_dataset.to_csv(path)
+    loaded = Dataset.from_csv(path)
+    assert len(loaded) == len(small_dataset)
+    assert np.allclose(loaded.bandwidth, small_dataset.bandwidth)
+    assert list(loaded.column("tech")) == list(small_dataset.column("tech"))
+    assert np.array_equal(
+        loaded.column("lte_advanced"), small_dataset.column("lte_advanced")
+    )
+
+
+def test_round_trip_preserves_nan(small_dataset, tmp_path):
+    path = tmp_path / "ds.csv"
+    small_dataset.to_csv(path)
+    loaded = Dataset.from_csv(path)
+    original_nan = np.isnan(small_dataset.column("snr_db"))
+    loaded_nan = np.isnan(loaded.column("snr_db"))
+    assert np.array_equal(original_nan, loaded_nan)
+
+
+def test_missing_file_raises(tmp_path):
+    with pytest.raises(OSError):
+        Dataset.from_csv(tmp_path / "absent.csv")
+
+
+def test_empty_file_raises(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    with pytest.raises(ValueError):
+        Dataset.from_csv(path)
+
+
+def test_header_only_raises(tmp_path, small_dataset):
+    path = tmp_path / "ds.csv"
+    small_dataset.to_csv(path)
+    header = path.read_text().splitlines()[0]
+    path.write_text(header + "\n")
+    with pytest.raises(ValueError):
+        Dataset.from_csv(path)
+
+
+def test_column_mismatch_raises(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("a,b\n1,2\n")
+    with pytest.raises(ValueError):
+        Dataset.from_csv(path)

@@ -1,0 +1,153 @@
+"""Server catalogue and ILP purchase planning."""
+
+import pytest
+
+from repro.deploy.ilp import solve_purchase_plan
+from repro.deploy.plans import (
+    ServerPlan,
+    onevendor_catalogue,
+    total_capacity,
+    total_cost,
+)
+
+
+def plan(plan_id, bw, price, avail=10, domain="Beijing"):
+    return ServerPlan(
+        plan_id=plan_id, bandwidth_mbps=bw, price_month_usd=price,
+        available=avail, domain=domain,
+    )
+
+
+# -- catalogue ---------------------------------------------------------------
+
+
+def test_catalogue_size_and_envelope():
+    catalogue = onevendor_catalogue()
+    assert len(catalogue) == 336
+    prices = [p.price_month_usd for p in catalogue]
+    assert min(prices) >= 10.41
+    assert max(prices) <= 2609.0
+    bandwidths = {p.bandwidth_mbps for p in catalogue}
+    assert 100 in bandwidths and 10000 in bandwidths
+
+
+def test_catalogue_deterministic():
+    a = onevendor_catalogue(seed=5)
+    b = onevendor_catalogue(seed=5)
+    assert a == b
+
+
+def test_bulk_bandwidth_cheaper_per_mbps():
+    catalogue = onevendor_catalogue()
+    import numpy as np
+    small = np.mean([p.price_per_mbps for p in catalogue if p.bandwidth_mbps == 100])
+    big = np.mean([p.price_per_mbps for p in catalogue if p.bandwidth_mbps == 10000])
+    assert big < small
+
+
+def test_plan_validation():
+    with pytest.raises(ValueError):
+        plan(0, -1, 10)
+    with pytest.raises(ValueError):
+        plan(0, 100, 0)
+    with pytest.raises(ValueError):
+        ServerPlan(0, 100, 10, available=-1)
+
+
+def test_totals_alignment_checked():
+    plans = [plan(0, 100, 10)]
+    with pytest.raises(ValueError):
+        total_capacity(plans, [1, 2])
+    with pytest.raises(ValueError):
+        total_cost(plans, [])
+
+
+# -- ILP -----------------------------------------------------------------------
+
+
+def test_ilp_picks_cheapest_single_server():
+    plans = [plan(0, 100, 50.0), plan(1, 100, 20.0)]
+    sol = solve_purchase_plan(plans, 90.0, margin=0.05)
+    assert sol.counts == [0, 1]
+    assert sol.total_cost_usd == pytest.approx(20.0)
+    assert sol.optimal
+
+
+def test_ilp_combines_configurations():
+    plans = [plan(0, 100, 10.0, avail=3), plan(1, 500, 60.0, avail=1)]
+    sol = solve_purchase_plan(plans, 700.0, margin=0.0)
+    assert sol.total_capacity_mbps >= 700.0
+    # Optimal: 1x500 + 2x100 = $80 (vs 3x100+500 = $90 overshoot or
+    # infeasible alternatives).
+    assert sol.total_cost_usd == pytest.approx(80.0)
+
+
+def test_ilp_respects_availability():
+    plans = [plan(0, 100, 10.0, avail=2), plan(1, 1000, 500.0, avail=1)]
+    sol = solve_purchase_plan(plans, 1100.0, margin=0.0)
+    assert sol.counts[0] <= 2
+    assert sol.total_capacity_mbps >= 1100.0
+
+
+def test_ilp_margin_raises_requirement():
+    plans = [plan(0, 100, 10.0, avail=20)]
+    no_margin = solve_purchase_plan(plans, 1000.0, margin=0.0)
+    with_margin = solve_purchase_plan(plans, 1000.0, margin=0.10)
+    assert sum(with_margin.counts) > sum(no_margin.counts)
+
+
+def test_ilp_infeasible_raises():
+    plans = [plan(0, 100, 10.0, avail=1)]
+    with pytest.raises(ValueError):
+        solve_purchase_plan(plans, 500.0)
+
+
+def test_ilp_validation():
+    plans = [plan(0, 100, 10.0)]
+    with pytest.raises(ValueError):
+        solve_purchase_plan(plans, -5.0)
+    with pytest.raises(ValueError):
+        solve_purchase_plan(plans, 100.0, margin=-0.1)
+
+
+def test_ilp_optimal_vs_exhaustive_small_instances():
+    """Branch-and-bound matches brute force on random small instances."""
+    import itertools
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    for trial in range(10):
+        plans = [
+            plan(i, float(rng.choice([100, 200, 500])),
+                 float(rng.uniform(10, 100)), avail=int(rng.integers(1, 4)))
+            for i in range(4)
+        ]
+        target = float(rng.uniform(200, 800))
+        try:
+            sol = solve_purchase_plan(plans, target, margin=0.0)
+        except ValueError:
+            continue  # infeasible instance
+        best = None
+        ranges = [range(p.available + 1) for p in plans]
+        for counts in itertools.product(*ranges):
+            cap = total_capacity(plans, list(counts))
+            if cap >= target:
+                cost = total_cost(plans, list(counts))
+                if best is None or cost < best:
+                    best = cost
+        assert sol.total_cost_usd == pytest.approx(best, abs=0.01)
+
+
+def test_ilp_scales_to_full_catalogue():
+    catalogue = onevendor_catalogue()
+    sol = solve_purchase_plan(catalogue, 2000.0)
+    assert sol.optimal
+    assert sol.total_capacity_mbps >= 2000.0 * 1.05
+
+
+def test_purchased_expansion():
+    plans = [plan(0, 100, 10.0, avail=3)]
+    sol = solve_purchase_plan(plans, 250.0, margin=0.0)
+    purchased = sol.purchased(plans)
+    assert len(purchased) == sum(sol.counts)
+    assert all(bw == 100.0 for _, bw in purchased)

@@ -1,0 +1,120 @@
+"""Operational server pool: assignment, release, health."""
+
+import pytest
+
+from repro.deploy.placement import IXP_DOMAINS
+from repro.deploy.planner import plan_deployment
+from repro.deploy.plans import onevendor_catalogue
+from repro.deploy.pool import PoolError, PoolServer, ServerPool, pool_from_deployment
+
+
+def make_pool(per_domain=2, capacity=100.0):
+    servers = [
+        PoolServer(name=f"{d.lower()}-{i}", domain=d, capacity_mbps=capacity)
+        for d in IXP_DOMAINS
+        for i in range(per_domain)
+    ]
+    return ServerPool(servers)
+
+
+def test_pool_requires_servers_and_unique_names():
+    with pytest.raises(ValueError):
+        ServerPool([])
+    dup = PoolServer(name="x", domain="Beijing", capacity_mbps=10.0)
+    with pytest.raises(ValueError):
+        ServerPool([dup, PoolServer(name="x", domain="Wuhan", capacity_mbps=10.0)])
+
+
+def test_assign_prefers_local_domain():
+    pool = make_pool()
+    assignment = pool.assign(80.0, client_domain="Wuhan")
+    assert all(name.startswith("wuhan") for name in assignment.shares)
+
+
+def test_assign_spills_to_neighbours_when_local_full():
+    pool = make_pool(per_domain=1, capacity=100.0)
+    pool.assign(90.0, client_domain="Wuhan")
+    second = pool.assign(90.0, client_domain="Wuhan")
+    assert any(not name.startswith("wuhan") for name in second.shares)
+
+
+def test_assign_reserves_headroom():
+    pool = make_pool()
+    assignment = pool.assign(100.0, client_domain="Beijing", headroom=0.10)
+    assert assignment.total_mbps == pytest.approx(110.0)
+    assert pool.total_reserved_mbps() == pytest.approx(110.0)
+
+
+def test_release_frees_capacity():
+    pool = make_pool()
+    assignment = pool.assign(150.0, client_domain="Beijing")
+    pool.release(assignment.session_id)
+    assert pool.total_reserved_mbps() == 0.0
+    with pytest.raises(KeyError):
+        pool.release(assignment.session_id)
+
+
+def test_assign_rejects_over_capacity():
+    pool = make_pool(per_domain=1, capacity=100.0)  # 800 Mbps total
+    with pytest.raises(PoolError):
+        pool.assign(1000.0, client_domain="Beijing")
+
+
+def test_assign_validation():
+    pool = make_pool()
+    with pytest.raises(ValueError):
+        pool.assign(0.0, client_domain="Beijing")
+
+
+def test_mark_down_reassigns_sessions():
+    pool = make_pool(per_domain=2, capacity=100.0)
+    assignment = pool.assign(80.0, client_domain="Chengdu")
+    (victim,) = assignment.shares  # single local server took it
+    failed = pool.mark_down(victim)
+    assert failed == []
+    # The session still has its full reservation, on other servers.
+    refreshed = pool.assignments[assignment.session_id]
+    assert refreshed.total_mbps == pytest.approx(88.0)
+    assert victim not in refreshed.shares
+    assert not pool.servers[victim].healthy
+
+
+def test_mark_down_reports_unplaceable_sessions():
+    pool = ServerPool([
+        PoolServer(name="only", domain="Beijing", capacity_mbps=100.0),
+        PoolServer(name="spare", domain="Beijing", capacity_mbps=10.0),
+    ])
+    assignment = pool.assign(80.0, client_domain="Beijing", headroom=0.0)
+    failed = pool.mark_down("only")
+    assert failed == [assignment.session_id]
+
+
+def test_mark_up_restores_rotation():
+    pool = make_pool(per_domain=1)
+    pool.mark_down("wuhan-0")
+    pool.mark_up("wuhan-0")
+    assignment = pool.assign(50.0, client_domain="Wuhan")
+    assert "wuhan-0" in assignment.shares
+
+
+def test_health_functions_validate_names():
+    pool = make_pool()
+    with pytest.raises(KeyError):
+        pool.mark_down("nope")
+    with pytest.raises(KeyError):
+        pool.mark_up("nope")
+
+
+def test_utilization_tracks_reservations():
+    pool = make_pool(per_domain=1, capacity=100.0)
+    assert pool.utilization() == 0.0
+    pool.assign(400.0, client_domain="Beijing", headroom=0.0)
+    assert pool.utilization() == pytest.approx(0.5)
+
+
+def test_pool_from_deployment_covers_domains():
+    deployment = plan_deployment(onevendor_catalogue(), 2000.0)
+    pool = pool_from_deployment(deployment)
+    domains = {s.domain for s in pool.servers.values()}
+    assert domains == set(IXP_DOMAINS)
+    assert pool.total_capacity_mbps() == deployment.total_capacity_mbps

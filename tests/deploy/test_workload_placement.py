@@ -1,0 +1,141 @@
+"""Workload estimation, placement, and the deployment planner."""
+
+import numpy as np
+import pytest
+
+from repro.deploy.placement import (
+    IXP_DOMAINS,
+    domain_rtt_s,
+    place_servers,
+)
+from repro.deploy.planner import flooding_reference_cost, plan_deployment
+from repro.deploy.plans import onevendor_catalogue
+from repro.deploy.workload import estimate_workload
+
+
+# -- workload -----------------------------------------------------------------
+
+
+def test_workload_quantile_exceeds_mean(rng):
+    bandwidths = rng.lognormal(np.log(150), 0.8, size=2000)
+    est = estimate_workload(bandwidths, tests_per_day=10_000, rng=rng)
+    assert est.required_mbps > est.mean_demand_mbps
+    assert est.tests_per_day == 10_000
+
+
+def test_workload_scales_with_volume(rng):
+    bandwidths = rng.lognormal(np.log(150), 0.5, size=2000)
+    small = estimate_workload(
+        bandwidths, tests_per_day=2_000, rng=np.random.default_rng(1)
+    )
+    large = estimate_workload(
+        bandwidths, tests_per_day=50_000, rng=np.random.default_rng(1)
+    )
+    assert large.required_mbps > small.required_mbps
+
+
+def test_longer_tests_need_more_capacity(rng):
+    bandwidths = rng.lognormal(np.log(150), 0.5, size=2000)
+    short = estimate_workload(
+        bandwidths, tests_per_day=10_000, mean_test_duration_s=1.2,
+        rng=np.random.default_rng(2),
+    )
+    long = estimate_workload(
+        bandwidths, tests_per_day=10_000, mean_test_duration_s=10.0,
+        rng=np.random.default_rng(2),
+    )
+    assert long.required_mbps >= short.required_mbps
+    assert long.mean_demand_mbps > 5 * short.mean_demand_mbps
+
+
+def test_workload_validation(rng):
+    with pytest.raises(ValueError):
+        estimate_workload([], tests_per_day=10)
+    with pytest.raises(ValueError):
+        estimate_workload([100.0], tests_per_day=0)
+    with pytest.raises(ValueError):
+        estimate_workload([100.0], tests_per_day=10, quantile=1.5)
+    with pytest.raises(ValueError):
+        estimate_workload([100.0], tests_per_day=10, mean_test_duration_s=0)
+
+
+# -- placement -----------------------------------------------------------------
+
+
+def test_eight_ixp_domains():
+    assert len(IXP_DOMAINS) == 8
+    assert "Beijing" in IXP_DOMAINS and "Xi'an" in IXP_DOMAINS
+
+
+def test_domain_rtt_properties():
+    assert domain_rtt_s("Beijing", "Beijing") < domain_rtt_s("Beijing", "Guangzhou")
+    assert domain_rtt_s("Beijing", "Chengdu") == domain_rtt_s("Chengdu", "Beijing")
+    with pytest.raises(KeyError):
+        domain_rtt_s("Beijing", "Tokyo")
+
+
+def test_placement_spreads_evenly():
+    servers = [(i, 100.0) for i in range(16)]
+    placement = place_servers(servers)
+    counts = [placement.servers_in(d) for d in IXP_DOMAINS]
+    assert all(c == 2 for c in counts)
+    assert placement.balance_ratio() == pytest.approx(1.0)
+
+
+def test_placement_balances_capacity_not_count():
+    servers = [(0, 800.0)] + [(i, 100.0) for i in range(1, 9)]
+    placement = place_servers(servers)
+    # The big server's domain should not also get small ones first.
+    big_domain = next(
+        d for d in IXP_DOMAINS
+        if any(bw == 800.0 for _, bw in placement.assignments[d])
+    )
+    assert placement.servers_in(big_domain) == 1
+
+
+def test_placement_requires_domains():
+    with pytest.raises(ValueError):
+        place_servers([(0, 100.0)], domains=())
+
+
+def test_total_servers():
+    placement = place_servers([(i, 100.0) for i in range(5)])
+    assert placement.total_servers() == 5
+
+
+# -- planner -----------------------------------------------------------------
+
+
+def test_plan_deployment_covers_every_domain():
+    catalogue = onevendor_catalogue()
+    deployment = plan_deployment(catalogue, 2000.0)
+    for domain in IXP_DOMAINS:
+        assert deployment.placement.servers_in(domain) >= 1
+    assert deployment.total_capacity_mbps >= 2000.0
+    assert deployment.total_servers >= 8
+
+
+def test_plan_deployment_much_cheaper_than_flooding_reference():
+    """§5.2's headline: an order of magnitude cheaper than the 50 x
+    1 Gbps flooding deployment."""
+    catalogue = onevendor_catalogue()
+    deployment = plan_deployment(catalogue, 2000.0)
+    reference = flooding_reference_cost(catalogue)
+    assert reference / deployment.total_cost_usd > 8.0
+
+
+def test_flooding_reference_requires_matching_tier():
+    catalogue = onevendor_catalogue()
+    with pytest.raises(ValueError):
+        flooding_reference_cost(catalogue, bandwidth_mbps=123.0)
+
+
+def test_plan_deployment_validation():
+    catalogue = onevendor_catalogue()
+    with pytest.raises(ValueError):
+        plan_deployment(catalogue, 2000.0, domains=())
+    with pytest.raises(ValueError):
+        plan_deployment(
+            [p for p in catalogue if p.domain == "Beijing"],
+            2000.0,
+        )  # other domains have no configurations

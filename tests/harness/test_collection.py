@@ -1,0 +1,57 @@
+"""Measured campaigns: the §2 data-collection path."""
+
+import pytest
+
+from repro.core.client import SwiftestClient
+from repro.dataset.generator import CampaignConfig, generate_campaign
+from repro.harness.collection import measured_campaign, measurement_error_stats
+
+
+@pytest.fixture(scope="module")
+def contexts():
+    return generate_campaign(
+        CampaignConfig(n_tests=3_000, seed=61,
+                       tech_shares={"4G": 0.3, "5G": 0.3, "WiFi5": 0.4})
+    )
+
+
+@pytest.fixture(scope="module")
+def measured(contexts):
+    return measured_campaign(contexts, max_tests=40, seed=3)
+
+
+def test_measured_campaign_preserves_context(measured, contexts):
+    assert len(measured) == 40
+    # Context columns survive unchanged for matching test ids.
+    truth_band = dict(zip(contexts.column("test_id").tolist(),
+                          contexts.column("band").tolist()))
+    for test_id, band in zip(measured.column("test_id").tolist(),
+                             measured.column("band").tolist()):
+        assert truth_band[test_id] == band
+
+
+def test_measured_values_track_ground_truth(measured, contexts):
+    stats = measurement_error_stats(contexts, measured)
+    assert stats["n"] == 40
+    # A 10 s flooding test is an accurate estimator of the capacity.
+    assert stats["median_rel_error"] < 0.06
+    assert stats["mean_rel_error"] < 0.10
+
+
+def test_measured_campaign_with_swiftest(contexts, registry):
+    measured = measured_campaign(
+        contexts, service=SwiftestClient(registry), max_tests=15, seed=5
+    )
+    stats = measurement_error_stats(contexts, measured)
+    assert stats["median_rel_error"] < 0.08
+
+
+def test_measured_campaign_validation(contexts):
+    empty = contexts.where(tech="6G")
+    with pytest.raises(ValueError):
+        measured_campaign(empty)
+
+
+def test_error_stats_require_matching_ids(contexts, measured):
+    with pytest.raises(ValueError):
+        measurement_error_stats(contexts.where(tech="6G"), measured)

@@ -1,0 +1,57 @@
+"""Three-BTS comparison harness (Figures 23-25 mechanics)."""
+
+import pytest
+
+from repro.harness.comparison import run_comparison
+
+
+@pytest.fixture(scope="module")
+def comparison(request):
+    campaign_2021 = request.getfixturevalue("campaign_2021")
+    registry = request.getfixturevalue("registry")
+    return run_comparison(
+        campaign_2021, registry, n_groups=10,
+        techs=["4G", "5G", "WiFi5"], seed=99,
+    )
+
+
+def test_groups_have_all_services_and_reference(comparison):
+    assert len(comparison.groups) == 10
+    for group in comparison.groups:
+        assert set(group.results) == {"fast", "fastbts", "swiftest"}
+        assert group.reference is not None
+
+
+def test_swiftest_fastest_on_average(comparison):
+    swiftest = comparison.mean_test_time("swiftest")
+    fast = comparison.mean_test_time("fast")
+    assert swiftest < fast / 3
+
+
+def test_swiftest_lightest_vs_fast(comparison):
+    assert comparison.mean_data_usage_mb("swiftest") < comparison.mean_data_usage_mb("fast") / 2
+
+
+def test_accuracy_ordering(comparison):
+    """Figure 25: Swiftest at least matches FastBTS's accuracy."""
+    assert comparison.mean_accuracy("swiftest") >= comparison.mean_accuracy("fastbts") - 0.02
+    assert comparison.mean_accuracy("swiftest") > 0.85
+
+
+def test_table_structure(comparison):
+    table = comparison.table()
+    assert set(table) == {"fast", "fastbts", "swiftest"}
+    for row in table.values():
+        assert set(row) == {"test_time_s", "data_mb", "accuracy"}
+
+
+def test_group_accuracy_without_reference():
+    from repro.harness.comparison import TestGroup
+    group = TestGroup(tech="5G", true_mbps=100.0)
+    with pytest.raises(ValueError):
+        group.accuracy_of("swiftest")
+
+
+def test_validation(campaign_2021, registry):
+    with pytest.raises(ValueError):
+        run_comparison(campaign_2021, registry, n_groups=0)

@@ -1,0 +1,62 @@
+"""Server-pool utilization simulation (Figure 26 mechanics)."""
+
+import numpy as np
+import pytest
+
+from repro.harness.utilization import simulate_utilization
+
+
+def small_pool_trace(days=2, tests_per_day=3000, seed=0):
+    rng = np.random.default_rng(seed)
+    bandwidths = rng.lognormal(np.log(150), 0.7, size=1000)
+    return simulate_utilization(
+        bandwidths,
+        server_capacities_mbps=[100.0] * 20,
+        tests_per_day=tests_per_day,
+        days=days,
+        rng=rng,
+    )
+
+
+def test_trace_dimensions():
+    trace = small_pool_trace()
+    assert trace.n_servers == 20
+    assert trace.days == 2
+    assert trace.tests_served > 0
+    assert len(trace.samples) > 0
+
+
+def test_utilization_is_right_skewed():
+    """Figure 26's shape: median well below mean well below P99."""
+    trace = small_pool_trace()
+    summary = trace.summary()
+    assert summary["median"] < summary["mean"] < summary["p99"]
+    assert summary["median"] < 0.2
+
+
+def test_more_volume_means_more_load():
+    quiet = small_pool_trace(tests_per_day=500, seed=1)
+    busy = small_pool_trace(tests_per_day=8000, seed=1)
+    assert busy.summary()["mean"] >= quiet.summary()["mean"]
+
+
+def test_percentiles_monotone():
+    trace = small_pool_trace()
+    assert trace.percentile(50) <= trace.percentile(99) <= trace.percentile(99.9)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        simulate_utilization([], [100.0])
+    with pytest.raises(ValueError):
+        simulate_utilization([100.0], [])
+    with pytest.raises(ValueError):
+        simulate_utilization([100.0], [100.0], tests_per_day=0)
+    with pytest.raises(ValueError):
+        simulate_utilization([100.0], [100.0], days=0)
+
+
+def test_reproducible():
+    a = small_pool_trace(seed=7)
+    b = small_pool_trace(seed=7)
+    assert np.array_equal(a.samples, b.samples)

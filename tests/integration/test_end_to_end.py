@@ -1,0 +1,91 @@
+"""Cross-module integration: the full pipelines a user would run."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BandwidthModelRegistry,
+    BtsApp,
+    CampaignConfig,
+    SwiftestClient,
+    generate_campaign,
+    make_environment,
+    onevendor_catalogue,
+)
+from repro.baselines.common import deviation
+from repro.deploy import estimate_workload
+from repro.deploy.planner import plan_deployment
+from repro.harness import simulate_utilization
+
+
+def test_campaign_to_swiftest_pipeline():
+    """dataset -> models -> client, on a fresh small campaign."""
+    dataset = generate_campaign(CampaignConfig(n_tests=15_000, seed=55))
+    registry = BandwidthModelRegistry().fit_from_dataset(
+        dataset, techs=["WiFi5"], rng=np.random.default_rng(0)
+    )
+    env = make_environment(
+        180.0, rng=np.random.default_rng(1), tech="WiFi5",
+        server_capacity_mbps=100.0,
+    )
+    result = SwiftestClient(registry).run(env)
+    assert result.bandwidth_mbps == pytest.approx(180.0, rel=0.10)
+    assert result.duration_s < 5.0
+
+
+def test_swiftest_matches_btsapp_on_same_conditions():
+    dataset = generate_campaign(CampaignConfig(n_tests=15_000, seed=56))
+    registry = BandwidthModelRegistry().fit_from_dataset(
+        dataset, techs=["5G"], rng=np.random.default_rng(0)
+    )
+    results = []
+    for seed in range(3):
+        env_s = make_environment(
+            350.0, rng=np.random.default_rng(seed), tech="5G",
+            server_capacity_mbps=100.0,
+        )
+        env_b = make_environment(
+            350.0, rng=np.random.default_rng(seed), tech="5G",
+            n_servers=5, server_capacity_mbps=1000.0,
+        )
+        swift = SwiftestClient(registry).run(env_s)
+        legacy = BtsApp().run(env_b)
+        results.append(deviation(swift.bandwidth_mbps, legacy.bandwidth_mbps))
+    assert float(np.mean(results)) < 0.08
+
+
+def test_campaign_to_deployment_pipeline():
+    """dataset -> workload -> ILP -> placement -> utilization replay."""
+    dataset = generate_campaign(CampaignConfig(n_tests=10_000, seed=57))
+    workload = estimate_workload(
+        dataset.bandwidth, tests_per_day=10_000,
+        rng=np.random.default_rng(2),
+    )
+    deployment = plan_deployment(onevendor_catalogue(), workload.required_mbps * 2)
+    capacities = [
+        bw
+        for servers in deployment.placement.assignments.values()
+        for _, bw in servers
+    ]
+    trace = simulate_utilization(
+        dataset.bandwidth, capacities, tests_per_day=10_000, days=1,
+        rng=np.random.default_rng(3),
+    )
+    # The planned pool absorbs the planned workload: P99 of busy-minute
+    # utilization stays below saturation.
+    assert trace.percentile(99) < 1.0
+
+
+def test_registry_refresh_cycle():
+    """Models go stale after a month and refresh from new data."""
+    dataset = generate_campaign(CampaignConfig(n_tests=15_000, seed=58))
+    registry = BandwidthModelRegistry().fit_from_dataset(
+        dataset, techs=["4G", "WiFi5"], day=0.0,
+        rng=np.random.default_rng(0),
+    )
+    assert registry.stale_technologies(today_day=45.0) == ["4G", "WiFi5"]
+    fresh = generate_campaign(CampaignConfig(n_tests=15_000, seed=59))
+    registry.fit_from_dataset(
+        fresh, techs=["4G"], day=45.0, rng=np.random.default_rng(1)
+    )
+    assert registry.stale_technologies(today_day=46.0) == ["WiFi5"]

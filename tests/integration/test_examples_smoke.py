@@ -1,0 +1,45 @@
+"""Smoke tests: the runnable examples stay runnable.
+
+Only the examples with a size argument are exercised (at reduced
+scale) to keep the suite fast; the remaining ones share all their code
+paths with already-tested library calls.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_protocol_walkthrough_runs():
+    out = run_example("protocol_walkthrough.py", "180")
+    assert "HELLO packs to" in out
+    assert "converged after" in out
+
+
+def test_measurement_campaign_runs_small():
+    out = run_example("measurement_campaign.py", "4000")
+    assert "Figure 1" in out
+    assert "Figure 16" in out
+    assert "multi-modal" in out.lower()
+
+
+@pytest.mark.slow
+def test_bts_shootout_runs_small():
+    out = run_example("bts_shootout.py", "6")
+    assert "swiftest" in out
+    assert "accuracy" in out

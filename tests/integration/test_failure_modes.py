@@ -1,0 +1,86 @@
+"""Failure injection: tests keep behaving when the network misbehaves."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.btsapp import BtsApp
+from repro.core.client import SwiftestClient
+from repro.netsim.trace import ShapedTrace, SteppedTrace
+from repro.testbed.env import make_environment
+
+
+def test_swiftest_mid_test_capacity_collapse(registry):
+    """The access link collapses from 400 to 60 Mbps shortly into the
+    test; the report must reflect the new reality, not the old."""
+    trace = SteppedTrace([(0.0, 400.0), (0.4, 60.0)])
+    env = make_environment(
+        trace, rng=np.random.default_rng(1), tech="5G",
+        server_capacity_mbps=100.0,
+    )
+    result = SwiftestClient(registry).run(env)
+    assert result.bandwidth_mbps == pytest.approx(60.0, rel=0.10)
+
+
+def test_swiftest_mid_test_capacity_jump(registry):
+    """Capacity jumps up mid-test: the ladder keeps climbing instead
+    of freezing at the initial mode."""
+    trace = SteppedTrace([(0.0, 80.0), (0.3, 500.0)])
+    env = make_environment(
+        trace, rng=np.random.default_rng(2), tech="5G",
+        server_capacity_mbps=100.0,
+    )
+    result = SwiftestClient(registry).run(env)
+    # It may report either regime depending on when convergence lands,
+    # but never something outside both.
+    assert 60.0 <= result.bandwidth_mbps <= 550.0
+    assert result.duration_s <= 5.0
+
+
+def test_swiftest_on_heavily_shaped_link(registry):
+    """Traffic shaping alternates 300/90 Mbps: a short test reports a
+    defensible value inside the envelope and terminates."""
+    trace = ShapedTrace(300.0, throttled_mbps=90.0, period_s=1.0,
+                        duty_cycle=0.5)
+    env = make_environment(
+        trace, rng=np.random.default_rng(3), tech="5G",
+        server_capacity_mbps=100.0,
+    )
+    result = SwiftestClient(registry).run(env)
+    assert 80.0 <= result.bandwidth_mbps <= 310.0
+    assert result.duration_s <= 5.0
+
+
+def test_btsapp_on_shaped_link_reports_midrange():
+    """The 10 s flooding test straddles several shaping periods; the
+    group-trimmed mean lands between the two levels."""
+    trace = ShapedTrace(300.0, throttled_mbps=90.0, period_s=2.0,
+                        duty_cycle=0.5)
+    env = make_environment(
+        trace, rng=np.random.default_rng(4), tech="5G",
+        n_servers=5, server_capacity_mbps=1000.0,
+    )
+    result = BtsApp().run(env)
+    assert 90.0 < result.bandwidth_mbps < 300.0
+
+
+def test_swiftest_with_tiny_server_pool(registry):
+    """Only two 100 Mbps servers exist: a 600 Mbps client is
+    server-limited and the report honestly reflects the pool cap."""
+    env = make_environment(
+        600.0, rng=np.random.default_rng(5), tech="5G",
+        n_servers=2, server_capacity_mbps=100.0,
+    )
+    result = SwiftestClient(registry).run(env)
+    assert result.bandwidth_mbps <= 210.0
+    assert result.servers_used == 2
+
+
+def test_swiftest_zero_margin_capacity(registry):
+    """Client capacity exactly equals one server's uplink: no stall."""
+    env = make_environment(
+        100.0, rng=np.random.default_rng(6), tech="5G",
+        n_servers=10, server_capacity_mbps=100.0,
+    )
+    result = SwiftestClient(registry).run(env)
+    assert result.bandwidth_mbps == pytest.approx(100.0, rel=0.08)
+    assert result.duration_s <= 5.0

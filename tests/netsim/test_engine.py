@@ -1,0 +1,113 @@
+"""Discrete-event engine behaviour."""
+
+import pytest
+
+from repro.netsim.engine import SimulationError, Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, lambda: fired.append("b"))
+    sim.schedule(1.0, lambda: fired.append("a"))
+    sim.schedule(3.0, lambda: fired.append("c"))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    fired = []
+    for tag in range(5):
+        sim.schedule(1.0, lambda t=tag: fired.append(t))
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_now_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [1.5]
+    assert sim.now == 1.5
+
+
+def test_schedule_during_run():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.schedule(1.0, lambda: fired.append("second"))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert fired == ["first", "second"]
+    assert sim.now == 2.0
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append("x"))
+    event.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_run_until_stops_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(5.0, lambda: fired.append(5))
+    sim.run_until(3.0)
+    assert fired == [1]
+    assert sim.now == 3.0
+    sim.run_until(6.0)
+    assert fired == [1, 5]
+
+
+def test_run_until_includes_boundary_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, lambda: fired.append(2))
+    sim.run_until(2.0)
+    assert fired == [2]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_run_backwards_rejected():
+    sim = Simulator()
+    sim.run_until(5.0)
+    with pytest.raises(SimulationError):
+        sim.run_until(4.0)
+
+
+def test_pending_events_counts_live_only():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    event = sim.schedule(2.0, lambda: None)
+    event.cancel()
+    assert sim.pending_events() == 1
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    first = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    first.cancel()
+    assert sim.peek_time() == 2.0
+
+
+def test_step_returns_false_when_drained():
+    sim = Simulator()
+    assert sim.step() is False
+    sim.schedule(0.0, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False

@@ -1,0 +1,70 @@
+"""Shared testbed environments."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.trace import ShapedTrace
+from repro.testbed.env import ServerEndpoint, TestEnvironment, make_environment
+
+
+def test_make_environment_defaults(rng):
+    env = make_environment(200.0, rng=rng)
+    assert len(env.servers) == 10
+    assert env.tech == "WiFi5"
+    assert env.true_capacity(0.0) == pytest.approx(200.0)
+
+
+def test_servers_sorted_by_rtt(rng):
+    env = make_environment(100.0, rng=rng)
+    rtts = [s.rtt_s for s in env.servers_by_rtt()]
+    assert rtts == sorted(rtts)
+
+
+def test_path_to_includes_access_and_uplink(rng):
+    env = make_environment(100.0, rng=rng)
+    server = env.servers[0]
+    path = env.path_to(server)
+    assert env.access in path.links
+    assert server.uplink in path.links
+    assert path.rtt_s == server.rtt_s
+
+
+def test_custom_trace_passthrough(rng):
+    trace = ShapedTrace(100.0, throttled_mbps=30.0, period_s=2.0)
+    env = make_environment(trace, rng=rng)
+    assert env.true_capacity(1.5) == 30.0
+
+
+def test_fluctuating_option(rng):
+    env = make_environment(100.0, rng=rng, fluctuation_sigma=0.2)
+    values = {round(env.true_capacity(t), 2) for t in np.arange(0, 10, 0.5)}
+    assert len(values) > 3
+
+
+def test_true_mean_capacity(rng):
+    trace = ShapedTrace(100.0, throttled_mbps=50.0, period_s=2.0,
+                        duty_cycle=0.5)
+    env = make_environment(trace, rng=rng)
+    assert env.true_mean_capacity(0.0, 2.0) == pytest.approx(75.0, rel=0.02)
+
+
+def test_validation(rng):
+    with pytest.raises(ValueError):
+        make_environment(100.0, rng=rng, n_servers=0)
+    with pytest.raises(ValueError):
+        TestEnvironment(None, None, [], tech="5G")
+
+
+def test_rtt_range_respected(rng):
+    env = make_environment(100.0, rng=rng, rtt_range_s=(0.05, 0.06))
+    for server in env.servers:
+        assert 0.05 <= server.rtt_s <= 0.06
+
+
+def test_server_endpoint_fields():
+    from repro.netsim.link import Link
+    endpoint = ServerEndpoint(
+        name="s", uplink=Link(100.0), rtt_s=0.01,
+        capacity_mbps=100.0, domain="Beijing",
+    )
+    assert endpoint.domain == "Beijing"

@@ -1,0 +1,154 @@
+"""Fluid links and max-min fair allocation."""
+
+import pytest
+
+from repro.netsim.flow import Flow
+from repro.netsim.link import Link
+from repro.netsim.network import Network
+from repro.netsim.trace import SteppedTrace
+
+
+def make_net(*capacities):
+    net = Network()
+    links = [net.add_link(Link(c, name=f"l{i}")) for i, c in enumerate(capacities)]
+    return net, links
+
+
+def test_single_elastic_flow_gets_full_capacity():
+    net, (link,) = make_net(100.0)
+    flow = net.start_flow(Flow([link]))
+    net.allocate(0.0)
+    assert flow.allocated_mbps == pytest.approx(100.0)
+
+
+def test_two_elastic_flows_share_equally():
+    net, (link,) = make_net(100.0)
+    f1 = net.start_flow(Flow([link]))
+    f2 = net.start_flow(Flow([link]))
+    net.allocate(0.0)
+    assert f1.allocated_mbps == pytest.approx(50.0)
+    assert f2.allocated_mbps == pytest.approx(50.0)
+
+
+def test_demand_cap_respected_and_residual_redistributed():
+    net, (link,) = make_net(100.0)
+    small = net.start_flow(Flow([link], demand_mbps=10.0))
+    big = net.start_flow(Flow([link]))
+    net.allocate(0.0)
+    assert small.allocated_mbps == pytest.approx(10.0)
+    assert big.allocated_mbps == pytest.approx(90.0)
+
+
+def test_max_min_three_flows_with_demands():
+    # Classic max-min: demands 10, 40, elastic on a 90 link -> 10, 40, 40.
+    net, (link,) = make_net(90.0)
+    f1 = net.start_flow(Flow([link], demand_mbps=10.0))
+    f2 = net.start_flow(Flow([link], demand_mbps=40.0))
+    f3 = net.start_flow(Flow([link]))
+    net.allocate(0.0)
+    assert f1.allocated_mbps == pytest.approx(10.0)
+    assert f2.allocated_mbps == pytest.approx(40.0)
+    assert f3.allocated_mbps == pytest.approx(40.0)
+
+
+def test_multi_link_path_limited_by_tightest_link():
+    net, (access, uplink) = make_net(50.0, 1000.0)
+    flow = net.start_flow(Flow([access, uplink]))
+    net.allocate(0.0)
+    assert flow.allocated_mbps == pytest.approx(50.0)
+
+
+def test_cross_bottleneck_topology():
+    # Flow A uses links 1+2, flow B uses link 1 only, flow C uses link 2
+    # only.  Link1 = 100, link2 = 60.  Max-min: A is bottlenecked on
+    # link2 at 30 (sharing with C), B takes the rest of link1.
+    net, (l1, l2) = make_net(100.0, 60.0)
+    a = net.start_flow(Flow([l1, l2]))
+    b = net.start_flow(Flow([l1]))
+    c = net.start_flow(Flow([l2]))
+    net.allocate(0.0)
+    assert a.allocated_mbps == pytest.approx(30.0)
+    assert c.allocated_mbps == pytest.approx(30.0)
+    assert b.allocated_mbps == pytest.approx(70.0)
+
+
+def test_allocation_never_exceeds_any_link_capacity():
+    net, (l1, l2) = make_net(80.0, 120.0)
+    flows = [net.start_flow(Flow([l1, l2])) for _ in range(3)]
+    flows.append(net.start_flow(Flow([l2])))
+    net.allocate(0.0)
+    for link, cap in ((l1, 80.0), (l2, 120.0)):
+        used = sum(f.allocated_mbps for f in link.flows)
+        assert used <= cap + 1e-6
+
+
+def test_stop_flow_releases_capacity():
+    net, (link,) = make_net(100.0)
+    f1 = net.start_flow(Flow([link]))
+    f2 = net.start_flow(Flow([link]))
+    net.allocate(0.0)
+    net.stop_flow(f2)
+    net.allocate(0.0)
+    assert f1.allocated_mbps == pytest.approx(100.0)
+    assert f2.allocated_mbps == 0.0
+
+
+def test_stop_flow_is_idempotent():
+    net, (link,) = make_net(100.0)
+    flow = net.start_flow(Flow([link]))
+    net.stop_flow(flow)
+    net.stop_flow(flow)  # no raise
+    assert not link.flows
+
+
+def test_time_varying_capacity_respected():
+    net = Network()
+    trace = SteppedTrace([(0.0, 100.0), (10.0, 20.0)])
+    link = net.add_link(Link(trace))
+    flow = net.start_flow(Flow([link]))
+    net.allocate(0.0)
+    assert flow.allocated_mbps == pytest.approx(100.0)
+    net.allocate(11.0)
+    assert flow.allocated_mbps == pytest.approx(20.0)
+
+
+def test_zero_demand_flow_gets_zero():
+    net, (link,) = make_net(100.0)
+    idle = net.start_flow(Flow([link], demand_mbps=0.0))
+    busy = net.start_flow(Flow([link]))
+    net.allocate(0.0)
+    assert idle.allocated_mbps == 0.0
+    assert busy.allocated_mbps == pytest.approx(100.0)
+
+
+def test_flow_delivery_accounting():
+    net, (link,) = make_net(80.0)
+    flow = net.start_flow(Flow([link]))
+    net.step(0.0, 1.0)
+    # 80 Mbps for 1 s = 10 MB.
+    assert flow.bytes_delivered == pytest.approx(10e6)
+
+
+def test_flow_requires_links():
+    with pytest.raises(ValueError):
+        Flow([])
+
+
+def test_flow_negative_demand_rejected():
+    net, (link,) = make_net(10.0)
+    with pytest.raises(ValueError):
+        Flow([link], demand_mbps=-1.0)
+
+
+def test_start_flow_on_foreign_link_rejected():
+    net, _ = make_net(10.0)
+    foreign = Link(5.0)
+    with pytest.raises(ValueError):
+        net.start_flow(Flow([foreign]))
+
+
+def test_utilization_reporting():
+    net, (link,) = make_net(100.0)
+    net.start_flow(Flow([link], demand_mbps=30.0))
+    net.allocate(0.0)
+    assert link.utilization_at(0.0) == pytest.approx(0.3)

@@ -1,0 +1,52 @@
+"""End-to-end paths."""
+
+import pytest
+
+from repro.netsim.link import Link
+from repro.netsim.network import Network
+from repro.netsim.path import NetworkPath
+
+
+def make_path(access=100.0, uplink=1000.0, rtt=0.02, loss=0.0):
+    net = Network()
+    links = [net.add_link(Link(access, "access")), net.add_link(Link(uplink, "up"))]
+    return net, NetworkPath(net, links, rtt_s=rtt, loss_rate=loss)
+
+
+def test_open_and_close_flow():
+    net, path = make_path()
+    flow = path.open_flow(demand_mbps=50.0)
+    assert flow in net.flows
+    path.close_flow(flow)
+    assert flow not in net.flows
+
+
+def test_bottleneck_capacity_is_min_link():
+    _, path = make_path(access=60.0, uplink=1000.0)
+    assert path.bottleneck_capacity(0.0) == pytest.approx(60.0)
+
+
+def test_bdp_bytes():
+    _, path = make_path(access=80.0, rtt=0.05)
+    # 80 Mbps x 50 ms = 0.5 MB.
+    assert path.bdp_bytes(0.0) == pytest.approx(0.5e6)
+
+
+def test_invalid_rtt_rejected():
+    net = Network()
+    link = net.add_link(Link(10.0))
+    with pytest.raises(ValueError):
+        NetworkPath(net, [link], rtt_s=0.0)
+
+
+def test_invalid_loss_rejected():
+    net = Network()
+    link = net.add_link(Link(10.0))
+    with pytest.raises(ValueError):
+        NetworkPath(net, [link], rtt_s=0.01, loss_rate=1.0)
+
+
+def test_empty_links_rejected():
+    net = Network()
+    with pytest.raises(ValueError):
+        NetworkPath(net, [], rtt_s=0.01)

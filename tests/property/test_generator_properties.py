@@ -1,0 +1,98 @@
+"""Property-based tests over the campaign generator's invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.dataset.generator import (
+    CampaignConfig,
+    TECH_SHARES,
+    generate_campaign,
+)
+from repro.dataset.isp import ISPS
+from repro.radio.bands import LTE_BANDS, NR_BANDS
+
+
+@st.composite
+def small_configs(draw):
+    year = draw(st.sampled_from([2020, 2021]))
+    n_tests = draw(st.integers(min_value=50, max_value=400))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return CampaignConfig(year=year, n_tests=n_tests, seed=seed)
+
+
+@given(config=small_configs())
+@settings(max_examples=15, deadline=None)
+def test_generated_campaigns_satisfy_schema_invariants(config):
+    ds = generate_campaign(config)
+    assert len(ds) == config.n_tests
+
+    # Bandwidths strictly positive and finite.
+    assert np.all(ds.bandwidth > 0)
+    assert np.all(np.isfinite(ds.bandwidth))
+
+    techs = ds.column("tech")
+    known = set(TECH_SHARES[config.year])
+    assert set(techs.tolist()) <= known
+
+    # Cellular records carry valid bands of their generation and RSS
+    # levels 1-5; WiFi records carry plans and no RSS.
+    bands = ds.column("band")
+    rss = ds.column("rss_level")
+    plans = ds.column("plan_mbps")
+    loads = ds.column("cell_load")
+    for i in range(len(ds)):
+        tech = techs[i]
+        if tech == "4G":
+            assert bands[i] in LTE_BANDS
+            assert 1 <= rss[i] <= 5
+            assert plans[i] == 0
+            assert 0.0 <= loads[i] <= 1.0
+        elif tech == "5G":
+            assert bands[i] in NR_BANDS
+            assert 1 <= rss[i] <= 5
+            assert plans[i] == 0
+        elif tech.startswith("WiFi"):
+            assert bands[i] in ("2.4GHz", "5GHz")
+            assert rss[i] == 0
+            assert plans[i] > 0
+
+    # Hours are valid clock hours.
+    hours = ds.column("hour")
+    assert np.all((hours >= 0) & (hours <= 23))
+
+    # Android versions in the modelled range.
+    versions = ds.column("android_version")
+    assert np.all((versions >= 5) & (versions <= 12))
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=1_000),
+    n_tests=st.integers(min_value=50, max_value=200),
+)
+@settings(max_examples=10, deadline=None)
+def test_generation_deterministic_for_any_seed(seed, n_tests):
+    config_a = CampaignConfig(n_tests=n_tests, seed=seed)
+    config_b = CampaignConfig(n_tests=n_tests, seed=seed)
+    a = generate_campaign(config_a)
+    b = generate_campaign(config_b)
+    assert np.array_equal(a.bandwidth, b.bandwidth)
+    assert list(a.column("band")) == list(b.column("band"))
+
+
+@given(seed=st.integers(min_value=0, max_value=1_000))
+@settings(max_examples=10, deadline=None)
+def test_isp_band_consistency_any_seed(seed):
+    ds = generate_campaign(
+        CampaignConfig(
+            n_tests=200, seed=seed, tech_shares={"4G": 0.5, "5G": 0.5}
+        )
+    )
+    techs = ds.column("tech")
+    bands = ds.column("band")
+    isps = ds.column("isp")
+    for i in range(len(ds)):
+        isp = ISPS[int(isps[i])]
+        if techs[i] == "4G":
+            assert bands[i] in isp.lte_band_weights
+        else:
+            assert bands[i] in isp.nr_band_weights

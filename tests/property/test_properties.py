@@ -1,0 +1,243 @@
+"""Property-based tests (hypothesis) over core invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.btsapp import group_trimmed_mean
+from repro.baselines.common import deviation
+from repro.baselines.fastbts import crucial_interval
+from repro.baselines.speedtest import percentile_trimmed_mean
+from repro.core.convergence import ConvergenceDetector
+from repro.core.gmm import fit_gmm
+from repro.core.protocol import (
+    Feedback,
+    Fin,
+    Hello,
+    RateCommand,
+    decode,
+)
+from repro.deploy.ilp import solve_purchase_plan
+from repro.deploy.plans import ServerPlan
+from repro.netsim.flow import Flow
+from repro.netsim.link import Link
+from repro.netsim.network import Network
+from repro.units import clamp
+
+positive_rates = st.floats(
+    min_value=0.1, max_value=1e5, allow_nan=False, allow_infinity=False
+)
+
+
+# -- netsim allocation invariants ---------------------------------------------
+
+
+@given(
+    capacity=st.floats(min_value=1.0, max_value=1e4),
+    demands=st.lists(
+        st.one_of(st.none(), st.floats(min_value=0.0, max_value=1e4)),
+        min_size=1,
+        max_size=8,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_allocation_feasible_and_demand_bounded(capacity, demands):
+    """No link over-committed; no flow above its demand; work-conserving."""
+    net = Network()
+    link = net.add_link(Link(capacity))
+    flows = [net.start_flow(Flow([link], demand_mbps=d)) for d in demands]
+    net.allocate(0.0)
+    total = sum(f.allocated_mbps for f in flows)
+    assert total <= capacity + 1e-6
+    for f in flows:
+        assert f.allocated_mbps <= f.effective_demand + 1e-6
+        assert f.allocated_mbps >= 0
+    # Work conservation: either the link is full or every flow is
+    # demand-satisfied.
+    if total < capacity - 1e-6:
+        for f in flows:
+            assert f.allocated_mbps >= min(f.effective_demand, capacity) - 1e-6
+
+
+@given(
+    capacity=st.floats(min_value=1.0, max_value=1e4),
+    n=st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=30, deadline=None)
+def test_equal_elastic_flows_get_equal_shares(capacity, n):
+    net = Network()
+    link = net.add_link(Link(capacity))
+    flows = [net.start_flow(Flow([link])) for _ in range(n)]
+    net.allocate(0.0)
+    shares = [f.allocated_mbps for f in flows]
+    assert max(shares) - min(shares) < 1e-6
+    assert sum(shares) == np.float64(capacity) or abs(sum(shares) - capacity) < 1e-6
+
+
+# -- estimator invariants --------------------------------------------------------
+
+
+@given(st.lists(positive_rates, min_size=20, max_size=400))
+@settings(max_examples=60, deadline=None)
+def test_group_trimmed_mean_within_sample_range(values):
+    result = group_trimmed_mean(values)
+    assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+
+@given(st.lists(positive_rates, min_size=1, max_size=400))
+@settings(max_examples=60, deadline=None)
+def test_percentile_trimmed_mean_within_sample_range(values):
+    result = percentile_trimmed_mean(values)
+    assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+
+@given(st.lists(positive_rates, min_size=1, max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_crucial_interval_contains_its_center(values):
+    low, high, center = crucial_interval(values)
+    eps = 1e-9 * max(1.0, abs(center))  # numpy mean can differ by ULPs
+    assert low - eps <= center <= high + eps
+    assert min(values) - eps <= center <= max(values) + eps
+
+
+@given(a=positive_rates, b=positive_rates)
+@settings(max_examples=100, deadline=None)
+def test_deviation_symmetric_bounded(a, b):
+    d = deviation(a, b)
+    assert 0.0 <= d < 1.0
+    assert d == deviation(b, a)
+    assert deviation(a, a) == 0.0
+
+
+# -- convergence detector -----------------------------------------------------
+
+
+@given(
+    base=st.floats(min_value=1.0, max_value=1e4),
+    jitter=st.floats(min_value=0.0, max_value=0.02),
+)
+@settings(max_examples=50, deadline=None)
+def test_detector_converges_within_threshold_band(base, jitter):
+    det = ConvergenceDetector()
+    for i in range(10):
+        det.push(base * (1.0 + (jitter if i % 2 else -jitter)))
+    # Total spread 2*jitter/(1+jitter) <= ~3.9%; converged iff <= 3%.
+    spread = 2 * jitter / (1 + jitter)
+    assert det.converged() == (spread <= 0.03 + 1e-12)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=0, max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_detector_value_consistency(samples):
+    det = ConvergenceDetector()
+    for s in samples:
+        det.push(s)
+    value = det.value()
+    if det.converged():
+        assert value is not None and value >= 0
+    else:
+        assert value is None
+
+
+# -- GMM ------------------------------------------------------------------------
+
+
+@given(
+    mu=st.floats(min_value=5.0, max_value=1000.0),
+    sigma=st.floats(min_value=0.5, max_value=50.0),
+    k=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=15, deadline=None)
+def test_gmm_fit_always_valid(mu, sigma, k):
+    rng = np.random.default_rng(0)
+    data = rng.normal(mu, sigma, size=300)
+    gmm = fit_gmm(data, k, rng=rng)
+    assert abs(sum(gmm.weights) - 1.0) < 1e-6
+    assert all(s > 0 for s in gmm.sigmas)
+    assert list(gmm.means) == sorted(gmm.means)
+    assert data.min() - 5 * sigma <= gmm.dominant_mode() <= data.max() + 5 * sigma
+
+
+# -- protocol round trips ----------------------------------------------------------
+
+
+@given(
+    session=st.integers(min_value=0, max_value=2**32 - 1),
+    rate=st.integers(min_value=0, max_value=2**32 - 1),
+    rung=st.integers(min_value=0, max_value=2**16 - 1),
+)
+@settings(max_examples=80, deadline=None)
+def test_rate_command_round_trip(session, rate, rung):
+    msg = RateCommand(session_id=session, rate_kbps=rate, rung=rung)
+    assert decode(msg.pack()) == msg
+
+
+@given(
+    session=st.integers(min_value=0, max_value=2**32 - 1),
+    tech=st.text(
+        alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+        min_size=0,
+        max_size=8,
+    ),
+    nonce=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=80, deadline=None)
+def test_hello_round_trip(session, tech, nonce):
+    msg = Hello(session_id=session, tech=tech, nonce=nonce)
+    assert decode(msg.pack()) == msg
+
+
+@given(
+    session=st.integers(min_value=0, max_value=2**32 - 1),
+    observed=st.integers(min_value=0, max_value=2**32 - 1),
+    saturated=st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_feedback_fin_round_trips(session, observed, saturated):
+    fb = Feedback(session_id=session, observed_kbps=observed, saturated=saturated)
+    assert decode(fb.pack()) == fb
+    fin = Fin(session_id=session, result_kbps=observed)
+    assert decode(fin.pack()) == fin
+
+
+# -- ILP ----------------------------------------------------------------------------
+
+
+@given(
+    prices=st.lists(st.floats(min_value=1.0, max_value=500.0), min_size=1, max_size=6),
+    target=st.floats(min_value=50.0, max_value=3000.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_ilp_solution_always_feasible(prices, target):
+    plans = [
+        ServerPlan(
+            plan_id=i,
+            bandwidth_mbps=float(100 * (i + 1)),
+            price_month_usd=p,
+            available=5,
+        )
+        for i, p in enumerate(prices)
+    ]
+    max_cap = sum(p.bandwidth_mbps * p.available for p in plans)
+    if max_cap < target * 1.05:
+        return  # infeasible by construction; covered by unit tests
+    sol = solve_purchase_plan(plans, target, margin=0.05)
+    assert sol.total_capacity_mbps >= target * 1.05 - 1e-6
+    assert all(0 <= n <= plans[i].available for i, n in enumerate(sol.counts))
+    assert math.isfinite(sol.total_cost_usd)
+
+
+# -- units -----------------------------------------------------------------------------
+
+
+@given(
+    value=st.floats(allow_nan=False, allow_infinity=False),
+    low=st.floats(min_value=-1e6, max_value=1e6),
+    span=st.floats(min_value=0.0, max_value=1e6),
+)
+@settings(max_examples=100, deadline=None)
+def test_clamp_always_in_bounds(value, low, span):
+    high = low + span
+    result = clamp(value, low, high)
+    assert low <= result <= high

@@ -1,0 +1,82 @@
+"""3GPP band tables (Tables 1 and 2)."""
+
+import pytest
+
+from repro.radio.bands import (
+    LTE_BANDS,
+    NR_BANDS,
+    h_band_spectrum_share,
+    lte_band,
+    lte_h_bands,
+    lte_l_bands,
+    nr_band,
+)
+
+
+def test_nine_lte_bands():
+    assert len(LTE_BANDS) == 9
+    assert set(LTE_BANDS) == {
+        "B1", "B3", "B5", "B8", "B28", "B34", "B39", "B40", "B41"
+    }
+
+
+def test_five_nr_bands():
+    assert len(NR_BANDS) == 5
+    assert set(NR_BANDS) == {"N1", "N28", "N41", "N78", "N79"}
+
+
+def test_table1_spectrum_values():
+    b3 = lte_band("B3")
+    assert (b3.dl_low_mhz, b3.dl_high_mhz) == (1805.0, 1880.0)
+    assert b3.max_channel_mhz == 20.0
+    assert b3.isps == (1, 2, 3)
+    b5 = lte_band("B5")
+    assert b5.max_channel_mhz == 10.0
+    assert not b5.is_h_band
+
+
+def test_table2_channel_widths():
+    # N1/N28 cap at 20 MHz — the refarmed-thin-spectrum bands.
+    assert nr_band("N1").max_channel_mhz == 20.0
+    assert nr_band("N28").max_channel_mhz == 20.0
+    for wide in ("N41", "N78", "N79"):
+        assert nr_band(wide).max_channel_mhz == 100.0
+
+
+def test_h_band_classification():
+    h = {b.name for b in lte_h_bands()}
+    l = {b.name for b in lte_l_bands()}
+    assert h == {"B1", "B3", "B28", "B39", "B40", "B41"}
+    assert l == {"B5", "B8", "B34"}
+
+
+def test_refarmed_bands_cover_58_percent_of_h_band_spectrum():
+    # The paper's §3.2 headline: Bands 1/28/41 = 58.2% of H-Band
+    # spectrum.
+    share = h_band_spectrum_share(["B1", "B28", "B41"])
+    assert share == pytest.approx(0.582, abs=0.002)
+
+
+def test_nr_bands_never_h_band():
+    # is_h_band is an LTE-only concept.
+    assert not nr_band("N78").is_h_band
+
+
+def test_band_width_and_center():
+    b41 = lte_band("B41")
+    assert b41.dl_width_mhz == pytest.approx(194.0)
+    assert b41.center_mhz == pytest.approx((2496.0 + 2690.0) / 2)
+
+
+def test_unknown_band_raises():
+    with pytest.raises(KeyError):
+        lte_band("B99")
+    with pytest.raises(KeyError):
+        nr_band("N2")
+
+
+def test_refarmed_nr_bands_share_lte_spectrum():
+    # N1/N28/N41 occupy the same downlink ranges as B1/B28/B41.
+    for lte_name, nr_name in (("B1", "N1"), ("B28", "N28"), ("B41", "N41")):
+        lte, nr = lte_band(lte_name), nr_band(nr_name)
+        assert (lte.dl_low_mhz, lte.dl_high_mhz) == (nr.dl_low_mhz, nr.dl_high_mhz)

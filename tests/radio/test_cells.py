@@ -1,0 +1,117 @@
+"""LTE / LTE-Advanced / NR cell models."""
+
+import numpy as np
+import pytest
+
+from repro.radio.bands import lte_band, nr_band
+from repro.radio.lte import (
+    LTE_PEAK_MBPS,
+    LteAdvancedCell,
+    LteCell,
+    sample_lte_bandwidth,
+    user_share,
+)
+from repro.radio.nr import NrCell, sample_nr_bandwidth
+
+
+def test_user_share_idle_cell_gets_all():
+    assert user_share(0.0) == 1.0
+
+
+def test_user_share_floor():
+    assert user_share(0.999) > 0
+
+
+def test_user_share_validation():
+    with pytest.raises(ValueError):
+        user_share(1.5)
+
+
+def test_lte_cell_capacity_capped_at_conventional_peak():
+    cell = LteCell(lte_band("B3"))
+    assert cell.peak_capacity_mbps(snr_db=50.0) <= LTE_PEAK_MBPS + 1e-9
+
+
+def test_lte_cell_narrow_channel_scales_capacity():
+    full = LteCell(lte_band("B3"), channel_mhz=20.0)
+    half = LteCell(lte_band("B3"), channel_mhz=10.0)
+    assert half.peak_capacity_mbps(40.0) == pytest.approx(
+        full.peak_capacity_mbps(40.0) / 2
+    )
+
+
+def test_lte_cell_rejects_nr_band():
+    with pytest.raises(ValueError):
+        LteCell(nr_band("N78"))
+
+
+def test_lte_cell_rejects_overwide_channel():
+    with pytest.raises(ValueError):
+        LteCell(lte_band("B5"), channel_mhz=20.0)  # B5 caps at 10 MHz
+
+
+def test_lte_throughput_decreases_with_load():
+    cell = LteCell(lte_band("B3"))
+    light = cell.user_throughput_mbps(20.0, cell_load=0.2)
+    heavy = cell.user_throughput_mbps(20.0, cell_load=0.9)
+    assert heavy < light
+
+
+def test_lte_advanced_beats_conventional():
+    conventional = LteCell(lte_band("B3"))
+    advanced = LteAdvancedCell(carriers=3)
+    snr, load = 25.0, 0.3
+    assert (
+        advanced.user_throughput_mbps(snr, load)
+        > 3 * conventional.user_throughput_mbps(snr, load)
+    )
+
+
+def test_lte_advanced_can_reach_paper_class_peaks():
+    # The paper observes up to 813 Mbps on LTE-A (§3.2).
+    cell = LteAdvancedCell(carriers=3, streams=4)
+    assert cell.peak_capacity_mbps(35.0) > 813.0
+
+
+def test_lte_advanced_validation():
+    with pytest.raises(ValueError):
+        LteAdvancedCell(carriers=0)
+    with pytest.raises(ValueError):
+        LteAdvancedCell(carriers=6)
+    with pytest.raises(ValueError):
+        LteAdvancedCell(streams=3)
+
+
+def test_nr_cell_wide_channel_dominates():
+    wide = NrCell(nr_band("N78"), channel_mhz=100.0)
+    thin = NrCell(nr_band("N1"), channel_mhz=20.0)
+    snr = 30.0
+    assert wide.peak_capacity_mbps(snr) > 4 * thin.peak_capacity_mbps(snr)
+
+
+def test_nr_cell_coverage_bonus_helps():
+    base = NrCell(nr_band("N78"))
+    boosted = NrCell(nr_band("N78"), coverage_bonus_db=6.0)
+    assert boosted.peak_capacity_mbps(10.0) > base.peak_capacity_mbps(10.0)
+
+
+def test_nr_cell_rejects_lte_band():
+    with pytest.raises(ValueError):
+        NrCell(lte_band("B3"))
+
+
+def test_nr_cell_rejects_overwide_channel():
+    with pytest.raises(ValueError):
+        NrCell(nr_band("N1"), channel_mhz=100.0)
+
+
+def test_sampled_bandwidths_positive_and_noisy(rng):
+    lte = LteCell(lte_band("B3"))
+    values = [sample_lte_bandwidth(lte, 18.0, 0.5, rng) for _ in range(200)]
+    assert all(v > 0 for v in values)
+    assert np.std(values) > 0
+
+    nr = NrCell(nr_band("N78"))
+    values = [sample_nr_bandwidth(nr, 25.0, 0.5, rng) for _ in range(200)]
+    assert all(v > 0 for v in values)
+    assert np.std(values) > 0

@@ -1,0 +1,80 @@
+"""Spectrum refarming plan (§3.2-§3.3)."""
+
+import pytest
+
+from repro.radio.refarming import REFARMING_2021, BandRefarming, RefarmingPlan
+
+
+def test_2021_plan_affects_the_three_bands():
+    assert set(REFARMING_2021.lte_bands_affected()) == {"B1", "B28", "B41"}
+
+
+def test_n41_gets_full_width_channel():
+    # Band 41 yields a contiguous 100 MHz block (2515-2615 MHz).
+    assert REFARMING_2021.nr_channel_mhz("N41") == 100.0
+
+
+def test_thin_bands_get_20mhz_channels():
+    assert REFARMING_2021.nr_channel_mhz("N1") == 20.0
+    assert REFARMING_2021.nr_channel_mhz("N28") == 20.0
+
+
+def test_dedicated_band_unaffected():
+    assert REFARMING_2021.nr_channel_mhz("N78") == 100.0
+
+
+def test_lte_channels_shrink_on_refarmed_bands():
+    assert REFARMING_2021.lte_channel_mhz("B1") < 20.0
+    # Unaffected band keeps its full channel.
+    assert REFARMING_2021.lte_channel_mhz("B3") == 20.0
+
+
+def test_lte_capacity_factor():
+    assert REFARMING_2021.lte_capacity_factor("B41") < 1.0
+    assert REFARMING_2021.lte_capacity_factor("B3") == 1.0
+
+
+def test_cannot_refarm_more_than_band_width():
+    with pytest.raises(ValueError):
+        BandRefarming(
+            lte_name="B1", nr_name="N1",
+            refarmed_contiguous_mhz=100.0,  # B1 only has 60 MHz
+            nr_channel_mhz=20.0,
+            lte_channel_mhz_after=10.0,
+            lte_capacity_retained=0.5,
+        )
+
+
+def test_nr_channel_cannot_exceed_band_max():
+    with pytest.raises(ValueError):
+        BandRefarming(
+            lte_name="B1", nr_name="N1",
+            refarmed_contiguous_mhz=60.0,
+            nr_channel_mhz=40.0,  # N1 caps at 20 MHz
+            lte_channel_mhz_after=10.0,
+            lte_capacity_retained=0.5,
+        )
+
+
+def test_retained_fraction_validated():
+    with pytest.raises(ValueError):
+        BandRefarming(
+            lte_name="B1", nr_name="N1",
+            refarmed_contiguous_mhz=60.0,
+            nr_channel_mhz=20.0,
+            lte_channel_mhz_after=10.0,
+            lte_capacity_retained=1.5,
+        )
+
+
+def test_as_dict_summary():
+    summary = REFARMING_2021.as_dict()
+    assert summary["B41"]["refarmed_mhz"] == 100.0
+    assert summary["B1"]["nr_channel_mhz"] == 20.0
+
+
+def test_empty_plan_is_identity():
+    plan = RefarmingPlan(name="none", moves=())
+    assert plan.lte_channel_mhz("B1") == 20.0
+    assert plan.nr_channel_mhz("N41") == 100.0
+    assert plan.lte_capacity_factor("B41") == 1.0

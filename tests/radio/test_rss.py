@@ -1,0 +1,87 @@
+"""RSS levels, SNR mapping, dense-urban interference."""
+
+import numpy as np
+import pytest
+
+from repro.radio.rss import (
+    RssModel,
+    dense_urban_probability,
+    rss_level_from_dbm,
+)
+
+
+def test_level_thresholds():
+    assert rss_level_from_dbm(-120.0) == 1
+    assert rss_level_from_dbm(-110.0) == 2
+    assert rss_level_from_dbm(-100.0) == 3
+    assert rss_level_from_dbm(-90.0) == 4
+    assert rss_level_from_dbm(-80.0) == 5
+
+
+def test_boundary_values_round_up():
+    assert rss_level_from_dbm(-115.0) == 2
+    assert rss_level_from_dbm(-85.0) == 5
+
+
+def test_snr_means_monotone_in_level():
+    model = RssModel()
+    means = [model.mean_snr_db(level) for level in range(1, 6)]
+    assert means == sorted(means)
+    assert means[0] < means[-1]
+
+
+def test_non_monotone_model_rejected():
+    with pytest.raises(ValueError):
+        RssModel(snr_mean_by_level={1: 5.0, 2: 4.0, 3: 6.0, 4: 7.0, 5: 8.0})
+
+
+def test_wrong_levels_rejected():
+    with pytest.raises(ValueError):
+        RssModel(snr_mean_by_level={1: 1.0, 2: 2.0})
+
+
+def test_dense_urban_penalty_applied():
+    model = RssModel()
+    assert (
+        model.mean_snr_db(5, dense_urban=True)
+        == model.mean_snr_db(5) - model.dense_urban_interference_db
+    )
+
+
+def test_sampling_centres_on_level_mean(rng):
+    model = RssModel()
+    samples = [model.sample_snr_db(4, rng) for _ in range(2000)]
+    assert np.mean(samples) == pytest.approx(model.mean_snr_db(4), abs=0.3)
+
+
+def test_sample_rsrp_within_level_range(rng):
+    model = RssModel()
+    for level in range(1, 6):
+        for _ in range(50):
+            dbm = model.sample_rsrp_dbm(level, rng)
+            lo, hi = {1: (-125, -115), 2: (-115, -105), 3: (-105, -95),
+                      4: (-95, -85), 5: (-85, -70)}[level]
+            assert lo <= dbm <= hi
+
+
+def test_invalid_level_rejected(rng):
+    model = RssModel()
+    with pytest.raises(ValueError):
+        model.sample_snr_db(0, rng)
+
+
+def test_dense_urban_probability_increasing_in_level():
+    probs = [dense_urban_probability(level) for level in range(1, 6)]
+    assert probs == sorted(probs)
+    # Level 5 is dominated by dense-urban contexts (§3.3).
+    assert probs[4] > 0.5
+    assert probs[0] < 0.1
+
+
+def test_dense_urban_probability_capped():
+    assert dense_urban_probability(5, base_prob=0.5) <= 0.95
+
+
+def test_dense_urban_probability_invalid_level():
+    with pytest.raises(ValueError):
+        dense_urban_probability(6)

@@ -1,0 +1,62 @@
+"""Shannon capacity with practical caps."""
+
+import pytest
+
+from repro.radio.shannon import (
+    MAX_SE_QAM64,
+    MAX_SE_QAM256,
+    shannon_capacity_mbps,
+    spectral_efficiency,
+)
+
+
+def test_spectral_efficiency_monotone_in_snr():
+    values = [spectral_efficiency(snr) for snr in (-5, 0, 5, 10, 15, 20)]
+    assert values == sorted(values)
+
+
+def test_spectral_efficiency_capped_at_modulation():
+    assert spectral_efficiency(60.0, max_se=MAX_SE_QAM64) == MAX_SE_QAM64
+    assert spectral_efficiency(60.0, max_se=MAX_SE_QAM256) == MAX_SE_QAM256
+
+
+def test_spectral_efficiency_below_shannon_bound():
+    import math
+    snr_db = 12.0
+    bound = math.log2(1 + 10 ** (snr_db / 10))
+    assert spectral_efficiency(snr_db) < bound
+
+
+def test_negative_snr_still_positive_capacity():
+    assert spectral_efficiency(-10.0) > 0
+
+
+def test_capacity_linear_in_channel_width():
+    # The Shannon-Hartley linearity in channel bandwidth the paper
+    # leans on (§3.2).
+    c20 = shannon_capacity_mbps(20.0, 15.0)
+    c10 = shannon_capacity_mbps(10.0, 15.0)
+    assert c20 == pytest.approx(2.0 * c10)
+
+
+def test_capacity_scales_with_streams():
+    c2 = shannon_capacity_mbps(20.0, 15.0, streams=2)
+    c4 = shannon_capacity_mbps(20.0, 15.0, streams=4)
+    assert c4 == pytest.approx(2.0 * c2)
+
+
+def test_lte_20mhz_peak_near_150mbps():
+    # 20 MHz, 2x2, 64-QAM at excellent SNR ≈ conventional LTE peak.
+    cap = shannon_capacity_mbps(20.0, 40.0, streams=2, max_se=MAX_SE_QAM64)
+    assert cap == pytest.approx(240.0)  # SE cap 6 x 20 MHz x 2
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        shannon_capacity_mbps(0.0, 10.0)
+    with pytest.raises(ValueError):
+        shannon_capacity_mbps(10.0, 10.0, streams=0)
+    with pytest.raises(ValueError):
+        spectral_efficiency(10.0, max_se=0.0)
+    with pytest.raises(ValueError):
+        spectral_efficiency(10.0, implementation_factor=1.5)

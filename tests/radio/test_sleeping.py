@@ -1,0 +1,85 @@
+"""Diurnal profile and base-station sleeping (Figure 10)."""
+
+import numpy as np
+import pytest
+
+from repro.radio.sleeping import NO_SLEEP, DiurnalProfile, SleepPolicy
+
+
+def test_default_sleep_window_wraps_midnight():
+    policy = SleepPolicy()  # 21:00-9:00
+    assert policy.is_sleeping(22)
+    assert policy.is_sleeping(3)
+    assert not policy.is_sleeping(12)
+    assert policy.is_sleeping(21)
+    assert not policy.is_sleeping(9)
+
+
+def test_sleep_factor():
+    policy = SleepPolicy(capacity_factor=0.8)
+    assert policy.factor(23) == 0.8
+    assert policy.factor(12) == 1.0
+
+
+def test_no_sleep_policy_never_sleeps():
+    assert all(not NO_SLEEP.is_sleeping(h) for h in range(24))
+
+
+def test_sleep_policy_validation():
+    with pytest.raises(ValueError):
+        SleepPolicy(start_hour=25)
+    with pytest.raises(ValueError):
+        SleepPolicy(capacity_factor=0.0)
+    with pytest.raises(ValueError):
+        SleepPolicy().is_sleeping(24)
+
+
+def test_diurnal_volume_shares_sum_to_one():
+    profile = DiurnalProfile()
+    assert sum(profile.volume_share(h) for h in range(24)) == pytest.approx(1.0)
+
+
+def test_diurnal_load_bounds():
+    profile = DiurnalProfile()
+    loads = [profile.load_at(h) for h in range(24)]
+    assert min(loads) == pytest.approx(profile.load_floor)
+    assert max(loads) == pytest.approx(profile.load_ceiling)
+
+
+def test_quietest_hours_are_3_to_5():
+    profile = DiurnalProfile()
+    quietest = min(range(24), key=profile.volume_share)
+    assert quietest in (3, 4)
+
+
+def test_mean_load_cached_and_weighted():
+    profile = DiurnalProfile()
+    first = profile.mean_load()
+    assert first == profile.mean_load()
+    # Volume-weighted mean leans toward busy hours, so it exceeds the
+    # unweighted mean of hourly loads.
+    unweighted = np.mean([profile.load_at(h) for h in range(24)])
+    assert first > unweighted
+
+
+def test_sample_hour_follows_volume(rng):
+    profile = DiurnalProfile()
+    hours = [profile.sample_hour(rng) for _ in range(4000)]
+    counts = np.bincount(hours, minlength=24)
+    # Busiest hour drew more samples than the quietest.
+    assert counts[16] > counts[4]
+
+
+def test_sample_load_clamped(rng):
+    profile = DiurnalProfile()
+    loads = [profile.sample_load(16, rng, sigma=0.5) for _ in range(500)]
+    assert all(0.02 <= l <= 0.97 for l in loads)
+
+
+def test_diurnal_validation():
+    with pytest.raises(ValueError):
+        DiurnalProfile(hourly_volume=(1.0,) * 23)
+    with pytest.raises(ValueError):
+        DiurnalProfile(hourly_volume=(0.0,) + (1.0,) * 23)
+    with pytest.raises(ValueError):
+        DiurnalProfile(load_floor=0.8, load_ceiling=0.5)

@@ -1,0 +1,118 @@
+"""Spectrum fragmentation analytics (§4)."""
+
+import pytest
+
+from repro.radio.bands import lte_band
+from repro.radio.spectrum import (
+    CarrierAllocation,
+    SpectrumMap,
+    china_lte_spectrum_maps,
+)
+
+
+def b41_map(allocations):
+    return SpectrumMap(lte_band("B41"), allocations)
+
+
+def alloc(low, high, owner="isp1-lte"):
+    return CarrierAllocation(low_mhz=low, high_mhz=high, owner=owner)
+
+
+def test_allocation_validation():
+    with pytest.raises(ValueError):
+        CarrierAllocation(low_mhz=10.0, high_mhz=10.0, owner="x")
+
+
+def test_map_rejects_out_of_band_and_overlap():
+    with pytest.raises(ValueError):
+        b41_map([alloc(100.0, 120.0)])  # far outside B41
+    with pytest.raises(ValueError):
+        b41_map([alloc(2500.0, 2550.0), alloc(2540.0, 2580.0)])
+
+
+def test_free_blocks_and_largest():
+    smap = b41_map([alloc(2500.0, 2520.0), alloc(2600.0, 2620.0)])
+    gaps = smap.free_blocks_mhz()
+    assert (2520.0, 2600.0) in gaps
+    assert smap.largest_free_block_mhz() == pytest.approx(80.0)
+
+
+def test_fragmentation_index_contiguous_free():
+    # One allocation at the low edge: all free spectrum is contiguous.
+    smap = b41_map([alloc(2496.0, 2516.0)])
+    assert smap.fragmentation_index() == pytest.approx(0.0)
+
+
+def test_fragmentation_index_shredded():
+    # Allocations every 20 MHz slice the free spectrum into slivers.
+    allocations = [
+        alloc(low, low + 10.0) for low in range(2500, 2680, 20)
+    ]
+    smap = b41_map(allocations)
+    assert smap.fragmentation_index() > 0.5
+
+
+def test_fully_allocated_band_reports_zero():
+    band = lte_band("B34")  # 15 MHz wide
+    smap = SpectrumMap(band, [alloc(2010.0, 2025.0)])
+    assert smap.fragmentation_index() == 0.0
+    assert smap.largest_free_block_mhz() == 0.0
+
+
+def test_refarmable_block_with_survivors():
+    # B41: 2496-2690.  One LTE carrier that must stay in the middle.
+    smap = b41_map([
+        alloc(2496.0, 2516.0, owner="isp1-lte"),
+        alloc(2580.0, 2600.0, owner="keeper"),
+    ])
+    block = smap.refarmable_block_mhz(clearable_owners=["isp1-lte"])
+    # Clearing isp1 leaves [2496, 2579] (83 MHz, guarded) and
+    # [2601, 2690] (89 MHz): the right block wins.
+    assert block == pytest.approx(89.0)
+
+
+def test_refarmable_block_everything_clearable():
+    smap = b41_map([alloc(2500.0, 2550.0)])
+    block = smap.refarmable_block_mhz(clearable_owners=["isp1-lte"])
+    assert block == pytest.approx(lte_band("B41").dl_width_mhz)
+
+
+def test_defragmentation_gain():
+    # Two keepers scattered through B41 shred the clearable space;
+    # repacking them to one edge recovers a wide block.
+    smap = b41_map([
+        alloc(2540.0, 2550.0, owner="keeper"),
+        alloc(2620.0, 2630.0, owner="keeper"),
+        alloc(2500.0, 2520.0, owner="isp1-lte"),
+    ])
+    in_place = smap.refarmable_block_mhz(["isp1-lte"])
+    gain = smap.defragmentation_gain_mhz(["isp1-lte"])
+    assert gain > 0.0
+    # Repacked width: 194 total - 20 survivors - 1 guard = 173.
+    assert in_place + gain == pytest.approx(173.0)
+
+
+def test_china_maps_cover_all_bands():
+    maps = china_lte_spectrum_maps()
+    assert set(maps) == set(
+        b.name for b in [lte_band(n) for n in (
+            "B1", "B3", "B5", "B8", "B28", "B34", "B39", "B40", "B41"
+        )]
+    )
+    for name, smap in maps.items():
+        assert smap.allocated_mhz() <= smap.band.dl_width_mhz + 1e-9
+
+
+def test_china_b41_can_yield_nr_class_block():
+    """§3.3: Band 41 yielded a contiguous 100 MHz block for N41."""
+    maps = china_lte_spectrum_maps()
+    block = maps["B41"].refarmable_block_mhz(["isp1-lte"])
+    assert block >= 100.0
+
+
+def test_china_b1_cannot_yield_wide_block():
+    """§3.3: Band 1's refarmable spectrum is thin — even clearing one
+    ISP's LTE leaves nothing near 100 MHz."""
+    maps = china_lte_spectrum_maps()
+    block = maps["B1"].refarmable_block_mhz(["isp2-lte"])
+    assert block < 60.0

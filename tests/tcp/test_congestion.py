@@ -1,0 +1,207 @@
+"""Congestion-control algorithm unit behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.tcp.bbr import BBR, PROBE_BW_CYCLE, STARTUP_GAIN
+from repro.tcp.congestion import INITIAL_CWND_PKTS, RoundOutcome
+from repro.tcp.cubic import Cubic, cubic_k
+from repro.tcp.reno import Reno
+
+
+def clean_round(rate_pps=1000.0, rtt=0.02):
+    return RoundOutcome(
+        delivered_pkts=rate_pps * rtt,
+        delivery_rate_pps=rate_pps,
+        congestion_loss=False,
+        spurious_loss=False,
+        queue_delay_s=0.0,
+        min_rtt_s=rtt,
+    )
+
+
+def loss_round(rate_pps=1000.0, rtt=0.02, spurious=False):
+    outcome = clean_round(rate_pps, rtt)
+    if spurious:
+        outcome.spurious_loss = True
+    else:
+        outcome.congestion_loss = True
+    return outcome
+
+
+# -- Reno ----------------------------------------------------------------
+
+
+def test_reno_slow_start_growth():
+    reno = Reno(ss_growth=2.0)
+    start = reno.cwnd_pkts
+    reno.on_round(clean_round())
+    assert reno.cwnd_pkts == pytest.approx(start * 2.0)
+
+
+def test_reno_loss_halves_window():
+    reno = Reno()
+    for _ in range(5):
+        reno.on_round(clean_round())
+    before = reno.cwnd_pkts
+    reno.on_round(loss_round())
+    assert reno.cwnd_pkts == pytest.approx(before / 2.0)
+    assert not reno.in_slow_start
+
+
+def test_reno_congestion_avoidance_is_linear():
+    reno = Reno()
+    reno.on_round(loss_round())  # exit slow start
+    w = reno.cwnd_pkts
+    reno.on_round(clean_round())
+    assert reno.cwnd_pkts == pytest.approx(w + 1.0)
+
+
+def test_reno_spurious_loss_also_halves():
+    # Reno cannot distinguish spurious cellular losses — the paper's
+    # motivation for UDP probing.
+    reno = Reno()
+    before = reno.cwnd_pkts
+    reno.on_round(loss_round(spurious=True))
+    assert reno.cwnd_pkts == pytest.approx(max(2.0, before / 2.0))
+
+
+def test_reno_growth_validation():
+    with pytest.raises(ValueError):
+        Reno(ss_growth=1.0)
+
+
+def test_reno_window_floor():
+    reno = Reno()
+    for _ in range(10):
+        reno.on_round(loss_round())
+    assert reno.cwnd_pkts >= 2.0
+
+
+# -- Cubic ----------------------------------------------------------------
+
+
+def test_cubic_starts_in_slow_start():
+    cubic = Cubic()
+    assert cubic.in_slow_start
+    cubic.on_round(clean_round())
+    assert cubic.cwnd_pkts > INITIAL_CWND_PKTS
+
+
+def test_cubic_loss_reduces_by_beta():
+    cubic = Cubic()
+    for _ in range(6):
+        cubic.on_round(clean_round())
+    before = cubic.cwnd_pkts
+    cubic.on_round(loss_round())
+    assert cubic.cwnd_pkts == pytest.approx(before * 0.7)
+    assert not cubic.in_slow_start
+
+
+def test_cubic_hystart_exits_on_delay():
+    cubic = Cubic()
+    outcome = clean_round(rtt=0.02)
+    outcome.queue_delay_s = 0.01  # 50% of min RTT >> threshold
+    cubic.on_round(outcome)
+    assert not cubic.in_slow_start
+    # HyStart exit performs no multiplicative decrease.
+    assert cubic.cwnd_pkts == pytest.approx(INITIAL_CWND_PKTS)
+
+
+def test_cubic_hystart_false_positive_with_rng():
+    rng = np.random.default_rng(0)
+    cubic = Cubic(rng=rng, hystart_fp_prob=1.0)
+    cubic.on_round(clean_round())
+    assert not cubic.in_slow_start
+
+
+def test_cubic_no_fp_without_rng():
+    cubic = Cubic(rng=None, hystart_fp_prob=1.0)
+    for _ in range(20):
+        cubic.on_round(clean_round())
+    assert cubic.in_slow_start  # only delay or loss can exit
+
+
+def test_cubic_recovers_toward_wmax():
+    cubic = Cubic()
+    for _ in range(8):
+        cubic.on_round(clean_round())
+    w_before_loss = cubic.cwnd_pkts
+    cubic.on_round(loss_round())
+    for _ in range(400):
+        cubic.on_round(clean_round())
+    assert cubic.cwnd_pkts >= w_before_loss * 0.95
+
+
+def test_cubic_k_closed_form():
+    # K = (W_max * drop / C)^(1/3).
+    assert cubic_k(1000.0, 0.3, 0.4) == pytest.approx((1000 * 0.3 / 0.4) ** (1 / 3))
+    with pytest.raises(ValueError):
+        cubic_k(-1.0)
+
+
+def test_cubic_parameter_validation():
+    with pytest.raises(ValueError):
+        Cubic(beta=1.5)
+    with pytest.raises(ValueError):
+        Cubic(c=-0.1)
+
+
+# -- BBR --------------------------------------------------------------------
+
+
+def test_bbr_startup_gain():
+    bbr = BBR()
+    assert bbr.state == BBR.STATE_STARTUP
+    assert bbr.pacing_gain == pytest.approx(STARTUP_GAIN)
+
+
+def test_bbr_exits_startup_on_plateau():
+    bbr = BBR()
+    # Growing delivery rate: stays in startup.
+    rate = 500.0
+    for _ in range(5):
+        bbr.on_round(clean_round(rate_pps=rate))
+        rate *= 2
+    assert bbr.state == BBR.STATE_STARTUP
+    # One round to register the final rate as the new max, then three
+    # plateau rounds without ≥25% growth: exits to drain.
+    for _ in range(4):
+        bbr.on_round(clean_round(rate_pps=rate))
+    assert bbr.state == BBR.STATE_DRAIN
+
+
+def test_bbr_ignores_losses():
+    bbr = BBR()
+    bbr.on_round(loss_round(spurious=True))
+    bbr.on_round(loss_round())
+    assert bbr.state == BBR.STATE_STARTUP  # not perturbed by loss
+
+
+def test_bbr_reaches_probe_bw_and_cycles_gain():
+    bbr = BBR()
+    rate = 1000.0
+    for _ in range(4):  # constant rate: 1 max-registration + 3 stalls
+        bbr.on_round(clean_round(rate_pps=rate))
+    assert bbr.state == BBR.STATE_DRAIN
+    # Empty queue lets it enter PROBE_BW.
+    bbr.on_round(clean_round(rate_pps=rate))
+    assert bbr.state == BBR.STATE_PROBE_BW
+    gains = set()
+    for _ in range(len(PROBE_BW_CYCLE)):
+        bbr.on_round(clean_round(rate_pps=rate))
+        gains.add(bbr.pacing_gain)
+    assert 1.25 in gains and 0.75 in gains
+
+
+def test_bbr_bandwidth_estimate_is_windowed_max():
+    bbr = BBR()
+    bbr.on_round(clean_round(rate_pps=100.0))
+    bbr.on_round(clean_round(rate_pps=300.0))
+    bbr.on_round(clean_round(rate_pps=200.0))
+    assert bbr.bw_est_pps == pytest.approx(300.0)
+
+
+def test_bbr_demand_positive_before_first_round():
+    bbr = BBR()
+    assert bbr.demand_pkts_per_rtt() > 0

@@ -1,0 +1,108 @@
+"""TCP connection driver over the fluid network."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.link import Link
+from repro.netsim.network import Network
+from repro.netsim.path import NetworkPath
+from repro.tcp.connection import TcpConnection
+from repro.tcp.slowstart import make_cc
+
+
+def make_world(access=100.0, rtt=0.02, loss=0.0):
+    net = Network()
+    links = [net.add_link(Link(access, "access")), net.add_link(Link(1000.0, "up"))]
+    path = NetworkPath(net, links, rtt_s=rtt, loss_rate=loss)
+    return net, path
+
+
+def drive(net, conns, duration, dt=0.005):
+    now = 0.0
+    while now < duration:
+        for c in conns:
+            c.pre_allocate(now)
+        net.allocate(now)
+        for c in conns:
+            c.post_allocate(now, dt)
+        now += dt
+
+
+@pytest.mark.parametrize("cc_name", ["reno", "cubic", "bbr"])
+def test_connection_eventually_saturates(cc_name):
+    net, path = make_world(access=50.0)
+    conn = TcpConnection(path, make_cc(cc_name, rng=np.random.default_rng(0)))
+    conn.start()
+    drive(net, [conn], 5.0)
+    final_rates = [r for _, r in conn.timeline[-50:]]
+    assert np.mean(final_rates) > 0.8 * 50.0
+    conn.stop()
+
+
+def test_connection_bytes_accumulate():
+    net, path = make_world(access=80.0)
+    conn = TcpConnection(path, make_cc("bbr"))
+    conn.start()
+    drive(net, [conn], 2.0)
+    # Can never exceed the link's full-rate delivery.
+    assert 0 < conn.bytes_received <= 80e6 / 8 * 2.0 * 1.01
+    conn.stop()
+
+
+def test_two_connections_share_bottleneck():
+    net, path = make_world(access=60.0)
+    conns = [
+        TcpConnection(path, make_cc("bbr"), label=f"c{i}") for i in range(2)
+    ]
+    for c in conns:
+        c.start()
+    drive(net, conns, 4.0)
+    rates = [np.mean([r for _, r in c.timeline[-50:]]) for c in conns]
+    assert sum(rates) <= 60.0 * 1.01
+    # Fair-ish split between identical connections.
+    assert rates[0] == pytest.approx(rates[1], rel=0.25)
+    for c in conns:
+        c.stop()
+
+
+def test_stepping_unstarted_connection_raises():
+    _, path = make_world()
+    conn = TcpConnection(path, make_cc("reno"))
+    with pytest.raises(RuntimeError):
+        conn.pre_allocate(0.0)
+    with pytest.raises(RuntimeError):
+        conn.post_allocate(0.0, 0.01)
+
+
+def test_start_stop_idempotent():
+    net, path = make_world()
+    conn = TcpConnection(path, make_cc("reno"))
+    conn.start()
+    conn.start()
+    assert len(net.flows) == 1
+    conn.stop()
+    conn.stop()
+    assert len(net.flows) == 0
+
+
+def test_buffer_factor_validation():
+    _, path = make_world()
+    with pytest.raises(ValueError):
+        TcpConnection(path, make_cc("reno"), buffer_factor=0.0)
+
+
+def test_loss_rate_slows_loss_based_cc():
+    """With heavy random loss, Reno stays far from link capacity."""
+    rng = np.random.default_rng(3)
+    net, path = make_world(access=500.0, loss=0.2)
+    conn = TcpConnection(path, make_cc("reno", rng=rng), rng=rng)
+    conn.start()
+    drive(net, [conn], 3.0)
+    final = np.mean([r for _, r in conn.timeline[-50:]])
+    assert final < 250.0
+    conn.stop()
+
+
+def test_make_cc_unknown_name():
+    with pytest.raises(ValueError):
+        make_cc("vegas")

@@ -1,0 +1,73 @@
+"""Slow-start / ramp-time measurement (Figure 17 mechanics)."""
+
+import numpy as np
+import pytest
+
+from repro.tcp.slowstart import measure_ramp_time, ramp_time_sweep
+
+
+def test_bbr_ramps_quickly_on_clean_link():
+    m = measure_ramp_time("bbr", 100.0, loss_rate=0.0)
+    assert m.saturated
+    assert m.ramp_time_s < 1.0
+
+
+def test_ramp_time_includes_setup():
+    with_setup = measure_ramp_time("bbr", 100.0, loss_rate=0.0, include_setup=True)
+    without = measure_ramp_time("bbr", 100.0, loss_rate=0.0, include_setup=False)
+    assert with_setup.ramp_time_s == pytest.approx(
+        without.ramp_time_s + 2 * 0.040, abs=1e-6
+    )
+
+
+def test_ramp_time_grows_with_bandwidth_for_bbr():
+    clean = [
+        measure_ramp_time("bbr", bw, loss_rate=0.0).ramp_time_s
+        for bw in (50.0, 400.0, 1600.0)
+    ]
+    assert clean[0] <= clean[1] <= clean[2]
+
+
+def test_unsaturated_run_reports_duration():
+    # A tiny measurement window cannot be saturated by cubic from cold.
+    m = measure_ramp_time(
+        "cubic", 1000.0, duration_s=0.05, loss_rate=0.0,
+        rng=np.random.default_rng(1),
+    )
+    assert not m.saturated
+    assert m.ramp_time_s == pytest.approx(0.05)
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        measure_ramp_time("bbr", -5.0)
+    with pytest.raises(ValueError):
+        measure_ramp_time("bbr", 100.0, saturation_fraction=1.5)
+    with pytest.raises(ValueError):
+        measure_ramp_time("tahoe", 100.0)
+
+
+def test_sweep_shape_matches_figure_17():
+    """Average ordering of Figure 17: Cubic slowest, BBR fastest."""
+    sweep = ramp_time_sweep(
+        ["cubic", "reno", "bbr"], [100.0, 600.0, 1000.0], repetitions=8
+    )
+    cubic = np.mean(sweep["cubic"])
+    reno = np.mean(sweep["reno"])
+    bbr = np.mean(sweep["bbr"])
+    assert bbr < reno
+    assert bbr < cubic
+    assert cubic > reno * 0.9  # cubic is the laggard on average
+
+
+def test_sweep_is_deterministic():
+    a = ramp_time_sweep(["bbr"], [200.0], repetitions=3, seed=7)
+    b = ramp_time_sweep(["bbr"], [200.0], repetitions=3, seed=7)
+    assert a == b
+
+
+def test_timeline_recorded():
+    m = measure_ramp_time("bbr", 100.0, loss_rate=0.0)
+    assert len(m.timeline) > 0
+    times = [t for t, _ in m.timeline]
+    assert times == sorted(times)

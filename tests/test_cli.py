@@ -1,0 +1,88 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.dataset.generator import CampaignConfig, generate_campaign
+from repro.dataset.records import Dataset
+
+
+@pytest.fixture(scope="module")
+def campaign_csv(tmp_path_factory):
+    """A small campaign persisted to CSV once for the module."""
+    path = tmp_path_factory.mktemp("cli") / "campaign.csv"
+    dataset = generate_campaign(CampaignConfig(n_tests=8_000, seed=77))
+    dataset.to_csv(path)
+    return str(path)
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_campaign_command(tmp_path, capsys):
+    out = tmp_path / "c.csv"
+    code = main(["campaign", "--tests", "3000", "--seed", "5",
+                 "--out", str(out)])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "generated 3000 tests" in captured
+    loaded = Dataset.from_csv(out)
+    assert len(loaded) == 3000
+
+
+def test_campaign_round_trip_preserves_stats(tmp_path):
+    out = tmp_path / "c.csv"
+    main(["campaign", "--tests", "2000", "--seed", "6", "--out", str(out)])
+    loaded = Dataset.from_csv(out)
+    regenerated = generate_campaign(CampaignConfig(n_tests=2000, seed=6))
+    assert loaded.mean_bandwidth() == pytest.approx(
+        regenerated.mean_bandwidth()
+    )
+
+
+def test_analyze_command(campaign_csv, capsys):
+    code = main(["analyze", campaign_csv])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "4G distribution" in captured
+    assert "5G per band" in captured
+    assert "WiFi generations" in captured
+
+
+def test_speedtest_command(campaign_csv, capsys):
+    code = main([
+        "speedtest", "--bandwidth", "250", "--tech", "5G",
+        "--campaign", campaign_csv, "--compare",
+    ])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "swiftest:" in captured
+    assert "bts-app" in captured
+
+
+def test_speedtest_unknown_tech(campaign_csv, capsys):
+    code = main([
+        "speedtest", "--tech", "6G", "--campaign", campaign_csv,
+    ])
+    assert code == 1
+    assert "no model" in capsys.readouterr().err
+
+
+def test_plan_command(campaign_csv, capsys):
+    code = main(["plan", "--tests-per-day", "5000",
+                 "--campaign", campaign_csv])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "workload:" in captured
+    assert "flooding reference" in captured
+
+
+def test_report_command(campaign_csv, capsys):
+    code = main(["report", campaign_csv])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "Access technologies" in captured
+    assert "5G per band" in captured
+    assert "█" in captured  # bar-chart rendering

@@ -1,0 +1,46 @@
+"""Public API surface: the names README promises exist and work."""
+
+import importlib
+
+import repro
+
+
+def test_version_string():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_readme_quickstart_names():
+    # The imports used verbatim in README's quickstart.
+    for name in (
+        "BandwidthModelRegistry", "CampaignConfig", "SwiftestClient",
+        "generate_campaign", "make_environment",
+    ):
+        assert name in repro.__all__
+
+
+def test_subpackages_importable():
+    for module in (
+        "repro.netsim", "repro.netsim.packet", "repro.netsim.crosstraffic",
+        "repro.tcp", "repro.radio", "repro.wifi", "repro.dataset",
+        "repro.analysis", "repro.analysis.plots", "repro.analysis.report",
+        "repro.baselines", "repro.baselines.replay", "repro.core",
+        "repro.core.loopback", "repro.core.variants", "repro.deploy",
+        "repro.deploy.pool", "repro.harness", "repro.testbed", "repro.cli",
+    ):
+        importlib.import_module(module)
+
+
+def test_every_export_has_a_docstring():
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if callable(obj):
+            assert obj.__doc__, f"{name} lacks a docstring"
+
+
+def test_dunder_all_sorted():
+    assert list(repro.__all__) == sorted(repro.__all__)

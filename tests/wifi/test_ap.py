@@ -1,0 +1,51 @@
+"""Access points: WiFi link x broadband composition."""
+
+import numpy as np
+import pytest
+
+from repro.wifi.ap import AccessPoint, sample_wifi_bandwidth
+from repro.wifi.broadband import BroadbandPlanMix
+from repro.wifi.standards import wifi_standard
+
+
+def test_ap_validation():
+    with pytest.raises(ValueError):
+        AccessPoint(wifi_standard("WiFi5"), band="2.4GHz", plan_mbps=100)
+    with pytest.raises(ValueError):
+        AccessPoint(wifi_standard("WiFi5"), band="5GHz", plan_mbps=0)
+
+
+def test_bandwidth_never_exceeds_either_limit(rng):
+    mix = BroadbandPlanMix(weights={100: 1.0}, delivery_sigma=0.0, delivery_mean=1.0)
+    ap = AccessPoint(wifi_standard("WiFi6"), band="5GHz", plan_mbps=100)
+    for _ in range(200):
+        bw = ap.sample_bandwidth_mbps(rng, plan_mix=mix)
+        assert bw <= 100.0 + 1e-9
+
+
+def test_broadband_binds_for_fast_wifi(rng):
+    """WiFi 6 on a 100 Mbps plan clusters at the plan rate — the
+    paper's central WiFi finding (§3.4)."""
+    mix = BroadbandPlanMix(weights={100: 1.0})
+    ap = AccessPoint(wifi_standard("WiFi6"), band="5GHz", plan_mbps=100)
+    samples = [ap.sample_bandwidth_mbps(rng, plan_mix=mix) for _ in range(500)]
+    assert np.median(samples) == pytest.approx(100 * mix.delivery_mean, rel=0.1)
+
+
+def test_wifi_link_binds_on_24ghz(rng):
+    """A gigabit plan cannot rescue the contended 2.4 GHz band."""
+    mix = BroadbandPlanMix(weights={1000: 1.0})
+    ap = AccessPoint(wifi_standard("WiFi4"), band="2.4GHz", plan_mbps=1000)
+    samples = [ap.sample_bandwidth_mbps(rng, plan_mix=mix) for _ in range(500)]
+    assert np.mean(samples) < 300.0
+
+
+def test_sample_wifi_bandwidth_returns_plan_and_rate(rng):
+    plan, bw = sample_wifi_bandwidth("WiFi5", "5GHz", rng)
+    assert plan in (100, 200, 300, 500, 1000)
+    assert bw > 0
+
+
+def test_sample_wifi_bandwidth_unknown_standard(rng):
+    with pytest.raises(KeyError):
+        sample_wifi_bandwidth("WiFi9", "5GHz", rng)

@@ -1,0 +1,71 @@
+"""Fixed-broadband plan mixes."""
+
+import numpy as np
+import pytest
+
+from repro.wifi.broadband import (
+    BroadbandPlanMix,
+    OVERALL_PLAN_MIX,
+    PLAN_MIX_BY_STANDARD,
+    WIFI6_PLAN_MIX,
+    fraction_at_or_below,
+)
+
+
+def test_plan_weights_must_sum_to_one():
+    with pytest.raises(ValueError):
+        BroadbandPlanMix(weights={100: 0.5, 200: 0.4})
+
+
+def test_plan_rates_positive():
+    with pytest.raises(ValueError):
+        BroadbandPlanMix(weights={0: 1.0})
+
+
+def test_empty_mix_rejected():
+    with pytest.raises(ValueError):
+        BroadbandPlanMix(weights={})
+
+
+def test_overall_mix_matches_paper_64_percent():
+    # ~64% of WiFi users sit on <=200 Mbps plans (§3.4).
+    assert fraction_at_or_below(OVERALL_PLAN_MIX, 200) == pytest.approx(0.64, abs=0.02)
+
+
+def test_wifi6_mix_matches_paper_39_percent():
+    assert fraction_at_or_below(WIFI6_PLAN_MIX, 200) == pytest.approx(0.39, abs=0.02)
+
+
+def test_every_standard_has_a_mix():
+    assert set(PLAN_MIX_BY_STANDARD) == {"WiFi4", "WiFi5", "WiFi6"}
+
+
+def test_sample_plan_only_returns_known_tiers(rng):
+    mix = OVERALL_PLAN_MIX
+    for _ in range(200):
+        assert mix.sample_plan_mbps(rng) in mix.weights
+
+
+def test_delivered_rate_centres_on_plan(rng):
+    mix = OVERALL_PLAN_MIX
+    samples = [mix.sample_delivered_mbps(300, rng) for _ in range(3000)]
+    assert np.mean(samples) == pytest.approx(300 * mix.delivery_mean, rel=0.02)
+
+
+def test_delivered_rate_positive_even_with_bad_draws(rng):
+    mix = BroadbandPlanMix(weights={100: 1.0}, delivery_sigma=1.0)
+    assert all(mix.sample_delivered_mbps(100, rng) >= 1.0 for _ in range(300))
+
+
+def test_delivered_requires_positive_plan(rng):
+    with pytest.raises(ValueError):
+        OVERALL_PLAN_MIX.sample_delivered_mbps(0, rng)
+
+
+def test_mean_plan():
+    mix = BroadbandPlanMix(weights={100: 0.5, 300: 0.5})
+    assert mix.mean_plan_mbps() == pytest.approx(200.0)
+
+
+def test_wifi6_users_buy_bigger_plans():
+    assert WIFI6_PLAN_MIX.mean_plan_mbps() > OVERALL_PLAN_MIX.mean_plan_mbps()

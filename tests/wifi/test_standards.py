@@ -1,0 +1,75 @@
+"""WiFi standards and band profiles."""
+
+import numpy as np
+import pytest
+
+from repro.wifi.standards import (
+    BAND_24GHZ,
+    BAND_5GHZ,
+    WIFI_STANDARDS,
+    wifi_standard,
+)
+
+
+def test_three_generations():
+    assert set(WIFI_STANDARDS) == {"WiFi4", "WiFi5", "WiFi6"}
+
+
+def test_wifi5_is_5ghz_only():
+    # Footnote 1 of the paper: WiFi 5 uses the 5 GHz band only.
+    wifi5 = wifi_standard("WiFi5")
+    assert wifi5.band_names() == (BAND_5GHZ,)
+    assert not wifi5.supports_band(BAND_24GHZ)
+
+
+def test_wifi4_and_6_are_dual_band():
+    for name in ("WiFi4", "WiFi6"):
+        std = wifi_standard(name)
+        assert std.supports_band(BAND_24GHZ)
+        assert std.supports_band(BAND_5GHZ)
+
+
+def test_ieee_names():
+    assert wifi_standard("WiFi4").ieee == "802.11n"
+    assert wifi_standard("WiFi5").ieee == "802.11ac"
+    assert wifi_standard("WiFi6").ieee == "802.11ax"
+
+
+def test_sampling_unsupported_band_raises(rng):
+    with pytest.raises(ValueError):
+        wifi_standard("WiFi5").sample_link_mbps(BAND_24GHZ, rng)
+
+
+def test_unknown_standard_raises():
+    with pytest.raises(KeyError):
+        wifi_standard("WiFi7")
+
+
+def test_link_rates_positive_and_capped(rng):
+    for name, std in WIFI_STANDARDS.items():
+        for band in std.band_names():
+            profile = std.bands[band]
+            samples = [std.sample_link_mbps(band, rng) for _ in range(300)]
+            assert all(s > 0 for s in samples)
+            assert max(samples) <= profile.peak_phy_mbps  # MAC eff < 1
+
+
+def test_24ghz_worse_than_5ghz(rng):
+    """The contended 2.4 GHz band delivers less than 5 GHz for the
+    same generation — Figure 14 vs 15."""
+    for name in ("WiFi4", "WiFi6"):
+        std = wifi_standard(name)
+        mean24 = np.mean([std.sample_link_mbps(BAND_24GHZ, rng) for _ in range(800)])
+        mean5 = np.mean([std.sample_link_mbps(BAND_5GHZ, rng) for _ in range(800)])
+        assert mean24 < mean5
+
+
+def test_generation_ordering_on_5ghz(rng):
+    """Raw link throughput improves with the generation on 5 GHz."""
+    means = {}
+    for name in ("WiFi4", "WiFi5", "WiFi6"):
+        std = wifi_standard(name)
+        means[name] = np.mean(
+            [std.sample_link_mbps(BAND_5GHZ, rng) for _ in range(800)]
+        )
+    assert means["WiFi4"] < means["WiFi5"] < means["WiFi6"]
