@@ -24,7 +24,14 @@ See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
-from repro.baselines import BtsApp, BTSResult, FastBTS, FastCom, SpeedtestLike
+from repro.baselines import (
+    BtsApp,
+    BTSResult,
+    FastBTS,
+    FastCom,
+    SpeedtestLike,
+    TestOutcome,
+)
 from repro.core import (
     BandwidthModelRegistry,
     GaussianMixture1D,
@@ -35,6 +42,13 @@ from repro.core import (
     select_gmm_bic,
 )
 from repro.dataset import CampaignConfig, Dataset, generate_campaign
+from repro.netsim import (
+    BlackoutSchedule,
+    FaultInjector,
+    FaultPlan,
+    GilbertElliottLoss,
+    IIDLoss,
+)
 from repro.deploy import (
     estimate_workload,
     onevendor_catalogue,
@@ -49,17 +63,23 @@ __version__ = "1.0.0"
 __all__ = [
     "BTSResult",
     "BandwidthModelRegistry",
+    "BlackoutSchedule",
     "BtsApp",
     "CampaignConfig",
     "Dataset",
     "FastBTS",
     "FastCom",
+    "FaultInjector",
+    "FaultPlan",
     "GaussianMixture1D",
+    "GilbertElliottLoss",
+    "IIDLoss",
     "SpeedtestLike",
     "SwiftestClient",
     "SwiftestConfig",
     "SwiftestResult",
     "TestEnvironment",
+    "TestOutcome",
     "estimate_workload",
     "fit_gmm",
     "generate_campaign",

@@ -16,7 +16,7 @@ Swiftest, so comparisons exercise identical network conditions.
 """
 
 from repro.baselines.btsapp import BtsApp
-from repro.baselines.common import BandwidthTestService, BTSResult
+from repro.baselines.common import BandwidthTestService, BTSResult, TestOutcome
 from repro.baselines.fast import FastCom
 from repro.baselines.fastbts import FastBTS
 from repro.baselines.speedtest import SpeedtestLike
@@ -28,4 +28,5 @@ __all__ = [
     "FastBTS",
     "FastCom",
     "SpeedtestLike",
+    "TestOutcome",
 ]

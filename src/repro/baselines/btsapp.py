@@ -15,7 +15,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.baselines.common import BandwidthTestService, BTSResult
+from repro.baselines.common import BandwidthTestService, BTSResult, TestOutcome
 from repro.baselines.driver import TcpFloodSession, ping_phase_duration
 from repro.testbed.env import TestEnvironment
 
@@ -78,4 +78,7 @@ class BtsApp(BandwidthTestService):
             samples=samples,
             servers_used=session.servers_used,
             meta={"estimator": "group-trimmed-mean"},
+            # BTS-APP has no stopping rule: a full 10 s flood always
+            # yields its designed estimate.
+            outcome=TestOutcome.CONVERGED,
         )

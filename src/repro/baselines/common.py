@@ -3,11 +3,43 @@
 from __future__ import annotations
 
 import abc
+import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from repro.testbed.env import TestEnvironment
 from repro.units import bytes_to_mb
+
+
+class TestOutcome(enum.Enum):
+    """How a bandwidth test concluded — callers use this to decide how
+    much to trust ``bandwidth_mbps``.
+
+    * ``CONVERGED`` — the stopping rule fired normally; the estimate is
+      a clean measurement.
+    * ``TIMED_OUT`` — the duration budget expired before convergence;
+      the estimate is the trailing-window mean (best effort).
+    * ``DEGRADED`` — the test completed but only after surviving
+      impairments (a server outage triggering failover, exhausted
+      control-message retries); the estimate is usable but the
+      conditions were abnormal.
+    * ``FAILED`` — the test could not run to completion (no reachable
+      server, control plane never established); ``bandwidth_mbps`` is
+      whatever best-effort value was salvageable, possibly 0.
+    """
+
+    #: Not a pytest test class despite the name.
+    __test__ = False
+
+    CONVERGED = "converged"
+    TIMED_OUT = "timed-out"
+    DEGRADED = "degraded"
+    FAILED = "failed"
+
+    @property
+    def usable(self) -> bool:
+        """Whether the estimate should enter accuracy statistics."""
+        return self is not TestOutcome.FAILED
 
 
 @dataclass
@@ -34,6 +66,8 @@ class BTSResult:
     meta:
         Service-specific diagnostics (thresholds crossed, intervals,
         convergence round, ...).
+    outcome:
+        How the test concluded (see :class:`TestOutcome`).
     """
 
     service: str
@@ -44,6 +78,7 @@ class BTSResult:
     samples: List[Tuple[float, float]] = field(repr=False, default_factory=list)
     servers_used: int = 1
     meta: Dict = field(default_factory=dict)
+    outcome: TestOutcome = TestOutcome.CONVERGED
 
     @property
     def total_time_s(self) -> float:

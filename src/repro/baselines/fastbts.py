@@ -19,7 +19,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.baselines.common import BandwidthTestService, BTSResult
+from repro.baselines.common import BandwidthTestService, BTSResult, TestOutcome
 from repro.baselines.driver import TcpFloodSession, ping_phase_duration
 from repro.testbed.env import TestEnvironment
 
@@ -104,8 +104,12 @@ class FastBTS(BandwidthTestService):
         samples = session.run(MAX_DURATION_S, stop_check=stop_check)
         values = [s for _, s in samples]
         result: Optional[float] = state["result"]
+        outcome = TestOutcome.CONVERGED
         if result is None:
+            # The crucial interval never stabilised within the budget;
+            # fall back to the interval over everything collected.
             _, _, result = crucial_interval(values)
+            outcome = TestOutcome.TIMED_OUT
         duration = samples[-1][0] if samples else 0.0
         return BTSResult(
             service=self.name,
@@ -116,4 +120,5 @@ class FastBTS(BandwidthTestService):
             samples=samples,
             servers_used=session.servers_used,
             meta={"estimator": "crucial-interval"},
+            outcome=outcome,
         )

@@ -11,14 +11,21 @@ The test proceeds in three phases:
    and follow the :class:`~repro.core.probing.ProbingController`'s
    decisions: hold on saturation, ladder up otherwise, stop on
    convergence.  Rate increases recruit additional servers on demand.
+
+The control plane is hardened against real-network failures: control
+messages (HELLO / RATE_COMMAND) are delivered with bounded
+retransmission, servers that stop responding mid-test are detected and
+replaced from the remaining pool (failover), and every result carries
+a :class:`~repro.baselines.common.TestOutcome` so callers can tell a
+clean estimate from a best-effort one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
-from repro.baselines.common import BandwidthTestService, BTSResult
+from repro.baselines.common import BandwidthTestService, BTSResult, TestOutcome
 from repro.core.convergence import ConvergenceDetector
 from repro.core.probing import ProbingController
 from repro.core.protocol import wire_overhead_fraction
@@ -47,18 +54,31 @@ class SwiftestConfig:
     convergence_window / convergence_threshold:
         Sample count and max/min difference ratio of the stopping rule
         (§5.1's ten samples within 3%); exposed for ablations.
+    control_timeout_s:
+        How long the client waits for a control-message ack before
+        retransmitting.
+    control_retries:
+        Retransmissions after the initial send; a server that acks none
+        of ``control_retries + 1`` attempts is declared dead and the
+        client fails over.
     """
 
     max_duration_s: float = 5.0
     capacity_headroom: float = 0.10
     convergence_window: int = 10
     convergence_threshold: float = 0.03
+    control_timeout_s: float = 0.2
+    control_retries: int = 3
 
     def __post_init__(self) -> None:
         if self.max_duration_s <= 0:
             raise ValueError("max duration must be positive")
         if self.capacity_headroom < 0:
             raise ValueError("headroom must be non-negative")
+        if self.control_timeout_s <= 0:
+            raise ValueError("control timeout must be positive")
+        if self.control_retries < 0:
+            raise ValueError("control retries must be non-negative")
         # Window/threshold bounds are enforced by ConvergenceDetector.
 
 
@@ -68,6 +88,10 @@ class SwiftestResult(BTSResult):
 
     rungs_visited: List[float] = field(default_factory=list)
     converged: bool = True
+    #: Servers replaced mid-test after a detected failure.
+    failovers: int = 0
+    #: Control messages that needed retransmitting.
+    retransmissions: int = 0
 
 
 class SwiftestClient(BandwidthTestService):
@@ -116,15 +140,61 @@ class SwiftestClient(BandwidthTestService):
 
         flows: Dict[str, Flow] = {}
         active: List[ServerEndpoint] = []
+        #: Servers declared unreachable; never recruited again.
+        dead: Set[str] = set()
+        degraded = False
+        failovers = 0
+        retransmissions = 0
+        #: Time spent on control handshakes and failure detection;
+        #: reported separately from probing time (like ``ping_s``).
+        control_s = 0.0
 
-        def ensure_servers(rate_mbps: float) -> None:
-            for server in self._servers_for_rate(ranked, rate_mbps):
-                if server.name not in flows:
+        def handshake(server: ServerEndpoint, at_s: float) -> bool:
+            """Session setup (HELLO + RATE_COMMAND) with bounded
+            retransmission; False when the server never acks."""
+            nonlocal control_s, retransmissions
+            elapsed = 0.0
+            for attempt in range(self.config.control_retries + 1):
+                reachable = env.server_available(server, at_s + elapsed)
+                if reachable and env.control_delivered(at_s + elapsed):
+                    retransmissions += attempt
+                    control_s += elapsed + server.rtt_s
+                    return True
+                elapsed += self.config.control_timeout_s
+            retransmissions += self.config.control_retries
+            control_s += elapsed
+            return False
+
+        def ensure_servers(rate_mbps: float, at_s: float) -> bool:
+            """Recruit servers until the live set covers ``rate_mbps``;
+            dead servers are skipped and handshake failures mark new
+            ones dead.  False when the whole pool is exhausted."""
+            nonlocal degraded
+            while True:
+                alive = [s for s in ranked if s.name not in dead]
+                if not alive:
+                    return False
+                needed = self._servers_for_rate(alive, rate_mbps)
+                missing = [s for s in needed if s.name not in flows]
+                if not missing:
+                    return True
+                for server in missing:
+                    if not handshake(server, at_s):
+                        dead.add(server.name)
+                        degraded = True
+                        break  # re-rank against the shrunken pool
                     path = env.path_to(server)
                     flows[server.name] = path.open_flow(
                         demand_mbps=0.0, label=f"swiftest-{server.name}"
                     )
                     active.append(server)
+                else:
+                    return True
+
+        def drop_server(server: ServerEndpoint) -> None:
+            env.path_to(server).close_flow(flows.pop(server.name))
+            active.remove(server)
+            dead.add(server.name)
 
         def set_demands(rate_mbps: float) -> None:
             total_capacity = sum(s.capacity_mbps for s in active)
@@ -132,7 +202,7 @@ class SwiftestClient(BandwidthTestService):
                 share = server.capacity_mbps / total_capacity
                 flows[server.name].demand_mbps = rate_mbps * share
 
-        ensure_servers(controller.rate_mbps)
+        aborted = not ensure_servers(controller.rate_mbps, 0.0)
 
         samples: List[Tuple[float, float]] = []
         received = 0.0
@@ -142,7 +212,20 @@ class SwiftestClient(BandwidthTestService):
         result_mbps: Optional[float] = None
         converged = False
 
-        while now < self.config.max_duration_s:
+        while not aborted and now < self.config.max_duration_s:
+            # Failure detection: a server in outage stops feeding the
+            # sample stream; detect it, bill one control timeout for
+            # the silence, and fail over to the remaining pool.
+            downed = [s for s in active if not env.server_available(s, now)]
+            if downed:
+                for server in downed:
+                    drop_server(server)
+                    failovers += 1
+                degraded = True
+                control_s += self.config.control_timeout_s
+                if not ensure_servers(controller.rate_mbps, now):
+                    aborted = True
+                    break
             set_demands(controller.rate_mbps)
             env.network.allocate(now)
             for flow in flows.values():
@@ -160,13 +243,28 @@ class SwiftestClient(BandwidthTestService):
                 converged = True
                 break
             if decision.rate_changed:
-                ensure_servers(decision.rate_mbps)
+                if not ensure_servers(decision.rate_mbps, now):
+                    aborted = True
+                    break
 
         if result_mbps is None:
-            result_mbps = controller.force_finish().result_mbps
+            # Timeout or abort: best-effort trailing-window mean (0 when
+            # probing never started).
+            result_mbps = (
+                controller.force_finish().result_mbps if samples else 0.0
+            )
 
         for server in active:
             env.path_to(server).close_flow(flows[server.name])
+
+        if aborted:
+            outcome = TestOutcome.FAILED
+        elif degraded:
+            outcome = TestOutcome.DEGRADED
+        elif not converged:
+            outcome = TestOutcome.TIMED_OUT
+        else:
+            outcome = TestOutcome.CONVERGED
 
         bytes_used = received * (1.0 + wire_overhead_fraction())
         return SwiftestResult(
@@ -176,8 +274,15 @@ class SwiftestClient(BandwidthTestService):
             ping_s=ping_s,
             bytes_used=bytes_used,
             samples=samples,
-            servers_used=len(active),
-            meta={"estimator": "converged-window-mean"},
+            servers_used=len(active) + failovers,
+            meta={
+                "estimator": "converged-window-mean",
+                "control_s": control_s,
+                "dead_servers": sorted(dead),
+            },
+            outcome=outcome,
             rungs_visited=list(controller.rungs_visited),
             converged=converged,
+            failovers=failovers,
+            retransmissions=retransmissions,
         )

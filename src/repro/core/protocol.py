@@ -17,7 +17,13 @@ tag   message         payload
 0x03  DATA            seq (u32), send time in µs (u64), pad
 0x04  FEEDBACK        observed rate kbit/s (u32), saturated (u8)
 0x05  FIN             result rate kbit/s (u32)
+0x06  ACK             acked tag (u8)
 ====  ==============  =======================================
+
+The ACK lets clients run control messages over lossy links with
+bounded retransmission: HELLO, RATE_COMMAND, and FIN are acked by the
+server; an unacked send is retransmitted (all three are idempotent, so
+duplicates from retransmission are harmless).
 """
 
 from __future__ import annotations
@@ -48,7 +54,10 @@ class Hello:
     _BODY: ClassVar[struct.Struct] = struct.Struct(">8sI")
 
     def pack(self) -> bytes:
-        tech = self.tech.encode("ascii")
+        try:
+            tech = self.tech.encode("ascii")
+        except UnicodeEncodeError as exc:
+            raise ProtocolError(f"tech label not ASCII: {self.tech!r}") from exc
         if len(tech) > 8:
             raise ProtocolError(f"tech label too long: {self.tech!r}")
         return _HEADER.pack(self.TAG, self.session_id) + self._BODY.pack(
@@ -160,15 +169,38 @@ class Fin:
         return cls(session_id, result)
 
 
-Message = Union[Hello, RateCommand, Data, Feedback, Fin]
+@dataclass(frozen=True)
+class Ack:
+    """Server → client: control message received (retransmission stop)."""
 
-_TYPES = {cls.TAG: cls for cls in (Hello, RateCommand, Data, Feedback, Fin)}
+    session_id: int
+    acked_tag: int
+
+    TAG: ClassVar[int] = 0x06
+    _BODY: ClassVar[struct.Struct] = struct.Struct(">B")
+
+    def pack(self) -> bytes:
+        return _HEADER.pack(self.TAG, self.session_id) + self._BODY.pack(
+            self.acked_tag
+        )
+
+    @classmethod
+    def unpack_body(cls, session_id: int, body: bytes) -> "Ack":
+        (acked_tag,) = cls._BODY.unpack(body)
+        return cls(session_id, acked_tag)
+
+
+Message = Union[Hello, RateCommand, Data, Feedback, Fin, Ack]
+
+_TYPES = {cls.TAG: cls for cls in (Hello, RateCommand, Data, Feedback, Fin, Ack)}
 
 
 def decode(wire: bytes) -> Message:
     """Decode one message off the wire.
 
-    Raises :class:`ProtocolError` for unknown tags or truncated data.
+    Raises :class:`ProtocolError` — and only :class:`ProtocolError` —
+    for unknown tags, truncated data, or corrupted fields, so a
+    receiver facing arbitrary bytes needs exactly one except clause.
     """
     if len(wire) < _HEADER.size:
         raise ProtocolError(f"message truncated: {len(wire)} bytes")
@@ -180,6 +212,10 @@ def decode(wire: bytes) -> Message:
         return cls.unpack_body(session_id, wire[_HEADER.size :])
     except struct.error as exc:
         raise ProtocolError(f"malformed {cls.__name__} body: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        # A bit-flipped HELLO can carry a non-ASCII tech label; that is
+        # wire corruption, not a text-handling bug.
+        raise ProtocolError(f"corrupted {cls.__name__} body: {exc}") from exc
 
 
 def wire_overhead_fraction() -> float:

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional
 
 from repro.core.protocol import (
     DATA_PAYLOAD_BYTES,
+    Ack,
     Data,
     Feedback,
     Fin,
@@ -26,6 +27,7 @@ from repro.core.protocol import (
     Message,
     ProtocolError,
     RateCommand,
+    decode,
 )
 
 #: Sessions idle longer than this are reaped.
@@ -77,20 +79,36 @@ class SwiftestServer:
         self.name = name
         self.capacity_mbps = capacity_mbps
         self.sessions: Dict[int, Session] = {}
+        #: Datagrams that failed to decode (corruption on the wire).
+        self.decode_errors = 0
+        #: Well-formed messages for unknown/closed sessions (late
+        #: arrivals after a reap, or misrouted retransmissions).
+        self.orphan_messages = 0
 
     # -- message handling ------------------------------------------------
 
     def handle(self, message: Message, now_s: float) -> Optional[Message]:
-        """Process one client message; returns an immediate reply when
-        the protocol calls for one (none of the current messages do —
-        the data stream itself is the response)."""
+        """Process one client message; returns the :class:`Ack` reply
+        for control messages (HELLO / RATE_COMMAND / FIN) so lossy-link
+        clients know when to stop retransmitting.
+
+        This is the *strict* entry point: orphan messages raise
+        :class:`ProtocolError`.  Network-facing callers should use
+        :meth:`handle_wire`, which tolerates garbage.
+        """
         if isinstance(message, Hello):
-            self.sessions[message.session_id] = Session(
-                session_id=message.session_id,
-                tech=message.tech,
-                last_activity_s=now_s,
-            )
-            return None
+            existing = self.sessions.get(message.session_id)
+            if existing is not None and existing.state is not SessionState.CLOSED:
+                # Retransmitted HELLO: idempotent — keep the session
+                # (and any rate already commanded), just re-ack.
+                existing.last_activity_s = now_s
+            else:
+                self.sessions[message.session_id] = Session(
+                    session_id=message.session_id,
+                    tech=message.tech,
+                    last_activity_s=now_s,
+                )
+            return Ack(message.session_id, Hello.TAG)
         session = self.sessions.get(message.session_id)
         if session is None or session.state is SessionState.CLOSED:
             raise ProtocolError(
@@ -103,14 +121,34 @@ class SwiftestServer:
             session.rate_mbps = min(requested, self.capacity_mbps)
             session.rung = message.rung
             session.state = SessionState.SENDING
-            return None
+            return Ack(message.session_id, RateCommand.TAG)
         if isinstance(message, Feedback):
             # Currently informational; recorded for operations metrics.
             return None
         if isinstance(message, Fin):
             session.state = SessionState.CLOSED
-            return None
+            return Ack(message.session_id, Fin.TAG)
         raise ProtocolError(f"server cannot handle {type(message).__name__}")
+
+    def handle_wire(self, wire: bytes, now_s: float) -> Optional[Message]:
+        """Network-facing entry point: decode and process one datagram.
+
+        A production server must survive whatever the network hands it:
+        corrupted bytes are counted and dropped, and well-formed
+        messages for unknown or already-reaped sessions (e.g. a late
+        FEEDBACK arriving after :meth:`reap_idle` closed the session)
+        are counted and ignored instead of raising.
+        """
+        try:
+            message = decode(wire)
+        except ProtocolError:
+            self.decode_errors += 1
+            return None
+        try:
+            return self.handle(message, now_s)
+        except ProtocolError:
+            self.orphan_messages += 1
+            return None
 
     # -- data emission -----------------------------------------------------
 

@@ -12,7 +12,10 @@ properties the probing logic cares about:
 * propagation delay and random loss on end-to-end paths
   (:mod:`repro.netsim.path`),
 * an event engine to sequence probing state machines
-  (:mod:`repro.netsim.engine`).
+  (:mod:`repro.netsim.engine`),
+* composable fault injection — i.i.d. and bursty loss, duplication,
+  corruption, reordering, link blackouts, and server outage schedules
+  (:mod:`repro.netsim.faults`).
 
 Bandwidth samples are taken every 50 ms exactly as BTS-APP and Swiftest
 do in the paper (§2, §5.1).
@@ -24,6 +27,15 @@ from repro.netsim.crosstraffic import (
     attach_cross_traffic,
 )
 from repro.netsim.engine import Simulator
+from repro.netsim.faults import (
+    BlackoutSchedule,
+    FaultInjector,
+    FaultPlan,
+    GilbertElliottLoss,
+    IIDLoss,
+    LossModel,
+    outage_plan,
+)
 from repro.netsim.flow import Flow
 from repro.netsim.link import Link
 from repro.netsim.network import Network
@@ -37,12 +49,18 @@ from repro.netsim.trace import (
 )
 
 __all__ = [
+    "BlackoutSchedule",
     "CapacityTrace",
     "ConstantTrace",
     "CrossTrafficSource",
+    "FaultInjector",
+    "FaultPlan",
     "FluctuatingTrace",
     "Flow",
+    "GilbertElliottLoss",
+    "IIDLoss",
     "Link",
+    "LossModel",
     "Network",
     "NetworkPath",
     "OnOffSource",
@@ -50,4 +68,5 @@ __all__ = [
     "Simulator",
     "SteppedTrace",
     "attach_cross_traffic",
+    "outage_plan",
 ]

@@ -1,0 +1,327 @@
+"""Fault injection: composable network impairments for chaos testing.
+
+Real mobile access links lose, reorder, duplicate, and corrupt UDP
+datagrams, and test servers go away mid-test (§5.1 runs over exactly
+such links; Feamster & Livingood stress that speed-test infrastructure
+must stay accurate under these conditions).  The capacity traces in
+:mod:`repro.netsim.trace` model *how fast* a link is; this module
+models *how broken* it is.
+
+Three layers compose:
+
+* **Loss models** (:class:`IIDLoss`, :class:`GilbertElliottLoss`)
+  decide, per packet, whether the network ate it.
+* **Blackouts** (:class:`BlackoutSchedule`) are scheduled windows in
+  which *nothing* gets through — link outages, or a server process
+  being down when attached to a server (see :class:`FaultPlan`).
+* A :class:`FaultInjector` wraps a loss model, a blackout schedule,
+  and per-packet duplication / corruption / reordering / delay jitter
+  into one transmit hook that the packet-level paths
+  (:mod:`repro.core.loopback`) call for every wire message.
+
+All randomness comes from an explicit :class:`numpy.random.Generator`
+passed at construction — there is no hidden global seed, so two
+injectors built with the same seed replay the same fault sequence.
+
+:class:`FaultPlan` bundles the environment-level view (control-plane
+loss plus per-server outage schedules) that
+:class:`~repro.testbed.env.TestEnvironment` exposes to clients for
+failure detection and failover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class LossModel:
+    """Base class: per-packet drop decision.  Never drops."""
+
+    def drops(self, now_s: float) -> bool:
+        """True when the packet offered at ``now_s`` should be lost."""
+        return False
+
+
+class IIDLoss(LossModel):
+    """Independent, identically distributed packet loss.
+
+    Parameters
+    ----------
+    rate:
+        Probability in ``[0, 1)`` that any given packet is dropped.
+    rng:
+        Randomness source.  Required — there is no hidden global seed.
+    """
+
+    def __init__(self, rate: float, rng: np.random.Generator):
+        if not 0 <= rate < 1:
+            raise ValueError(f"loss rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self.rng = rng
+
+    def drops(self, now_s: float) -> bool:
+        return self.rate > 0 and self.rng.random() < self.rate
+
+
+class GilbertElliottLoss(LossModel):
+    """Two-state bursty loss (Gilbert–Elliott model).
+
+    The channel alternates between a GOOD and a BAD state with
+    per-packet transition probabilities; each state has its own loss
+    rate.  This reproduces the loss bursts of cellular handovers and
+    deep fades, which i.i.d. loss cannot.
+
+    Parameters
+    ----------
+    p_good_to_bad / p_bad_to_good:
+        Per-packet transition probabilities.  Their ratio sets the
+        stationary fraction of time spent in the BAD state.
+    loss_good / loss_bad:
+        Loss probability while in each state.
+    rng:
+        Randomness source.
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float,
+        p_bad_to_good: float,
+        loss_good: float,
+        loss_bad: float,
+        rng: np.random.Generator,
+    ):
+        for name, p in (
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+        ):
+            if not 0 < p <= 1:
+                raise ValueError(f"{name} must be in (0, 1], got {p}")
+        for name, p in (("loss_good", loss_good), ("loss_bad", loss_bad)):
+            if not 0 <= p <= 1:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        self.p_good_to_bad = float(p_good_to_bad)
+        self.p_bad_to_good = float(p_bad_to_good)
+        self.loss_good = float(loss_good)
+        self.loss_bad = float(loss_bad)
+        self.rng = rng
+        self.bad = False
+
+    def drops(self, now_s: float) -> bool:
+        flip = self.p_bad_to_good if self.bad else self.p_good_to_bad
+        if self.rng.random() < flip:
+            self.bad = not self.bad
+        rate = self.loss_bad if self.bad else self.loss_good
+        return rate > 0 and self.rng.random() < rate
+
+    @property
+    def stationary_bad_fraction(self) -> float:
+        """Long-run fraction of packets seen in the BAD state."""
+        return self.p_good_to_bad / (self.p_good_to_bad + self.p_bad_to_good)
+
+
+class BlackoutSchedule:
+    """Scheduled total-outage windows on a link or server.
+
+    Parameters
+    ----------
+    windows:
+        ``(start_s, end_s)`` intervals, sorted and non-overlapping,
+        during which nothing is delivered.
+    """
+
+    def __init__(self, windows: Sequence[Tuple[float, float]]):
+        cleaned: List[Tuple[float, float]] = []
+        previous_end = -float("inf")
+        for start, end in windows:
+            if end <= start:
+                raise ValueError(f"blackout window must have end > start, got ({start}, {end})")
+            if start < previous_end:
+                raise ValueError("blackout windows must be sorted and non-overlapping")
+            cleaned.append((float(start), float(end)))
+            previous_end = end
+        self.windows = cleaned
+
+    def active(self, now_s: float) -> bool:
+        """True when ``now_s`` falls inside a blackout window."""
+        return any(start <= now_s < end for start, end in self.windows)
+
+    def total_outage_s(self) -> float:
+        """Summed blackout duration."""
+        return sum(end - start for start, end in self.windows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BlackoutSchedule({self.windows})"
+
+
+def corrupt_bytes(wire: bytes, rng: np.random.Generator) -> bytes:
+    """Flip one random bit of ``wire`` (length preserved)."""
+    if not wire:
+        return wire
+    data = bytearray(wire)
+    pos = int(rng.integers(0, len(data)))
+    bit = int(rng.integers(0, 8))
+    data[pos] ^= 1 << bit
+    return bytes(data)
+
+
+@dataclass
+class FaultStats:
+    """Counters a :class:`FaultInjector` accumulates."""
+
+    offered: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    dropped_blackout: int = 0
+    duplicated: int = 0
+    corrupted: int = 0
+    reordered: int = 0
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One surviving copy of a transmitted wire message."""
+
+    wire: bytes
+    delay_s: float = 0.0
+
+
+class FaultInjector:
+    """Composable per-packet impairments over a wire channel.
+
+    Parameters
+    ----------
+    rng:
+        Randomness source (required, explicit).
+    loss:
+        Optional :class:`LossModel` deciding per-packet drops.
+    duplicate_prob / corrupt_prob / reorder_prob:
+        Per-packet probabilities of duplication, single-bit corruption,
+        and adjacent-swap reordering (the latter applies in
+        :meth:`transmit_batch`).
+    jitter_s:
+        Uniform extra delay in ``[0, jitter_s]`` added per delivery.
+    blackouts:
+        Windows during which every packet is dropped.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        loss: Optional[LossModel] = None,
+        duplicate_prob: float = 0.0,
+        corrupt_prob: float = 0.0,
+        reorder_prob: float = 0.0,
+        jitter_s: float = 0.0,
+        blackouts: Optional[BlackoutSchedule] = None,
+    ):
+        for name, p in (
+            ("duplicate_prob", duplicate_prob),
+            ("corrupt_prob", corrupt_prob),
+            ("reorder_prob", reorder_prob),
+        ):
+            if not 0 <= p <= 1:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if jitter_s < 0:
+            raise ValueError(f"jitter must be non-negative, got {jitter_s}")
+        self.rng = rng
+        self.loss = loss if loss is not None else LossModel()
+        self.duplicate_prob = float(duplicate_prob)
+        self.corrupt_prob = float(corrupt_prob)
+        self.reorder_prob = float(reorder_prob)
+        self.jitter_s = float(jitter_s)
+        self.blackouts = blackouts
+        self.stats = FaultStats()
+
+    # -- transmission ------------------------------------------------------
+
+    def transmit(self, wire: bytes, now_s: float) -> List[Delivery]:
+        """Offer one wire message to the impaired channel.
+
+        Returns every surviving copy (empty list = dropped; two entries
+        = duplicated), each possibly bit-flipped and delayed.
+        """
+        self.stats.offered += 1
+        if self.blackouts is not None and self.blackouts.active(now_s):
+            self.stats.dropped += 1
+            self.stats.dropped_blackout += 1
+            return []
+        if self.loss.drops(now_s):
+            self.stats.dropped += 1
+            return []
+        copies = 1
+        if self.duplicate_prob > 0 and self.rng.random() < self.duplicate_prob:
+            copies = 2
+            self.stats.duplicated += 1
+        deliveries = []
+        for _ in range(copies):
+            payload = wire
+            if self.corrupt_prob > 0 and self.rng.random() < self.corrupt_prob:
+                payload = corrupt_bytes(wire, self.rng)
+                self.stats.corrupted += 1
+            delay = (
+                float(self.rng.uniform(0.0, self.jitter_s))
+                if self.jitter_s > 0
+                else 0.0
+            )
+            deliveries.append(Delivery(payload, delay))
+            self.stats.delivered += 1
+        return deliveries
+
+    def transmit_batch(self, wires: Sequence[bytes], now_s: float) -> List[bytes]:
+        """Offer a burst of messages; returns the survivors in arrival
+        order (duplicates inserted, adjacent pairs swapped with
+        ``reorder_prob``)."""
+        arrived: List[bytes] = []
+        for wire in wires:
+            for delivery in self.transmit(wire, now_s):
+                arrived.append(delivery.wire)
+        if self.reorder_prob > 0:
+            for i in range(len(arrived) - 1):
+                if self.rng.random() < self.reorder_prob:
+                    arrived[i], arrived[i + 1] = arrived[i + 1], arrived[i]
+                    self.stats.reordered += 1
+        return arrived
+
+
+@dataclass
+class FaultPlan:
+    """Environment-level fault configuration for a test run.
+
+    Attributes
+    ----------
+    control_loss:
+        Loss model applied to each control-message delivery attempt
+        (HELLO / RATE_COMMAND / FIN and their acks).  ``None`` means a
+        reliable control channel.
+    outages:
+        Per-server blackout schedules: while a server's schedule is
+        active the server is unreachable — clients must detect this
+        and fail over.
+    """
+
+    control_loss: Optional[LossModel] = None
+    outages: Dict[str, BlackoutSchedule] = field(default_factory=dict)
+
+    def server_available(self, name: str, now_s: float) -> bool:
+        """Whether server ``name`` is reachable at ``now_s``."""
+        schedule = self.outages.get(name)
+        return schedule is None or not schedule.active(now_s)
+
+    def control_delivered(self, now_s: float) -> bool:
+        """One control-plane delivery attempt: True when it survives."""
+        return self.control_loss is None or not self.control_loss.drops(now_s)
+
+
+def outage_plan(
+    outages: Mapping[str, Sequence[Tuple[float, float]]],
+    control_loss: Optional[LossModel] = None,
+) -> FaultPlan:
+    """Convenience builder: ``{"server-0": [(1.0, 3.0)]}`` →
+    :class:`FaultPlan` with per-server :class:`BlackoutSchedule`."""
+    return FaultPlan(
+        control_loss=control_loss,
+        outages={name: BlackoutSchedule(w) for name, w in outages.items()},
+    )

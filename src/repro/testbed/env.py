@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.netsim.faults import FaultPlan
 from repro.netsim.link import Link
 from repro.netsim.network import Network
 from repro.netsim.path import NetworkPath
@@ -59,6 +60,7 @@ class TestEnvironment:
         tech: str = "WiFi5",
         loss_rate: float = 0.005,
         rng: Optional[np.random.Generator] = None,
+        faults: Optional[FaultPlan] = None,
     ):
         if not servers:
             raise ValueError("an environment needs at least one server")
@@ -68,6 +70,9 @@ class TestEnvironment:
         self.tech = tech
         self.loss_rate = loss_rate
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        #: Scheduled impairments (server outages, control-plane loss);
+        #: ``None`` means a healthy environment.
+        self.faults = faults
 
     def path_to(self, server: ServerEndpoint) -> NetworkPath:
         """End-to-end path from the client to one server."""
@@ -82,6 +87,25 @@ class TestEnvironment:
         """Servers sorted nearest-first, as PING selection would rank
         them."""
         return sorted(self.servers, key=lambda s: s.rtt_s)
+
+    def server_available(self, server: ServerEndpoint, now_s: float) -> bool:
+        """Whether a server is reachable at ``now_s``.
+
+        This is the oracle behind a client's failure detector: in a
+        real deployment the client infers it from silence (no DATA, no
+        acks); the simulation exposes it directly and charges the
+        client detection/handshake time through its own retry logic.
+        """
+        if self.faults is None:
+            return True
+        return self.faults.server_available(server.name, now_s)
+
+    def control_delivered(self, now_s: float) -> bool:
+        """One control-message delivery attempt over the access link;
+        False when the fault plan's control-plane loss ate it."""
+        if self.faults is None:
+            return True
+        return self.faults.control_delivered(now_s)
 
     def true_capacity(self, time_s: float) -> float:
         """Ground-truth access capacity at an instant, in Mbps."""
@@ -106,6 +130,7 @@ def make_environment(
     fluctuation_sigma: float = 0.0,
     loss_rate: float = 0.005,
     duration_hint_s: float = 30.0,
+    faults: Optional[FaultPlan] = None,
 ) -> TestEnvironment:
     """Build a standard single-client environment.
 
@@ -121,6 +146,9 @@ def make_environment(
     rtt_range_s:
         Server RTTs are drawn uniformly from this range — geographic
         spread of the pool.
+    faults:
+        Optional :class:`~repro.netsim.faults.FaultPlan` scheduling
+        server outages and control-plane loss for chaos scenarios.
     """
     if n_servers < 1:
         raise ValueError(f"need at least one server, got {n_servers}")
@@ -154,5 +182,11 @@ def make_environment(
             )
         )
     return TestEnvironment(
-        network, access, servers, tech=tech, loss_rate=loss_rate, rng=rng
+        network,
+        access,
+        servers,
+        tech=tech,
+        loss_rate=loss_rate,
+        rng=rng,
+        faults=faults,
     )

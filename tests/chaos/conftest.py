@@ -1,0 +1,38 @@
+"""Shared helpers for the chaos suite.
+
+Every test here runs a bandwidth test under injected faults and
+asserts three invariants: no unhandled exception, bounded duration,
+and a sane (or explicitly degraded/failed) outcome.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.gmm import GaussianMixture1D
+from repro.core.registry import BandwidthModelRegistry, TechnologyModel
+
+
+def make_model(means=(100.0, 300.0, 600.0), weights=(0.6, 0.3, 0.1)):
+    """Hand-built 5G model with known modes, avoiding fit noise."""
+    mixture = GaussianMixture1D(
+        weights=weights, means=means, sigmas=tuple(10.0 for _ in means)
+    )
+    return TechnologyModel(tech="5G", mixture=mixture, n_samples=1000)
+
+
+@pytest.fixture
+def model():
+    return make_model()
+
+
+@pytest.fixture
+def chaos_registry():
+    """Registry exposing the hand-built 5G model to SwiftestClient."""
+    reg = BandwidthModelRegistry()
+    reg._models["5G"] = make_model()
+    return reg
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20_260_806)

@@ -1,0 +1,79 @@
+"""Chaos: the TCP baselines and Swiftest under hostile environments.
+
+The baselines probe over the fluid TCP models, which consume the
+path's random-loss rate and the access link's fluctuation; the chaos
+contract for every service is the same — bounded duration, a usable
+number, no unhandled exception.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.btsapp import PROBE_DURATION_S, BtsApp
+from repro.baselines.common import TestOutcome
+from repro.baselines.fastbts import MAX_DURATION_S, FastBTS
+from repro.core.client import SwiftestClient
+from repro.testbed.env import make_environment
+
+pytestmark = pytest.mark.chaos
+
+HOSTILE = dict(loss_rate=0.05, fluctuation_sigma=0.3)
+
+
+def hostile_env(seed=11, access_mbps=80.0, **overrides):
+    kwargs = dict(HOSTILE)
+    kwargs.update(overrides)
+    return make_environment(
+        access_mbps,
+        rng=np.random.default_rng(seed),
+        tech="5G",
+        n_servers=10,
+        server_capacity_mbps=100.0,
+        **kwargs,
+    )
+
+
+def test_btsapp_survives_loss_and_fluctuation():
+    result = BtsApp().run(hostile_env())
+    assert result.outcome is TestOutcome.CONVERGED
+    assert result.duration_s == pytest.approx(PROBE_DURATION_S)
+    assert 0.0 < result.bandwidth_mbps <= 80.0 * 1.5
+
+
+def test_fastbts_survives_loss_and_fluctuation():
+    result = FastBTS().run(hostile_env())
+    assert result.outcome in (TestOutcome.CONVERGED, TestOutcome.TIMED_OUT)
+    assert result.duration_s <= MAX_DURATION_S + 0.05
+    assert result.bandwidth_mbps > 0.0
+
+
+def test_swiftest_survives_loss_and_fluctuation(chaos_registry):
+    result = SwiftestClient(chaos_registry).run(hostile_env())
+    assert result.outcome in (TestOutcome.CONVERGED, TestOutcome.TIMED_OUT)
+    assert result.duration_s <= 5.0 + 0.05
+    assert result.bandwidth_mbps > 0.0
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("loss_rate", [0.0, 0.02, 0.08])
+@pytest.mark.parametrize("sigma", [0.0, 0.2, 0.5])
+def test_all_services_bounded_across_conditions(chaos_registry, loss_rate, sigma):
+    """Cross product of loss and fluctuation: every service completes
+    in its budget with a positive estimate and a declared outcome."""
+    budgets = [
+        (BtsApp(), PROBE_DURATION_S),
+        (FastBTS(), MAX_DURATION_S),
+        (SwiftestClient(chaos_registry), 5.0),
+    ]
+    for service, budget in budgets:
+        env = hostile_env(
+            seed=int(loss_rate * 100) * 10 + int(sigma * 10),
+            loss_rate=loss_rate,
+            fluctuation_sigma=sigma,
+        )
+        result = service.run(env)
+        assert result.duration_s <= budget + 0.05, service.name
+        assert result.bandwidth_mbps > 0.0, service.name
+        assert isinstance(result.outcome, TestOutcome), service.name
+        assert result.outcome.usable, service.name
+        assert len(env.network.flows) == 0, service.name

@@ -1,0 +1,85 @@
+"""Chaos determinism: identical fault seeds replay identical tests.
+
+The repo's "no hidden global seed" rule extends to fault injection:
+every impairment draws from an explicit generator, so a chaos run is
+exactly reproducible — the property that makes chaos failures
+debuggable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.client import SwiftestClient
+from repro.core.loopback import run_loopback_session
+from repro.netsim.faults import FaultInjector, GilbertElliottLoss, IIDLoss, outage_plan
+from repro.testbed.env import make_environment
+
+from .conftest import make_model
+
+pytestmark = pytest.mark.chaos
+
+
+def _loopback_run(seed):
+    rng = np.random.default_rng(seed)
+    faults = FaultInjector(
+        rng,
+        loss=GilbertElliottLoss(0.01, 0.3, 0.005, 0.6, rng),
+        duplicate_prob=0.01,
+        corrupt_prob=0.01,
+        reorder_prob=0.05,
+    )
+    control_rng = np.random.default_rng(seed + 1)
+    control = FaultInjector(control_rng, loss=IIDLoss(0.2, control_rng))
+    result = run_loopback_session(
+        make_model(),
+        capacity_mbps=150.0,
+        data_faults=faults,
+        control_faults=control,
+    )
+    return (
+        result.bandwidth_mbps,
+        result.duration_s,
+        result.packets_delivered,
+        result.packets_dropped,
+        result.packets_corrupted,
+        result.retransmissions,
+        result.outcome,
+        tuple(result.rate_commands),
+        tuple(result.samples),
+    )
+
+
+def test_loopback_chaos_is_seed_deterministic():
+    assert _loopback_run(77) == _loopback_run(77)
+
+
+def test_loopback_chaos_seed_actually_matters():
+    assert _loopback_run(77) != _loopback_run(78)
+
+
+def _client_run(seed, chaos_registry):
+    rng = np.random.default_rng(seed)
+    env = make_environment(
+        70.0,
+        rng=np.random.default_rng(3),
+        tech="5G",
+        n_servers=10,
+        server_capacity_mbps=100.0,
+        faults=outage_plan(
+            {"server-0": [(0.2, 10.0)]}, control_loss=IIDLoss(0.2, rng)
+        ),
+    )
+    result = SwiftestClient(chaos_registry).run(env)
+    return (
+        result.bandwidth_mbps,
+        result.duration_s,
+        result.outcome,
+        result.failovers,
+        result.retransmissions,
+        tuple(result.samples),
+        tuple(result.meta["dead_servers"]),
+    )
+
+
+def test_client_chaos_is_seed_deterministic(chaos_registry):
+    assert _client_run(5, chaos_registry) == _client_run(5, chaos_registry)

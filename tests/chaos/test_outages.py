@@ -1,0 +1,137 @@
+"""Chaos: link blackouts, server outages, and mid-test failover.
+
+Acceptance anchor: with one server blacked out mid-test, the fluid
+Swiftest client fails over to a replacement and completes with a
+``DEGRADED`` (not ``FAILED``) outcome.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.common import TestOutcome
+from repro.core.client import SwiftestClient
+from repro.core.loopback import run_loopback_session
+from repro.netsim.faults import BlackoutSchedule, FaultInjector, IIDLoss, outage_plan
+from repro.testbed.env import make_environment
+
+pytestmark = pytest.mark.chaos
+
+
+def make_env(faults=None, access_mbps=60.0, seed=3):
+    return make_environment(
+        access_mbps,
+        rng=np.random.default_rng(seed),
+        tech="5G",
+        n_servers=10,
+        server_capacity_mbps=100.0,
+        faults=faults,
+    )
+
+
+def nearest_server_name(env):
+    return env.servers_by_rtt()[0].name
+
+
+def test_midtest_server_outage_fails_over_with_degraded_outcome(chaos_registry):
+    """The acceptance criterion, verbatim."""
+    env = make_env()
+    victim = nearest_server_name(env)
+    env.faults = outage_plan({victim: [(0.2, 10.0)]})
+
+    result = SwiftestClient(chaos_registry).run(env)
+
+    assert result.outcome is TestOutcome.DEGRADED
+    assert result.failovers >= 1
+    assert victim in result.meta["dead_servers"]
+    # The estimate survives the failover.
+    assert result.bandwidth_mbps == pytest.approx(60.0, rel=0.10)
+    assert result.duration_s <= 5.0
+    # All flows cleaned up, including the dead server's.
+    assert len(env.network.flows) == 0
+
+
+def test_server_dead_from_start_is_skipped(chaos_registry):
+    """A server that is down before HELLO is simply never recruited;
+    the test completes (degraded) on the rest of the pool."""
+    env = make_env()
+    victim = nearest_server_name(env)
+    env.faults = outage_plan({victim: [(0.0, 10.0)]})
+
+    result = SwiftestClient(chaos_registry).run(env)
+    assert result.outcome is TestOutcome.DEGRADED
+    assert result.bandwidth_mbps == pytest.approx(60.0, rel=0.10)
+
+
+def test_whole_pool_down_fails_cleanly(chaos_registry):
+    """Every server out from t=0: the test reports FAILED with a zero
+    estimate instead of hanging or raising."""
+    env = make_env()
+    env.faults = outage_plan({s.name: [(0.0, 10.0)] for s in env.servers})
+
+    result = SwiftestClient(chaos_registry).run(env)
+    assert result.outcome is TestOutcome.FAILED
+    assert not result.outcome.usable
+    assert result.bandwidth_mbps == 0.0
+    assert result.samples == []
+    assert len(env.network.flows) == 0
+
+
+def test_whole_pool_dies_midtest_reports_best_effort(chaos_registry):
+    """All servers vanish at t=0.3 s, before the 10-sample stopping
+    rule can fire: FAILED outcome, but the trailing samples still
+    produce a best-effort estimate."""
+    env = make_env()
+    env.faults = outage_plan({s.name: [(0.3, 10.0)] for s in env.servers})
+
+    result = SwiftestClient(chaos_registry).run(env)
+    assert result.outcome is TestOutcome.FAILED
+    assert result.bandwidth_mbps > 0.0  # salvaged from pre-outage samples
+    assert result.duration_s <= 5.0
+    assert len(env.network.flows) == 0
+
+
+def test_control_plane_loss_alone_still_converges(chaos_registry):
+    """Lossy control channel, healthy servers: retries absorb it."""
+    rng = np.random.default_rng(7)
+    env = make_env(faults=outage_plan({}, control_loss=IIDLoss(0.3, rng)))
+
+    result = SwiftestClient(chaos_registry).run(env)
+    assert result.outcome in (TestOutcome.CONVERGED, TestOutcome.DEGRADED)
+    assert result.bandwidth_mbps == pytest.approx(60.0, rel=0.10)
+
+
+def test_loopback_blackout_does_not_stall_sample_stream(model):
+    """A 0.75 s link blackout mid-test: samples drop to zero during the
+    outage and recover after — the stream itself never stops."""
+    rng = np.random.default_rng(8)
+    faults = FaultInjector(rng, blackouts=BlackoutSchedule([(0.5, 1.25)]))
+    result = run_loopback_session(
+        model, capacity_mbps=200.0, data_faults=faults
+    )
+    times = [t for t, _ in result.samples]
+    assert np.allclose(np.diff(times), 0.05, atol=1e-9), "stream stalled"
+    during = [v for t, v in result.samples if 0.55 < t <= 1.25]
+    after = [v for t, v in result.samples if t > 1.35]
+    assert during and max(during) == 0.0
+    assert after and np.mean(after) == pytest.approx(200.0, rel=0.10)
+    assert result.outcome in (TestOutcome.CONVERGED, TestOutcome.TIMED_OUT)
+    assert result.duration_s <= 5.0
+
+
+def test_loopback_dead_control_plane_fails_fast(model):
+    """Control channel in permanent blackout: the session never starts,
+    fails after the bounded retransmission budget, and says so."""
+    rng = np.random.default_rng(9)
+    faults = FaultInjector(rng, blackouts=BlackoutSchedule([(0.0, 100.0)]))
+    result = run_loopback_session(
+        model,
+        capacity_mbps=60.0,
+        control_faults=faults,
+        control_timeout_s=0.2,
+        control_retries=3,
+    )
+    assert result.outcome is TestOutcome.FAILED
+    assert result.bandwidth_mbps == 0.0
+    assert result.samples == []
+    assert result.retransmissions == 3  # bounded: retries, then give up
+    assert result.duration_s == pytest.approx(3 * 0.2)

@@ -121,3 +121,43 @@ def test_result_total_time_includes_ping(simple_registry):
     assert result.total_time_s == pytest.approx(
         result.duration_s + result.ping_s
     )
+
+
+def test_timeout_outcome_reports_trailing_window_mean(simple_registry):
+    """Satellite: when max_duration_s is hit without convergence the
+    outcome is TIMED_OUT (not CONVERGED) and the reported value is the
+    trailing-window mean of the final rate rung's samples."""
+    from repro.baselines.common import TestOutcome
+    from repro.netsim.trace import SteppedTrace
+
+    # Capacity alternates 40/80 Mbps every 0.3 s: each 10-sample
+    # (0.5 s) window mixes both levels, so the 3% rule never fires,
+    # while the commanded 100 Mbps rate stays saturated (no laddering).
+    steps = [(round(i * 0.3, 10), 40.0 if i % 2 == 0 else 80.0) for i in range(30)]
+    env = make_environment(
+        SteppedTrace(steps),
+        rng=np.random.default_rng(3),
+        tech="5G",
+        n_servers=10,
+        server_capacity_mbps=100.0,
+    )
+    result = SwiftestClient(simple_registry).run(env)
+
+    assert result.outcome is TestOutcome.TIMED_OUT
+    assert not result.converged
+    config = SwiftestConfig()
+    assert result.duration_s <= config.max_duration_s + 0.05
+    assert result.rungs_visited == [100.0]
+    window = [v for _, v in result.samples[-config.convergence_window:]]
+    assert result.bandwidth_mbps == pytest.approx(
+        float(np.mean(window)), rel=1e-9
+    )
+
+
+def test_clean_run_outcome_is_converged(simple_registry):
+    from repro.baselines.common import TestOutcome
+
+    result = run_once(simple_registry, 60.0)
+    assert result.outcome is TestOutcome.CONVERGED
+    assert result.failovers == 0
+    assert result.retransmissions == 0

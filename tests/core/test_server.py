@@ -123,3 +123,76 @@ def test_packets_due_carries_fraction():
     assert sum(counts) >= 4
     with pytest.raises(ValueError):
         session.packets_due(0.0)
+
+
+# -- robustness under message loss / corruption ------------------------
+
+
+def test_control_messages_are_acked():
+    from repro.core.protocol import Ack
+
+    server = SwiftestServer("s0", capacity_mbps=100.0)
+    ack = server.handle(Hello(session_id=1, tech="5G", nonce=0), 0.0)
+    assert ack == Ack(1, Hello.TAG)
+    ack = server.handle(RateCommand(session_id=1, rate_kbps=1_000, rung=0), 0.1)
+    assert ack == Ack(1, RateCommand.TAG)
+    ack = server.handle(Fin(session_id=1, result_kbps=900), 0.2)
+    assert ack == Ack(1, Fin.TAG)
+
+
+def test_retransmitted_hello_is_idempotent():
+    """A HELLO retransmission arriving after the RATE_COMMAND must not
+    reset the session back to AWAITING_RATE."""
+    server = SwiftestServer("s0", capacity_mbps=100.0)
+    open_session(server)
+    server.handle(RateCommand(session_id=1, rate_kbps=50_000, rung=0), 0.1)
+    server.handle(Hello(session_id=1, tech="5G", nonce=0), 0.2)  # late dup
+    session = server.sessions[1]
+    assert session.state is SessionState.SENDING
+    assert session.rate_mbps == pytest.approx(50.0)
+    assert session.last_activity_s == pytest.approx(0.2)
+
+
+def test_never_finned_session_reaped_at_timeout():
+    """A client whose FIN was lost never closes the session; the server
+    must reap it once SESSION_TIMEOUT_S of silence has passed."""
+    from repro.core.server import SESSION_TIMEOUT_S
+
+    server = SwiftestServer("s0", capacity_mbps=100.0)
+    open_session(server, now=0.0)
+    server.handle(RateCommand(session_id=1, rate_kbps=50_000, rung=0), 0.1)
+    server.emit(1, 0.15, 0.05)
+    # Just inside the timeout: still alive.
+    assert server.reap_idle(now_s=0.15 + SESSION_TIMEOUT_S) == 0
+    assert server.active_sessions() == 1
+    # Past it: reaped.
+    assert server.reap_idle(now_s=0.16 + SESSION_TIMEOUT_S) == 1
+    assert server.active_sessions() == 0
+    assert server.emit(1, 6.0, 0.05) == []
+
+
+def test_late_feedback_for_reaped_session_does_not_crash():
+    server = SwiftestServer("s0", capacity_mbps=100.0)
+    open_session(server, now=0.0)
+    server.reap_idle(now_s=10.0)
+    wire = Feedback(session_id=1, observed_kbps=90_000, saturated=True).pack()
+    assert server.handle_wire(wire, 10.5) is None
+    assert server.orphan_messages == 1
+    assert server.active_sessions() == 0
+
+
+def test_handle_wire_counts_garbage_and_keeps_serving():
+    server = SwiftestServer("s0", capacity_mbps=100.0)
+    assert server.handle_wire(b"\xde\xad\xbe\xef", 0.0) is None
+    assert server.handle_wire(b"", 0.0) is None
+    assert server.decode_errors == 2
+    # The server still works afterwards.
+    assert server.handle_wire(Hello(1, "5G", 0).pack(), 0.1) is not None
+    assert server.active_sessions() == 1
+
+
+def test_handle_wire_message_for_unknown_session_is_orphaned():
+    server = SwiftestServer("s0", capacity_mbps=100.0)
+    wire = RateCommand(session_id=9, rate_kbps=1_000, rung=0).pack()
+    assert server.handle_wire(wire, 0.0) is None
+    assert server.orphan_messages == 1

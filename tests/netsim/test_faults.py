@@ -1,0 +1,211 @@
+"""Fault-injection primitives: loss models, blackouts, the injector."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.faults import (
+    BlackoutSchedule,
+    Delivery,
+    FaultInjector,
+    FaultPlan,
+    GilbertElliottLoss,
+    IIDLoss,
+    LossModel,
+    corrupt_bytes,
+    outage_plan,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+# -- loss models ---------------------------------------------------------
+
+
+def test_base_loss_model_never_drops():
+    model = LossModel()
+    assert not any(model.drops(t) for t in range(100))
+
+
+def test_iid_loss_zero_rate_never_drops():
+    model = IIDLoss(0.0, rng())
+    assert not any(model.drops(0.0) for _ in range(1000))
+
+
+def test_iid_loss_matches_rate_statistically():
+    model = IIDLoss(0.3, rng(1))
+    drops = sum(model.drops(0.0) for _ in range(20_000))
+    assert drops / 20_000 == pytest.approx(0.3, abs=0.02)
+
+
+def test_iid_loss_validation():
+    with pytest.raises(ValueError):
+        IIDLoss(1.0, rng())
+    with pytest.raises(ValueError):
+        IIDLoss(-0.1, rng())
+
+
+def test_gilbert_elliott_is_bursty():
+    """Same average loss, but GE losses clump into runs."""
+    ge = GilbertElliottLoss(
+        p_good_to_bad=0.02, p_bad_to_good=0.2, loss_good=0.0, loss_bad=0.5,
+        rng=rng(2),
+    )
+    outcomes = [ge.drops(0.0) for _ in range(20_000)]
+    loss = sum(outcomes) / len(outcomes)
+    # Stationary bad fraction 0.09 x 0.5 loss-in-bad ≈ 4.5% average.
+    assert 0.01 < loss < 0.10
+    # Burstiness: a loss is far more likely right after a loss than
+    # the unconditional rate.
+    after_loss = [
+        outcomes[i + 1] for i in range(len(outcomes) - 1) if outcomes[i]
+    ]
+    assert sum(after_loss) / len(after_loss) > 3 * loss
+
+
+def test_gilbert_elliott_stationary_fraction():
+    ge = GilbertElliottLoss(0.1, 0.4, 0.0, 1.0, rng())
+    assert ge.stationary_bad_fraction == pytest.approx(0.2)
+
+
+def test_gilbert_elliott_validation():
+    with pytest.raises(ValueError):
+        GilbertElliottLoss(0.0, 0.5, 0.0, 1.0, rng())
+    with pytest.raises(ValueError):
+        GilbertElliottLoss(0.5, 0.5, 0.0, 1.5, rng())
+
+
+# -- blackout schedules --------------------------------------------------
+
+
+def test_blackout_active_inside_windows_only():
+    sched = BlackoutSchedule([(1.0, 2.0), (3.0, 4.0)])
+    assert not sched.active(0.5)
+    assert sched.active(1.0)
+    assert sched.active(1.5)
+    assert not sched.active(2.0)  # half-open interval
+    assert sched.active(3.5)
+    assert not sched.active(10.0)
+    assert sched.total_outage_s() == pytest.approx(2.0)
+
+
+def test_blackout_validation():
+    with pytest.raises(ValueError):
+        BlackoutSchedule([(2.0, 1.0)])
+    with pytest.raises(ValueError):
+        BlackoutSchedule([(1.0, 3.0), (2.0, 4.0)])  # overlap
+
+
+# -- corruption ----------------------------------------------------------
+
+
+def test_corrupt_bytes_flips_exactly_one_bit():
+    wire = bytes(range(32))
+    mutated = corrupt_bytes(wire, rng(3))
+    assert len(mutated) == len(wire)
+    diff = [a ^ b for a, b in zip(wire, mutated)]
+    assert sum(bin(d).count("1") for d in diff) == 1
+
+
+def test_corrupt_bytes_empty_is_noop():
+    assert corrupt_bytes(b"", rng()) == b""
+
+
+# -- the injector --------------------------------------------------------
+
+
+def test_injector_clean_channel_is_transparent():
+    inj = FaultInjector(rng())
+    out = inj.transmit(b"hello", 0.0)
+    assert out == [Delivery(b"hello", 0.0)]
+    assert inj.stats.offered == 1
+    assert inj.stats.delivered == 1
+    assert inj.stats.dropped == 0
+
+
+def test_injector_blackout_drops_everything():
+    inj = FaultInjector(rng(), blackouts=BlackoutSchedule([(0.0, 1.0)]))
+    assert inj.transmit(b"x", 0.5) == []
+    assert inj.transmit(b"x", 1.5) != []
+    assert inj.stats.dropped_blackout == 1
+
+
+def test_injector_duplication():
+    inj = FaultInjector(rng(), duplicate_prob=1.0)
+    out = inj.transmit(b"x", 0.0)
+    assert len(out) == 2
+    assert inj.stats.duplicated == 1
+
+
+def test_injector_corruption_changes_payload():
+    inj = FaultInjector(rng(4), corrupt_prob=1.0)
+    out = inj.transmit(b"payload-bytes", 0.0)
+    assert len(out) == 1
+    assert out[0].wire != b"payload-bytes"
+    assert inj.stats.corrupted == 1
+
+
+def test_injector_jitter_delays_within_bound():
+    inj = FaultInjector(rng(5), jitter_s=0.02)
+    delays = [inj.transmit(b"x", 0.0)[0].delay_s for _ in range(100)]
+    assert all(0.0 <= d <= 0.02 for d in delays)
+    assert max(delays) > 0.0
+
+
+def test_injector_batch_reordering():
+    inj = FaultInjector(rng(6), reorder_prob=1.0)
+    wires = [bytes([i]) for i in range(4)]
+    out = inj.transmit_batch(wires, 0.0)
+    assert sorted(out) == sorted(wires)
+    assert out != wires
+    assert inj.stats.reordered > 0
+
+
+def test_injector_batch_applies_loss():
+    inj = FaultInjector(rng(7), loss=IIDLoss(0.5, rng(7)))
+    out = inj.transmit_batch([b"x"] * 1000, 0.0)
+    assert 350 < len(out) < 650
+
+
+def test_injector_validation():
+    with pytest.raises(ValueError):
+        FaultInjector(rng(), duplicate_prob=1.5)
+    with pytest.raises(ValueError):
+        FaultInjector(rng(), jitter_s=-1.0)
+
+
+def test_injector_same_seed_same_fault_sequence():
+    def run(seed):
+        r = np.random.default_rng(seed)
+        inj = FaultInjector(
+            r, loss=IIDLoss(0.2, r), duplicate_prob=0.1, corrupt_prob=0.1
+        )
+        return [
+            tuple(d.wire for d in inj.transmit(bytes([i % 256]), 0.0))
+            for i in range(500)
+        ]
+
+    assert run(42) == run(42)
+    assert run(42) != run(43)
+
+
+# -- fault plans ---------------------------------------------------------
+
+
+def test_fault_plan_server_availability():
+    plan = outage_plan({"server-1": [(1.0, 2.0)]})
+    assert plan.server_available("server-1", 0.5)
+    assert not plan.server_available("server-1", 1.5)
+    assert plan.server_available("server-0", 1.5)  # unscheduled server
+
+
+def test_fault_plan_reliable_control_by_default():
+    plan = FaultPlan()
+    assert all(plan.control_delivered(t) for t in range(100))
+
+
+def test_fault_plan_control_loss():
+    plan = FaultPlan(control_loss=IIDLoss(0.5, rng(8)))
+    delivered = sum(plan.control_delivered(0.0) for _ in range(1000))
+    assert 350 < delivered < 650

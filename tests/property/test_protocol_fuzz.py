@@ -1,0 +1,108 @@
+"""Fuzz-hardening of the wire-format decoder.
+
+A server decodes whatever the network hands it, so ``decode`` must
+have exactly one failure mode: :class:`ProtocolError`.  A
+``struct.error`` or ``UnicodeDecodeError`` escaping here would crash a
+session handler on a single corrupted datagram.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocol import (
+    Ack,
+    Data,
+    Feedback,
+    Fin,
+    Hello,
+    ProtocolError,
+    RateCommand,
+    decode,
+)
+
+_U32 = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _decode_total(wire: bytes) -> None:
+    """decode() either returns a message or raises ProtocolError."""
+    try:
+        decode(wire)
+    except ProtocolError:
+        pass
+
+
+@given(st.binary(max_size=1500))
+def test_arbitrary_bytes_only_raise_protocol_error(wire):
+    _decode_total(wire)
+
+
+@given(st.binary(min_size=1, max_size=64), st.integers(0, 255))
+def test_valid_header_arbitrary_body(body, session_low):
+    # Force a known tag so the body-unpacking branches get exercised.
+    for tag in (0x01, 0x02, 0x03, 0x04, 0x05, 0x06):
+        _decode_total(bytes([tag, 0, 0, 0, session_low]) + body)
+
+
+def _valid_messages():
+    return st.one_of(
+        st.builds(
+            Hello,
+            session_id=_U32,
+            tech=st.text(
+                alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+                max_size=8,
+            ),
+            nonce=_U32,
+        ),
+        st.builds(
+            RateCommand,
+            session_id=_U32,
+            rate_kbps=_U32,
+            rung=st.integers(0, 2**16 - 1),
+        ),
+        st.builds(
+            Data,
+            session_id=_U32,
+            seq=_U32,
+            send_time_us=st.integers(0, 2**64 - 1),
+            payload_len=st.integers(0, 1500),
+        ),
+        st.builds(Feedback, session_id=_U32, observed_kbps=_U32, saturated=st.booleans()),
+        st.builds(Fin, session_id=_U32, result_kbps=_U32),
+        st.builds(Ack, session_id=_U32, acked_tag=st.integers(0, 255)),
+    )
+
+
+@settings(max_examples=200)
+@given(_valid_messages(), st.integers(0, 2**31 - 1), st.integers(1, 12))
+def test_bit_flipped_messages_never_escape(message, seed, n_flips):
+    """Any valid message, corrupted at random bit positions, either
+    still decodes or raises ProtocolError — nothing else."""
+    wire = bytearray(message.pack())
+    rng = np.random.default_rng(seed)
+    for _ in range(n_flips):
+        pos = int(rng.integers(0, len(wire)))
+        wire[pos] ^= 1 << int(rng.integers(0, 8))
+    _decode_total(bytes(wire))
+
+
+@given(_valid_messages(), st.integers(0, 2000))
+def test_truncated_messages_never_escape(message, cut):
+    wire = message.pack()
+    _decode_total(wire[: min(cut, len(wire))])
+
+
+def test_non_ascii_tech_in_corrupted_hello_is_protocol_error():
+    """Regression: a bit-flipped HELLO carrying a non-ASCII tech field
+    used to escape as UnicodeDecodeError."""
+    wire = bytearray(Hello(1, "WiFi5", 0).pack())
+    wire[5] = 0xFF  # first byte of the 8s tech field
+    with pytest.raises(ProtocolError):
+        decode(bytes(wire))
+
+
+def test_non_ascii_tech_pack_is_protocol_error():
+    with pytest.raises(ProtocolError):
+        Hello(1, "5Gé", 0).pack()
