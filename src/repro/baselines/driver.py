@@ -6,11 +6,18 @@ throughput every 50 ms, and progressively recruit additional nearby
 servers when the latest sample crosses predefined thresholds (25 Mbps,
 35 Mbps, and so on, following Speedtest's design).  Individual BTSes
 differ in when they stop and how they turn samples into a result.
+
+The driver is outage-aware: a server that is down when the escalation
+ladder reaches it is skipped in favour of the next-ranked candidate,
+and a recruited server that dies mid-test has its connections torn
+down (their samples would otherwise keep counting a dead server's
+last allocation).  The flooding estimate simply rides on the
+surviving connections, as a real multi-connection test would.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.tcp.connection import TcpConnection
 from repro.tcp.slowstart import make_cc
@@ -69,36 +76,65 @@ class TcpFloodSession:
         self.samples: List[Tuple[float, float]] = []
         self._ranked = env.servers_by_rtt()
         self._servers_used = 0
+        self._next_candidate = 0
+        #: Connections per recruited server, for mid-test teardown.
+        self._server_conns: Dict[str, List[TcpConnection]] = {}
         self._thresholds = escalation_thresholds()
         self._threshold_idx = 0
 
     # -- internals -----------------------------------------------------
 
-    def _recruit_server(self) -> bool:
-        """Open connections to the next-nearest unused server."""
-        if self._servers_used >= min(self.max_servers, len(self._ranked)):
-            return False
-        server = self._ranked[self._servers_used]
-        path = self.env.path_to(server)
-        for i in range(self.connections_per_server):
-            conn = TcpConnection(
-                path,
-                make_cc(self.cc_name, rng=self.env.rng),
-                rng=self.env.rng,
-                label=f"{server.name}-conn{i}",
-            )
-            conn.start()
-            self.connections.append(conn)
-        self._servers_used += 1
-        return True
+    def _recruit_server(self, now_s: float = 0.0) -> bool:
+        """Open connections to the nearest unused *reachable* server.
 
-    def _maybe_escalate(self, sample_mbps: float) -> None:
+        Candidates that are down at ``now_s`` are skipped (never
+        retried: the escalation ladder keeps moving outward, as a real
+        client's connect timeout would force it to)."""
+        while (
+            self._servers_used < self.max_servers
+            and self._next_candidate < len(self._ranked)
+        ):
+            server = self._ranked[self._next_candidate]
+            self._next_candidate += 1
+            if not self.env.server_available(server, now_s):
+                continue
+            conns = [
+                TcpConnection(
+                    self.env.path_to(server),
+                    make_cc(self.cc_name, rng=self.env.rng),
+                    rng=self.env.rng,
+                    label=f"{server.name}-conn{i}",
+                )
+                for i in range(self.connections_per_server)
+            ]
+            for conn in conns:
+                conn.start()
+            self.connections.extend(conns)
+            self._server_conns[server.name] = conns
+            self._servers_used += 1
+            return True
+        return False
+
+    def _prune_dead_servers(self, now_s: float) -> None:
+        """Tear down connections to recruited servers that have died;
+        their flows must stop competing for (and reporting) bandwidth."""
+        if self.env.faults is None:
+            return
+        for server in self._ranked:
+            conns = self._server_conns.get(server.name)
+            if not conns or not conns[0].active:
+                continue
+            if not self.env.server_available(server, now_s):
+                for conn in conns:
+                    conn.stop()
+
+    def _maybe_escalate(self, sample_mbps: float, now_s: float = 0.0) -> None:
         while (
             self._threshold_idx < len(self._thresholds)
             and sample_mbps >= self._thresholds[self._threshold_idx]
         ):
             self._threshold_idx += 1
-            self._recruit_server()
+            self._recruit_server(now_s)
 
     # -- public --------------------------------------------------------
 
@@ -123,25 +159,28 @@ class TcpFloodSession:
         """
         if max_duration_s <= 0:
             raise ValueError(f"duration must be positive, got {max_duration_s}")
-        self._recruit_server()
+        self._recruit_server(0.0)
 
         now = 0.0
         slice_bytes_start = 0.0
         next_sample_at = SAMPLE_INTERVAL_S
         while now < max_duration_s:
             for conn in self.connections:
-                conn.pre_allocate(now)
+                if conn.active:
+                    conn.pre_allocate(now)
             self.env.network.allocate(now)
             for conn in self.connections:
-                conn.post_allocate(now, _STEP_S)
+                if conn.active:
+                    conn.post_allocate(now, _STEP_S)
             now += _STEP_S
             if now + 1e-9 >= next_sample_at:
+                self._prune_dead_servers(now)
                 delivered = self.bytes_used - slice_bytes_start
                 sample = delivered * 8 / 1e6 / SAMPLE_INTERVAL_S
                 self.samples.append((now, sample))
                 slice_bytes_start = self.bytes_used
                 next_sample_at += SAMPLE_INTERVAL_S
-                self._maybe_escalate(sample)
+                self._maybe_escalate(sample, now)
                 if stop_check is not None and stop_check(self.samples):
                     break
         self.close()

@@ -1,9 +1,11 @@
 """Command-line interface.
 
-Four subcommands cover the library's main workflows::
+Five subcommands cover the library's main workflows::
 
     repro campaign --year 2021 --tests 50000 --out campaign.csv
     repro analyze campaign.csv
+    repro measure campaign.csv --tests 200 --out measured.csv \\
+        --checkpoint run.ckpt [--resume]
     repro speedtest --bandwidth 320 --tech 5G [--campaign campaign.csv]
     repro plan --tests-per-day 10000 [--campaign campaign.csv]
 
@@ -86,6 +88,40 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     for tech, summary in figures.fig13_wifi_cdfs(dataset).items():
         print(f"  {tech:5s} mean {summary.mean:7.1f}  median "
               f"{summary.median:7.1f} Mbps")
+    return 0
+
+
+def cmd_measure(args: argparse.Namespace) -> int:
+    """Re-measure a campaign through a real BTS under supervision."""
+    from repro.harness.runtime import CampaignRuntime, RetryPolicy
+
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint", file=sys.stderr)
+        return 2
+    contexts = Dataset.from_csv(args.campaign)
+    runtime = CampaignRuntime(
+        retry=RetryPolicy(max_attempts=args.max_attempts),
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+    )
+    report = runtime.run(
+        contexts, seed=args.seed, max_tests=args.tests, resume=args.resume
+    )
+    if report.resumed_rows:
+        print(f"resumed {report.resumed_rows} row(s) from {args.checkpoint}")
+    print(f"measured {report.n_measured}/{report.n_rows} rows "
+          f"({report.retries} retries, "
+          f"{report.backoff_wait_s:.1f}s backoff accounted)")
+    for row in report.quarantined:
+        detail = row.error or row.outcome
+        print(f"  quarantined test {row.test_id}: "
+              f"{detail} after {row.attempts} attempt(s)")
+    if report.dataset is None:
+        print("error: every row was quarantined", file=sys.stderr)
+        return 1
+    if args.out:
+        report.dataset.to_csv(args.out)
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -192,6 +228,27 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("analyze", help="run the §3 analyses on a campaign")
     p.add_argument("campaign", help="CSV produced by 'repro campaign'")
     p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser(
+        "measure",
+        help="re-measure a campaign through a BTS (supervised: retries, "
+             "quarantine, checkpoint/resume)",
+    )
+    p.add_argument("campaign", help="CSV produced by 'repro campaign'")
+    p.add_argument("--tests", type=int, default=None,
+                   help="cap on rows to measure (subsampled by --seed)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", help="CSV output path for the measured rows")
+    p.add_argument("--checkpoint",
+                   help="checkpoint file: progress is flushed here and "
+                        "--resume continues an interrupted run")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from --checkpoint if it exists")
+    p.add_argument("--checkpoint-every", type=int, default=100,
+                   help="rows between checkpoint flushes")
+    p.add_argument("--max-attempts", type=int, default=3,
+                   help="tries per row before quarantining it")
+    p.set_defaults(func=cmd_measure)
 
     p = sub.add_parser("speedtest", help="run one simulated bandwidth test")
     p.add_argument("--bandwidth", type=float, default=300.0,

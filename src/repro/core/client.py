@@ -204,6 +204,14 @@ class SwiftestClient(BandwidthTestService):
 
         aborted = not ensure_servers(controller.rate_mbps, 0.0)
 
+        # Random-loss fraction the client observes on its DATA streams
+        # (sequence-gap accounting in a real client; every fluid path
+        # carries the environment's loss rate).  The fluid allocator
+        # does not subtract random loss from goodput, so here it only
+        # discounts the saturation floor; the packet-level loopback
+        # path exercises the full loss-aware accounting.
+        observed_loss = min(max(env.loss_rate, 0.0), 0.99)
+
         samples: List[Tuple[float, float]] = []
         received = 0.0
         slice_start_bytes = 0.0
@@ -237,7 +245,7 @@ class SwiftestClient(BandwidthTestService):
             samples.append((now, sample))
             slice_start_bytes = received
             next_sample_at += SAMPLE_INTERVAL_S
-            decision = controller.on_sample(sample)
+            decision = controller.on_sample(sample, loss_fraction=observed_loss)
             if decision.finished:
                 result_mbps = decision.result_mbps
                 converged = True

@@ -8,6 +8,7 @@ samples.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import Deque, Optional
 
@@ -32,7 +33,14 @@ class ConvergenceDetector:
         self._samples: Deque[float] = deque(maxlen=window)
 
     def push(self, sample_mbps: float) -> None:
-        """Record one bandwidth sample."""
+        """Record one bandwidth sample.
+
+        Rejects NaN and ±inf explicitly: ``sample_mbps < 0`` is False
+        for NaN, so without the finiteness check a NaN would slip into
+        the window and poison every subsequent max/min comparison.
+        """
+        if not math.isfinite(sample_mbps):
+            raise ValueError(f"samples must be finite, got {sample_mbps}")
         if sample_mbps < 0:
             raise ValueError(f"samples must be non-negative, got {sample_mbps}")
         self._samples.append(float(sample_mbps))

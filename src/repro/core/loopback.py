@@ -246,7 +246,14 @@ def run_loopback_session(
         # observed rate for this interval, nothing stalls the stream.
         rate = delivered * DATA_PAYLOAD_BYTES * 8 / 1e6 / SAMPLE_INTERVAL_S
         samples.append((sim.now + SAMPLE_INTERVAL_S, rate))
-        decision = controller.on_sample(rate)
+        # The client sees sequence numbers, so it knows what fraction
+        # of the interval's DATA never arrived (policer and injected
+        # loss are indistinguishable gaps from its side); the
+        # controller discounts its saturation floor by that fraction,
+        # clamped to MAX_LOSS_DISCOUNT.
+        sent = len(packets)
+        loss_frac = max(0.0, 1.0 - delivered / sent) if sent else 0.0
+        decision = controller.on_sample(rate, loss_fraction=min(loss_frac, 0.99))
         if decision.finished:
             state["result"] = decision.result_mbps
             state["finished"] = True

@@ -8,6 +8,11 @@ bandwidth sample drives one step:
 2. Otherwise, decide whether the client's access bandwidth is
    *saturated*: the latest sample falls below the current probing
    rate.  If saturated, hold the rate and let convergence conclude.
+   The comparison is *loss-aware*: callers report the loss fraction
+   they observed over the sample interval (sequence gaps on the DATA
+   stream), and the saturation floor is discounted by it — sustained
+   random loss at or above the 5% margin must not masquerade as
+   saturation and pin the ladder at its initial rung.
 3. If not saturated after a short dwell, ladder the probing rate up to
    the most probable larger mode of the technology's bandwidth
    distribution (adding servers is the transport layer's job).  Above
@@ -35,6 +40,14 @@ UNSATURATED_DWELL = 3
 
 #: Geometric escalation factor once above the distribution's top mode.
 ESCAPE_FACTOR = 1.25
+
+#: Ceiling on the loss fraction the saturation test will discount.
+#: Random access-network loss rarely exceeds ~10-15%; anything above
+#: that is congestion (the policer shedding a genuinely saturating
+#: rate) and must keep counting as saturation, or a saturated link
+#: whose drops were written off as "random loss" would never stop the
+#: ladder.
+MAX_LOSS_DISCOUNT = 0.15
 
 
 class ProbeState(enum.Enum):
@@ -72,6 +85,7 @@ class ProbingController:
     saturation_margin: float = SATURATION_MARGIN
     dwell: int = UNSATURATED_DWELL
     escape_factor: float = ESCAPE_FACTOR
+    max_loss_discount: float = MAX_LOSS_DISCOUNT
     detector: ConvergenceDetector = field(default_factory=ConvergenceDetector)
 
     def __post_init__(self) -> None:
@@ -85,6 +99,11 @@ class ProbingController:
             raise ValueError(
                 f"escape factor must exceed 1, got {self.escape_factor}"
             )
+        if not 0 <= self.max_loss_discount < 1:
+            raise ValueError(
+                f"max loss discount must be in [0, 1), "
+                f"got {self.max_loss_discount}"
+            )
         self.rate_mbps: float = self.model.initial_rate_mbps()
         self.state = ProbeState.PROBING
         self._unsaturated_streak = 0
@@ -94,12 +113,31 @@ class ProbingController:
 
     # -- public ----------------------------------------------------------
 
-    def on_sample(self, sample_mbps: float) -> ProbingDecision:
-        """Feed one 50 ms bandwidth sample; get the next action."""
+    def on_sample(
+        self, sample_mbps: float, loss_fraction: float = 0.0
+    ) -> ProbingDecision:
+        """Feed one 50 ms bandwidth sample; get the next action.
+
+        Parameters
+        ----------
+        sample_mbps:
+            Delivered (goodput) rate observed over the interval.
+        loss_fraction:
+            Fraction of DATA lost over the same interval, as the
+            client observes it (sequence gaps / drop counters).  The
+            saturation test compares the sample against
+            ``rate x (1 - margin) x (1 - loss_fraction)``: delivered
+            rate is judged against what a *lossy but unsaturated* link
+            would have carried, so sustained loss at or above the
+            margin no longer pins the ladder (see DESIGN.md,
+            "Robustness & fault model").
+        """
         if self.state is ProbeState.FINISHED:
             raise RuntimeError("probing already finished")
-        if sample_mbps < 0:
-            raise ValueError(f"samples must be non-negative, got {sample_mbps}")
+        if not 0.0 <= loss_fraction < 1.0:
+            raise ValueError(
+                f"loss fraction must be in [0, 1), got {loss_fraction}"
+            )
 
         self.detector.push(sample_mbps)
         if self.detector.converged():
@@ -111,7 +149,13 @@ class ProbingController:
                 result_mbps=self.detector.value(),
             )
 
-        saturated = sample_mbps < self.rate_mbps * (1.0 - self.saturation_margin)
+        discount = min(loss_fraction, self.max_loss_discount)
+        floor = (
+            self.rate_mbps
+            * (1.0 - self.saturation_margin)
+            * (1.0 - discount)
+        )
+        saturated = sample_mbps < floor
         if saturated:
             self._unsaturated_streak = 0
             return ProbingDecision(

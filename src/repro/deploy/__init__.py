@@ -10,9 +10,13 @@ small set of budget VMs:
 * :mod:`repro.deploy.ilp` — the integer linear program choosing how
   many of each configuration to buy, solved by branch-and-bound;
 * :mod:`repro.deploy.placement` — spreading purchased servers across
-  the eight core IXP domains of China Mainland.
+  the eight core IXP domains of China Mainland;
+* :mod:`repro.deploy.pool` / :mod:`repro.deploy.health` — running the
+  purchased fleet: session assignment, circuit-breaker + heartbeat
+  self-healing, typed admission control.
 """
 
+from repro.deploy.health import BreakerState, CircuitBreaker, HealthMonitor
 from repro.deploy.ilp import IlpSolution, solve_purchase_plan
 from repro.deploy.placement import IXP_DOMAINS, PlacementPlan, place_servers
 from repro.deploy.planner import (
@@ -21,15 +25,34 @@ from repro.deploy.planner import (
     plan_deployment,
 )
 from repro.deploy.plans import ServerPlan, onevendor_catalogue
+from repro.deploy.pool import (
+    Assignment,
+    PoolError,
+    PoolSaturated,
+    PoolServer,
+    QueuedRequest,
+    ServerPool,
+    pool_from_deployment,
+)
 from repro.deploy.workload import WorkloadEstimate, estimate_workload
 
 __all__ = [
+    "Assignment",
+    "BreakerState",
+    "CircuitBreaker",
     "DeploymentPlan",
+    "HealthMonitor",
     "IXP_DOMAINS",
     "IlpSolution",
     "PlacementPlan",
+    "PoolError",
+    "PoolSaturated",
+    "PoolServer",
+    "QueuedRequest",
     "ServerPlan",
+    "ServerPool",
     "WorkloadEstimate",
+    "pool_from_deployment",
     "estimate_workload",
     "flooding_reference_cost",
     "onevendor_catalogue",

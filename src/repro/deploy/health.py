@@ -1,0 +1,173 @@
+"""Server-health primitives: circuit breakers and heartbeat accounting.
+
+The operational pool (:mod:`repro.deploy.pool`) needs two things the
+planner never worried about: *detecting* that a server has gone bad
+(timeouts, refused sessions, silence) and *recovering* it without an
+operator in the loop.  This module provides both as small, clock-free
+state machines — every method takes an explicit ``now_s`` so chaos
+tests and the discrete-event harness can drive them deterministically.
+
+* :class:`CircuitBreaker` — the classic closed → open → half-open
+  cycle.  Consecutive failures trip it open; after a cooldown it
+  admits a single probe (half-open); a probe success re-closes it, a
+  probe failure re-opens it with a fresh cooldown.
+* :class:`HealthMonitor` — heartbeat freshness.  Servers report in
+  periodically; one that has not been heard from within the timeout is
+  treated as down even if no request ever failed against it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class BreakerState(enum.Enum):
+    """Where a circuit breaker sits in its recovery cycle."""
+
+    CLOSED = "closed"        # healthy: traffic flows
+    OPEN = "open"            # tripped: shed traffic until cooldown
+    HALF_OPEN = "half-open"  # probing: one request decides
+
+
+@dataclass
+class CircuitBreaker:
+    """Per-server failure breaker.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip the breaker open.
+    cooldown_s:
+        How long an open breaker sheds traffic before admitting a
+        half-open probe.
+    probe_successes:
+        Successes a half-open breaker needs before fully re-closing.
+    """
+
+    failure_threshold: int = 3
+    cooldown_s: float = 30.0
+    probe_successes: int = 1
+
+    state: BreakerState = field(default=BreakerState.CLOSED, init=False)
+    consecutive_failures: int = field(default=0, init=False)
+    _opened_at_s: float = field(default=0.0, init=False)
+    _probe_streak: int = field(default=0, init=False)
+    #: Times the breaker tripped open, for diagnostics.
+    trips: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.cooldown_s <= 0:
+            raise ValueError(f"cooldown must be positive, got {self.cooldown_s}")
+        if self.probe_successes < 1:
+            raise ValueError(
+                f"probe successes must be >= 1, got {self.probe_successes}"
+            )
+
+    # -- event sinks ---------------------------------------------------
+
+    def record_failure(self, now_s: float) -> bool:
+        """Account one failed request.  Returns True when this event
+        tripped the breaker open (callers reassign sessions then)."""
+        if self.state is BreakerState.HALF_OPEN:
+            # The probe failed: straight back to open, fresh cooldown.
+            self._trip(now_s)
+            return True
+        self.consecutive_failures += 1
+        if (
+            self.state is BreakerState.CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self._trip(now_s)
+            return True
+        return False
+
+    def record_success(self, now_s: float) -> bool:
+        """Account one successful request.  Returns True when this
+        event re-closed a half-open breaker (server reinstated)."""
+        self.consecutive_failures = 0
+        if self.state is BreakerState.HALF_OPEN:
+            self._probe_streak += 1
+            if self._probe_streak >= self.probe_successes:
+                self.state = BreakerState.CLOSED
+                self._probe_streak = 0
+                return True
+        return False
+
+    # -- queries -------------------------------------------------------
+
+    def allows(self, now_s: float) -> bool:
+        """Whether traffic may be sent now.
+
+        An open breaker whose cooldown has elapsed transitions to
+        half-open here (lazy transition: breakers have no timers of
+        their own) and admits the probe.
+        """
+        if self.state is BreakerState.OPEN:
+            if now_s - self._opened_at_s >= self.cooldown_s:
+                self.state = BreakerState.HALF_OPEN
+                self._probe_streak = 0
+            else:
+                return False
+        return True
+
+    # -- internals -----------------------------------------------------
+
+    def _trip(self, now_s: float) -> None:
+        self.state = BreakerState.OPEN
+        self._opened_at_s = now_s
+        self.consecutive_failures = 0
+        self._probe_streak = 0
+        self.trips += 1
+
+
+class HealthMonitor:
+    """Heartbeat freshness across a fleet.
+
+    Parameters
+    ----------
+    timeout_s:
+        A server not heard from within this window counts as down.
+        ``None`` disables heartbeat-based liveness (servers that never
+        report are then always considered alive).
+    """
+
+    def __init__(self, timeout_s: Optional[float] = None):
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout_s}")
+        self.timeout_s = timeout_s
+        self._last_seen_s: Dict[str, float] = {}
+
+    def beat(self, name: str, now_s: float) -> None:
+        """Record a heartbeat from ``name``."""
+        previous = self._last_seen_s.get(name)
+        if previous is not None and now_s < previous:
+            raise ValueError(
+                f"heartbeat for {name!r} moved backwards "
+                f"({now_s} < {previous})"
+            )
+        self._last_seen_s[name] = now_s
+
+    def alive(self, name: str, now_s: float) -> bool:
+        """Whether ``name`` is fresh at ``now_s``.
+
+        Servers that have never reported are given the benefit of the
+        doubt (a pool may run without heartbeats entirely); once a
+        server has reported, silence beyond the timeout counts against
+        it.
+        """
+        if self.timeout_s is None:
+            return True
+        last = self._last_seen_s.get(name)
+        if last is None:
+            return True
+        return now_s - last <= self.timeout_s
+
+    def last_seen(self, name: str) -> Optional[float]:
+        """Most recent heartbeat time, or ``None`` if never heard."""
+        return self._last_seen_s.get(name)

@@ -1,4 +1,4 @@
-"""Operational server pool: session assignment and health.
+"""Operational server pool: session assignment and self-healing health.
 
 The deployment planner (:mod:`repro.deploy.planner`) decides what to
 buy; this module runs it.  A :class:`ServerPool` tracks each server's
@@ -6,8 +6,23 @@ reserved capacity, assigns incoming test sessions to the least-loaded
 healthy servers near the client's IXP domain (clients need *total*
 capacity covering their probing rate, split across servers exactly as
 the Swiftest client sizes them), and releases reservations when tests
-finish.  Servers can be marked down for failure-injection scenarios;
-their sessions are reassigned.
+finish.
+
+Health is self-healing rather than one-way.  Each server carries a
+:class:`~repro.deploy.health.CircuitBreaker`: consecutive request
+failures trip it open (sessions are reassigned, ideally to the same
+IXP domain, otherwise failing over to the nearest healthy domain), a
+cooldown later the breaker admits a half-open probe, and a probe
+success reinstates the server.  An optional
+:class:`~repro.deploy.health.HealthMonitor` adds heartbeat-driven
+liveness: a server that goes silent is treated as down even if no
+request ever failed against it.  All of it is wall-clock free — every
+method takes an explicit ``now_s``.
+
+Admission control is typed: a pool that cannot cover a demand raises
+:class:`PoolSaturated` (a :class:`PoolError` carrying the shortfall),
+and callers may instead *queue* the session; queued requests are
+granted in FIFO order as capacity frees up.
 """
 
 from __future__ import annotations
@@ -16,11 +31,47 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.deploy.health import CircuitBreaker, HealthMonitor
 from repro.deploy.placement import domain_rtt_s
 
 
 class PoolError(RuntimeError):
     """Raised when the pool cannot satisfy a request."""
+
+
+class PoolSaturated(PoolError):
+    """The healthy pool cannot cover a demand right now.
+
+    Carries enough context for the caller to decide between shedding
+    the session and queueing it.
+
+    Attributes
+    ----------
+    demand_mbps / target_mbps:
+        The requested demand and the headroom-inflated reservation
+        target.
+    shortfall_mbps:
+        Capacity the pool was short by.
+    queue_depth:
+        Sessions already waiting in the admission queue.
+    """
+
+    def __init__(
+        self,
+        demand_mbps: float,
+        target_mbps: float,
+        shortfall_mbps: float,
+        queue_depth: int,
+    ):
+        self.demand_mbps = demand_mbps
+        self.target_mbps = target_mbps
+        self.shortfall_mbps = shortfall_mbps
+        self.queue_depth = queue_depth
+        super().__init__(
+            f"pool cannot cover {target_mbps:.0f} Mbps "
+            f"({shortfall_mbps:.0f} Mbps short, "
+            f"{queue_depth} session(s) queued)"
+        )
 
 
 @dataclass
@@ -36,7 +87,11 @@ class PoolServer:
     reserved_mbps:
         Currently promised to active sessions.
     healthy:
-        False while the server is down.
+        False while the server is administratively down (operator
+        action / hard outage).  Breaker state is tracked separately.
+    breaker:
+        Circuit breaker fed by :meth:`ServerPool.record_failure` /
+        :meth:`ServerPool.record_success`.
     """
 
     name: str
@@ -44,6 +99,7 @@ class PoolServer:
     capacity_mbps: float
     reserved_mbps: float = 0.0
     healthy: bool = True
+    breaker: CircuitBreaker = field(default_factory=CircuitBreaker)
 
     def __post_init__(self) -> None:
         if self.capacity_mbps <= 0:
@@ -71,10 +127,43 @@ class Assignment:
         return sum(self.shares.values())
 
 
-class ServerPool:
-    """Assigns test sessions onto a fleet of servers."""
+@dataclass
+class QueuedRequest:
+    """A session waiting for capacity.
 
-    def __init__(self, servers: List[PoolServer]):
+    ``assignment`` is filled in when the pool grants the request (on a
+    release, a server reinstatement, or an explicit drain); callers
+    poll it like a ticket.
+    """
+
+    demand_mbps: float
+    client_domain: str
+    headroom: float = 0.10
+    assignment: Optional[Assignment] = None
+
+    @property
+    def granted(self) -> bool:
+        return self.assignment is not None
+
+
+class ServerPool:
+    """Assigns test sessions onto a fleet of servers.
+
+    Parameters
+    ----------
+    servers:
+        The fleet.
+    heartbeat_timeout_s:
+        When set, servers must heartbeat (:meth:`heartbeat`) at least
+        this often once they have reported; silence beyond the timeout
+        takes them out of rotation until the next beat.
+    """
+
+    def __init__(
+        self,
+        servers: List[PoolServer],
+        heartbeat_timeout_s: Optional[float] = None,
+    ):
         if not servers:
             raise ValueError("a pool needs at least one server")
         names = [s.name for s in servers]
@@ -82,6 +171,9 @@ class ServerPool:
             raise ValueError("server names must be unique")
         self.servers: Dict[str, PoolServer] = {s.name: s for s in servers}
         self.assignments: Dict[int, Assignment] = {}
+        self.monitor = HealthMonitor(timeout_s=heartbeat_timeout_s)
+        #: FIFO admission queue of sessions waiting for capacity.
+        self.queue: List[QueuedRequest] = []
         self._session_ids = itertools.count(1)
 
     # -- capacity views ----------------------------------------------------
@@ -100,13 +192,32 @@ class ServerPool:
         capacity = self.total_capacity_mbps()
         return self.total_reserved_mbps() / capacity if capacity else 1.0
 
+    # -- availability ------------------------------------------------------
+
+    def available(self, name: str, now_s: float = 0.0) -> bool:
+        """Whether a server may take traffic now: administratively up,
+        breaker admitting, heartbeat fresh."""
+        server = self._server(name)
+        return (
+            server.healthy
+            and server.breaker.allows(now_s)
+            and self.monitor.alive(name, now_s)
+        )
+
     # -- assignment ----------------------------------------------------------
 
-    def _candidates(self, client_domain: str) -> List[PoolServer]:
-        """Healthy servers ranked by (domain RTT, load)."""
-        healthy = [s for s in self.servers.values() if s.healthy]
+    def _candidates(self, client_domain: str, now_s: float) -> List[PoolServer]:
+        """Available servers ranked by (domain RTT, load).
+
+        Ranking by inter-domain RTT first means a client whose whole
+        IXP domain is down automatically fails over to the *nearest*
+        healthy domain rather than a random one.
+        """
+        usable = [
+            s for s in self.servers.values() if self.available(s.name, now_s)
+        ]
         return sorted(
-            healthy,
+            usable,
             key=lambda s: (
                 domain_rtt_s(client_domain, s.domain),
                 s.utilization,
@@ -118,18 +229,20 @@ class ServerPool:
         demand_mbps: float,
         client_domain: str,
         headroom: float = 0.10,
+        now_s: float = 0.0,
     ) -> Assignment:
         """Reserve ``demand x (1 + headroom)`` across nearby servers.
 
-        Raises :class:`PoolError` when the healthy pool cannot cover
-        the demand.
+        Raises :class:`PoolSaturated` when the available pool cannot
+        cover the demand (callers may shed, retry later, or
+        :meth:`enqueue`).
         """
         if demand_mbps <= 0:
             raise ValueError("demand must be positive")
         target = demand_mbps * (1.0 + headroom)
         shares: Dict[str, float] = {}
         remaining = target
-        for server in self._candidates(client_domain):
+        for server in self._candidates(client_domain, now_s):
             if remaining <= 0:
                 break
             take = min(server.free_mbps, remaining)
@@ -137,9 +250,11 @@ class ServerPool:
                 shares[server.name] = take
                 remaining -= take
         if remaining > 1e-9:
-            raise PoolError(
-                f"pool cannot cover {target:.0f} Mbps "
-                f"({remaining:.0f} Mbps short)"
+            raise PoolSaturated(
+                demand_mbps=demand_mbps,
+                target_mbps=target,
+                shortfall_mbps=remaining,
+                queue_depth=len(self.queue),
             )
         session_id = next(self._session_ids)
         for name, share in shares.items():
@@ -150,28 +265,121 @@ class ServerPool:
         self.assignments[session_id] = assignment
         return assignment
 
-    def release(self, session_id: int) -> None:
-        """Free a session's reservations.  Unknown ids raise KeyError."""
+    def enqueue(
+        self,
+        demand_mbps: float,
+        client_domain: str,
+        headroom: float = 0.10,
+        now_s: float = 0.0,
+    ) -> QueuedRequest:
+        """Admit a session to the FIFO wait queue (or grant it
+        immediately if capacity allows).  Returns the ticket; its
+        ``assignment`` is filled when granted."""
+        if demand_mbps <= 0:
+            raise ValueError("demand must be positive")
+        ticket = QueuedRequest(
+            demand_mbps=demand_mbps,
+            client_domain=client_domain,
+            headroom=headroom,
+        )
+        try:
+            ticket.assignment = self.assign(
+                demand_mbps, client_domain, headroom=headroom, now_s=now_s
+            )
+        except PoolSaturated:
+            self.queue.append(ticket)
+        return ticket
+
+    def drain_queue(self, now_s: float = 0.0) -> List[QueuedRequest]:
+        """Grant queued sessions in FIFO order while capacity lasts.
+
+        Stops at the first request that still cannot be placed
+        (head-of-line order is preserved; later smaller requests do
+        not jump the queue).  Returns the tickets granted this call.
+        """
+        granted: List[QueuedRequest] = []
+        while self.queue:
+            ticket = self.queue[0]
+            try:
+                ticket.assignment = self.assign(
+                    ticket.demand_mbps,
+                    ticket.client_domain,
+                    headroom=ticket.headroom,
+                    now_s=now_s,
+                )
+            except PoolSaturated:
+                break
+            self.queue.pop(0)
+            granted.append(ticket)
+        return granted
+
+    def release(self, session_id: int, now_s: float = 0.0) -> None:
+        """Free a session's reservations (unknown ids raise KeyError)
+        and hand the freed capacity to any queued sessions."""
         assignment = self.assignments.pop(session_id)
         for name, share in assignment.shares.items():
             server = self.servers.get(name)
             if server is not None:
                 server.reserved_mbps = max(0.0, server.reserved_mbps - share)
+        self.drain_queue(now_s)
 
     # -- health ---------------------------------------------------------------
 
-    def mark_down(self, name: str) -> List[int]:
-        """Take a server out of rotation and reassign its sessions.
+    def _server(self, name: str) -> PoolServer:
+        try:
+            return self.servers[name]
+        except KeyError:
+            raise KeyError(f"unknown server {name!r}")
+
+    def heartbeat(self, name: str, now_s: float) -> None:
+        """Record a liveness heartbeat from a server.  A server whose
+        freshness this restores may unblock queued sessions."""
+        self._server(name)
+        self.monitor.beat(name, now_s)
+        self.drain_queue(now_s)
+
+    def record_failure(self, name: str, now_s: float = 0.0) -> List[int]:
+        """Account one failed request against a server.
+
+        When the failure trips the server's circuit breaker, its
+        active sessions are reassigned exactly as for
+        :meth:`mark_down`; the returned list holds session ids that
+        could not be replaced anywhere (empty otherwise).
+        """
+        server = self._server(name)
+        if server.breaker.record_failure(now_s):
+            return self._evacuate(name, now_s)
+        return []
+
+    def record_success(self, name: str, now_s: float = 0.0) -> None:
+        """Account one successful request against a server.  A
+        half-open breaker that re-closes here reinstates the server
+        and drains the admission queue onto it."""
+        server = self._server(name)
+        if server.breaker.record_success(now_s):
+            self.drain_queue(now_s)
+
+    def mark_down(self, name: str, now_s: float = 0.0) -> List[int]:
+        """Administratively take a server out of rotation and reassign
+        its sessions.
 
         Returns the session ids that could not be reassigned (their
         reservations are dropped); callers decide whether those tests
         fail or retry.
         """
-        try:
-            server = self.servers[name]
-        except KeyError:
-            raise KeyError(f"unknown server {name!r}")
-        server.healthy = False
+        self._server(name).healthy = False
+        return self._evacuate(name, now_s)
+
+    def mark_up(self, name: str, now_s: float = 0.0) -> None:
+        """Return a server to rotation and drain the admission queue."""
+        self._server(name).healthy = True
+        self.drain_queue(now_s)
+
+    def _evacuate(self, name: str, now_s: float) -> List[int]:
+        """Move every session share off ``name``, preferring servers
+        that are still available.  Shares that fit nowhere are dropped
+        and their session ids returned."""
+        server = self.servers[name]
         server.reserved_mbps = 0.0
         orphans: List[Tuple[int, float, str]] = []
         for assignment in list(self.assignments.values()):
@@ -183,7 +391,9 @@ class ServerPool:
         failed: List[int] = []
         for session_id, share, domain in orphans:
             try:
-                replacement = self.assign(share, domain, headroom=0.0)
+                replacement = self.assign(
+                    share, domain, headroom=0.0, now_s=now_s
+                )
             except PoolError:
                 failed.append(session_id)
                 continue
@@ -194,15 +404,8 @@ class ServerPool:
                 original.shares[srv] = original.shares.get(srv, 0.0) + amount
         return failed
 
-    def mark_up(self, name: str) -> None:
-        """Return a server to rotation."""
-        try:
-            self.servers[name].healthy = True
-        except KeyError:
-            raise KeyError(f"unknown server {name!r}")
 
-
-def pool_from_deployment(deployment) -> ServerPool:
+def pool_from_deployment(deployment, **pool_kwargs) -> ServerPool:
     """Build a pool from a :class:`~repro.deploy.planner.DeploymentPlan`."""
     servers = []
     counter = itertools.count()
@@ -215,4 +418,4 @@ def pool_from_deployment(deployment) -> ServerPool:
                     capacity_mbps=bandwidth,
                 )
             )
-    return ServerPool(servers)
+    return ServerPool(servers, **pool_kwargs)

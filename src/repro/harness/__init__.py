@@ -5,10 +5,26 @@
 * :mod:`repro.harness.comparison` — test groups against FAST and
   FastBTS with BTS-APP as approximate ground truth (Figures 23-25);
 * :mod:`repro.harness.utilization` — a month of workload on the
-  planned server pool, tracing per-server utilization (Figure 26).
+  planned server pool, tracing per-server utilization (Figure 26);
+* :mod:`repro.harness.runtime` — supervised campaign execution:
+  per-row retries with deterministic backoff, quarantine accounting,
+  checkpoint/resume.
 """
 
-from repro.harness.collection import measured_campaign, measurement_error_stats
+from repro.harness.collection import (
+    campaign_subset,
+    measured_campaign,
+    measurement_error_stats,
+    row_environment,
+)
+from repro.harness.runtime import (
+    CampaignReport,
+    CampaignRuntime,
+    CheckpointError,
+    QuarantinedRow,
+    RetryPolicy,
+    run_supervised_campaign,
+)
 from repro.harness.comparison import ComparisonResult, TestGroup, run_comparison
 from repro.harness.pairs import (
     PairCampaign,
@@ -19,15 +35,23 @@ from repro.harness.pairs import (
 from repro.harness.utilization import UtilizationTrace, simulate_utilization
 
 __all__ = [
+    "CampaignReport",
+    "CampaignRuntime",
+    "CheckpointError",
     "ComparisonResult",
     "PairCampaign",
     "PairObservation",
+    "QuarantinedRow",
+    "RetryPolicy",
     "TestGroup",
     "UtilizationTrace",
+    "campaign_subset",
     "environment_for_record",
     "measured_campaign",
     "measurement_error_stats",
+    "row_environment",
     "run_comparison",
     "run_pair_campaign",
+    "run_supervised_campaign",
     "simulate_utilization",
 ]

@@ -13,6 +13,13 @@ Beyond fidelity, this closes a validation loop: the §3 analyses run on
 measured campaigns must agree with the same analyses on ground-truth
 campaigns, because a 10-second flooding test is an accurate estimator.
 ``tests/integration`` and the benchmark suite check exactly that.
+
+Every per-row decision here is a pure function of ``(seed, row)`` —
+subset selection and each row's environment RNG derive from the seed,
+never from global state or the order rows happen to run in.  That
+determinism is what lets the supervised runtime
+(:mod:`repro.harness.runtime`) checkpoint an interrupted campaign and
+resume it bit-identically.
 """
 
 from __future__ import annotations
@@ -25,6 +32,53 @@ from repro.baselines.btsapp import BtsApp
 from repro.baselines.common import BandwidthTestService
 from repro.dataset.records import Dataset, SCHEMA
 from repro.harness.pairs import environment_for_record
+from repro.testbed.env import TestEnvironment
+
+
+def campaign_subset(
+    contexts: Dataset, seed: int = 0, max_tests: Optional[int] = None
+) -> Dataset:
+    """The deterministic subset a measured campaign operates on.
+
+    Subsampling (when ``max_tests`` caps the run) draws from
+    ``default_rng(seed)``, so the same ``(contexts, seed, max_tests)``
+    always yields the same rows in the same order.
+    """
+    if len(contexts) == 0:
+        raise ValueError("no contexts to measure")
+    n = len(contexts) if max_tests is None else min(max_tests, len(contexts))
+    rng = np.random.default_rng(seed)
+    return contexts if n == len(contexts) else contexts.sample(n, rng)
+
+
+def row_environment(
+    subset: Dataset, index: int, seed: int, attempt: int = 0
+) -> TestEnvironment:
+    """Build row ``index``'s simulated environment.
+
+    The RNG is derived purely from ``(seed, index, attempt)``:
+    attempt 0 uses the historical ``seed + 31 x (index + 1)`` stream
+    (so :func:`measured_campaign` results are unchanged), and each
+    retry gets an independent stream — a row that failed on transient
+    simulated weather sees fresh weather, while an interrupted-and-
+    resumed campaign replays identical environments.
+    """
+    if not 0 <= index < len(subset):
+        raise IndexError(f"row {index} outside subset of {len(subset)}")
+    if attempt < 0:
+        raise ValueError(f"attempt must be non-negative, got {attempt}")
+    rng = (
+        np.random.default_rng(seed + 31 * (index + 1))
+        if attempt == 0
+        else np.random.default_rng([seed, index, attempt])
+    )
+    return environment_for_record(
+        float(subset.bandwidth[index]),
+        str(subset.column("tech")[index]),
+        rng=rng,
+        n_servers=5,
+        server_capacity_mbps=1000.0,
+    )
 
 
 def measured_campaign(
@@ -49,28 +103,24 @@ def measured_campaign(
 
     Returns a dataset with identical context columns and the *measured*
     bandwidth in ``bandwidth_mbps``.
+
+    This is the all-or-nothing fast path: a row whose test raises
+    propagates immediately.  Long campaigns that must survive flaky
+    rows and interruptions run through
+    :class:`repro.harness.runtime.CampaignRuntime` instead, which
+    wraps exactly this per-row logic with retries, quarantine, and
+    checkpoint/resume.
     """
-    if len(contexts) == 0:
-        raise ValueError("no contexts to measure")
     service = service or BtsApp()
-    n = len(contexts) if max_tests is None else min(max_tests, len(contexts))
-    rng = np.random.default_rng(seed)
-    subset = contexts if n == len(contexts) else contexts.sample(n, rng)
+    subset = campaign_subset(contexts, seed=seed, max_tests=max_tests)
+    n = len(subset)
 
     columns: Dict[str, np.ndarray] = {
         name: np.array(subset.column(name), copy=True) for name in SCHEMA
     }
     measured = np.empty(n, dtype=np.float64)
-    true_bw = subset.bandwidth
-    techs = subset.column("tech")
     for i in range(n):
-        env = environment_for_record(
-            float(true_bw[i]),
-            str(techs[i]),
-            rng=np.random.default_rng(seed + 31 * (i + 1)),
-            n_servers=5,
-            server_capacity_mbps=1000.0,
-        )
+        env = row_environment(subset, i, seed)
         measured[i] = service.run(env).bandwidth_mbps
     columns["bandwidth_mbps"] = measured
     return Dataset(columns)

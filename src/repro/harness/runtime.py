@@ -1,0 +1,449 @@
+"""Supervised campaign runtime: retries, quarantine, checkpoint/resume.
+
+:func:`repro.harness.collection.measured_campaign` is the faithful but
+all-or-nothing slow path: one row raising mid-campaign loses the whole
+run.  At the paper's scale — 23.6M crowdsourced tests collected over
+months — individual tests fail, servers die mid-campaign, and runs get
+interrupted, so the production path needs supervision:
+
+* **Per-row retries.**  A row whose test raises, or whose result comes
+  back with an unusable :class:`~repro.baselines.common.TestOutcome`,
+  is retried up to :attr:`RetryPolicy.max_attempts` times with
+  exponential backoff and deterministic jitter.  Backoff delays are
+  *accounted*, not slept: the runtime is simulation-side, so the wait
+  a real deployment would incur is summed into
+  :attr:`CampaignReport.backoff_wait_s` instead of stalling the
+  process, and the jitter draws from a seeded RNG — never the wall
+  clock — so every run of the same campaign retries identically.
+* **Quarantine.**  Rows that exhaust their retries are never silently
+  dropped: they are excluded from the measured dataset and recorded as
+  :class:`QuarantinedRow` entries carrying the final outcome (or
+  error) so downstream analyses can reason about the bias of what is
+  missing.
+* **Checkpoint/resume.**  With a checkpoint path configured, progress
+  is flushed to disk every ``checkpoint_every`` rows, atomically
+  (write-temp-then-rename), and once more on the way out — including
+  on ``KeyboardInterrupt``/kill.  Because every per-row decision is a
+  pure function of ``(seed, row, attempt)`` (see
+  :func:`repro.harness.collection.row_environment`), a campaign
+  interrupted at an arbitrary row and resumed from its checkpoint
+  produces a dataset *bit-identical* to the uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.baselines.btsapp import BtsApp
+from repro.baselines.common import BandwidthTestService
+from repro.dataset.records import Dataset, SCHEMA
+from repro.harness.collection import campaign_subset, row_environment
+
+#: Checkpoint file format version.
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file is corrupt or belongs to a different campaign."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a failing row is retried.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total tries per row (first attempt included).
+    backoff_base_s:
+        Delay before the first retry.
+    backoff_factor:
+        Multiplier applied to the delay for each further retry.
+    jitter:
+        Relative jitter amplitude: each delay is scaled by a factor
+        drawn uniformly from ``[1 - jitter, 1 + jitter]`` using a
+        seeded RNG, never the wall clock.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.5
+    backoff_factor: float = 2.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base_s < 0:
+            raise ValueError(
+                f"backoff base must be non-negative, got {self.backoff_base_s}"
+            )
+        if self.backoff_factor < 1:
+            raise ValueError(
+                f"backoff factor must be >= 1, got {self.backoff_factor}"
+            )
+        if not 0 <= self.jitter < 1:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def delay_s(self, seed: int, row: int, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based) of ``row``.
+
+        Deterministic: the jitter RNG is seeded from
+        ``(seed, row, attempt)``, so the accounted delay is identical
+        however many times — or across however many resumes — the row
+        is revisited.
+        """
+        if attempt < 1:
+            raise ValueError(f"retry attempts are 1-based, got {attempt}")
+        base = self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+        rng = np.random.default_rng([seed, row, attempt, 0xB0FF])
+        return float(base * (1.0 + self.jitter * rng.uniform(-1.0, 1.0)))
+
+
+@dataclass(frozen=True)
+class QuarantinedRow:
+    """One row that exhausted its retries.
+
+    ``outcome`` is the final :class:`~repro.baselines.common.TestOutcome`
+    value when the service returned one, or ``"error"`` when every
+    attempt raised (``error`` then holds the last exception's text).
+    """
+
+    row_index: int
+    test_id: int
+    attempts: int
+    outcome: str
+    error: str = ""
+
+
+@dataclass
+class CampaignReport:
+    """What a supervised campaign run produced.
+
+    Attributes
+    ----------
+    dataset:
+        Measured rows (context columns plus measured
+        ``bandwidth_mbps``), in subset order, quarantined rows
+        excluded.  ``None`` when every row was quarantined.
+    quarantined:
+        Rows that exhausted their retries, in subset order.
+    n_rows / n_measured:
+        Subset size and how many rows produced a usable measurement.
+    retries:
+        Extra attempts spent beyond each row's first.
+    backoff_wait_s:
+        Total accounted (not slept) backoff delay.
+    resumed_rows:
+        Rows restored from the checkpoint rather than re-measured.
+    checkpoints_written:
+        Times the checkpoint file was flushed during this run.
+    """
+
+    dataset: Optional[Dataset]
+    quarantined: List[QuarantinedRow]
+    n_rows: int
+    n_measured: int
+    retries: int = 0
+    backoff_wait_s: float = 0.0
+    resumed_rows: int = 0
+    checkpoints_written: int = 0
+
+    @property
+    def n_quarantined(self) -> int:
+        return len(self.quarantined)
+
+
+@dataclass
+class _RowState:
+    """Per-row progress, as persisted in the checkpoint."""
+
+    measured_mbps: Optional[float] = None
+    attempts: int = 0
+    quarantine: Optional[QuarantinedRow] = None
+    backoff_wait_s: float = 0.0
+
+    @property
+    def done(self) -> bool:
+        return self.measured_mbps is not None or self.quarantine is not None
+
+
+class CampaignRuntime:
+    """Supervised wrapper around the measured-campaign slow path.
+
+    Parameters
+    ----------
+    service:
+        The bandwidth test run per row (BTS-APP by default, as in the
+        paper's data collection).
+    retry:
+        Per-row retry policy.
+    checkpoint_path:
+        When set, progress is persisted here and
+        :meth:`run` with ``resume=True`` picks up where a previous
+        (possibly killed) run left off.
+    checkpoint_every:
+        Rows finished (measured or quarantined) between flushes.
+    """
+
+    def __init__(
+        self,
+        service: Optional[BandwidthTestService] = None,
+        retry: Optional[RetryPolicy] = None,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        checkpoint_every: int = 100,
+    ):
+        if checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint interval must be >= 1, got {checkpoint_every}"
+            )
+        self.service = service or BtsApp()
+        self.retry = retry or RetryPolicy()
+        self.checkpoint_path = (
+            Path(checkpoint_path) if checkpoint_path is not None else None
+        )
+        self.checkpoint_every = checkpoint_every
+
+    # -- public --------------------------------------------------------
+
+    def run(
+        self,
+        contexts: Dataset,
+        seed: int = 0,
+        max_tests: Optional[int] = None,
+        resume: bool = False,
+    ) -> CampaignReport:
+        """Measure a campaign under supervision.
+
+        With ``resume=True`` and an existing checkpoint for the same
+        campaign (same contexts/seed/``max_tests``/service), completed
+        rows are restored instead of re-measured; a checkpoint written
+        by a *different* campaign raises :class:`CheckpointError`.
+        """
+        subset = campaign_subset(contexts, seed=seed, max_tests=max_tests)
+        n = len(subset)
+        fingerprint = self._fingerprint(subset, seed, max_tests)
+
+        rows: Dict[int, _RowState] = {}
+        resumed_rows = 0
+        if resume and self.checkpoint_path is not None:
+            rows = self._load_checkpoint(fingerprint)
+            resumed_rows = sum(1 for s in rows.values() if s.done)
+
+        retries = 0
+        checkpoints_written = 0
+        since_flush = 0
+        try:
+            for i in range(n):
+                state = rows.get(i)
+                if state is not None and state.done:
+                    continue
+                rows[i] = state = self._measure_row(subset, i, seed)
+                retries += max(0, state.attempts - 1)
+                since_flush += 1
+                if (
+                    self.checkpoint_path is not None
+                    and since_flush >= self.checkpoint_every
+                ):
+                    self._write_checkpoint(fingerprint, rows)
+                    checkpoints_written += 1
+                    since_flush = 0
+        finally:
+            # Flush on every exit path — normal completion, a service
+            # bug, or a kill — so a resume never loses finished rows.
+            if self.checkpoint_path is not None and since_flush > 0:
+                self._write_checkpoint(fingerprint, rows)
+                checkpoints_written += 1
+
+        return self._report(
+            subset, rows, resumed_rows, retries, checkpoints_written
+        )
+
+    # -- per-row supervision -------------------------------------------
+
+    def _measure_row(self, subset: Dataset, index: int, seed: int) -> _RowState:
+        """Run one row to completion: retry until a usable result or
+        the attempt budget is spent, then quarantine."""
+        state = _RowState()
+        last_outcome = "error"
+        last_error = ""
+        for attempt in range(self.retry.max_attempts):
+            if attempt:
+                state.backoff_wait_s += self.retry.delay_s(seed, index, attempt)
+            state.attempts = attempt + 1
+            env = row_environment(subset, index, seed, attempt=attempt)
+            try:
+                result = self.service.run(env)
+            except Exception as exc:
+                last_outcome = "error"
+                last_error = f"{type(exc).__name__}: {exc}"
+                continue
+            if result.outcome.usable:
+                state.measured_mbps = float(result.bandwidth_mbps)
+                return state
+            last_outcome = result.outcome.value
+            last_error = ""
+        state.quarantine = QuarantinedRow(
+            row_index=index,
+            test_id=int(subset.column("test_id")[index]),
+            attempts=state.attempts,
+            outcome=last_outcome,
+            error=last_error,
+        )
+        return state
+
+    # -- reporting -----------------------------------------------------
+
+    def _report(
+        self,
+        subset: Dataset,
+        rows: Dict[int, _RowState],
+        resumed_rows: int,
+        retries: int,
+        checkpoints_written: int,
+    ) -> CampaignReport:
+        n = len(subset)
+        measured_idx = [
+            i for i in range(n)
+            if i in rows and rows[i].measured_mbps is not None
+        ]
+        quarantined = [
+            rows[i].quarantine for i in range(n)
+            if i in rows and rows[i].quarantine is not None
+        ]
+        dataset: Optional[Dataset] = None
+        if measured_idx:
+            mask = np.zeros(n, dtype=bool)
+            mask[measured_idx] = True
+            kept = subset.filter(mask)
+            columns = {
+                name: np.array(kept.column(name), copy=True)
+                for name in SCHEMA
+            }
+            columns["bandwidth_mbps"] = np.array(
+                [rows[i].measured_mbps for i in measured_idx],
+                dtype=np.float64,
+            )
+            dataset = Dataset(columns)
+        return CampaignReport(
+            dataset=dataset,
+            quarantined=quarantined,
+            n_rows=n,
+            n_measured=len(measured_idx),
+            retries=retries,
+            backoff_wait_s=sum(s.backoff_wait_s for s in rows.values()),
+            resumed_rows=resumed_rows,
+            checkpoints_written=checkpoints_written,
+        )
+
+    # -- checkpointing -------------------------------------------------
+
+    def _fingerprint(
+        self, subset: Dataset, seed: int, max_tests: Optional[int]
+    ) -> Dict:
+        """Identity of a campaign: a checkpoint only resumes runs over
+        the exact same subset with the same seed and service."""
+        ids = np.ascontiguousarray(
+            subset.column("test_id").astype(np.int64)
+        )
+        return {
+            "version": CHECKPOINT_VERSION,
+            "seed": int(seed),
+            "max_tests": max_tests,
+            "n_rows": len(subset),
+            "service": self.service.name,
+            "test_ids_crc": zlib.crc32(ids.tobytes()),
+        }
+
+    def _write_checkpoint(
+        self, fingerprint: Dict, rows: Dict[int, _RowState]
+    ) -> None:
+        """Atomic flush: write a sibling temp file, then rename over
+        the checkpoint so a kill mid-write never corrupts it."""
+        payload = {
+            "fingerprint": fingerprint,
+            "rows": {
+                str(i): {
+                    "measured_mbps": s.measured_mbps,
+                    "attempts": s.attempts,
+                    "backoff_wait_s": s.backoff_wait_s,
+                    "quarantine": (
+                        None if s.quarantine is None else {
+                            "row_index": s.quarantine.row_index,
+                            "test_id": s.quarantine.test_id,
+                            "attempts": s.quarantine.attempts,
+                            "outcome": s.quarantine.outcome,
+                            "error": s.quarantine.error,
+                        }
+                    ),
+                }
+                for i, s in rows.items()
+                if s.done
+            },
+        }
+        tmp = self.checkpoint_path.with_name(
+            self.checkpoint_path.name + ".tmp"
+        )
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, self.checkpoint_path)
+
+    def _load_checkpoint(self, fingerprint: Dict) -> Dict[int, _RowState]:
+        """Restore per-row progress; absent file means a fresh start."""
+        if not self.checkpoint_path.exists():
+            return {}
+        try:
+            with open(self.checkpoint_path) as handle:
+                payload = json.load(handle)
+            stored = payload["fingerprint"]
+            raw_rows = payload["rows"]
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise CheckpointError(
+                f"{self.checkpoint_path}: unreadable checkpoint ({exc})"
+            )
+        if stored != fingerprint:
+            raise CheckpointError(
+                f"{self.checkpoint_path}: checkpoint belongs to a different "
+                f"campaign (stored {stored}, expected {fingerprint})"
+            )
+        rows: Dict[int, _RowState] = {}
+        for key, entry in raw_rows.items():
+            quarantine = entry.get("quarantine")
+            rows[int(key)] = _RowState(
+                measured_mbps=entry.get("measured_mbps"),
+                attempts=int(entry.get("attempts", 0)),
+                backoff_wait_s=float(entry.get("backoff_wait_s", 0.0)),
+                quarantine=(
+                    None if quarantine is None
+                    else QuarantinedRow(**quarantine)
+                ),
+            )
+        return rows
+
+
+def run_supervised_campaign(
+    contexts: Dataset,
+    service: Optional[BandwidthTestService] = None,
+    seed: int = 0,
+    max_tests: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
+    checkpoint_path: Optional[Union[str, Path]] = None,
+    checkpoint_every: int = 100,
+    resume: bool = False,
+) -> CampaignReport:
+    """One-call convenience over :class:`CampaignRuntime`."""
+    runtime = CampaignRuntime(
+        service=service,
+        retry=retry,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+    )
+    return runtime.run(contexts, seed=seed, max_tests=max_tests, resume=resume)

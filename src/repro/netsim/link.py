@@ -7,7 +7,7 @@ fluctuate or be traffic-shaped while server uplinks stay constant.
 
 from __future__ import annotations
 
-from typing import Set, TYPE_CHECKING, Union
+from typing import Dict, TYPE_CHECKING, Union
 
 from repro.netsim.trace import CapacityTrace, ConstantTrace
 
@@ -33,7 +33,10 @@ class Link:
         else:
             self.trace = ConstantTrace(float(capacity))
         self.name = name
-        self.flows: Set["Flow"] = set()
+        # Insertion-ordered on purpose: allocation sums over flows, and
+        # float summation order must not depend on object addresses the
+        # way set iteration does — bit-identical replay requires it.
+        self.flows: Dict["Flow", None] = {}
 
     def capacity_at(self, time_s: float) -> float:
         """Instantaneous capacity in Mbps."""
@@ -41,12 +44,12 @@ class Link:
 
     def attach(self, flow: "Flow") -> None:
         """Register a flow as traversing this link."""
-        self.flows.add(flow)
+        self.flows[flow] = None
 
     def detach(self, flow: "Flow") -> None:
         """Remove a flow; missing flows are ignored so teardown is
         idempotent."""
-        self.flows.discard(flow)
+        self.flows.pop(flow, None)
 
     def utilization_at(self, time_s: float) -> float:
         """Fraction of capacity consumed by currently allocated flows."""

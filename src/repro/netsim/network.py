@@ -12,7 +12,7 @@ access link, possibly further limited by server uplinks.
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Set
+from typing import Dict, Iterable, List
 
 from repro.netsim.flow import Flow
 from repro.netsim.link import Link
@@ -26,7 +26,12 @@ class Network:
 
     def __init__(self) -> None:
         self.links: List[Link] = []
-        self.flows: Set[Flow] = set()
+        # Insertion-ordered (dict, not set): progressive filling sums
+        # and iterates over flows, and float summation order must be a
+        # function of the simulation alone, never of object addresses —
+        # checkpoint/resume replays rows bit-identically only because
+        # every iteration order here is deterministic.
+        self.flows: Dict[Flow, None] = {}
 
     def add_link(self, link: Link) -> Link:
         """Register a link.  Returns it for chaining."""
@@ -39,14 +44,14 @@ class Network:
             if link not in self.links:
                 raise ValueError(f"{link!r} is not part of this network")
             link.attach(flow)
-        self.flows.add(flow)
+        self.flows[flow] = None
         return flow
 
     def stop_flow(self, flow: Flow) -> None:
         """Deactivate a flow; idempotent."""
         for link in flow.links:
             link.detach(flow)
-        self.flows.discard(flow)
+        self.flows.pop(flow, None)
         flow.allocated_mbps = 0.0
 
     def allocate(self, time_s: float) -> None:

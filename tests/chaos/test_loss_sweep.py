@@ -107,6 +107,33 @@ def test_corruption_duplication_reordering_combined(model):
     assert result.duration_s <= 5.0
 
 
+def test_ladder_escapes_initial_rung_under_sustained_loss(model):
+    """Loss-aware saturation (the fix for the old documented limit):
+    sustained loss at or above the 5% margin used to masquerade as
+    saturation and pin the ladder at its initial rung, collapsing the
+    estimate toward ``initial_rate x (1 - loss)``.  The saturation
+    floor is now discounted by the observed loss fraction, so the
+    ladder climbs to the capacity's true rung."""
+    from repro.core.probing import SATURATION_MARGIN
+
+    initial = model.initial_rate_mbps()
+    for loss_rate in (0.05, 0.08, 0.10):
+        assert loss_rate >= SATURATION_MARGIN or loss_rate > 0.04
+        result = run_loopback_session(
+            model,
+            capacity_mbps=250.0,
+            data_faults=iid_faults(loss_rate, seed=int(loss_rate * 1000)),
+        )
+        # Escaped the 100 Mbps initial rung...
+        assert len(result.rate_commands) >= 2, f"pinned at {loss_rate:.0%}"
+        assert max(result.rate_commands) > initial
+        # ...and the estimate sits near the link's lossy goodput, not
+        # the initial rung's.
+        assert result.bandwidth_mbps >= 250.0 * (1.0 - loss_rate - 0.10)
+        assert result.bandwidth_mbps > initial
+        assert result.duration_s <= 5.0
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("loss_rate", [0.01, 0.05, 0.10])
 @pytest.mark.parametrize("capacity", [30.0, 60.0, 250.0])
@@ -115,14 +142,13 @@ def test_iid_loss_sweep(model, loss_rate, capacity):
     bounded by the loss fraction plus convergence noise, duration by
     the 5 s budget, and no exception escapes.
 
-    One documented limit of loss-unaware saturation detection: when
-    the loss rate reaches Swiftest's 5% saturation margin, delivered
-    samples at a rung sit below ``rate x (1 - margin)`` even on an
-    unsaturated link, so the ladder can pin at its first rung and the
-    estimate collapses to ``initial_rate x (1 - loss)``.
+    Saturation detection is loss-aware (the floor is discounted by the
+    observed loss fraction, clamped to ``MAX_LOSS_DISCOUNT``), so the
+    rate ladder escapes its initial rung even when the loss rate
+    matches or exceeds the 5% saturation margin — the old
+    saturation-masking collapse no longer appears anywhere in the
+    sweep.
     """
-    from repro.core.probing import SATURATION_MARGIN
-
     lossless = run_loopback_session(model, capacity_mbps=capacity)
     result = run_loopback_session(
         model,
@@ -134,9 +160,8 @@ def test_iid_loss_sweep(model, loss_rate, capacity):
     ceiling = lossless.bandwidth_mbps * 1.10
     # Goodput under p loss is legitimately ~(1-p)x: allow that plus 10%.
     floor = lossless.bandwidth_mbps * (1.0 - loss_rate - 0.10)
-    if loss_rate >= SATURATION_MARGIN:
-        # Saturation masking: the ladder may never leave the initial
-        # rung, capping the estimate near that rung's goodput.
-        initial = model.initial_rate_mbps()
-        floor = min(floor, initial * (1.0 - loss_rate - 0.10))
     assert floor <= result.bandwidth_mbps <= ceiling
+    if capacity > model.initial_rate_mbps():
+        # The ladder must not pin below a capacity above the initial
+        # rung, whatever the loss rate.
+        assert len(result.rate_commands) >= 2

@@ -87,3 +87,24 @@ def test_custom_window_and_threshold():
     det.push(95.0)
     det.push(92.0)
     assert det.converged()  # 8% spread within the 10% threshold
+
+
+def test_nan_sample_rejected():
+    """Regression: ``sample < 0`` is False for NaN, so NaN used to slip
+    into the window and poison the spread arithmetic (NaN comparisons
+    are all False, so a NaN-bearing window could report converged)."""
+    det = ConvergenceDetector()
+    with pytest.raises(ValueError):
+        det.push(float("nan"))
+    assert det.count == 0  # nothing entered the window
+
+
+def test_infinite_sample_rejected():
+    det = ConvergenceDetector()
+    for value in (float("inf"), float("-inf")):
+        with pytest.raises(ValueError):
+            det.push(value)
+    # The detector stays usable after the rejections.
+    for _ in range(10):
+        det.push(100.0)
+    assert det.converged()

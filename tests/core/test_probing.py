@@ -117,3 +117,58 @@ def test_parameter_validation():
         ProbingController(make_model(), dwell=0)
     with pytest.raises(ValueError):
         ProbingController(make_model(), escape_factor=1.0)
+
+
+def test_nan_and_inf_samples_rejected():
+    """The detector's finiteness guard surfaces through on_sample."""
+    ctrl = ProbingController(make_model())
+    for bad in (float("nan"), float("inf"), float("-inf")):
+        with pytest.raises(ValueError):
+            ctrl.on_sample(bad)
+    assert ctrl.rate_mbps == 100.0  # state untouched by rejected samples
+
+
+def test_loss_fraction_validation():
+    ctrl = ProbingController(make_model())
+    with pytest.raises(ValueError):
+        ctrl.on_sample(90.0, loss_fraction=-0.01)
+    with pytest.raises(ValueError):
+        ctrl.on_sample(90.0, loss_fraction=1.0)
+    with pytest.raises(ValueError):
+        ProbingController(make_model(), max_loss_discount=1.0)
+
+
+def test_sustained_loss_does_not_pin_ladder():
+    """5% loss on an unsaturated link: delivered ~95 sits below the
+    loss-unaware floor (100 x 0.95 = 95), but discounting the observed
+    loss drops the floor to ~90.25 and the ladder climbs."""
+    ctrl = ProbingController(make_model())
+    for _ in range(3):
+        ctrl.on_sample(94.9, loss_fraction=0.05)
+    assert ctrl.rate_mbps == 300.0
+    assert ctrl.rungs_visited == [100.0, 300.0]
+
+
+def test_loss_discount_is_clamped():
+    """A genuinely saturated rung with heavy congestion loss must still
+    read as saturated: the discount is capped at MAX_LOSS_DISCOUNT, so
+    a 60 Mbps link probed at 100 Mbps (40% loss) cannot talk its way
+    past the saturation test and run the ladder away."""
+    from repro.core.probing import MAX_LOSS_DISCOUNT
+
+    ctrl = ProbingController(make_model())
+    decision = None
+    for _ in range(10):
+        decision = ctrl.on_sample(60.0, loss_fraction=0.40)
+    assert ctrl.rungs_visited == [100.0]  # never escalated
+    assert decision.finished
+    assert decision.result_mbps == pytest.approx(60.0)
+    assert MAX_LOSS_DISCOUNT < 0.40
+
+
+def test_lossless_behaviour_unchanged():
+    """Default loss_fraction=0.0 reproduces the historical floor."""
+    ctrl = ProbingController(make_model())
+    for _ in range(10):
+        ctrl.on_sample(94.0)  # below 95 = 100 x (1 - 5%): saturated
+    assert ctrl.rungs_visited == [100.0]

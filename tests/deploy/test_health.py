@@ -1,0 +1,117 @@
+"""Circuit breaker and heartbeat state machines (clock-free)."""
+
+import pytest
+
+from repro.deploy.health import BreakerState, CircuitBreaker, HealthMonitor
+
+
+# -- circuit breaker ----------------------------------------------------
+
+
+def test_breaker_starts_closed_and_allows():
+    breaker = CircuitBreaker()
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.allows(0.0)
+    assert breaker.trips == 0
+
+
+def test_breaker_trips_after_consecutive_failures():
+    breaker = CircuitBreaker(failure_threshold=3, cooldown_s=30.0)
+    assert not breaker.record_failure(0.0)
+    assert not breaker.record_failure(0.0)
+    assert breaker.record_failure(0.0)  # third one trips
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.trips == 1
+    assert not breaker.allows(29.9)  # still cooling down
+
+
+def test_success_resets_the_streak():
+    breaker = CircuitBreaker(failure_threshold=3)
+    breaker.record_failure(0.0)
+    breaker.record_failure(0.0)
+    breaker.record_success(0.0)
+    assert not breaker.record_failure(0.0)
+    assert not breaker.record_failure(0.0)
+    assert breaker.state is BreakerState.CLOSED
+
+
+def test_cooldown_elapses_into_half_open_probe():
+    breaker = CircuitBreaker(failure_threshold=1, cooldown_s=30.0)
+    breaker.record_failure(0.0)
+    assert not breaker.allows(15.0)
+    assert breaker.allows(30.0)  # lazy OPEN -> HALF_OPEN transition
+    assert breaker.state is BreakerState.HALF_OPEN
+
+
+def test_half_open_probe_success_recloses():
+    breaker = CircuitBreaker(failure_threshold=1, cooldown_s=10.0)
+    breaker.record_failure(0.0)
+    assert breaker.allows(10.0)
+    assert breaker.record_success(10.0)  # True: server reinstated
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.allows(10.0)
+
+
+def test_half_open_probe_failure_reopens_with_fresh_cooldown():
+    breaker = CircuitBreaker(failure_threshold=1, cooldown_s=10.0)
+    breaker.record_failure(0.0)
+    assert breaker.allows(10.0)  # half-open
+    assert breaker.record_failure(10.0)  # probe failed: trip again
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.trips == 2
+    assert not breaker.allows(19.0)  # cooldown restarted at t=10
+    assert breaker.allows(20.0)
+
+
+def test_multiple_probe_successes_required_when_configured():
+    breaker = CircuitBreaker(
+        failure_threshold=1, cooldown_s=10.0, probe_successes=2
+    )
+    breaker.record_failure(0.0)
+    assert breaker.allows(10.0)
+    assert not breaker.record_success(10.0)  # 1 of 2
+    assert breaker.state is BreakerState.HALF_OPEN
+    assert breaker.record_success(11.0)  # 2 of 2: reinstated
+    assert breaker.state is BreakerState.CLOSED
+
+
+def test_breaker_validation():
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(cooldown_s=0.0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(probe_successes=0)
+
+
+# -- heartbeat monitor --------------------------------------------------
+
+
+def test_monitor_without_timeout_trusts_everyone():
+    monitor = HealthMonitor(timeout_s=None)
+    assert monitor.alive("never-seen", now_s=1e9)
+
+
+def test_monitor_tracks_freshness():
+    monitor = HealthMonitor(timeout_s=10.0)
+    # Benefit of the doubt before the first report.
+    assert monitor.alive("s1", now_s=100.0)
+    monitor.beat("s1", now_s=100.0)
+    assert monitor.alive("s1", now_s=110.0)
+    assert not monitor.alive("s1", now_s=110.1)
+    monitor.beat("s1", now_s=120.0)
+    assert monitor.alive("s1", now_s=125.0)
+    assert monitor.last_seen("s1") == 120.0
+    assert monitor.last_seen("s2") is None
+
+
+def test_monitor_rejects_backwards_heartbeats():
+    monitor = HealthMonitor(timeout_s=10.0)
+    monitor.beat("s1", now_s=50.0)
+    with pytest.raises(ValueError):
+        monitor.beat("s1", now_s=49.0)
+
+
+def test_monitor_validation():
+    with pytest.raises(ValueError):
+        HealthMonitor(timeout_s=0.0)

@@ -118,3 +118,134 @@ def test_pool_from_deployment_covers_domains():
     domains = {s.domain for s in pool.servers.values()}
     assert domains == set(IXP_DOMAINS)
     assert pool.total_capacity_mbps() == deployment.total_capacity_mbps
+
+
+# -- self-healing: breakers, heartbeats, cross-domain failover ----------
+
+
+def test_whole_domain_down_falls_back_to_nearest_domain():
+    """Regression: a client whose entire IXP domain is down must be
+    served from the *nearest* healthy domain (Nanjing, for Wuhan), not
+    an arbitrary one."""
+    pool = make_pool(per_domain=2, capacity=100.0)
+    pool.mark_down("wuhan-0")
+    pool.mark_down("wuhan-1")
+    assignment = pool.assign(80.0, client_domain="Wuhan")
+    assert assignment.shares
+    assert all(name.startswith("nanjing") for name in assignment.shares)
+
+
+def test_breaker_trip_evacuates_sessions_cross_domain():
+    pool = make_pool(per_domain=1, capacity=100.0)
+    assignment = pool.assign(80.0, client_domain="Wuhan", headroom=0.0)
+    assert set(assignment.shares) == {"wuhan-0"}
+    failed = []
+    for _ in range(3):  # default failure_threshold
+        failed = pool.record_failure("wuhan-0", now_s=1.0)
+    assert failed == []
+    assert not pool.available("wuhan-0", now_s=1.0)
+    refreshed = pool.assignments[assignment.session_id]
+    assert "wuhan-0" not in refreshed.shares
+    assert refreshed.total_mbps == pytest.approx(80.0)
+    # Nearest healthy domain won the evacuated share.
+    assert all(name.startswith("nanjing") for name in refreshed.shares)
+
+
+def test_breaker_recovery_reinstates_server():
+    pool = make_pool(per_domain=1, capacity=100.0)
+    for _ in range(3):
+        pool.record_failure("wuhan-0", now_s=0.0)
+    assert not pool.available("wuhan-0", now_s=10.0)
+    # Cooldown (30 s default) elapses: half-open admits a probe, and a
+    # probe success reinstates the server.
+    assert pool.available("wuhan-0", now_s=31.0)
+    pool.record_success("wuhan-0", now_s=31.0)
+    assignment = pool.assign(50.0, client_domain="Wuhan", now_s=32.0)
+    assert "wuhan-0" in assignment.shares
+
+
+def test_success_resets_failure_streak():
+    pool = make_pool(per_domain=1)
+    pool.record_failure("wuhan-0", now_s=0.0)
+    pool.record_failure("wuhan-0", now_s=0.0)
+    pool.record_success("wuhan-0", now_s=0.0)
+    pool.record_failure("wuhan-0", now_s=0.0)
+    pool.record_failure("wuhan-0", now_s=0.0)
+    assert pool.available("wuhan-0", now_s=0.0)  # never reached 3 in a row
+
+
+def test_heartbeat_silence_takes_server_out_of_rotation():
+    servers = [
+        PoolServer(name="wuhan-0", domain="Wuhan", capacity_mbps=100.0),
+        PoolServer(name="nanjing-0", domain="Nanjing", capacity_mbps=100.0),
+    ]
+    pool = ServerPool(servers, heartbeat_timeout_s=10.0)
+    pool.heartbeat("wuhan-0", now_s=0.0)
+    assert pool.available("wuhan-0", now_s=5.0)
+    assert not pool.available("wuhan-0", now_s=20.0)  # went silent
+    assignment = pool.assign(50.0, client_domain="Wuhan", now_s=20.0)
+    assert set(assignment.shares) == {"nanjing-0"}
+    pool.heartbeat("wuhan-0", now_s=25.0)
+    assert pool.available("wuhan-0", now_s=25.0)
+
+
+# -- typed admission control and the wait queue -------------------------
+
+
+def test_pool_saturated_carries_diagnostics():
+    from repro.deploy.pool import PoolSaturated
+
+    pool = make_pool(per_domain=1, capacity=100.0)  # 800 Mbps total
+    with pytest.raises(PoolSaturated) as exc_info:
+        pool.assign(1000.0, client_domain="Beijing", headroom=0.0)
+    err = exc_info.value
+    assert isinstance(err, PoolError)  # callers on the old API still catch
+    assert err.demand_mbps == 1000.0
+    assert err.shortfall_mbps == pytest.approx(200.0)
+    assert err.queue_depth == 0
+
+
+def test_enqueue_grants_immediately_when_capacity_allows():
+    pool = make_pool(per_domain=1, capacity=100.0)
+    ticket = pool.enqueue(50.0, client_domain="Wuhan", headroom=0.0)
+    assert ticket.granted
+    assert ticket.assignment.total_mbps == pytest.approx(50.0)
+
+
+def test_queue_drains_fifo_on_release():
+    pool = ServerPool([
+        PoolServer(name="only", domain="Beijing", capacity_mbps=100.0),
+    ])
+    first = pool.assign(100.0, client_domain="Beijing", headroom=0.0)
+    t1 = pool.enqueue(60.0, client_domain="Beijing", headroom=0.0)
+    t2 = pool.enqueue(30.0, client_domain="Beijing", headroom=0.0)
+    assert not t1.granted and not t2.granted
+    assert len(pool.queue) == 2
+    pool.release(first.session_id)
+    assert t1.granted and t2.granted
+    assert pool.queue == []
+
+
+def test_queue_preserves_head_of_line_order():
+    """A small request behind a big one must not jump the queue."""
+    pool = ServerPool([
+        PoolServer(name="only", domain="Beijing", capacity_mbps=100.0),
+    ])
+    first = pool.assign(100.0, client_domain="Beijing", headroom=0.0)
+    big = pool.enqueue(90.0, client_domain="Beijing", headroom=0.0)
+    small = pool.enqueue(30.0, client_domain="Beijing", headroom=0.0)
+    pool.release(first.session_id)
+    assert big.granted
+    assert not small.granted  # only 10 Mbps left; it keeps waiting
+    assert pool.queue == [small]
+
+
+def test_server_reinstatement_drains_queue():
+    pool = ServerPool([
+        PoolServer(name="a", domain="Beijing", capacity_mbps=100.0),
+    ])
+    pool.mark_down("a")
+    ticket = pool.enqueue(40.0, client_domain="Beijing", headroom=0.0)
+    assert not ticket.granted
+    pool.mark_up("a")
+    assert ticket.granted

@@ -55,3 +55,106 @@ def test_measured_campaign_validation(contexts):
 def test_error_stats_require_matching_ids(contexts, measured):
     with pytest.raises(ValueError):
         measurement_error_stats(contexts.where(tech="6G"), measured)
+
+
+# -- failure paths and determinism --------------------------------------
+
+
+class _RaisesOnThirdRow:
+    """A service that blows up on its third call."""
+
+    name = "raises-3"
+
+    def __init__(self):
+        self.calls = 0
+
+    def run(self, env):
+        self.calls += 1
+        if self.calls == 3:
+            raise RuntimeError("server vanished mid-campaign")
+        from repro.baselines.btsapp import BtsApp
+        return BtsApp().run(env)
+
+
+def test_service_raising_mid_campaign_propagates(contexts):
+    """measured_campaign is the all-or-nothing fast path: a mid-run
+    exception reaches the caller untouched (the supervised runtime is
+    where retries and quarantine live)."""
+    service = _RaisesOnThirdRow()
+    with pytest.raises(RuntimeError, match="vanished mid-campaign"):
+        measured_campaign(contexts, service=service, max_tests=10, seed=3)
+    assert service.calls == 3  # rows after the failure never ran
+
+
+def test_subsampling_is_deterministic_under_fixed_seed(contexts):
+    from repro.harness.collection import campaign_subset
+
+    a = campaign_subset(contexts, seed=9, max_tests=25)
+    b = campaign_subset(contexts, seed=9, max_tests=25)
+    assert a.column("test_id").tolist() == b.column("test_id").tolist()
+    c = campaign_subset(contexts, seed=10, max_tests=25)
+    assert a.column("test_id").tolist() != c.column("test_id").tolist()
+    # No cap means the subset is the campaign itself, in order.
+    full = campaign_subset(contexts, seed=9)
+    assert full.column("test_id").tolist() == \
+        contexts.column("test_id").tolist()
+
+
+def test_row_environment_validates_index_and_attempt(contexts):
+    from repro.harness.collection import campaign_subset, row_environment
+
+    subset = campaign_subset(contexts, seed=3, max_tests=5)
+    with pytest.raises(IndexError):
+        row_environment(subset, 5, seed=3)
+    with pytest.raises(IndexError):
+        row_environment(subset, -1, seed=3)
+    with pytest.raises(ValueError):
+        row_environment(subset, 0, seed=3, attempt=-1)
+
+
+def test_retry_attempts_see_independent_weather(contexts):
+    """Attempt 0 replays the historical RNG stream; retries draw fresh
+    (but still seeded) streams, so a transient simulated failure is not
+    deterministically replayed on retry."""
+    from repro.harness.collection import campaign_subset, row_environment
+
+    subset = campaign_subset(contexts, seed=3, max_tests=5)
+    env0a = row_environment(subset, 2, seed=3, attempt=0)
+    env0b = row_environment(subset, 2, seed=3, attempt=0)
+    env1 = row_environment(subset, 2, seed=3, attempt=1)
+    # Same attempt -> identical environment (same capacity trajectory).
+    assert env0a.true_capacity(1.0) == env0b.true_capacity(1.0)
+    # Different attempt -> same base capacity, different weather.
+    assert env1.access.trace.base_mbps == env0a.access.trace.base_mbps
+    assert env1.true_capacity(1.0) != env0a.true_capacity(1.0)
+
+
+def test_quarantined_rows_are_accounted_not_dropped(contexts):
+    """The supervised path over the same subset: every subset row ends
+    up either measured or in the quarantine report — none vanish."""
+    from repro.baselines.common import BandwidthTestService
+    from repro.harness.collection import campaign_subset
+    from repro.harness.runtime import RetryPolicy, run_supervised_campaign
+
+    class Fails5G(BandwidthTestService):
+        name = "fails-5g"
+
+        def run(self, env):
+            if env.tech == "5G":
+                raise RuntimeError("no 5G backend today")
+            from repro.baselines.btsapp import BtsApp
+            return BtsApp().run(env)
+
+    subset = campaign_subset(contexts, seed=3, max_tests=30)
+    n_5g = sum(1 for t in subset.column("tech").tolist() if t == "5G")
+    report = run_supervised_campaign(
+        contexts, service=Fails5G(), seed=3, max_tests=30,
+        retry=RetryPolicy(max_attempts=2),
+    )
+    assert report.n_measured + report.n_quarantined == 30
+    assert report.n_quarantined == n_5g
+    measured_ids = set(report.dataset.column("test_id").tolist())
+    quarantined_ids = {row.test_id for row in report.quarantined}
+    assert measured_ids | quarantined_ids == \
+        set(subset.column("test_id").tolist())
+    assert measured_ids.isdisjoint(quarantined_ids)

@@ -86,3 +86,35 @@ def test_report_command(campaign_csv, capsys):
     assert "Access technologies" in captured
     assert "5G per band" in captured
     assert "█" in captured  # bar-chart rendering
+
+
+def test_measure_command(campaign_csv, tmp_path, capsys):
+    out = tmp_path / "measured.csv"
+    ck = tmp_path / "run.ckpt"
+    code = main([
+        "measure", campaign_csv, "--tests", "6", "--seed", "4",
+        "--out", str(out), "--checkpoint", str(ck),
+        "--checkpoint-every", "2",
+    ])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "measured 6/6 rows" in captured
+    assert ck.exists()
+    assert len(Dataset.from_csv(out)) == 6
+
+
+def test_measure_resume_skips_finished_rows(campaign_csv, tmp_path, capsys):
+    ck = tmp_path / "run.ckpt"
+    base = ["measure", campaign_csv, "--tests", "5", "--seed", "4",
+            "--checkpoint", str(ck)]
+    assert main(base) == 0
+    capsys.readouterr()
+    assert main(base + ["--resume"]) == 0
+    captured = capsys.readouterr().out
+    assert "resumed 5 row(s)" in captured
+
+
+def test_measure_resume_requires_checkpoint(campaign_csv, capsys):
+    code = main(["measure", campaign_csv, "--resume"])
+    assert code == 2
+    assert "--resume requires --checkpoint" in capsys.readouterr().err
