@@ -1,0 +1,44 @@
+"""Campaign engine performance: serial vs sharded+vectorized.
+
+The acceptance benchmark of the sharded engine: the ``n_shards=8``
+vectorized configuration must be byte-identical to the serial
+per-packet baseline and at least 3x faster in rows/sec.  The smoke
+test runs the smallest size (CI's bench-smoke job); the full
+three-size sweep that produces ``BENCH_campaign.json`` is marked
+``slow``.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.bench import (
+    DEFAULT_SEED,
+    DEFAULT_SHARDS,
+    DEFAULT_SIZES,
+    bench_one_size,
+    run_campaign_bench,
+)
+
+
+def test_perf_sharded_campaign_smoke():
+    """Smallest size: byte-identical and >= 3x rows/sec."""
+    case = bench_one_size(
+        DEFAULT_SIZES[0], n_shards=DEFAULT_SHARDS, seed=DEFAULT_SEED
+    )
+    assert case.byte_identical
+    assert case.speedup >= 3.0
+    assert case.sharded_rows_per_s >= 3.0 * case.serial_rows_per_s
+
+
+@pytest.mark.slow
+def test_perf_full_campaign_bench(tmp_path):
+    """The full sweep behind BENCH_campaign.json."""
+    out = tmp_path / "BENCH_campaign.json"
+    summary = run_campaign_bench(out_path=out)
+    assert summary["all_byte_identical"]
+    assert summary["min_speedup"] >= 3.0
+    assert summary["peak_rss_mb"] > 0
+    on_disk = json.loads(out.read_text())
+    assert on_disk["sizes"] == list(DEFAULT_SIZES)
+    assert len(on_disk["cases"]) == len(DEFAULT_SIZES)

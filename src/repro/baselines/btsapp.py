@@ -15,8 +15,17 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.baselines.common import BandwidthTestService, BTSResult, TestOutcome
-from repro.baselines.driver import TcpFloodSession, ping_phase_duration
+from repro.baselines.common import (
+    BandwidthTestService,
+    BTSResult,
+    TestOutcome,
+    failed_result,
+)
+from repro.baselines.driver import (
+    NoReachableServerError,
+    TcpFloodSession,
+    ping_phase_duration,
+)
 from repro.testbed.env import TestEnvironment
 
 PROBE_DURATION_S = 10.0
@@ -66,7 +75,10 @@ class BtsApp(BandwidthTestService):
     def run(self, env: TestEnvironment) -> BTSResult:
         ping_s = ping_phase_duration(env, N_PINGED)
         session = TcpFloodSession(env, cc_name=self.cc_name)
-        samples = session.run(PROBE_DURATION_S)
+        try:
+            samples = session.run(PROBE_DURATION_S)
+        except NoReachableServerError as exc:
+            return failed_result(self.name, ping_s, exc)
         values: List[float] = [s for _, s in samples]
         bandwidth = group_trimmed_mean(values)
         return BTSResult(

@@ -102,6 +102,27 @@ class BandwidthTestService(abc.ABC):
         """Execute one bandwidth test against an environment."""
 
 
+def failed_result(service: str, ping_s: float, error: Exception, **meta) -> BTSResult:
+    """A ``FAILED`` result for a test that could not start.
+
+    Used by every flooding-based service when
+    :class:`~repro.baselines.driver.NoReachableServerError` says the
+    whole candidate pool was dead: the PING phase happened (and is
+    accounted), but no probing did.
+    """
+    return BTSResult(
+        service=service,
+        bandwidth_mbps=0.0,
+        duration_s=0.0,
+        ping_s=ping_s,
+        bytes_used=0.0,
+        samples=[],
+        servers_used=0,
+        meta={"error": f"{type(error).__name__}: {error}", **meta},
+        outcome=TestOutcome.FAILED,
+    )
+
+
 def deviation(result_a: float, result_b: float) -> float:
     """The paper's §5.3 deviation metric:
     ``|R_a - R_b| / max(R_a, R_b)``."""

@@ -35,6 +35,26 @@ CONNECTIONS_PER_SERVER = 4
 MAX_SERVERS = 5
 
 
+class NoReachableServerError(RuntimeError):
+    """Every candidate server was dead at recruit time.
+
+    Raised by :meth:`TcpFloodSession.run` when the initial recruitment
+    pass exhausts the ranked candidate list without opening a single
+    connection — the flooding test cannot even start.  Services catch
+    this and report a ``FAILED``
+    :class:`~repro.baselines.common.BTSResult` instead of letting the
+    driver fall through to estimator code that would previously die on
+    an opaque ``IndexError`` over the empty sample list.
+    """
+
+    def __init__(self, n_candidates: int):
+        super().__init__(
+            f"no reachable test server: all {n_candidates} ranked "
+            f"candidate(s) were down at recruit time"
+        )
+        self.n_candidates = n_candidates
+
+
 def escalation_thresholds(count: int = 12) -> List[float]:
     """The ladder of samples (Mbps) that trigger recruiting another
     server: 25, 35, then roughly x1.5 steps so gigabit links still
@@ -159,7 +179,8 @@ class TcpFloodSession:
         """
         if max_duration_s <= 0:
             raise ValueError(f"duration must be positive, got {max_duration_s}")
-        self._recruit_server(0.0)
+        if not self._recruit_server(0.0):
+            raise NoReachableServerError(len(self._ranked))
 
         now = 0.0
         slice_bytes_start = 0.0

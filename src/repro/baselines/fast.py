@@ -15,8 +15,12 @@ from typing import List, Tuple
 
 import numpy as np
 
-from repro.baselines.common import BandwidthTestService, BTSResult
-from repro.baselines.driver import TcpFloodSession, ping_phase_duration
+from repro.baselines.common import BandwidthTestService, BTSResult, failed_result
+from repro.baselines.driver import (
+    NoReachableServerError,
+    TcpFloodSession,
+    ping_phase_duration,
+)
 from repro.testbed.env import TestEnvironment
 
 MAX_DURATION_S = 30.0
@@ -81,7 +85,10 @@ class FastCom(BandwidthTestService):
                 return False
             return is_stable([s for _, s in samples])
 
-        samples = session.run(MAX_DURATION_S, stop_check=stop_check)
+        try:
+            samples = session.run(MAX_DURATION_S, stop_check=stop_check)
+        except NoReachableServerError as exc:
+            return failed_result(self.name, ping_s, exc)
         values = [s for _, s in samples]
         averages = moving_averages(values)
         bandwidth = float(averages[-1]) if averages else float(np.mean(values))

@@ -19,8 +19,17 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.baselines.common import BandwidthTestService, BTSResult, TestOutcome
-from repro.baselines.driver import TcpFloodSession, ping_phase_duration
+from repro.baselines.common import (
+    BandwidthTestService,
+    BTSResult,
+    TestOutcome,
+    failed_result,
+)
+from repro.baselines.driver import (
+    NoReachableServerError,
+    TcpFloodSession,
+    ping_phase_duration,
+)
 from repro.testbed.env import TestEnvironment
 
 MAX_DURATION_S = 30.0
@@ -101,7 +110,10 @@ class FastBTS(BandwidthTestService):
                 return True
             return False
 
-        samples = session.run(MAX_DURATION_S, stop_check=stop_check)
+        try:
+            samples = session.run(MAX_DURATION_S, stop_check=stop_check)
+        except NoReachableServerError as exc:
+            return failed_result(self.name, ping_s, exc)
         values = [s for _, s in samples]
         result: Optional[float] = state["result"]
         outcome = TestOutcome.CONVERGED

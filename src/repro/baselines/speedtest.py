@@ -11,8 +11,12 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.baselines.common import BandwidthTestService, BTSResult
-from repro.baselines.driver import TcpFloodSession, ping_phase_duration
+from repro.baselines.common import BandwidthTestService, BTSResult, failed_result
+from repro.baselines.driver import (
+    NoReachableServerError,
+    TcpFloodSession,
+    ping_phase_duration,
+)
 from repro.testbed.env import TestEnvironment
 
 PROBE_DURATION_S = 15.0
@@ -52,7 +56,10 @@ class SpeedtestLike(BandwidthTestService):
     def run(self, env: TestEnvironment) -> BTSResult:
         ping_s = ping_phase_duration(env, N_PINGED)
         session = TcpFloodSession(env, cc_name=self.cc_name)
-        samples = session.run(PROBE_DURATION_S)
+        try:
+            samples = session.run(PROBE_DURATION_S)
+        except NoReachableServerError as exc:
+            return failed_result(self.name, ping_s, exc)
         bandwidth = percentile_trimmed_mean([s for _, s in samples])
         return BTSResult(
             service=self.name,

@@ -1,17 +1,26 @@
 """Command-line interface.
 
-Five subcommands cover the library's main workflows::
+The subcommands cover the library's main workflows::
 
     repro campaign --year 2021 --tests 50000 --out campaign.csv
     repro analyze campaign.csv
     repro measure campaign.csv --tests 200 --out measured.csv \\
-        --checkpoint run.ckpt [--resume]
+        --checkpoint run.ckpt [--resume] [--shards 8] [--test NAME]
+    repro bench --out BENCH_campaign.json
     repro speedtest --bandwidth 320 --tech 5G [--campaign campaign.csv]
     repro plan --tests-per-day 10000 [--campaign campaign.csv]
 
 Everything runs against the simulator; no network access is needed.
 The module is also importable: each ``cmd_*`` function takes parsed
 arguments and returns an exit code, so tests drive it directly.
+
+Bandwidth tests are looked up by registry name
+(:func:`repro.core.variants.create_bandwidth_test`); campaign
+measurement parameters travel in one frozen
+:class:`repro.harness.config.CampaignConfig`.  (The *generation*
+config of :mod:`repro.dataset.generator` is a different, older class
+that shares the name — it is imported here under the
+``GenerationConfig`` alias.)
 """
 
 from __future__ import annotations
@@ -23,10 +32,10 @@ from typing import List, Optional
 import numpy as np
 
 from repro.analysis import figures
-from repro.baselines.btsapp import BtsApp
-from repro.core.client import SwiftestClient
 from repro.core.registry import BandwidthModelRegistry
-from repro.dataset.generator import CampaignConfig, generate_campaign
+from repro.core.variants import bandwidth_test_names, create_bandwidth_test
+from repro.dataset.generator import CampaignConfig as GenerationConfig
+from repro.dataset.generator import generate_campaign
 from repro.dataset.records import Dataset
 from repro.deploy.planner import flooding_reference_cost, plan_deployment
 from repro.deploy.plans import onevendor_catalogue
@@ -40,7 +49,7 @@ def _load_or_generate(path: Optional[str], tests: int, seed: int) -> Dataset:
     if path:
         return Dataset.from_csv(path)
     return generate_campaign(
-        CampaignConfig(year=2021, n_tests=tests, seed=seed)
+        GenerationConfig(year=2021, n_tests=tests, seed=seed)
     )
 
 
@@ -49,7 +58,7 @@ def _load_or_generate(path: Optional[str], tests: int, seed: int) -> Dataset:
 
 def cmd_campaign(args: argparse.Namespace) -> int:
     """Generate a synthetic measurement campaign."""
-    config = CampaignConfig(
+    config = GenerationConfig(
         year=args.year, n_tests=args.tests, seed=args.seed
     )
     dataset = generate_campaign(config)
@@ -93,20 +102,29 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 def cmd_measure(args: argparse.Namespace) -> int:
     """Re-measure a campaign through a real BTS under supervision."""
-    from repro.harness.runtime import CampaignRuntime, RetryPolicy
+    from repro.harness.config import CampaignConfig, RetryPolicy
+    from repro.harness.parallel import run_campaign
 
     if args.resume and not args.checkpoint:
         print("error: --resume requires --checkpoint", file=sys.stderr)
         return 2
+    if args.test not in bandwidth_test_names():
+        print(f"error: unknown test {args.test!r} "
+              f"(have {bandwidth_test_names()})", file=sys.stderr)
+        return 2
     contexts = Dataset.from_csv(args.campaign)
-    runtime = CampaignRuntime(
+    config = CampaignConfig(
+        seed=args.seed,
+        max_tests=args.tests,
+        test=args.test,
         retry=RetryPolicy(max_attempts=args.max_attempts),
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
+        n_shards=args.shards,
     )
-    report = runtime.run(
-        contexts, seed=args.seed, max_tests=args.tests, resume=args.resume
-    )
+    report = run_campaign(contexts, config, resume=args.resume)
+    if config.n_shards > 1:
+        print(f"sharded across {config.n_shards} worker(s)")
     if report.resumed_rows:
         print(f"resumed {report.resumed_rows} row(s) from {args.checkpoint}")
     print(f"measured {report.n_measured}/{report.n_rows} rows "
@@ -143,7 +161,7 @@ def cmd_speedtest(args: argparse.Namespace) -> int:
         tech=args.tech, server_capacity_mbps=100.0,
         fluctuation_sigma=0.04,
     )
-    result = SwiftestClient(registry).run(env)
+    result = create_bandwidth_test("swiftest", registry=registry).run(env)
     print(f"swiftest: {result.bandwidth_mbps:7.1f} Mbps  "
           f"{result.duration_s:.2f}s (+{result.ping_s:.2f}s ping)  "
           f"{result.data_mb:.1f} MB  "
@@ -154,10 +172,42 @@ def cmd_speedtest(args: argparse.Namespace) -> int:
             tech=args.tech, n_servers=5, server_capacity_mbps=1000.0,
             fluctuation_sigma=0.04,
         )
-        legacy = BtsApp().run(env_legacy)
+        legacy = create_bandwidth_test("bts-app").run(env_legacy)
         print(f"bts-app : {legacy.bandwidth_mbps:7.1f} Mbps  "
               f"{legacy.duration_s:.2f}s (+{legacy.ping_s:.2f}s ping)  "
               f"{legacy.data_mb:.1f} MB")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Benchmark serial vs sharded campaign execution."""
+    from repro.harness.bench import DEFAULT_SIZES, run_campaign_bench
+
+    try:
+        sizes = (
+            tuple(int(s) for s in args.sizes.split(","))
+            if args.sizes else DEFAULT_SIZES
+        )
+    except ValueError:
+        print(f"error: --sizes must be comma-separated integers, "
+              f"got {args.sizes!r}", file=sys.stderr)
+        return 2
+    summary = run_campaign_bench(
+        sizes=sizes, n_shards=args.shards, seed=args.seed, out_path=args.out
+    )
+    print(f"campaign engine bench (shards={args.shards}, seed={args.seed})")
+    print(f"{'rows':>6s} {'serial r/s':>11s} {'sharded r/s':>12s} "
+          f"{'speedup':>8s}  identical")
+    for case in summary["cases"]:
+        print(f"{case['size']:6d} {case['serial_rows_per_s']:11.1f} "
+              f"{case['sharded_rows_per_s']:12.1f} "
+              f"{case['speedup']:7.1f}x  {case['byte_identical']}")
+    print(f"peak RSS {summary['peak_rss_mb']:.1f} MiB")
+    if args.out:
+        print(f"wrote {args.out}")
+    if not summary["all_byte_identical"]:
+        print("error: sharded output diverged from serial", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -248,7 +298,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="rows between checkpoint flushes")
     p.add_argument("--max-attempts", type=int, default=3,
                    help="tries per row before quarantining it")
+    p.add_argument("--shards", type=int, default=1,
+                   help="worker processes (results are identical for "
+                        "any shard count)")
+    p.add_argument("--test", default="bts-app",
+                   help="registry name of the bandwidth test to run "
+                        "per row")
     p.set_defaults(func=cmd_measure)
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark serial vs sharded campaign execution and "
+             "write BENCH_campaign.json",
+    )
+    p.add_argument("--sizes",
+                   help="comma-separated campaign sizes (default "
+                        "16,48,96)")
+    p.add_argument("--shards", type=int, default=8,
+                   help="shard count of the parallel configuration")
+    p.add_argument("--seed", type=int, default=20220801)
+    p.add_argument("--out", help="JSON output path "
+                                 "(e.g. BENCH_campaign.json)")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("speedtest", help="run one simulated bandwidth test")
     p.add_argument("--bandwidth", type=float, default=300.0,

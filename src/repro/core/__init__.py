@@ -25,13 +25,23 @@ from repro.core.gmm import GaussianMixture1D, fit_gmm, select_gmm_bic
 from repro.core.probing import ProbingController
 from repro.core.registry import BandwidthModelRegistry, TechnologyModel
 from repro.core.server import SwiftestServer
-from repro.core.variants import FixedLadderModel, TcpSwiftest
+from repro.core.variants import (
+    BandwidthTest,
+    FixedLadderModel,
+    LoopbackSwiftest,
+    TcpSwiftest,
+    bandwidth_test_names,
+    create_bandwidth_test,
+    register_bandwidth_test,
+)
 
 __all__ = [
     "BandwidthModelRegistry",
+    "BandwidthTest",
     "ConvergenceDetector",
     "FixedLadderModel",
     "GaussianMixture1D",
+    "LoopbackSwiftest",
     "ProbingController",
     "SwiftestClient",
     "SwiftestConfig",
@@ -39,6 +49,9 @@ __all__ = [
     "SwiftestServer",
     "TcpSwiftest",
     "TechnologyModel",
+    "bandwidth_test_names",
+    "create_bandwidth_test",
     "fit_gmm",
+    "register_bandwidth_test",
     "select_gmm_bic",
 ]

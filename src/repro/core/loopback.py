@@ -103,6 +103,7 @@ def run_loopback_session(
     control_faults: Optional[FaultInjector] = None,
     control_timeout_s: float = 0.2,
     control_retries: int = 3,
+    vectorized: Optional[bool] = None,
 ) -> LoopbackResult:
     """Run one probing session at packet granularity.
 
@@ -122,9 +123,28 @@ def run_loopback_session(
         Retransmission budget for each control exchange; a control
         message that is never acked within the budget aborts the
         session setup (outcome ``FAILED``) or, mid-test, degrades it.
+    vectorized:
+        Fast path for the 50 ms interval loop: with no DATA-plane
+        faults every emitted packet survives the wire, so the per-
+        interval outcome reduces to closed-form counter arithmetic
+        (``delivered = min(sent, policer budget)``) over
+        :meth:`~repro.core.server.SwiftestServer.emit_count` — no
+        packet objects, no pack/decode.  The counters, samples, rates
+        and controller decisions are *bit-identical* to the per-packet
+        loop; only ~40k object constructions and codec round-trips per
+        session disappear.  ``None`` (default) auto-enables the fast
+        path exactly when ``data_faults is None``; ``False`` forces the
+        historical per-packet loop; ``True`` demands the fast path and
+        raises if DATA faults make it unsound.
     """
     if capacity_mbps <= 0:
         raise ValueError(f"capacity must be positive, got {capacity_mbps}")
+    if vectorized and data_faults is not None:
+        raise ValueError(
+            "vectorized loopback cannot apply DATA-plane faults; "
+            "pass vectorized=False (or None) with data_faults"
+        )
+    fast_path = data_faults is None if vectorized is None else vectorized
     if control_timeout_s <= 0:
         raise ValueError(f"control timeout must be positive, got {control_timeout_s}")
     if control_retries < 0:
@@ -218,29 +238,38 @@ def run_loopback_session(
     def interval() -> None:
         if state["finished"]:
             return
-        packets = server.emit(session_id, sim.now, SAMPLE_INTERVAL_S)
-        # The capacity cap polices first; survivors then cross the
-        # (possibly impaired) access link as real wire bytes.
-        capped = packets[: int(budget_per_interval)]
-        state["dropped"] += len(packets) - len(capped)
-        wires = [pkt.pack() for pkt in capped]
-        arrived = (
-            data_faults.transmit_batch(wires, sim.now)
-            if data_faults is not None
-            else wires
-        )
-        state["dropped"] += len(wires) - len(arrived)
-        delivered = 0
-        for wire in arrived:
-            try:
-                decoded = decode(wire)
-            except ProtocolError:
-                # Bit-flipped DATA: unusable, counts as loss.
-                state["corrupted"] += 1
-                state["dropped"] += 1
-                continue
-            if decoded.session_id == session_id:
-                delivered += 1
+        if fast_path:
+            # Vectorized interval: the policer verdict is pure counter
+            # arithmetic — same floats, same ints as the packet loop
+            # below, since a fault-free wire delivers every survivor.
+            sent = server.emit_count(session_id, sim.now, SAMPLE_INTERVAL_S)
+            delivered = min(sent, int(budget_per_interval))
+            state["dropped"] += sent - delivered
+        else:
+            packets = server.emit(session_id, sim.now, SAMPLE_INTERVAL_S)
+            sent = len(packets)
+            # The capacity cap polices first; survivors then cross the
+            # (possibly impaired) access link as real wire bytes.
+            capped = packets[: int(budget_per_interval)]
+            state["dropped"] += len(packets) - len(capped)
+            wires = [pkt.pack() for pkt in capped]
+            arrived = (
+                data_faults.transmit_batch(wires, sim.now)
+                if data_faults is not None
+                else wires
+            )
+            state["dropped"] += len(wires) - len(arrived)
+            delivered = 0
+            for wire in arrived:
+                try:
+                    decoded = decode(wire)
+                except ProtocolError:
+                    # Bit-flipped DATA: unusable, counts as loss.
+                    state["corrupted"] += 1
+                    state["dropped"] += 1
+                    continue
+                if decoded.session_id == session_id:
+                    delivered += 1
         state["delivered"] += delivered
         # Loss-aware sample accounting: a lost packet lowers the
         # observed rate for this interval, nothing stalls the stream.
@@ -251,7 +280,6 @@ def run_loopback_session(
         # loss are indistinguishable gaps from its side); the
         # controller discounts its saturation floor by that fraction,
         # clamped to MAX_LOSS_DISCOUNT.
-        sent = len(packets)
         loss_frac = max(0.0, 1.0 - delivered / sent) if sent else 0.0
         decision = controller.on_sample(rate, loss_fraction=min(loss_frac, 0.99))
         if decision.finished:

@@ -1,4 +1,4 @@
-"""Swiftest design-choice variants, for ablation studies.
+"""Swiftest design-choice variants and the unified BandwidthTest API.
 
 The paper motivates three choices: the statistically-seeded initial
 rate (§5.1), the UDP explicit-rate transport (§5.1, §7), and the
@@ -11,24 +11,75 @@ choice buys:
   steps), isolating the value of statistical guidance;
 * :class:`TcpSwiftest` — the §7 alternative: keep the convergence
   rule but probe over TCP/BBR flooding instead of commanded-rate UDP,
-  isolating the value of skipping slow start.
+  isolating the value of skipping slow start;
+* :class:`LoopbackSwiftest` — the packet-level protocol loopback
+  (:mod:`repro.core.loopback`) packaged as a bandwidth test, the
+  cheap per-row service the sharded campaign engine defaults to.
 
 Convergence-threshold ablations need no variant class: pass a custom
 :class:`~repro.core.convergence.ConvergenceDetector` through
 :class:`~repro.core.probing.ProbingController`.
+
+This module is also the home of the **unified test API**: every
+bandwidth test — Swiftest and the four ``baselines/`` tools — satisfies
+the :class:`BandwidthTest` protocol (``run(env) -> BTSResult`` plus a
+``name``; data usage and server count travel in the result's
+``bytes_used`` / ``servers_used``) and is registered **by name** in one
+registry.  Harnesses and the CLI look tests up with
+:func:`create_bandwidth_test` instead of importing classes, so adding a
+tool is one ``register_bandwidth_test`` call, and worker processes can
+rebuild a test from its ``(name, kwargs)`` alone.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
+
+try:  # Python 3.8+: typing.Protocol
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - >=3.9 guaranteed by pyproject
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
 
 import numpy as np
 
-from repro.baselines.common import BandwidthTestService, BTSResult
-from repro.baselines.driver import TcpFloodSession, ping_phase_duration
+from repro.baselines.common import BandwidthTestService, BTSResult, TestOutcome
+from repro.baselines.driver import (
+    NoReachableServerError,
+    TcpFloodSession,
+    ping_phase_duration,
+)
 from repro.core.convergence import ConvergenceDetector
+from repro.core.protocol import DATA_PAYLOAD_BYTES
 from repro.testbed.env import TestEnvironment
+
+
+@runtime_checkable
+class BandwidthTest(Protocol):
+    """What every bandwidth test looks like to harnesses and the CLI.
+
+    A test has a stable ``name`` (the registry key, echoed in
+    ``BTSResult.service``) and measures one environment per
+    :meth:`run` call.  Per-test resource accounting — bytes
+    transferred, servers recruited — is carried by the returned
+    :class:`~repro.baselines.common.BTSResult` (``bytes_used``,
+    ``servers_used``), not by the test object, so a single instance
+    can be reused across rows and processes without hidden state.
+
+    :class:`~repro.baselines.common.BandwidthTestService` subclasses
+    satisfy this protocol automatically; duck-typed implementations
+    (no base class) work equally well.
+    """
+
+    name: str
+
+    def run(self, env: TestEnvironment) -> BTSResult:
+        """Execute one bandwidth test against an environment."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -96,7 +147,20 @@ class TcpSwiftest(BandwidthTestService):
                 return True
             return False
 
-        samples = session.run(self.max_duration_s, stop_check=stop_check)
+        try:
+            samples = session.run(self.max_duration_s, stop_check=stop_check)
+        except NoReachableServerError as exc:
+            return BTSResult(
+                service=self.name,
+                bandwidth_mbps=0.0,
+                duration_s=0.0,
+                ping_s=ping_s,
+                bytes_used=0.0,
+                samples=[],
+                servers_used=0,
+                meta={"error": str(exc), "transport": "tcp"},
+                outcome=TestOutcome.FAILED,
+            )
         result = state["result"]
         if result is None:
             values = [s for _, s in samples[-10:]]
@@ -112,3 +176,145 @@ class TcpSwiftest(BandwidthTestService):
             servers_used=session.servers_used,
             meta={"estimator": "converged-window-mean", "transport": "tcp"},
         )
+
+
+class LoopbackSwiftest(BandwidthTestService):
+    """Swiftest's packet-level protocol loopback as a bandwidth test.
+
+    Wraps :func:`repro.core.loopback.run_loopback_session` behind the
+    :class:`BandwidthTest` protocol: the access capacity is the
+    environment's true mean capacity over the probing window, the PING
+    phase costs one RTT to the nearest server, and the session's
+    :class:`~repro.baselines.common.TestOutcome` carries through.
+
+    This is the default per-row service of the sharded campaign
+    engine's demo/bench path: the loopback exercises the real protocol
+    state machines yet costs a few milliseconds per row once the
+    interval loop is vectorized (``vectorized=None`` auto-enables the
+    numpy fast path whenever no data-plane faults are injected;
+    ``False`` forces the historical per-packet loop, which the perf
+    benchmark uses as its serial baseline).
+    """
+
+    name = "swiftest-loopback"
+
+    def __init__(
+        self,
+        model=None,
+        max_duration_s: float = 5.0,
+        vectorized: Optional[bool] = None,
+    ):
+        self.model = model if model is not None else FixedLadderModel()
+        self.max_duration_s = max_duration_s
+        self.vectorized = vectorized
+
+    def run(self, env: TestEnvironment) -> BTSResult:
+        from repro.core.loopback import run_loopback_session
+
+        ranked = env.servers_by_rtt()
+        ping_s = ranked[0].rtt_s if ranked else 0.0
+        server_capacity = (
+            ranked[0].capacity_mbps if ranked else 10_000.0
+        )
+        result = run_loopback_session(
+            self.model,
+            capacity_mbps=env.true_mean_capacity(0.0, self.max_duration_s),
+            tech=env.tech,
+            server_capacity_mbps=server_capacity,
+            max_duration_s=self.max_duration_s,
+            vectorized=self.vectorized,
+        )
+        return BTSResult(
+            service=self.name,
+            bandwidth_mbps=result.bandwidth_mbps,
+            duration_s=result.duration_s,
+            ping_s=ping_s,
+            bytes_used=result.packets_delivered * DATA_PAYLOAD_BYTES,
+            samples=result.samples,
+            servers_used=1,
+            meta={
+                "transport": "udp-loopback",
+                "rate_commands": len(result.rate_commands),
+            },
+            outcome=result.outcome,
+        )
+
+
+# -- the bandwidth-test registry -------------------------------------------
+
+#: name -> factory.  Factories take the test's constructor kwargs and
+#: return a fresh instance; they stay callables (not instances) so each
+#: lookup yields an independent, unshared test object.
+_BANDWIDTH_TESTS: Dict[str, Callable[..., BandwidthTest]] = {}
+
+
+def register_bandwidth_test(
+    name: str, factory: Callable[..., BandwidthTest]
+) -> None:
+    """Register (or replace) a bandwidth test under ``name``."""
+    if not name:
+        raise ValueError("bandwidth test name must be non-empty")
+    _BANDWIDTH_TESTS[name] = factory
+
+
+def bandwidth_test_names() -> List[str]:
+    """Registered test names, sorted."""
+    return sorted(_BANDWIDTH_TESTS)
+
+
+def create_bandwidth_test(name: str, **kwargs) -> BandwidthTest:
+    """Instantiate the test registered under ``name``.
+
+    ``kwargs`` are forwarded to the test's constructor — e.g.
+    ``create_bandwidth_test("swiftest", registry=fitted_registry)`` or
+    ``create_bandwidth_test("swiftest-loopback", vectorized=False)``.
+    """
+    try:
+        factory = _BANDWIDTH_TESTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown bandwidth test {name!r} "
+            f"(registered: {bandwidth_test_names()})"
+        ) from None
+    return factory(**kwargs)
+
+
+def _register_builtin_tests() -> None:
+    """Populate the registry with Swiftest and every baselines/ tool.
+
+    Imports are local: the baselines import this module's
+    :class:`NoReachableServerError` handling path, so eager top-level
+    imports here would be cyclic.
+    """
+    from repro.baselines.btsapp import BtsApp
+    from repro.baselines.fast import FastCom
+    from repro.baselines.fastbts import FastBTS
+    from repro.baselines.speedtest import SpeedtestLike
+    from repro.core.client import SwiftestClient
+
+    register_bandwidth_test("bts-app", BtsApp)
+    register_bandwidth_test("speedtest", SpeedtestLike)
+    register_bandwidth_test("fast", FastCom)
+    register_bandwidth_test("fastbts", FastBTS)
+    register_bandwidth_test("tcp-swiftest", TcpSwiftest)
+    register_bandwidth_test("swiftest", SwiftestClient)
+    register_bandwidth_test("swiftest-loopback", LoopbackSwiftest)
+
+
+_register_builtin_tests()
+
+
+def make_bandwidth_test(name: str, **kwargs) -> BandwidthTest:
+    """Deprecated alias of :func:`create_bandwidth_test`.
+
+    Kept for callers written against the pre-registry constructors;
+    new code should call :func:`create_bandwidth_test` (or better,
+    carry the name in a
+    :class:`~repro.harness.config.CampaignConfig`).
+    """
+    warnings.warn(
+        "make_bandwidth_test() is deprecated; use create_bandwidth_test()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return create_bandwidth_test(name, **kwargs)

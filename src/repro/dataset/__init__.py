@@ -16,16 +16,24 @@ from repro.dataset.devices import ANDROID_VERSION_FACTORS, DevicePopulation
 from repro.dataset.generator import CampaignConfig, generate_campaign
 from repro.dataset.isp import ISP, ISPS
 from repro.dataset.records import Dataset
+from repro.dataset.sampling import (
+    DEMO_MIXTURES,
+    batch_gmm_bandwidths,
+    demo_campaign,
+)
 
 __all__ = [
     "ANDROID_VERSION_FACTORS",
     "CITY_TIERS",
     "CampaignConfig",
     "City",
+    "DEMO_MIXTURES",
     "Dataset",
     "DevicePopulation",
     "ISP",
     "ISPS",
+    "batch_gmm_bandwidths",
+    "demo_campaign",
     "generate_campaign",
     "make_cities",
 ]

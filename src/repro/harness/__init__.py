@@ -8,21 +8,38 @@
   planned server pool, tracing per-server utilization (Figure 26);
 * :mod:`repro.harness.runtime` — supervised campaign execution:
   per-row retries with deterministic backoff, quarantine accounting,
-  checkpoint/resume.
+  checkpoint/resume;
+* :mod:`repro.harness.parallel` — the sharded engine: deterministic
+  row→shard partitioning across worker processes, per-shard
+  checkpoints merged by the serial resume logic;
+* :mod:`repro.harness.config` — the frozen
+  :class:`~repro.harness.config.CampaignConfig` /
+  :class:`~repro.harness.config.RetryPolicy` recipe every execution
+  path consumes;
+* :mod:`repro.harness.bench` — the serial-vs-sharded benchmark behind
+  ``repro bench`` and ``BENCH_campaign.json``.
 """
 
+from repro.harness.bench import BenchCase, run_campaign_bench
 from repro.harness.collection import (
     campaign_subset,
     measured_campaign,
     measurement_error_stats,
     row_environment,
 )
+from repro.harness.config import CampaignConfig, RetryPolicy
+from repro.harness.parallel import (
+    ShardProgress,
+    run_campaign,
+    run_sharded_campaign,
+    shard_checkpoint_path,
+    shard_of,
+)
 from repro.harness.runtime import (
     CampaignReport,
     CampaignRuntime,
     CheckpointError,
     QuarantinedRow,
-    RetryPolicy,
     run_supervised_campaign,
 )
 from repro.harness.comparison import ComparisonResult, TestGroup, run_comparison
@@ -35,6 +52,8 @@ from repro.harness.pairs import (
 from repro.harness.utilization import UtilizationTrace, simulate_utilization
 
 __all__ = [
+    "BenchCase",
+    "CampaignConfig",
     "CampaignReport",
     "CampaignRuntime",
     "CheckpointError",
@@ -43,6 +62,7 @@ __all__ = [
     "PairObservation",
     "QuarantinedRow",
     "RetryPolicy",
+    "ShardProgress",
     "TestGroup",
     "UtilizationTrace",
     "campaign_subset",
@@ -50,8 +70,13 @@ __all__ = [
     "measured_campaign",
     "measurement_error_stats",
     "row_environment",
+    "run_campaign",
+    "run_campaign_bench",
     "run_comparison",
     "run_pair_campaign",
+    "run_sharded_campaign",
     "run_supervised_campaign",
+    "shard_checkpoint_path",
+    "shard_of",
     "simulate_utilization",
 ]

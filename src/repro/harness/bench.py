@@ -1,0 +1,157 @@
+"""Campaign-engine performance benchmark (``repro bench``).
+
+Times the *before* and *after* of this engine generation at several
+campaign sizes so future PRs inherit a perf trajectory in
+``BENCH_campaign.json``:
+
+* **serial** — the historical execution path: one process,
+  ``n_shards=1``, and the per-packet loopback interval loop
+  (``vectorized=False``), i.e. what campaigns cost before the sharded
+  engine landed;
+* **sharded** — the current default: the vectorized interval loop
+  fanned out across :func:`repro.harness.parallel.run_sharded_campaign`
+  workers.
+
+Both paths run the same frozen
+:class:`~repro.harness.config.CampaignConfig` recipe apart from those
+two switches, and the benchmark *verifies* (not assumes) that their
+measured datasets are **byte-identical** by comparing serialized CSV
+bytes — the acceptance check that vectorization and sharding are pure
+speed, zero semantics.
+
+Peak RSS is read from ``getrusage`` (self + reaped children, so shard
+workers are included) — no external profiler dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import resource
+import tempfile
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.dataset.records import Dataset
+from repro.dataset.sampling import demo_campaign
+from repro.harness.config import CampaignConfig
+from repro.harness.parallel import run_campaign
+
+#: Campaign sizes (rows) timed by the full benchmark; CI's bench-smoke
+#: job runs only the smallest.
+DEFAULT_SIZES: Tuple[int, ...] = (16, 48, 96)
+
+#: Shard count of the "after" configuration.
+DEFAULT_SHARDS = 8
+
+#: Seed of the seeded demo campaign.
+DEFAULT_SEED = 20220801
+
+
+@dataclass
+class BenchCase:
+    """Serial-vs-sharded timing at one campaign size."""
+
+    size: int
+    serial_s: float
+    sharded_s: float
+    serial_rows_per_s: float
+    sharded_rows_per_s: float
+    speedup: float
+    byte_identical: bool
+    n_quarantined: int
+
+
+def _dataset_csv_bytes(dataset: Dataset) -> bytes:
+    """The dataset's serialized CSV bytes — the byte-identity oracle."""
+    with tempfile.NamedTemporaryFile(suffix=".csv") as handle:
+        dataset.to_csv(handle.name)
+        return Path(handle.name).read_bytes()
+
+
+def peak_rss_mb() -> float:
+    """Peak resident set size in MiB, including reaped shard workers."""
+    self_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    children_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return (self_kb + children_kb) / 1024.0
+
+
+def bench_one_size(
+    size: int, n_shards: int = DEFAULT_SHARDS, seed: int = DEFAULT_SEED
+) -> BenchCase:
+    """Time serial vs sharded execution of one seeded demo campaign."""
+    contexts = demo_campaign(size, seed=seed)
+    serial_cfg = CampaignConfig(
+        seed=seed,
+        test="swiftest-loopback",
+        test_kwargs={"vectorized": False},
+        n_shards=1,
+    )
+    sharded_cfg = CampaignConfig(
+        seed=seed,
+        test="swiftest-loopback",
+        test_kwargs={"vectorized": True},
+        n_shards=n_shards,
+    )
+
+    start = time.perf_counter()
+    serial = run_campaign(contexts, serial_cfg)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sharded = run_campaign(contexts, sharded_cfg)
+    sharded_s = time.perf_counter() - start
+
+    identical = (
+        serial.dataset is not None
+        and sharded.dataset is not None
+        and _dataset_csv_bytes(serial.dataset)
+        == _dataset_csv_bytes(sharded.dataset)
+        and serial.quarantined == sharded.quarantined
+    )
+    return BenchCase(
+        size=size,
+        serial_s=serial_s,
+        sharded_s=sharded_s,
+        serial_rows_per_s=size / serial_s if serial_s > 0 else float("inf"),
+        sharded_rows_per_s=size / sharded_s if sharded_s > 0 else float("inf"),
+        speedup=serial_s / sharded_s if sharded_s > 0 else float("inf"),
+        byte_identical=identical,
+        n_quarantined=serial.n_quarantined,
+    )
+
+
+def run_campaign_bench(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    n_shards: int = DEFAULT_SHARDS,
+    seed: int = DEFAULT_SEED,
+    out_path: Optional[Union[str, Path]] = None,
+) -> Dict:
+    """The full benchmark: every size, one JSON summary.
+
+    When ``out_path`` is given the summary is written there
+    (``BENCH_campaign.json`` by convention).
+    """
+    if not sizes:
+        raise ValueError("at least one campaign size is required")
+    cases: List[BenchCase] = [
+        bench_one_size(size, n_shards=n_shards, seed=seed) for size in sizes
+    ]
+    summary = {
+        "benchmark": "campaign-engine",
+        "seed": seed,
+        "n_shards": n_shards,
+        "sizes": list(sizes),
+        "cases": [asdict(case) for case in cases],
+        "min_speedup": min(case.speedup for case in cases),
+        "max_speedup": max(case.speedup for case in cases),
+        "all_byte_identical": all(case.byte_identical for case in cases),
+        "peak_rss_mb": peak_rss_mb(),
+    }
+    if out_path is not None:
+        out_path = Path(out_path)
+        with open(out_path, "w") as handle:
+            json.dump(summary, handle, indent=2)
+            handle.write("\n")
+    return summary

@@ -31,6 +31,7 @@ import numpy as np
 from repro.baselines.btsapp import BtsApp
 from repro.baselines.common import BandwidthTestService
 from repro.dataset.records import Dataset, SCHEMA
+from repro.harness.config import CampaignConfig
 from repro.harness.pairs import environment_for_record
 from repro.testbed.env import TestEnvironment
 
@@ -84,8 +85,9 @@ def row_environment(
 def measured_campaign(
     contexts: Dataset,
     service: Optional[BandwidthTestService] = None,
-    seed: int = 0,
+    seed: Optional[int] = None,
     max_tests: Optional[int] = None,
+    config: Optional["CampaignConfig"] = None,
 ) -> Dataset:
     """Re-measure a campaign through an actual BTS.
 
@@ -100,6 +102,12 @@ def measured_campaign(
     max_tests:
         Optional cap — full BTS simulation costs ~50 ms per row, so
         studies subsample.
+    config:
+        The preferred spelling: one frozen
+        :class:`~repro.harness.config.CampaignConfig` supplying seed,
+        size and the test's registry name.  Explicit ``service`` /
+        ``seed`` / ``max_tests`` keywords remain as the legacy
+        interface and win over the config's fields when passed.
 
     Returns a dataset with identical context columns and the *measured*
     bandwidth in ``bandwidth_mbps``.
@@ -111,6 +119,15 @@ def measured_campaign(
     wraps exactly this per-row logic with retries, quarantine, and
     checkpoint/resume.
     """
+    if config is not None:
+        if seed is None:
+            seed = config.seed
+        if max_tests is None:
+            max_tests = config.max_tests
+        if service is None:
+            service = config.make_test()
+    if seed is None:
+        seed = 0
     service = service or BtsApp()
     subset = campaign_subset(contexts, seed=seed, max_tests=max_tests)
     n = len(subset)

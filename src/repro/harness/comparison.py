@@ -12,16 +12,18 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.baselines.btsapp import BtsApp
 from repro.baselines.common import BTSResult, accuracy
-from repro.baselines.fast import FastCom
-from repro.baselines.fastbts import FastBTS
-from repro.core.client import SwiftestClient
 from repro.core.registry import BandwidthModelRegistry
+from repro.core.variants import create_bandwidth_test
 from repro.dataset.records import Dataset
 from repro.harness.pairs import _access_trace, _pool_environment
 
+#: Registry names of the compared tests — the comparison harness never
+#: imports service classes, it looks them up by name.
 SERVICES = ("fast", "fastbts", "swiftest")
+
+#: Registry name of the approximate ground-truth reference.
+REFERENCE_SERVICE = "bts-app"
 
 
 @dataclass
@@ -105,12 +107,15 @@ def run_comparison(
         )
     sample = pool.sample(n_groups, rng)
 
+    # Swiftest is the only compared test needing construction-time
+    # state (the fitted model registry); everything else builds bare.
     services = {
-        "fast": FastCom(),
-        "fastbts": FastBTS(),
-        "swiftest": SwiftestClient(registry),
+        name: create_bandwidth_test(
+            name, **({"registry": registry} if name == "swiftest" else {})
+        )
+        for name in SERVICES
     }
-    reference = BtsApp()
+    reference = create_bandwidth_test(REFERENCE_SERVICE)
 
     result = ComparisonResult()
     bandwidths = sample.bandwidth

@@ -1,0 +1,357 @@
+"""Sharded campaign execution engine.
+
+The serial runtime (:mod:`repro.harness.runtime`) measures a campaign
+one row at a time; at the paper's scale that single process is the
+dominant wall-clock cost.  This module partitions a campaign's rows
+into **deterministic shards** and runs them across worker processes:
+
+* **Sharding never changes results.**  A row belongs to shard
+  ``crc32(pack(seed, row)) % n_shards`` (:func:`shard_of`) — a pure
+  function of the campaign seed and the row's global subset index.
+  Since every per-row decision is itself a pure function of
+  ``(seed, row, attempt)`` (see
+  :func:`repro.harness.collection.row_environment`), *where* a row
+  executes is invisible to *what* it produces: shard counts 1, 2 and 8
+  yield byte-identical datasets and identical quarantine sets.
+
+* **Per-shard checkpoints, merged by the existing resume logic.**
+  Each worker flushes its progress to ``<checkpoint>.shard-<k>`` using
+  the exact serial checkpoint codec with *global* row indices and the
+  campaign fingerprint, so shard files are ordinary checkpoints.  The
+  supervisor merges them (dict union keyed by row index) into the main
+  checkpoint — which a later *serial* run can resume from, and vice
+  versa, bit-identically.
+
+* **Progress streaming.**  Workers push per-row events onto a queue;
+  the supervisor folds them into per-shard :class:`ShardProgress`
+  counters (rows done, quarantines, retries) and forwards each update
+  to an optional callback, so a campaign dashboard sees shard health
+  live rather than at join time.
+
+Workers are rebuilt from data, not shared objects: a shard receives
+the subset's raw columns and the test's registry name + kwargs (from
+:class:`~repro.harness.config.CampaignConfig`), reconstructing
+``Dataset`` and service locally.  That keeps the engine correct under
+both ``fork`` and ``spawn`` start methods.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.dataset.records import Dataset, SCHEMA
+from repro.harness.collection import campaign_subset
+from repro.harness.config import CampaignConfig, RetryPolicy
+from repro.harness.runtime import (
+    CampaignReport,
+    CampaignRuntime,
+    _RowState,
+    _state_from_json,
+    _state_to_json,
+    build_report,
+    campaign_fingerprint,
+    load_checkpoint,
+    measure_row,
+    write_checkpoint,
+)
+
+__all__ = [
+    "ShardProgress",
+    "run_campaign",
+    "run_sharded_campaign",
+    "shard_checkpoint_path",
+    "shard_of",
+]
+
+#: Seconds between liveness checks while draining the progress queue.
+_POLL_S = 0.25
+
+
+def shard_of(seed: int, row: int, n_shards: int) -> int:
+    """The shard owning global subset row ``row``.
+
+    A keyed hash of ``(seed, row)`` rather than ``row % n_shards``: the
+    assignment is stable under any enumeration order, spreads
+    contiguous hot regions across workers, and — because per-row
+    results never depend on their shard — is free to change between
+    engine versions without invalidating checkpoints.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    return zlib.crc32(struct.pack("<qq", seed, row)) % n_shards
+
+
+def shard_checkpoint_path(base: Path, shard_id: int) -> Path:
+    """Where shard ``shard_id`` flushes its progress."""
+    base = Path(base)
+    return base.with_name(f"{base.name}.shard-{shard_id}")
+
+
+@dataclass
+class ShardProgress:
+    """Live counters for one shard, streamed to the supervisor."""
+
+    shard_id: int
+    n_rows: int
+    done: int = 0
+    quarantined: int = 0
+    retries: int = 0
+    finished: bool = False
+
+
+def _shard_worker(
+    shard_id: int,
+    row_indices: List[int],
+    columns: Dict,
+    seed: int,
+    test: str,
+    test_kwargs: Dict,
+    retry: RetryPolicy,
+    fingerprint: Dict,
+    checkpoint_path: Optional[str],
+    checkpoint_every: int,
+    events: "mp.Queue",
+) -> None:
+    """One worker process: measure this shard's rows in index order.
+
+    Runs :func:`repro.harness.runtime.measure_row` — the serial per-row
+    logic, unmodified — against a locally reconstructed dataset and
+    service, flushing an ordinary checkpoint file per
+    ``checkpoint_every`` completions.
+    """
+    from repro.core.variants import create_bandwidth_test
+
+    subset = Dataset(columns)
+    service = create_bandwidth_test(test, **test_kwargs)
+    rows: Dict[int, _RowState] = {}
+    since_flush = 0
+    try:
+        for index in row_indices:
+            state = measure_row(service, retry, subset, index, seed)
+            rows[index] = state
+            since_flush += 1
+            events.put((
+                "progress",
+                shard_id,
+                state.attempts,
+                state.quarantine is not None,
+            ))
+            if checkpoint_path is not None and since_flush >= checkpoint_every:
+                write_checkpoint(checkpoint_path, fingerprint, rows)
+                since_flush = 0
+        if checkpoint_path is not None and since_flush > 0:
+            write_checkpoint(checkpoint_path, fingerprint, rows)
+        events.put((
+            "done",
+            shard_id,
+            {i: _state_to_json(s) for i, s in rows.items()},
+            None,
+        ))
+    except BaseException as exc:  # flush progress before dying
+        if checkpoint_path is not None and rows:
+            write_checkpoint(checkpoint_path, fingerprint, rows)
+        events.put((
+            "done",
+            shard_id,
+            {i: _state_to_json(s) for i, s in rows.items()},
+            f"{type(exc).__name__}: {exc}",
+        ))
+
+
+def _mp_context():
+    """Prefer ``fork`` (cheap, no import round-trip); fall back to the
+    platform default where fork is unavailable."""
+    try:
+        return mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return mp.get_context()
+
+
+def run_sharded_campaign(
+    contexts: Dataset,
+    config: CampaignConfig,
+    resume: bool = False,
+    on_progress: Optional[Callable[[ShardProgress], None]] = None,
+) -> CampaignReport:
+    """Measure a campaign across ``config.n_shards`` worker processes.
+
+    Produces a :class:`~repro.harness.runtime.CampaignReport` that is
+    byte-for-byte identical to the serial runtime's for the same
+    config — datasets, quarantine sets, accounted backoff.  With
+    ``resume=True`` the main checkpoint *and* any surviving shard
+    checkpoints are merged before work is distributed, so a run killed
+    mid-campaign loses at most ``checkpoint_every - 1`` rows per shard.
+    """
+    subset = campaign_subset(
+        contexts, seed=config.seed, max_tests=config.max_tests
+    )
+    n = len(subset)
+    service_name = config.make_test().name
+    fingerprint = campaign_fingerprint(
+        subset, config.seed, config.max_tests, service_name
+    )
+    ckpt = config.checkpoint_path
+
+    rows: Dict[int, _RowState] = {}
+    if resume and ckpt is not None:
+        rows = load_checkpoint(ckpt, fingerprint)
+        for shard_id in range(config.n_shards):
+            shard_file = shard_checkpoint_path(ckpt, shard_id)
+            for index, state in load_checkpoint(shard_file, fingerprint).items():
+                if state.done:
+                    rows.setdefault(index, state)
+    resumed_rows = sum(1 for s in rows.values() if s.done)
+
+    pending: Dict[int, List[int]] = {k: [] for k in range(config.n_shards)}
+    for i in range(n):
+        state = rows.get(i)
+        if state is not None and state.done:
+            continue
+        pending[shard_of(config.seed, i, config.n_shards)].append(i)
+
+    progress = {
+        k: ShardProgress(shard_id=k, n_rows=len(indices))
+        for k, indices in pending.items()
+    }
+
+    ctx = _mp_context()
+    events: "mp.Queue" = ctx.Queue()
+    columns = {name: subset.column(name) for name in SCHEMA}
+    workers = {}
+    for shard_id, indices in pending.items():
+        if not indices:
+            progress[shard_id].finished = True
+            continue
+        proc = ctx.Process(
+            target=_shard_worker,
+            args=(
+                shard_id,
+                indices,
+                columns,
+                config.seed,
+                config.test,
+                config.test_kwargs,
+                config.retry,
+                fingerprint,
+                (
+                    str(shard_checkpoint_path(ckpt, shard_id))
+                    if ckpt is not None
+                    else None
+                ),
+                config.checkpoint_every,
+                events,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        workers[shard_id] = proc
+
+    retries = 0
+    errors: List[str] = []
+    finished = {k for k, p in progress.items() if p.finished}
+    try:
+        while len(finished) < config.n_shards:
+            try:
+                event = events.get(timeout=_POLL_S)
+            except queue_mod.Empty:
+                dead = [
+                    k for k, proc in workers.items()
+                    if k not in finished and not proc.is_alive()
+                ]
+                if dead:
+                    # A worker died without reporting (killed, OOM):
+                    # salvage its shard checkpoint below and fail loud.
+                    for k in dead:
+                        finished.add(k)
+                        progress[k].finished = True
+                        errors.append(
+                            f"shard {k}: worker exited without a result "
+                            f"(exit code {workers[k].exitcode})"
+                        )
+                continue
+            kind, shard_id = event[0], event[1]
+            if kind == "progress":
+                _, _, attempts, quarantined = event
+                snap = progress[shard_id]
+                snap.done += 1
+                snap.retries += max(0, attempts - 1)
+                if quarantined:
+                    snap.quarantined += 1
+                if on_progress is not None:
+                    on_progress(snap)
+            elif kind == "done":
+                _, _, raw_rows, error = event
+                for index, entry in raw_rows.items():
+                    rows[int(index)] = _state_from_json(entry)
+                snap = progress[shard_id]
+                snap.finished = True
+                finished.add(shard_id)
+                retries += snap.retries
+                if error is not None:
+                    errors.append(f"shard {shard_id}: {error}")
+                if on_progress is not None:
+                    on_progress(snap)
+    finally:
+        for proc in workers.values():
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join()
+
+    checkpoints_written = 0
+    if ckpt is not None:
+        # Recover rows a dead worker flushed but never reported.
+        for shard_id in workers:
+            shard_file = shard_checkpoint_path(ckpt, shard_id)
+            try:
+                salvaged = load_checkpoint(shard_file, fingerprint)
+            except Exception:
+                salvaged = {}
+            for index, state in salvaged.items():
+                if state.done:
+                    rows.setdefault(index, state)
+        # The merge IS a serial checkpoint: a later serial (or sharded)
+        # run resumes from it directly.
+        write_checkpoint(ckpt, fingerprint, rows)
+        checkpoints_written += 1
+
+    if errors:
+        raise RuntimeError(
+            "sharded campaign failed: " + "; ".join(errors)
+        )
+
+    if ckpt is not None:
+        # Successful merge: the shard files are now redundant.
+        for shard_id in range(config.n_shards):
+            shard_file = shard_checkpoint_path(ckpt, shard_id)
+            if shard_file.exists():
+                shard_file.unlink()
+
+    return build_report(subset, rows, resumed_rows, retries, checkpoints_written)
+
+
+def run_campaign(
+    contexts: Dataset,
+    config: CampaignConfig,
+    resume: bool = False,
+    on_progress: Optional[Callable[[ShardProgress], None]] = None,
+) -> CampaignReport:
+    """Measure a campaign per its config, serial or sharded.
+
+    The single entry point harnesses and the CLI should use:
+    ``config.n_shards == 1`` runs in-process via
+    :class:`~repro.harness.runtime.CampaignRuntime`; more shards fan
+    out through :func:`run_sharded_campaign`.  Either way the result
+    is identical.
+    """
+    if config.n_shards <= 1:
+        return CampaignRuntime(config=config).run(contexts, resume=resume)
+    return run_sharded_campaign(
+        contexts, config, resume=resume, on_progress=on_progress
+    )

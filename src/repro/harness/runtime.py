@@ -28,6 +28,15 @@ interrupted, so the production path needs supervision:
   :func:`repro.harness.collection.row_environment`), a campaign
   interrupted at an arbitrary row and resumed from its checkpoint
   produces a dataset *bit-identical* to the uninterrupted run.
+
+The per-row supervision (:func:`measure_row`), checkpoint codec
+(:func:`write_checkpoint` / :func:`load_checkpoint`) and report
+assembly (:func:`build_report`) are module-level functions shared with
+the sharded engine (:mod:`repro.harness.parallel`): a shard worker runs
+*exactly* the serial per-row logic, which is why shard count never
+changes results.  Campaign parameters travel in one frozen
+:class:`~repro.harness.config.CampaignConfig`; the spread-out keyword
+form of :class:`CampaignRuntime` remains as a thin compatibility layer.
 """
 
 from __future__ import annotations
@@ -35,16 +44,32 @@ from __future__ import annotations
 import json
 import os
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.baselines.btsapp import BtsApp
 from repro.baselines.common import BandwidthTestService
 from repro.dataset.records import Dataset, SCHEMA
 from repro.harness.collection import campaign_subset, row_environment
+from repro.harness.config import CampaignConfig, RetryPolicy
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CampaignConfig",
+    "CampaignReport",
+    "CampaignRuntime",
+    "CheckpointError",
+    "QuarantinedRow",
+    "RetryPolicy",
+    "build_report",
+    "campaign_fingerprint",
+    "load_checkpoint",
+    "measure_row",
+    "run_supervised_campaign",
+    "write_checkpoint",
+]
 
 #: Checkpoint file format version.
 CHECKPOINT_VERSION = 1
@@ -52,60 +77,6 @@ CHECKPOINT_VERSION = 1
 
 class CheckpointError(ValueError):
     """A checkpoint file is corrupt or belongs to a different campaign."""
-
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """How a failing row is retried.
-
-    Attributes
-    ----------
-    max_attempts:
-        Total tries per row (first attempt included).
-    backoff_base_s:
-        Delay before the first retry.
-    backoff_factor:
-        Multiplier applied to the delay for each further retry.
-    jitter:
-        Relative jitter amplitude: each delay is scaled by a factor
-        drawn uniformly from ``[1 - jitter, 1 + jitter]`` using a
-        seeded RNG, never the wall clock.
-    """
-
-    max_attempts: int = 3
-    backoff_base_s: float = 0.5
-    backoff_factor: float = 2.0
-    jitter: float = 0.1
-
-    def __post_init__(self) -> None:
-        if self.max_attempts < 1:
-            raise ValueError(
-                f"max attempts must be >= 1, got {self.max_attempts}"
-            )
-        if self.backoff_base_s < 0:
-            raise ValueError(
-                f"backoff base must be non-negative, got {self.backoff_base_s}"
-            )
-        if self.backoff_factor < 1:
-            raise ValueError(
-                f"backoff factor must be >= 1, got {self.backoff_factor}"
-            )
-        if not 0 <= self.jitter < 1:
-            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
-
-    def delay_s(self, seed: int, row: int, attempt: int) -> float:
-        """Backoff before retry number ``attempt`` (1-based) of ``row``.
-
-        Deterministic: the jitter RNG is seeded from
-        ``(seed, row, attempt)``, so the accounted delay is identical
-        however many times — or across however many resumes — the row
-        is revisited.
-        """
-        if attempt < 1:
-            raise ValueError(f"retry attempts are 1-based, got {attempt}")
-        base = self.backoff_base_s * self.backoff_factor ** (attempt - 1)
-        rng = np.random.default_rng([seed, row, attempt, 0xB0FF])
-        return float(base * (1.0 + self.jitter * rng.uniform(-1.0, 1.0)))
 
 
 @dataclass(frozen=True)
@@ -176,6 +147,203 @@ class _RowState:
         return self.measured_mbps is not None or self.quarantine is not None
 
 
+# -- shared per-row supervision --------------------------------------------
+
+
+def measure_row(
+    service: BandwidthTestService,
+    retry: RetryPolicy,
+    subset: Dataset,
+    index: int,
+    seed: int,
+) -> _RowState:
+    """Run one row to completion: retry until a usable result or the
+    attempt budget is spent, then quarantine.
+
+    This is *the* per-row unit of work — serial runtime and shard
+    workers both call it, and it depends only on its arguments, so a
+    row lands on the same result whichever process executes it.
+    """
+    state = _RowState()
+    last_outcome = "error"
+    last_error = ""
+    for attempt in range(retry.max_attempts):
+        if attempt:
+            state.backoff_wait_s += retry.delay_s(seed, index, attempt)
+        state.attempts = attempt + 1
+        env = row_environment(subset, index, seed, attempt=attempt)
+        try:
+            result = service.run(env)
+        except Exception as exc:
+            last_outcome = "error"
+            last_error = f"{type(exc).__name__}: {exc}"
+            continue
+        if result.outcome.usable:
+            state.measured_mbps = float(result.bandwidth_mbps)
+            return state
+        last_outcome = result.outcome.value
+        last_error = ""
+    state.quarantine = QuarantinedRow(
+        row_index=index,
+        test_id=int(subset.column("test_id")[index]),
+        attempts=state.attempts,
+        outcome=last_outcome,
+        error=last_error,
+    )
+    return state
+
+
+# -- shared report assembly ------------------------------------------------
+
+
+def build_report(
+    subset: Dataset,
+    rows: Dict[int, _RowState],
+    resumed_rows: int = 0,
+    retries: int = 0,
+    checkpoints_written: int = 0,
+) -> CampaignReport:
+    """Assemble the campaign report from per-row states.
+
+    Rows are emitted in subset order regardless of the order they were
+    measured in — completion order (and therefore sharding) cannot
+    affect the output bytes.
+    """
+    n = len(subset)
+    measured_idx = [
+        i for i in range(n)
+        if i in rows and rows[i].measured_mbps is not None
+    ]
+    quarantined = [
+        rows[i].quarantine for i in range(n)
+        if i in rows and rows[i].quarantine is not None
+    ]
+    dataset: Optional[Dataset] = None
+    if measured_idx:
+        mask = np.zeros(n, dtype=bool)
+        mask[measured_idx] = True
+        kept = subset.filter(mask)
+        columns = {
+            name: np.array(kept.column(name), copy=True)
+            for name in SCHEMA
+        }
+        columns["bandwidth_mbps"] = np.array(
+            [rows[i].measured_mbps for i in measured_idx],
+            dtype=np.float64,
+        )
+        dataset = Dataset(columns)
+    return CampaignReport(
+        dataset=dataset,
+        quarantined=quarantined,
+        n_rows=n,
+        n_measured=len(measured_idx),
+        retries=retries,
+        backoff_wait_s=sum(s.backoff_wait_s for s in rows.values()),
+        resumed_rows=resumed_rows,
+        checkpoints_written=checkpoints_written,
+    )
+
+
+# -- shared checkpoint codec -----------------------------------------------
+
+
+def campaign_fingerprint(
+    subset: Dataset,
+    seed: int,
+    max_tests: Optional[int],
+    service_name: str,
+) -> Dict:
+    """Identity of a campaign: a checkpoint only resumes runs over the
+    exact same subset with the same seed and service."""
+    ids = np.ascontiguousarray(subset.column("test_id").astype(np.int64))
+    return {
+        "version": CHECKPOINT_VERSION,
+        "seed": int(seed),
+        "max_tests": max_tests,
+        "n_rows": len(subset),
+        "service": service_name,
+        "test_ids_crc": zlib.crc32(ids.tobytes()),
+    }
+
+
+def _state_to_json(state: _RowState) -> Dict:
+    return {
+        "measured_mbps": state.measured_mbps,
+        "attempts": state.attempts,
+        "backoff_wait_s": state.backoff_wait_s,
+        "quarantine": (
+            None if state.quarantine is None else {
+                "row_index": state.quarantine.row_index,
+                "test_id": state.quarantine.test_id,
+                "attempts": state.quarantine.attempts,
+                "outcome": state.quarantine.outcome,
+                "error": state.quarantine.error,
+            }
+        ),
+    }
+
+
+def _state_from_json(entry: Dict) -> _RowState:
+    quarantine = entry.get("quarantine")
+    return _RowState(
+        measured_mbps=entry.get("measured_mbps"),
+        attempts=int(entry.get("attempts", 0)),
+        backoff_wait_s=float(entry.get("backoff_wait_s", 0.0)),
+        quarantine=(
+            None if quarantine is None else QuarantinedRow(**quarantine)
+        ),
+    )
+
+
+def write_checkpoint(
+    path: Union[str, Path], fingerprint: Dict, rows: Dict[int, _RowState]
+) -> None:
+    """Atomic flush: write a sibling temp file, then rename over the
+    checkpoint so a kill mid-write never corrupts it.
+
+    The same codec serves the main checkpoint and the per-shard
+    ``<path>.shard-<k>`` files — row keys are always *global* subset
+    indices, which is what makes shard files mergeable into (and
+    indistinguishable from) a serial checkpoint.
+    """
+    path = Path(path)
+    payload = {
+        "fingerprint": fingerprint,
+        "rows": {
+            str(i): _state_to_json(s) for i, s in rows.items() if s.done
+        },
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle)
+    os.replace(tmp, path)
+
+
+def load_checkpoint(
+    path: Union[str, Path], fingerprint: Dict
+) -> Dict[int, _RowState]:
+    """Restore per-row progress; absent file means a fresh start."""
+    path = Path(path)
+    if not path.exists():
+        return {}
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+        stored = payload["fingerprint"]
+        raw_rows = payload["rows"]
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise CheckpointError(f"{path}: unreadable checkpoint ({exc})")
+    if stored != fingerprint:
+        raise CheckpointError(
+            f"{path}: checkpoint belongs to a different "
+            f"campaign (stored {stored}, expected {fingerprint})"
+        )
+    return {int(key): _state_from_json(entry) for key, entry in raw_rows.items()}
+
+
+# -- the serial runtime ----------------------------------------------------
+
+
 class CampaignRuntime:
     """Supervised wrapper around the measured-campaign slow path.
 
@@ -183,7 +351,8 @@ class CampaignRuntime:
     ----------
     service:
         The bandwidth test run per row (BTS-APP by default, as in the
-        paper's data collection).
+        paper's data collection).  Overrides ``config.test`` when both
+        are given.
     retry:
         Per-row retry policy.
     checkpoint_path:
@@ -192,6 +361,12 @@ class CampaignRuntime:
         (possibly killed) run left off.
     checkpoint_every:
         Rows finished (measured or quarantined) between flushes.
+    config:
+        The preferred construction path: one frozen
+        :class:`~repro.harness.config.CampaignConfig` carrying seed,
+        size, test name, retry policy and checkpoint settings.  The
+        individual keywords above remain as the legacy spelling and,
+        when passed explicitly, win over the config's fields.
     """
 
     def __init__(
@@ -199,43 +374,65 @@ class CampaignRuntime:
         service: Optional[BandwidthTestService] = None,
         retry: Optional[RetryPolicy] = None,
         checkpoint_path: Optional[Union[str, Path]] = None,
-        checkpoint_every: int = 100,
+        checkpoint_every: Optional[int] = None,
+        config: Optional[CampaignConfig] = None,
     ):
-        if checkpoint_every < 1:
-            raise ValueError(
-                f"checkpoint interval must be >= 1, got {checkpoint_every}"
-            )
-        self.service = service or BtsApp()
-        self.retry = retry or RetryPolicy()
+        self.config = config or CampaignConfig()
+        if service is None:
+            if config is None:
+                from repro.baselines.btsapp import BtsApp
+
+                service = BtsApp()
+            else:
+                service = config.make_test()
+        self.service = service
+        self.retry = retry if retry is not None else self.config.retry
+        if checkpoint_path is None:
+            checkpoint_path = self.config.checkpoint_path
         self.checkpoint_path = (
             Path(checkpoint_path) if checkpoint_path is not None else None
         )
-        self.checkpoint_every = checkpoint_every
+        self.checkpoint_every = (
+            checkpoint_every
+            if checkpoint_every is not None
+            else self.config.checkpoint_every
+        )
+        if self.checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint interval must be >= 1, got {self.checkpoint_every}"
+            )
 
     # -- public --------------------------------------------------------
 
     def run(
         self,
         contexts: Dataset,
-        seed: int = 0,
+        seed: Optional[int] = None,
         max_tests: Optional[int] = None,
         resume: bool = False,
     ) -> CampaignReport:
         """Measure a campaign under supervision.
 
+        ``seed`` and ``max_tests`` default to the runtime's config.
         With ``resume=True`` and an existing checkpoint for the same
         campaign (same contexts/seed/``max_tests``/service), completed
         rows are restored instead of re-measured; a checkpoint written
         by a *different* campaign raises :class:`CheckpointError`.
         """
+        if seed is None:
+            seed = self.config.seed
+        if max_tests is None:
+            max_tests = self.config.max_tests
         subset = campaign_subset(contexts, seed=seed, max_tests=max_tests)
         n = len(subset)
-        fingerprint = self._fingerprint(subset, seed, max_tests)
+        fingerprint = campaign_fingerprint(
+            subset, seed, max_tests, self.service.name
+        )
 
         rows: Dict[int, _RowState] = {}
         resumed_rows = 0
         if resume and self.checkpoint_path is not None:
-            rows = self._load_checkpoint(fingerprint)
+            rows = load_checkpoint(self.checkpoint_path, fingerprint)
             resumed_rows = sum(1 for s in rows.values() if s.done)
 
         retries = 0
@@ -246,204 +443,55 @@ class CampaignRuntime:
                 state = rows.get(i)
                 if state is not None and state.done:
                     continue
-                rows[i] = state = self._measure_row(subset, i, seed)
+                rows[i] = state = measure_row(
+                    self.service, self.retry, subset, i, seed
+                )
                 retries += max(0, state.attempts - 1)
                 since_flush += 1
                 if (
                     self.checkpoint_path is not None
                     and since_flush >= self.checkpoint_every
                 ):
-                    self._write_checkpoint(fingerprint, rows)
+                    write_checkpoint(self.checkpoint_path, fingerprint, rows)
                     checkpoints_written += 1
                     since_flush = 0
         finally:
             # Flush on every exit path — normal completion, a service
             # bug, or a kill — so a resume never loses finished rows.
             if self.checkpoint_path is not None and since_flush > 0:
-                self._write_checkpoint(fingerprint, rows)
+                write_checkpoint(self.checkpoint_path, fingerprint, rows)
                 checkpoints_written += 1
 
-        return self._report(
+        return build_report(
             subset, rows, resumed_rows, retries, checkpoints_written
         )
-
-    # -- per-row supervision -------------------------------------------
-
-    def _measure_row(self, subset: Dataset, index: int, seed: int) -> _RowState:
-        """Run one row to completion: retry until a usable result or
-        the attempt budget is spent, then quarantine."""
-        state = _RowState()
-        last_outcome = "error"
-        last_error = ""
-        for attempt in range(self.retry.max_attempts):
-            if attempt:
-                state.backoff_wait_s += self.retry.delay_s(seed, index, attempt)
-            state.attempts = attempt + 1
-            env = row_environment(subset, index, seed, attempt=attempt)
-            try:
-                result = self.service.run(env)
-            except Exception as exc:
-                last_outcome = "error"
-                last_error = f"{type(exc).__name__}: {exc}"
-                continue
-            if result.outcome.usable:
-                state.measured_mbps = float(result.bandwidth_mbps)
-                return state
-            last_outcome = result.outcome.value
-            last_error = ""
-        state.quarantine = QuarantinedRow(
-            row_index=index,
-            test_id=int(subset.column("test_id")[index]),
-            attempts=state.attempts,
-            outcome=last_outcome,
-            error=last_error,
-        )
-        return state
-
-    # -- reporting -----------------------------------------------------
-
-    def _report(
-        self,
-        subset: Dataset,
-        rows: Dict[int, _RowState],
-        resumed_rows: int,
-        retries: int,
-        checkpoints_written: int,
-    ) -> CampaignReport:
-        n = len(subset)
-        measured_idx = [
-            i for i in range(n)
-            if i in rows and rows[i].measured_mbps is not None
-        ]
-        quarantined = [
-            rows[i].quarantine for i in range(n)
-            if i in rows and rows[i].quarantine is not None
-        ]
-        dataset: Optional[Dataset] = None
-        if measured_idx:
-            mask = np.zeros(n, dtype=bool)
-            mask[measured_idx] = True
-            kept = subset.filter(mask)
-            columns = {
-                name: np.array(kept.column(name), copy=True)
-                for name in SCHEMA
-            }
-            columns["bandwidth_mbps"] = np.array(
-                [rows[i].measured_mbps for i in measured_idx],
-                dtype=np.float64,
-            )
-            dataset = Dataset(columns)
-        return CampaignReport(
-            dataset=dataset,
-            quarantined=quarantined,
-            n_rows=n,
-            n_measured=len(measured_idx),
-            retries=retries,
-            backoff_wait_s=sum(s.backoff_wait_s for s in rows.values()),
-            resumed_rows=resumed_rows,
-            checkpoints_written=checkpoints_written,
-        )
-
-    # -- checkpointing -------------------------------------------------
-
-    def _fingerprint(
-        self, subset: Dataset, seed: int, max_tests: Optional[int]
-    ) -> Dict:
-        """Identity of a campaign: a checkpoint only resumes runs over
-        the exact same subset with the same seed and service."""
-        ids = np.ascontiguousarray(
-            subset.column("test_id").astype(np.int64)
-        )
-        return {
-            "version": CHECKPOINT_VERSION,
-            "seed": int(seed),
-            "max_tests": max_tests,
-            "n_rows": len(subset),
-            "service": self.service.name,
-            "test_ids_crc": zlib.crc32(ids.tobytes()),
-        }
-
-    def _write_checkpoint(
-        self, fingerprint: Dict, rows: Dict[int, _RowState]
-    ) -> None:
-        """Atomic flush: write a sibling temp file, then rename over
-        the checkpoint so a kill mid-write never corrupts it."""
-        payload = {
-            "fingerprint": fingerprint,
-            "rows": {
-                str(i): {
-                    "measured_mbps": s.measured_mbps,
-                    "attempts": s.attempts,
-                    "backoff_wait_s": s.backoff_wait_s,
-                    "quarantine": (
-                        None if s.quarantine is None else {
-                            "row_index": s.quarantine.row_index,
-                            "test_id": s.quarantine.test_id,
-                            "attempts": s.quarantine.attempts,
-                            "outcome": s.quarantine.outcome,
-                            "error": s.quarantine.error,
-                        }
-                    ),
-                }
-                for i, s in rows.items()
-                if s.done
-            },
-        }
-        tmp = self.checkpoint_path.with_name(
-            self.checkpoint_path.name + ".tmp"
-        )
-        with open(tmp, "w") as handle:
-            json.dump(payload, handle)
-        os.replace(tmp, self.checkpoint_path)
-
-    def _load_checkpoint(self, fingerprint: Dict) -> Dict[int, _RowState]:
-        """Restore per-row progress; absent file means a fresh start."""
-        if not self.checkpoint_path.exists():
-            return {}
-        try:
-            with open(self.checkpoint_path) as handle:
-                payload = json.load(handle)
-            stored = payload["fingerprint"]
-            raw_rows = payload["rows"]
-        except (json.JSONDecodeError, KeyError, TypeError) as exc:
-            raise CheckpointError(
-                f"{self.checkpoint_path}: unreadable checkpoint ({exc})"
-            )
-        if stored != fingerprint:
-            raise CheckpointError(
-                f"{self.checkpoint_path}: checkpoint belongs to a different "
-                f"campaign (stored {stored}, expected {fingerprint})"
-            )
-        rows: Dict[int, _RowState] = {}
-        for key, entry in raw_rows.items():
-            quarantine = entry.get("quarantine")
-            rows[int(key)] = _RowState(
-                measured_mbps=entry.get("measured_mbps"),
-                attempts=int(entry.get("attempts", 0)),
-                backoff_wait_s=float(entry.get("backoff_wait_s", 0.0)),
-                quarantine=(
-                    None if quarantine is None
-                    else QuarantinedRow(**quarantine)
-                ),
-            )
-        return rows
 
 
 def run_supervised_campaign(
     contexts: Dataset,
     service: Optional[BandwidthTestService] = None,
-    seed: int = 0,
+    seed: Optional[int] = None,
     max_tests: Optional[int] = None,
     retry: Optional[RetryPolicy] = None,
     checkpoint_path: Optional[Union[str, Path]] = None,
-    checkpoint_every: int = 100,
+    checkpoint_every: Optional[int] = None,
     resume: bool = False,
+    config: Optional[CampaignConfig] = None,
 ) -> CampaignReport:
-    """One-call convenience over :class:`CampaignRuntime`."""
+    """One-call convenience over :class:`CampaignRuntime`.
+
+    With ``config`` (and ``config.n_shards > 1``) this dispatches to
+    the sharded engine; the keyword spelling stays serial.
+    """
+    if config is not None and config.n_shards > 1 and service is None:
+        from repro.harness.parallel import run_sharded_campaign
+
+        return run_sharded_campaign(contexts, config, resume=resume)
     runtime = CampaignRuntime(
         service=service,
         retry=retry,
         checkpoint_path=checkpoint_path,
         checkpoint_every=checkpoint_every,
+        config=config,
     )
     return runtime.run(contexts, seed=seed, max_tests=max_tests, resume=resume)

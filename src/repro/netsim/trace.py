@@ -20,6 +20,11 @@ from typing import Sequence
 
 import numpy as np
 
+try:
+    from scipy.signal import lfilter as _lfilter
+except ImportError:  # pragma: no cover - scipy is a declared dependency
+    _lfilter = None
+
 
 class CapacityTrace:
     """Base class: constant capacity unless overridden."""
@@ -99,8 +104,17 @@ class FluctuatingTrace(CapacityTrace):
         x = np.empty(n)
         x[0] = rng.normal(0.0, sigma) if sigma > 0 else 0.0
         shocks = rng.normal(0.0, 1.0, size=n - 1)
-        for k in range(n - 1):
-            x[k + 1] = a * x[k] + noise_scale * shocks[k]
+        if _lfilter is not None:
+            # The AR(1) recursion is an IIR filter; lfilter's direct-
+            # form evaluation performs the identical fused multiply-add
+            # sequence, so the grid is bit-for-bit the same as the
+            # Python loop's — just computed in C.
+            x[1:] = _lfilter(
+                [noise_scale], [1.0, -a], shocks, zi=np.array([a * x[0]])
+            )[0]
+        else:
+            for k in range(n - 1):
+                x[k + 1] = a * x[k] + noise_scale * shocks[k]
         self._grid = np.maximum(base_mbps * (1.0 + x), self._floor)
 
     def capacity_at(self, time_s: float) -> float:

@@ -4,7 +4,9 @@ import numpy as np
 import pytest
 
 from repro.baselines.btsapp import BtsApp, PROBE_DURATION_S
+from repro.baselines.common import TestOutcome
 from repro.baselines.driver import (
+    NoReachableServerError,
     TcpFloodSession,
     escalation_thresholds,
     ping_phase_duration,
@@ -12,6 +14,7 @@ from repro.baselines.driver import (
 from repro.baselines.fast import FastCom
 from repro.baselines.fastbts import FastBTS
 from repro.baselines.speedtest import SpeedtestLike
+from repro.netsim.faults import outage_plan
 from repro.testbed.env import make_environment
 
 
@@ -125,3 +128,31 @@ def test_all_services_report_samples_and_ping():
         assert result.ping_s > 0
         assert len(result.samples) > 0
         assert result.service == service.name
+
+
+def all_dead_env(**kwargs):
+    env = env_with(**kwargs)
+    env.faults = outage_plan({s.name: [(0.0, 100.0)] for s in env.servers})
+    return env
+
+
+def test_flood_session_raises_typed_error_when_pool_is_dead():
+    """Every ranked candidate down at recruit time: a typed, diagnosable
+    error — not the IndexError estimators used to hit on an empty
+    sample list."""
+    with pytest.raises(NoReachableServerError) as excinfo:
+        TcpFloodSession(all_dead_env()).run(1.0)
+    assert excinfo.value.n_candidates == 10
+    assert "all 10 ranked candidate(s)" in str(excinfo.value)
+    assert isinstance(excinfo.value, RuntimeError)  # old handlers still match
+
+
+def test_all_flooding_services_fail_cleanly_on_dead_pool():
+    """The services catch the typed error and report FAILED results."""
+    for service in (BtsApp(), SpeedtestLike(), FastCom(), FastBTS()):
+        result = service.run(all_dead_env())
+        assert result.outcome is TestOutcome.FAILED, service.name
+        assert not result.outcome.usable
+        assert result.bandwidth_mbps == 0.0
+        assert result.samples == []
+        assert "NoReachableServerError" in result.meta["error"]

@@ -59,3 +59,51 @@ def test_loopback_closes_session_on_convergence():
     assert result.server.sessions[1].state is SessionState.CLOSED
     assert result.server.active_sessions() == 0
     assert result.server.sessions[1].bytes_sent > 0
+
+
+@pytest.mark.parametrize("capacity", [30.0, 60.0, 250.0, 450.0, 1000.0])
+def test_vectorized_interval_loop_is_bit_identical(capacity):
+    """The numpy fast path replaces per-packet object churn with a
+    counting identity; every observable — estimate, samples, ladder,
+    drop accounting, server byte counters — must match the legacy loop
+    exactly, not approximately."""
+    legacy = run_loopback_session(
+        make_model(), capacity_mbps=capacity, vectorized=False
+    )
+    fast = run_loopback_session(
+        make_model(), capacity_mbps=capacity, vectorized=True
+    )
+    assert fast.bandwidth_mbps == legacy.bandwidth_mbps
+    assert fast.duration_s == legacy.duration_s
+    assert fast.samples == legacy.samples
+    assert fast.rate_commands == legacy.rate_commands
+    assert fast.packets_delivered == legacy.packets_delivered
+    assert fast.packets_dropped == legacy.packets_dropped
+    assert fast.outcome is legacy.outcome
+    assert (
+        fast.server.sessions[1].bytes_sent
+        == legacy.server.sessions[1].bytes_sent
+    )
+
+
+def test_vectorized_is_the_default_without_faults():
+    # vectorized=None auto-selects the fast path; explicit True agrees.
+    auto = run_loopback_session(make_model(), capacity_mbps=120.0)
+    fast = run_loopback_session(
+        make_model(), capacity_mbps=120.0, vectorized=True
+    )
+    assert auto.samples == fast.samples
+
+
+def test_vectorized_refuses_data_plane_faults():
+    from repro.netsim.faults import FaultInjector, IIDLoss
+    import numpy as np
+
+    faults = FaultInjector(
+        np.random.default_rng(1), loss=IIDLoss(0.1, np.random.default_rng(1))
+    )
+    with pytest.raises(ValueError):
+        run_loopback_session(
+            make_model(), capacity_mbps=60.0,
+            data_faults=faults, vectorized=True,
+        )

@@ -7,7 +7,17 @@ from repro.core.client import SwiftestClient, SwiftestConfig
 from repro.core.gmm import GaussianMixture1D
 from repro.core.probing import ProbingController
 from repro.core.registry import BandwidthModelRegistry, TechnologyModel
-from repro.core.variants import FixedLadderModel, TcpSwiftest
+from repro.core.variants import (
+    BandwidthTest,
+    FixedLadderModel,
+    LoopbackSwiftest,
+    TcpSwiftest,
+    _BANDWIDTH_TESTS,
+    bandwidth_test_names,
+    create_bandwidth_test,
+    make_bandwidth_test,
+    register_bandwidth_test,
+)
 from repro.testbed.env import make_environment
 
 
@@ -109,3 +119,70 @@ def test_custom_convergence_threshold_config(registry):
     assert result.converged
     with pytest.raises(ValueError):
         SwiftestClient(registry, SwiftestConfig(convergence_threshold=0.0)).run(env)
+
+
+# -- the BandwidthTest registry -----------------------------------------
+
+
+def test_registry_lists_every_builtin_test():
+    names = bandwidth_test_names()
+    assert names == sorted(names)
+    for expected in (
+        "bts-app", "fast", "fastbts", "speedtest",
+        "swiftest", "swiftest-loopback", "tcp-swiftest",
+    ):
+        assert expected in names
+
+
+def test_created_tests_satisfy_the_protocol():
+    for name in ("bts-app", "fast", "fastbts", "speedtest", "tcp-swiftest"):
+        service = create_bandwidth_test(name)
+        assert isinstance(service, BandwidthTest)
+        assert service.name == name
+
+
+def test_create_forwards_constructor_kwargs(registry):
+    service = create_bandwidth_test("swiftest", registry=registry)
+    assert service.registry is registry
+    loopback = create_bandwidth_test("swiftest-loopback", max_duration_s=2.5)
+    assert loopback.max_duration_s == 2.5
+
+
+def test_create_unknown_name_lists_alternatives():
+    with pytest.raises(KeyError) as excinfo:
+        create_bandwidth_test("warp-drive")
+    assert "bts-app" in str(excinfo.value)
+
+
+def test_register_custom_test_then_create():
+    class Custom:
+        name = "custom-test"
+
+        def run(self, env):
+            raise NotImplementedError
+
+    register_bandwidth_test("custom-test", Custom)
+    try:
+        assert isinstance(create_bandwidth_test("custom-test"), Custom)
+        assert "custom-test" in bandwidth_test_names()
+    finally:
+        _BANDWIDTH_TESTS.pop("custom-test", None)
+
+
+def test_make_bandwidth_test_is_a_deprecated_alias():
+    with pytest.warns(DeprecationWarning):
+        service = make_bandwidth_test("bts-app")
+    assert service.name == "bts-app"
+
+
+def test_loopback_swiftest_runs_as_a_service():
+    env = make_environment(
+        150.0, rng=np.random.default_rng(6), tech="5G",
+        server_capacity_mbps=1000.0,
+    )
+    result = LoopbackSwiftest().run(env)
+    assert result.service == "swiftest-loopback"
+    assert result.bandwidth_mbps == pytest.approx(150.0, rel=0.10)
+    assert result.outcome.usable
+    assert result.ping_s > 0
+    assert result.bytes_used > 0

@@ -1,0 +1,77 @@
+"""Batched GMM sampling and the vectorized demo campaign."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.records import SCHEMA
+from repro.dataset.sampling import (
+    DEMO_MIXTURES,
+    DEMO_TECH_SHARES,
+    MIN_BANDWIDTH_MBPS,
+    batch_gmm_bandwidths,
+    demo_campaign,
+)
+
+
+def test_batch_sampling_covers_every_row():
+    rng = np.random.default_rng(0)
+    techs = np.array(["4G", "5G", "WiFi5"] * 100)
+    bw = batch_gmm_bandwidths(techs, rng)
+    assert bw.shape == techs.shape
+    assert (bw >= MIN_BANDWIDTH_MBPS).all()
+    assert np.isfinite(bw).all()
+
+
+def test_batch_sampling_is_deterministic():
+    techs = np.array(["4G", "5G"] * 50)
+    a = batch_gmm_bandwidths(techs, np.random.default_rng(7))
+    b = batch_gmm_bandwidths(techs, np.random.default_rng(7))
+    assert np.array_equal(a, b)
+
+
+def test_batch_sampling_orders_by_technology():
+    """5G draws dominate 4G draws on average — the mixtures matter."""
+    rng = np.random.default_rng(1)
+    techs = np.array(["4G"] * 2000 + ["5G"] * 2000)
+    bw = batch_gmm_bandwidths(techs, rng)
+    assert bw[2000:].mean() > 2 * bw[:2000].mean()
+
+
+def test_batch_sampling_rejects_unknown_tech():
+    with pytest.raises(KeyError):
+        batch_gmm_bandwidths(np.array(["6G"]), np.random.default_rng(0))
+
+
+def test_demo_campaign_has_the_full_schema():
+    ds = demo_campaign(500, seed=3)
+    assert len(ds) == 500
+    for name in SCHEMA:
+        assert len(ds.column(name)) == 500
+
+
+def test_demo_campaign_is_deterministic():
+    a = demo_campaign(200, seed=9)
+    b = demo_campaign(200, seed=9)
+    for name in SCHEMA:
+        ca, cb = a.column(name), b.column(name)
+        if ca.dtype == np.float64:
+            assert np.array_equal(ca, cb, equal_nan=True), name
+        else:
+            assert np.array_equal(ca, cb), name
+
+
+def test_demo_campaign_tech_mix_tracks_shares():
+    ds = demo_campaign(20_000, seed=5)
+    techs, counts = np.unique(ds.column("tech"), return_counts=True)
+    observed = dict(zip(techs.tolist(), (counts / counts.sum()).tolist()))
+    for tech, share in DEMO_TECH_SHARES.items():
+        assert observed[tech] == pytest.approx(share, abs=0.02)
+
+
+def test_demo_campaign_validation():
+    with pytest.raises(ValueError):
+        demo_campaign(0)
+
+
+def test_demo_mixtures_cover_every_share_tech():
+    assert set(DEMO_TECH_SHARES) <= set(DEMO_MIXTURES)

@@ -1,0 +1,70 @@
+"""The frozen CampaignConfig recipe every execution path consumes."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.baselines.btsapp import BtsApp
+from repro.harness.config import CampaignConfig, RetryPolicy
+
+
+def test_defaults_are_the_historical_behaviour():
+    config = CampaignConfig()
+    assert config.seed == 0
+    assert config.max_tests is None
+    assert config.test == "bts-app"
+    assert config.n_shards == 1
+    assert config.checkpoint_path is None
+    assert config.retry == RetryPolicy()
+
+
+def test_config_is_frozen():
+    config = CampaignConfig()
+    with pytest.raises(AttributeError):
+        config.seed = 7
+
+
+def test_make_test_builds_from_the_registry():
+    service = CampaignConfig(test="bts-app").make_test()
+    assert isinstance(service, BtsApp)
+    assert service.name == "bts-app"
+
+
+def test_make_test_forwards_kwargs():
+    config = CampaignConfig(
+        test="swiftest-loopback", test_kwargs={"max_duration_s": 3.0}
+    )
+    assert config.make_test().max_duration_s == 3.0
+
+
+def test_unknown_test_name_rejected_at_construction():
+    with pytest.raises((KeyError, ValueError)):
+        CampaignConfig(test="warp-drive").make_test()
+
+
+def test_test_kwargs_are_defensively_copied():
+    kwargs = {"max_duration_s": 3.0}
+    config = CampaignConfig(test="swiftest-loopback", test_kwargs=kwargs)
+    kwargs["max_duration_s"] = 99.0
+    assert config.test_kwargs["max_duration_s"] == 3.0
+
+
+def test_checkpoint_path_coerced_to_path(tmp_path):
+    config = CampaignConfig(checkpoint_path=str(tmp_path / "run.ckpt"))
+    assert isinstance(config.checkpoint_path, Path)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CampaignConfig(n_shards=0)
+    with pytest.raises(ValueError):
+        CampaignConfig(checkpoint_every=0)
+    with pytest.raises(ValueError):
+        CampaignConfig(max_tests=0)
+
+
+def test_retry_policy_still_importable_from_runtime():
+    # The historical import path keeps working after the move.
+    from repro.harness.runtime import RetryPolicy as FromRuntime
+
+    assert FromRuntime is RetryPolicy

@@ -1,0 +1,233 @@
+"""Sharded campaign engine: determinism, checkpoint merge, progress."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.baselines.common import (
+    BandwidthTestService,
+    BTSResult,
+    TestOutcome,
+)
+from repro.core.variants import (
+    LoopbackSwiftest,
+    _BANDWIDTH_TESTS,
+    register_bandwidth_test,
+)
+from repro.dataset.records import SCHEMA
+from repro.dataset.sampling import demo_campaign
+from repro.harness.config import CampaignConfig
+from repro.harness.parallel import (
+    run_campaign,
+    run_sharded_campaign,
+    shard_checkpoint_path,
+    shard_of,
+)
+from repro.harness.runtime import CampaignRuntime
+
+
+@pytest.fixture(scope="module")
+def contexts():
+    return demo_campaign(24, seed=404)
+
+
+class Fails4G(BandwidthTestService):
+    """FAILED on 4G rows — deterministic quarantine, any shard count."""
+
+    name = "loopback-fails-4g"
+
+    def __init__(self):
+        self.inner = LoopbackSwiftest()
+
+    def run(self, env):
+        if env.tech == "4G":
+            return BTSResult(
+                service=self.name, bandwidth_mbps=0.0, duration_s=0.0,
+                ping_s=0.0, bytes_used=0.0, outcome=TestOutcome.FAILED,
+            )
+        return self.inner.run(env)
+
+
+class DiesMidRow(BandwidthTestService):
+    """Kills its worker process without reporting — a crash, not an
+    error the retry logic can see."""
+
+    name = "loopback-dies"
+
+    def run(self, env):
+        os._exit(13)
+
+
+@pytest.fixture(autouse=True)
+def _registered_test_services():
+    register_bandwidth_test(Fails4G.name, Fails4G)
+    register_bandwidth_test(DiesMidRow.name, DiesMidRow)
+    yield
+    _BANDWIDTH_TESTS.pop(Fails4G.name, None)
+    _BANDWIDTH_TESTS.pop(DiesMidRow.name, None)
+
+
+def datasets_identical(a, b):
+    assert len(a) == len(b)
+    for name in SCHEMA:
+        ca, cb = a.column(name), b.column(name)
+        if ca.dtype == np.float64:
+            assert np.array_equal(ca, cb, equal_nan=True), name
+        else:
+            assert np.array_equal(ca, cb), name
+
+
+def config_with(**kwargs):
+    defaults = dict(seed=11, test="swiftest-loopback")
+    defaults.update(kwargs)
+    return CampaignConfig(**defaults)
+
+
+# -- shard assignment ---------------------------------------------------
+
+
+def test_shard_of_is_deterministic_and_in_range():
+    for row in range(200):
+        k = shard_of(seed=3, row=row, n_shards=8)
+        assert 0 <= k < 8
+        assert k == shard_of(seed=3, row=row, n_shards=8)
+
+
+def test_shard_of_depends_on_seed():
+    a = [shard_of(1, row, 8) for row in range(64)]
+    b = [shard_of(2, row, 8) for row in range(64)]
+    assert a != b
+
+
+def test_shard_of_spreads_rows():
+    counts = np.bincount(
+        [shard_of(0, row, 4) for row in range(400)], minlength=4
+    )
+    assert (counts > 0).all()
+
+
+def test_shard_of_rejects_bad_count():
+    with pytest.raises(ValueError):
+        shard_of(0, 0, 0)
+
+
+# -- determinism across shard counts ------------------------------------
+
+
+def test_shard_count_never_changes_results(contexts):
+    """The acceptance property: shard counts 1, 2 and 8 produce
+    identical datasets and identical quarantine sets."""
+    reports = {
+        n: run_campaign(contexts, config_with(n_shards=n))
+        for n in (1, 2, 8)
+    }
+    base = reports[1]
+    for n in (2, 8):
+        datasets_identical(base.dataset, reports[n].dataset)
+        assert [q.row_index for q in reports[n].quarantined] == [
+            q.row_index for q in base.quarantined
+        ]
+        assert reports[n].backoff_wait_s == base.backoff_wait_s
+
+
+def test_quarantine_is_shard_invariant(contexts):
+    reports = {
+        n: run_campaign(
+            contexts, config_with(test=Fails4G.name, n_shards=n)
+        )
+        for n in (1, 2, 8)
+    }
+    quarantined = {
+        n: sorted(q.row_index for q in r.quarantined)
+        for n, r in reports.items()
+    }
+    assert quarantined[1], "expected 4G rows in the demo campaign"
+    assert quarantined[2] == quarantined[1]
+    assert quarantined[8] == quarantined[1]
+    datasets_identical(reports[1].dataset, reports[8].dataset)
+    for report in reports.values():
+        for q in report.quarantined:
+            assert q.outcome == TestOutcome.FAILED.value
+
+
+def test_sharded_matches_serial_runtime(contexts):
+    """run_campaign(n_shards=8) is a drop-in for CampaignRuntime."""
+    config = config_with(n_shards=8, max_tests=16)
+    sharded = run_sharded_campaign(contexts, config)
+    serial = CampaignRuntime(config=config).run(contexts)
+    assert sharded.n_measured == serial.n_measured == 16
+    datasets_identical(sharded.dataset, serial.dataset)
+
+
+# -- checkpoints --------------------------------------------------------
+
+
+def test_sharded_checkpoint_resumes_serially(tmp_path, contexts):
+    """The merged main checkpoint is an ordinary serial checkpoint."""
+    ck = tmp_path / "run.ckpt"
+    config = config_with(n_shards=4, checkpoint_path=ck)
+    first = run_sharded_campaign(contexts, config)
+    assert ck.exists()
+
+    serial_config = config_with(n_shards=1, checkpoint_path=ck)
+    again = CampaignRuntime(config=serial_config).run(contexts, resume=True)
+    assert again.resumed_rows == len(contexts)
+    datasets_identical(first.dataset, again.dataset)
+
+
+def test_serial_checkpoint_resumes_sharded(tmp_path, contexts):
+    """...and vice versa: shards pick up a serial run's checkpoint."""
+    ck = tmp_path / "run.ckpt"
+    serial = CampaignRuntime(
+        config=config_with(checkpoint_path=ck)
+    ).run(contexts)
+    sharded = run_sharded_campaign(
+        contexts, config_with(n_shards=4, checkpoint_path=ck), resume=True
+    )
+    assert sharded.resumed_rows == len(contexts)
+    datasets_identical(serial.dataset, sharded.dataset)
+
+
+def test_shard_files_are_merged_then_removed(tmp_path, contexts):
+    ck = tmp_path / "run.ckpt"
+    config = config_with(n_shards=4, checkpoint_path=ck, checkpoint_every=1)
+    run_sharded_campaign(contexts, config)
+    assert ck.exists()
+    for shard_id in range(4):
+        assert not shard_checkpoint_path(ck, shard_id).exists()
+
+
+# -- failure containment ------------------------------------------------
+
+
+def test_dead_worker_fails_loud_but_keeps_checkpoints(tmp_path, contexts):
+    ck = tmp_path / "run.ckpt"
+    config = config_with(
+        test=DiesMidRow.name, n_shards=2,
+        checkpoint_path=ck, checkpoint_every=1,
+    )
+    with pytest.raises(RuntimeError, match="without a result"):
+        run_sharded_campaign(contexts, config)
+    # The supervisor still merged whatever the shards flushed.
+    assert ck.exists()
+
+
+# -- progress streaming -------------------------------------------------
+
+
+def test_progress_streams_per_row_events(contexts):
+    events = []
+    report = run_sharded_campaign(
+        contexts, config_with(n_shards=4),
+        on_progress=lambda snap: events.append(
+            (snap.shard_id, snap.done, snap.finished)
+        ),
+    )
+    assert report.n_measured == len(contexts)
+    # One event per measured row plus one "finished" per active shard.
+    per_row = [e for e in events if not e[2]]
+    finishes = {e[0] for e in events if e[2]}
+    assert len(per_row) + len(finishes) == len(events)
+    assert sum(1 for _ in per_row) == len(contexts)
+    assert finishes <= set(range(4))

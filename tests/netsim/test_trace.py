@@ -102,3 +102,23 @@ def test_mean_capacity_empty_window_rejected():
     trace = ConstantTrace(10.0)
     with pytest.raises(ValueError):
         trace.mean_capacity(1.0, 1.0)
+
+
+def test_fluctuating_trace_lfilter_matches_python_loop(monkeypatch):
+    """The scipy.lfilter vectorization of the OU recurrence must be
+    bitwise identical to the original Python loop — same filter, same
+    float operations, just batched."""
+    import repro.netsim.trace as trace_mod
+
+    if trace_mod._lfilter is None:
+        pytest.skip("scipy unavailable; only the fallback path exists")
+
+    kwargs = dict(sigma=0.12, tau_s=1.5, duration_s=20.0)
+    fast = FluctuatingTrace(
+        180.0, rng=np.random.default_rng(42), **kwargs
+    )
+    monkeypatch.setattr(trace_mod, "_lfilter", None)
+    slow = FluctuatingTrace(
+        180.0, rng=np.random.default_rng(42), **kwargs
+    )
+    assert np.array_equal(fast._grid, slow._grid)

@@ -118,3 +118,48 @@ def test_measure_resume_requires_checkpoint(campaign_csv, capsys):
     code = main(["measure", campaign_csv, "--resume"])
     assert code == 2
     assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+
+def test_measure_sharded_matches_serial(campaign_csv, tmp_path, capsys):
+    serial_out = tmp_path / "serial.csv"
+    sharded_out = tmp_path / "sharded.csv"
+    base = ["measure", campaign_csv, "--tests", "6", "--seed", "4",
+            "--test", "swiftest-loopback"]
+    assert main(base + ["--out", str(serial_out)]) == 0
+    capsys.readouterr()
+    code = main(base + ["--shards", "3", "--out", str(sharded_out)])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "sharded across 3 worker(s)" in captured
+    assert "measured 6/6 rows" in captured
+    assert serial_out.read_bytes() == sharded_out.read_bytes()
+
+
+def test_measure_unknown_test_name(campaign_csv, capsys):
+    code = main(["measure", campaign_csv, "--test", "warp-drive"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "warp-drive" in err
+    assert "bts-app" in err
+
+
+def test_bench_command(tmp_path, capsys):
+    out = tmp_path / "BENCH_campaign.json"
+    code = main(["bench", "--sizes", "8", "--shards", "2",
+                 "--out", str(out)])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "speedup" in captured
+    assert "peak RSS" in captured
+    import json
+
+    summary = json.loads(out.read_text())
+    assert summary["sizes"] == [8]
+    assert summary["all_byte_identical"] is True
+    assert summary["cases"][0]["speedup"] > 0
+
+
+def test_bench_rejects_malformed_sizes(capsys):
+    code = main(["bench", "--sizes", "8,x"])
+    assert code == 2
+    assert "comma-separated integers" in capsys.readouterr().err
