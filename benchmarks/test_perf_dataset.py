@@ -1,0 +1,44 @@
+"""Dataset engine performance: chunked vectorized vs per-row oracle.
+
+The acceptance benchmark of the paper-scale dataset engine: the
+chunked NumPy path must be byte-identical to the per-row reference
+oracle (and invariant to the chunk partition) while generating rows at
+least an order of magnitude faster.  The smoke test runs a small case
+(CI's bench-smoke job); the ``slow`` sweep reproduces the committed
+``BENCH_dataset.json`` numbers, including the >= 50x acceptance bar at
+100k rows.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.bench import (
+    DATASET_DEFAULT_ROWS,
+    DEFAULT_SEED,
+    bench_dataset_case,
+    run_dataset_bench,
+)
+
+
+def test_perf_dataset_smoke():
+    """Small case: byte-identical and >= 10x rows/sec."""
+    case = bench_dataset_case(
+        20_000, oracle_rows=2_000, chunk_size=8_192, seed=DEFAULT_SEED
+    )
+    assert case.chunked_byte_identical
+    assert case.oracle_byte_identical
+    assert case.speedup >= 10.0
+
+
+@pytest.mark.slow
+def test_perf_full_dataset_bench(tmp_path):
+    """The full sweep behind BENCH_dataset.json: >= 50x at 100k rows."""
+    out = tmp_path / "BENCH_dataset.json"
+    summary = run_dataset_bench(out_path=out)
+    assert summary["all_byte_identical"]
+    assert summary["min_speedup"] >= 50.0
+    assert summary["peak_rss_mb"] > 0
+    on_disk = json.loads(out.read_text())
+    assert on_disk["rows"] == list(DATASET_DEFAULT_ROWS)
+    assert len(on_disk["cases"]) == len(DATASET_DEFAULT_ROWS)

@@ -7,7 +7,7 @@ from typing import Dict
 
 import numpy as np
 
-from repro.dataset.records import Dataset
+from repro.dataset.records import Dataset, group_reduce
 
 
 @dataclass(frozen=True)
@@ -35,14 +35,8 @@ def hourly_profile(dataset: Dataset, tech: str) -> HourlyProfile:
     sub = dataset.where(tech=tech)
     if len(sub) == 0:
         raise ValueError(f"no {tech} tests in the dataset")
-    hours = sub.column("hour")
-    bandwidth = sub.bandwidth
-    counts: Dict[int, int] = {}
-    means: Dict[int, float] = {}
-    for hour in range(24):
-        mask = hours == hour
-        n = int(mask.sum())
-        if n:
-            counts[hour] = n
-            means[hour] = float(bandwidth[mask].mean())
-    return HourlyProfile(counts=counts, mean_bandwidth=means)
+    hours, means, counts = group_reduce(sub.column("hour"), sub.bandwidth)
+    return HourlyProfile(
+        counts={int(h): int(n) for h, n in zip(hours, counts)},
+        mean_bandwidth={int(h): float(m) for h, m in zip(hours, means)},
+    )

@@ -15,7 +15,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.dataset.records import Dataset
+from repro.dataset.records import Dataset, group_reduce
 
 #: Minimum tests a group needs in both years to be compared.
 MIN_GROUP_TESTS = 40
@@ -51,18 +51,24 @@ def matched_group_declines(
         raise ValueError(f"both campaigns need {tech} tests")
 
     def group_means(ds: Dataset) -> Dict[Tuple[int, str], Tuple[float, int]]:
-        isps = ds.column("isp")
-        tiers = ds.column("city_tier")
-        bandwidth = ds.bandwidth
+        # Composite (isp, tier) keys are factorized into one integer
+        # code so the whole group-by is a single group_reduce pass.
+        isp_vals, isp_inv = np.unique(ds.column("isp"), return_inverse=True)
+        tier_vals, tier_inv = np.unique(
+            ds.column("city_tier"), return_inverse=True
+        )
+        codes, means, counts = group_reduce(
+            isp_inv * len(tier_vals) + tier_inv, ds.bandwidth
+        )
         out: Dict[Tuple[int, str], Tuple[float, int]] = {}
-        for isp in np.unique(isps):
-            for tier in np.unique(tiers):
-                mask = (isps == isp) & (tiers == tier)
-                n = int(mask.sum())
-                if n:
-                    out[(int(isp), str(tier))] = (
-                        float(bandwidth[mask].mean()), n
-                    )
+        for code, mean, n in zip(
+            codes.tolist(), means.tolist(), counts.tolist()
+        ):
+            key = (
+                int(isp_vals[code // len(tier_vals)]),
+                str(tier_vals[code % len(tier_vals)]),
+            )
+            out[key] = (float(mean), int(n))
         return out
 
     means_before = group_means(before)

@@ -3,6 +3,8 @@
 The subcommands cover the library's main workflows::
 
     repro campaign --year 2021 --tests 50000 --out campaign.csv
+    repro generate --n-tests 1000000 --out campaign.npz [--chunk-size N]
+    repro bench-dataset --out BENCH_dataset.json
     repro analyze campaign.csv
     repro measure campaign.csv --tests 200 --out measured.csv \\
         --checkpoint run.ckpt [--resume] [--shards 8] [--test NAME]
@@ -47,7 +49,7 @@ _MODEL_TECHS = ["4G", "5G", "WiFi4", "WiFi5", "WiFi6"]
 
 def _load_or_generate(path: Optional[str], tests: int, seed: int) -> Dataset:
     if path:
-        return Dataset.from_csv(path)
+        return Dataset.load(path)
     return generate_campaign(
         GenerationConfig(year=2021, n_tests=tests, seed=seed)
     )
@@ -67,14 +69,48 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         n = dataset.group_counts("tech")[tech]
         print(f"  {tech:6s} n={n:7d}  mean {mean:7.1f} Mbps")
     if args.out:
-        dataset.to_csv(args.out)
+        dataset.save(args.out)
         print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """Generate a campaign with the paper-scale chunked engine."""
+    import time
+
+    from repro.dataset.generator import DEFAULT_CHUNK_SIZE
+
+    if args.chunk_size is not None and args.chunk_size <= 0:
+        print(f"error: --chunk-size must be positive, got {args.chunk_size}",
+              file=sys.stderr)
+        return 2
+    config = GenerationConfig(
+        year=args.year, n_tests=args.n_tests, seed=args.seed
+    )
+    chunk_size = args.chunk_size or DEFAULT_CHUNK_SIZE
+    start = time.perf_counter()
+    dataset = generate_campaign(config, chunk_size=chunk_size)
+    elapsed = time.perf_counter() - start
+    print(f"generated {len(dataset)} tests in {elapsed:.2f}s "
+          f"({len(dataset) / elapsed:,.0f} rows/s, "
+          f"chunk size {chunk_size}, seed {args.seed})")
+    for tech, mean in sorted(dataset.group_mean_bandwidth("tech").items()):
+        n = dataset.group_counts("tech")[tech]
+        print(f"  {tech:6s} n={n:7d}  mean {mean:7.1f} Mbps")
+    if args.out:
+        out = args.out
+        if args.format:  # explicit format wins over the suffix
+            wanted = "." + args.format
+            if not out.endswith(wanted):
+                out += wanted
+        dataset.save(out)
+        print(f"wrote {out}")
     return 0
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
     """Run the headline §3 analyses on a campaign."""
-    dataset = Dataset.from_csv(args.campaign)
+    dataset = Dataset.load(args.campaign)
     print(f"loaded {len(dataset)} tests from {args.campaign}\n")
 
     print("4G distribution (paper: median 22 / mean 53):")
@@ -112,7 +148,7 @@ def cmd_measure(args: argparse.Namespace) -> int:
         print(f"error: unknown test {args.test!r} "
               f"(have {bandwidth_test_names()})", file=sys.stderr)
         return 2
-    contexts = Dataset.from_csv(args.campaign)
+    contexts = Dataset.load(args.campaign)
     config = CampaignConfig(
         seed=args.seed,
         max_tests=args.tests,
@@ -211,12 +247,56 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_dataset(args: argparse.Namespace) -> int:
+    """Benchmark the chunked dataset engine vs the per-row oracle."""
+    from repro.harness.bench import (
+        DATASET_DEFAULT_ROWS,
+        run_dataset_bench,
+    )
+
+    try:
+        rows = (
+            tuple(int(s) for s in args.rows.split(","))
+            if args.rows else DATASET_DEFAULT_ROWS
+        )
+    except ValueError:
+        print(f"error: --rows must be comma-separated integers, "
+              f"got {args.rows!r}", file=sys.stderr)
+        return 2
+    summary = run_dataset_bench(
+        rows=rows,
+        oracle_rows=args.oracle_rows,
+        chunk_size=args.chunk_size,
+        seed=args.seed,
+        out_path=args.out,
+    )
+    print(f"dataset engine bench (chunk size {summary['chunk_size']}, "
+          f"seed {summary['seed']})")
+    print(f"{'rows':>8s} {'oracle r/s':>11s} {'vector r/s':>11s} "
+          f"{'speedup':>8s}  identical")
+    for case in summary["cases"]:
+        identical = (
+            case["chunked_byte_identical"] and case["oracle_byte_identical"]
+        )
+        print(f"{case['rows']:8d} {case['oracle_rows_per_s']:11.1f} "
+              f"{case['vectorized_rows_per_s']:11.1f} "
+              f"{case['speedup']:7.1f}x  {identical}")
+    print(f"peak RSS {summary['peak_rss_mb']:.1f} MiB")
+    if args.out:
+        print(f"wrote {args.out}")
+    if not summary["all_byte_identical"]:
+        print("error: vectorized output diverged from the oracle",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Render a full text report (with terminal plots) for a campaign."""
     from repro.analysis.plots import bar_chart
     from repro.analysis.report import campaign_report
 
-    dataset = Dataset.from_csv(args.campaign)
+    dataset = Dataset.load(args.campaign)
     print(campaign_report(dataset, title=f"Campaign: {args.campaign}"))
     nr = dataset.where(tech="5G")
     if len(nr):
@@ -275,8 +355,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="CSV output path")
     p.set_defaults(func=cmd_campaign)
 
+    p = sub.add_parser(
+        "generate",
+        help="generate a campaign with the paper-scale chunked engine",
+    )
+    p.add_argument("--n-tests", type=int, default=1_000_000,
+                   help="campaign size in rows")
+    p.add_argument("--year", type=int, default=2021, choices=(2020, 2021))
+    p.add_argument("--seed", type=int, default=20210801)
+    p.add_argument("--chunk-size", type=int, default=None,
+                   help="rows per streamed chunk (bounds peak memory; "
+                        "the output is identical for any value)")
+    p.add_argument("--format", choices=("csv", "npz"),
+                   help="output format (default: from --out suffix, "
+                        "CSV otherwise)")
+    p.add_argument("--out", help="output path (.npz or .csv)")
+    p.set_defaults(func=cmd_generate)
+
     p = sub.add_parser("analyze", help="run the §3 analyses on a campaign")
-    p.add_argument("campaign", help="CSV produced by 'repro campaign'")
+    p.add_argument("campaign", help="campaign file (.csv or .npz)")
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser(
@@ -320,6 +417,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="JSON output path "
                                  "(e.g. BENCH_campaign.json)")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "bench-dataset",
+        help="benchmark the chunked dataset engine vs the per-row "
+             "oracle and write BENCH_dataset.json",
+    )
+    p.add_argument("--rows",
+                   help="comma-separated campaign sizes (default 100000)")
+    p.add_argument("--oracle-rows", type=int, default=5_000,
+                   help="rows the per-row oracle leg is timed on")
+    p.add_argument("--chunk-size", type=int, default=65_536)
+    p.add_argument("--seed", type=int, default=20220801)
+    p.add_argument("--out", help="JSON output path "
+                                 "(e.g. BENCH_dataset.json)")
+    p.set_defaults(func=cmd_bench_dataset)
 
     p = sub.add_parser("speedtest", help="run one simulated bandwidth test")
     p.add_argument("--bandwidth", type=float, default=300.0,

@@ -6,14 +6,15 @@ while exposing a record-oriented view for readability in tests and
 examples.  The schema mirrors what the paper's data-collection plugin
 records (§2): the test result plus PHY/MAC context.  Datasets
 round-trip through CSV (:meth:`Dataset.to_csv` /
-:meth:`Dataset.from_csv`) so campaigns can be shared between runs and
-tools.
+:meth:`Dataset.from_csv`) for interoperability and through NPZ
+(:meth:`Dataset.to_npz` / :meth:`Dataset.from_npz`) for paper-scale
+campaigns — the columnar binary format loads millions of rows in well
+under a second, where CSV parsing alone takes tens of seconds.
 """
 
 from __future__ import annotations
 
 import csv
-import math
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Mapping, Optional, Union
@@ -47,6 +48,29 @@ SCHEMA: Dict[str, object] = {
     "sleeping": bool,
     "bandwidth_mbps": np.float64,
 }
+
+
+def group_reduce(keys: np.ndarray, values: np.ndarray):
+    """Per-group count and mean of ``values`` in one pass.
+
+    Returns ``(unique_keys, means, counts)`` with groups in sorted key
+    order.  One ``np.unique(return_inverse=True)`` plus two
+    ``np.bincount`` passes — O(n + groups), replacing the
+    O(n · groups) scan-per-distinct-value pattern that made per-band
+    and per-hour aggregation the bottleneck of paper-scale analysis.
+    """
+    keys = np.asarray(keys)
+    values = np.asarray(values, dtype=np.float64)
+    if len(keys) != len(values):
+        raise ValueError(
+            f"keys length {len(keys)} != values length {len(values)}"
+        )
+    if len(keys) == 0:
+        return keys, np.empty(0), np.empty(0, dtype=np.int64)
+    unique, inverse = np.unique(keys, return_inverse=True)
+    counts = np.bincount(inverse, minlength=len(unique))
+    sums = np.bincount(inverse, weights=values, minlength=len(unique))
+    return unique, sums / counts, counts.astype(np.int64)
 
 
 @dataclass(frozen=True)
@@ -152,6 +176,26 @@ class Dataset:
             }
         )
 
+    @staticmethod
+    def from_chunks(chunks: List[Mapping[str, np.ndarray]]) -> "Dataset":
+        """Assemble a dataset from streamed column chunks.
+
+        Each chunk is a full ``{column name: array}`` mapping (as
+        yielded by the generator's chunked driver); columns are joined
+        with one ``np.concatenate`` per column — a single-chunk input
+        is adopted without copying.
+        """
+        if not chunks:
+            raise ValueError("cannot build a dataset from zero chunks")
+        if len(chunks) == 1:
+            return Dataset(chunks[0])
+        return Dataset(
+            {
+                name: np.concatenate([chunk[name] for chunk in chunks])
+                for name in SCHEMA
+            }
+        )
+
     # -- aggregation ---------------------------------------------------
 
     def mean_bandwidth(self) -> float:
@@ -168,11 +212,8 @@ class Dataset:
 
     def group_mean_bandwidth(self, key: str) -> Dict:
         """``{group value: mean bandwidth}`` over a grouping column."""
-        column = self.column(key)
-        result: Dict = {}
-        for value in sorted(set(column.tolist())):
-            result[value] = float(np.mean(self.bandwidth[column == value]))
-        return result
+        values, means, _ = group_reduce(self.column(key), self.bandwidth)
+        return {v: float(m) for v, m in zip(values.tolist(), means.tolist())}
 
     def group_counts(self, key: str) -> Dict:
         """``{group value: row count}`` over a grouping column."""
@@ -205,15 +246,18 @@ class Dataset:
     # -- persistence -----------------------------------------------------
 
     def to_csv(self, path: Union[str, Path]) -> None:
-        """Write the dataset to a CSV file with a header row."""
+        """Write the dataset to a CSV file with a header row.
+
+        Columns are formatted in one vectorized ``astype(str)`` pass
+        each (byte-identical to per-cell ``str()``), then written
+        row-wise in a single ``writerows`` call.
+        """
         names = list(SCHEMA)
+        cells = [self._columns[name].astype("U").tolist() for name in names]
         with open(path, "w", newline="") as handle:
             writer = csv.writer(handle)
             writer.writerow(names)
-            for i in range(len(self)):
-                writer.writerow(
-                    [self._columns[name][i] for name in names]
-                )
+            writer.writerows(zip(*cells))
 
     @staticmethod
     def from_csv(path: Union[str, Path]) -> "Dataset":
@@ -239,21 +283,74 @@ class Dataset:
         if not rows:
             raise ValueError(f"{path}: no data rows")
         index = {name: header.index(name) for name in SCHEMA}
+        raw_columns = list(zip(*rows))
         columns = {}
         for name, dtype in SCHEMA.items():
-            raw = [row[index[name]] for row in rows]
-            columns[name] = np.array(
-                [_parse_csv_value(v, dtype) for v in raw], dtype=dtype
-            )
+            raw = raw_columns[index[name]]
+            columns[name] = _parse_csv_column(raw, dtype)
         return Dataset(columns)
 
+    def to_npz(self, path: Union[str, Path], compress: bool = False) -> None:
+        """Write the dataset as a columnar ``.npz`` archive.
 
-def _parse_csv_value(text: str, dtype):
-    """Parse one CSV cell according to the schema dtype."""
-    if dtype is bool:
-        return text == "True"
+        String columns are stored as fixed-width unicode (no pickling,
+        so archives are portable and safe to load).  ``compress=True``
+        trades write speed for roughly 3-4x smaller files.
+        """
+        arrays = {
+            name: col.astype("U") if SCHEMA[name] is object else col
+            for name, col in self._columns.items()
+        }
+        save = np.savez_compressed if compress else np.savez
+        save(path, **arrays)
+
+    @staticmethod
+    def from_npz(path: Union[str, Path]) -> "Dataset":
+        """Read a dataset previously written by :meth:`to_npz`."""
+        with np.load(path, allow_pickle=False) as archive:
+            present = set(archive.files)
+            if present != set(SCHEMA):
+                missing = set(SCHEMA) - present
+                extra = present - set(SCHEMA)
+                raise ValueError(
+                    f"{path}: column mismatch (missing={sorted(missing)}, "
+                    f"extra={sorted(extra)})"
+                )
+            columns = {}
+            for name, dtype in SCHEMA.items():
+                loaded = archive[name]
+                columns[name] = (
+                    loaded.astype(object) if dtype is object
+                    else loaded.astype(dtype, copy=False)
+                )
+        return Dataset(columns)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write to ``path``, picking the format from its suffix.
+
+        ``.npz`` uses the columnar binary format; anything else is
+        written as CSV.
+        """
+        if Path(path).suffix == ".npz":
+            self.to_npz(path)
+        else:
+            self.to_csv(path)
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "Dataset":
+        """Read a dataset saved by :meth:`save` (suffix-dispatched)."""
+        if Path(path).suffix == ".npz":
+            return Dataset.from_npz(path)
+        return Dataset.from_csv(path)
+
+
+def _parse_csv_column(raw, dtype) -> np.ndarray:
+    """Parse one CSV column (tuple of cell strings) in bulk."""
     if dtype is object:
-        return text
+        return np.array(raw, dtype=object)
+    cells = np.array(raw, dtype="U")
+    if dtype is bool:
+        return cells == "True"
     if dtype is np.float64:
-        return math.nan if text in ("", "nan") else float(text)
-    return int(text)
+        return np.where(cells == "", "nan", cells).astype(np.float64)
+    return cells.astype(dtype)

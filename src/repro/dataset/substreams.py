@@ -1,0 +1,301 @@
+"""Counter-based random substreams for the dataset engine.
+
+The paper-scale generator needs every row's randomness to be a **pure
+function of ``(seed, test_id)``** so that
+
+* a chunked/vectorized pass, a per-row oracle pass, and any future
+  sharded pass all produce bit-identical datasets, and
+* chunk size and chunk order cannot change the result by construction.
+
+The contract: each *kind* of draw a row makes (its technology pick,
+its RSS level, its fading term, ...) owns a fixed integer **slot**.
+Slot ``s`` under root seed ``seed`` names one Philox counter stream
+``Philox(key=(seed, s))``; the uniform feeding row ``i``'s draw for
+that slot is **word ``i``** of that stream.  :func:`uniform_block`
+materialises any contiguous window of a slot's words in one vectorized
+call (Philox is counter-based: ``advance`` jumps to the window start
+in O(1)), and the per-row oracle reads single words from the same
+streams — the two paths consume literally the same bits.
+
+Non-uniform draws are derived from those uniforms through
+deterministic inverse-CDF transforms (:func:`ppf_normal`,
+:func:`ppf_beta`, :func:`pick`, ...).  Each transform consumes exactly
+one uniform, so the word position of every draw is independent of any
+other row **and** of which branch (4G/5G/3G/WiFi) the row takes.
+SciPy provides the exact inverse CDFs when available; pure-NumPy
+fallbacks keep the module importable without it.  Both execution paths
+always share whichever implementation was selected at import time, so
+byte-identity between them never depends on SciPy.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+try:  # pragma: no cover - exercised indirectly on both branches
+    from scipy import special as _special
+
+    _HAVE_SCIPY = True
+except ImportError:  # pragma: no cover
+    _special = None
+    _HAVE_SCIPY = False
+
+#: Philox words per counter increment (Philox4x64 emits 4 words).
+_WORDS_PER_BLOCK = 4
+
+_MASK64 = (1 << 64) - 1
+
+# -- slot registry -----------------------------------------------------
+#
+# Row slots are indexed by test_id; user slots by user_id.  The IDs are
+# part of the determinism contract: renumbering them reshuffles every
+# campaign, so append new slots, never reorder.
+
+SLOT_TECH = 0
+SLOT_USER = 1
+SLOT_HOUR = 2
+SLOT_ISP = 3
+SLOT_BAND = 4
+SLOT_URBAN = 5
+SLOT_RSS_LEVEL = 6
+SLOT_RSRP = 7
+SLOT_FADE = 8
+SLOT_SNR = 9
+SLOT_LOAD = 10
+SLOT_LTEA_GATE = 11
+SLOT_LTEA_CARRIERS = 12
+SLOT_LTEA_LOAD = 13
+SLOT_DENSE = 14
+SLOT_WIFI_BAND = 15
+SLOT_PLAN = 16
+SLOT_PLAN_SHIFT = 17
+SLOT_LINK_PHY = 18
+SLOT_LINK_CONTENTION = 19
+SLOT_WIRE = 20
+
+#: User-table slots (position = user_id, not test_id).
+SLOT_USER_MODEL = 64
+SLOT_USER_VERSION = 65
+SLOT_USER_CITY_TIER = 66
+SLOT_USER_CITY_MEMBER = 67
+
+
+def uniform_block(seed: int, slot: int, start: int, count: int) -> np.ndarray:
+    """Words ``[start, start + count)`` of slot ``slot``'s stream as
+    float64 uniforms in ``[0, 1)``.
+
+    Pure function of ``(seed, slot, start, count)``;
+    ``uniform_block(s, k, 0, n)[i] == uniform_block(s, k, i, 1)[0]``
+    for every ``i < n`` — the invariance the chunked driver and the
+    per-row oracle both rely on.
+    """
+    if start < 0 or count < 0:
+        raise ValueError(f"need start >= 0 and count >= 0, got {start}, {count}")
+    bitgen = np.random.Philox(key=(seed & _MASK64, slot & _MASK64))
+    blocks, offset = divmod(start, _WORDS_PER_BLOCK)
+    if blocks:
+        bitgen.advance(blocks)
+    gen = np.random.Generator(bitgen)
+    if offset:
+        gen.random(offset)  # discard words before the window
+    return gen.random(count)
+
+
+# -- inverse-CDF transforms --------------------------------------------
+#
+# Every transform is elementwise and NumPy-vectorized; the oracle calls
+# them on length-1 arrays, the fast path on chunk-sized ones.  NumPy's
+# ufunc loops are bit-identical across array sizes, which the substream
+# contract tests assert end to end.
+
+#: Uniforms are clipped into this open interval before any inverse CDF
+#: so u == 0.0 (probability 2^-53 per draw) cannot produce infinities.
+_U_LO = 2.0 ** -64
+_U_HI = 1.0 - 2.0 ** -53
+
+
+def _clip_u(u: np.ndarray) -> np.ndarray:
+    return np.clip(u, _U_LO, _U_HI)
+
+
+if _HAVE_SCIPY:
+
+    def _ndtri(u: np.ndarray) -> np.ndarray:
+        return _special.ndtri(u)
+
+    def _betaincinv(a, b, u):
+        return _special.betaincinv(a, b, u)
+
+else:  # pragma: no cover - container ships scipy; kept importable without
+
+    def _ndtri(u: np.ndarray) -> np.ndarray:
+        """Acklam's rational approximation of the normal inverse CDF.
+
+        ~1e-9 relative accuracy — far below the sampling noise of any
+        campaign statistic; used only when SciPy is absent and then by
+        *both* execution paths, preserving byte-identity.
+        """
+        u = np.asarray(u, dtype=np.float64)
+        a = (-3.969683028665376e+01, 2.209460984245205e+02,
+             -2.759285104469687e+02, 1.383577518672690e+02,
+             -3.066479806614716e+01, 2.506628277459239e+00)
+        b = (-5.447609879822406e+01, 1.615858368580409e+02,
+             -1.556989798598866e+02, 6.680131188771972e+01,
+             -1.328068155288572e+01)
+        c = (-7.784894002430293e-03, -3.223964580411365e-01,
+             -2.400758277161838e+00, -2.549732539343734e+00,
+             4.374664141464968e+00, 2.938163982698783e+00)
+        d = (7.784695709041462e-03, 3.224671290700398e-01,
+             2.445134137142996e+00, 3.754408661907416e+00)
+        p_low = 0.02425
+        out = np.empty_like(u)
+        lo = u < p_low
+        hi = u > 1.0 - p_low
+        mid = ~(lo | hi)
+        if np.any(lo):
+            q = np.sqrt(-2.0 * np.log(u[lo]))
+            out[lo] = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q
+                        + c[4]) * q + c[5]) / \
+                      ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+        if np.any(hi):
+            q = np.sqrt(-2.0 * np.log(1.0 - u[hi]))
+            out[hi] = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q
+                         + c[4]) * q + c[5]) / \
+                      ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+        if np.any(mid):
+            q = u[mid] - 0.5
+            r = q * q
+            out[mid] = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r
+                         + a[4]) * r + a[5]) * q / \
+                       (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r
+                         + b[4]) * r + 1.0)
+        return out
+
+    def _betainc(a, b, x):
+        """Regularized incomplete beta via Lentz's continued fraction."""
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        x = np.asarray(x, dtype=np.float64)
+        a, b, x = np.broadcast_arrays(a, b, x)
+
+        def _cf(a_, b_, x_):
+            tiny = 1e-300
+            qab = a_ + b_
+            qap = a_ + 1.0
+            qam = a_ - 1.0
+            c = np.ones_like(x_)
+            d = 1.0 - qab * x_ / qap
+            d = np.where(np.abs(d) < tiny, tiny, d)
+            d = 1.0 / d
+            h = d.copy()
+            for m in range(1, 200):
+                m2 = 2 * m
+                aa = m * (b_ - m) * x_ / ((qam + m2) * (a_ + m2))
+                d = 1.0 + aa * d
+                d = np.where(np.abs(d) < tiny, tiny, d)
+                c = 1.0 + aa / c
+                c = np.where(np.abs(c) < tiny, tiny, c)
+                d = 1.0 / d
+                h = h * d * c
+                aa = -(a_ + m) * (qab + m) * x_ / ((a_ + m2) * (qap + m2))
+                d = 1.0 + aa * d
+                d = np.where(np.abs(d) < tiny, tiny, d)
+                c = 1.0 + aa / c
+                c = np.where(np.abs(c) < tiny, tiny, c)
+                d = 1.0 / d
+                h = h * d * c
+            return h
+
+        from math import lgamma
+
+        lbeta = (np.vectorize(lgamma)(a) + np.vectorize(lgamma)(b)
+                 - np.vectorize(lgamma)(a + b))
+        use_direct = x < (a + 1.0) / (a + b + 2.0)
+        xx = np.where(use_direct, x, 1.0 - x)
+        aa = np.where(use_direct, a, b)
+        bb = np.where(use_direct, b, a)
+        cf = _cf(aa, bb, xx)
+        front = np.exp(aa * np.log(np.maximum(xx, 1e-300))
+                       + bb * np.log(np.maximum(1.0 - xx, 1e-300)) - lbeta)
+        val = front / aa * cf
+        result = np.where(use_direct, val, 1.0 - val)
+        result = np.where(x <= 0.0, 0.0, result)
+        result = np.where(x >= 1.0, 1.0, result)
+        return np.clip(result, 0.0, 1.0)
+
+    def _betaincinv(a, b, u):
+        """Inverse incomplete beta by 80 deterministic bisection steps."""
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        u = np.asarray(u, dtype=np.float64)
+        a, b, u = np.broadcast_arrays(a, b, u)
+        lo = np.zeros(a.shape, dtype=np.float64)
+        hi = np.ones(a.shape, dtype=np.float64)
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            below = _betainc(a, b, mid) < u
+            lo = np.where(below, mid, lo)
+            hi = np.where(below, hi, mid)
+        return 0.5 * (lo + hi)
+
+
+def ppf_normal(u: np.ndarray, mean, sigma) -> np.ndarray:
+    """Normal(mean, sigma) draw from a uniform (inverse CDF)."""
+    return np.asarray(mean) + np.asarray(sigma) * _ndtri(_clip_u(u))
+
+
+def ppf_lognormal(u: np.ndarray, mu, sigma) -> np.ndarray:
+    """LogNormal(mu, sigma) draw from a uniform."""
+    return np.exp(ppf_normal(u, mu, sigma))
+
+
+def ppf_beta(u: np.ndarray, a, b) -> np.ndarray:
+    """Beta(a, b) draw from a uniform (inverse regularized betainc)."""
+    return _betaincinv(np.asarray(a, dtype=np.float64),
+                       np.asarray(b, dtype=np.float64),
+                       _clip_u(u))
+
+
+def ppf_uniform(u: np.ndarray, low, high) -> np.ndarray:
+    """Uniform(low, high) draw from a unit uniform."""
+    return np.asarray(low) + np.asarray(u) * (np.asarray(high) - np.asarray(low))
+
+
+def cdf_of(probs: Sequence[float]) -> np.ndarray:
+    """Normalised cumulative weights for :func:`pick`."""
+    p = np.asarray(probs, dtype=np.float64)
+    if p.ndim != 1 or len(p) == 0:
+        raise ValueError("probs must be a non-empty 1-D sequence")
+    if np.any(p < 0) or p.sum() <= 0:
+        raise ValueError("probs must be non-negative with positive total")
+    return np.cumsum(p / p.sum())
+
+
+def pick(cdf: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Categorical draw: index ``i`` with probability ``p[i]``.
+
+    ``cdf`` is :func:`cdf_of` output.  Equivalent in law to
+    ``rng.choice(len(p), p=p)`` but a pure function of ``u``.
+    """
+    idx = np.searchsorted(cdf, u, side="right")
+    return np.minimum(idx, len(cdf) - 1).astype(np.int64)
+
+
+def pick_rows(cdf_matrix: np.ndarray, rows: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Row-wise categorical draw with a per-row distribution.
+
+    ``cdf_matrix[r]`` is the cumulative distribution to use for rows
+    where ``rows == r`` (pad unused tail entries with 1.0).
+    """
+    cdfs = cdf_matrix[rows]
+    idx = (cdfs <= u[:, None]).sum(axis=1)
+    return np.minimum(idx, cdf_matrix.shape[1] - 1).astype(np.int64)
+
+
+def index_from_uniform(u: np.ndarray, n: int) -> np.ndarray:
+    """Uniform integer in ``[0, n)`` from a unit uniform."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    return np.minimum((u * n).astype(np.int64), n - 1)

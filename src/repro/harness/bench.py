@@ -1,4 +1,4 @@
-"""Campaign-engine performance benchmark (``repro bench``).
+"""Campaign- and dataset-engine performance benchmarks.
 
 Times the *before* and *after* of this engine generation at several
 campaign sizes so future PRs inherit a perf trajectory in
@@ -21,6 +21,13 @@ speed, zero semantics.
 
 Peak RSS is read from ``getrusage`` (self + reaped children, so shard
 workers are included) — no external profiler dependency.
+
+:func:`run_dataset_bench` (``repro bench-dataset``) applies the same
+discipline to the dataset engine: it times the chunked vectorized
+:func:`~repro.dataset.generator.generate_campaign` against the per-row
+reference oracle (``vectorized=False``), and verifies that chunked ==
+unchunked and fast path == oracle outputs are byte-identical before
+reporting any speedup into ``BENCH_dataset.json``.
 """
 
 from __future__ import annotations
@@ -33,7 +40,9 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.dataset.records import Dataset
+from repro.dataset.generator import DEFAULT_CHUNK_SIZE, generate_campaign
+from repro.dataset.generator import CampaignConfig as GenerationConfig
+from repro.dataset.records import SCHEMA, Dataset
 from repro.dataset.sampling import demo_campaign
 from repro.harness.config import CampaignConfig
 from repro.harness.parallel import run_campaign
@@ -147,6 +156,140 @@ def run_campaign_bench(
         "min_speedup": min(case.speedup for case in cases),
         "max_speedup": max(case.speedup for case in cases),
         "all_byte_identical": all(case.byte_identical for case in cases),
+        "peak_rss_mb": peak_rss_mb(),
+    }
+    if out_path is not None:
+        out_path = Path(out_path)
+        with open(out_path, "w") as handle:
+            json.dump(summary, handle, indent=2)
+            handle.write("\n")
+    return summary
+
+
+# -- dataset engine ----------------------------------------------------
+
+#: Dataset sizes (rows) timed by the full dataset benchmark.
+DATASET_DEFAULT_ROWS: Tuple[int, ...] = (100_000,)
+
+#: Rows the per-row oracle is timed on (it runs ~2k rows/s, so the
+#: oracle leg uses its own smaller campaign and speedup compares
+#: rows-per-second rates; the oracle's equality check runs on this
+#: same campaign through both paths).
+DATASET_DEFAULT_ORACLE_ROWS = 5_000
+
+
+@dataclass
+class DatasetBenchCase:
+    """Vectorized-vs-oracle timing at one campaign size."""
+
+    rows: int
+    oracle_rows: int
+    chunk_size: int
+    vectorized_s: float
+    oracle_s: float
+    vectorized_rows_per_s: float
+    oracle_rows_per_s: float
+    speedup: float
+    chunked_byte_identical: bool
+    oracle_byte_identical: bool
+
+
+def _dataset_fingerprint(dataset: Dataset) -> Tuple:
+    """Column-wise byte-level identity key (cheaper than CSV bytes)."""
+    parts = []
+    for name in SCHEMA:
+        column = dataset.column(name)
+        if column.dtype == object:
+            parts.append(tuple(column.tolist()))
+        else:
+            parts.append((str(column.dtype), column.tobytes()))
+    return tuple(parts)
+
+
+def bench_dataset_case(
+    rows: int,
+    oracle_rows: int = DATASET_DEFAULT_ORACLE_ROWS,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    seed: int = DEFAULT_SEED,
+    year: int = 2021,
+) -> DatasetBenchCase:
+    """Time the chunked engine vs the per-row oracle at one size."""
+    config = GenerationConfig(year=year, n_tests=rows, seed=seed)
+
+    start = time.perf_counter()
+    chunked = generate_campaign(config, chunk_size=chunk_size)
+    vectorized_s = time.perf_counter() - start
+
+    # Chunk-partition invariance: a different chunk size (and the
+    # single-chunk run) must reproduce the exact same bytes.
+    other_chunk = max(1, chunk_size // 3)
+    chunked_identical = (
+        _dataset_fingerprint(chunked)
+        == _dataset_fingerprint(generate_campaign(config, chunk_size=other_chunk))
+        == _dataset_fingerprint(generate_campaign(config, chunk_size=rows))
+    )
+
+    # The oracle leg runs a smaller campaign of its own (user tables
+    # depend on n_tests, so equality needs both paths on one config).
+    oracle_config = GenerationConfig(
+        year=year, n_tests=oracle_rows, seed=seed
+    )
+    start = time.perf_counter()
+    oracle = generate_campaign(oracle_config, vectorized=False)
+    oracle_s = time.perf_counter() - start
+    oracle_identical = _dataset_fingerprint(oracle) == _dataset_fingerprint(
+        generate_campaign(oracle_config, chunk_size=chunk_size)
+    )
+
+    vectorized_rate = rows / vectorized_s if vectorized_s > 0 else float("inf")
+    oracle_rate = oracle_rows / oracle_s if oracle_s > 0 else float("inf")
+    return DatasetBenchCase(
+        rows=rows,
+        oracle_rows=oracle_rows,
+        chunk_size=chunk_size,
+        vectorized_s=vectorized_s,
+        oracle_s=oracle_s,
+        vectorized_rows_per_s=vectorized_rate,
+        oracle_rows_per_s=oracle_rate,
+        speedup=vectorized_rate / oracle_rate if oracle_rate > 0 else float("inf"),
+        chunked_byte_identical=chunked_identical,
+        oracle_byte_identical=oracle_identical,
+    )
+
+
+def run_dataset_bench(
+    rows: Sequence[int] = DATASET_DEFAULT_ROWS,
+    oracle_rows: int = DATASET_DEFAULT_ORACLE_ROWS,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    seed: int = DEFAULT_SEED,
+    out_path: Optional[Union[str, Path]] = None,
+) -> Dict:
+    """The dataset-engine benchmark: every size, one JSON summary.
+
+    When ``out_path`` is given the summary is written there
+    (``BENCH_dataset.json`` by convention).
+    """
+    if not rows:
+        raise ValueError("at least one campaign size is required")
+    cases: List[DatasetBenchCase] = [
+        bench_dataset_case(
+            n, oracle_rows=oracle_rows, chunk_size=chunk_size, seed=seed
+        )
+        for n in rows
+    ]
+    summary = {
+        "benchmark": "dataset-engine",
+        "seed": seed,
+        "chunk_size": chunk_size,
+        "rows": list(rows),
+        "oracle_rows": oracle_rows,
+        "cases": [asdict(case) for case in cases],
+        "min_speedup": min(case.speedup for case in cases),
+        "max_speedup": max(case.speedup for case in cases),
+        "all_byte_identical": all(
+            case.chunked_byte_identical and case.oracle_byte_identical
+            for case in cases
+        ),
         "peak_rss_mb": peak_rss_mb(),
     }
     if out_path is not None:

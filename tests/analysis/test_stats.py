@@ -108,3 +108,33 @@ def test_bootstrap_ci_deterministic():
     a = bootstrap_ci(values, rng=np.random.default_rng(3))
     b = bootstrap_ci(values, rng=np.random.default_rng(3))
     assert a == b
+
+
+def test_bootstrap_ci_callable_fallback_deterministic():
+    """Arbitrary callables take the loop fallback over the same index
+    draws, so they are seeded-deterministic too."""
+    values = list(range(200))
+
+    def trimmed_mean(sample):
+        lo, hi = np.quantile(sample, [0.1, 0.9])
+        return np.mean(sample[(sample >= lo) & (sample <= hi)])
+
+    a = bootstrap_ci(values, statistic=trimmed_mean,
+                     rng=np.random.default_rng(7))
+    b = bootstrap_ci(values, statistic=trimmed_mean,
+                     rng=np.random.default_rng(7))
+    assert a == b
+
+
+def test_bootstrap_ci_axis_path_matches_loop_over_same_draws():
+    """np.mean rides the axis=1 fast path; feeding the identical index
+    draws through a loop must give the same resample statistics."""
+    values = np.arange(50, dtype=float)
+    fast = bootstrap_ci(values, statistic=np.mean,
+                        n_resamples=100, rng=np.random.default_rng(11))
+    rng = np.random.default_rng(11)
+    idx = rng.integers(0, len(values), size=(100, len(values)))
+    stats = np.array([np.mean(values[row]) for row in idx])
+    low, high = np.quantile(stats, [0.025, 0.975])
+    assert fast == (pytest.approx(values.mean()),
+                    pytest.approx(float(low)), pytest.approx(float(high)))

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.dataset.records import Dataset, SCHEMA, TestRecord
+from repro.dataset.records import Dataset, SCHEMA, TestRecord, group_reduce
 
 
 def tiny_record(test_id=0, tech="4G", bandwidth=50.0, **overrides):
@@ -116,3 +116,91 @@ def test_from_records_empty_rejected():
 
 def test_records_limit(tiny_dataset):
     assert len(list(tiny_dataset.records(limit=2))) == 2
+
+
+def assert_same_columns(a, b):
+    for name in SCHEMA:
+        col_a, col_b = a.column(name), b.column(name)
+        assert col_a.dtype == col_b.dtype, name
+        if col_a.dtype == object:
+            assert (col_a == col_b).all(), name
+        else:
+            eq = (col_a == col_b) | (np.isnan(col_a) & np.isnan(col_b)) \
+                if col_a.dtype == np.float64 else col_a == col_b
+            assert eq.all(), name
+
+
+def test_npz_round_trip(tiny_dataset, tmp_path):
+    path = tmp_path / "d.npz"
+    tiny_dataset.to_npz(path)
+    assert_same_columns(tiny_dataset, Dataset.from_npz(path))
+
+
+def test_npz_round_trip_compressed(tiny_dataset, tmp_path):
+    path = tmp_path / "d.npz"
+    tiny_dataset.to_npz(path, compress=True)
+    assert_same_columns(tiny_dataset, Dataset.from_npz(path))
+
+
+def test_npz_preserves_nan(tmp_path):
+    ds = Dataset.from_records(
+        [tiny_record(0, "WiFi5", 150.0, rsrp_dbm=float("nan"),
+                     snr_db=float("nan"))]
+    )
+    path = tmp_path / "d.npz"
+    ds.to_npz(path)
+    back = Dataset.from_npz(path)
+    assert np.isnan(back.column("rsrp_dbm")[0])
+    assert np.isnan(back.column("snr_db")[0])
+
+
+def test_npz_column_mismatch_rejected(tiny_dataset, tmp_path):
+    path = tmp_path / "d.npz"
+    np.savez(path, test_id=np.array([1]))
+    with pytest.raises(ValueError):
+        Dataset.from_npz(path)
+
+
+def test_save_load_dispatch_on_suffix(tiny_dataset, tmp_path):
+    npz, csv_ = tmp_path / "d.npz", tmp_path / "d.csv"
+    tiny_dataset.save(npz)
+    tiny_dataset.save(csv_)
+    assert_same_columns(tiny_dataset, Dataset.load(npz))
+    assert_same_columns(tiny_dataset, Dataset.load(csv_))
+
+
+def test_from_chunks_matches_concat(tiny_dataset):
+    columns = {name: tiny_dataset.column(name) for name in SCHEMA}
+    half_a = {name: col[:2] for name, col in columns.items()}
+    half_b = {name: col[2:] for name, col in columns.items()}
+    merged = Dataset.from_chunks([half_a, half_b])
+    assert_same_columns(tiny_dataset, merged)
+
+
+def test_from_chunks_single_chunk(tiny_dataset):
+    columns = {name: tiny_dataset.column(name) for name in SCHEMA}
+    assert_same_columns(tiny_dataset, Dataset.from_chunks([columns]))
+
+
+def test_from_chunks_empty_rejected():
+    with pytest.raises(ValueError):
+        Dataset.from_chunks([])
+
+
+def test_group_reduce_means_and_counts():
+    keys = np.array(["b", "a", "b", "a", "c"])
+    values = np.array([2.0, 1.0, 4.0, 3.0, 10.0])
+    uniq, means, counts = group_reduce(keys, values)
+    assert uniq.tolist() == ["a", "b", "c"]
+    assert means == pytest.approx([2.0, 3.0, 10.0])
+    assert counts.tolist() == [2, 2, 1]
+
+
+def test_group_reduce_empty():
+    uniq, means, counts = group_reduce(np.array([]), np.array([]))
+    assert len(uniq) == len(means) == len(counts) == 0
+
+
+def test_group_reduce_length_mismatch():
+    with pytest.raises(ValueError):
+        group_reduce(np.array([1, 2]), np.array([1.0]))

@@ -163,3 +163,74 @@ def test_bench_rejects_malformed_sizes(capsys):
     code = main(["bench", "--sizes", "8,x"])
     assert code == 2
     assert "comma-separated integers" in capsys.readouterr().err
+
+
+def test_generate_command_npz(tmp_path, capsys):
+    out = tmp_path / "c.npz"
+    code = main(["generate", "--n-tests", "4000", "--seed", "5",
+                 "--chunk-size", "1024", "--out", str(out)])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "generated 4000 tests" in captured
+    assert "rows/s" in captured
+    loaded = Dataset.load(str(out))
+    assert len(loaded) == 4000
+
+
+def test_generate_command_format_flag_appends_suffix(tmp_path, capsys):
+    out = tmp_path / "campaign"
+    code = main(["generate", "--n-tests", "1500", "--seed", "5",
+                 "--format", "npz", "--out", str(out)])
+    assert code == 0
+    assert "wrote" in capsys.readouterr().out
+    assert (tmp_path / "campaign.npz").exists()
+
+
+def test_generate_matches_campaign_output(tmp_path):
+    """`generate` and `campaign` produce the same dataset for one
+    config — the chunked engine is the only path left."""
+    a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+    assert main(["generate", "--n-tests", "2000", "--seed", "6",
+                 "--out", str(a)]) == 0
+    assert main(["campaign", "--tests", "2000", "--seed", "6",
+                 "--out", str(b)]) == 0
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_generate_rejects_bad_chunk_size(capsys):
+    code = main(["generate", "--n-tests", "100", "--chunk-size", "0"])
+    assert code == 2
+    assert "--chunk-size" in capsys.readouterr().err
+
+
+def test_bench_dataset_command(tmp_path, capsys):
+    out = tmp_path / "BENCH_dataset.json"
+    code = main(["bench-dataset", "--rows", "3000",
+                 "--oracle-rows", "400", "--chunk-size", "1024",
+                 "--out", str(out)])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "speedup" in captured
+    assert "peak RSS" in captured
+    import json
+
+    summary = json.loads(out.read_text())
+    assert summary["rows"] == [3000]
+    assert summary["all_byte_identical"] is True
+    assert summary["cases"][0]["speedup"] > 0
+
+
+def test_bench_dataset_rejects_malformed_rows(capsys):
+    code = main(["bench-dataset", "--rows", "10,y"])
+    assert code == 2
+    assert "comma-separated integers" in capsys.readouterr().err
+
+
+def test_analyze_accepts_npz(tmp_path, capsys):
+    out = tmp_path / "c.npz"
+    main(["generate", "--n-tests", "8000", "--seed", "77",
+          "--out", str(out)])
+    capsys.readouterr()
+    assert main(["analyze", str(out)]) == 0
+    captured = capsys.readouterr().out
+    assert "4G distribution" in captured
