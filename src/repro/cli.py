@@ -101,7 +101,9 @@ def cmd_generate(args: argparse.Namespace) -> int:
         out = args.out
         if args.format:  # explicit format wins over the suffix
             wanted = "." + args.format
-            if not out.endswith(wanted):
+            # Suffix dispatch is case-insensitive (matching
+            # Dataset.save): "data.NPZ" already counts as .npz.
+            if not out.lower().endswith(wanted):
                 out += wanted
         dataset.save(out)
         print(f"wrote {out}")
@@ -157,6 +159,7 @@ def cmd_measure(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         n_shards=args.shards,
+        manifest_path=args.manifest,
     )
     report = run_campaign(contexts, config, resume=args.resume)
     if config.n_shards > 1:
@@ -170,12 +173,90 @@ def cmd_measure(args: argparse.Namespace) -> int:
         detail = row.error or row.outcome
         print(f"  quarantined test {row.test_id}: "
               f"{detail} after {row.attempts} attempt(s)")
+    manifest_path = config.resolved_manifest_path()
+    if manifest_path is not None:
+        print(f"manifest {manifest_path}")
     if report.dataset is None:
         print("error: every row was quarantined", file=sys.stderr)
         return 1
     if args.out:
         report.dataset.to_csv(args.out)
         print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Pretty-print the metric snapshot inside a run manifest."""
+    from repro.obs.manifest import ManifestError, load_manifest
+
+    try:
+        manifest = load_manifest(args.manifest)
+    except ManifestError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    run = manifest.get("run", {})
+    versions = manifest.get("versions", {})
+    print(f"manifest {args.manifest} "
+          f"(schema v{manifest.get('manifest_version')}, "
+          f"kind {manifest.get('kind', '?')})")
+    print(f"  seed {manifest.get('seed')}  "
+          f"test {manifest.get('config', {}).get('test', '?')}  "
+          f"shards {run.get('n_shards', '?')}  "
+          f"repro {versions.get('repro', '?')}"
+          + (f"  git {versions['git']}" if versions.get("git") else ""))
+    if run:
+        rows_per_s = run.get("rows_per_s")
+        rate = f"  ({rows_per_s:,.1f} rows/s)" if rows_per_s else ""
+        print(f"  rows {run.get('n_measured')}/{run.get('n_rows')} measured, "
+              f"{run.get('n_quarantined')} quarantined, "
+              f"{run.get('retries')} retries, "
+              f"{run.get('resumed_rows')} resumed{rate}")
+    outcomes = manifest.get("outcomes", {})
+    if outcomes:
+        print("\noutcomes")
+        for name in sorted(outcomes):
+            print(f"  {name:24s} {outcomes[name]:>10d}")
+    shards = manifest.get("shards") or []
+    if shards:
+        print("\nshards")
+        print(f"  {'id':>3s} {'rows':>7s} {'retries':>8s} "
+              f"{'quarantined':>12s} {'rows/s':>9s}")
+        for shard in shards:
+            rate = shard.get("rows_per_s")
+            rate_cell = f"{rate:9.1f}" if rate is not None else f"{'-':>9s}"
+            print(f"  {shard['shard_id']:3d} {shard['rows']:7d} "
+                  f"{shard['retries']:8d} {shard['quarantined']:12d} "
+                  f"{rate_cell}")
+    metrics = manifest.get("metrics", {})
+    counters = {n: e for n, e in metrics.items() if e.get("kind") == "counter"}
+    gauges = {n: e for n, e in metrics.items() if e.get("kind") == "gauge"}
+    histograms = {
+        n: e for n, e in metrics.items() if e.get("kind") == "histogram"
+    }
+    if counters:
+        print("\ncounters")
+        for name in sorted(counters):
+            print(f"  {name:40s} {counters[name]['value']:>12d}")
+    if gauges:
+        print("\ngauges")
+        for name in sorted(gauges):
+            print(f"  {name:40s} {gauges[name]['value']:>12.2f}")
+    if histograms:
+        print("\nhistograms")
+        print(f"  {'name':40s} {'count':>8s} {'mean':>10s} "
+              f"{'min':>10s} {'max':>10s}")
+        for name in sorted(histograms):
+            entry = histograms[name]
+            count = entry["count"]
+            mean = entry["sum"] / count if count else float("nan")
+            lo = entry.get("min")
+            hi = entry.get("max")
+            print(f"  {name:40s} {count:>8d} {mean:>10.4f} "
+                  f"{lo if lo is not None else float('nan'):>10.4f} "
+                  f"{hi if hi is not None else float('nan'):>10.4f}")
+    if not metrics:
+        print("\n(no metrics recorded)")
     return 0
 
 
@@ -401,7 +482,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--test", default="bts-app",
                    help="registry name of the bandwidth test to run "
                         "per row")
+    p.add_argument("-M", "--manifest",
+                   help="write the run manifest (metrics, outcome "
+                        "counts, per-shard stats) here; defaults to "
+                        "<checkpoint>.manifest.json when --checkpoint "
+                        "is set")
     p.set_defaults(func=cmd_measure)
+
+    p = sub.add_parser(
+        "metrics",
+        help="pretty-print the metric snapshot inside a run manifest",
+    )
+    p.add_argument("manifest",
+                   help="manifest JSON written by 'repro measure -M' "
+                        "(or next to a checkpoint)")
+    p.set_defaults(func=cmd_metrics)
 
     p = sub.add_parser(
         "bench",

@@ -31,6 +31,7 @@ from repro.core.probing import ProbingController
 from repro.core.protocol import wire_overhead_fraction
 from repro.core.registry import BandwidthModelRegistry
 from repro.netsim.flow import Flow
+from repro.obs.metrics import active_registry
 from repro.testbed.env import ServerEndpoint, TestEnvironment
 from repro.units import SAMPLE_INTERVAL_S, mbps_to_bytes_per_s
 
@@ -273,6 +274,21 @@ class SwiftestClient(BandwidthTestService):
             outcome = TestOutcome.TIMED_OUT
         else:
             outcome = TestOutcome.CONVERGED
+
+        # Observability: per-test phase timings and control-plane
+        # event counts.  The registry is inert unless a caller opted
+        # in, and nothing here feeds back into the measurement.
+        metrics = active_registry()
+        metrics.counter("swiftest.tests").inc()
+        metrics.counter(f"swiftest.outcome.{outcome.value}").inc()
+        metrics.counter("swiftest.failovers").inc(failovers)
+        metrics.counter("swiftest.retransmissions").inc(retransmissions)
+        metrics.counter("swiftest.ladder_steps").inc(
+            len(controller.rungs_visited)
+        )
+        metrics.histogram("swiftest.phase.ping_s").observe(ping_s)
+        metrics.histogram("swiftest.phase.probe_s").observe(now)
+        metrics.histogram("swiftest.phase.control_s").observe(control_s)
 
         bytes_used = received * (1.0 + wire_overhead_fraction())
         return SwiftestResult(

@@ -29,6 +29,7 @@ from repro.core.protocol import (
     RateCommand,
     decode,
 )
+from repro.obs.metrics import active_registry
 
 #: Sessions idle longer than this are reaped.
 SESSION_TIMEOUT_S = 5.0
@@ -143,11 +144,13 @@ class SwiftestServer:
             message = decode(wire)
         except ProtocolError:
             self.decode_errors += 1
+            active_registry().counter("swiftest.server.decode_errors").inc()
             return None
         try:
             return self.handle(message, now_s)
         except ProtocolError:
             self.orphan_messages += 1
+            active_registry().counter("swiftest.server.orphan_messages").inc()
             return None
 
     # -- data emission -----------------------------------------------------
@@ -209,6 +212,10 @@ class SwiftestServer:
             ):
                 session.state = SessionState.CLOSED
                 reaped += 1
+        if reaped:
+            active_registry().counter("swiftest.server.reaped_sessions").inc(
+                reaped
+            )
         return reaped
 
     def active_sessions(self) -> int:

@@ -302,7 +302,11 @@ class Dataset:
             for name, col in self._columns.items()
         }
         save = np.savez_compressed if compress else np.savez
-        save(path, **arrays)
+        # Write through an open handle: np.savez appends a lowercase
+        # ".npz" to any path not already ending in exactly that, which
+        # would silently relocate e.g. "data.NPZ" to "data.NPZ.npz".
+        with open(path, "wb") as handle:
+            save(handle, **arrays)
 
     @staticmethod
     def from_npz(path: Union[str, Path]) -> "Dataset":
@@ -328,29 +332,49 @@ class Dataset:
     def save(self, path: Union[str, Path]) -> None:
         """Write to ``path``, picking the format from its suffix.
 
-        ``.npz`` uses the columnar binary format; anything else is
-        written as CSV.
+        ``.npz`` (any case: ``.NPZ``, ``.Npz``, …) uses the columnar
+        binary format; anything else is written as CSV.
         """
-        if Path(path).suffix == ".npz":
+        if Path(path).suffix.lower() == ".npz":
             self.to_npz(path)
         else:
             self.to_csv(path)
 
     @staticmethod
     def load(path: Union[str, Path]) -> "Dataset":
-        """Read a dataset saved by :meth:`save` (suffix-dispatched)."""
-        if Path(path).suffix == ".npz":
+        """Read a dataset saved by :meth:`save` (suffix-dispatched,
+        case-insensitively — ``data.NPZ`` is binary, not CSV)."""
+        if Path(path).suffix.lower() == ".npz":
             return Dataset.from_npz(path)
         return Dataset.from_csv(path)
 
 
+#: Bool cell spellings accepted from external CSVs.  Our own writer
+#: emits "True"/"False"; lowercase and 0/1 cover common external tools.
+_CSV_TRUE = ("True", "true", "1")
+_CSV_FALSE = ("False", "false", "0")
+
+
 def _parse_csv_column(raw, dtype) -> np.ndarray:
-    """Parse one CSV column (tuple of cell strings) in bulk."""
+    """Parse one CSV column (tuple of cell strings) in bulk.
+
+    Bool columns accept ``{"True", "true", "1"}`` / ``{"False",
+    "false", "0"}`` and raise :class:`ValueError` on anything else —
+    an unrecognized spelling must not silently round-trip to False.
+    """
     if dtype is object:
         return np.array(raw, dtype=object)
     cells = np.array(raw, dtype="U")
     if dtype is bool:
-        return cells == "True"
+        true = np.isin(cells, _CSV_TRUE)
+        recognized = true | np.isin(cells, _CSV_FALSE)
+        if not recognized.all():
+            bad = cells[~recognized][0]
+            raise ValueError(
+                f"unrecognized bool cell {bad!r} (accepted: "
+                f"{sorted(_CSV_TRUE + _CSV_FALSE)})"
+            )
+        return true
     if dtype is np.float64:
         return np.where(cells == "", "nan", cells).astype(np.float64)
     return cells.astype(dtype)

@@ -22,6 +22,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.obs.metrics import active_registry
+
 
 class BreakerState(enum.Enum):
     """Where a circuit breaker sits in its recovery cycle."""
@@ -96,6 +98,7 @@ class CircuitBreaker:
             if self._probe_streak >= self.probe_successes:
                 self.state = BreakerState.CLOSED
                 self._probe_streak = 0
+                active_registry().counter("health.breaker.recloses").inc()
                 return True
         return False
 
@@ -112,6 +115,7 @@ class CircuitBreaker:
             if now_s - self._opened_at_s >= self.cooldown_s:
                 self.state = BreakerState.HALF_OPEN
                 self._probe_streak = 0
+                active_registry().counter("health.breaker.half_opens").inc()
             else:
                 return False
         return True
@@ -124,6 +128,7 @@ class CircuitBreaker:
         self.consecutive_failures = 0
         self._probe_streak = 0
         self.trips += 1
+        active_registry().counter("health.breaker.trips").inc()
 
 
 class HealthMonitor:
@@ -150,6 +155,12 @@ class HealthMonitor:
             raise ValueError(
                 f"heartbeat for {name!r} moved backwards "
                 f"({now_s} < {previous})"
+            )
+        metrics = active_registry()
+        metrics.counter("health.heartbeats").inc()
+        if previous is not None:
+            metrics.histogram("health.heartbeat.interval_s").observe(
+                now_s - previous
             )
         self._last_seen_s[name] = now_s
 

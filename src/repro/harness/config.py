@@ -116,6 +116,13 @@ class CampaignConfig:
     n_shards:
         Worker processes for the sharded engine; ``1`` runs serially.
         Any value yields bit-identical datasets.
+    manifest_path:
+        Where the run manifest (seed, config, merged metric snapshot,
+        outcome counts — see :mod:`repro.obs.manifest`) is written.
+        Defaults to ``<checkpoint_path>.manifest.json`` when a
+        checkpoint is configured, and to nothing otherwise; metrics
+        are only collected when a manifest destination resolves, so
+        unmanifested runs keep the zero-overhead null instruments.
     """
 
     seed: int = 0
@@ -126,6 +133,7 @@ class CampaignConfig:
     checkpoint_path: Optional[Union[str, Path]] = None
     checkpoint_every: int = 100
     n_shards: int = 1
+    manifest_path: Optional[Union[str, Path]] = None
 
     def __post_init__(self) -> None:
         if self.max_tests is not None and self.max_tests < 1:
@@ -144,9 +152,25 @@ class CampaignConfig:
             object.__setattr__(
                 self, "checkpoint_path", Path(self.checkpoint_path)
             )
+        if self.manifest_path is not None:
+            object.__setattr__(
+                self, "manifest_path", Path(self.manifest_path)
+            )
         # Defensive copy: a caller mutating its kwargs dict afterwards
         # must not silently change a frozen config.
         object.__setattr__(self, "test_kwargs", dict(self.test_kwargs))
+
+    def resolved_manifest_path(self) -> Optional[Path]:
+        """Where this run's manifest lands: the explicit
+        ``manifest_path``, else the checkpoint's sibling
+        ``<checkpoint>.manifest.json``, else nowhere."""
+        if self.manifest_path is not None:
+            return Path(self.manifest_path)
+        if self.checkpoint_path is not None:
+            from repro.obs.manifest import manifest_path_for
+
+            return manifest_path_for(self.checkpoint_path)
+        return None
 
     def make_test(self):
         """Build the configured bandwidth test from the registry."""

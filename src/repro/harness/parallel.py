@@ -40,6 +40,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import queue as queue_mod
 import struct
+import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
@@ -60,6 +61,14 @@ from repro.harness.runtime import (
     measure_row,
     write_checkpoint,
 )
+from repro.obs.manifest import build_campaign_manifest, write_manifest
+from repro.obs.metrics import (
+    MetricsRegistry,
+    NullRegistry,
+    active_registry,
+    use_registry,
+)
+from repro.obs.trace import span
 
 __all__ = [
     "ShardProgress",
@@ -117,6 +126,7 @@ def _shard_worker(
     checkpoint_path: Optional[str],
     checkpoint_every: int,
     events: "mp.Queue",
+    instrument: bool = False,
 ) -> None:
     """One worker process: measure this shard's rows in index order.
 
@@ -124,27 +134,50 @@ def _shard_worker(
     logic, unmodified — against a locally reconstructed dataset and
     service, flushing an ordinary checkpoint file per
     ``checkpoint_every`` completions.
+
+    With ``instrument=True`` the worker records into its own
+    process-local :class:`~repro.obs.metrics.MetricsRegistry` and
+    ships the snapshot back inside the ``done`` event, so the
+    supervisor can merge per-shard metrics deterministically.
     """
     from repro.core.variants import create_bandwidth_test
 
     subset = Dataset(columns)
     service = create_bandwidth_test(test, **test_kwargs)
+    registry = MetricsRegistry() if instrument else None
     rows: Dict[int, _RowState] = {}
     since_flush = 0
+    started = time.perf_counter()
+
+    def shard_snapshot() -> Optional[Dict]:
+        if registry is None:
+            return None
+        elapsed = time.perf_counter() - started
+        if elapsed > 0:
+            registry.gauge("parallel.shard.rows_per_s").set(
+                len(rows) / elapsed
+            )
+        registry.counter("parallel.shard.rows").inc(len(rows))
+        return registry.to_dict()
+
     try:
-        for index in row_indices:
-            state = measure_row(service, retry, subset, index, seed)
-            rows[index] = state
-            since_flush += 1
-            events.put((
-                "progress",
-                shard_id,
-                state.attempts,
-                state.quarantine is not None,
-            ))
-            if checkpoint_path is not None and since_flush >= checkpoint_every:
-                write_checkpoint(checkpoint_path, fingerprint, rows)
-                since_flush = 0
+        with use_registry(registry):
+            for index in row_indices:
+                state = measure_row(service, retry, subset, index, seed)
+                rows[index] = state
+                since_flush += 1
+                events.put((
+                    "progress",
+                    shard_id,
+                    state.attempts,
+                    state.quarantine is not None,
+                ))
+                if (
+                    checkpoint_path is not None
+                    and since_flush >= checkpoint_every
+                ):
+                    write_checkpoint(checkpoint_path, fingerprint, rows)
+                    since_flush = 0
         if checkpoint_path is not None and since_flush > 0:
             write_checkpoint(checkpoint_path, fingerprint, rows)
         events.put((
@@ -152,6 +185,7 @@ def _shard_worker(
             shard_id,
             {i: _state_to_json(s) for i, s in rows.items()},
             None,
+            shard_snapshot(),
         ))
     except BaseException as exc:  # flush progress before dying
         if checkpoint_path is not None and rows:
@@ -161,6 +195,7 @@ def _shard_worker(
             shard_id,
             {i: _state_to_json(s) for i, s in rows.items()},
             f"{type(exc).__name__}: {exc}",
+            shard_snapshot(),
         ))
 
 
@@ -197,6 +232,14 @@ def run_sharded_campaign(
         subset, config.seed, config.max_tests, service_name
     )
     ckpt = config.checkpoint_path
+    manifest_path = config.resolved_manifest_path()
+    # Workers are instrumented when a manifest is wanted, or when the
+    # caller routed a live registry (worker snapshots merge into it).
+    instrument = (
+        manifest_path is not None
+        or not isinstance(active_registry(), NullRegistry)
+    )
+    started = time.perf_counter()
 
     rows: Dict[int, _RowState] = {}
     if resume and ckpt is not None:
@@ -246,6 +289,7 @@ def run_sharded_campaign(
                 ),
                 config.checkpoint_every,
                 events,
+                instrument,
             ),
             daemon=True,
         )
@@ -255,6 +299,10 @@ def run_sharded_campaign(
     retries = 0
     errors: List[str] = []
     finished = {k for k, p in progress.items() if p.finished}
+    #: Per-shard metric snapshots and wall-clock, keyed by shard id.
+    shard_snapshots: Dict[int, Dict] = {}
+    shard_elapsed: Dict[int, float] = {}
+    salvaged_rows = 0
     try:
         while len(finished) < config.n_shards:
             try:
@@ -286,9 +334,12 @@ def run_sharded_campaign(
                 if on_progress is not None:
                     on_progress(snap)
             elif kind == "done":
-                _, _, raw_rows, error = event
+                _, _, raw_rows, error, metrics_snapshot = event
                 for index, entry in raw_rows.items():
                     rows[int(index)] = _state_from_json(entry)
+                if metrics_snapshot is not None:
+                    shard_snapshots[shard_id] = metrics_snapshot
+                shard_elapsed[shard_id] = time.perf_counter() - started
                 snap = progress[shard_id]
                 snap.finished = True
                 finished.add(shard_id)
@@ -314,8 +365,9 @@ def run_sharded_campaign(
             except Exception:
                 salvaged = {}
             for index, state in salvaged.items():
-                if state.done:
-                    rows.setdefault(index, state)
+                if state.done and index not in rows:
+                    rows[index] = state
+                    salvaged_rows += 1
         # The merge IS a serial checkpoint: a later serial (or sharded)
         # run resumes from it directly.
         write_checkpoint(ckpt, fingerprint, rows)
@@ -333,7 +385,73 @@ def run_sharded_campaign(
             if shard_file.exists():
                 shard_file.unlink()
 
-    return build_report(subset, rows, resumed_rows, retries, checkpoints_written)
+    report = build_report(
+        subset, rows, resumed_rows, retries, checkpoints_written
+    )
+    if instrument:
+        _finish_instrumented_run(
+            config,
+            report,
+            progress,
+            shard_snapshots,
+            shard_elapsed,
+            salvaged_rows,
+            elapsed_s=time.perf_counter() - started,
+            manifest_path=manifest_path,
+        )
+    return report
+
+
+def _finish_instrumented_run(
+    config: CampaignConfig,
+    report: CampaignReport,
+    progress: Dict[int, ShardProgress],
+    shard_snapshots: Dict[int, Dict],
+    shard_elapsed: Dict[int, float],
+    salvaged_rows: int,
+    elapsed_s: float,
+    manifest_path: Optional[Path],
+) -> None:
+    """Merge shard metrics into the supervisor's registry and write
+    the run manifest.
+
+    Worker snapshots are folded in **shard-id order** — never arrival
+    order — so the merged snapshot is reproducible run to run; see
+    :meth:`repro.obs.metrics.MetricsRegistry.merge`.
+    """
+    parent = active_registry()
+    metrics = parent if not isinstance(parent, NullRegistry) else MetricsRegistry()
+    with span("campaign.merge_metrics", shards=len(shard_snapshots)):
+        for shard_id in sorted(shard_snapshots):
+            metrics.merge_snapshot(shard_snapshots[shard_id])
+    metrics.counter("parallel.rows_salvaged").inc(salvaged_rows)
+    if elapsed_s > 0:
+        metrics.gauge("campaign.rows_per_s").set(report.n_rows / elapsed_s)
+    shards = []
+    for shard_id in sorted(progress):
+        snap = progress[shard_id]
+        wall = shard_elapsed.get(shard_id)
+        shards.append({
+            "shard_id": shard_id,
+            "rows": snap.done,
+            "retries": snap.retries,
+            "quarantined": snap.quarantined,
+            "elapsed_s": wall,
+            "rows_per_s": (
+                snap.done / wall if wall else None
+            ),
+        })
+    if manifest_path is not None:
+        write_manifest(
+            manifest_path,
+            build_campaign_manifest(
+                config,
+                report,
+                metrics=metrics.to_dict(),
+                shards=shards,
+                elapsed_s=elapsed_s,
+            ),
+        )
 
 
 def run_campaign(

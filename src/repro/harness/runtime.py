@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
@@ -54,6 +55,14 @@ from repro.baselines.common import BandwidthTestService
 from repro.dataset.records import Dataset, SCHEMA
 from repro.harness.collection import campaign_subset, row_environment
 from repro.harness.config import CampaignConfig, RetryPolicy
+from repro.obs.manifest import build_campaign_manifest, write_manifest
+from repro.obs.metrics import (
+    MetricsRegistry,
+    NullRegistry,
+    active_registry,
+    use_registry,
+)
+from repro.obs.trace import span
 
 __all__ = [
     "CHECKPOINT_VERSION",
@@ -163,10 +172,18 @@ def measure_row(
     This is *the* per-row unit of work — serial runtime and shard
     workers both call it, and it depends only on its arguments, so a
     row lands on the same result whichever process executes it.
+
+    Metrics (rows measured/retried/quarantined, the final outcome
+    taxonomy, a per-row wall-time histogram) are recorded into the
+    active :mod:`repro.obs` registry — a no-op unless the caller
+    opted in, and never an input to the measurement itself.
     """
+    metrics = active_registry()
+    started = time.perf_counter()
     state = _RowState()
     last_outcome = "error"
     last_error = ""
+    final_outcome = None
     for attempt in range(retry.max_attempts):
         if attempt:
             state.backoff_wait_s += retry.delay_s(seed, index, attempt)
@@ -180,15 +197,26 @@ def measure_row(
             continue
         if result.outcome.usable:
             state.measured_mbps = float(result.bandwidth_mbps)
-            return state
+            final_outcome = result.outcome.value
+            break
         last_outcome = result.outcome.value
         last_error = ""
-    state.quarantine = QuarantinedRow(
-        row_index=index,
-        test_id=int(subset.column("test_id")[index]),
-        attempts=state.attempts,
-        outcome=last_outcome,
-        error=last_error,
+    if final_outcome is None:
+        state.quarantine = QuarantinedRow(
+            row_index=index,
+            test_id=int(subset.column("test_id")[index]),
+            attempts=state.attempts,
+            outcome=last_outcome,
+            error=last_error,
+        )
+        final_outcome = last_outcome
+        metrics.counter("campaign.rows_quarantined").inc()
+    else:
+        metrics.counter("campaign.rows_measured").inc()
+    metrics.counter("campaign.retries").inc(state.attempts - 1)
+    metrics.counter(f"campaign.outcome.{final_outcome}").inc()
+    metrics.histogram("campaign.row_wall_s").observe(
+        time.perf_counter() - started
     )
     return state
 
@@ -418,52 +446,118 @@ class CampaignRuntime:
         campaign (same contexts/seed/``max_tests``/service), completed
         rows are restored instead of re-measured; a checkpoint written
         by a *different* campaign raises :class:`CheckpointError`.
+
+        When a manifest destination resolves (explicit
+        ``config.manifest_path``, or the checkpoint's sibling), the
+        run collects metrics into a fresh registry — unless the caller
+        already routed one via :func:`repro.obs.metrics.use_registry`
+        — and writes the run manifest on the way out.
         """
         if seed is None:
             seed = self.config.seed
         if max_tests is None:
             max_tests = self.config.max_tests
-        subset = campaign_subset(contexts, seed=seed, max_tests=max_tests)
-        n = len(subset)
-        fingerprint = campaign_fingerprint(
-            subset, seed, max_tests, self.service.name
+        manifest_path = self._manifest_destination()
+        own_registry = (
+            MetricsRegistry()
+            if manifest_path is not None
+            and isinstance(active_registry(), NullRegistry)
+            else None
         )
+        started = time.perf_counter()
+        with use_registry(own_registry), span("campaign.serial"):
+            subset = campaign_subset(contexts, seed=seed, max_tests=max_tests)
+            n = len(subset)
+            fingerprint = campaign_fingerprint(
+                subset, seed, max_tests, self.service.name
+            )
 
-        rows: Dict[int, _RowState] = {}
-        resumed_rows = 0
-        if resume and self.checkpoint_path is not None:
-            rows = load_checkpoint(self.checkpoint_path, fingerprint)
-            resumed_rows = sum(1 for s in rows.values() if s.done)
+            rows: Dict[int, _RowState] = {}
+            resumed_rows = 0
+            if resume and self.checkpoint_path is not None:
+                rows = load_checkpoint(self.checkpoint_path, fingerprint)
+                resumed_rows = sum(1 for s in rows.values() if s.done)
 
-        retries = 0
-        checkpoints_written = 0
-        since_flush = 0
-        try:
-            for i in range(n):
-                state = rows.get(i)
-                if state is not None and state.done:
-                    continue
-                rows[i] = state = measure_row(
-                    self.service, self.retry, subset, i, seed
-                )
-                retries += max(0, state.attempts - 1)
-                since_flush += 1
-                if (
-                    self.checkpoint_path is not None
-                    and since_flush >= self.checkpoint_every
-                ):
+            retries = 0
+            checkpoints_written = 0
+            since_flush = 0
+            try:
+                for i in range(n):
+                    state = rows.get(i)
+                    if state is not None and state.done:
+                        continue
+                    rows[i] = state = measure_row(
+                        self.service, self.retry, subset, i, seed
+                    )
+                    retries += max(0, state.attempts - 1)
+                    since_flush += 1
+                    if (
+                        self.checkpoint_path is not None
+                        and since_flush >= self.checkpoint_every
+                    ):
+                        write_checkpoint(
+                            self.checkpoint_path, fingerprint, rows
+                        )
+                        checkpoints_written += 1
+                        since_flush = 0
+            finally:
+                # Flush on every exit path — normal completion, a
+                # service bug, or a kill — so a resume never loses
+                # finished rows.
+                if self.checkpoint_path is not None and since_flush > 0:
                     write_checkpoint(self.checkpoint_path, fingerprint, rows)
                     checkpoints_written += 1
-                    since_flush = 0
-        finally:
-            # Flush on every exit path — normal completion, a service
-            # bug, or a kill — so a resume never loses finished rows.
-            if self.checkpoint_path is not None and since_flush > 0:
-                write_checkpoint(self.checkpoint_path, fingerprint, rows)
-                checkpoints_written += 1
 
-        return build_report(
-            subset, rows, resumed_rows, retries, checkpoints_written
+            report = build_report(
+                subset, rows, resumed_rows, retries, checkpoints_written
+            )
+            if manifest_path is not None:
+                metrics = active_registry()
+                elapsed = time.perf_counter() - started
+                if elapsed > 0:
+                    metrics.gauge("campaign.rows_per_s").set(
+                        report.n_rows / elapsed
+                    )
+                write_manifest(
+                    manifest_path,
+                    build_campaign_manifest(
+                        self._effective_config(seed, max_tests),
+                        report,
+                        metrics=metrics.to_dict(),
+                        elapsed_s=elapsed,
+                    ),
+                )
+        return report
+
+    # -- manifest helpers ----------------------------------------------
+
+    def _manifest_destination(self) -> Optional[Path]:
+        """Explicit config destination, else the checkpoint's sibling
+        (honouring keyword-override checkpoints), else nowhere."""
+        if self.config.manifest_path is not None:
+            return Path(self.config.manifest_path)
+        if self.checkpoint_path is not None:
+            from repro.obs.manifest import manifest_path_for
+
+            return manifest_path_for(self.checkpoint_path)
+        return None
+
+    def _effective_config(
+        self, seed: int, max_tests: Optional[int]
+    ) -> CampaignConfig:
+        """The config the run actually used, with keyword overrides
+        (legacy spelling) folded back in for the manifest record."""
+        import dataclasses
+
+        return dataclasses.replace(
+            self.config,
+            seed=seed,
+            max_tests=max_tests,
+            test=self.service.name,
+            retry=self.retry,
+            checkpoint_path=self.checkpoint_path,
+            checkpoint_every=self.checkpoint_every,
+            n_shards=1,
         )
 
 

@@ -30,11 +30,26 @@ class UtilizationTrace:
     tests_served: int
 
     def percentile(self, q: float) -> float:
+        """Utilization percentile over busy cells (empty → NaN,
+        matching :meth:`repro.dataset.records.Dataset.mean_bandwidth`'s
+        empty convention)."""
         if len(self.samples) == 0:
-            raise ValueError("no busy cells recorded")
+            return float("nan")
         return float(np.percentile(self.samples, q))
 
     def summary(self) -> Dict[str, float]:
+        """Summary statistics over busy cells.
+
+        An empty/idle deployment period (no test ever landed on a
+        server) yields NaN-valued fields rather than raising, so
+        report generation on degenerate runs keeps working.
+        """
+        if len(self.samples) == 0:
+            nan = float("nan")
+            return {
+                "median": nan, "mean": nan, "p99": nan,
+                "p999": nan, "max": nan,
+            }
         return {
             "median": self.percentile(50),
             "mean": float(self.samples.mean()),

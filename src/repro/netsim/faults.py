@@ -36,6 +36,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.metrics import active_registry
+
 
 class LossModel:
     """Base class: per-packet drop decision.  Never drops."""
@@ -247,20 +249,28 @@ class FaultInjector:
         if self.blackouts is not None and self.blackouts.active(now_s):
             self.stats.dropped += 1
             self.stats.dropped_blackout += 1
+            # Metrics fire only on fault events, so the no-fault fast
+            # path pays nothing.
+            metrics = active_registry()
+            metrics.counter("netsim.faults.dropped").inc()
+            metrics.counter("netsim.faults.blackout_drops").inc()
             return []
         if self.loss.drops(now_s):
             self.stats.dropped += 1
+            active_registry().counter("netsim.faults.dropped").inc()
             return []
         copies = 1
         if self.duplicate_prob > 0 and self.rng.random() < self.duplicate_prob:
             copies = 2
             self.stats.duplicated += 1
+            active_registry().counter("netsim.faults.duplicated").inc()
         deliveries = []
         for _ in range(copies):
             payload = wire
             if self.corrupt_prob > 0 and self.rng.random() < self.corrupt_prob:
                 payload = corrupt_bytes(wire, self.rng)
                 self.stats.corrupted += 1
+                active_registry().counter("netsim.faults.corrupted").inc()
             delay = (
                 float(self.rng.uniform(0.0, self.jitter_s))
                 if self.jitter_s > 0
@@ -312,7 +322,12 @@ class FaultPlan:
 
     def control_delivered(self, now_s: float) -> bool:
         """One control-plane delivery attempt: True when it survives."""
-        return self.control_loss is None or not self.control_loss.drops(now_s)
+        if self.control_loss is None:
+            return True
+        if self.control_loss.drops(now_s):
+            active_registry().counter("netsim.faults.control_drops").inc()
+            return False
+        return True
 
 
 def outage_plan(

@@ -1,0 +1,70 @@
+"""Observability: metrics, tracing, and run manifests.
+
+A production measurement platform has to be able to see inside its own
+runs — how many rows retried, where probing time went, which shard is
+slow — without perturbing the measurements themselves.  This package
+is dependency-free and off by default: every instrument routes to
+inert null objects until a caller opts in with
+:func:`~repro.obs.metrics.use_registry` /
+:func:`~repro.obs.trace.use_tracer`, so instrumented fast paths stay
+byte-identical and benchmark-neutral.
+
+* :mod:`repro.obs.metrics` — process-local counters/gauges/histograms
+  and the mergeable :class:`~repro.obs.metrics.MetricsRegistry` shard
+  workers ship back to the campaign supervisor.
+* :mod:`repro.obs.trace` — nested ``span()`` timing emitted as JSONL.
+* :mod:`repro.obs.manifest` — the machine-readable run manifest
+  written next to every checkpoint.
+"""
+
+from repro.obs.manifest import (
+    MANIFEST_VERSION,
+    ManifestError,
+    build_campaign_manifest,
+    describe_versions,
+    load_manifest,
+    manifest_path_for,
+    write_manifest,
+)
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    active_registry,
+    use_registry,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    JsonlTracer,
+    NullTracer,
+    active_tracer,
+    span,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlTracer",
+    "MANIFEST_VERSION",
+    "ManifestError",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullRegistry",
+    "NullTracer",
+    "active_registry",
+    "active_tracer",
+    "build_campaign_manifest",
+    "describe_versions",
+    "load_manifest",
+    "manifest_path_for",
+    "span",
+    "use_registry",
+    "use_tracer",
+    "write_manifest",
+]

@@ -1,0 +1,188 @@
+"""Structured tracing: nested spans emitted as JSONL events.
+
+Campaign phases (subset selection, shard fan-out, checkpoint merge)
+and Swiftest test phases (ping, sizing, probing) are naturally nested
+intervals.  A :class:`JsonlTracer` records them as paired
+``span_start`` / ``span_end`` events — monotonic timestamps, one
+incrementing ``span`` id per span, the enclosing span's id as
+``parent`` — plus point :meth:`~JsonlTracer.event` records, one JSON
+object per line, so a run's timeline greps and parses trivially.
+
+The default is the shared :data:`NULL_TRACER`: its :meth:`span` hands
+back one reusable no-op context manager and its :meth:`event` returns
+immediately, so uninstrumented code pays a single method call per
+span.  Code opts in with :func:`use_tracer`::
+
+    with use_tracer(JsonlTracer(path)):
+        with span("campaign"):
+            with span("shard", shard_id=3):
+                ...
+
+Timestamps come from :func:`time.monotonic` (or an injected clock for
+deterministic tests) — they order events within a run and are never
+compared across processes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Callable, List, Optional, Union
+
+__all__ = [
+    "JsonlTracer",
+    "NULL_TRACER",
+    "NullTracer",
+    "active_tracer",
+    "span",
+    "use_tracer",
+]
+
+
+class _NullSpan:
+    """Reusable do-nothing context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The zero-overhead default: spans are a shared no-op object."""
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: Shared inert tracer; what :func:`active_tracer` returns by default.
+NULL_TRACER = NullTracer()
+
+
+class JsonlTracer(NullTracer):
+    """Writes span and point events as one JSON object per line.
+
+    Parameters
+    ----------
+    sink:
+        A path (opened for append-less overwrite) or an open text
+        handle (e.g. ``io.StringIO`` in tests; not closed by
+        :meth:`close` unless this tracer opened it).
+    clock:
+        Monotonic time source; injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        sink: Union[str, Path, IO[str]],
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if isinstance(sink, (str, Path)):
+            self._handle: IO[str] = open(sink, "w")
+            self._owns_handle = True
+        else:
+            self._handle = sink
+            self._owns_handle = False
+        self._clock = clock
+        self._next_id = 0
+        self._stack: List[int] = []
+
+    # -- emission ------------------------------------------------------
+
+    def _emit(self, record: dict) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def event(self, name: str, **attrs) -> None:
+        record = {
+            "event": "point",
+            "name": name,
+            "t": self._clock(),
+            "parent": self._stack[-1] if self._stack else None,
+        }
+        if attrs:
+            record["attrs"] = attrs
+        self._emit(record)
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1] if self._stack else None
+        start = self._clock()
+        record = {
+            "event": "span_start",
+            "name": name,
+            "span": span_id,
+            "parent": parent,
+            "t": start,
+        }
+        if attrs:
+            record["attrs"] = attrs
+        self._emit(record)
+        self._stack.append(span_id)
+        error: Optional[str] = None
+        try:
+            yield span_id
+        except BaseException as exc:
+            error = type(exc).__name__
+            raise
+        finally:
+            self._stack.pop()
+            end = self._clock()
+            self._emit({
+                "event": "span_end",
+                "name": name,
+                "span": span_id,
+                "parent": parent,
+                "t": end,
+                "duration_s": end - start,
+                "error": error,
+            })
+
+    def close(self) -> None:
+        self._handle.flush()
+        if self._owns_handle:
+            self._handle.close()
+
+
+_active: NullTracer = NULL_TRACER
+
+
+def active_tracer() -> NullTracer:
+    """The tracer instrumented code emits into right now."""
+    return _active
+
+
+@contextmanager
+def use_tracer(tracer: Optional[NullTracer]):
+    """Route :func:`active_tracer` to ``tracer`` inside the block
+    (``None`` leaves the current routing untouched)."""
+    global _active
+    if tracer is None:
+        yield _active
+        return
+    previous = _active
+    _active = tracer
+    try:
+        yield tracer
+    finally:
+        _active = previous
+
+
+def span(name: str, **attrs):
+    """Open a span on the active tracer (no-op by default)."""
+    return _active.span(name, **attrs)

@@ -59,3 +59,44 @@ def test_column_mismatch_raises(tmp_path):
     path.write_text("a,b\n1,2\n")
     with pytest.raises(ValueError):
         Dataset.from_csv(path)
+
+
+def _rewrite_bool_cells(path, mapping):
+    """Rewrite the lte_advanced column's cells through ``mapping``."""
+    lines = path.read_text().splitlines()
+    header = lines[0].split(",")
+    col = header.index("lte_advanced")
+    out = [lines[0]]
+    for line in lines[1:]:
+        cells = line.split(",")
+        cells[col] = mapping.get(cells[col], cells[col])
+        out.append(",".join(cells))
+    path.write_text("\n".join(out) + "\n")
+
+
+@pytest.mark.parametrize(
+    "true_cell,false_cell",
+    [("true", "false"), ("1", "0"), ("True", "False")],
+)
+def test_external_bool_spellings_accepted(
+    small_dataset, tmp_path, true_cell, false_cell
+):
+    """Regression: externally produced CSVs spelling bools as
+    true/false or 1/0 used to silently round-trip every cell to
+    False (only the exact string "True" was recognized)."""
+    path = tmp_path / "ds.csv"
+    small_dataset.to_csv(path)
+    _rewrite_bool_cells(path, {"True": true_cell, "False": false_cell})
+    loaded = Dataset.from_csv(path)
+    assert np.array_equal(
+        loaded.column("lte_advanced"), small_dataset.column("lte_advanced")
+    )
+
+
+def test_unrecognized_bool_cell_raises(small_dataset, tmp_path):
+    """An unknown bool spelling must fail loudly, not coerce to False."""
+    path = tmp_path / "ds.csv"
+    small_dataset.to_csv(path)
+    _rewrite_bool_cells(path, {"True": "yes", "False": "no"})
+    with pytest.raises(ValueError, match="unrecognized bool cell"):
+        Dataset.from_csv(path)

@@ -169,6 +169,21 @@ def test_save_load_dispatch_on_suffix(tiny_dataset, tmp_path):
     assert_same_columns(tiny_dataset, Dataset.load(csv_))
 
 
+@pytest.mark.parametrize("name", ["d.NPZ", "d.Npz", "d.nPz"])
+def test_save_load_suffix_dispatch_is_case_insensitive(
+    tiny_dataset, tmp_path, name
+):
+    """Regression: an uppercase .NPZ suffix used to fall through to
+    the CSV writer, and load then tried to parse the binary as CSV."""
+    path = tmp_path / name
+    tiny_dataset.save(path)
+    # The binary format was actually chosen — and at this exact path
+    # (np.savez left to its own devices appends a lowercase ".npz").
+    assert path.read_bytes()[:2] == b"PK"
+    assert [p.name for p in tmp_path.iterdir()] == [name]
+    assert_same_columns(tiny_dataset, Dataset.load(path))
+
+
 def test_from_chunks_matches_concat(tiny_dataset):
     columns = {name: tiny_dataset.column(name) for name in SCHEMA}
     half_a = {name: col[:2] for name, col in columns.items()}

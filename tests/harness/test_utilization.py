@@ -60,3 +60,19 @@ def test_reproducible():
     a = small_pool_trace(seed=7)
     b = small_pool_trace(seed=7)
     assert np.array_equal(a.samples, b.samples)
+
+
+def test_empty_trace_summary_is_nan_not_error():
+    """Regression: summary() on an idle deployment period (no busy
+    cells) used to raise, crashing report generation on degenerate
+    runs.  It now mirrors Dataset.mean_bandwidth's empty → NaN
+    convention."""
+    from repro.harness.utilization import UtilizationTrace
+
+    trace = UtilizationTrace(
+        samples=np.array([]), n_servers=4, days=1, tests_served=0
+    )
+    summary = trace.summary()
+    assert set(summary) == {"median", "mean", "p99", "p999", "max"}
+    assert all(np.isnan(v) for v in summary.values())
+    assert np.isnan(trace.percentile(50))

@@ -1,0 +1,113 @@
+"""JSONL tracer: event structure, nesting, and the no-op default."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    JsonlTracer,
+    NullTracer,
+    active_tracer,
+    span,
+    use_tracer,
+)
+
+
+class FakeClock:
+    """Deterministic monotonic clock advancing 1s per call."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        self.t += 1.0
+        return self.t
+
+
+def events_of(sink):
+    return [json.loads(line) for line in sink.getvalue().splitlines()]
+
+
+def test_span_emits_paired_events_with_duration():
+    sink = io.StringIO()
+    tracer = JsonlTracer(sink, clock=FakeClock())
+    with tracer.span("campaign", rows=5):
+        pass
+    start, end = events_of(sink)
+    assert start["event"] == "span_start"
+    assert start["name"] == "campaign"
+    assert start["attrs"] == {"rows": 5}
+    assert start["parent"] is None
+    assert end["event"] == "span_end"
+    assert end["span"] == start["span"]
+    assert end["duration_s"] == pytest.approx(end["t"] - start["t"])
+    assert end["error"] is None
+
+
+def test_nested_spans_carry_parent_ids():
+    sink = io.StringIO()
+    tracer = JsonlTracer(sink, clock=FakeClock())
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            tracer.event("tick", n=1)
+    by_name = {}
+    for record in events_of(sink):
+        by_name.setdefault(record["name"], record)
+    assert by_name["outer"]["parent"] is None
+    assert by_name["inner"]["parent"] == by_name["outer"]["span"]
+    assert by_name["tick"]["parent"] == by_name["inner"]["span"]
+    assert by_name["inner"]["span"] != by_name["outer"]["span"]
+
+
+def test_span_records_exception_type_and_propagates():
+    sink = io.StringIO()
+    tracer = JsonlTracer(sink, clock=FakeClock())
+    with pytest.raises(KeyError):
+        with tracer.span("doomed"):
+            raise KeyError("gone")
+    end = events_of(sink)[-1]
+    assert end["event"] == "span_end"
+    assert end["error"] == "KeyError"
+
+
+def test_point_event_outside_any_span():
+    sink = io.StringIO()
+    tracer = JsonlTracer(sink, clock=FakeClock())
+    tracer.event("standalone")
+    (record,) = events_of(sink)
+    assert record["event"] == "point"
+    assert record["parent"] is None
+    assert "attrs" not in record
+
+
+def test_tracer_writes_to_path(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    tracer = JsonlTracer(path, clock=FakeClock())
+    with tracer.span("run"):
+        pass
+    tracer.close()
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    assert json.loads(lines[0])["name"] == "run"
+
+
+def test_default_tracer_is_null_and_span_is_shared():
+    assert isinstance(active_tracer(), NullTracer)
+    # Zero-overhead contract: the null tracer hands back one reusable
+    # no-op span object rather than allocating per call.
+    assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+    with span("ignored"):
+        pass  # must not raise, must not write anywhere
+
+
+def test_use_tracer_scopes_routing():
+    sink = io.StringIO()
+    tracer = JsonlTracer(sink, clock=FakeClock())
+    with use_tracer(tracer):
+        assert active_tracer() is tracer
+        with span("scoped"):
+            pass
+    assert isinstance(active_tracer(), NullTracer)
+    assert [r["name"] for r in events_of(sink)] == ["scoped", "scoped"]

@@ -234,3 +234,59 @@ def test_analyze_accepts_npz(tmp_path, capsys):
     assert main(["analyze", str(out)]) == 0
     captured = capsys.readouterr().out
     assert "4G distribution" in captured
+
+
+def test_measure_manifest_flag(campaign_csv, tmp_path, capsys):
+    manifest = tmp_path / "run.manifest.json"
+    code = main([
+        "measure", campaign_csv, "--tests", "4", "--seed", "4",
+        "--shards", "2", "-M", str(manifest),
+    ])
+    assert code == 0
+    assert f"manifest {manifest}" in capsys.readouterr().out
+    import json
+
+    loaded = json.loads(manifest.read_text())
+    assert loaded["kind"] == "campaign"
+    assert loaded["run"]["n_rows"] == 4
+    assert sum(s["rows"] for s in loaded["shards"]) == 4
+
+
+def test_measure_checkpoint_implies_manifest(campaign_csv, tmp_path, capsys):
+    ck = tmp_path / "run.ckpt"
+    code = main(["measure", campaign_csv, "--tests", "3", "--seed", "4",
+                 "--checkpoint", str(ck)])
+    assert code == 0
+    sibling = tmp_path / "run.ckpt.manifest.json"
+    assert f"manifest {sibling}" in capsys.readouterr().out
+    assert sibling.exists()
+
+
+def test_metrics_command(campaign_csv, tmp_path, capsys):
+    manifest = tmp_path / "run.manifest.json"
+    main(["measure", campaign_csv, "--tests", "6", "--seed", "4",
+          "--shards", "3", "-M", str(manifest)])
+    capsys.readouterr()
+    code = main(["metrics", str(manifest)])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "kind campaign" in captured
+    assert "seed 4" in captured
+    assert "outcomes" in captured
+    assert "shards" in captured
+    assert "campaign.rows_measured" in captured
+    assert "campaign.row_wall_s" in captured
+
+
+def test_metrics_missing_manifest(tmp_path, capsys):
+    code = main(["metrics", str(tmp_path / "absent.json")])
+    assert code == 2
+    assert "no such manifest" in capsys.readouterr().err
+
+
+def test_metrics_corrupt_manifest(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    code = main(["metrics", str(bad)])
+    assert code == 2
+    assert "unreadable" in capsys.readouterr().err
