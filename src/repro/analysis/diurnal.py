@@ -1,13 +1,21 @@
-"""Hour-of-day aggregation (Figure 10)."""
+"""Hour-of-day aggregation (Figure 10) and diurnal demand rates.
+
+Besides aggregating a measured dataset per hour, this module converts
+the paper's diurnal volume profile into the *forward* quantities the
+fleet-day simulator needs: expected test arrivals per second and the
+aggregate backend demand (Mbps of concurrently-running tests) at any
+hour, for a user base of any size (§5.2 sizes for 3.54M users).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.dataset.records import Dataset, group_reduce
+from repro.radio.sleeping import DiurnalProfile
 
 
 @dataclass(frozen=True)
@@ -28,6 +36,44 @@ class HourlyProfile:
 
     def window_count(self, start_hour: int, end_hour: int) -> int:
         return sum(self.counts.get(h, 0) for h in range(start_hour, end_hour))
+
+
+def arrival_rate_per_s(
+    hour: int,
+    tests_per_day: float,
+    profile: Optional[DiurnalProfile] = None,
+) -> float:
+    """Expected test arrivals per second during ``hour``.
+
+    The daily volume is spread over the 24 hours in proportion to the
+    diurnal profile's volume shares (Figure 10's shape by default).
+    """
+    if tests_per_day < 0:
+        raise ValueError(f"tests_per_day cannot be negative, got {tests_per_day}")
+    profile = profile or DiurnalProfile()
+    return tests_per_day * profile.volume_share(hour) / 3600.0
+
+
+def expected_demand_mbps(
+    hour: int,
+    tests_per_day: float,
+    mean_test_demand_mbps: float,
+    mean_test_duration_s: float,
+    profile: Optional[DiurnalProfile] = None,
+) -> float:
+    """Expected aggregate backend demand during ``hour``, in Mbps.
+
+    By Little's law the mean number of concurrently-running tests is
+    ``arrival_rate x duration``; each occupies its access bandwidth
+    while it runs, so the pool must carry that many tests' worth of
+    mean demand.  (A quantile of instantaneous demand — see
+    :func:`repro.deploy.workload.estimate_workload` — sits above this
+    mean; the fleet re-planner applies its own headroom on top.)
+    """
+    if mean_test_demand_mbps < 0 or mean_test_duration_s < 0:
+        raise ValueError("demand and duration cannot be negative")
+    rate = arrival_rate_per_s(hour, tests_per_day, profile)
+    return rate * mean_test_duration_s * mean_test_demand_mbps
 
 
 def hourly_profile(dataset: Dataset, tech: str) -> HourlyProfile:

@@ -11,6 +11,9 @@ The subcommands cover the library's main workflows::
     repro bench --out BENCH_campaign.json
     repro speedtest --bandwidth 320 --tech 5G [--campaign campaign.csv]
     repro plan --tests-per-day 10000 [--campaign campaign.csv]
+    repro fleet-day --users 100000 --hours 24 --seed 7 \\
+        [--blackout Beijing:8:10] [--manifest fleet.manifest.json]
+    repro bench-fleet --out BENCH_fleet.json
 
 Everything runs against the simulator; no network access is needed.
 The module is also importable: each ``cmd_*`` function takes parsed
@@ -418,6 +421,114 @@ def cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_blackouts(specs: List[str]) -> List[tuple]:
+    """``Beijing:8:10`` (hours) → ``("Beijing", 28800.0, 36000.0)``."""
+    blackouts = []
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) != 3:
+            raise ValueError(
+                f"blackout must be DOMAIN:START_H:END_H, got {spec!r}"
+            )
+        domain, start_h, end_h = parts
+        blackouts.append(
+            (domain, float(start_h) * 3600.0, float(end_h) * 3600.0)
+        )
+    return blackouts
+
+
+def cmd_fleet_day(args: argparse.Namespace) -> int:
+    """Simulate a full fleet day of operations (arrivals, outages,
+    SLO shedding, online re-planning)."""
+    from repro.fleet.simulator import FleetDayConfig, run_fleet_day
+    from repro.obs.manifest import (
+        ManifestError,
+        verify_fleet_accounting,
+        write_manifest,
+    )
+
+    try:
+        blackouts = _parse_blackouts(args.blackout or [])
+        config = FleetDayConfig(
+            users=args.users,
+            hours=args.hours,
+            seed=args.seed,
+            workers=args.workers,
+            tests_per_user_day=args.tests_per_user,
+            slo_wait_s=args.slo_wait,
+            blackouts=tuple(blackouts),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report, manifest = run_fleet_day(config)
+
+    print(f"fleet day: {args.users:,} users, {args.hours}h, seed {args.seed}"
+          + (f", {len(blackouts)} regional outage(s)" if blackouts else ""))
+    print(f"  admitted  {report.admitted:>10,}")
+    print(f"  completed {report.completed:>10,}")
+    print(f"  degraded  {report.degraded:>10,}")
+    print(f"  rejected  {report.rejected:>10,}")
+    print(f"  failed    {report.failed:>10,}")
+    print(f"  SLO violations {report.slo_violations:,}  "
+          f"failovers {report.failovers:,}  "
+          f"breaker trips {report.breaker_trips:,}")
+    print(f"  replans {report.replans}  bought {report.servers_bought}  "
+          f"retired {report.servers_retired}  "
+          f"infeasible {report.infeasible_replans}")
+    if report.queue_wait_p50_s is not None:
+        print(f"  queue wait p50 {report.queue_wait_p50_s:.3f}s  "
+              f"p99 {report.queue_wait_p99_s:.3f}s")
+    print(f"  peak demand {report.peak_demand_mbps:,.0f} Mbps  "
+          f"final capacity {report.final_capacity_mbps:,.0f} Mbps  "
+          f"${report.cost_per_hour_usd:.4f}/h")
+    print(f"  {report.events_processed:,} events in {report.elapsed_s:.2f}s")
+    if args.manifest:
+        write_manifest(args.manifest, manifest)
+        print(f"manifest {args.manifest}")
+    try:
+        verify_fleet_accounting(manifest)
+    except ManifestError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print("accounting balanced: admitted == "
+          "completed + degraded + rejected + failed")
+    return 0
+
+
+def cmd_bench_fleet(args: argparse.Namespace) -> int:
+    """Benchmark the fleet-day simulator and verify determinism."""
+    from repro.harness.bench import run_fleet_bench
+
+    summary = run_fleet_bench(
+        users=args.users,
+        hours=args.hours,
+        seed=args.seed,
+        workers=args.workers,
+        out_path=args.out,
+    )
+    rate = summary["arrivals_per_s"]
+    print(f"fleet-day bench ({summary['users']:,} users, "
+          f"{summary['hours']}h, seed {summary['seed']})")
+    print(f"  {summary['admitted']:,} tests / "
+          f"{summary['events_processed']:,} events in "
+          f"{summary['elapsed_s']:.2f}s"
+          + (f" ({rate:,.0f} arrivals/s)" if rate else ""))
+    print(f"  rerun identical: {summary['rerun_identical']}  "
+          f"workers identical: {summary['workers_identical']}  "
+          f"balanced: {summary['accounting_balanced']}")
+    print(f"  peak RSS {summary['peak_rss_mb']:.1f} MiB")
+    if args.out:
+        print(f"wrote {args.out}")
+    if not summary["all_byte_identical"]:
+        print("error: outcomes diverged between runs", file=sys.stderr)
+        return 1
+    if not summary["accounting_balanced"]:
+        print("error: SLO accounting imbalance", file=sys.stderr)
+        return 1
+    return 0
+
+
 # -- parser -----------------------------------------------------------------
 
 
@@ -541,6 +652,44 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("report", help="full text report for a campaign")
     p.add_argument("campaign", help="CSV produced by 'repro campaign'")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "fleet-day",
+        help="simulate a full fleet day (diurnal arrivals, regional "
+             "outages, SLO shedding, online re-planning)",
+    )
+    p.add_argument("--users", type=int, default=100_000,
+                   help="user population driving the diurnal demand")
+    p.add_argument("--hours", type=int, default=24,
+                   help="virtual hours to simulate (1..24)")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--workers", type=int, default=1,
+                   help="arrival-generation processes (outcomes are "
+                        "identical for any worker count)")
+    p.add_argument("--tests-per-user", type=float, default=1.0,
+                   help="mean daily tests per user")
+    p.add_argument("--slo-wait", type=float, default=30.0,
+                   help="queue-wait SLO in seconds before a test is "
+                        "degraded to a shorter variant")
+    p.add_argument("--blackout", action="append", metavar="DOMAIN:START:END",
+                   help="regional outage, hours since midnight "
+                        "(e.g. Beijing:8:10); repeatable")
+    p.add_argument("-M", "--manifest",
+                   help="write the schema-v1 fleet manifest here")
+    p.set_defaults(func=cmd_fleet_day)
+
+    p = sub.add_parser(
+        "bench-fleet",
+        help="benchmark the fleet-day simulator and verify "
+             "deterministic outcomes (BENCH_fleet.json)",
+    )
+    p.add_argument("--users", type=int, default=100_000)
+    p.add_argument("--hours", type=int, default=24)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker count of the sharded determinism leg")
+    p.add_argument("--out", help="JSON output path (e.g. BENCH_fleet.json)")
+    p.set_defaults(func=cmd_bench_fleet)
 
     p = sub.add_parser("plan", help="plan a server deployment (§5.2)")
     p.add_argument("--tests-per-day", type=int, default=10_000)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.obs.metrics import active_registry
 
@@ -131,6 +131,37 @@ class CircuitBreaker:
         active_registry().counter("health.breaker.trips").inc()
 
 
+@dataclass(frozen=True)
+class FleetHealth:
+    """One heartbeat sweep over a set of servers.
+
+    A sweep over *zero* servers (an empty pool, or one whose every
+    member is quarantined) is a legal, meaningful state — it reports
+    ``no_healthy_capacity`` with empty statistics rather than dividing
+    by the number of probed servers.
+
+    Attributes
+    ----------
+    probed:
+        Servers the sweep looked at.
+    alive / silent / never_reported:
+        Fresh within the timeout / stale beyond it / never heard from.
+    no_healthy_capacity:
+        True when not a single probed server is alive — including the
+        zero-server sweep.
+    mean_staleness_s:
+        Mean ``now - last_seen`` over servers that have reported, or
+        ``None`` when none have (never a division by zero).
+    """
+
+    probed: int
+    alive: int
+    silent: int
+    never_reported: int
+    no_healthy_capacity: bool
+    mean_staleness_s: Optional[float]
+
+
 class HealthMonitor:
     """Heartbeat freshness across a fleet.
 
@@ -182,3 +213,39 @@ class HealthMonitor:
     def last_seen(self, name: str) -> Optional[float]:
         """Most recent heartbeat time, or ``None`` if never heard."""
         return self._last_seen_s.get(name)
+
+    def sweep(self, names: Sequence[str], now_s: float) -> FleetHealth:
+        """Probe liveness across ``names`` in one pass.
+
+        Works for any server set, including the empty one: an empty or
+        fully-quarantined pool sweeps to a clean "no healthy capacity"
+        state with ``mean_staleness_s=None`` instead of raising on the
+        zero-probe average.  The heartbeat-interval histogram is only
+        fed by :meth:`beat`, so a sweep never records a zero-width
+        interval either.
+        """
+        alive = silent = never = 0
+        staleness: List[float] = []
+        for name in names:
+            last = self._last_seen_s.get(name)
+            if last is None:
+                never += 1
+                # Benefit of the doubt, matching :meth:`alive`.
+                alive += 1
+                continue
+            staleness.append(now_s - last)
+            if self.alive(name, now_s):
+                alive += 1
+            else:
+                silent += 1
+        mean_staleness = (
+            sum(staleness) / len(staleness) if staleness else None
+        )
+        return FleetHealth(
+            probed=len(names),
+            alive=alive,
+            silent=silent,
+            never_reported=never,
+            no_healthy_capacity=alive == 0,
+            mean_staleness_s=mean_staleness,
+        )

@@ -86,6 +86,28 @@ def _lp_bound(
     return math.inf, None, counts
 
 
+def best_partial_plan(plans: Sequence[ServerPlan]) -> IlpSolution:
+    """The capacity-maximising purchase when the catalogue cannot cover
+    a requirement: buy every available server.
+
+    Any server left unbought would add capacity, so buying out the
+    catalogue is the unique coverage-optimal plan — callers shed the
+    remaining demand instead of crashing (see
+    :class:`repro.deploy.planner.PlanInfeasible`).
+    """
+    plans = list(plans)
+    counts = [p.available for p in plans]
+    capacity = sum(p.bandwidth_mbps * p.available for p in plans)
+    cost = sum(p.price_month_usd * p.available for p in plans)
+    return IlpSolution(
+        counts=counts,
+        total_cost_usd=round(cost, 2),
+        total_capacity_mbps=capacity,
+        optimal=True,
+        nodes_explored=0,
+    )
+
+
 def solve_purchase_plan(
     plans: Sequence[ServerPlan],
     workload_mbps: float,

@@ -9,6 +9,7 @@ possible; a user is served by servers in or near their own domain.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, List, Tuple
 
 #: The eight core IXP cities (§5.2).
@@ -41,10 +42,13 @@ _DOMAIN_POSITIONS: Dict[str, Tuple[float, float]] = {
 }
 
 
+@lru_cache(maxsize=None)
 def domain_rtt_s(domain_a: str, domain_b: str) -> float:
     """Modelled RTT between two IXP domains.
 
     Distance-proportional on top of a metro-latency floor; symmetric.
+    The model is pure, so results are memoised — the fleet simulator
+    calls this per candidate on every admission.
     """
     for d in (domain_a, domain_b):
         if d not in _DOMAIN_POSITIONS:

@@ -7,14 +7,20 @@ the configurations available there.  This is what pushes the optimum
 toward many budget servers (the paper's 20 x 100 Mbps) instead of one
 big pipe, and it also matches how providers actually sell capacity
 (per-region availability).
+
+Infeasible demands are a first-class outcome, not a crash: when the
+purchasable capacity cannot cover the requirement,
+:func:`plan_deployment` can return a typed :class:`PlanInfeasible`
+carrying the best partial plan (the catalogue bought out) so an online
+controller can deploy what exists and shed the shortfall.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple, Union
 
-from repro.deploy.ilp import IlpSolution, solve_purchase_plan
+from repro.deploy.ilp import IlpSolution, best_partial_plan, solve_purchase_plan
 from repro.deploy.placement import IXP_DOMAINS, PlacementPlan, place_servers
 from repro.deploy.plans import ServerPlan
 
@@ -40,44 +46,112 @@ class DeploymentPlan:
     total_servers: int
 
 
+@dataclass
+class PlanInfeasible:
+    """Demand exceeds purchasable capacity — here is the best we can do.
+
+    Returned (never raised) by :func:`plan_deployment` with
+    ``on_infeasible="partial"`` when at least one domain's catalogue
+    cannot cover its workload share.  ``partial`` is still a complete,
+    deployable :class:`DeploymentPlan` — every infeasible domain simply
+    buys out its catalogue — so a fleet controller can run it and shed
+    ``shortfall_mbps`` of load instead of crashing.
+
+    Attributes
+    ----------
+    required_mbps:
+        The margin-inflated requirement that could not be met.
+    capacity_mbps:
+        What the partial plan actually covers.
+    shortfall_mbps:
+        ``required - capacity`` (always positive).
+    partial:
+        The best partial deployment (coverage-optimal per domain).
+    infeasible_domains:
+        Domains whose share could not be covered (a domain with no
+        catalogue entries at all counts, with zero local capacity).
+    """
+
+    required_mbps: float
+    capacity_mbps: float
+    shortfall_mbps: float
+    partial: DeploymentPlan
+    infeasible_domains: Tuple[str, ...]
+
+
 def plan_deployment(
     plans: Sequence[ServerPlan],
     workload_mbps: float,
     margin: float = 0.05,
     domains: Tuple[str, ...] = IXP_DOMAINS,
-) -> DeploymentPlan:
+    on_infeasible: str = "raise",
+) -> Union[DeploymentPlan, PlanInfeasible]:
     """Plan a geo-distributed deployment covering ``workload_mbps``.
 
     The workload splits evenly across domains; each domain's share is
     covered by the cheapest combination of configurations available in
     that domain.
+
+    ``on_infeasible`` selects what happens when a domain's catalogue
+    cannot cover its share: ``"raise"`` (the historical behaviour)
+    raises :class:`ValueError`; ``"partial"`` returns a typed
+    :class:`PlanInfeasible` whose ``partial`` plan buys out every
+    infeasible domain so callers can shed the shortfall.
     """
     if not domains:
         raise ValueError("need at least one domain")
+    if on_infeasible not in ("raise", "partial"):
+        raise ValueError(
+            f"on_infeasible must be 'raise' or 'partial', got {on_infeasible!r}"
+        )
     share = workload_mbps / len(domains)
+    required = share * (1.0 + margin) * len(domains)
     per_domain: Dict[str, IlpSolution] = {}
     purchased: List[Tuple[int, float]] = []
+    infeasible: List[str] = []
     total_cost = 0.0
     total_capacity = 0.0
 
     for domain in domains:
         local = [p for p in plans if p.domain == domain]
         if not local:
-            raise ValueError(f"no configurations available in {domain}")
-        solution = solve_purchase_plan(local, share, margin=margin)
+            if on_infeasible == "raise":
+                raise ValueError(f"no configurations available in {domain}")
+            infeasible.append(domain)
+            per_domain[domain] = IlpSolution(
+                counts=[], total_cost_usd=0.0, total_capacity_mbps=0.0,
+                optimal=True, nodes_explored=0,
+            )
+            continue
+        try:
+            solution = solve_purchase_plan(local, share, margin=margin)
+        except ValueError:
+            if on_infeasible == "raise":
+                raise
+            infeasible.append(domain)
+            solution = best_partial_plan(local)
         per_domain[domain] = solution
         total_cost += solution.total_cost_usd
         total_capacity += solution.total_capacity_mbps
         purchased.extend(solution.purchased(local))
 
     placement = place_servers(purchased, domains=domains)
-    return DeploymentPlan(
+    plan = DeploymentPlan(
         per_domain=per_domain,
         placement=placement,
         total_cost_usd=round(total_cost, 2),
         total_capacity_mbps=total_capacity,
         total_servers=len(purchased),
     )
+    if infeasible:
+        return PlanInfeasible(
+            required_mbps=required,
+            capacity_mbps=total_capacity,
+            shortfall_mbps=required - total_capacity,
+            partial=plan,
+            infeasible_domains=tuple(infeasible),
+        )
+    return plan
 
 
 def flooding_reference_cost(

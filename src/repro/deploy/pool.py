@@ -89,6 +89,12 @@ class PoolServer:
     healthy:
         False while the server is administratively down (operator
         action / hard outage).  Breaker state is tracked separately.
+    cordoned:
+        True while the server is draining toward retirement: existing
+        sessions keep running but no new traffic is assigned.
+    price_month_usd:
+        Monthly cost of keeping this server (0 when unknown); the
+        fleet simulator integrates it into cost/hour.
     breaker:
         Circuit breaker fed by :meth:`ServerPool.record_failure` /
         :meth:`ServerPool.record_success`.
@@ -99,6 +105,8 @@ class PoolServer:
     capacity_mbps: float
     reserved_mbps: float = 0.0
     healthy: bool = True
+    cordoned: bool = False
+    price_month_usd: float = 0.0
     breaker: CircuitBreaker = field(default_factory=CircuitBreaker)
 
     def __post_init__(self) -> None:
@@ -200,6 +208,7 @@ class ServerPool:
         server = self._server(name)
         return (
             server.healthy
+            and not server.cordoned
             and server.breaker.allows(now_s)
             and self.monitor.alive(name, now_s)
         )
@@ -375,6 +384,55 @@ class ServerPool:
         self._server(name).healthy = True
         self.drain_queue(now_s)
 
+    # -- fleet management --------------------------------------------------
+
+    def add_server(self, server: PoolServer, now_s: float = 0.0) -> None:
+        """Join a new server to the pool (autoscaling buy).  Its
+        capacity immediately serves the admission queue."""
+        if server.name in self.servers:
+            raise ValueError(f"server {server.name!r} already in the pool")
+        self.servers[server.name] = server
+        self.drain_queue(now_s)
+
+    def cordon(self, name: str) -> None:
+        """Stop assigning new sessions to a server; existing sessions
+        keep running (graceful retirement starts here)."""
+        self._server(name).cordoned = True
+
+    def uncordon(self, name: str, now_s: float = 0.0) -> None:
+        """Return a cordoned server to rotation."""
+        self._server(name).cordoned = False
+        self.drain_queue(now_s)
+
+    def remove_server(self, name: str) -> PoolServer:
+        """Retire a fully-drained server from the pool.
+
+        Raises :class:`PoolError` while sessions still hold
+        reservations on it — :meth:`cordon` first and wait for the
+        drain (or :meth:`mark_down` to force an evacuation).
+        """
+        server = self._server(name)
+        if server.reserved_mbps > 0:
+            raise PoolError(
+                f"server {name!r} still holds {server.reserved_mbps:.0f} Mbps "
+                f"of reservations; cordon and drain before removing"
+            )
+        del self.servers[name]
+        return server
+
+    def health_summary(self, now_s: float = 0.0):
+        """Fleet-wide liveness sweep (see
+        :meth:`~repro.deploy.health.HealthMonitor.sweep`).  Only
+        servers that could take traffic are probed, so a
+        fully-quarantined pool sweeps to ``no_healthy_capacity``
+        cleanly — including the degenerate zero-server pool."""
+        probeable = [
+            s.name
+            for s in self.servers.values()
+            if s.healthy and not s.cordoned and s.breaker.allows(now_s)
+        ]
+        return self.monitor.sweep(probeable, now_s)
+
     def _evacuate(self, name: str, now_s: float) -> List[int]:
         """Move every session share off ``name``, preferring servers
         that are still available.  Shares that fit nowhere are dropped
@@ -405,17 +463,28 @@ class ServerPool:
         return failed
 
 
-def pool_from_deployment(deployment, **pool_kwargs) -> ServerPool:
-    """Build a pool from a :class:`~repro.deploy.planner.DeploymentPlan`."""
+def pool_from_deployment(deployment, catalogue=None, **pool_kwargs) -> ServerPool:
+    """Build a pool from a :class:`~repro.deploy.planner.DeploymentPlan`.
+
+    When ``catalogue`` (the :class:`~repro.deploy.plans.ServerPlan`
+    sequence the deployment was planned from) is given, each pool
+    server carries its monthly price so cost/hour can be accounted.
+    """
+    prices = (
+        {plan.plan_id: plan.price_month_usd for plan in catalogue}
+        if catalogue is not None
+        else {}
+    )
     servers = []
     counter = itertools.count()
     for domain, entries in deployment.placement.assignments.items():
-        for _, bandwidth in entries:
+        for plan_id, bandwidth in entries:
             servers.append(
                 PoolServer(
                     name=f"{domain.lower()}-{next(counter)}",
                     domain=domain,
                     capacity_mbps=bandwidth,
+                    price_month_usd=prices.get(plan_id, 0.0),
                 )
             )
     return ServerPool(servers, **pool_kwargs)

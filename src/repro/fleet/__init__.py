@@ -1,0 +1,52 @@
+"""Fleet-day simulation: a virtual day of Swiftest operations.
+
+Ties the deployment layer together under a deterministic event loop:
+diurnal arrivals at population scale, SLO-laddered admission control,
+regional blackouts with breaker-driven cross-IXP failover, and online
+ILP re-planning with warm-up lag.  See :mod:`repro.fleet.simulator`
+for the entry point.
+"""
+
+from repro.fleet.controller import (
+    FleetController,
+    FleetOutcome,
+    LadderPolicy,
+    TestState,
+)
+from repro.fleet.demand import (
+    BUCKETS_PER_HOUR,
+    ArrivalTable,
+    DemandModel,
+    demand_moments,
+    generate_arrivals,
+)
+from repro.fleet.events import EventLoop
+from repro.fleet.replanner import (
+    OnlineReplanner,
+    ReplanResult,
+    build_fleet_pool,
+)
+from repro.fleet.simulator import (
+    FleetDayConfig,
+    FleetDayReport,
+    run_fleet_day,
+)
+
+__all__ = [
+    "ArrivalTable",
+    "BUCKETS_PER_HOUR",
+    "DemandModel",
+    "EventLoop",
+    "FleetController",
+    "FleetDayConfig",
+    "FleetDayReport",
+    "FleetOutcome",
+    "LadderPolicy",
+    "OnlineReplanner",
+    "ReplanResult",
+    "TestState",
+    "build_fleet_pool",
+    "demand_moments",
+    "generate_arrivals",
+    "run_fleet_day",
+]

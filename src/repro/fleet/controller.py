@@ -1,0 +1,276 @@
+"""Degraded-mode admission controller: the SLO shedding ladder.
+
+Every arriving test is *admitted* — it enters admission control and
+must leave through exactly one terminal outcome.  Nothing is ever
+silently dropped; the fleet-day manifest's accounting invariant
+(``admitted == completed + degraded + rejected + failed``) is enforced
+by construction here.
+
+The ladder, in order of preference:
+
+1. **Serve.**  Capacity permitting, the test reserves its demand
+   across nearby servers (:meth:`ServerPool.assign` via ``enqueue``)
+   and completes as ``COMPLETED``.
+2. **Wait.**  A saturated pool queues the test FIFO with a queue-wait
+   SLO deadline.  Granted within the deadline → it runs normally.
+3. **Shorten.**  Past the deadline the test is re-tried once as a
+   *short variant* — demand capped, duration scaled down — trading
+   measurement fidelity for admission.  Success completes as
+   ``DEGRADED``.
+4. **Reject.**  Still no capacity → a typed rejection (``REJECTED``):
+   the client is told now rather than left hanging.
+
+Mid-test failures ride the same taxonomy: a session that survives a
+server loss by failing over (the pool reassigns its reservation,
+ideally cross-IXP) finishes ``DEGRADED``; one the pool cannot replace
+anywhere becomes ``FAILED``.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from repro.deploy.pool import PoolSaturated, QueuedRequest, ServerPool
+from repro.fleet.events import EventLoop
+from repro.obs.metrics import active_registry
+
+
+class FleetOutcome(enum.Enum):
+    """Terminal state of one admitted test."""
+
+    COMPLETED = "completed"
+    DEGRADED = "degraded"
+    REJECTED = "rejected"
+    FAILED = "failed"
+
+
+@dataclass
+class TestState:
+    """One admitted test moving through the ladder."""
+
+    test_id: int
+    domain: str
+    demand_mbps: float
+    duration_s: float
+    arrival_s: float
+    ticket: Optional[QueuedRequest] = None
+    session_id: Optional[int] = None
+    degraded: bool = False
+    resolved: bool = False
+
+
+@dataclass
+class LadderPolicy:
+    """Knobs of the shedding ladder."""
+
+    slo_wait_s: float = 30.0
+    degraded_cap_mbps: float = 50.0
+    degraded_duration_factor: float = 0.5
+    headroom: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.slo_wait_s <= 0:
+            raise ValueError("slo_wait_s must be positive")
+        if self.degraded_cap_mbps <= 0:
+            raise ValueError("degraded_cap_mbps must be positive")
+        if not 0 < self.degraded_duration_factor <= 1:
+            raise ValueError("degraded_duration_factor must be in (0, 1]")
+
+
+class FleetController:
+    """Drives every admitted test to exactly one terminal outcome."""
+
+    def __init__(
+        self,
+        pool: ServerPool,
+        loop: EventLoop,
+        policy: Optional[LadderPolicy] = None,
+    ):
+        self.pool = pool
+        self.loop = loop
+        self.policy = policy or LadderPolicy()
+        self.counts: Dict[str, int] = {
+            "admitted": 0,
+            "completed": 0,
+            "degraded": 0,
+            "rejected": 0,
+            "failed": 0,
+        }
+        self.slo_violations = 0
+        self.failovers = 0
+        #: FIFO mirror of the pool's wait queue (plus tickets resolved
+        #: off-queue, skipped lazily) so grants made inside pool
+        #: internals (releases, reinstatements) are observed in O(1).
+        self.waiting: Deque[TestState] = deque()
+        self.active: Dict[int, TestState] = {}
+
+    # -- progress queries --------------------------------------------------
+
+    @property
+    def idle(self) -> bool:
+        """No test is running or waiting — safe to stop the clock."""
+        return not self.active and not self.waiting
+
+    @property
+    def resolved_total(self) -> int:
+        return (self.counts["completed"] + self.counts["degraded"]
+                + self.counts["rejected"] + self.counts["failed"])
+
+    def queued_demand_mbps(self) -> float:
+        return sum(t.demand_mbps for t in self.pool.queue)
+
+    # -- arrivals ----------------------------------------------------------
+
+    def on_arrival(
+        self,
+        now_s: float,
+        test_id: int,
+        domain: str,
+        demand_mbps: float,
+        duration_s: float,
+    ) -> None:
+        """Admit one test: serve immediately or queue with a deadline."""
+        self.counts["admitted"] += 1
+        active_registry().counter("fleet.admitted").inc()
+        state = TestState(
+            test_id=test_id,
+            domain=domain,
+            demand_mbps=demand_mbps,
+            duration_s=duration_s,
+            arrival_s=now_s,
+        )
+        state.ticket = self.pool.enqueue(
+            demand_mbps, domain, headroom=self.policy.headroom, now_s=now_s
+        )
+        if state.ticket.granted:
+            self._start(state, now_s)
+        else:
+            self.waiting.append(state)
+            self.loop.schedule(
+                now_s + self.policy.slo_wait_s, self._on_deadline, state
+            )
+
+    # -- ladder steps ------------------------------------------------------
+
+    def _start(self, state: TestState, now_s: float) -> None:
+        assert state.ticket is not None and state.ticket.assignment is not None
+        state.session_id = state.ticket.assignment.session_id
+        self.active[state.session_id] = state
+        wait_s = now_s - state.arrival_s
+        active_registry().histogram("fleet.queue.wait_s").observe(wait_s)
+        duration = state.duration_s
+        if state.degraded:
+            duration *= self.policy.degraded_duration_factor
+        self.loop.schedule(now_s + duration, self._on_complete,
+                           state.session_id)
+
+    def _on_deadline(self, state: TestState) -> None:
+        """Queue-wait SLO expired: shorten, else typed rejection."""
+        if state.resolved or state.session_id is not None:
+            return  # granted (or otherwise settled) before the deadline
+        now_s = self.loop.now_s
+        self.slo_violations += 1
+        active_registry().counter("fleet.slo.violations").inc()
+        # Leave the FIFO queue; the mirror entry is skipped lazily.
+        try:
+            self.pool.queue.remove(state.ticket)
+        except ValueError:
+            pass
+        state.degraded = True
+        short_demand = min(state.demand_mbps, self.policy.degraded_cap_mbps)
+        try:
+            assignment = self.pool.assign(
+                short_demand, state.domain, headroom=0.0, now_s=now_s
+            )
+        except PoolSaturated:
+            self._resolve(state, FleetOutcome.REJECTED)
+            return
+        ticket = QueuedRequest(
+            demand_mbps=short_demand, client_domain=state.domain, headroom=0.0
+        )
+        ticket.assignment = assignment
+        state.ticket = ticket
+        self._start(state, now_s)
+
+    def _on_complete(self, session_id: int) -> None:
+        state = self.active.pop(session_id, None)
+        if state is None:
+            return  # the session failed mid-test; already accounted
+        self.pool.release(session_id, self.loop.now_s)
+        outcome = (
+            FleetOutcome.DEGRADED if state.degraded else FleetOutcome.COMPLETED
+        )
+        self._resolve(state, outcome)
+        self.collect_grants(self.loop.now_s)
+
+    # -- server-loss handling ----------------------------------------------
+
+    def trip_server(self, name: str, now_s: float) -> None:
+        """Feed request failures to a server until its breaker trips,
+        then account the evacuation: failed-over sessions degrade,
+        unplaceable ones fail."""
+        server = self.pool.servers.get(name)
+        if server is None:
+            return
+        holders = [
+            sid for sid, a in self.pool.assignments.items()
+            if name in a.shares
+        ]
+        failed_ids: List[int] = []
+        for _ in range(server.breaker.failure_threshold + 1):
+            if not server.breaker.allows(now_s):
+                break
+            failed_ids = self.pool.record_failure(name, now_s)
+            if server.breaker.state.value != "closed":
+                break
+        for sid in failed_ids:
+            state = self.active.pop(sid, None)
+            if state is None:
+                continue
+            # Free whatever shares survived on other servers.
+            if sid in self.pool.assignments:
+                self.pool.release(sid, now_s)
+            self._resolve(state, FleetOutcome.FAILED)
+        survivors = [sid for sid in holders
+                     if sid not in failed_ids and sid in self.active]
+        for sid in survivors:
+            state = self.active[sid]
+            if not state.degraded:
+                state.degraded = True
+            self.failovers += 1
+            active_registry().counter("fleet.failovers").inc()
+        self.collect_grants(now_s)
+
+    # -- grant collection --------------------------------------------------
+
+    def collect_grants(self, now_s: float) -> None:
+        """Start every waiting test the pool has granted.
+
+        Grants happen strictly FIFO inside the pool, so granted tests
+        form a prefix of the (unresolved) mirror — one front scan
+        amortises to O(grants).
+        """
+        while self.waiting:
+            head = self.waiting[0]
+            if head.resolved or head.session_id is not None:
+                self.waiting.popleft()
+                continue
+            if head.ticket is not None and head.ticket.granted:
+                self.waiting.popleft()
+                self._start(head, now_s)
+                continue
+            break
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _resolve(self, state: TestState, outcome: FleetOutcome) -> None:
+        if state.resolved:
+            raise RuntimeError(
+                f"test {state.test_id} resolved twice ({outcome})"
+            )
+        state.resolved = True
+        self.counts[outcome.value] += 1
+        active_registry().counter(f"fleet.outcome.{outcome.value}").inc()

@@ -1,0 +1,282 @@
+"""Online capacity re-planning: re-solving the purchase ILP mid-day.
+
+The §5.2 planner buys a fleet once, offline.  A live service cannot:
+the diurnal curve triples demand between 4:00 and 20:00, and a
+regional blackout can delete an eighth of the fleet at the worst
+moment.  This module re-runs the same branch-and-bound purchase ILP
+(:func:`repro.deploy.ilp.solve_purchase_plan`) against the *remaining*
+provider stock every re-plan interval, buying the cheapest capacity
+delta per IXP domain and gracefully retiring surplus.
+
+Operational realities modelled:
+
+* **Warm-up lag** — a bought server is not capacity yet; it joins the
+  pool unhealthy and is marked up ``warmup_s`` later (the simulator
+  schedules the event), so buying after the peak hits is already too
+  late — exactly the autoscaling tension the paper's cost question
+  hides.
+* **Graceful retirement** — surplus servers are cordoned (no new
+  sessions), drain naturally, and only then leave the pool, returning
+  their stock to the catalogue.
+* **Graceful infeasibility** — when a domain's remaining stock cannot
+  cover its share, the re-planner takes the coverage-optimal partial
+  plan (:func:`repro.deploy.ilp.best_partial_plan`) and reports the
+  shortfall instead of raising; the admission ladder sheds the excess.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.deploy.ilp import best_partial_plan, solve_purchase_plan
+from repro.deploy.placement import IXP_DOMAINS
+from repro.deploy.plans import ServerPlan
+from repro.deploy.pool import PoolServer, ServerPool
+from repro.obs.metrics import active_registry
+
+
+@dataclass
+class ReplanResult:
+    """What one re-planning round did."""
+
+    target_mbps: float
+    bought: List[str] = field(default_factory=list)
+    bought_mbps: float = 0.0
+    cordoned: List[str] = field(default_factory=list)
+    infeasible_domains: List[str] = field(default_factory=list)
+    shortfall_mbps: float = 0.0
+
+
+class OnlineReplanner:
+    """Keeps pool capacity tracking a moving demand target.
+
+    Parameters
+    ----------
+    pool:
+        The live pool to buy into / retire from.
+    catalogue:
+        Full provider catalogue; per-plan stock is tracked as servers
+        are bought and returned.
+    owned_plan_ids:
+        ``{server name: plan_id}`` of the initial deployment, so the
+        initial purchase depletes stock and retirements restock it.
+    headroom:
+        Capacity target multiplier over observed peak demand.
+    retire_threshold:
+        Cordon surplus only when owned capacity exceeds
+        ``target x retire_threshold`` (hysteresis against flapping).
+    warmup_s:
+        Provisioning lag between buying and serving.
+    """
+
+    def __init__(
+        self,
+        pool: ServerPool,
+        catalogue: Sequence[ServerPlan],
+        owned_plan_ids: Dict[str, int],
+        headroom: float = 1.3,
+        retire_threshold: float = 1.6,
+        warmup_s: float = 300.0,
+        domains: Tuple[str, ...] = IXP_DOMAINS,
+    ):
+        if headroom < 1.0:
+            raise ValueError(f"headroom must be >= 1, got {headroom}")
+        if retire_threshold <= headroom:
+            raise ValueError(
+                "retire_threshold must exceed headroom "
+                f"(got {retire_threshold} <= {headroom})"
+            )
+        self.pool = pool
+        self.catalogue = list(catalogue)
+        self.owned_plan_ids = dict(owned_plan_ids)
+        self.headroom = headroom
+        self.retire_threshold = retire_threshold
+        self.warmup_s = warmup_s
+        self.domains = domains
+        self.stock: Dict[int, int] = {
+            p.plan_id: p.available for p in self.catalogue
+        }
+        for plan_id in self.owned_plan_ids.values():
+            self.stock[plan_id] -= 1
+        self._by_domain: Dict[str, List[ServerPlan]] = {d: [] for d in domains}
+        for plan in self.catalogue:
+            if plan.domain in self._by_domain:
+                self._by_domain[plan.domain].append(plan)
+        self._buy_seq = itertools.count()
+        self.replans = 0
+        self.servers_bought = 0
+        self.servers_retired = 0
+        self.infeasible_replans = 0
+
+    # -- capacity views ----------------------------------------------------
+
+    def owned_mbps(self, domain: str) -> float:
+        """Capacity owned in a domain: serving + warming, excluding
+        servers already draining toward retirement."""
+        return sum(
+            s.capacity_mbps
+            for s in self.pool.servers.values()
+            if s.domain == domain and not s.cordoned
+        )
+
+    def _stocked(self, domain: str) -> List[ServerPlan]:
+        """Domain catalogue restricted to remaining stock."""
+        out = []
+        for plan in self._by_domain[domain]:
+            remaining = self.stock[plan.plan_id]
+            if remaining > 0:
+                out.append(
+                    ServerPlan(
+                        plan_id=plan.plan_id,
+                        bandwidth_mbps=plan.bandwidth_mbps,
+                        price_month_usd=plan.price_month_usd,
+                        available=remaining,
+                        domain=plan.domain,
+                    )
+                )
+        return out
+
+    # -- the re-plan round -------------------------------------------------
+
+    def step(self, now_s: float, target_total_mbps: float) -> ReplanResult:
+        """One re-planning round against ``target_total_mbps``.
+
+        Buys are added to the pool unhealthy (warming); the caller
+        schedules their ``mark_up`` at ``now_s + warmup_s``.  Their
+        names are returned in ``result.bought``.
+        """
+        self.replans += 1
+        metrics = active_registry()
+        metrics.counter("fleet.replan.rounds").inc()
+        result = ReplanResult(target_mbps=target_total_mbps)
+        per_domain = target_total_mbps / len(self.domains)
+
+        for domain in self.domains:
+            owned = self.owned_mbps(domain)
+            if owned < per_domain:
+                self._buy(domain, per_domain - owned, now_s, result)
+            elif owned > per_domain * self.retire_threshold:
+                self._cordon_surplus(domain, per_domain, result)
+        if result.infeasible_domains:
+            self.infeasible_replans += 1
+            metrics.counter("fleet.replan.infeasible").inc()
+        return result
+
+    def _buy(
+        self,
+        domain: str,
+        need_mbps: float,
+        now_s: float,
+        result: ReplanResult,
+    ) -> None:
+        local = self._stocked(domain)
+        solution = None
+        if local:
+            try:
+                solution = solve_purchase_plan(local, need_mbps, margin=0.0)
+            except ValueError:
+                solution = best_partial_plan(local)
+                result.infeasible_domains.append(domain)
+                result.shortfall_mbps += (
+                    need_mbps - solution.total_capacity_mbps
+                )
+        else:
+            result.infeasible_domains.append(domain)
+            result.shortfall_mbps += need_mbps
+        if solution is None:
+            return
+        for plan_id, bandwidth in solution.purchased(local):
+            price = next(
+                p.price_month_usd for p in local if p.plan_id == plan_id
+            )
+            name = f"{domain.lower()}-b{next(self._buy_seq)}"
+            self.pool.add_server(
+                PoolServer(
+                    name=name,
+                    domain=domain,
+                    capacity_mbps=bandwidth,
+                    healthy=False,  # warming: capacity after warmup_s
+                    price_month_usd=price,
+                ),
+                now_s=now_s,
+            )
+            self.stock[plan_id] -= 1
+            self.owned_plan_ids[name] = plan_id
+            self.servers_bought += 1
+            result.bought.append(name)
+            result.bought_mbps += bandwidth
+            active_registry().counter("fleet.replan.buys").inc()
+
+    def _cordon_surplus(
+        self, domain: str, per_domain_target: float, result: ReplanResult
+    ) -> None:
+        """Cordon the least price-efficient servers while the domain
+        stays at or above target (and keeps at least one server)."""
+        owned = self.owned_mbps(domain)
+        candidates = sorted(
+            (
+                s for s in self.pool.servers.values()
+                if s.domain == domain and not s.cordoned and s.healthy
+            ),
+            key=lambda s: (
+                -(s.price_month_usd / s.capacity_mbps), s.name
+            ),
+        )
+        keep = 1
+        cordoned_here = 0
+        for server in candidates:
+            if len(candidates) - cordoned_here <= keep:
+                break
+            if owned - server.capacity_mbps < per_domain_target:
+                continue
+            self.pool.cordon(server.name)
+            owned -= server.capacity_mbps
+            cordoned_here += 1
+            result.cordoned.append(server.name)
+            active_registry().counter("fleet.replan.cordons").inc()
+
+    def reap_drained(self, now_s: float) -> List[str]:
+        """Remove cordoned servers whose sessions have drained,
+        returning their stock to the catalogue."""
+        drained = [
+            s.name
+            for s in self.pool.servers.values()
+            if s.cordoned and s.reserved_mbps <= 0
+        ]
+        for name in drained:
+            self.pool.remove_server(name)
+            plan_id = self.owned_plan_ids.pop(name, None)
+            if plan_id is not None:
+                self.stock[plan_id] += 1
+            self.servers_retired += 1
+            active_registry().counter("fleet.replan.retires").inc()
+        return drained
+
+
+def build_fleet_pool(
+    deployment,
+    catalogue: Sequence[ServerPlan],
+    **pool_kwargs,
+) -> Tuple[ServerPool, Dict[str, int]]:
+    """Build the day-zero pool from a deployment plan, remembering
+    which catalogue entry every server came from (for stock and
+    price accounting)."""
+    prices = {p.plan_id: p.price_month_usd for p in catalogue}
+    servers: List[PoolServer] = []
+    owned: Dict[str, int] = {}
+    counter = itertools.count()
+    for domain, entries in deployment.placement.assignments.items():
+        for plan_id, bandwidth in entries:
+            name = f"{domain.lower()}-{next(counter)}"
+            servers.append(
+                PoolServer(
+                    name=name,
+                    domain=domain,
+                    capacity_mbps=bandwidth,
+                    price_month_usd=prices.get(plan_id, 0.0),
+                )
+            )
+            owned[name] = plan_id
+    return ServerPool(servers, **pool_kwargs), owned

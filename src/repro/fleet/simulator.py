@@ -1,0 +1,398 @@
+"""The fleet-day simulator: a day of Swiftest operations, replayed.
+
+One call to :func:`run_fleet_day` drives a full virtual day for the
+paper's §5 deployment question at population scale: diurnal arrivals
+(:mod:`repro.fleet.demand`) flow through admission control
+(:mod:`repro.deploy.pool`) under the SLO shedding ladder
+(:mod:`repro.fleet.controller`), while regional blackouts from a
+:class:`~repro.netsim.faults.FaultPlan` trip circuit breakers and
+force cross-IXP failover, and an online re-planner
+(:mod:`repro.fleet.replanner`) re-solves the purchase ILP against the
+moving diurnal target.
+
+Everything runs on the virtual clock of :class:`~repro.fleet.events`
+— no wall time touches any decision — so the same
+``(seed, fault plan, demand curve)`` replays to byte-identical outcome
+counts at any worker count.  The run ends when the arrival table is
+exhausted *and* every admitted test has resolved; the manifest's
+accounting invariant (``admitted == completed + degraded + rejected +
+failed``) then holds by construction.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.diurnal import expected_demand_mbps
+from repro.deploy.placement import IXP_DOMAINS
+from repro.deploy.planner import PlanInfeasible, plan_deployment
+from repro.deploy.plans import onevendor_catalogue
+from repro.fleet.controller import FleetController, LadderPolicy
+from repro.fleet.demand import DemandModel, demand_moments, generate_arrivals
+from repro.fleet.events import EventLoop
+from repro.fleet.replanner import OnlineReplanner, build_fleet_pool
+from repro.netsim.faults import FaultPlan, regional_outage_plan
+from repro.obs.manifest import build_fleet_manifest
+from repro.obs.metrics import MetricsRegistry, use_registry
+
+#: Hours per month used to convert catalogue prices to cost/second.
+_HOURS_PER_MONTH = 730.0
+
+
+@dataclass(frozen=True)
+class FleetDayConfig:
+    """Frozen description of one fleet-day run (goes in the manifest).
+
+    ``blackouts`` lists regional outages as ``(domain, start_s,
+    end_s)`` tuples in virtual seconds — each takes the whole IXP
+    domain dark for the window.
+    """
+
+    users: int
+    hours: int = 24
+    seed: int = 7
+    workers: int = 1
+    tests_per_user_day: float = 1.0
+    heartbeat_every_s: float = 10.0
+    slo_wait_s: float = 30.0
+    degraded_cap_mbps: float = 50.0
+    degraded_duration_factor: float = 0.5
+    replan_every_s: float = 3600.0
+    warmup_s: float = 300.0
+    headroom: float = 1.3
+    retire_threshold: float = 1.6
+    floor_mbps_per_domain: float = 100.0
+    blackouts: Tuple[Tuple[str, float, float], ...] = ()
+    catalogue_seed: int = 20220105
+
+    def __post_init__(self) -> None:
+        if self.users <= 0:
+            raise ValueError(f"users must be positive, got {self.users}")
+        if not 1 <= self.hours <= 24:
+            raise ValueError(f"hours must be in 1..24, got {self.hours}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.heartbeat_every_s <= 0:
+            raise ValueError("heartbeat_every_s must be positive")
+        if self.replan_every_s <= 0:
+            raise ValueError("replan_every_s must be positive")
+        if self.warmup_s < 0:
+            raise ValueError("warmup_s cannot be negative")
+        if self.tests_per_user_day <= 0:
+            raise ValueError("tests_per_user_day must be positive")
+        if self.floor_mbps_per_domain < 0:
+            raise ValueError("floor_mbps_per_domain cannot be negative")
+        # Fail at construction, not mid-run: the ladder and re-planner
+        # re-validate these, but a frozen config should be known-good.
+        LadderPolicy(
+            slo_wait_s=self.slo_wait_s,
+            degraded_cap_mbps=self.degraded_cap_mbps,
+            degraded_duration_factor=self.degraded_duration_factor,
+        )
+        if self.headroom < 1.0:
+            raise ValueError(f"headroom must be >= 1, got {self.headroom}")
+        if self.retire_threshold <= self.headroom:
+            raise ValueError(
+                f"retire_threshold ({self.retire_threshold}) must exceed "
+                f"headroom ({self.headroom})"
+            )
+        for domain, start, end in self.blackouts:
+            if domain not in IXP_DOMAINS:
+                raise ValueError(
+                    f"unknown blackout domain {domain!r} "
+                    f"(expected one of {IXP_DOMAINS})"
+                )
+            if end <= start or start < 0:
+                raise ValueError(
+                    f"bad blackout window ({start}, {end}) for {domain}"
+                )
+
+
+@dataclass
+class FleetDayReport:
+    """What one fleet day did, in numbers."""
+
+    admitted: int = 0
+    completed: int = 0
+    degraded: int = 0
+    rejected: int = 0
+    failed: int = 0
+    slo_violations: int = 0
+    failovers: int = 0
+    breaker_trips: int = 0
+    replans: int = 0
+    servers_bought: int = 0
+    servers_retired: int = 0
+    infeasible_replans: int = 0
+    queue_wait_p50_s: Optional[float] = None
+    queue_wait_p99_s: Optional[float] = None
+    peak_demand_mbps: float = 0.0
+    final_capacity_mbps: float = 0.0
+    cost_per_hour_usd: float = 0.0
+    elapsed_s: float = 0.0
+    events_processed: int = 0
+
+    @property
+    def balanced(self) -> bool:
+        """The accounting invariant: every admitted test resolved."""
+        return self.admitted == (
+            self.completed + self.degraded + self.rejected + self.failed
+        )
+
+
+class _FleetDay:
+    """One run's mutable state; :func:`run_fleet_day` is the API."""
+
+    def __init__(self, config: FleetDayConfig):
+        self.config = config
+        self.loop = EventLoop()
+        self.model = DemandModel(
+            users=config.users,
+            tests_per_user_day=config.tests_per_user_day,
+        )
+        self.mean_demand, self.mean_duration = demand_moments(
+            self.model, config.seed
+        )
+        self.catalogue = onevendor_catalogue(seed=config.catalogue_seed)
+        self.fault_plan: FaultPlan = regional_outage_plan(config.blackouts)
+        self.horizon_s = config.hours * 3600.0
+        self.initial_infeasible = False
+
+        pool, owned = build_fleet_pool(
+            self._initial_deployment(),
+            self.catalogue,
+            heartbeat_timeout_s=3.0 * config.heartbeat_every_s,
+        )
+        self.pool = pool
+        self.controller = FleetController(
+            pool,
+            self.loop,
+            LadderPolicy(
+                slo_wait_s=config.slo_wait_s,
+                degraded_cap_mbps=config.degraded_cap_mbps,
+                degraded_duration_factor=config.degraded_duration_factor,
+            ),
+        )
+        self.replanner = OnlineReplanner(
+            pool,
+            self.catalogue,
+            owned,
+            headroom=config.headroom,
+            retire_threshold=config.retire_threshold,
+            warmup_s=config.warmup_s,
+        )
+        if self.initial_infeasible:
+            self.replanner.infeasible_replans += 1
+        self.peak_demand_mbps = 0.0
+        self.cost_usd = 0.0
+        self._last_cost_s = 0.0
+
+    # -- provisioning targets ----------------------------------------------
+
+    def _target_mbps(self, now_s: float) -> float:
+        """Capacity target at ``now_s``: headroom over the expected
+        diurnal demand of this hour and the next (buying ahead of the
+        curve because warm-up lag makes reactive buying too late),
+        floored so every domain keeps at least a minimal server."""
+        hour = min(int(now_s // 3600.0), 23)
+        expected = max(
+            expected_demand_mbps(
+                h, self.model.tests_per_day,
+                self.mean_demand, self.mean_duration,
+            )
+            for h in (hour, min(hour + 1, 23))
+        )
+        floor = self.config.floor_mbps_per_domain * len(IXP_DOMAINS)
+        return max(expected * self.config.headroom, floor)
+
+    def _initial_deployment(self):
+        plan = plan_deployment(
+            self.catalogue,
+            self._target_mbps(0.0),
+            margin=0.05,
+            on_infeasible="partial",
+        )
+        if isinstance(plan, PlanInfeasible):
+            self.initial_infeasible = True
+            return plan.partial
+        return plan
+
+    # -- event handlers ----------------------------------------------------
+
+    def _on_sweep(self) -> None:
+        now = self.loop.now_s
+        plan = self.fault_plan
+        for server in list(self.pool.servers.values()):
+            reachable = plan.server_available(server.domain, now)
+            breaker = server.breaker
+            if reachable and server.healthy:
+                self.pool.heartbeat(server.name, now)
+            if breaker.state.value != "closed":
+                # Half-open probe (allows() lazily opens the window):
+                # a reachable server re-closes, a dark one re-trips.
+                if breaker.allows(now):
+                    if reachable:
+                        self.pool.record_success(server.name, now)
+                    else:
+                        self.pool.record_failure(server.name, now)
+            elif not reachable and server.healthy:
+                # A closed breaker inside a blacked-out region (e.g. a
+                # server bought mid-outage): fail it over now rather
+                # than waiting for client traffic to discover it.
+                self.controller.trip_server(server.name, now)
+        # Cost integrates over *owned* servers, warming and draining
+        # included — capacity you pay for, not capacity you use.
+        dt = now - self._last_cost_s
+        if dt > 0:
+            rate = sum(
+                s.price_month_usd for s in self.pool.servers.values()
+            ) / (_HOURS_PER_MONTH * 3600.0)
+            self.cost_usd += rate * dt
+            self._last_cost_s = now
+        demand_now = (
+            self.pool.total_reserved_mbps()
+            + self.controller.queued_demand_mbps()
+        )
+        if demand_now > self.peak_demand_mbps:
+            self.peak_demand_mbps = demand_now
+        self.replanner.reap_drained(now)
+        self.controller.collect_grants(now)
+        self.loop.schedule(
+            now + self.config.heartbeat_every_s, self._on_sweep
+        )
+
+    def _on_replan(self) -> None:
+        now = self.loop.now_s
+        result = self.replanner.step(now, self._target_mbps(now))
+        for name in result.bought:
+            self.loop.schedule(
+                now + self.config.warmup_s, self._on_warmed, name
+            )
+        self.controller.collect_grants(now)
+
+    def _on_warmed(self, name: str) -> None:
+        if name in self.pool.servers:
+            self.pool.mark_up(name, self.loop.now_s)
+            self.controller.collect_grants(self.loop.now_s)
+
+    def _on_outage_start(self, domain: str) -> None:
+        now = self.loop.now_s
+        for server in list(self.pool.servers.values()):
+            if server.domain == domain and server.healthy:
+                self.controller.trip_server(server.name, now)
+
+    def _on_outage_end(self, domain: str) -> None:
+        """Probe every breaker in the recovered region immediately;
+        re-closed servers drain the admission queue."""
+        now = self.loop.now_s
+        for server in list(self.pool.servers.values()):
+            if server.domain != domain:
+                continue
+            if server.breaker.state.value != "closed":
+                if server.breaker.allows(now):
+                    self.pool.record_success(server.name, now)
+        self.controller.collect_grants(now)
+
+    # -- the day itself ----------------------------------------------------
+
+    def run(self) -> FleetDayReport:
+        config = self.config
+        started = time.monotonic()
+        arrivals = generate_arrivals(
+            self.model, config.hours, config.seed, workers=config.workers
+        )
+        self.loop.schedule(config.heartbeat_every_s, self._on_sweep)
+        t = config.replan_every_s
+        while t < self.horizon_s:
+            self.loop.schedule(t, self._on_replan)
+            t += config.replan_every_s
+        for domain, start, end in config.blackouts:
+            self.loop.schedule(start, self._on_outage_start, domain)
+            self.loop.schedule(end, self._on_outage_end, domain)
+
+        times = arrivals.times_s
+        demand = arrivals.demand_mbps
+        duration = arrivals.duration_s
+        n = len(arrivals)
+        i = 0
+        max_events = 50_000_000
+        controller = self.controller
+        while True:
+            if i < n and times[i] <= self.loop.peek_time():
+                # Arrivals stay columnar; the clock advances directly
+                # (monotone: times are sorted and never behind the
+                # last popped event).
+                now = float(times[i])
+                self.loop.now_s = now
+                controller.on_arrival(
+                    now, i, arrivals.domain_name(i),
+                    float(demand[i]), float(duration[i]),
+                )
+                i += 1
+                continue
+            if i >= n and controller.idle:
+                break
+            if not self.loop.step():
+                raise RuntimeError(
+                    "event heap drained with tests still unresolved"
+                )
+            if self.loop.processed > max_events:
+                raise RuntimeError(
+                    f"fleet day still busy after {max_events} events"
+                )
+
+        report = FleetDayReport(
+            admitted=controller.counts["admitted"],
+            completed=controller.counts["completed"],
+            degraded=controller.counts["degraded"],
+            rejected=controller.counts["rejected"],
+            failed=controller.counts["failed"],
+            slo_violations=controller.slo_violations,
+            failovers=controller.failovers,
+            breaker_trips=sum(
+                s.breaker.trips for s in self.pool.servers.values()
+            ),
+            replans=self.replanner.replans,
+            servers_bought=self.replanner.servers_bought,
+            servers_retired=self.replanner.servers_retired,
+            infeasible_replans=self.replanner.infeasible_replans,
+            peak_demand_mbps=round(self.peak_demand_mbps, 3),
+            final_capacity_mbps=self.pool.total_capacity_mbps(
+                healthy_only=False
+            ),
+            cost_per_hour_usd=round(self.cost_usd / config.hours, 4),
+            elapsed_s=round(time.monotonic() - started, 3),
+            events_processed=self.loop.processed,
+        )
+        return report
+
+
+def _finite(value: float) -> Optional[float]:
+    return None if value is None or math.isnan(value) else round(value, 6)
+
+
+def run_fleet_day(
+    config: FleetDayConfig,
+    registry: Optional[MetricsRegistry] = None,
+) -> Tuple[FleetDayReport, Dict]:
+    """Run one virtual fleet day; returns ``(report, manifest)``.
+
+    The manifest is schema v1 (``kind: "fleet-day"``); its ``outcomes``
+    block is deterministic for the same ``(seed, blackouts, demand)``
+    regardless of worker count or wall time, and always balances:
+    ``admitted == completed + degraded + rejected + failed``.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    with use_registry(registry):
+        day = _FleetDay(config)
+        report = day.run()
+        wait = registry.histogram("fleet.queue.wait_s")
+        if wait.count:
+            report.queue_wait_p50_s = _finite(wait.quantile(0.5))
+            report.queue_wait_p99_s = _finite(wait.quantile(0.99))
+    manifest = build_fleet_manifest(config, report,
+                                    metrics=registry.to_dict())
+    return report, manifest

@@ -298,3 +298,75 @@ def run_dataset_bench(
             json.dump(summary, handle, indent=2)
             handle.write("\n")
     return summary
+
+
+# -- fleet-day simulator benchmark ------------------------------------------
+
+#: Default fleet-day smoke scale (users, sim-hours).
+FLEET_DEFAULT_USERS = 100_000
+FLEET_DEFAULT_HOURS = 24
+
+
+def run_fleet_bench(
+    users: int = FLEET_DEFAULT_USERS,
+    hours: int = FLEET_DEFAULT_HOURS,
+    seed: int = 7,
+    workers: int = 2,
+    out_path: Optional[Union[str, Path]] = None,
+) -> Dict:
+    """Benchmark the fleet-day simulator and verify its determinism.
+
+    Runs the same seeded day three times — twice single-worker and once
+    with ``workers`` arrival-generation processes — and checks the
+    manifests' ``outcomes`` blocks are byte-identical (the contract the
+    determinism regression tests pin).  Reports virtual-arrivals/s
+    throughput into ``BENCH_fleet.json`` when ``out_path`` is given.
+    """
+    from repro.fleet.simulator import FleetDayConfig, run_fleet_day
+
+    blackouts = (("Beijing", 8 * 3600.0, 10 * 3600.0),)
+    base = FleetDayConfig(
+        users=users, hours=hours, seed=seed, blackouts=blackouts
+    )
+    sharded = FleetDayConfig(
+        users=users, hours=hours, seed=seed, workers=workers,
+        blackouts=blackouts,
+    )
+
+    def one(config):
+        start = time.perf_counter()
+        report, manifest = run_fleet_day(config)
+        elapsed = time.perf_counter() - start
+        outcomes = json.dumps(manifest["outcomes"], sort_keys=True)
+        return report, outcomes, elapsed
+
+    report_a, outcomes_a, elapsed_a = one(base)
+    _, outcomes_b, _ = one(base)
+    _, outcomes_c, _ = one(sharded)
+
+    summary = {
+        "benchmark": "fleet-day",
+        "seed": seed,
+        "users": users,
+        "hours": hours,
+        "workers": workers,
+        "admitted": report_a.admitted,
+        "arrivals_per_s": (
+            report_a.admitted / elapsed_a if elapsed_a > 0 else None
+        ),
+        "elapsed_s": elapsed_a,
+        "events_processed": report_a.events_processed,
+        "rerun_identical": outcomes_a == outcomes_b,
+        "workers_identical": outcomes_a == outcomes_c,
+        "all_byte_identical": (
+            outcomes_a == outcomes_b == outcomes_c
+        ),
+        "accounting_balanced": report_a.balanced,
+        "peak_rss_mb": peak_rss_mb(),
+    }
+    if out_path is not None:
+        out_path = Path(out_path)
+        with open(out_path, "w") as handle:
+            json.dump(summary, handle, indent=2)
+            handle.write("\n")
+    return summary

@@ -307,9 +307,12 @@ class FaultPlan:
         (HELLO / RATE_COMMAND / FIN and their acks).  ``None`` means a
         reliable control channel.
     outages:
-        Per-server blackout schedules: while a server's schedule is
-        active the server is unreachable — clients must detect this
-        and fail over.
+        Per-target blackout schedules: while a target's schedule is
+        active the target is unreachable — clients must detect this
+        and fail over.  Keys are server names for per-server outages,
+        or whole IXP domain names for regional blackouts (see
+        :func:`regional_outage_plan`); :meth:`server_available` accepts
+        either kind of key.
     """
 
     control_loss: Optional[LossModel] = None
@@ -339,4 +342,29 @@ def outage_plan(
     return FaultPlan(
         control_loss=control_loss,
         outages={name: BlackoutSchedule(w) for name, w in outages.items()},
+    )
+
+
+def regional_outage_plan(
+    blackouts: Sequence[Tuple[str, float, float]],
+    control_loss: Optional[LossModel] = None,
+) -> FaultPlan:
+    """Build a :class:`FaultPlan` for whole-region blackouts.
+
+    ``blackouts`` is ``[(domain, start_s, end_s), ...]``; several
+    windows may name the same domain (they are merged into one
+    schedule, and must not overlap).  The resulting plan is keyed by
+    IXP domain name — the fleet simulator asks
+    ``plan.server_available(server.domain, now)`` so servers bought
+    mid-run inside a blacked-out region are covered automatically.
+    """
+    windows: Dict[str, List[Tuple[float, float]]] = {}
+    for domain, start, end in blackouts:
+        windows.setdefault(domain, []).append((float(start), float(end)))
+    return FaultPlan(
+        control_loss=control_loss,
+        outages={
+            domain: BlackoutSchedule(sorted(spans))
+            for domain, spans in windows.items()
+        },
     )

@@ -46,9 +46,11 @@ __all__ = [
     "MANIFEST_VERSION",
     "ManifestError",
     "build_campaign_manifest",
+    "build_fleet_manifest",
     "describe_versions",
     "load_manifest",
     "manifest_path_for",
+    "verify_fleet_accounting",
     "write_manifest",
 ]
 
@@ -174,6 +176,90 @@ def build_campaign_manifest(
         "shards": shards or [],
         "metrics": metrics or {},
     }
+
+
+def build_fleet_manifest(
+    config,
+    report,
+    metrics: Optional[Dict[str, Dict]] = None,
+) -> Dict:
+    """Assemble the schema-v1 manifest for one fleet-day run.
+
+    The ``outcomes`` block is the deterministic core: pure counts that
+    must be byte-identical for the same (seed, fault plan, demand
+    curve) regardless of wall time or worker count — the surrounding
+    ``created_unix_s`` / ``versions`` / timing fields are allowed to
+    differ between runs.
+
+    Parameters
+    ----------
+    config:
+        The run's :class:`~repro.fleet.simulator.FleetDayConfig`.
+    report:
+        The :class:`~repro.fleet.simulator.FleetDayReport` produced.
+    metrics:
+        :meth:`~repro.obs.metrics.MetricsRegistry.to_dict` snapshot of
+        the run's registry.
+    """
+    outcomes = {
+        "admitted": report.admitted,
+        "completed": report.completed,
+        "degraded": report.degraded,
+        "rejected": report.rejected,
+        "failed": report.failed,
+    }
+    return {
+        "manifest_version": MANIFEST_VERSION,
+        "kind": "fleet-day",
+        "created_unix_s": time.time(),
+        "seed": config.seed,
+        "config": _jsonable_config(config),
+        "versions": describe_versions(),
+        "run": {
+            "users": config.users,
+            "sim_hours": config.hours,
+            "workers": config.workers,
+            "slo_violations": report.slo_violations,
+            "failovers": report.failovers,
+            "breaker_trips": report.breaker_trips,
+            "replans": report.replans,
+            "servers_bought": report.servers_bought,
+            "servers_retired": report.servers_retired,
+            "infeasible_replans": report.infeasible_replans,
+            "queue_wait_p50_s": report.queue_wait_p50_s,
+            "queue_wait_p99_s": report.queue_wait_p99_s,
+            "peak_demand_mbps": report.peak_demand_mbps,
+            "final_capacity_mbps": report.final_capacity_mbps,
+            "cost_per_hour_usd": report.cost_per_hour_usd,
+            "elapsed_s": report.elapsed_s,
+        },
+        "outcomes": outcomes,
+        "metrics": metrics or {},
+    }
+
+
+def verify_fleet_accounting(manifest: Dict) -> None:
+    """Check the fleet SLO-accounting invariant.
+
+    Every admitted test must resolve to exactly one terminal outcome:
+    ``admitted == completed + degraded + rejected + failed``.  Raises
+    :class:`ManifestError` on any imbalance (a silently-dropped or
+    double-counted test); CI runs this against the smoke manifest.
+    """
+    outcomes = manifest.get("outcomes")
+    if not isinstance(outcomes, dict):
+        raise ManifestError("fleet manifest has no outcomes block")
+    required = ("admitted", "completed", "degraded", "rejected", "failed")
+    missing = [key for key in required if key not in outcomes]
+    if missing:
+        raise ManifestError(f"outcomes block missing {missing}")
+    resolved = sum(int(outcomes[k]) for k in required[1:])
+    admitted = int(outcomes["admitted"])
+    if admitted != resolved:
+        raise ManifestError(
+            f"SLO accounting imbalance: admitted {admitted} != "
+            f"completed + degraded + rejected + failed = {resolved}"
+        )
 
 
 def write_manifest(path: Union[str, Path], manifest: Dict) -> Path:

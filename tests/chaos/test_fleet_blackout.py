@@ -1,0 +1,137 @@
+"""Chaos: an entire region goes dark mid-campaign.
+
+The scenario saturates a two-region fleet with long-running tests,
+then takes the whole Beijing IXP domain dark for a window in the
+middle of the run.  The invariants under test are the fleet layer's
+core robustness promises:
+
+* **Nothing hangs, nothing leaks.**  Every admitted test leaves
+  through exactly one terminal outcome, the admission queue drains
+  (via cross-IXP failover, shortened variants, or typed rejection),
+  and no reservation survives the run.
+* **Breakers re-close.**  Once the blackout lifts, probe successes
+  reinstate every Beijing server; the region serves traffic again.
+"""
+
+import pytest
+
+from repro.deploy.pool import PoolServer, ServerPool
+from repro.fleet.controller import FleetController, LadderPolicy
+from repro.fleet.events import EventLoop
+from repro.netsim.faults import regional_outage_plan
+
+pytestmark = pytest.mark.chaos
+
+BLACKOUT_START = 100.0
+BLACKOUT_END = 220.0
+
+
+def run_blackout_campaign(capacity_mbps=200.0, n_arrivals=300,
+                          demand_mbps=60.0, duration_s=20.0):
+    """Drive arrivals through a saturated pool across a regional
+    blackout, sweeping breakers exactly as the simulator does."""
+    pool = ServerPool([
+        PoolServer(name="beijing-0", domain="Beijing",
+                   capacity_mbps=capacity_mbps),
+        PoolServer(name="beijing-1", domain="Beijing",
+                   capacity_mbps=capacity_mbps),
+        PoolServer(name="shanghai-0", domain="Shanghai",
+                   capacity_mbps=capacity_mbps),
+    ])
+    loop = EventLoop()
+    controller = FleetController(
+        pool, loop,
+        LadderPolicy(slo_wait_s=10.0, degraded_cap_mbps=10.0,
+                     degraded_duration_factor=0.5),
+    )
+    plan = regional_outage_plan([("Beijing", BLACKOUT_START, BLACKOUT_END)])
+
+    def sweep():
+        now = loop.now_s
+        for server in list(pool.servers.values()):
+            reachable = plan.server_available(server.domain, now)
+            breaker = server.breaker
+            if breaker.state.value != "closed":
+                if breaker.allows(now):
+                    if reachable:
+                        pool.record_success(server.name, now)
+                    else:
+                        pool.record_failure(server.name, now)
+            elif not reachable:
+                controller.trip_server(server.name, now)
+        controller.collect_grants(now)
+        loop.schedule(now + 5.0, sweep)
+
+    loop.schedule(5.0, sweep)
+
+    # One arrival per second, alternating client domains: demand sits
+    # well above surviving capacity during the blackout.
+    arrival_times = [float(i) for i in range(n_arrivals)]
+    i = 0
+    while True:
+        if i < n_arrivals and arrival_times[i] <= loop.peek_time():
+            now = arrival_times[i]
+            loop.now_s = now
+            domain = "Beijing" if i % 2 == 0 else "Shanghai"
+            controller.on_arrival(now, i, domain, demand_mbps, duration_s)
+            i += 1
+            continue
+        if i >= n_arrivals and controller.idle:
+            break
+        assert loop.step(), "event heap drained with tests unresolved"
+        assert loop.processed < 500_000
+    return pool, loop, controller
+
+
+def test_regional_blackout_queue_drains_and_breakers_reclose():
+    pool, loop, controller = run_blackout_campaign()
+    counts = controller.counts
+
+    # Accounting: every admitted test resolved exactly once.
+    assert counts["admitted"] == 300
+    assert counts["admitted"] == (
+        counts["completed"] + counts["degraded"]
+        + counts["rejected"] + counts["failed"]
+    )
+
+    # The queue drained — nothing is waiting, nothing reserved.
+    assert pool.queue == []
+    assert all(s.resolved or s.session_id is not None
+               for s in controller.waiting)
+    assert pool.total_reserved_mbps() == 0.0
+    assert pool.assignments == {}
+
+    # The blackout hurt: sessions failed over or degraded, the
+    # saturated remainder was shed via the ladder, not dropped.
+    assert controller.failovers > 0 or counts["failed"] > 0
+    assert counts["degraded"] + counts["rejected"] + counts["failed"] > 0
+    assert counts["completed"] > 0  # pre/post-blackout traffic was fine
+
+    # Breakers tripped during the outage and re-closed after it.
+    beijing = [pool.servers["beijing-0"], pool.servers["beijing-1"]]
+    assert all(s.breaker.trips > 0 for s in beijing)
+    assert loop.now_s > BLACKOUT_END
+    assert all(s.breaker.state.value == "closed" for s in beijing)
+    assert all(pool.available(s.name, loop.now_s) for s in beijing)
+
+
+def test_blackout_of_every_region_rejects_rather_than_hangs():
+    """Total darkness: the ladder's floor is the typed rejection."""
+    pool = ServerPool([
+        PoolServer(name="beijing-0", domain="Beijing", capacity_mbps=100.0),
+    ])
+    loop = EventLoop()
+    controller = FleetController(
+        pool, loop, LadderPolicy(slo_wait_s=5.0, degraded_cap_mbps=10.0)
+    )
+    loop.now_s = 10.0
+    controller.trip_server("beijing-0", 10.0)  # region already dark
+    controller.on_arrival(10.0, 0, "Beijing", 50.0, 2.0)
+    controller.on_arrival(11.0, 1, "Beijing", 50.0, 2.0)
+    # Drain only the SLO deadlines (no sweep re-closes the breaker).
+    while loop.peek_time() <= 17.0:
+        loop.step()
+    counts = controller.counts
+    assert counts["rejected"] == 2
+    assert counts["admitted"] == 2
+    assert pool.queue == []

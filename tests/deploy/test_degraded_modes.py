@@ -1,0 +1,197 @@
+"""Degraded-mode behaviour of the deployment layer: typed ILP
+infeasibility, empty/fully-quarantined health sweeps, and the pool's
+fleet-management lifecycle (add / cordon / drain / remove)."""
+
+import pytest
+
+from repro.deploy.health import HealthMonitor
+from repro.deploy.ilp import best_partial_plan
+from repro.deploy.planner import PlanInfeasible, plan_deployment
+from repro.deploy.plans import ServerPlan
+from repro.deploy.pool import PoolError, PoolServer, ServerPool
+
+DOMAINS = ("Beijing", "Shanghai")
+
+
+def tiny_catalogue():
+    return [
+        ServerPlan(plan_id=0, bandwidth_mbps=100.0, price_month_usd=10.0,
+                   available=2, domain="Beijing"),
+        ServerPlan(plan_id=1, bandwidth_mbps=100.0, price_month_usd=12.0,
+                   available=1, domain="Shanghai"),
+    ]
+
+
+# -- graceful ILP infeasibility ---------------------------------------------
+
+
+def test_infeasible_demand_raises_by_default():
+    with pytest.raises(ValueError):
+        plan_deployment(tiny_catalogue(), 10_000.0, domains=DOMAINS)
+
+
+def test_partial_mode_returns_typed_infeasibility():
+    result = plan_deployment(
+        tiny_catalogue(), 10_000.0, domains=DOMAINS, on_infeasible="partial"
+    )
+    assert isinstance(result, PlanInfeasible)
+    assert sorted(result.infeasible_domains) == ["Beijing", "Shanghai"]
+    assert result.shortfall_mbps == pytest.approx(
+        result.required_mbps - result.capacity_mbps
+    )
+    assert result.shortfall_mbps > 0
+    # The partial plan bought out the whole catalogue and is deployable.
+    partial = result.partial
+    assert partial.total_capacity_mbps == 300.0
+    assert partial.total_servers == 3
+    placed = [
+        bw
+        for entries in partial.placement.assignments.values()
+        for _, bw in entries
+    ]
+    assert sum(placed) == partial.total_capacity_mbps
+
+
+def test_partial_mode_with_a_domain_missing_from_the_catalogue():
+    catalogue = [p for p in tiny_catalogue() if p.domain == "Beijing"]
+    result = plan_deployment(
+        catalogue, 150.0, domains=DOMAINS, on_infeasible="partial"
+    )
+    assert isinstance(result, PlanInfeasible)
+    assert result.infeasible_domains == ("Shanghai",)
+    assert result.partial.per_domain["Shanghai"].total_capacity_mbps == 0.0
+
+
+def test_feasible_demand_is_unchanged_by_partial_mode():
+    plan = plan_deployment(
+        tiny_catalogue(), 150.0, domains=DOMAINS, on_infeasible="partial"
+    )
+    assert not isinstance(plan, PlanInfeasible)
+    assert plan.total_capacity_mbps >= 150.0
+
+
+def test_best_partial_plan_buys_out_the_catalogue():
+    solution = best_partial_plan(tiny_catalogue())
+    assert solution.counts == [2, 1]
+    assert solution.total_capacity_mbps == 300.0
+    assert solution.total_cost_usd == pytest.approx(32.0)
+
+
+def test_on_infeasible_is_validated():
+    with pytest.raises(ValueError, match="on_infeasible"):
+        plan_deployment(tiny_catalogue(), 1.0, on_infeasible="ignore")
+
+
+# -- empty / fully-quarantined health sweeps --------------------------------
+
+
+def test_sweep_over_zero_servers_is_clean():
+    monitor = HealthMonitor(timeout_s=10.0)
+    health = monitor.sweep([], now_s=100.0)
+    assert health.probed == 0
+    assert health.no_healthy_capacity
+    assert health.mean_staleness_s is None  # no divide-by-zero
+
+
+def test_sweep_counts_alive_silent_and_never_reported():
+    monitor = HealthMonitor(timeout_s=10.0)
+    monitor.beat("fresh", 95.0)
+    monitor.beat("stale", 50.0)
+    health = monitor.sweep(["fresh", "stale", "unknown"], now_s=100.0)
+    assert health.probed == 3
+    assert health.alive == 2       # fresh + benefit-of-the-doubt unknown
+    assert health.silent == 1
+    assert health.never_reported == 1
+    assert not health.no_healthy_capacity
+    assert health.mean_staleness_s == pytest.approx((5.0 + 50.0) / 2)
+
+
+def test_fully_quarantined_pool_reports_no_healthy_capacity():
+    pool = ServerPool([
+        PoolServer(name="a", domain="Beijing", capacity_mbps=100.0),
+        PoolServer(name="b", domain="Shanghai", capacity_mbps=100.0),
+    ])
+    pool.mark_down("a", now_s=0.0)
+    pool.cordon("b")
+    health = pool.health_summary(now_s=1.0)
+    assert health.probed == 0
+    assert health.no_healthy_capacity
+    assert health.mean_staleness_s is None
+
+
+def test_healthy_pool_summary_counts_probeable_servers():
+    pool = ServerPool(
+        [
+            PoolServer(name="a", domain="Beijing", capacity_mbps=100.0),
+            PoolServer(name="b", domain="Shanghai", capacity_mbps=100.0),
+        ],
+        heartbeat_timeout_s=10.0,
+    )
+    pool.heartbeat("a", 0.0)
+    pool.heartbeat("b", 0.0)
+    health = pool.health_summary(now_s=5.0)
+    assert health.probed == 2 and health.alive == 2
+    health = pool.health_summary(now_s=50.0)  # both went silent
+    assert health.alive == 0 and health.no_healthy_capacity
+
+
+# -- pool fleet-management lifecycle ----------------------------------------
+
+
+def make_pool():
+    return ServerPool([
+        PoolServer(name="a", domain="Beijing", capacity_mbps=100.0),
+        PoolServer(name="b", domain="Beijing", capacity_mbps=100.0),
+    ])
+
+
+def test_add_server_serves_the_waiting_queue():
+    pool = make_pool()
+    pool.assign(180.0, "Beijing", headroom=0.0, now_s=0.0)
+    ticket = pool.enqueue(50.0, "Beijing", headroom=0.0, now_s=0.0)
+    assert not ticket.granted
+    pool.add_server(
+        PoolServer(name="c", domain="Beijing", capacity_mbps=100.0),
+        now_s=1.0,
+    )
+    assert ticket.granted
+
+
+def test_duplicate_server_names_are_rejected():
+    pool = make_pool()
+    with pytest.raises(ValueError, match="already in the pool"):
+        pool.add_server(
+            PoolServer(name="a", domain="Beijing", capacity_mbps=10.0)
+        )
+
+
+def test_cordoned_server_takes_no_new_traffic_but_keeps_sessions():
+    pool = make_pool()
+    assignment = pool.assign(150.0, "Beijing", headroom=0.0, now_s=0.0)
+    assert set(assignment.shares) == {"a", "b"}
+    pool.cordon("a")
+    fresh = pool.assign(40.0, "Beijing", headroom=0.0, now_s=1.0)
+    assert set(fresh.shares) == {"b"}
+    assert pool.servers["a"].reserved_mbps > 0  # old session untouched
+
+
+def test_remove_refuses_while_reservations_remain():
+    pool = make_pool()
+    assignment = pool.assign(150.0, "Beijing", headroom=0.0, now_s=0.0)
+    pool.cordon("a")
+    with pytest.raises(PoolError, match="cordon and drain"):
+        pool.remove_server("a")
+    pool.release(assignment.session_id, now_s=1.0)
+    removed = pool.remove_server("a")
+    assert removed.name == "a"
+    assert "a" not in pool.servers
+
+
+def test_uncordon_returns_the_server_to_rotation():
+    pool = make_pool()
+    pool.cordon("a")
+    pool.cordon("b")
+    ticket = pool.enqueue(50.0, "Beijing", headroom=0.0, now_s=0.0)
+    assert not ticket.granted
+    pool.uncordon("a", now_s=1.0)
+    assert ticket.granted

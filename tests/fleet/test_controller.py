@@ -1,0 +1,161 @@
+"""The SLO shedding ladder: every admitted test resolves exactly once."""
+
+import pytest
+
+from repro.deploy.pool import PoolServer, ServerPool
+from repro.fleet.controller import FleetController, LadderPolicy
+from repro.fleet.events import EventLoop
+
+
+def make_stack(capacities, slo_wait_s=5.0, degraded_cap_mbps=20.0):
+    """A controller over named servers: [('Beijing', 100), ...]."""
+    servers = [
+        PoolServer(name=f"{domain.lower()}-{i}", domain=domain,
+                   capacity_mbps=cap)
+        for i, (domain, cap) in enumerate(capacities)
+    ]
+    pool = ServerPool(servers)
+    loop = EventLoop()
+    controller = FleetController(
+        pool, loop,
+        LadderPolicy(slo_wait_s=slo_wait_s,
+                     degraded_cap_mbps=degraded_cap_mbps,
+                     degraded_duration_factor=0.5),
+    )
+    return pool, loop, controller
+
+
+def balanced(controller):
+    c = controller.counts
+    return c["admitted"] == (
+        c["completed"] + c["degraded"] + c["rejected"] + c["failed"]
+    )
+
+
+def test_unobstructed_test_completes():
+    pool, loop, controller = make_stack([("Beijing", 100.0)])
+    controller.on_arrival(0.0, 0, "Beijing", 50.0, 2.0)
+    assert controller.counts["admitted"] == 1
+    assert not controller.idle
+    loop.run_until_idle()
+    assert controller.counts["completed"] == 1
+    assert controller.idle and balanced(controller)
+    assert pool.total_reserved_mbps() == 0.0
+
+
+def test_queued_test_granted_before_deadline_completes_cleanly():
+    pool, loop, controller = make_stack([("Beijing", 60.0)])
+    controller.on_arrival(0.0, 0, "Beijing", 50.0, 2.0)   # fills the pool
+    controller.on_arrival(0.5, 1, "Beijing", 50.0, 2.0)   # must wait
+    assert len(pool.queue) == 1
+    loop.run_until_idle()
+    # First completes at 2.0, freeing capacity before the 5.5 deadline;
+    # the waiting test runs full-length and counts as completed.
+    assert controller.counts["completed"] == 2
+    assert controller.counts["degraded"] == 0
+    assert controller.slo_violations == 0
+    assert balanced(controller) and controller.idle
+
+
+def test_deadline_degrades_to_short_variant():
+    pool, loop, controller = make_stack(
+        [("Beijing", 100.0)], slo_wait_s=5.0, degraded_cap_mbps=20.0
+    )
+    controller.on_arrival(0.0, 0, "Beijing", 60.0, 100.0)  # hogs the pool
+    controller.on_arrival(1.0, 1, "Beijing", 50.0, 10.0)   # queued
+    # Step past the deadline: the short variant (20 Mbps) fits in the
+    # remaining headroom even while the hog is running.
+    while loop.peek_time() <= 6.0:
+        loop.step()
+    assert controller.slo_violations == 1
+    assert controller.counts["degraded"] == 0  # still running, shortened
+    loop.run_until_idle()
+    assert controller.counts["degraded"] == 1
+    assert controller.counts["completed"] == 1
+    assert balanced(controller) and controller.idle
+
+
+def test_deadline_with_no_capacity_is_a_typed_rejection():
+    pool, loop, controller = make_stack([("Beijing", 60.0)], slo_wait_s=5.0)
+    controller.on_arrival(0.0, 0, "Beijing", 54.0, 100.0)  # saturates
+    controller.on_arrival(1.0, 1, "Beijing", 50.0, 2.0)    # queued
+    while loop.peek_time() <= 6.0:
+        loop.step()
+    # No room even for the 20 Mbps short variant → typed rejection.
+    assert controller.counts["rejected"] == 1
+    assert len(pool.queue) == 0
+    state = controller.waiting[0] if controller.waiting else None
+    assert state is None or state.resolved
+
+
+def test_server_loss_fails_over_to_surviving_capacity():
+    pool, loop, controller = make_stack(
+        [("Beijing", 100.0), ("Shanghai", 100.0)]
+    )
+    controller.on_arrival(0.0, 0, "Beijing", 50.0, 10.0)
+    loop.now_s = 1.0
+    controller.trip_server("beijing-0", 1.0)
+    assert controller.failovers == 1
+    assert controller.counts["failed"] == 0
+    loop.run_until_idle()
+    # The session survived on Shanghai capacity → degraded, not failed.
+    assert controller.counts["degraded"] == 1
+    assert balanced(controller) and controller.idle
+    assert pool.total_reserved_mbps() == 0.0
+
+
+def test_server_loss_with_nowhere_to_go_fails_the_test():
+    pool, loop, controller = make_stack([("Beijing", 100.0)])
+    controller.on_arrival(0.0, 0, "Beijing", 50.0, 10.0)
+    loop.now_s = 1.0
+    controller.trip_server("beijing-0", 1.0)
+    assert controller.counts["failed"] == 1
+    assert pool.total_reserved_mbps() == 0.0  # no leaked reservation
+    loop.run_until_idle()  # the stale completion event is a no-op
+    assert controller.counts["failed"] == 1
+    assert balanced(controller) and controller.idle
+
+
+def test_partial_share_loss_releases_surviving_reservations():
+    # Demand that must split across both servers; losing one strands
+    # the other's share unless the controller releases it.
+    pool, loop, controller = make_stack(
+        [("Beijing", 60.0), ("Shanghai", 60.0)]
+    )
+    controller.on_arrival(0.0, 0, "Beijing", 100.0, 10.0)
+    assert len(pool.assignments) == 1
+    loop.now_s = 1.0
+    controller.trip_server("beijing-0", 1.0)
+    assert controller.counts["failed"] == 1
+    assert pool.total_reserved_mbps() == 0.0
+    assert pool.assignments == {}
+
+
+def test_tripping_an_unknown_server_is_a_no_op():
+    pool, loop, controller = make_stack([("Beijing", 100.0)])
+    controller.trip_server("nonexistent", 0.0)
+    assert controller.counts == {
+        "admitted": 0, "completed": 0, "degraded": 0,
+        "rejected": 0, "failed": 0,
+    }
+
+
+def test_grants_are_collected_fifo():
+    pool, loop, controller = make_stack([("Beijing", 60.0)], slo_wait_s=50.0)
+    controller.on_arrival(0.0, 0, "Beijing", 50.0, 1.0)
+    controller.on_arrival(0.1, 1, "Beijing", 50.0, 1.0)
+    controller.on_arrival(0.2, 2, "Beijing", 50.0, 1.0)
+    assert len(pool.queue) == 2
+    loop.run_until_idle()
+    assert controller.counts["completed"] == 3
+    assert controller.slo_violations == 0
+    assert balanced(controller) and controller.idle
+
+
+def test_ladder_policy_validates():
+    with pytest.raises(ValueError, match="slo_wait_s"):
+        LadderPolicy(slo_wait_s=0.0)
+    with pytest.raises(ValueError, match="degraded_cap_mbps"):
+        LadderPolicy(degraded_cap_mbps=-1.0)
+    with pytest.raises(ValueError, match="degraded_duration_factor"):
+        LadderPolicy(degraded_duration_factor=1.5)

@@ -1,0 +1,90 @@
+"""Arrival generation: scale, shape, and worker-count invariance."""
+
+import numpy as np
+import pytest
+
+from repro.fleet.demand import (
+    BUCKETS_PER_HOUR,
+    DemandModel,
+    demand_moments,
+    generate_arrivals,
+)
+
+
+def test_arrivals_are_time_sorted_and_bounded():
+    model = DemandModel(users=50_000)
+    table = generate_arrivals(model, hours=6, seed=3)
+    assert len(table) > 0
+    assert np.all(np.diff(table.times_s) >= 0)
+    assert table.times_s[0] >= 0.0
+    assert table.times_s[-1] < 6 * 3600.0
+    assert np.all(table.demand_mbps >= model.bandwidth_min_mbps)
+    assert np.all(table.demand_mbps <= model.bandwidth_cap_mbps)
+    assert np.all(table.duration_s >= model.duration_min_s)
+    assert np.all(table.duration_s <= model.duration_max_s)
+
+
+def test_volume_tracks_the_user_population():
+    small = generate_arrivals(DemandModel(users=20_000), hours=24, seed=1)
+    large = generate_arrivals(DemandModel(users=200_000), hours=24, seed=1)
+    # A day of arrivals approximates one test per user per day.
+    assert 0.9 < len(small) / 20_000 < 1.1
+    assert 0.9 < len(large) / 200_000 < 1.1
+
+
+def test_worker_count_never_changes_the_arrivals():
+    model = DemandModel(users=30_000)
+    serial = generate_arrivals(model, hours=5, seed=9, workers=1)
+    sharded = generate_arrivals(model, hours=5, seed=9, workers=3)
+    np.testing.assert_array_equal(serial.times_s, sharded.times_s)
+    np.testing.assert_array_equal(serial.demand_mbps, sharded.demand_mbps)
+    np.testing.assert_array_equal(serial.duration_s, sharded.duration_s)
+    np.testing.assert_array_equal(serial.domain_idx, sharded.domain_idx)
+
+
+def test_seed_changes_the_arrivals():
+    model = DemandModel(users=30_000)
+    a = generate_arrivals(model, hours=2, seed=1)
+    b = generate_arrivals(model, hours=2, seed=2)
+    assert len(a) != len(b) or not np.array_equal(a.times_s, b.times_s)
+
+
+def test_shorter_horizon_is_a_prefix_of_the_full_day():
+    """Buckets own their streams, so hours 1..k of a day never depend
+    on whether hours k+1.. were generated."""
+    model = DemandModel(users=25_000)
+    short = generate_arrivals(model, hours=2, seed=4)
+    full = generate_arrivals(model, hours=4, seed=4)
+    np.testing.assert_array_equal(short.times_s, full.times_s[: len(short)])
+
+
+def test_hours_and_workers_are_validated():
+    model = DemandModel(users=1000)
+    with pytest.raises(ValueError, match="hours"):
+        generate_arrivals(model, hours=0, seed=1)
+    with pytest.raises(ValueError, match="hours"):
+        generate_arrivals(model, hours=25, seed=1)
+    with pytest.raises(ValueError, match="workers"):
+        generate_arrivals(model, hours=1, seed=1, workers=0)
+
+
+def test_demand_model_validates():
+    with pytest.raises(ValueError, match="users"):
+        DemandModel(users=0)
+    with pytest.raises(ValueError, match="tests_per_user_day"):
+        DemandModel(users=10, tests_per_user_day=0.0)
+
+
+def test_demand_moments_deterministic_and_sane():
+    model = DemandModel(users=10_000)
+    mean_demand, mean_duration = demand_moments(model, seed=7)
+    again = demand_moments(model, seed=7)
+    assert (mean_demand, mean_duration) == again
+    # Lognormal(3.7, 0.9) mean is ~60-80 Mbps after clipping.
+    assert 40.0 < mean_demand < 120.0
+    assert model.duration_min_s < mean_duration < model.duration_max_s
+
+
+def test_bucket_grid_is_part_of_the_contract():
+    # Changing the grid silently would break every pinned manifest.
+    assert BUCKETS_PER_HOUR == 16

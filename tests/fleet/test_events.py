@@ -1,0 +1,78 @@
+"""The deterministic event loop: ordering, ties, clock discipline."""
+
+import math
+
+import pytest
+
+from repro.fleet.events import EventLoop
+
+
+def test_events_run_in_time_order():
+    loop = EventLoop()
+    seen = []
+    loop.schedule(3.0, seen.append, "c")
+    loop.schedule(1.0, seen.append, "a")
+    loop.schedule(2.0, seen.append, "b")
+    assert loop.run_until_idle() == 3
+    assert seen == ["a", "b", "c"]
+    assert loop.now_s == 3.0
+
+
+def test_simultaneous_events_keep_schedule_order():
+    loop = EventLoop()
+    seen = []
+    for tag in range(5):
+        loop.schedule(1.0, seen.append, tag)
+    loop.run_until_idle()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_scheduling_into_the_past_raises():
+    loop = EventLoop()
+    loop.schedule(5.0, lambda: None)
+    loop.step()
+    assert loop.now_s == 5.0
+    with pytest.raises(ValueError, match="clock is at 5.0"):
+        loop.schedule(4.0, lambda: None)
+
+
+def test_peek_time_and_len():
+    loop = EventLoop()
+    assert loop.peek_time() == math.inf
+    assert len(loop) == 0
+    loop.schedule(2.0, lambda: None)
+    loop.schedule(7.0, lambda: None)
+    assert loop.peek_time() == 2.0
+    assert len(loop) == 2
+
+
+def test_events_may_schedule_more_events():
+    loop = EventLoop()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 3:
+            loop.schedule(loop.now_s + 1.0, chain, n + 1)
+
+    loop.schedule(0.0, chain, 0)
+    loop.run_until_idle()
+    assert seen == [0, 1, 2, 3]
+    assert loop.now_s == 3.0
+
+
+def test_runaway_loop_hits_the_event_budget():
+    loop = EventLoop()
+
+    def forever():
+        loop.schedule(loop.now_s + 1.0, forever)
+
+    loop.schedule(0.0, forever)
+    with pytest.raises(RuntimeError, match="still busy"):
+        loop.run_until_idle(max_events=100)
+
+
+def test_step_returns_false_when_idle():
+    loop = EventLoop()
+    assert loop.step() is False
+    assert loop.processed == 0

@@ -1,0 +1,106 @@
+"""Online re-planning: buy with warm-up, retire gracefully, degrade
+honestly when the catalogue runs dry."""
+
+import pytest
+
+from repro.deploy.plans import ServerPlan
+from repro.deploy.pool import PoolServer, ServerPool
+from repro.fleet.replanner import OnlineReplanner
+
+
+def catalogue_for(domains, bandwidth=100.0, price=10.0, available=5):
+    return [
+        ServerPlan(plan_id=i, bandwidth_mbps=bandwidth,
+                   price_month_usd=price, available=available, domain=d)
+        for i, d in enumerate(domains)
+    ]
+
+
+def make_replanner(domains=("Beijing", "Shanghai"), available=5,
+                   initial_per_domain=1, **kwargs):
+    catalogue = catalogue_for(domains, available=available)
+    servers = []
+    owned = {}
+    for plan in catalogue:
+        for j in range(initial_per_domain):
+            name = f"{plan.domain.lower()}-{j}"
+            servers.append(PoolServer(name=name, domain=plan.domain,
+                                      capacity_mbps=plan.bandwidth_mbps,
+                                      price_month_usd=plan.price_month_usd))
+            owned[name] = plan.plan_id
+    pool = ServerPool(servers)
+    return pool, OnlineReplanner(pool, catalogue, owned,
+                                 domains=tuple(domains), **kwargs)
+
+
+def test_buys_toward_the_target_with_warmup():
+    pool, replanner = make_replanner()
+    # Target 600 total → 300/domain; each domain owns 100 → buy 200.
+    result = replanner.step(now_s=0.0, target_total_mbps=600.0)
+    assert len(result.bought) == 4  # two 100 Mbps servers per domain
+    assert replanner.servers_bought == 4
+    for name in result.bought:
+        server = pool.servers[name]
+        assert server.healthy is False  # warming, not yet capacity
+    # Stock depleted accordingly: 5 - 1 initial - 2 bought per plan.
+    assert set(replanner.stock.values()) == {2}
+
+
+def test_buying_stops_at_the_stock_and_reports_shortfall():
+    pool, replanner = make_replanner(available=2)  # 1 initial + 1 spare
+    result = replanner.step(now_s=0.0, target_total_mbps=10_000.0)
+    # Each domain can only add its single remaining server.
+    assert len(result.bought) == 2
+    assert sorted(result.infeasible_domains) == ["Beijing", "Shanghai"]
+    assert result.shortfall_mbps > 0
+    assert replanner.infeasible_replans == 1
+    # A later feasible round does not count as infeasible.
+    replanner.step(now_s=60.0, target_total_mbps=100.0)
+    assert replanner.infeasible_replans == 1
+
+
+def test_surplus_is_cordoned_then_reaped_back_to_stock():
+    pool, replanner = make_replanner(initial_per_domain=4,
+                                     retire_threshold=1.6)
+    # Target 200 → 100/domain; each domain owns 400 → cordon surplus.
+    result = replanner.step(now_s=0.0, target_total_mbps=200.0)
+    assert result.bought == []
+    assert len(result.cordoned) == 6  # down to 100 Mbps per domain
+    for name in result.cordoned:
+        assert pool.servers[name].cordoned
+    stock_before = dict(replanner.stock)
+    reaped = replanner.reap_drained(now_s=1.0)
+    assert sorted(reaped) == sorted(result.cordoned)
+    assert replanner.servers_retired == 6
+    for name in reaped:
+        assert name not in pool.servers
+    assert sum(replanner.stock.values()) == sum(stock_before.values()) + 6
+
+
+def test_draining_server_is_not_reaped_until_sessions_finish():
+    pool, replanner = make_replanner(initial_per_domain=4)
+    assignment = pool.assign(50.0, "Beijing", now_s=0.0)
+    busy = max(assignment.shares)  # the server holding the session
+    pool.cordon(busy)
+    assert replanner.reap_drained(now_s=1.0) == []
+    assert busy in pool.servers
+    pool.release(assignment.session_id, now_s=2.0)
+    assert replanner.reap_drained(now_s=3.0) == [busy]
+
+
+def test_retirement_keeps_the_domain_at_target():
+    pool, replanner = make_replanner(initial_per_domain=3,
+                                     retire_threshold=1.6)
+    replanner.step(now_s=0.0, target_total_mbps=400.0)  # 200/domain of 300 owned
+    for domain in ("Beijing", "Shanghai"):
+        assert replanner.owned_mbps(domain) >= 200.0
+
+
+def test_hysteresis_thresholds_validate():
+    pool, _ = make_replanner()
+    catalogue = catalogue_for(("Beijing",))
+    with pytest.raises(ValueError, match="headroom"):
+        OnlineReplanner(pool, catalogue, {}, headroom=0.5)
+    with pytest.raises(ValueError, match="retire_threshold"):
+        OnlineReplanner(pool, catalogue, {}, headroom=1.3,
+                        retire_threshold=1.2)

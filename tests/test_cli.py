@@ -290,3 +290,53 @@ def test_metrics_corrupt_manifest(tmp_path, capsys):
     code = main(["metrics", str(bad)])
     assert code == 2
     assert "unreadable" in capsys.readouterr().err
+
+
+def test_fleet_day_command(tmp_path, capsys):
+    manifest_path = tmp_path / "fleet.manifest.json"
+    code = main([
+        "fleet-day", "--users", "20000", "--hours", "2", "--seed", "7",
+        "--blackout", "Beijing:0.5:1", "--manifest", str(manifest_path),
+    ])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "fleet day: 20,000 users, 2h, seed 7" in captured
+    assert "1 regional outage(s)" in captured
+    assert "accounting balanced" in captured
+    from repro.obs.manifest import load_manifest, verify_fleet_accounting
+
+    manifest = load_manifest(manifest_path)
+    assert manifest["kind"] == "fleet-day"
+    verify_fleet_accounting(manifest)
+
+
+def test_fleet_day_rejects_bad_blackout_spec(capsys):
+    code = main(["fleet-day", "--users", "1000", "--blackout", "Beijing:8"])
+    assert code == 2
+    assert "DOMAIN:START_H:END_H" in capsys.readouterr().err
+
+
+def test_fleet_day_rejects_unknown_domain(capsys):
+    code = main(["fleet-day", "--users", "1000",
+                 "--blackout", "Atlantis:8:10"])
+    assert code == 2
+    assert "unknown blackout domain" in capsys.readouterr().err
+
+
+def test_bench_fleet_command(tmp_path, capsys):
+    out = tmp_path / "BENCH_fleet.json"
+    code = main([
+        "bench-fleet", "--users", "10000", "--hours", "2", "--seed", "7",
+        "--workers", "2", "--out", str(out),
+    ])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "rerun identical: True" in captured
+    assert "workers identical: True" in captured
+    assert "balanced: True" in captured
+    import json
+
+    summary = json.loads(out.read_text())
+    assert summary["benchmark"] == "fleet-day"
+    assert summary["all_byte_identical"] is True
+    assert summary["accounting_balanced"] is True
