@@ -14,6 +14,11 @@ The subcommands cover the library's main workflows::
     repro fleet-day --users 100000 --hours 24 --seed 7 \\
         [--blackout Beijing:8:10] [--manifest fleet.manifest.json]
     repro bench-fleet --out BENCH_fleet.json
+    repro runs ls --store runs/ [--kind campaign] [--month aug]
+    repro runs show RUN_ID --store runs/
+    repro runs diff RUN_A RUN_B --store runs/
+    repro runs compare --store runs/ --months aug,nov [--tech 4G]
+    repro store fsck --store runs/ [--repair] [--json]
 
 Everything runs against the simulator; no network access is needed.
 The module is also importable: each ``cmd_*`` function takes parsed
@@ -145,9 +150,14 @@ def cmd_measure(args: argparse.Namespace) -> int:
     """Re-measure a campaign through a real BTS under supervision."""
     from repro.harness.config import CampaignConfig, RetryPolicy
     from repro.harness.parallel import run_campaign
+    from repro.harness.runtime import CorruptCheckpointError
 
     if args.resume and not args.checkpoint:
         print("error: --resume requires --checkpoint", file=sys.stderr)
+        return 2
+    if args.salvage and not args.resume:
+        print("error: --salvage only makes sense with --resume",
+              file=sys.stderr)
         return 2
     if args.test not in bandwidth_test_names():
         print(f"error: unknown test {args.test!r} "
@@ -163,8 +173,16 @@ def cmd_measure(args: argparse.Namespace) -> int:
         checkpoint_every=args.checkpoint_every,
         n_shards=args.shards,
         manifest_path=args.manifest,
+        store_path=args.store,
+        store_month=args.store_month,
     )
-    report = run_campaign(contexts, config, resume=args.resume)
+    try:
+        report = run_campaign(
+            contexts, config, resume=args.resume, salvage=args.salvage
+        )
+    except CorruptCheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     if config.n_shards > 1:
         print(f"sharded across {config.n_shards} worker(s)")
     if report.resumed_rows:
@@ -179,6 +197,8 @@ def cmd_measure(args: argparse.Namespace) -> int:
     manifest_path = config.resolved_manifest_path()
     if manifest_path is not None:
         print(f"manifest {manifest_path}")
+    if report.store_run_id is not None:
+        print(f"stored run {report.store_run_id} in {args.store}")
     if report.dataset is None:
         print("error: every row was quarantined", file=sys.stderr)
         return 1
@@ -461,7 +481,9 @@ def cmd_fleet_day(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    report, manifest = run_fleet_day(config)
+    report, manifest = run_fleet_day(
+        config, store_path=args.store, store_month=args.store_month
+    )
 
     print(f"fleet day: {args.users:,} users, {args.hours}h, seed {args.seed}"
           + (f", {len(blackouts)} regional outage(s)" if blackouts else ""))
@@ -486,6 +508,8 @@ def cmd_fleet_day(args: argparse.Namespace) -> int:
     if args.manifest:
         write_manifest(args.manifest, manifest)
         print(f"manifest {args.manifest}")
+    if report.store_run_id is not None:
+        print(f"stored run {report.store_run_id} in {args.store}")
     try:
         verify_fleet_accounting(manifest)
     except ManifestError as exc:
@@ -527,6 +551,203 @@ def cmd_bench_fleet(args: argparse.Namespace) -> int:
         print("error: SLO accounting imbalance", file=sys.stderr)
         return 1
     return 0
+
+
+# -- run store --------------------------------------------------------------
+
+
+def _store_months():
+    from repro.store import MONTHS
+
+    return MONTHS
+
+
+def _open_store(args: argparse.Namespace):
+    """Open the catalog at ``args.store`` for querying, or complain.
+
+    Read-side commands refuse to *create* a store: a typo'd path
+    should error, not silently materialise an empty catalog.
+    """
+    from pathlib import Path
+
+    from repro.store import RunStore
+
+    root = Path(args.store)
+    if not root.is_dir():
+        print(f"error: no run store at {root} "
+              f"(create one by measuring with --store)", file=sys.stderr)
+        return None
+    return RunStore.open(root)
+
+
+def _iso(unix_s: float) -> str:
+    import time as _time
+
+    return _time.strftime("%Y-%m-%d %H:%M", _time.gmtime(unix_s))
+
+
+def cmd_runs_ls(args: argparse.Namespace) -> int:
+    """List the catalog's committed runs, newest first."""
+    store = _open_store(args)
+    if store is None:
+        return 2
+    with store:
+        runs = store.list_runs(kind=args.kind, month=args.month)
+        if not runs:
+            print("no runs" + (f" of kind {args.kind!r}" if args.kind else "")
+                  + (f" in month {args.month!r}" if args.month else ""))
+            return 0
+        print(f"{'run':12s} {'kind':10s} {'month':5s} {'created (UTC)':16s} "
+              f"{'rows':>7s} {'meas.':>7s} {'mean Mbps':>10s}  label")
+        for run in runs:
+            mean = f"{run.mean_mbps:10.1f}" if run.mean_mbps is not None \
+                else f"{'-':>10s}"
+            rows = f"{run.n_rows:7d}" if run.n_rows is not None else f"{'-':>7s}"
+            meas = f"{run.n_measured:7d}" if run.n_measured is not None \
+                else f"{'-':>7s}"
+            print(f"{run.short_id:12s} {run.kind:10s} {run.month:5s} "
+                  f"{_iso(run.created_unix_s):16s} {rows} {meas} {mean}  "
+                  f"{run.label}")
+    return 0
+
+
+def cmd_runs_show(args: argparse.Namespace) -> int:
+    """Show one run: index row, payload checksums, manifest summary."""
+    from repro.store import RunNotFoundError
+
+    store = _open_store(args)
+    if store is None:
+        return 2
+    with store:
+        try:
+            run = store.get_run(args.run_id)
+            manifest = store.load_manifest(run.run_id)
+        except RunNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"run {run.run_id}  ({run.kind}, month {run.month})")
+        print(f"  created {_iso(run.created_unix_s)} UTC  "
+              f"seed {run.seed}  label {run.label or '-'}")
+        if run.n_rows is not None:
+            print(f"  rows {run.n_measured}/{run.n_rows} measured"
+                  + (f"  mean {run.mean_mbps:.1f} Mbps"
+                     if run.mean_mbps is not None else ""))
+        print("  files")
+        for name in sorted(run.files):
+            entry = run.files[name]
+            print(f"    {name:14s} {entry['bytes']:>10d} B  "
+                  f"sha256 {entry['sha256'][:16]}…")
+        outcomes = manifest.get("outcomes", {})
+        if outcomes:
+            print("  outcomes")
+            for key in sorted(outcomes):
+                print(f"    {key:24s} {outcomes[key]:>10d}")
+    return 0
+
+
+def cmd_runs_diff(args: argparse.Namespace) -> int:
+    """Field-level diff of two catalog runs."""
+    from repro.store import RunNotFoundError, StoreError
+
+    store = _open_store(args)
+    if store is None:
+        return 2
+    with store:
+        try:
+            diff = store.diff_runs(args.run_a, args.run_b)
+        except (RunNotFoundError, StoreError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not diff:
+            print(f"runs {args.run_a} and {args.run_b} are identical "
+                  f"on every compared field")
+            return 0
+        print(f"{'field':24s} {'a=' + args.run_a:>16s} "
+              f"{'b=' + args.run_b:>16s}")
+        for field in sorted(diff):
+            entry = diff[field]
+            print(f"{field:24s} {str(entry['a']):>16s} "
+                  f"{str(entry['b']):>16s}")
+    return 0
+
+
+def cmd_runs_compare(args: argparse.Namespace) -> int:
+    """The paper's longitudinal decline analysis over the catalog."""
+    from repro.store import StoreError, compare_months
+
+    months = [m.strip().lower() for m in args.months.split(",") if m.strip()]
+    store = _open_store(args)
+    if store is None:
+        return 2
+    with store:
+        try:
+            result = compare_months(
+                store, months, tech=args.tech,
+                min_group_tests=args.min_group_tests, kind=args.kind,
+            )
+        except StoreError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    before_month, after_month = result["months"]
+    print(f"{result['tech']} bandwidth, {before_month} -> {after_month} "
+          f"(paper §3.1: 68 -> 53 Mbps, -22%)")
+    print(f"  {before_month}: {result['mean_before_mbps']:7.1f} Mbps "
+          f"over {result['n_before']:,} tests")
+    print(f"  {after_month}: {result['mean_after_mbps']:7.1f} Mbps "
+          f"over {result['n_after']:,} tests")
+    print(f"  decline {result['decline'] * 100:+.1f}%")
+    groups = result["groups"]
+    if groups is None:
+        print(f"  (no matched (ISP, city-tier) group reaches "
+              f"{args.min_group_tests} tests in both months; "
+              f"means-only comparison)")
+    else:
+        print(f"  matched groups: {groups['n_groups']} "
+              f"(mean decline {groups['mean'] * 100:+.1f}%, "
+              f"range {groups['min'] * 100:+.1f}%..{groups['max'] * 100:+.1f}%, "
+              f"{groups['declining_share'] * 100:.0f}% declining)")
+    return 0
+
+
+def cmd_store_fsck(args: argparse.Namespace) -> int:
+    """Check (and with --repair, heal) a run store.
+
+    Exit codes follow fsck convention: 0 the store is clean, 1 damage
+    was found and fully repaired, 2 damage remains (run again with
+    --repair, or the store needs manual attention).
+    """
+    import json as json_mod
+
+    from pathlib import Path
+
+    from repro.store import fsck
+
+    root = Path(args.store)
+    if not root.is_dir():
+        print(f"error: no run store at {root}", file=sys.stderr)
+        return 2
+    report = fsck(root, repair=args.repair)
+    if args.json:
+        print(json_mod.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        mode = "repair" if args.repair else "check"
+        print(f"fsck ({mode}) {root}: {report.checked_runs} run(s), "
+              f"{report.verified_files} payload file(s) verified")
+        for finding in report.findings:
+            who = f" [{finding.run_id}]" if finding.run_id else ""
+            print(f"  {finding.kind}{who}: {finding.detail} "
+                  f"-> {finding.action}")
+        if report.clean:
+            print("clean")
+    if report.clean:
+        return 0
+    if report.consistent:
+        print(f"repaired {len(report.findings)} finding(s); store is "
+              f"consistent")
+        return 1
+    print("store has unrepaired damage; rerun with --repair",
+          file=sys.stderr)
+    return 2
 
 
 # -- parser -----------------------------------------------------------------
@@ -598,6 +819,18 @@ def build_parser() -> argparse.ArgumentParser:
                         "counts, per-shard stats) here; defaults to "
                         "<checkpoint>.manifest.json when --checkpoint "
                         "is set")
+    p.add_argument("--salvage", action="store_true",
+                   help="with --resume: drop the damaged tail of a "
+                        "truncated/corrupt checkpoint and re-measure "
+                        "it instead of aborting")
+    p.add_argument("--store",
+                   help="run-store root: the finished run (manifest + "
+                        "dataset) is committed into this crash-safe "
+                        "catalog")
+    p.add_argument("--store-month", choices=_store_months(),
+                   help="month label the stored run is filed under "
+                        "for 'repro runs compare' (default: current "
+                        "month)")
     p.set_defaults(func=cmd_measure)
 
     p = sub.add_parser(
@@ -676,6 +909,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "(e.g. Beijing:8:10); repeatable")
     p.add_argument("-M", "--manifest",
                    help="write the schema-v1 fleet manifest here")
+    p.add_argument("--store",
+                   help="run-store root: the fleet-day manifest is "
+                        "committed into this crash-safe catalog")
+    p.add_argument("--store-month", choices=_store_months(),
+                   help="month label the stored run is filed under")
     p.set_defaults(func=cmd_fleet_day)
 
     p = sub.add_parser(
@@ -690,6 +928,70 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker count of the sharded determinism leg")
     p.add_argument("--out", help="JSON output path (e.g. BENCH_fleet.json)")
     p.set_defaults(func=cmd_bench_fleet)
+
+    p = sub.add_parser(
+        "runs",
+        help="query the crash-safe run catalog (see 'measure --store')",
+    )
+    runs_sub = p.add_subparsers(dest="runs_command", required=True)
+
+    q = runs_sub.add_parser("ls", help="list committed runs, newest first")
+    q.add_argument("--store", required=True, help="run-store root")
+    q.add_argument("--kind", help="filter by run kind "
+                                  "(campaign, fleet-day, ...)")
+    q.add_argument("--month", choices=_store_months(),
+                   help="filter by month label")
+    q.set_defaults(func=cmd_runs_ls)
+
+    q = runs_sub.add_parser(
+        "show", help="show one run's record, checksums and outcomes"
+    )
+    q.add_argument("run_id", help="run id (unambiguous prefix is enough)")
+    q.add_argument("--store", required=True, help="run-store root")
+    q.set_defaults(func=cmd_runs_show)
+
+    q = runs_sub.add_parser("diff", help="field-level diff of two runs")
+    q.add_argument("run_a", help="first run id (or prefix)")
+    q.add_argument("run_b", help="second run id (or prefix)")
+    q.add_argument("--store", required=True, help="run-store root")
+    q.set_defaults(func=cmd_runs_diff)
+
+    q = runs_sub.add_parser(
+        "compare",
+        help="the paper's longitudinal decline analysis (§3.1, Aug->Nov "
+             "4G 68->53 Mbps) over the catalog's own runs",
+    )
+    q.add_argument("--store", required=True, help="run-store root")
+    q.add_argument("--months", required=True, metavar="BEFORE,AFTER",
+                   help="two month labels, e.g. aug,nov")
+    q.add_argument("--tech", default="4G",
+                   help="technology to compare (default 4G)")
+    q.add_argument("--min-group-tests", type=int, default=40,
+                   help="sample-size floor for a matched (ISP, "
+                        "city-tier) group")
+    q.add_argument("--kind", default="campaign",
+                   help="run kind to pool (default campaign)")
+    q.set_defaults(func=cmd_runs_compare)
+
+    p = sub.add_parser(
+        "store",
+        help="maintain a run store (integrity check and repair)",
+    )
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+
+    q = store_sub.add_parser(
+        "fsck",
+        help="verify journal, index and payload checksums; exit 0 "
+             "clean, 1 repaired, 2 damage remains",
+    )
+    q.add_argument("--store", required=True, help="run-store root")
+    q.add_argument("--repair", action="store_true",
+                   help="heal what can be healed: replay the journal, "
+                        "truncate a torn tail, quarantine corrupt "
+                        "entries into <store>/quarantine/")
+    q.add_argument("--json", action="store_true",
+                   help="print the full fsck report as JSON")
+    q.set_defaults(func=cmd_store_fsck)
 
     p = sub.add_parser("plan", help="plan a server deployment (§5.2)")
     p.add_argument("--tests-per-day", type=int, default=10_000)

@@ -290,18 +290,23 @@ class Dataset:
             columns[name] = _parse_csv_column(raw, dtype)
         return Dataset(columns)
 
-    def to_npz(self, path: Union[str, Path], compress: bool = False) -> None:
+    def to_npz(self, path, compress: bool = False) -> None:
         """Write the dataset as a columnar ``.npz`` archive.
 
         String columns are stored as fixed-width unicode (no pickling,
         so archives are portable and safe to load).  ``compress=True``
-        trades write speed for roughly 3-4x smaller files.
+        trades write speed for roughly 3-4x smaller files.  ``path``
+        may also be an open binary file object (the run store streams
+        archives through checksumming writers).
         """
         arrays = {
             name: col.astype("U") if SCHEMA[name] is object else col
             for name, col in self._columns.items()
         }
         save = np.savez_compressed if compress else np.savez
+        if hasattr(path, "write"):
+            save(path, **arrays)
+            return
         # Write through an open handle: np.savez appends a lowercase
         # ".npz" to any path not already ending in exactly that, which
         # would silently relocate e.g. "data.NPZ" to "data.NPZ.npz".

@@ -24,7 +24,8 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
 
 from repro.analysis.diurnal import expected_demand_mbps
 from repro.deploy.placement import IXP_DOMAINS
@@ -134,6 +135,8 @@ class FleetDayReport:
     cost_per_hour_usd: float = 0.0
     elapsed_s: float = 0.0
     events_processed: int = 0
+    #: Catalog id assigned when the run was ingested into a run store.
+    store_run_id: Optional[str] = None
 
     @property
     def balanced(self) -> bool:
@@ -377,6 +380,8 @@ def _finite(value: float) -> Optional[float]:
 def run_fleet_day(
     config: FleetDayConfig,
     registry: Optional[MetricsRegistry] = None,
+    store_path: Optional[Union[str, Path]] = None,
+    store_month: Optional[str] = None,
 ) -> Tuple[FleetDayReport, Dict]:
     """Run one virtual fleet day; returns ``(report, manifest)``.
 
@@ -384,6 +389,11 @@ def run_fleet_day(
     block is deterministic for the same ``(seed, blackouts, demand)``
     regardless of worker count or wall time, and always balances:
     ``admitted == completed + degraded + rejected + failed``.
+
+    With ``store_path`` set the finished manifest is committed into
+    that :class:`repro.store.RunStore` catalog (fleet days carry no
+    dataset payload) and ``report.store_run_id`` records the catalog
+    id; ``store_month`` overrides the month it is filed under.
     """
     registry = registry if registry is not None else MetricsRegistry()
     with use_registry(registry):
@@ -395,4 +405,11 @@ def run_fleet_day(
             report.queue_wait_p99_s = _finite(wait.quantile(0.99))
     manifest = build_fleet_manifest(config, report,
                                     metrics=registry.to_dict())
+    if store_path is not None:
+        from repro.store import RunStore
+
+        with RunStore.open(store_path) as store:
+            report.store_run_id = store.ingest_run(
+                manifest, month=store_month
+            )
     return report, manifest

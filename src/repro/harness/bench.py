@@ -41,6 +41,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.dataset.generator import DEFAULT_CHUNK_SIZE, generate_campaign
+from repro.ioutil import atomic_write_json
 from repro.dataset.generator import CampaignConfig as GenerationConfig
 from repro.dataset.records import SCHEMA, Dataset
 from repro.dataset.sampling import demo_campaign
@@ -160,9 +161,7 @@ def run_campaign_bench(
     }
     if out_path is not None:
         out_path = Path(out_path)
-        with open(out_path, "w") as handle:
-            json.dump(summary, handle, indent=2)
-            handle.write("\n")
+        atomic_write_json(out_path, summary, indent=2, trailing_newline=True)
     return summary
 
 
@@ -294,9 +293,7 @@ def run_dataset_bench(
     }
     if out_path is not None:
         out_path = Path(out_path)
-        with open(out_path, "w") as handle:
-            json.dump(summary, handle, indent=2)
-            handle.write("\n")
+        atomic_write_json(out_path, summary, indent=2, trailing_newline=True)
     return summary
 
 
@@ -366,7 +363,5 @@ def run_fleet_bench(
     }
     if out_path is not None:
         out_path = Path(out_path)
-        with open(out_path, "w") as handle:
-            json.dump(summary, handle, indent=2)
-            handle.write("\n")
+        atomic_write_json(out_path, summary, indent=2, trailing_newline=True)
     return summary

@@ -123,6 +123,15 @@ class CampaignConfig:
         checkpoint is configured, and to nothing otherwise; metrics
         are only collected when a manifest destination resolves, so
         unmanifested runs keep the zero-overhead null instruments.
+    store_path:
+        Root of a :class:`repro.store.RunStore` catalog.  When set,
+        the finished run (manifest + measured dataset) is ingested
+        there at end of run under the store's WAL commit protocol,
+        and the report carries the catalog run id.
+    store_month:
+        Month label (``'aug'``, ``'nov'``, …) the ingested run is
+        filed under for the longitudinal view; defaults to the
+        manifest's creation month.
     """
 
     seed: int = 0
@@ -134,6 +143,8 @@ class CampaignConfig:
     checkpoint_every: int = 100
     n_shards: int = 1
     manifest_path: Optional[Union[str, Path]] = None
+    store_path: Optional[Union[str, Path]] = None
+    store_month: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_tests is not None and self.max_tests < 1:
@@ -156,6 +167,8 @@ class CampaignConfig:
             object.__setattr__(
                 self, "manifest_path", Path(self.manifest_path)
             )
+        if self.store_path is not None:
+            object.__setattr__(self, "store_path", Path(self.store_path))
         # Defensive copy: a caller mutating its kwargs dict afterwards
         # must not silently change a frozen config.
         object.__setattr__(self, "test_kwargs", dict(self.test_kwargs))

@@ -57,6 +57,7 @@ from repro.harness.runtime import (
     _state_to_json,
     build_report,
     campaign_fingerprint,
+    ingest_report,
     load_checkpoint,
     measure_row,
     write_checkpoint,
@@ -213,6 +214,7 @@ def run_sharded_campaign(
     config: CampaignConfig,
     resume: bool = False,
     on_progress: Optional[Callable[[ShardProgress], None]] = None,
+    salvage: bool = False,
 ) -> CampaignReport:
     """Measure a campaign across ``config.n_shards`` worker processes.
 
@@ -221,7 +223,10 @@ def run_sharded_campaign(
     config — datasets, quarantine sets, accounted backoff.  With
     ``resume=True`` the main checkpoint *and* any surviving shard
     checkpoints are merged before work is distributed, so a run killed
-    mid-campaign loses at most ``checkpoint_every - 1`` rows per shard.
+    mid-campaign loses at most ``checkpoint_every - 1`` rows per
+    shard; a truncated/corrupt checkpoint or shard file raises
+    :class:`~repro.harness.runtime.CorruptCheckpointError` unless
+    ``salvage=True`` drops the damaged tail and re-measures it.
     """
     subset = campaign_subset(
         contexts, seed=config.seed, max_tests=config.max_tests
@@ -233,20 +238,25 @@ def run_sharded_campaign(
     )
     ckpt = config.checkpoint_path
     manifest_path = config.resolved_manifest_path()
-    # Workers are instrumented when a manifest is wanted, or when the
-    # caller routed a live registry (worker snapshots merge into it).
+    # Workers are instrumented when a manifest or store ingest is
+    # wanted, or when the caller routed a live registry (worker
+    # snapshots merge into it).
     instrument = (
         manifest_path is not None
+        or config.store_path is not None
         or not isinstance(active_registry(), NullRegistry)
     )
     started = time.perf_counter()
 
     rows: Dict[int, _RowState] = {}
     if resume and ckpt is not None:
-        rows = load_checkpoint(ckpt, fingerprint)
+        rows = load_checkpoint(ckpt, fingerprint, salvage=salvage)
         for shard_id in range(config.n_shards):
             shard_file = shard_checkpoint_path(ckpt, shard_id)
-            for index, state in load_checkpoint(shard_file, fingerprint).items():
+            shard_rows = load_checkpoint(
+                shard_file, fingerprint, salvage=salvage
+            )
+            for index, state in shard_rows.items():
                 if state.done:
                     rows.setdefault(index, state)
     resumed_rows = sum(1 for s in rows.values() if s.done)
@@ -412,8 +422,8 @@ def _finish_instrumented_run(
     elapsed_s: float,
     manifest_path: Optional[Path],
 ) -> None:
-    """Merge shard metrics into the supervisor's registry and write
-    the run manifest.
+    """Merge shard metrics into the supervisor's registry, write the
+    run manifest, and ingest the run into the catalog when configured.
 
     Worker snapshots are folded in **shard-id order** — never arrival
     order — so the merged snapshot is reproducible run to run; see
@@ -441,16 +451,18 @@ def _finish_instrumented_run(
                 snap.done / wall if wall else None
             ),
         })
+    manifest = build_campaign_manifest(
+        config,
+        report,
+        metrics=metrics.to_dict(),
+        shards=shards,
+        elapsed_s=elapsed_s,
+    )
     if manifest_path is not None:
-        write_manifest(
-            manifest_path,
-            build_campaign_manifest(
-                config,
-                report,
-                metrics=metrics.to_dict(),
-                shards=shards,
-                elapsed_s=elapsed_s,
-            ),
+        write_manifest(manifest_path, manifest)
+    if config.store_path is not None:
+        report.store_run_id = ingest_report(
+            config.store_path, manifest, report, month=config.store_month
         )
 
 
@@ -459,6 +471,7 @@ def run_campaign(
     config: CampaignConfig,
     resume: bool = False,
     on_progress: Optional[Callable[[ShardProgress], None]] = None,
+    salvage: bool = False,
 ) -> CampaignReport:
     """Measure a campaign per its config, serial or sharded.
 
@@ -466,10 +479,14 @@ def run_campaign(
     ``config.n_shards == 1`` runs in-process via
     :class:`~repro.harness.runtime.CampaignRuntime`; more shards fan
     out through :func:`run_sharded_campaign`.  Either way the result
-    is identical.
+    is identical.  ``salvage`` governs damaged-checkpoint handling on
+    resume (see :func:`repro.harness.runtime.load_checkpoint`).
     """
     if config.n_shards <= 1:
-        return CampaignRuntime(config=config).run(contexts, resume=resume)
+        return CampaignRuntime(config=config).run(
+            contexts, resume=resume, salvage=salvage
+        )
     return run_sharded_campaign(
-        contexts, config, resume=resume, on_progress=on_progress
+        contexts, config, resume=resume, on_progress=on_progress,
+        salvage=salvage,
     )

@@ -53,6 +53,7 @@ import numpy as np
 
 from repro.baselines.common import BandwidthTestService
 from repro.dataset.records import Dataset, SCHEMA
+from repro.ioutil import atomic_write_json
 from repro.harness.collection import campaign_subset, row_environment
 from repro.harness.config import CampaignConfig, RetryPolicy
 from repro.obs.manifest import build_campaign_manifest, write_manifest
@@ -70,6 +71,7 @@ __all__ = [
     "CampaignReport",
     "CampaignRuntime",
     "CheckpointError",
+    "CorruptCheckpointError",
     "QuarantinedRow",
     "RetryPolicy",
     "build_report",
@@ -86,6 +88,15 @@ CHECKPOINT_VERSION = 1
 
 class CheckpointError(ValueError):
     """A checkpoint file is corrupt or belongs to a different campaign."""
+
+
+class CorruptCheckpointError(CheckpointError):
+    """A checkpoint (or ``.shard-<k>``) file is truncated or corrupt.
+
+    Raised on ``--resume`` instead of a raw decode traceback; resume
+    with ``salvage=True`` (CLI: ``--resume --salvage``) to drop the
+    damaged tail and continue from the last good row.
+    """
 
 
 @dataclass(frozen=True)
@@ -126,6 +137,9 @@ class CampaignReport:
         Rows restored from the checkpoint rather than re-measured.
     checkpoints_written:
         Times the checkpoint file was flushed during this run.
+    store_run_id:
+        Catalog id the run was ingested under when the config names a
+        run store (see :mod:`repro.store`); ``None`` otherwise.
     """
 
     dataset: Optional[Dataset]
@@ -136,6 +150,7 @@ class CampaignReport:
     backoff_wait_s: float = 0.0
     resumed_rows: int = 0
     checkpoints_written: int = 0
+    store_run_id: Optional[str] = None
 
     @property
     def n_quarantined(self) -> int:
@@ -333,6 +348,11 @@ def write_checkpoint(
     ``<path>.shard-<k>`` files — row keys are always *global* subset
     indices, which is what makes shard files mergeable into (and
     indistinguishable from) a serial checkpoint.
+
+    Writes are durable, not just atomic: the temp file is fsynced
+    before the rename and the directory after it (see
+    :mod:`repro.ioutil`), so a flushed checkpoint survives power loss,
+    not merely a process kill.
     """
     path = Path(path)
     payload = {
@@ -341,32 +361,132 @@ def write_checkpoint(
             str(i): _state_to_json(s) for i, s in rows.items() if s.done
         },
     }
-    tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "w") as handle:
-        json.dump(payload, handle)
-    os.replace(tmp, path)
+    atomic_write_json(path, payload)
+
+
+def _salvage_checkpoint(text: str):
+    """Parse the longest intact prefix of a damaged checkpoint.
+
+    The checkpoint is one JSON document, so a truncated write makes
+    ``json.loads`` reject the whole file even though every row before
+    the cut parsed fine.  This walks the document with
+    ``JSONDecoder.raw_decode`` — fingerprint first, then one
+    ``"index": {state}`` pair at a time — and stops at the first
+    damage, keeping everything before it.  Returns ``(fingerprint,
+    rows_json)``; ``(None, {})`` when not even the fingerprint
+    survived (the resume then starts fresh).
+    """
+    decoder = json.JSONDecoder()
+
+    def skip_ws(pos: int) -> int:
+        while pos < len(text) and text[pos] in " \t\r\n,":
+            pos += 1
+        return pos
+
+    try:
+        key_at = text.index('"fingerprint"')
+        colon = text.index(":", key_at + len('"fingerprint"'))
+        fingerprint, pos = decoder.raw_decode(text, skip_ws(colon + 1))
+        if not isinstance(fingerprint, dict):
+            return None, {}
+    except (ValueError, IndexError):
+        return None, {}
+    rows: Dict[str, Dict] = {}
+    try:
+        rows_at = text.index('"rows"', pos)
+        brace = text.index("{", rows_at + len('"rows"'))
+        pos = skip_ws(brace + 1)
+        while pos < len(text) and text[pos] != "}":
+            key, pos = decoder.raw_decode(text, pos)
+            pos = skip_ws(pos)
+            if text[pos] != ":":
+                break
+            entry, pos = decoder.raw_decode(text, skip_ws(pos + 1))
+            # Only keep a row whose state decodes fully: a torn write
+            # inside the entry is caught by raw_decode above, and a
+            # well-formed but nonsensical entry is caught here.
+            _state_from_json(entry)
+            rows[str(int(key))] = entry
+            pos = skip_ws(pos)
+    except (ValueError, IndexError, KeyError, TypeError):
+        pass  # damage reached: keep the rows parsed so far
+    return fingerprint, rows
 
 
 def load_checkpoint(
-    path: Union[str, Path], fingerprint: Dict
+    path: Union[str, Path], fingerprint: Dict, salvage: bool = False
 ) -> Dict[int, _RowState]:
-    """Restore per-row progress; absent file means a fresh start."""
+    """Restore per-row progress; absent file means a fresh start.
+
+    A truncated or corrupt file raises the typed
+    :class:`CorruptCheckpointError`; with ``salvage=True`` the intact
+    prefix is recovered instead (see :func:`_salvage_checkpoint`) and
+    the damaged tail is simply re-measured — per-row determinism makes
+    that safe.  A fingerprint mismatch (a checkpoint from a *different*
+    campaign) is never salvaged: measuring on top of it would silently
+    mix two campaigns.
+    """
     path = Path(path)
     if not path.exists():
         return {}
     try:
-        with open(path) as handle:
-            payload = json.load(handle)
+        text = path.read_text()
+    except OSError as exc:
+        raise CorruptCheckpointError(f"{path}: unreadable checkpoint ({exc})")
+    try:
+        payload = json.loads(text)
         stored = payload["fingerprint"]
         raw_rows = payload["rows"]
+        if not isinstance(raw_rows, dict):
+            raise TypeError("rows must be an object")
     except (json.JSONDecodeError, KeyError, TypeError) as exc:
-        raise CheckpointError(f"{path}: unreadable checkpoint ({exc})")
+        if not salvage:
+            raise CorruptCheckpointError(
+                f"{path}: truncated or corrupt checkpoint ({exc}); "
+                f"resume with --salvage to drop the damaged tail and "
+                f"continue from the last good row"
+            )
+        stored, raw_rows = _salvage_checkpoint(text)
+        if stored is None:
+            return {}
     if stored != fingerprint:
         raise CheckpointError(
             f"{path}: checkpoint belongs to a different "
             f"campaign (stored {stored}, expected {fingerprint})"
         )
-    return {int(key): _state_from_json(entry) for key, entry in raw_rows.items()}
+    rows: Dict[int, _RowState] = {}
+    for key, entry in raw_rows.items():
+        try:
+            rows[int(key)] = _state_from_json(entry)
+        except (KeyError, TypeError, ValueError) as exc:
+            if not salvage:
+                raise CorruptCheckpointError(
+                    f"{path}: row {key!r} is corrupt ({exc}); resume "
+                    f"with --salvage to drop it and re-measure"
+                )
+    return rows
+
+
+# -- store ingest (shared with the sharded engine) -------------------------
+
+
+def ingest_report(
+    store_path: Union[str, Path],
+    manifest: Dict,
+    report: CampaignReport,
+    month: Optional[str] = None,
+) -> str:
+    """Commit a finished campaign (manifest + measured dataset) into
+    the run store at ``store_path``; returns the catalog run id.
+
+    The store's WAL commit protocol makes this safe to call at the
+    very end of a run: a kill mid-ingest leaves the catalog exactly as
+    it was, and rerunning the campaign re-ingests idempotently.
+    """
+    from repro.store import RunStore
+
+    with RunStore.open(store_path) as store:
+        return store.ingest_run(manifest, report.dataset, month=month)
 
 
 # -- the serial runtime ----------------------------------------------------
@@ -438,6 +558,7 @@ class CampaignRuntime:
         seed: Optional[int] = None,
         max_tests: Optional[int] = None,
         resume: bool = False,
+        salvage: bool = False,
     ) -> CampaignReport:
         """Measure a campaign under supervision.
 
@@ -445,22 +566,28 @@ class CampaignRuntime:
         With ``resume=True`` and an existing checkpoint for the same
         campaign (same contexts/seed/``max_tests``/service), completed
         rows are restored instead of re-measured; a checkpoint written
-        by a *different* campaign raises :class:`CheckpointError`.
+        by a *different* campaign raises :class:`CheckpointError`, and
+        a truncated/corrupt one raises the typed
+        :class:`CorruptCheckpointError` unless ``salvage=True`` drops
+        the damaged tail and re-measures from the last good row.
 
         When a manifest destination resolves (explicit
-        ``config.manifest_path``, or the checkpoint's sibling), the
-        run collects metrics into a fresh registry — unless the caller
-        already routed one via :func:`repro.obs.metrics.use_registry`
-        — and writes the run manifest on the way out.
+        ``config.manifest_path``, or the checkpoint's sibling) or the
+        config names a run store, the run collects metrics into a
+        fresh registry — unless the caller already routed one via
+        :func:`repro.obs.metrics.use_registry` — writes the run
+        manifest on the way out, and ingests the finished run
+        (manifest + measured dataset) into the store.
         """
         if seed is None:
             seed = self.config.seed
         if max_tests is None:
             max_tests = self.config.max_tests
         manifest_path = self._manifest_destination()
+        store_path = self.config.store_path
         own_registry = (
             MetricsRegistry()
-            if manifest_path is not None
+            if (manifest_path is not None or store_path is not None)
             and isinstance(active_registry(), NullRegistry)
             else None
         )
@@ -475,7 +602,9 @@ class CampaignRuntime:
             rows: Dict[int, _RowState] = {}
             resumed_rows = 0
             if resume and self.checkpoint_path is not None:
-                rows = load_checkpoint(self.checkpoint_path, fingerprint)
+                rows = load_checkpoint(
+                    self.checkpoint_path, fingerprint, salvage=salvage
+                )
                 resumed_rows = sum(1 for s in rows.values() if s.done)
 
             retries = 0
@@ -511,22 +640,28 @@ class CampaignRuntime:
             report = build_report(
                 subset, rows, resumed_rows, retries, checkpoints_written
             )
-            if manifest_path is not None:
+            if manifest_path is not None or store_path is not None:
                 metrics = active_registry()
                 elapsed = time.perf_counter() - started
                 if elapsed > 0:
                     metrics.gauge("campaign.rows_per_s").set(
                         report.n_rows / elapsed
                     )
-                write_manifest(
-                    manifest_path,
-                    build_campaign_manifest(
-                        self._effective_config(seed, max_tests),
-                        report,
-                        metrics=metrics.to_dict(),
-                        elapsed_s=elapsed,
-                    ),
+                manifest = build_campaign_manifest(
+                    self._effective_config(seed, max_tests),
+                    report,
+                    metrics=metrics.to_dict(),
+                    elapsed_s=elapsed,
                 )
+                if manifest_path is not None:
+                    write_manifest(manifest_path, manifest)
+                if store_path is not None:
+                    report.store_run_id = ingest_report(
+                        store_path,
+                        manifest,
+                        report,
+                        month=self.config.store_month,
+                    )
         return report
 
     # -- manifest helpers ----------------------------------------------
@@ -571,6 +706,7 @@ def run_supervised_campaign(
     checkpoint_every: Optional[int] = None,
     resume: bool = False,
     config: Optional[CampaignConfig] = None,
+    salvage: bool = False,
 ) -> CampaignReport:
     """One-call convenience over :class:`CampaignRuntime`.
 
@@ -580,7 +716,9 @@ def run_supervised_campaign(
     if config is not None and config.n_shards > 1 and service is None:
         from repro.harness.parallel import run_sharded_campaign
 
-        return run_sharded_campaign(contexts, config, resume=resume)
+        return run_sharded_campaign(
+            contexts, config, resume=resume, salvage=salvage
+        )
     runtime = CampaignRuntime(
         service=service,
         retry=retry,
@@ -588,4 +726,7 @@ def run_supervised_campaign(
         checkpoint_every=checkpoint_every,
         config=config,
     )
-    return runtime.run(contexts, seed=seed, max_tests=max_tests, resume=resume)
+    return runtime.run(
+        contexts, seed=seed, max_tests=max_tests, resume=resume,
+        salvage=salvage,
+    )

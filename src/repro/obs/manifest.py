@@ -34,13 +34,14 @@ from __future__ import annotations
 
 import dataclasses
 import json
-import os
 import platform
 import subprocess
 import sys
 import time
 from pathlib import Path
 from typing import Dict, List, Optional, Union
+
+from repro.ioutil import atomic_write_json
 
 __all__ = [
     "MANIFEST_VERSION",
@@ -263,14 +264,11 @@ def verify_fleet_accounting(manifest: Dict) -> None:
 
 
 def write_manifest(path: Union[str, Path], manifest: Dict) -> Path:
-    """Atomic write (temp + rename), mirroring the checkpoint codec."""
-    path = Path(path)
-    tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "w") as handle:
-        json.dump(manifest, handle, indent=2, sort_keys=False)
-        handle.write("\n")
-    os.replace(tmp, path)
-    return path
+    """Durable atomic write (temp + fsync + rename + dir fsync),
+    mirroring the checkpoint codec."""
+    return atomic_write_json(
+        path, manifest, indent=2, sort_keys=False, trailing_newline=True
+    )
 
 
 def load_manifest(path: Union[str, Path]) -> Dict:

@@ -1,0 +1,49 @@
+"""Crash-safe experiment catalog: WAL-journaled run store + fsck.
+
+``repro.store`` turns the loose manifest/checkpoint files the harness
+leaves behind into a durable, queryable catalog (ROADMAP item 5): a
+sqlite index over columnar npz payloads whose every mutation is
+write-ahead-journaled, so a ``kill -9`` at any instant leaves either
+the old state or the new state — never a torn one.  See
+:mod:`repro.store.journal` for the commit protocol,
+:mod:`repro.store.fsck` for the integrity/repair pass, and
+:mod:`repro.store.longitudinal` for the paper's Aug→Nov decline
+analysis applied to the store's own runs.
+"""
+
+from repro.store.catalog import (
+    MONTHS,
+    RunRecord,
+    RunStore,
+    StoreLayout,
+    month_of,
+)
+from repro.store.errors import (
+    CorruptPayloadError,
+    JournalError,
+    RunNotFoundError,
+    StoreError,
+)
+from repro.store.fsck import FsckFinding, FsckReport, fsck
+from repro.store.journal import CRASH_POINTS, Journal, JournalRecord
+from repro.store.longitudinal import compare_months, monthly_dataset
+
+__all__ = [
+    "CRASH_POINTS",
+    "CorruptPayloadError",
+    "FsckFinding",
+    "FsckReport",
+    "Journal",
+    "JournalRecord",
+    "JournalError",
+    "MONTHS",
+    "RunNotFoundError",
+    "RunRecord",
+    "RunStore",
+    "StoreError",
+    "StoreLayout",
+    "compare_months",
+    "fsck",
+    "month_of",
+    "monthly_dataset",
+]

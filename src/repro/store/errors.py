@@ -1,0 +1,43 @@
+"""Typed failure taxonomy of the run store.
+
+Every way the catalog can be damaged has a named exception, so
+callers (the CLI, the chaos suite, fsck itself) can distinguish "this
+store is fine but you asked for a run that is not there" from "the
+bytes on disk are lying" — and none of them ever surfaces as a raw
+``json.JSONDecodeError`` or sqlite traceback.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CorruptPayloadError",
+    "JournalError",
+    "RunNotFoundError",
+    "StoreError",
+]
+
+
+class StoreError(Exception):
+    """Base class for every run-store failure."""
+
+
+class JournalError(StoreError):
+    """The write-ahead journal is unreadable beyond simple tail damage.
+
+    A torn *tail* (the record being appended when the process died) is
+    normal crash debris and is repaired silently; this error means a
+    record in the journal's *body* fails its CRC or does not parse —
+    bytes that were once durably committed have changed.
+    """
+
+
+class RunNotFoundError(StoreError, KeyError):
+    """No committed run matches the requested id (or id prefix)."""
+
+    def __str__(self) -> str:  # KeyError quotes its payload; keep prose
+        return self.args[0] if self.args else ""
+
+
+class CorruptPayloadError(StoreError):
+    """A payload file no longer matches the checksum recorded at
+    commit time.  ``repro store fsck --repair`` quarantines the entry."""

@@ -1,0 +1,426 @@
+"""Store integrity checking and repair: ``repro store fsck``.
+
+fsck walks the three layers of a store and reconciles them, in the
+order of trust established by the commit protocol — journal first
+(source of truth), then the index (replayable cache), then the
+payload bytes (checksummed at commit time):
+
+1. **Journal.**  A torn tail (the append in flight at crash time) is
+   truncated — that record was never committed, so nothing is lost.
+   CRC damage in the journal *body* is real corruption: the affected
+   lines are reported, and runs whose commit record became unreadable
+   fall through to the drift rules below.
+2. **Crash debris.**  ``payloads/.ingest-*`` directories (ingests that
+   died before their rename) are removed.
+3. **Index vs journal.**  A committed record missing its index row is
+   *replayed* (the crash-between-append-and-apply case).  An index row
+   with no surviving commit record is *drift*: if its payload still
+   parses, it is re-committed to the journal (marked ``recommitted``,
+   checksums recomputed) — otherwise quarantined.
+4. **Payloads vs checksums.**  Every committed file is re-hashed
+   against its commit-time sha256.  A mismatch or missing file
+   quarantines the whole entry: the payload directory moves to
+   ``quarantine/<run_id>/``, a typed report lands beside it, the index
+   row is deleted, and a ``quarantine`` record is journaled so every
+   replica of the decision survives a crash *during repair*.
+5. **Orphans.**  A payload directory no commit record claims (ingest
+   died between rename and append) is quarantined the same way.
+
+Every deviation becomes a typed :class:`FsckFinding`; with
+``repair=False`` findings carry ``action="detected"`` and nothing is
+touched.  The pass never raises on damaged stores — damage is the
+input, the report is the output.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import sqlite3
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.ioutil import atomic_write_json, fsync_dir
+from repro.store.catalog import (
+    INGEST_TMP_PREFIX,
+    RunStore,
+    StoreLayout,
+    sha256_file,
+)
+from repro.store.journal import Journal
+
+__all__ = [
+    "FsckFinding",
+    "FsckReport",
+    "fsck",
+]
+
+
+@dataclass(frozen=True)
+class FsckFinding:
+    """One deviation from a consistent store.
+
+    ``kind`` is closed vocabulary: ``torn_journal_tail``,
+    ``journal_corruption``, ``stale_ingest_tmp``,
+    ``missing_index_row``, ``index_drift``, ``orphan_payload``,
+    ``checksum_mismatch``, ``missing_payload``.
+
+    ``action`` records what fsck did about it: ``detected`` (report
+    only), ``truncated``, ``removed``, ``replayed``, ``recommitted``,
+    or ``quarantined``.
+    """
+
+    kind: str
+    run_id: str
+    detail: str
+    action: str
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "run_id": self.run_id,
+            "detail": self.detail,
+            "action": self.action,
+        }
+
+
+@dataclass
+class FsckReport:
+    """Everything one fsck pass saw and did."""
+
+    root: str
+    repair: bool
+    findings: List[FsckFinding] = field(default_factory=list)
+    checked_runs: int = 0
+    verified_files: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """No deviations at all."""
+        return not self.findings
+
+    @property
+    def consistent(self) -> bool:
+        """Clean, or every deviation was repaired/quarantined — i.e.
+        the store is safe to use after this pass."""
+        return all(f.action != "detected" for f in self.findings)
+
+    def by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.kind] = counts.get(finding.kind, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict:
+        return {
+            "root": self.root,
+            "repair": self.repair,
+            "clean": self.clean,
+            "consistent": self.consistent,
+            "checked_runs": self.checked_runs,
+            "verified_files": self.verified_files,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def fsck(root: Union[str, Path], repair: bool = False) -> FsckReport:
+    """Verify (and with ``repair=True``, restore) store consistency.
+
+    Never raises on a damaged store; returns the typed report.  The
+    pass holds no lock — run it on a store no writer is using.
+    """
+    layout = StoreLayout(Path(root))
+    report = FsckReport(root=str(root), repair=repair)
+    journal = Journal(layout.journal_path)
+    scan = journal.scan()
+
+    # 1. Journal tail / body.
+    if scan.torn_tail_at is not None:
+        detail = (
+            f"{scan.torn_tail_bytes} byte(s) of a half-appended record "
+            f"at offset {scan.torn_tail_at}"
+        )
+        if repair:
+            journal.truncate_torn_tail(scan)
+            action = "truncated"
+        else:
+            action = "detected"
+        report.findings.append(
+            FsckFinding("torn_journal_tail", "", detail, action)
+        )
+    for lsn, reason in scan.corrupt_lines:
+        report.findings.append(FsckFinding(
+            "journal_corruption", "",
+            f"journal line {lsn} unreadable ({reason})",
+            "detected",
+        ))
+
+    committed = scan.committed()
+    quarantined_ids = {
+        r.run_id for r in scan.records if r.op == "quarantine"
+    }
+
+    # 2. Crash debris: in-flight ingest directories.
+    if layout.payloads_dir.is_dir():
+        for tmp in sorted(layout.payloads_dir.glob(f"{INGEST_TMP_PREFIX}*")):
+            action = "detected"
+            if repair:
+                shutil.rmtree(tmp)
+                action = "removed"
+            report.findings.append(FsckFinding(
+                "stale_ingest_tmp", tmp.name[len(INGEST_TMP_PREFIX):],
+                f"in-flight ingest directory {tmp.name}", action,
+            ))
+        if repair:
+            fsync_dir(layout.payloads_dir)
+
+    # 3. Index vs journal.
+    index_rows = _read_index(layout)
+    for run_id, record in sorted(committed.items()):
+        if run_id in index_rows:
+            continue
+        action = "detected"
+        if repair:
+            with RunStore(layout.root, recover=False) as store:
+                store._apply_commit(record.fields)
+                store._db.commit()
+            action = "replayed"
+        report.findings.append(FsckFinding(
+            "missing_index_row", run_id,
+            "journal-committed run absent from the index", action,
+        ))
+    for run_id in sorted(set(index_rows) - set(committed)):
+        if run_id in quarantined_ids:
+            # The journal already decided to evict this run; the crash
+            # hit between the quarantine append and the index delete.
+            # Re-drive the eviction — never resurrect it as drift.
+            finding = FsckFinding(
+                "index_drift", run_id,
+                "quarantine was journaled but interrupted before the "
+                "index delete",
+                "quarantined" if repair else "detected",
+            )
+            if repair:
+                _quarantine(layout, journal, run_id, findings=[finding])
+            report.findings.append(finding)
+            continue
+        payload_dir = layout.payload_dir(run_id)
+        parses = _payload_parses(payload_dir)
+        if parses:
+            detail = (
+                "index row has no journal commit record; payload "
+                "intact, checksums recomputed"
+            )
+            action = "detected"
+            if repair:
+                _recommit(layout, journal, run_id, index_rows[run_id])
+                action = "recommitted"
+            report.findings.append(FsckFinding(
+                "index_drift", run_id, detail, action,
+            ))
+        else:
+            action = "detected"
+            if repair:
+                _quarantine(
+                    layout, journal, run_id,
+                    findings=[FsckFinding(
+                        "index_drift", run_id,
+                        "no journal backing and payload does not parse",
+                        "quarantined",
+                    )],
+                )
+                action = "quarantined"
+            report.findings.append(FsckFinding(
+                "index_drift", run_id,
+                "no journal backing and payload does not parse", action,
+            ))
+
+    # Re-read: repair may have replayed/evicted rows above.
+    committed = journal.scan().committed() if repair else committed
+
+    # 4. Payload checksum verification for every committed run.
+    for run_id, record in sorted(committed.items()):
+        report.checked_runs += 1
+        payload_dir = layout.payload_dir(run_id)
+        bad: List[FsckFinding] = []
+        for name, meta in sorted(record.fields.get("files", {}).items()):
+            path = payload_dir / name
+            if not path.is_file():
+                bad.append(FsckFinding(
+                    "missing_payload", run_id,
+                    f"{name} missing from payload directory",
+                    "quarantined" if repair else "detected",
+                ))
+                continue
+            report.verified_files += 1
+            actual = sha256_file(path)
+            size = path.stat().st_size
+            if actual != meta["sha256"] or size != meta["bytes"]:
+                bad.append(FsckFinding(
+                    "checksum_mismatch", run_id,
+                    f"{name}: committed sha256 {meta['sha256'][:12]} "
+                    f"({meta['bytes']} B), found {actual[:12]} "
+                    f"({size} B)",
+                    "quarantined" if repair else "detected",
+                ))
+        if bad and repair:
+            _quarantine(layout, journal, run_id, findings=bad)
+        report.findings.extend(bad)
+
+    # 5. Orphan payload directories (no commit record claims them) —
+    # including payloads a crashed *quarantine* journaled but never
+    # moved, which are re-driven to completion here.
+    if layout.payloads_dir.is_dir():
+        for entry in sorted(layout.payloads_dir.iterdir()):
+            if not entry.is_dir() or entry.name.startswith(INGEST_TMP_PREFIX):
+                continue
+            if entry.name in committed:
+                continue
+            interrupted = entry.name in quarantined_ids
+            finding = FsckFinding(
+                "orphan_payload", entry.name,
+                (
+                    "quarantine was journaled but interrupted mid-move"
+                    if interrupted
+                    else "payload directory with no journal commit record"
+                ),
+                "quarantined" if repair else "detected",
+            )
+            if repair:
+                _quarantine(layout, journal, entry.name, findings=[finding])
+            report.findings.append(finding)
+
+    return report
+
+
+# -- helpers ---------------------------------------------------------------
+
+
+def _read_index(layout: StoreLayout) -> Dict[str, Dict]:
+    """Index rows as plain dicts; an unreadable index reads as empty
+    (it is a cache — the journal can rebuild it)."""
+    if not layout.index_path.exists():
+        return {}
+    try:
+        db = sqlite3.connect(str(layout.index_path))
+        try:
+            rows = list(db.execute(
+                "SELECT run_id, kind, created_unix_s, month, seed, label "
+                "FROM runs"
+            ))
+        finally:
+            db.close()
+    except sqlite3.Error:
+        return {}
+    return {
+        row[0]: {
+            "run_id": row[0], "kind": row[1], "created_unix_s": row[2],
+            "month": row[3], "seed": row[4], "label": row[5],
+        }
+        for row in rows
+    }
+
+
+def _payload_parses(payload_dir: Path) -> bool:
+    """Can this payload stand on its own (manifest parses, dataset —
+    if present — loads)?  Used when the journal backing is lost and
+    commit-time checksums are unrecoverable."""
+    manifest_path = payload_dir / "manifest.json"
+    if not manifest_path.is_file():
+        return False
+    try:
+        json.loads(manifest_path.read_text())
+    except (OSError, ValueError):
+        return False
+    dataset_path = payload_dir / "dataset.npz"
+    if dataset_path.exists():
+        try:
+            from repro.dataset.records import Dataset
+
+            Dataset.from_npz(dataset_path)
+        except Exception:
+            return False
+    return True
+
+
+def _recommit(
+    layout: StoreLayout,
+    journal: Journal,
+    run_id: str,
+    index_row: Dict,
+) -> None:
+    """Restore journal backing for an index-only run whose payload
+    still parses: recompute checksums and append a fresh commit record
+    marked ``recommitted`` (provenance note that these checksums are
+    post-hoc, not from the original commit)."""
+    payload_dir = layout.payload_dir(run_id)
+    files = {
+        path.name: {
+            "sha256": sha256_file(path),
+            "bytes": path.stat().st_size,
+        }
+        for path in sorted(payload_dir.iterdir())
+        if path.is_file()
+    }
+    journal.append(
+        "commit",
+        run_id=run_id,
+        kind=index_row.get("kind", "run"),
+        created_unix_s=index_row.get("created_unix_s", time.time()),
+        month=index_row.get("month", "jan"),
+        seed=index_row.get("seed"),
+        label=index_row.get("label", ""),
+        n_rows=None,
+        n_measured=None,
+        mean_mbps=None,
+        files=files,
+        recommitted=True,
+    )
+
+
+def _quarantine(
+    layout: StoreLayout,
+    journal: Journal,
+    run_id: str,
+    findings: List[FsckFinding],
+) -> None:
+    """Evict one entry: journal the decision, move the payload into
+    ``quarantine/``, write the typed report, drop the index row.
+
+    The journal append comes *first* so a crash mid-quarantine is
+    re-driven to completion by the next fsck, never half-applied."""
+    journal.append(
+        "quarantine",
+        run_id=run_id,
+        reasons=[f.to_dict() for f in findings],
+    )
+    payload_dir = layout.payload_dir(run_id)
+    if payload_dir.exists():
+        target = layout.quarantine_entry(run_id)
+        if target.exists():
+            shutil.rmtree(target)
+        shutil.move(str(payload_dir), str(target))
+        fsync_dir(layout.quarantine_dir)
+        fsync_dir(layout.payloads_dir)
+    atomic_write_json(
+        layout.quarantine_report(run_id),
+        {
+            "run_id": run_id,
+            "quarantined_unix_s": time.time(),
+            "findings": [f.to_dict() for f in findings],
+        },
+        indent=2,
+        trailing_newline=True,
+    )
+    if layout.index_path.exists():
+        try:
+            db = sqlite3.connect(str(layout.index_path))
+            try:
+                db.execute("DELETE FROM runs WHERE run_id = ?", (run_id,))
+                db.commit()
+            finally:
+                db.close()
+        except sqlite3.Error:
+            pass

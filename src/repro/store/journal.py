@@ -1,0 +1,256 @@
+"""The write-ahead journal: the store's single source of truth.
+
+Every catalog mutation is decided by one durable journal append.  A
+run **exists** the instant its ``commit`` record's bytes are fsynced
+into ``journal.wal`` — the sqlite index is a replayable cache, and the
+payload files written *before* the append are provisional until it
+lands.  That ordering (payload → fsync → journal commit → index row)
+is what makes ingest atomic under ``kill -9``: a crash at any instant
+leaves either no trace of the new run beyond garbage that recovery
+sweeps up, or a committed record from which the index row can always
+be replayed.
+
+Record format — one line per record::
+
+    <crc32:08x> <compact JSON>\n
+
+The CRC is over the JSON bytes.  A damaged *final* line (missing
+newline, short write, CRC mismatch) is a **torn tail**: the append
+that was in flight when the process died.  It is, by construction, an
+*uncommitted* record, so recovery truncates it without losing
+anything.  Damage on a non-final line means durably-committed bytes
+changed underneath us — that is real corruption, reported as
+:class:`~repro.store.errors.JournalError` findings and handled by
+fsck, never by silent truncation.
+
+Ops currently journaled: ``commit`` (a run's files, checksums and
+summary columns) and ``quarantine`` (an entry evicted by fsck).
+
+Crash injection
+---------------
+The chaos suite needs to kill the process at *exact* protocol
+boundaries.  :func:`maybe_crash` SIGKILLs the current process when the
+``REPRO_STORE_CRASH_POINT`` environment variable names the boundary
+being crossed; ``REPRO_STORE_CRASH_BYTES`` additionally limits how
+many bytes of the in-flight journal record reach the file first, so
+torn tails of every length are reachable deterministically.  Both are
+inert (two dict lookups) outside the tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.ioutil import fsync_dir
+from repro.store.errors import JournalError
+
+__all__ = [
+    "CRASH_POINTS",
+    "Journal",
+    "JournalRecord",
+    "JournalScan",
+    "maybe_crash",
+]
+
+#: Protocol boundaries where the chaos suite may SIGKILL the process,
+#: in ingest order.  ``mid_journal_write`` honours
+#: ``REPRO_STORE_CRASH_BYTES`` to stop after that many record bytes.
+CRASH_POINTS: Tuple[str, ...] = (
+    "store.before_payload",
+    "store.mid_payload_write",
+    "store.after_payload_tmp",
+    "store.after_payload_rename",
+    "store.mid_journal_write",
+    "store.after_journal_append",
+    "store.after_index_apply",
+)
+
+
+def maybe_crash(point: str) -> None:
+    """Die by SIGKILL if the environment requests a crash at ``point``.
+
+    SIGKILL — not an exception — because the property under test is
+    that *no* cleanup code gets to run, exactly as with OOM kills or
+    power loss.
+    """
+    if os.environ.get("REPRO_STORE_CRASH_POINT") == point:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def crash_write_limit() -> Optional[int]:
+    """How many bytes of the in-flight record to write before a
+    ``mid_journal_write``/``mid_payload_write`` crash (None = all)."""
+    raw = os.environ.get("REPRO_STORE_CRASH_BYTES")
+    return int(raw) if raw else None
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One parsed journal line."""
+
+    lsn: int            #: 1-based line number at scan time.
+    op: str             #: ``commit`` | ``quarantine``
+    fields: Dict        #: the record body, ``op`` included.
+
+    @property
+    def run_id(self) -> str:
+        return self.fields.get("run_id", "")
+
+
+@dataclass
+class JournalScan:
+    """Everything a full read of the journal learned.
+
+    ``torn_tail_at`` is the byte offset where a damaged final record
+    begins (None when the file ends cleanly); ``corrupt_lines`` lists
+    ``(lsn, reason)`` for damaged *non*-final lines — real corruption,
+    not crash debris.
+    """
+
+    records: List[JournalRecord] = field(default_factory=list)
+    torn_tail_at: Optional[int] = None
+    torn_tail_bytes: int = 0
+    corrupt_lines: List[Tuple[int, str]] = field(default_factory=list)
+
+    def committed(self) -> Dict[str, JournalRecord]:
+        """Live committed runs: commits minus later quarantines."""
+        live: Dict[str, JournalRecord] = {}
+        for record in self.records:
+            if record.op == "commit":
+                live[record.run_id] = record
+            elif record.op == "quarantine":
+                live.pop(record.run_id, None)
+        return live
+
+
+def _encode(record: Dict) -> bytes:
+    body = json.dumps(record, separators=(",", ":"), sort_keys=True)
+    payload = body.encode("utf-8")
+    return b"%08x " % zlib.crc32(payload) + payload + b"\n"
+
+
+def _decode_line(line: bytes) -> Dict:
+    """Parse one complete line (newline stripped); raises ValueError."""
+    if len(line) < 10 or line[8:9] != b" ":
+        raise ValueError("malformed record frame")
+    try:
+        want = int(line[:8], 16)
+    except ValueError:
+        raise ValueError("malformed CRC field")
+    payload = line[9:]
+    if zlib.crc32(payload) != want:
+        raise ValueError("CRC mismatch")
+    record = json.loads(payload.decode("utf-8"))
+    if not isinstance(record, dict) or "op" not in record:
+        raise ValueError("record is not an op object")
+    return record
+
+
+class Journal:
+    """Append-only WAL over one file, durable per append."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+
+    # -- writing -------------------------------------------------------
+
+    def append(self, op: str, **fields) -> Dict:
+        """Durably append one record: write, flush, fsync — the record
+        is *committed* when this returns.
+
+        The write happens through an ``O_APPEND`` handle, and the
+        directory entry is fsynced on first creation, so a record is
+        never partially visible to a scan except as a torn tail.
+        """
+        record = dict(fields)
+        record["op"] = op
+        data = _encode(record)
+        created = not self.path.exists()
+        limit = None
+        if os.environ.get("REPRO_STORE_CRASH_POINT") == "store.mid_journal_write":
+            limit = crash_write_limit()
+            if limit is None:
+                limit = len(data) // 2
+        with open(self.path, "ab") as handle:
+            if limit is not None:
+                handle.write(data[:limit])
+                handle.flush()
+                os.fsync(handle.fileno())
+                maybe_crash("store.mid_journal_write")
+            handle.write(data if limit is None else data[limit:])
+            handle.flush()
+            os.fsync(handle.fileno())
+        if created:
+            fsync_dir(self.path.parent)
+        return record
+
+    # -- reading -------------------------------------------------------
+
+    def scan(self) -> JournalScan:
+        """Read the whole journal, classifying damage but raising
+        nothing: recovery and fsck decide what to do with it."""
+        scan = JournalScan()
+        if not self.path.exists():
+            return scan
+        data = self.path.read_bytes()
+        offset = 0
+        lsn = 0
+        while offset < len(data):
+            lsn += 1
+            newline = data.find(b"\n", offset)
+            if newline < 0:
+                # No terminator: the append in flight when we died.
+                scan.torn_tail_at = offset
+                scan.torn_tail_bytes = len(data) - offset
+                break
+            line = data[offset:newline]
+            try:
+                record = _decode_line(line)
+            except ValueError as exc:
+                if newline == len(data) - 1:
+                    # Damaged final record: torn tail, not corruption.
+                    scan.torn_tail_at = offset
+                    scan.torn_tail_bytes = len(data) - offset
+                else:
+                    scan.corrupt_lines.append((lsn, str(exc)))
+                offset = newline + 1
+                continue
+            scan.records.append(
+                JournalRecord(lsn=lsn, op=record["op"], fields=record)
+            )
+            offset = newline + 1
+        return scan
+
+    def truncate_torn_tail(self, scan: Optional[JournalScan] = None) -> int:
+        """Drop a damaged final record; returns bytes removed.
+
+        Only ever removes the record that was mid-append at crash time
+        — a record that, by the commit protocol, nothing has yet acted
+        on — so truncation cannot lose committed state.
+        """
+        if scan is None:
+            scan = self.scan()
+        if scan.torn_tail_at is None:
+            return 0
+        with open(self.path, "rb+") as handle:
+            handle.truncate(scan.torn_tail_at)
+            handle.flush()
+            os.fsync(handle.fileno())
+        return scan.torn_tail_bytes
+
+    def require_clean_body(self, scan: JournalScan) -> None:
+        """Raise :class:`JournalError` on non-tail damage."""
+        if scan.corrupt_lines:
+            lines = ", ".join(
+                f"line {lsn}: {reason}" for lsn, reason in scan.corrupt_lines
+            )
+            raise JournalError(
+                f"{self.path}: journal body corrupt ({lines}); "
+                f"run `repro store fsck --repair`"
+            )

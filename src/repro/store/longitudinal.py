@@ -1,0 +1,106 @@
+"""Longitudinal views over the catalog: the paper's own analysis,
+applied to our own runs.
+
+The paper's headline longitudinal result — 4G declining from 68 to
+53 Mbps between August and November (§3.1) — exists only because
+months of runs stayed queryable and comparable.  With runs ingested
+into a :class:`~repro.store.catalog.RunStore`, the same question can
+be asked of *our* catalog: pick two months, pool every measured
+dataset in each, and rerun the decline analysis
+(:mod:`repro.analysis.longitudinal`), falling back to the plain mean
+comparison when no matched (ISP, city-tier) group reaches the
+paper's sample-size floor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.longitudinal import (
+    decline_summary,
+    matched_group_declines,
+)
+from repro.dataset.records import Dataset
+from repro.store.catalog import MONTHS, RunRecord, RunStore
+from repro.store.errors import StoreError
+
+__all__ = [
+    "compare_months",
+    "monthly_dataset",
+]
+
+
+def monthly_dataset(
+    store: RunStore, month: str, kind: Optional[str] = "campaign"
+) -> Dataset:
+    """Every measured dataset ingested under ``month``, pooled into
+    one dataset (runs without a dataset payload are skipped)."""
+    if month not in MONTHS:
+        raise StoreError(f"month must be one of {MONTHS}, got {month!r}")
+    runs: List[RunRecord] = [
+        run for run in store.list_runs(kind=kind, month=month)
+        if run.has_dataset
+    ]
+    if not runs:
+        raise StoreError(
+            f"no {kind or 'any'}-kind runs with datasets for month "
+            f"{month!r} in {store.layout.root}"
+        )
+    pooled: Optional[Dataset] = None
+    # Oldest first, so pooling order is stable under re-ingestion.
+    for run in sorted(runs, key=lambda r: (r.created_unix_s, r.run_id)):
+        dataset = store.load_dataset(run.run_id)
+        pooled = dataset if pooled is None else pooled.concat(dataset)
+    return pooled
+
+
+def compare_months(
+    store: RunStore,
+    months: Sequence[str],
+    tech: str = "4G",
+    min_group_tests: int = 40,
+    kind: Optional[str] = "campaign",
+) -> Dict:
+    """The Aug→Nov decline analysis over the store's own runs.
+
+    Returns a dict with per-month pooled means for ``tech``, the
+    overall decline fraction (positive = bandwidth fell), and — when
+    at least one matched (ISP, city tier) group reaches
+    ``min_group_tests`` in both months — the matched-group summary
+    from :func:`repro.analysis.longitudinal.decline_summary`.
+    """
+    if len(months) != 2:
+        raise StoreError(
+            f"compare needs exactly two months, got {list(months)}"
+        )
+    before_month, after_month = months
+    before = monthly_dataset(store, before_month, kind=kind)
+    after = monthly_dataset(store, after_month, kind=kind)
+    before_tech = before.where(tech=tech)
+    after_tech = after.where(tech=tech)
+    if len(before_tech) == 0 or len(after_tech) == 0:
+        raise StoreError(
+            f"both months need {tech} rows "
+            f"({before_month}: {len(before_tech)}, "
+            f"{after_month}: {len(after_tech)})"
+        )
+    mean_before = before_tech.mean_bandwidth()
+    mean_after = after_tech.mean_bandwidth()
+    result: Dict = {
+        "months": [before_month, after_month],
+        "tech": tech,
+        "n_before": len(before_tech),
+        "n_after": len(after_tech),
+        "mean_before_mbps": mean_before,
+        "mean_after_mbps": mean_after,
+        "decline": 1.0 - mean_after / mean_before,
+        "groups": None,
+    }
+    try:
+        declines = matched_group_declines(
+            before, after, tech=tech, min_tests=min_group_tests
+        )
+    except ValueError:
+        return result  # no matched group large enough: means only
+    result["groups"] = decline_summary(declines)
+    return result

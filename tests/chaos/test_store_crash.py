@@ -1,0 +1,223 @@
+"""Chaos: SIGKILL at every store commit-protocol boundary.
+
+The acceptance property of the run store: a ``kill -9`` at *any*
+instant of an ingest — each named protocol boundary, plus torn
+journal/payload writes of randomized lengths — leaves the store in a
+state where
+
+* a prior committed run is never lost and its dataset payload stays
+  byte-identical,
+* ``fsck --repair`` restores full consistency (exit state
+  clean-or-repaired, never an unhandled traceback),
+* the interrupted ingest either committed entirely or left nothing a
+  query can see.
+
+Each scenario runs the ingest in a subprocess with
+``REPRO_STORE_CRASH_POINT`` set, asserts the child actually died by
+SIGKILL, then repairs and re-verifies the store in-process.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.dataset.generator import CampaignConfig, generate_campaign
+from repro.store import CRASH_POINTS, RunStore, fsck
+
+pytestmark = pytest.mark.chaos
+
+#: Crash points whose interrupted ingest can never have committed.
+_PRE_COMMIT = (
+    "store.before_payload",
+    "store.mid_payload_write",
+    "store.after_payload_tmp",
+    "store.after_payload_rename",
+    "store.mid_journal_write",
+)
+
+_INGEST_SCRIPT = """
+import sys
+from repro.dataset.generator import CampaignConfig, generate_campaign
+from repro.store import RunStore
+
+root = sys.argv[1]
+dataset = generate_campaign(CampaignConfig(n_tests=40, seed=23))
+manifest = {
+    "kind": "campaign", "seed": 23, "created_unix_s": 1660000000.0,
+    "run": {"n_rows": 40, "n_measured": 40},
+}
+with RunStore.open(root) as store:
+    run_id = store.ingest_run(manifest, dataset, month="nov")
+print(run_id)
+"""
+
+
+@pytest.fixture(scope="module")
+def survivor_dataset():
+    return generate_campaign(CampaignConfig(n_tests=40, seed=7))
+
+
+def seed_store(tmp_path, survivor_dataset):
+    """A store with one committed run whose bytes we must never lose."""
+    root = tmp_path / "store"
+    manifest = {
+        "kind": "campaign", "seed": 7, "created_unix_s": 1659000000.0,
+        "run": {"n_rows": 40, "n_measured": 40},
+    }
+    with RunStore.open(root) as store:
+        survivor = store.ingest_run(manifest, survivor_dataset, month="aug")
+    payload = root / "payloads" / survivor / "dataset.npz"
+    return root, survivor, payload.read_bytes()
+
+
+def crash_ingest(root, crash_point, crash_bytes=None):
+    """Run the ingest subprocess; assert it died by SIGKILL."""
+    env = dict(os.environ)
+    env["REPRO_STORE_CRASH_POINT"] = crash_point
+    if crash_bytes is not None:
+        env["REPRO_STORE_CRASH_BYTES"] = str(crash_bytes)
+    env["PYTHONPATH"] = os.pathsep.join(sys.path)
+    proc = subprocess.run(
+        [sys.executable, "-c", _INGEST_SCRIPT, str(root)],
+        env=env, capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == -signal.SIGKILL, (
+        f"expected SIGKILL at {crash_point}, got rc={proc.returncode}, "
+        f"stderr:\n{proc.stderr}"
+    )
+
+
+def clean_ingest(root):
+    env = dict(os.environ)
+    env.pop("REPRO_STORE_CRASH_POINT", None)
+    env.pop("REPRO_STORE_CRASH_BYTES", None)
+    env["PYTHONPATH"] = os.pathsep.join(sys.path)
+    proc = subprocess.run(
+        [sys.executable, "-c", _INGEST_SCRIPT, str(root)],
+        env=env, capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout.strip()
+
+
+def assert_survivor_intact(root, survivor, survivor_bytes):
+    with RunStore.open(root) as store:
+        assert survivor in [r.run_id for r in store.list_runs()]
+        store.load_dataset(survivor)  # checksum-verified load
+    payload = root / "payloads" / survivor / "dataset.npz"
+    assert payload.read_bytes() == survivor_bytes
+
+
+@pytest.mark.parametrize("crash_point", CRASH_POINTS)
+def test_sigkill_at_every_protocol_boundary(tmp_path, survivor_dataset,
+                                            crash_point):
+    root, survivor, survivor_bytes = seed_store(tmp_path, survivor_dataset)
+
+    crash_ingest(root, crash_point)
+
+    # fsck must repair without raising, and the store must then verify
+    # clean end to end.
+    repair = fsck(root, repair=True)
+    assert repair.consistent
+    post = fsck(root)
+    assert post.clean, [f.to_dict() for f in post.findings]
+
+    # The committed run survived, byte-identical.
+    assert_survivor_intact(root, survivor, survivor_bytes)
+
+    # All-or-nothing: either the crash hit after the commit point and
+    # the new run is fully queryable, or no query can see it.
+    with RunStore.open(root) as store:
+        runs = [r.run_id for r in store.list_runs()]
+        if crash_point in _PRE_COMMIT:
+            assert runs == [survivor]
+        else:
+            assert len(runs) == 2
+            new_run = next(r for r in runs if r != survivor)
+            assert len(store.load_dataset(new_run)) == 40
+
+    # The crashed caller retrying lands idempotently on a clean store.
+    rerun_id = clean_ingest(root)
+    assert fsck(root).clean
+    with RunStore.open(root) as store:
+        assert sorted([r.run_id for r in store.list_runs()]) == \
+            sorted([survivor, rerun_id])
+
+
+@pytest.mark.parametrize("crash_bytes", [1, 3, 9, 17, 42, 101, 227])
+def test_torn_journal_write_at_random_offsets(tmp_path, survivor_dataset,
+                                              crash_bytes):
+    """Torn journal tails of arbitrary length are uncommitted debris:
+    truncated by recovery, never corruption, never data loss."""
+    root, survivor, survivor_bytes = seed_store(tmp_path, survivor_dataset)
+
+    crash_ingest(root, "store.mid_journal_write", crash_bytes=crash_bytes)
+
+    report = fsck(root, repair=True)
+    assert report.consistent
+    # A torn tail plus the orphaned (uncommitted) payload directory.
+    kinds = report.by_kind()
+    assert set(kinds) <= {"torn_journal_tail", "orphan_payload"}
+    assert fsck(root).clean
+    assert_survivor_intact(root, survivor, survivor_bytes)
+    with RunStore.open(root) as store:
+        assert [r.run_id for r in store.list_runs()] == [survivor]
+
+
+@pytest.mark.parametrize("crash_bytes", [1, 128, 4096])
+def test_torn_payload_write_at_random_offsets(tmp_path, survivor_dataset,
+                                              crash_bytes):
+    """A payload file torn mid-write dies in the .ingest tmp dir —
+    swept as debris, invisible to the catalog."""
+    root, survivor, survivor_bytes = seed_store(tmp_path, survivor_dataset)
+
+    crash_ingest(root, "store.mid_payload_write", crash_bytes=crash_bytes)
+
+    report = fsck(root, repair=True)
+    assert report.consistent
+    assert set(report.by_kind()) <= {"stale_ingest_tmp"}
+    assert fsck(root).clean
+    assert_survivor_intact(root, survivor, survivor_bytes)
+
+
+def test_reopen_without_fsck_heals_the_common_cases(tmp_path,
+                                                    survivor_dataset):
+    """Plain RunStore.open after a post-commit crash replays the
+    index row — no explicit fsck needed for the happy recovery path."""
+    root, survivor, _ = seed_store(tmp_path, survivor_dataset)
+    crash_ingest(root, "store.after_journal_append")
+    with RunStore.open(root) as store:
+        runs = store.list_runs()
+        assert len(runs) == 2  # recover() replayed the committed run
+        for run in runs:
+            if run.has_dataset:
+                store.load_dataset(run.run_id)
+
+
+def test_crash_mid_fsck_quarantine_is_redriven(tmp_path, survivor_dataset):
+    """Killing fsck itself mid-quarantine must not strand the entry:
+    the decision is journaled first, so the next pass finishes it."""
+    root, survivor, survivor_bytes = seed_store(tmp_path, survivor_dataset)
+    victim = clean_ingest(root)
+    # Corrupt the new run's payload.
+    payload = root / "payloads" / victim / "dataset.npz"
+    raw = bytearray(payload.read_bytes())
+    raw[33] ^= 0xFF
+    payload.write_bytes(bytes(raw))
+    # Simulate the crash window: quarantine journaled, nothing else.
+    from repro.store.journal import Journal
+
+    Journal(root / "journal.wal").append(
+        "quarantine", run_id=victim,
+        reasons=[{"kind": "checksum_mismatch"}],
+    )
+    report = fsck(root, repair=True)
+    assert report.consistent
+    assert (root / "quarantine" / victim).exists()
+    assert fsck(root).clean
+    assert_survivor_intact(root, survivor, survivor_bytes)

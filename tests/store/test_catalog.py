@@ -1,0 +1,207 @@
+"""The catalog: ingest, query, idempotency, light recovery."""
+
+import json
+
+import pytest
+
+from repro.dataset.generator import CampaignConfig, generate_campaign
+from repro.store import (
+    CorruptPayloadError,
+    RunNotFoundError,
+    RunStore,
+    StoreError,
+    month_of,
+)
+from repro.store.catalog import sha256_bytes
+
+
+def make_manifest(seed=1, kind="campaign", n_rows=10, n_measured=9,
+                  outcomes=None, created=1660000000.0):
+    return {
+        "manifest_version": 1,
+        "kind": kind,
+        "seed": seed,
+        "created_unix_s": created,
+        "config": {"test": "bts-app"},
+        "run": {"n_rows": n_rows, "n_measured": n_measured},
+        "outcomes": outcomes or {"converged": n_measured},
+    }
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_campaign(CampaignConfig(n_tests=50, seed=5))
+
+
+@pytest.fixture
+def store(tmp_path):
+    with RunStore.open(tmp_path / "store") as s:
+        yield s
+
+
+def test_ingest_and_get(store, dataset):
+    run_id = store.ingest_run(make_manifest(), dataset, month="aug")
+    run = store.get_run(run_id)
+    assert run.kind == "campaign"
+    assert run.month == "aug"
+    assert run.seed == 1
+    assert run.n_rows == 10
+    assert run.n_measured == 9
+    assert run.has_dataset
+    assert set(run.files) == {"manifest.json", "dataset.npz"}
+
+
+def test_run_id_is_content_addressed_and_idempotent(store, dataset):
+    a = store.ingest_run(make_manifest(), dataset, month="aug")
+    b = store.ingest_run(make_manifest(), dataset, month="aug")
+    assert a == b
+    assert len(store.list_runs()) == 1
+    # Different content gets a different id.
+    c = store.ingest_run(make_manifest(seed=2), dataset, month="aug")
+    assert c != a
+    assert len(store.list_runs()) == 2
+
+
+def test_manifest_only_ingest(store):
+    run_id = store.ingest_run(make_manifest(kind="fleet-day"))
+    run = store.get_run(run_id)
+    assert not run.has_dataset
+    assert set(run.files) == {"manifest.json"}
+    with pytest.raises(StoreError):
+        store.load_dataset(run_id)
+
+
+def test_month_defaults_to_manifest_creation_month(store):
+    created = 1660000000.0  # 2022-08-08 UTC
+    run_id = store.ingest_run(make_manifest(created=created))
+    assert month_of(created) == "aug"
+    assert store.get_run(run_id).month == "aug"
+
+
+def test_bad_month_rejected(store):
+    with pytest.raises(StoreError):
+        store.ingest_run(make_manifest(), month="august")
+
+
+def test_load_manifest_roundtrip(store):
+    manifest = make_manifest(outcomes={"converged": 7, "timeout": 2})
+    run_id = store.ingest_run(manifest)
+    assert store.load_manifest(run_id) == manifest
+
+
+def test_load_dataset_is_byte_identical(store, dataset, tmp_path):
+    run_id = store.ingest_run(make_manifest(), dataset)
+    loaded = store.load_dataset(run_id)
+    a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+    dataset.to_npz(a)
+    loaded.to_npz(b)
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_list_runs_filters_and_orders(store, dataset):
+    store.ingest_run(make_manifest(seed=1, created=100.0), month="aug")
+    store.ingest_run(make_manifest(seed=2, created=200.0), month="nov")
+    store.ingest_run(
+        make_manifest(seed=3, kind="fleet-day", created=300.0), month="nov"
+    )
+    assert [r.seed for r in store.list_runs()] == [3, 2, 1]  # newest first
+    assert [r.seed for r in store.list_runs(month="nov")] == [3, 2]
+    assert [r.seed for r in store.list_runs(kind="campaign")] == [2, 1]
+    assert [r.seed for r in store.list_runs(kind="campaign", month="aug")] \
+        == [1]
+
+
+def test_get_run_by_prefix(store):
+    run_id = store.ingest_run(make_manifest())
+    assert store.get_run(run_id[:4]).run_id == run_id
+    with pytest.raises(RunNotFoundError):
+        store.get_run("nope")
+
+
+def test_get_run_ambiguous_prefix(store):
+    ids = [
+        store.ingest_run(make_manifest(seed=seed)) for seed in range(40)
+    ]
+    # Find two ids sharing a first hex char (40 ids over 16 chars must).
+    by_first = {}
+    clash = None
+    for run_id in ids:
+        if run_id[0] in by_first:
+            clash = run_id[0]
+            break
+        by_first[run_id[0]] = run_id
+    assert clash is not None
+    with pytest.raises(RunNotFoundError, match="ambiguous"):
+        store.get_run(clash)
+
+
+def test_corrupt_payload_raises_typed_error(store, dataset, tmp_path):
+    run_id = store.ingest_run(make_manifest(), dataset)
+    payload = store.layout.payload_dir(run_id) / "dataset.npz"
+    raw = bytearray(payload.read_bytes())
+    raw[50] ^= 0xFF
+    payload.write_bytes(bytes(raw))
+    with pytest.raises(CorruptPayloadError, match="fsck"):
+        store.load_dataset(run_id)
+    # The manifest payload is untouched and still loads.
+    assert store.load_manifest(run_id)["kind"] == "campaign"
+
+
+def test_missing_payload_raises_typed_error(store, dataset):
+    run_id = store.ingest_run(make_manifest(), dataset)
+    (store.layout.payload_dir(run_id) / "dataset.npz").unlink()
+    with pytest.raises(CorruptPayloadError, match="missing"):
+        store.load_dataset(run_id)
+
+
+def test_index_is_disposable(tmp_path, dataset):
+    root = tmp_path / "store"
+    with RunStore.open(root) as store:
+        run_id = store.ingest_run(make_manifest(), dataset, month="aug")
+    (root / "catalog.sqlite").unlink()
+    with RunStore.open(root) as store:  # open() replays the journal
+        run = store.get_run(run_id)
+        assert run.month == "aug"
+        assert len(store.load_dataset(run_id)) == len(dataset)
+
+
+def test_recover_reports_replayed_rows(tmp_path, dataset):
+    root = tmp_path / "store"
+    with RunStore.open(root) as store:
+        store.ingest_run(make_manifest(), dataset)
+    (root / "catalog.sqlite").unlink()
+    store = RunStore(root, recover=False)
+    try:
+        stats = store.recover()
+        assert stats["replayed"] == 1
+        assert stats["torn_tail_bytes"] == 0
+    finally:
+        store.close()
+
+
+def test_diff_runs(store, dataset):
+    a = store.ingest_run(
+        make_manifest(seed=1, n_measured=9,
+                      outcomes={"converged": 8, "timeout": 1}),
+        dataset, month="aug",
+    )
+    b = store.ingest_run(
+        make_manifest(seed=2, n_measured=10, outcomes={"converged": 10}),
+        month="nov",
+    )
+    diff = store.diff_runs(a[:6], b[:6])
+    assert diff["seed"] == {"a": 1, "b": 2}
+    assert diff["month"] == {"a": "aug", "b": "nov"}
+    assert diff["n_measured"] == {"a": 9, "b": 10}
+    assert diff["outcomes.timeout"] == {"a": 1, "b": 0}
+    assert "kind" not in diff
+    assert store.diff_runs(a, a) == {}
+
+
+def test_stored_manifest_bytes_match_checksum(store):
+    """The on-disk manifest is the exact bytes the checksum covers."""
+    run_id = store.ingest_run(make_manifest())
+    run = store.get_run(run_id)
+    raw = (store.layout.payload_dir(run_id) / "manifest.json").read_bytes()
+    assert sha256_bytes(raw) == run.files["manifest.json"]["sha256"]
+    assert json.loads(raw) == make_manifest()

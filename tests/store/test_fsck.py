@@ -1,0 +1,252 @@
+"""fsck: detection without repair, repair without loss."""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.dataset.generator import CampaignConfig, generate_campaign
+from repro.store import RunNotFoundError, RunStore, fsck
+from repro.store.catalog import INGEST_TMP_PREFIX
+
+
+def make_manifest(seed=1, kind="campaign", created=1660000000.0):
+    return {
+        "kind": kind,
+        "seed": seed,
+        "created_unix_s": created,
+        "run": {"n_rows": 5, "n_measured": 5},
+        "outcomes": {"converged": 5},
+    }
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_campaign(CampaignConfig(n_tests=30, seed=9))
+
+
+@pytest.fixture
+def root(tmp_path, dataset):
+    """A store holding two committed runs."""
+    store_root = tmp_path / "store"
+    with RunStore.open(store_root) as store:
+        store.ingest_run(make_manifest(seed=1), dataset, month="aug")
+        store.ingest_run(make_manifest(seed=2), month="nov")
+    return store_root
+
+
+def run_ids(root):
+    with RunStore.open(root) as store:
+        return [r.run_id for r in store.list_runs()]
+
+
+def test_clean_store(root):
+    report = fsck(root)
+    assert report.clean
+    assert report.consistent
+    assert report.checked_runs == 2
+    assert report.verified_files == 3  # two manifests + one dataset
+
+
+def test_check_mode_never_mutates(root, dataset):
+    victim = run_ids(root)[0]
+    payload = root / "payloads" / victim / "manifest.json"
+    original = payload.read_bytes()
+    payload.write_bytes(original[:-4] + b"junk")
+    before = sorted(p.name for p in (root / "payloads").iterdir())
+    report = fsck(root, repair=False)
+    assert not report.clean
+    assert not report.consistent
+    assert all(f.action == "detected" for f in report.findings)
+    assert sorted(p.name for p in (root / "payloads").iterdir()) == before
+    assert payload.read_bytes() == original[:-4] + b"junk"
+
+
+def test_checksum_mismatch_quarantines_entry(root, dataset):
+    victim = [
+        r for r in run_ids(root)
+        if (root / "payloads" / r / "dataset.npz").exists()
+    ][0]
+    payload = root / "payloads" / victim / "dataset.npz"
+    raw = bytearray(payload.read_bytes())
+    raw[64] ^= 0x01  # single flipped bit
+    payload.write_bytes(bytes(raw))
+
+    report = fsck(root, repair=True)
+    assert report.by_kind() == {"checksum_mismatch": 1}
+    assert report.consistent
+
+    # Entry moved wholesale, with a typed report beside it.
+    assert not (root / "payloads" / victim).exists()
+    assert (root / "quarantine" / victim / "dataset.npz").exists()
+    quarantine_report = json.loads(
+        (root / "quarantine" / f"{victim}.report.json").read_text()
+    )
+    assert quarantine_report["run_id"] == victim
+    assert quarantine_report["findings"][0]["kind"] == "checksum_mismatch"
+
+    # Invisible to queries; the healthy run survives; store is clean.
+    with RunStore.open(root) as store:
+        assert victim not in [r.run_id for r in store.list_runs()]
+        with pytest.raises(RunNotFoundError):
+            store.get_run(victim)
+        assert len(store.list_runs()) == 1
+    assert fsck(root).clean
+
+
+def test_missing_payload_file_quarantines(root):
+    victim = [
+        r for r in run_ids(root)
+        if (root / "payloads" / r / "dataset.npz").exists()
+    ][0]
+    (root / "payloads" / victim / "dataset.npz").unlink()
+    report = fsck(root, repair=True)
+    assert report.by_kind() == {"missing_payload": 1}
+    assert (root / "quarantine" / victim).exists()
+    assert fsck(root).clean
+
+
+def test_orphan_payload_swept(root):
+    orphan = root / "payloads" / "feedfacecafe"
+    orphan.mkdir()
+    (orphan / "manifest.json").write_text("{}")
+    report = fsck(root, repair=True)
+    assert report.by_kind() == {"orphan_payload": 1}
+    assert not orphan.exists()
+    assert (root / "quarantine" / "feedfacecafe").exists()
+    assert len(run_ids(root)) == 2  # committed runs untouched
+    assert fsck(root).clean
+
+
+def test_stale_ingest_tmp_removed(root):
+    debris = root / "payloads" / f"{INGEST_TMP_PREFIX}deadbeef0123"
+    debris.mkdir()
+    (debris / "manifest.json").write_text("{")
+    report = fsck(root, repair=True)
+    assert report.by_kind() == {"stale_ingest_tmp": 1}
+    assert not debris.exists()
+    assert not (root / "quarantine" / "deadbeef0123").exists()  # removed, not kept
+    assert fsck(root).clean
+
+
+def test_torn_journal_tail_truncated(root):
+    journal = root / "journal.wal"
+    good = journal.read_bytes()
+    journal.write_bytes(good + b'01234567 {"op":"commit","half')
+    report = fsck(root, repair=True)
+    assert report.by_kind() == {"torn_journal_tail": 1}
+    assert journal.read_bytes() == good
+    assert fsck(root).clean
+
+
+def test_missing_index_row_replayed(root):
+    victim = run_ids(root)[0]
+    db = sqlite3.connect(str(root / "catalog.sqlite"))
+    db.execute("DELETE FROM runs WHERE run_id = ?", (victim,))
+    db.commit()
+    db.close()
+    report = fsck(root, repair=True)
+    assert report.by_kind() == {"missing_index_row": 1}
+    assert victim in run_ids(root)
+    assert fsck(root).clean
+
+
+def test_deleted_index_rebuilt_from_journal(root):
+    (root / "catalog.sqlite").unlink()
+    report = fsck(root, repair=True)
+    assert report.by_kind() == {"missing_index_row": 2}
+    assert len(run_ids(root)) == 2
+    assert fsck(root).clean
+
+
+def test_index_drift_with_intact_payload_recommits(root):
+    """An index row that lost its journal backing but whose payload
+    parses is re-journaled, not destroyed."""
+    victim = run_ids(root)[0]
+    journal = root / "journal.wal"
+    lines = journal.read_bytes().splitlines(keepends=True)
+    kept = [line for line in lines if victim.encode() not in line]
+    assert len(kept) < len(lines)
+    journal.write_bytes(b"".join(kept))
+
+    report = fsck(root, repair=True)
+    assert report.by_kind() == {"index_drift": 1}
+    assert report.findings[0].action == "recommitted"
+    assert victim in run_ids(root)
+    assert fsck(root).clean
+    # The fresh commit record is marked as post-hoc provenance.
+    assert b'"recommitted":true' in journal.read_bytes()
+
+
+def test_index_drift_with_broken_payload_quarantines(root):
+    victim = run_ids(root)[0]
+    journal = root / "journal.wal"
+    lines = journal.read_bytes().splitlines(keepends=True)
+    journal.write_bytes(b"".join(
+        line for line in lines if victim.encode() not in line
+    ))
+    (root / "payloads" / victim / "manifest.json").write_text("{nope")
+
+    report = fsck(root, repair=True)
+    assert report.by_kind() == {"index_drift": 1}
+    assert report.findings[0].action == "quarantined"
+    assert (root / "quarantine" / victim).exists()
+    assert victim not in run_ids(root)
+    assert fsck(root).clean
+
+
+def test_quarantine_interrupted_before_index_delete_is_redriven(root):
+    """A quarantine journaled but killed before the index delete is
+    completed by the next fsck — never resurrected as drift."""
+    from repro.store.journal import Journal
+
+    victim = run_ids(root)[0]
+    Journal(root / "journal.wal").append(
+        "quarantine", run_id=victim, reasons=[]
+    )
+    report = fsck(root, repair=True)
+    assert report.by_kind() == {"index_drift": 1}
+    assert report.findings[0].action == "quarantined"
+    assert "interrupted" in report.findings[0].detail
+    assert (root / "quarantine" / victim).exists()
+    assert victim not in run_ids(root)
+    assert fsck(root).clean
+
+
+def test_quarantine_interrupted_before_payload_move_is_redriven(root):
+    """A quarantine journaled and index-deleted, but killed before the
+    payload move, leaves a payload dir fsck must finish evicting."""
+    from repro.store.journal import Journal
+
+    victim = run_ids(root)[0]
+    Journal(root / "journal.wal").append(
+        "quarantine", run_id=victim, reasons=[]
+    )
+    db = sqlite3.connect(str(root / "catalog.sqlite"))
+    db.execute("DELETE FROM runs WHERE run_id = ?", (victim,))
+    db.commit()
+    db.close()
+    report = fsck(root, repair=True)
+    assert report.by_kind() == {"orphan_payload": 1}
+    assert "interrupted mid-move" in report.findings[0].detail
+    assert (root / "quarantine" / victim).exists()
+    assert not (root / "payloads" / victim).exists()
+    assert fsck(root).clean
+
+
+def test_journal_body_corruption_is_reported_not_hidden(root):
+    journal = root / "journal.wal"
+    lines = journal.read_bytes().splitlines(keepends=True)
+    lines[0] = b"00000000 " + lines[0][9:]
+    journal.write_bytes(b"".join(lines))
+    report = fsck(root)
+    assert "journal_corruption" in report.by_kind()
+    assert not report.consistent  # body damage is never auto-repaired
+
+
+def test_report_to_dict_is_json_serializable(root):
+    (root / "payloads" / run_ids(root)[0] / "manifest.json").write_bytes(b"x")
+    report = fsck(root)
+    payload = json.loads(json.dumps(report.to_dict()))
+    assert payload["clean"] is False
+    assert payload["findings"][0]["kind"] == "checksum_mismatch"

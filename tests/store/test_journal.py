@@ -1,0 +1,112 @@
+"""The WAL journal: framing, scan classification, torn-tail repair."""
+
+import pytest
+
+from repro.store.errors import JournalError
+from repro.store.journal import Journal, JournalRecord
+
+
+@pytest.fixture
+def journal(tmp_path):
+    return Journal(tmp_path / "journal.wal")
+
+
+def test_append_scan_roundtrip(journal):
+    journal.append("commit", run_id="abc", kind="campaign", n_rows=5)
+    journal.append("commit", run_id="def", kind="fleet-day", n_rows=None)
+    scan = journal.scan()
+    assert scan.torn_tail_at is None
+    assert scan.corrupt_lines == []
+    assert [r.run_id for r in scan.records] == ["abc", "def"]
+    assert scan.records[0].fields["n_rows"] == 5
+    assert scan.records[1].fields["n_rows"] is None
+
+
+def test_lsns_are_sequential_line_numbers(journal):
+    for i in range(3):
+        journal.append("commit", run_id=f"r{i}")
+    assert [r.lsn for r in journal.scan().records] == [1, 2, 3]
+
+
+def test_scan_of_missing_journal_is_empty(tmp_path):
+    scan = Journal(tmp_path / "absent.wal").scan()
+    assert scan.records == []
+    assert scan.torn_tail_at is None
+
+
+def test_committed_maps_run_id_to_latest_commit(journal):
+    journal.append("commit", run_id="abc", n_rows=1)
+    journal.append("commit", run_id="def", n_rows=2)
+    committed = journal.scan().committed()
+    assert set(committed) == {"abc", "def"}
+    assert isinstance(committed["abc"], JournalRecord)
+
+
+def test_quarantine_after_commit_removes_from_committed(journal):
+    journal.append("commit", run_id="abc")
+    journal.append("quarantine", run_id="abc", reason="checksum_mismatch")
+    assert "abc" not in journal.scan().committed()
+
+
+def test_recommit_after_quarantine_counts_again(journal):
+    journal.append("commit", run_id="abc")
+    journal.append("quarantine", run_id="abc", reason="x")
+    journal.append("commit", run_id="abc")
+    assert "abc" in journal.scan().committed()
+
+
+def test_torn_tail_is_classified_not_fatal(journal):
+    journal.append("commit", run_id="abc")
+    journal.append("commit", run_id="def")
+    data = journal.path.read_bytes()
+    first_line_end = data.find(b"\n") + 1
+    journal.path.write_bytes(data[:-7])  # rip bytes off the final record
+    scan = journal.scan()
+    assert [r.run_id for r in scan.records] == ["abc"]
+    assert scan.torn_tail_at == first_line_end  # byte offset of the tear
+    assert scan.torn_tail_bytes == len(data) - 7 - first_line_end
+    assert scan.corrupt_lines == []
+
+
+def test_truncate_torn_tail_restores_clean_journal(journal):
+    journal.append("commit", run_id="abc")
+    journal.append("commit", run_id="def")
+    good = journal.path.read_bytes()
+    journal.path.write_bytes(good + b'deadbeef {"half a rec')
+    scan = journal.scan()
+    assert scan.torn_tail_at is not None
+    dropped = journal.truncate_torn_tail(scan)
+    assert dropped > 0
+    assert journal.path.read_bytes() == good
+    rescan = journal.scan()
+    assert rescan.torn_tail_at is None
+    assert [r.run_id for r in rescan.records] == ["abc", "def"]
+
+
+def test_corrupt_body_line_is_not_a_torn_tail(journal):
+    journal.append("commit", run_id="abc")
+    journal.append("commit", run_id="def")
+    lines = journal.path.read_bytes().splitlines(keepends=True)
+    lines[0] = b"00000000 " + lines[0][9:]  # break the first record's crc
+    journal.path.write_bytes(b"".join(lines))
+    scan = journal.scan()
+    assert scan.torn_tail_at is None
+    assert [lsn for lsn, _ in scan.corrupt_lines] == [1]
+    assert [r.run_id for r in scan.records] == ["def"]
+
+
+def test_require_clean_body_raises_on_corruption(journal):
+    journal.append("commit", run_id="abc")
+    journal.append("commit", run_id="def")
+    lines = journal.path.read_bytes().splitlines(keepends=True)
+    lines[0] = b"00000000 " + lines[0][9:]
+    journal.path.write_bytes(b"".join(lines))
+    with pytest.raises(JournalError):
+        journal.require_clean_body(journal.scan())
+
+
+def test_append_after_reopen_continues_the_log(tmp_path):
+    path = tmp_path / "journal.wal"
+    Journal(path).append("commit", run_id="abc")
+    Journal(path).append("commit", run_id="def")
+    assert [r.run_id for r in Journal(path).scan().records] == ["abc", "def"]

@@ -1,0 +1,102 @@
+"""The paper's Aug->Nov decline analysis over the store's own runs."""
+
+import pytest
+
+from repro.dataset.generator import CampaignConfig, generate_campaign
+from repro.store import RunStore, StoreError, compare_months, monthly_dataset
+
+
+def make_manifest(seed, created=1660000000.0):
+    return {
+        "kind": "campaign",
+        "seed": seed,
+        "created_unix_s": created,
+        "run": {"n_rows": 100, "n_measured": 100},
+    }
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return {
+        seed: generate_campaign(CampaignConfig(n_tests=800, seed=seed))
+        for seed in (1, 2, 3)
+    }
+
+
+@pytest.fixture
+def store(tmp_path, datasets):
+    with RunStore.open(tmp_path / "store") as s:
+        s.ingest_run(make_manifest(1, created=100.0), datasets[1],
+                     month="aug")
+        s.ingest_run(make_manifest(2, created=200.0), datasets[2],
+                     month="aug")
+        s.ingest_run(make_manifest(3), datasets[3], month="nov")
+        s.ingest_run({"kind": "fleet-day", "seed": 9,
+                      "created_unix_s": 300.0}, month="aug")
+        yield s
+
+
+def test_monthly_dataset_pools_all_runs(store, datasets):
+    pooled = monthly_dataset(store, "aug")
+    assert len(pooled) == len(datasets[1]) + len(datasets[2])
+    # Oldest-first pooling: run 1 (created 100.0) leads.
+    assert pooled.bandwidth[0] == datasets[1].bandwidth[0]
+    assert pooled.bandwidth[-1] == datasets[2].bandwidth[-1]
+
+
+def test_monthly_dataset_skips_datasetless_runs(store):
+    # The fleet-day run (no dataset payload) must not break pooling.
+    assert monthly_dataset(store, "aug", kind=None) is not None
+
+
+def test_monthly_dataset_empty_month_raises(store):
+    with pytest.raises(StoreError, match="no campaign"):
+        monthly_dataset(store, "feb")
+
+
+def test_monthly_dataset_bad_month_raises(store):
+    with pytest.raises(StoreError, match="month"):
+        monthly_dataset(store, "August")
+
+
+def test_compare_months_shape(store, datasets):
+    result = compare_months(store, ["aug", "nov"], tech="4G",
+                            min_group_tests=5)
+    assert result["months"] == ["aug", "nov"]
+    assert result["tech"] == "4G"
+    pooled_aug = datasets[1].concat(datasets[2]).where(tech="4G")
+    assert result["n_before"] == len(pooled_aug)
+    assert result["n_after"] == len(datasets[3].where(tech="4G"))
+    assert result["mean_before_mbps"] == pytest.approx(
+        pooled_aug.mean_bandwidth()
+    )
+    expected_decline = 1.0 - (
+        result["mean_after_mbps"] / result["mean_before_mbps"]
+    )
+    assert result["decline"] == pytest.approx(expected_decline)
+
+
+def test_compare_months_matched_groups_when_samples_suffice(store):
+    result = compare_months(store, ["aug", "nov"], tech="4G",
+                            min_group_tests=2)
+    groups = result["groups"]
+    assert groups is not None
+    assert groups["n_groups"] >= 1
+    assert 0.0 <= groups["declining_share"] <= 1.0
+
+
+def test_compare_months_falls_back_to_means_only(store):
+    result = compare_months(store, ["aug", "nov"], tech="4G",
+                            min_group_tests=10_000)
+    assert result["groups"] is None
+    assert result["n_before"] > 0
+
+
+def test_compare_months_needs_exactly_two(store):
+    with pytest.raises(StoreError, match="two months"):
+        compare_months(store, ["aug"])
+
+
+def test_compare_months_requires_tech_rows(store):
+    with pytest.raises(StoreError, match="need"):
+        compare_months(store, ["aug", "nov"], tech="2G")

@@ -340,3 +340,170 @@ def test_bench_fleet_command(tmp_path, capsys):
     assert summary["benchmark"] == "fleet-day"
     assert summary["all_byte_identical"] is True
     assert summary["accounting_balanced"] is True
+
+
+# -- run store -------------------------------------------------------------
+
+
+@pytest.fixture
+def stored_runs(campaign_csv, tmp_path, capsys):
+    """A store holding an aug and a nov campaign, via the CLI."""
+    store = tmp_path / "runs"
+    base = ["measure", campaign_csv, "--tests", "6", "--store", str(store)]
+    assert main(base + ["--seed", "1", "--store-month", "aug"]) == 0
+    assert main(base + ["--seed", "2", "--store-month", "nov"]) == 0
+    out = capsys.readouterr().out
+    ids = [line.split()[2] for line in out.splitlines()
+           if line.startswith("stored run ")]
+    assert len(ids) == 2
+    return store, ids
+
+
+def test_measure_store_flag_commits_run(stored_runs, capsys):
+    store, (run_aug, run_nov) = stored_runs
+    assert (store / "journal.wal").exists()
+    assert (store / "payloads" / run_aug / "dataset.npz").exists()
+
+
+def test_runs_ls(stored_runs, capsys):
+    store, ids = stored_runs
+    assert main(["runs", "ls", "--store", str(store)]) == 0
+    out = capsys.readouterr().out
+    for run_id in ids:
+        assert run_id[:12] in out
+    capsys.readouterr()
+    assert main(["runs", "ls", "--store", str(store),
+                 "--month", "aug"]) == 0
+    out = capsys.readouterr().out
+    assert ids[0][:12] in out
+    assert ids[1][:12] not in out
+
+
+def test_runs_ls_missing_store(tmp_path, capsys):
+    code = main(["runs", "ls", "--store", str(tmp_path / "absent")])
+    assert code == 2
+    assert "no run store" in capsys.readouterr().err
+
+
+def test_runs_show(stored_runs, capsys):
+    store, (run_aug, _) = stored_runs
+    assert main(["runs", "show", run_aug[:6], "--store", str(store)]) == 0
+    out = capsys.readouterr().out
+    assert run_aug in out
+    assert "dataset.npz" in out
+    assert "sha256" in out
+
+
+def test_runs_show_unknown_id(stored_runs, capsys):
+    store, _ = stored_runs
+    code = main(["runs", "show", "zzzz", "--store", str(store)])
+    assert code == 2
+    assert "no run matches" in capsys.readouterr().err
+
+
+def test_runs_diff(stored_runs, capsys):
+    store, (run_aug, run_nov) = stored_runs
+    code = main(["runs", "diff", run_aug[:6], run_nov[:6],
+                 "--store", str(store)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "month" in out
+    assert "seed" in out
+    capsys.readouterr()
+    assert main(["runs", "diff", run_aug, run_aug,
+                 "--store", str(store)]) == 0
+    assert "identical" in capsys.readouterr().out
+
+
+def test_runs_compare(stored_runs, capsys):
+    store, _ = stored_runs
+    code = main(["runs", "compare", "--store", str(store),
+                 "--months", "aug,nov", "--tech", "WiFi5"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "aug -> nov" in out
+    assert "decline" in out
+
+
+def test_runs_compare_empty_month(stored_runs, capsys):
+    store, _ = stored_runs
+    code = main(["runs", "compare", "--store", str(store),
+                 "--months", "aug,feb"])
+    assert code == 2
+    assert "no campaign" in capsys.readouterr().err
+
+
+def test_store_fsck_exit_code_ladder(stored_runs, capsys):
+    """0 clean -> 2 damaged -> 1 repaired -> 0 clean again."""
+    store, (run_aug, _) = stored_runs
+    fsck_cmd = ["store", "fsck", "--store", str(store)]
+    assert main(fsck_cmd) == 0
+    assert "clean" in capsys.readouterr().out
+
+    payload = store / "payloads" / run_aug / "dataset.npz"
+    raw = bytearray(payload.read_bytes())
+    raw[40] ^= 0xFF
+    payload.write_bytes(bytes(raw))
+
+    assert main(fsck_cmd) == 2
+    captured = capsys.readouterr()
+    assert "checksum_mismatch" in captured.out
+    assert "--repair" in captured.err
+
+    assert main(fsck_cmd + ["--repair"]) == 1
+    assert "quarantined" in capsys.readouterr().out
+    assert (store / "quarantine" / run_aug).exists()
+
+    assert main(fsck_cmd) == 0
+
+
+def test_store_fsck_json_output(stored_runs, capsys):
+    import json
+
+    store, _ = stored_runs
+    assert main(["store", "fsck", "--store", str(store), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["clean"] is True
+    assert payload["checked_runs"] == 2
+
+
+def test_store_fsck_missing_store(tmp_path, capsys):
+    code = main(["store", "fsck", "--store", str(tmp_path / "absent")])
+    assert code == 2
+
+
+def test_measure_salvage_flow(campaign_csv, tmp_path, capsys):
+    """Corrupt checkpoint: --resume fails typed, --salvage recovers."""
+    ck = tmp_path / "run.ckpt"
+    base = ["measure", campaign_csv, "--tests", "5", "--seed", "4",
+            "--checkpoint", str(ck)]
+    assert main(base) == 0
+    capsys.readouterr()
+
+    raw = ck.read_bytes()
+    ck.write_bytes(raw[: len(raw) // 2])
+
+    assert main(base + ["--resume"]) == 1
+    assert "--salvage" in capsys.readouterr().err
+
+    assert main(base + ["--resume", "--salvage"]) == 0
+    assert "measured 5/5 rows" in capsys.readouterr().out
+
+
+def test_measure_salvage_requires_resume(campaign_csv, capsys):
+    code = main(["measure", campaign_csv, "--salvage"])
+    assert code == 2
+    assert "--salvage" in capsys.readouterr().err
+
+
+def test_fleet_day_store_flag(tmp_path, capsys):
+    store = tmp_path / "runs"
+    code = main(["fleet-day", "--users", "500", "--hours", "2",
+                 "--store", str(store), "--store-month", "nov"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "stored run " in out
+    capsys.readouterr()
+    assert main(["runs", "ls", "--store", str(store),
+                 "--kind", "fleet-day"]) == 0
+    assert "fleet-day" in capsys.readouterr().out

@@ -1,0 +1,46 @@
+"""Durable write primitives shared by checkpoints, manifests, store."""
+
+import json
+
+import pytest
+
+from repro.ioutil import atomic_write_bytes, atomic_write_json, fsync_rename
+
+
+def test_atomic_write_bytes_roundtrip(tmp_path):
+    path = tmp_path / "blob.bin"
+    atomic_write_bytes(path, b"\x00\x01payload")
+    assert path.read_bytes() == b"\x00\x01payload"
+
+
+def test_atomic_write_replaces_existing(tmp_path):
+    path = tmp_path / "blob.bin"
+    atomic_write_bytes(path, b"old")
+    atomic_write_bytes(path, b"new")
+    assert path.read_bytes() == b"new"
+
+
+def test_atomic_write_leaves_no_temp_files(tmp_path):
+    path = tmp_path / "blob.bin"
+    atomic_write_bytes(path, b"x")
+    assert [p.name for p in tmp_path.iterdir()] == ["blob.bin"]
+
+
+def test_atomic_write_json_options(tmp_path):
+    path = tmp_path / "doc.json"
+    atomic_write_json(path, {"b": 1, "a": 2}, indent=2, sort_keys=True,
+                      trailing_newline=True)
+    text = path.read_text()
+    assert text.endswith("\n")
+    assert text.index('"a"') < text.index('"b"')
+    assert json.loads(text) == {"b": 1, "a": 2}
+
+
+def test_fsync_rename_moves_atomically(tmp_path):
+    src = tmp_path / "src.txt"
+    dst = tmp_path / "dst.txt"
+    src.write_text("content")
+    dst.write_text("stale")
+    fsync_rename(src, dst)
+    assert not src.exists()
+    assert dst.read_text() == "content"
