@@ -1,0 +1,42 @@
+"""Session-bank performance: lockstep bank vs per-packet oracle.
+
+The acceptance benchmark of the batched executor: the bank must
+reproduce the per-packet Swiftest oracle byte for byte (verified, not
+assumed — including row-order and bank-size invariance) and clear a
+>= 10x rows/sec floor at CI's smoke size, >= 100x on the full sweep
+that produces ``BENCH_sessions.json`` (marked ``slow``).
+"""
+
+import json
+
+import pytest
+
+from repro.harness.bench import (
+    DEFAULT_SEED,
+    SESSIONS_DEFAULT_SIZES,
+    bench_sessions_case,
+    run_sessions_bench,
+)
+
+
+def test_perf_session_bank_smoke():
+    """Smallest size: byte-identical, invariant, and >= 10x."""
+    case = bench_sessions_case(SESSIONS_DEFAULT_SIZES[0], seed=DEFAULT_SEED)
+    assert case.byte_identical
+    assert case.order_invariant
+    assert case.bank_size_invariant
+    assert case.speedup >= 10.0
+    assert case.bank_rows_per_s >= 10.0 * case.oracle_rows_per_s
+
+
+@pytest.mark.slow
+def test_perf_full_sessions_bench(tmp_path):
+    """The full sweep behind BENCH_sessions.json."""
+    out = tmp_path / "BENCH_sessions.json"
+    summary = run_sessions_bench(out_path=out)
+    assert summary["all_byte_identical"]
+    assert summary["min_speedup"] >= 100.0
+    assert summary["peak_rss_mb"] > 0
+    on_disk = json.loads(out.read_text())
+    assert on_disk["sizes"] == list(SESSIONS_DEFAULT_SIZES)
+    assert len(on_disk["cases"]) == len(SESSIONS_DEFAULT_SIZES)

@@ -42,6 +42,7 @@ from repro.core import (
     select_gmm_bic,
 )
 from repro.dataset import CampaignConfig, Dataset, generate_campaign
+from repro.execmode import ExecutionMode
 from repro.netsim import (
     BlackoutSchedule,
     FaultInjector,
@@ -67,6 +68,7 @@ __all__ = [
     "BtsApp",
     "CampaignConfig",
     "Dataset",
+    "ExecutionMode",
     "FastBTS",
     "FastCom",
     "FaultInjector",

@@ -4,21 +4,25 @@ The subcommands cover the library's main workflows::
 
     repro campaign --year 2021 --tests 50000 --out campaign.csv
     repro generate --n-tests 1000000 --out campaign.npz [--chunk-size N]
-    repro bench-dataset --out BENCH_dataset.json
     repro analyze campaign.csv
     repro measure campaign.csv --tests 200 --out measured.csv \\
-        --checkpoint run.ckpt [--resume] [--shards 8] [--test NAME]
-    repro bench --out BENCH_campaign.json
+        --checkpoint run.ckpt [--resume] [--shards 8] [--test NAME] \\
+        [--mode oracle|vectorized|auto]
+    repro bench [campaign|dataset|fleet|sessions] \\
+        --out BENCH_<target>.json [--sizes N,N,...] [--seed N]
     repro speedtest --bandwidth 320 --tech 5G [--campaign campaign.csv]
     repro plan --tests-per-day 10000 [--campaign campaign.csv]
     repro fleet-day --users 100000 --hours 24 --seed 7 \\
         [--blackout Beijing:8:10] [--manifest fleet.manifest.json]
-    repro bench-fleet --out BENCH_fleet.json
     repro runs ls --store runs/ [--kind campaign] [--month aug]
     repro runs show RUN_ID --store runs/
     repro runs diff RUN_A RUN_B --store runs/
     repro runs compare --store runs/ --months aug,nov [--tech 4G]
     repro store fsck --store runs/ [--repair] [--json]
+
+(``repro bench-dataset`` and ``repro bench-fleet`` remain as hidden
+aliases of ``repro bench dataset`` / ``repro bench fleet`` for scripts
+written against earlier releases.)
 
 Everything runs against the simulator; no network access is needed.
 The module is also importable: each ``cmd_*`` function takes parsed
@@ -175,6 +179,7 @@ def cmd_measure(args: argparse.Namespace) -> int:
         manifest_path=args.manifest,
         store_path=args.store,
         store_month=args.store_month,
+        mode=args.mode,
     )
     try:
         report = run_campaign(
@@ -183,6 +188,11 @@ def cmd_measure(args: argparse.Namespace) -> int:
     except CorruptCheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except ValueError as exc:
+        # e.g. --mode vectorized with a test the session bank cannot
+        # batch (fault plans, non-loopback variants).
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if config.n_shards > 1:
         print(f"sharded across {config.n_shards} worker(s)")
     if report.resumed_rows:
@@ -319,19 +329,55 @@ def cmd_speedtest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_sizes(raw: Optional[str], default, flag: str = "--sizes"):
+    """Comma-separated ints, or ``default`` when the flag was omitted."""
+    if not raw:
+        return tuple(default)
+    try:
+        return tuple(int(s) for s in raw.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{flag} must be comma-separated integers, got {raw!r}"
+        )
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
+    """Benchmark one engine: ``repro bench [TARGET]``.
+
+    Targets: ``campaign`` (serial vs sharded supervisor, the default),
+    ``dataset`` (chunked generator vs per-row oracle), ``fleet``
+    (fleet-day determinism), ``sessions`` (batched session bank vs the
+    per-packet Swiftest oracle).  Each writes ``BENCH_<target>.json``
+    when ``--out`` is given and exits non-zero if any fast path
+    diverged from its oracle.
+    """
+    target = getattr(args, "target", "campaign")
+    if target == "dataset":
+        if args.sizes and not args.rows:
+            args.rows = args.sizes
+        if args.seed is None:
+            args.seed = 20220801
+        return cmd_bench_dataset(args)
+    if target == "fleet":
+        if args.seed is None:
+            args.seed = 7
+        return cmd_bench_fleet(args)
+    if target == "sessions":
+        return _cmd_bench_sessions(args)
+    return _cmd_bench_campaign(args)
+
+
+def _cmd_bench_campaign(args: argparse.Namespace) -> int:
     """Benchmark serial vs sharded campaign execution."""
     from repro.harness.bench import DEFAULT_SIZES, run_campaign_bench
 
     try:
-        sizes = (
-            tuple(int(s) for s in args.sizes.split(","))
-            if args.sizes else DEFAULT_SIZES
-        )
-    except ValueError:
-        print(f"error: --sizes must be comma-separated integers, "
-              f"got {args.sizes!r}", file=sys.stderr)
+        sizes = _parse_sizes(args.sizes, DEFAULT_SIZES)
+    except argparse.ArgumentTypeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.seed is None:
+        args.seed = 20220801
     summary = run_campaign_bench(
         sizes=sizes, n_shards=args.shards, seed=args.seed, out_path=args.out
     )
@@ -390,6 +436,54 @@ def cmd_bench_dataset(args: argparse.Namespace) -> int:
         print(f"wrote {args.out}")
     if not summary["all_byte_identical"]:
         print("error: vectorized output diverged from the oracle",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_bench_sessions(args: argparse.Namespace) -> int:
+    """Benchmark the batched session bank vs the per-packet oracle."""
+    from repro.harness.bench import (
+        SESSIONS_DEFAULT_ORACLE,
+        SESSIONS_DEFAULT_SIZES,
+        run_sessions_bench,
+    )
+
+    try:
+        sizes = _parse_sizes(args.sizes, SESSIONS_DEFAULT_SIZES)
+    except argparse.ArgumentTypeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    oracle_sessions = (
+        args.oracle_sessions
+        if args.oracle_sessions is not None
+        else SESSIONS_DEFAULT_ORACLE
+    )
+    seed = args.seed if args.seed is not None else 20220801
+    summary = run_sessions_bench(
+        sizes=sizes,
+        oracle_sessions=oracle_sessions,
+        seed=seed,
+        out_path=args.out,
+    )
+    print(f"session-bank bench (oracle sessions "
+          f"{summary['oracle_sessions']}, seed {summary['seed']})")
+    print(f"{'sessions':>8s} {'oracle r/s':>11s} {'bank r/s':>11s} "
+          f"{'speedup':>8s}  identical")
+    for case in summary["cases"]:
+        identical = (
+            case["byte_identical"]
+            and case["order_invariant"]
+            and case["bank_size_invariant"]
+        )
+        print(f"{case['n_sessions']:8d} {case['oracle_rows_per_s']:11.1f} "
+              f"{case['bank_rows_per_s']:11.1f} "
+              f"{case['speedup']:7.1f}x  {identical}")
+    print(f"peak RSS {summary['peak_rss_mb']:.1f} MiB")
+    if args.out:
+        print(f"wrote {args.out}")
+    if not summary["all_byte_identical"]:
+        print("error: session bank diverged from the per-packet oracle",
               file=sys.stderr)
         return 1
     return 0
@@ -759,7 +853,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="Mobile Access Bandwidth in Practice (SIGCOMM'22) "
                     "reproduction toolkit",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    # metavar hides deprecated alias spellings (bench-dataset,
+    # bench-fleet) from the usage line; parsers added without help=
+    # are likewise omitted from the command list below it.
+    sub = parser.add_subparsers(dest="command", required=True,
+                                metavar="COMMAND")
 
     p = sub.add_parser("campaign", help="generate a measurement campaign")
     p.add_argument("--year", type=int, default=2021, choices=(2020, 2021))
@@ -831,6 +929,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="month label the stored run is filed under "
                         "for 'repro runs compare' (default: current "
                         "month)")
+    p.add_argument("--mode", choices=("oracle", "vectorized", "auto"),
+                   default="auto",
+                   help="execution mode: 'vectorized' batches rows "
+                        "through the session bank (and errors if the "
+                        "test cannot be batched), 'oracle' forces the "
+                        "per-row reference engine, 'auto' (default) "
+                        "banks whenever it is safe — results are "
+                        "byte-identical either way")
     p.set_defaults(func=cmd_measure)
 
     p = sub.add_parser(
@@ -844,24 +950,47 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "bench",
-        help="benchmark serial vs sharded campaign execution and "
-             "write BENCH_campaign.json",
+        help="benchmark an engine against its oracle — campaign "
+             "(serial vs sharded), dataset (chunked vs per-row), "
+             "fleet (determinism), sessions (batched bank vs "
+             "per-packet) — and write BENCH_<target>.json",
     )
+    p.add_argument("target", nargs="?", default="campaign",
+                   choices=("campaign", "dataset", "fleet", "sessions"),
+                   help="engine to benchmark (default campaign)")
     p.add_argument("--sizes",
-                   help="comma-separated campaign sizes (default "
-                        "16,48,96)")
+                   help="comma-separated case sizes: campaign rows "
+                        "(default 16,48,96), dataset rows (default "
+                        "100000), or bank sessions (default "
+                        "64,512,4096)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="RNG seed (default 20220801; fleet: 7)")
+    p.add_argument("--out", "--output", dest="out",
+                   help="JSON output path (e.g. BENCH_campaign.json)")
     p.add_argument("--shards", type=int, default=8,
-                   help="shard count of the parallel configuration")
-    p.add_argument("--seed", type=int, default=20220801)
-    p.add_argument("--out", help="JSON output path "
-                                 "(e.g. BENCH_campaign.json)")
+                   help="campaign: shard count of the parallel "
+                        "configuration")
+    p.add_argument("--oracle-rows", type=int, default=5_000,
+                   help="dataset: rows the per-row oracle leg is "
+                        "timed on")
+    p.add_argument("--chunk-size", type=int, default=65_536,
+                   help="dataset: rows per streamed chunk")
+    p.add_argument("--oracle-sessions", type=int, default=None,
+                   help="sessions: sessions the per-packet oracle "
+                        "leg replays for byte-identity (default 8)")
+    p.add_argument("--rows", help=argparse.SUPPRESS)  # legacy --sizes
+    p.add_argument("--users", type=int, default=100_000,
+                   help="fleet: user population")
+    p.add_argument("--hours", type=int, default=24,
+                   help="fleet: virtual hours to simulate")
+    p.add_argument("--workers", type=int, default=2,
+                   help="fleet: worker count of the sharded "
+                        "determinism leg")
     p.set_defaults(func=cmd_bench)
 
-    p = sub.add_parser(
-        "bench-dataset",
-        help="benchmark the chunked dataset engine vs the per-row "
-             "oracle and write BENCH_dataset.json",
-    )
+    # Deprecated spelling of 'bench dataset' (kept working, hidden
+    # from --help).
+    p = sub.add_parser("bench-dataset")
     p.add_argument("--rows",
                    help="comma-separated campaign sizes (default 100000)")
     p.add_argument("--oracle-rows", type=int, default=5_000,
@@ -916,11 +1045,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="month label the stored run is filed under")
     p.set_defaults(func=cmd_fleet_day)
 
-    p = sub.add_parser(
-        "bench-fleet",
-        help="benchmark the fleet-day simulator and verify "
-             "deterministic outcomes (BENCH_fleet.json)",
-    )
+    # Deprecated spelling of 'bench fleet' (kept working, hidden from
+    # --help).
+    p = sub.add_parser("bench-fleet")
     p.add_argument("--users", type=int, default=100_000)
     p.add_argument("--hours", type=int, default=24)
     p.add_argument("--seed", type=int, default=7)

@@ -18,6 +18,13 @@ retransmission, servers that stop responding mid-test are detected and
 replaced from the remaining pool (failover), and every result carries
 a :class:`~repro.baselines.common.TestOutcome` so callers can tell a
 clean estimate from a best-effort one.
+
+This client simulates one session at a time.  Campaign-scale runs of
+the packet-loopback variant instead step thousands of fault-free
+sessions in lockstep through the columnar
+:class:`~repro.core.sessionbank.SessionBank`, which is byte-identical
+to the per-session engine by contract (see
+``repro/core/sessionbank.py``).
 """
 
 from __future__ import annotations

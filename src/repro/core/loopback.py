@@ -46,6 +46,7 @@ from repro.core.protocol import (
     decode,
 )
 from repro.core.server import SwiftestServer
+from repro.execmode import ExecutionMode, resolve_execution_mode
 from repro.netsim.engine import Simulator
 from repro.netsim.faults import Delivery, FaultInjector
 from repro.units import SAMPLE_INTERVAL_S
@@ -104,6 +105,7 @@ def run_loopback_session(
     control_timeout_s: float = 0.2,
     control_retries: int = 3,
     vectorized: Optional[bool] = None,
+    mode: Optional[ExecutionMode] = None,
 ) -> LoopbackResult:
     """Run one probing session at packet granularity.
 
@@ -123,28 +125,39 @@ def run_loopback_session(
         Retransmission budget for each control exchange; a control
         message that is never acked within the budget aborts the
         session setup (outcome ``FAILED``) or, mid-test, degrades it.
-    vectorized:
-        Fast path for the 50 ms interval loop: with no DATA-plane
-        faults every emitted packet survives the wire, so the per-
-        interval outcome reduces to closed-form counter arithmetic
+    mode:
+        :class:`~repro.execmode.ExecutionMode` for the 50 ms interval
+        loop.  ``oracle`` forces the historical per-packet loop;
+        ``vectorized`` demands the fast path and raises if DATA faults
+        make it unsound; ``auto`` (the default) takes the fast path
+        exactly when ``data_faults is None``.  The fast path reduces
+        each fault-free interval to closed-form counter arithmetic
         (``delivered = min(sent, policer budget)``) over
         :meth:`~repro.core.server.SwiftestServer.emit_count` — no
         packet objects, no pack/decode.  The counters, samples, rates
         and controller decisions are *bit-identical* to the per-packet
         loop; only ~40k object constructions and codec round-trips per
-        session disappear.  ``None`` (default) auto-enables the fast
-        path exactly when ``data_faults is None``; ``False`` forces the
-        historical per-packet loop; ``True`` demands the fast path and
-        raises if DATA faults make it unsound.
+        session disappear.
+    vectorized:
+        Deprecated boolean spelling of ``mode`` (``True`` →
+        ``vectorized``, ``False`` → ``oracle``, ``None`` → ``auto``);
+        emits a :class:`DeprecationWarning`.
     """
     if capacity_mbps <= 0:
         raise ValueError(f"capacity must be positive, got {capacity_mbps}")
-    if vectorized and data_faults is not None:
+    resolved = resolve_execution_mode(
+        mode, vectorized, owner="run_loopback_session"
+    )
+    if resolved is ExecutionMode.VECTORIZED and data_faults is not None:
         raise ValueError(
             "vectorized loopback cannot apply DATA-plane faults; "
-            "pass vectorized=False (or None) with data_faults"
+            "pass mode='oracle' (or 'auto') with data_faults"
         )
-    fast_path = data_faults is None if vectorized is None else vectorized
+    fast_path = (
+        data_faults is None
+        if resolved is ExecutionMode.AUTO
+        else resolved is ExecutionMode.VECTORIZED
+    )
     if control_timeout_s <= 0:
         raise ValueError(f"control timeout must be positive, got {control_timeout_s}")
     if control_retries < 0:

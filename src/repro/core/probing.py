@@ -50,6 +50,32 @@ ESCAPE_FACTOR = 1.25
 MAX_LOSS_DISCOUNT = 0.15
 
 
+def saturation_floor(
+    rate_mbps,
+    loss_fraction,
+    saturation_margin: float = SATURATION_MARGIN,
+    max_loss_discount: float = MAX_LOSS_DISCOUNT,
+):
+    """The loss-discounted saturation floor: a sample below
+    ``rate x (1 - margin) x (1 - min(loss, max_discount))`` counts as
+    saturated.
+
+    This is the single source of truth for the floor arithmetic —
+    :meth:`ProbingController.on_sample` evaluates it per session and
+    the :class:`~repro.core.sessionbank.SessionBank` evaluates it over
+    whole column arrays; NumPy broadcasting performs the identical
+    IEEE-754 operation sequence elementwise, which is what keeps the
+    two paths bit-equal.
+    """
+    if isinstance(loss_fraction, float):
+        discount = min(loss_fraction, max_loss_discount)
+    else:
+        import numpy as np
+
+        discount = np.minimum(loss_fraction, max_loss_discount)
+    return rate_mbps * (1.0 - saturation_margin) * (1.0 - discount)
+
+
 class ProbeState(enum.Enum):
     PROBING = "probing"
     FINISHED = "finished"
@@ -149,11 +175,11 @@ class ProbingController:
                 result_mbps=self.detector.value(),
             )
 
-        discount = min(loss_fraction, self.max_loss_discount)
-        floor = (
-            self.rate_mbps
-            * (1.0 - self.saturation_margin)
-            * (1.0 - discount)
+        floor = saturation_floor(
+            self.rate_mbps,
+            loss_fraction,
+            saturation_margin=self.saturation_margin,
+            max_loss_discount=self.max_loss_discount,
         )
         saturated = sample_mbps < floor
         if saturated:

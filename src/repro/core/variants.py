@@ -55,6 +55,7 @@ from repro.baselines.driver import (
 )
 from repro.core.convergence import ConvergenceDetector
 from repro.core.protocol import DATA_PAYLOAD_BYTES
+from repro.execmode import ExecutionMode, resolve_execution_mode
 from repro.testbed.env import TestEnvironment
 
 
@@ -190,10 +191,16 @@ class LoopbackSwiftest(BandwidthTestService):
     This is the default per-row service of the sharded campaign
     engine's demo/bench path: the loopback exercises the real protocol
     state machines yet costs a few milliseconds per row once the
-    interval loop is vectorized (``vectorized=None`` auto-enables the
-    numpy fast path whenever no data-plane faults are injected;
-    ``False`` forces the historical per-packet loop, which the perf
-    benchmark uses as its serial baseline).
+    interval loop is vectorized, and whole campaigns of fault-free rows
+    run in lockstep through the
+    :class:`~repro.core.sessionbank.SessionBank` (see
+    :func:`repro.harness.runtime.iter_banked_rows`).  ``mode`` is the
+    :class:`~repro.execmode.ExecutionMode` of the interval loop:
+    ``auto`` (default) takes the numpy fast path whenever no data-plane
+    faults are injected, ``oracle`` forces the historical per-packet
+    loop (the perf benchmark's serial baseline), ``vectorized`` demands
+    the fast path.  The legacy ``vectorized=`` boolean is still
+    accepted with a :class:`DeprecationWarning`.
     """
 
     name = "swiftest-loopback"
@@ -203,10 +210,20 @@ class LoopbackSwiftest(BandwidthTestService):
         model=None,
         max_duration_s: float = 5.0,
         vectorized: Optional[bool] = None,
+        mode: Optional["ExecutionMode"] = None,
     ):
         self.model = model if model is not None else FixedLadderModel()
         self.max_duration_s = max_duration_s
-        self.vectorized = vectorized
+        self.mode = resolve_execution_mode(
+            mode, vectorized, owner="LoopbackSwiftest"
+        )
+
+    @property
+    def vectorized(self) -> Optional[bool]:
+        """Legacy boolean view of :attr:`mode` (``auto`` → ``None``)."""
+        if self.mode is ExecutionMode.AUTO:
+            return None
+        return self.mode is ExecutionMode.VECTORIZED
 
     def run(self, env: TestEnvironment) -> BTSResult:
         from repro.core.loopback import run_loopback_session
@@ -222,7 +239,7 @@ class LoopbackSwiftest(BandwidthTestService):
             tech=env.tech,
             server_capacity_mbps=server_capacity,
             max_duration_s=self.max_duration_s,
-            vectorized=self.vectorized,
+            mode=self.mode,
         )
         return BTSResult(
             service=self.name,
@@ -267,7 +284,7 @@ def create_bandwidth_test(name: str, **kwargs) -> BandwidthTest:
 
     ``kwargs`` are forwarded to the test's constructor — e.g.
     ``create_bandwidth_test("swiftest", registry=fitted_registry)`` or
-    ``create_bandwidth_test("swiftest-loopback", vectorized=False)``.
+    ``create_bandwidth_test("swiftest-loopback", mode="oracle")``.
     """
     try:
         factory = _BANDWIDTH_TESTS[name]

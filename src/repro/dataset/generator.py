@@ -27,11 +27,12 @@ of :mod:`repro.dataset.substreams` — no draw depends on any other
 row.  :func:`generate_campaign` therefore has two byte-identical
 execution paths:
 
-* ``vectorized=True`` (default): a chunked streaming driver that
-  materialises ``chunk_size`` rows at a time through batched NumPy
-  kernels (:mod:`repro.dataset.kernels`), keeping peak working memory
-  bounded by the chunk, independent of campaign size;
-* ``vectorized=False``: the per-row reference oracle — a Python loop
+* ``mode='vectorized'`` (and ``'auto'``, the default): a chunked
+  streaming driver that materialises ``chunk_size`` rows at a time
+  through batched NumPy kernels (:mod:`repro.dataset.kernels`),
+  keeping peak working memory bounded by the chunk, independent of
+  campaign size;
+* ``mode='oracle'``: the per-row reference oracle — a Python loop
   that generates one record at a time (per-row substream reads, dict
   merges into a column buffer), preserved as the semantic baseline
   the fast path is asserted against.
@@ -47,6 +48,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
+
+from repro.execmode import ExecutionMode, resolve_execution_mode
 
 from repro.dataset import substreams as ss
 from repro.dataset.cities import (
@@ -903,27 +906,37 @@ def iter_campaign_chunks(
 
 def generate_campaign(
     config: CampaignConfig,
-    vectorized: bool = True,
+    vectorized: Optional[bool] = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    mode: Optional["ExecutionMode"] = None,
 ) -> Dataset:
     """Run a campaign and return its dataset.
 
     Deterministic given ``config``: two calls with the same config
     yield identical datasets, and — because every draw is a pure
     function of ``(config.seed, slot, test_id)`` — the result is
-    byte-identical across ``vectorized`` modes and any ``chunk_size``.
+    byte-identical across execution modes and any ``chunk_size``.
 
     Parameters
     ----------
-    vectorized:
-        ``True`` runs the chunked NumPy engine; ``False`` runs the
-        per-row reference oracle (two to three orders of magnitude
+    mode:
+        :class:`~repro.execmode.ExecutionMode`: ``vectorized`` (and
+        ``auto``, the default — generation has no per-row fallback
+        cases) runs the chunked NumPy engine; ``oracle`` runs the
+        per-row reference loop (two to three orders of magnitude
         slower — for verification, not production).
+    vectorized:
+        Deprecated boolean spelling of ``mode`` (``True`` →
+        ``vectorized``, ``False`` → ``oracle``); emits a
+        :class:`DeprecationWarning`.
     chunk_size:
         Rows materialised per step of the vectorized driver; bounds
         peak working memory without affecting the output.
     """
-    if vectorized:
+    resolved = resolve_execution_mode(
+        mode, vectorized, owner="generate_campaign"
+    )
+    if resolved is not ExecutionMode.ORACLE:
         return Dataset.from_chunks(
             list(iter_campaign_chunks(config, chunk_size=chunk_size))
         )

@@ -1,0 +1,114 @@
+"""The unified :class:`ExecutionMode` switch for oracle/fast paths.
+
+Three engines in this codebase follow the same *byte-identical oracle*
+discipline: a slow, obviously-correct reference implementation is kept
+alive forever, a vectorized fast path must reproduce its output bit for
+bit, and benchmarks verify (not assume) the equivalence.  Historically
+each engine grew its own ``vectorized: bool`` keyword —
+:func:`repro.core.loopback.run_loopback_session`,
+:func:`repro.dataset.generator.generate_campaign`, the
+:class:`repro.netsim.trace.FluctuatingTrace` OU filter — with slightly
+different ``None``/``True``/``False`` semantics each time.
+
+:class:`ExecutionMode` replaces them with one tri-state enum:
+
+``oracle``
+    Force the scalar reference path.  Slow, used as the ground truth
+    by benchmarks and identity tests.
+``vectorized``
+    Demand the fast path; raise when the inputs make it unsound (e.g.
+    DATA-plane faults in the loopback) rather than silently degrade.
+``auto``
+    The default: take the fast path whenever it is sound for the
+    inputs at hand, fall back to the oracle per element (per row, per
+    session) otherwise.  Because fast path and oracle are
+    byte-identical, ``auto`` is always safe to leave on.
+
+The legacy ``vectorized=`` keywords remain accepted for one release via
+:func:`resolve_execution_mode`, which maps them onto the enum and emits
+a :class:`DeprecationWarning`.
+
+The module deliberately has no dependencies beyond the standard
+library so every layer (``core``, ``netsim``, ``dataset``,
+``harness``) can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+import warnings
+from typing import Optional, Union
+
+__all__ = ["ExecutionMode", "resolve_execution_mode"]
+
+
+class ExecutionMode(str, enum.Enum):
+    """How an engine with a scalar oracle and a vectorized fast path
+    should execute.
+
+    The enum subclasses :class:`str` so a mode survives JSON round
+    trips (config manifests, checkpoints) as its plain value and
+    compares equal to it: ``ExecutionMode.AUTO == "auto"``.
+    """
+
+    ORACLE = "oracle"
+    VECTORIZED = "vectorized"
+    AUTO = "auto"
+
+    @classmethod
+    def coerce(
+        cls, value: Union["ExecutionMode", str, None]
+    ) -> "ExecutionMode":
+        """Normalise a mode spelled as enum, string or ``None``.
+
+        ``None`` means "no explicit choice" and resolves to ``auto``;
+        strings are matched case-insensitively against the enum
+        values so CLI flags and JSON both coerce directly.
+        """
+        if value is None:
+            return cls.AUTO
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown execution mode {value!r} "
+                f"(expected one of {[m.value for m in cls]})"
+            ) from None
+
+
+def resolve_execution_mode(
+    mode: Union[ExecutionMode, str, None] = None,
+    vectorized: Optional[bool] = None,
+    *,
+    owner: str = "this function",
+    stacklevel: int = 3,
+) -> ExecutionMode:
+    """Fold the legacy ``vectorized=`` boolean into an
+    :class:`ExecutionMode`.
+
+    ``vectorized`` keeps its historical tri-state meaning — ``None``
+    auto, ``True`` force the fast path, ``False`` force the oracle —
+    but passing it (non-``None``) now emits a
+    :class:`DeprecationWarning` pointing at ``mode=``.  Passing both a
+    ``mode`` and a non-``None`` ``vectorized`` is a contradiction and
+    raises.
+    """
+    if vectorized is not None:
+        if mode is not None:
+            raise ValueError(
+                f"{owner}: pass either mode= or the deprecated "
+                f"vectorized=, not both"
+            )
+        replacement = "vectorized" if vectorized else "oracle"
+        warnings.warn(
+            f"{owner}: vectorized= is deprecated; use "
+            f"mode='{replacement}' (or mode='auto')",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        return (
+            ExecutionMode.VECTORIZED if vectorized else ExecutionMode.ORACLE
+        )
+    return ExecutionMode.coerce(mode)

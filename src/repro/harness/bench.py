@@ -6,11 +6,11 @@ campaign sizes so future PRs inherit a perf trajectory in
 
 * **serial** — the historical execution path: one process,
   ``n_shards=1``, and the per-packet loopback interval loop
-  (``vectorized=False``), i.e. what campaigns cost before the sharded
+  (``mode='oracle'``), i.e. what campaigns cost before the sharded
   engine landed;
-* **sharded** — the current default: the vectorized interval loop
-  fanned out across :func:`repro.harness.parallel.run_sharded_campaign`
-  workers.
+* **sharded** — the current default: lockstep session banks
+  (:mod:`repro.core.sessionbank`) fanned out across
+  :func:`repro.harness.parallel.run_sharded_campaign` workers.
 
 Both paths run the same frozen
 :class:`~repro.harness.config.CampaignConfig` recipe apart from those
@@ -22,12 +22,18 @@ speed, zero semantics.
 Peak RSS is read from ``getrusage`` (self + reaped children, so shard
 workers are included) — no external profiler dependency.
 
-:func:`run_dataset_bench` (``repro bench-dataset``) applies the same
+:func:`run_dataset_bench` (``repro bench dataset``) applies the same
 discipline to the dataset engine: it times the chunked vectorized
 :func:`~repro.dataset.generator.generate_campaign` against the per-row
-reference oracle (``vectorized=False``), and verifies that chunked ==
+reference oracle (``mode='oracle'``), and verifies that chunked ==
 unchunked and fast path == oracle outputs are byte-identical before
 reporting any speedup into ``BENCH_dataset.json``.
+
+:func:`run_sessions_bench` (``repro bench sessions``) benchmarks the
+session bank itself: N lockstep loopback sessions against the
+per-packet per-session oracle, verifying byte-identity field by field
+plus invariance to bank size and row order before reporting the
+speedup into ``BENCH_sessions.json``.
 """
 
 from __future__ import annotations
@@ -95,13 +101,14 @@ def bench_one_size(
     serial_cfg = CampaignConfig(
         seed=seed,
         test="swiftest-loopback",
-        test_kwargs={"vectorized": False},
+        test_kwargs={"mode": "oracle"},
         n_shards=1,
+        mode="oracle",
     )
     sharded_cfg = CampaignConfig(
         seed=seed,
         test="swiftest-loopback",
-        test_kwargs={"vectorized": True},
+        test_kwargs={"mode": "vectorized"},
         n_shards=n_shards,
     )
 
@@ -234,7 +241,7 @@ def bench_dataset_case(
         year=year, n_tests=oracle_rows, seed=seed
     )
     start = time.perf_counter()
-    oracle = generate_campaign(oracle_config, vectorized=False)
+    oracle = generate_campaign(oracle_config, mode="oracle")
     oracle_s = time.perf_counter() - start
     oracle_identical = _dataset_fingerprint(oracle) == _dataset_fingerprint(
         generate_campaign(oracle_config, chunk_size=chunk_size)
@@ -287,6 +294,203 @@ def run_dataset_bench(
         "max_speedup": max(case.speedup for case in cases),
         "all_byte_identical": all(
             case.chunked_byte_identical and case.oracle_byte_identical
+            for case in cases
+        ),
+        "peak_rss_mb": peak_rss_mb(),
+    }
+    if out_path is not None:
+        out_path = Path(out_path)
+        atomic_write_json(out_path, summary, indent=2, trailing_newline=True)
+    return summary
+
+
+# -- session-bank benchmark --------------------------------------------------
+
+#: Bank sizes (sessions) timed by the full session-bank benchmark;
+#: CI's bench-smoke job runs only the smallest.
+SESSIONS_DEFAULT_SIZES: Tuple[int, ...] = (64, 512, 4096)
+
+#: Sessions the per-packet oracle leg is timed on (it runs ~10 rows/s,
+#: so the oracle uses a small subset and speedup compares rows/s
+#: rates; byte-identity is checked on this same subset).
+SESSIONS_DEFAULT_ORACLE = 8
+
+#: Capacity range (Mbps) the benchmark draws sessions from — spans
+#: the ladder's hold-low cases through escape-above-top clients.
+_SESSIONS_CAPACITY_RANGE = (5.0, 900.0)
+
+#: Server uplink of every benchmark session.
+_SESSIONS_SERVER_MBPS = 1000.0
+
+
+@dataclass
+class SessionsBenchCase:
+    """Bank-vs-oracle timing at one bank size."""
+
+    n_sessions: int
+    oracle_sessions: int
+    bank_s: float
+    oracle_s: float
+    bank_rows_per_s: float
+    oracle_rows_per_s: float
+    speedup: float
+    byte_identical: bool
+    order_invariant: bool
+    bank_size_invariant: bool
+
+
+def _bank_result_fields(bank, i: int) -> Tuple:
+    """Session ``i``'s full result as a comparable tuple."""
+    return (
+        float(bank.bandwidth_mbps[i]),
+        float(bank.duration_s[i]),
+        int(bank.packets_delivered[i]),
+        int(bank.packets_dropped[i]),
+        int(bank.n_rate_commands[i]),
+        bank.outcome(i),
+        bank.rate_commands_for(i),
+        bank.samples_for(i),
+    )
+
+
+def bench_sessions_case(
+    n_sessions: int,
+    oracle_sessions: int = SESSIONS_DEFAULT_ORACLE,
+    seed: int = DEFAULT_SEED,
+) -> SessionsBenchCase:
+    """Time the lockstep bank vs the per-packet oracle at one size.
+
+    Byte-identity is *verified*, not assumed: the first
+    ``oracle_sessions`` sessions are replayed through
+    :func:`~repro.core.loopback.run_loopback_session` with
+    ``mode='oracle'`` (the historical per-packet loop) and every
+    result field — estimate, duration, packet counters, commanded
+    rates, the full 50 ms sample stream, outcome — must match the
+    bank's exactly.  The case additionally checks the oracle-contract
+    invariances: a shuffled bank and sub-banks of sizes {1, 7, 64}
+    must reproduce the full bank's bytes.
+    """
+    import numpy as np
+
+    from repro.core.loopback import run_loopback_session
+    from repro.core.sessionbank import run_session_bank
+    from repro.core.variants import FixedLadderModel
+
+    if n_sessions < 1:
+        raise ValueError(f"need at least one session, got {n_sessions}")
+    model = FixedLadderModel()
+    rng = np.random.default_rng(seed)
+    capacities = rng.uniform(*_SESSIONS_CAPACITY_RANGE, n_sessions)
+
+    start = time.perf_counter()
+    bank = run_session_bank(
+        model, capacities, server_capacity_mbps=_SESSIONS_SERVER_MBPS
+    )
+    bank_s = time.perf_counter() - start
+
+    n_oracle = min(oracle_sessions, n_sessions)
+    start = time.perf_counter()
+    oracle = [
+        run_loopback_session(
+            model,
+            float(capacities[i]),
+            server_capacity_mbps=_SESSIONS_SERVER_MBPS,
+            mode="oracle",
+        )
+        for i in range(n_oracle)
+    ]
+    oracle_s = time.perf_counter() - start
+
+    identical = all(
+        (
+            ref.bandwidth_mbps,
+            ref.duration_s,
+            ref.packets_delivered,
+            ref.packets_dropped,
+            len(ref.rate_commands),
+            ref.outcome,
+            ref.rate_commands,
+            ref.samples,
+        )
+        == _bank_result_fields(bank, i)
+        for i, ref in enumerate(oracle)
+    )
+
+    perm = rng.permutation(n_sessions)
+    shuffled = run_session_bank(
+        model, capacities[perm], server_capacity_mbps=_SESSIONS_SERVER_MBPS
+    )
+    order_invariant = all(
+        _bank_result_fields(shuffled, pos)
+        == _bank_result_fields(bank, int(perm[pos]))
+        for pos in range(n_sessions)
+    )
+
+    size_invariant = True
+    for width in (1, 7, 64):
+        checked = 0
+        for lo in range(0, n_sessions, width):
+            sub = run_session_bank(
+                model,
+                capacities[lo:lo + width],
+                server_capacity_mbps=_SESSIONS_SERVER_MBPS,
+            )
+            size_invariant = size_invariant and all(
+                _bank_result_fields(sub, k)
+                == _bank_result_fields(bank, lo + k)
+                for k in range(len(sub))
+            )
+            checked += len(sub)
+            if checked >= 128:  # enough sub-banks per width
+                break
+
+    bank_rate = n_sessions / bank_s if bank_s > 0 else float("inf")
+    oracle_rate = n_oracle / oracle_s if oracle_s > 0 else float("inf")
+    return SessionsBenchCase(
+        n_sessions=n_sessions,
+        oracle_sessions=n_oracle,
+        bank_s=bank_s,
+        oracle_s=oracle_s,
+        bank_rows_per_s=bank_rate,
+        oracle_rows_per_s=oracle_rate,
+        speedup=bank_rate / oracle_rate if oracle_rate > 0 else float("inf"),
+        byte_identical=identical,
+        order_invariant=order_invariant,
+        bank_size_invariant=size_invariant,
+    )
+
+
+def run_sessions_bench(
+    sizes: Sequence[int] = SESSIONS_DEFAULT_SIZES,
+    oracle_sessions: int = SESSIONS_DEFAULT_ORACLE,
+    seed: int = DEFAULT_SEED,
+    out_path: Optional[Union[str, Path]] = None,
+) -> Dict:
+    """The session-bank benchmark: every size, one JSON summary.
+
+    When ``out_path`` is given the summary is written there
+    (``BENCH_sessions.json`` by convention).  ``all_byte_identical``
+    folds in the invariance checks: it is only true when every case
+    matched the oracle *and* was invariant to row order and bank size.
+    """
+    if not sizes:
+        raise ValueError("at least one bank size is required")
+    cases: List[SessionsBenchCase] = [
+        bench_sessions_case(n, oracle_sessions=oracle_sessions, seed=seed)
+        for n in sizes
+    ]
+    summary = {
+        "benchmark": "session-bank",
+        "seed": seed,
+        "sizes": list(sizes),
+        "oracle_sessions": oracle_sessions,
+        "cases": [asdict(case) for case in cases],
+        "min_speedup": min(case.speedup for case in cases),
+        "max_speedup": max(case.speedup for case in cases),
+        "all_byte_identical": all(
+            case.byte_identical
+            and case.order_invariant
+            and case.bank_size_invariant
             for case in cases
         ),
         "peak_rss_mb": peak_rss_mb(),

@@ -32,6 +32,8 @@ from typing import Any, Dict, Optional, Union
 
 import numpy as np
 
+from repro.execmode import ExecutionMode
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -132,6 +134,17 @@ class CampaignConfig:
         Month label (``'aug'``, ``'nov'``, …) the ingested run is
         filed under for the longitudinal view; defaults to the
         manifest's creation month.
+    mode:
+        :class:`~repro.execmode.ExecutionMode` of the campaign
+        executor.  ``auto`` (default) batches fault-free loopback rows
+        through the columnar
+        :class:`~repro.core.sessionbank.SessionBank` and falls back to
+        the per-row engine for everything else; ``oracle`` forces the
+        per-row reference engine; ``vectorized`` demands the bank and
+        raises when the configured test cannot be banked.  By the
+        oracle contract the mode never changes results — it is not
+        part of the campaign fingerprint, so checkpoints interoperate
+        across modes.
     """
 
     seed: int = 0
@@ -145,6 +158,7 @@ class CampaignConfig:
     manifest_path: Optional[Union[str, Path]] = None
     store_path: Optional[Union[str, Path]] = None
     store_month: Optional[str] = None
+    mode: Union[ExecutionMode, str] = ExecutionMode.AUTO
 
     def __post_init__(self) -> None:
         if self.max_tests is not None and self.max_tests < 1:
@@ -172,6 +186,7 @@ class CampaignConfig:
         # Defensive copy: a caller mutating its kwargs dict afterwards
         # must not silently change a frozen config.
         object.__setattr__(self, "test_kwargs", dict(self.test_kwargs))
+        object.__setattr__(self, "mode", ExecutionMode.coerce(self.mode))
 
     def resolved_manifest_path(self) -> Optional[Path]:
         """Where this run's manifest lands: the explicit

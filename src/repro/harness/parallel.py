@@ -47,6 +47,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from repro.dataset.records import Dataset, SCHEMA
+from repro.execmode import ExecutionMode
 from repro.harness.collection import campaign_subset
 from repro.harness.config import CampaignConfig, RetryPolicy
 from repro.harness.runtime import (
@@ -55,9 +56,11 @@ from repro.harness.runtime import (
     _RowState,
     _state_from_json,
     _state_to_json,
+    bankable_service,
     build_report,
     campaign_fingerprint,
     ingest_report,
+    iter_banked_rows,
     load_checkpoint,
     measure_row,
     write_checkpoint,
@@ -128,13 +131,18 @@ def _shard_worker(
     checkpoint_every: int,
     events: "mp.Queue",
     instrument: bool = False,
+    mode: ExecutionMode = ExecutionMode.AUTO,
 ) -> None:
     """One worker process: measure this shard's rows in index order.
 
-    Runs :func:`repro.harness.runtime.measure_row` — the serial per-row
+    Under ``mode='oracle'`` (or a non-bankable service) this runs
+    :func:`repro.harness.runtime.measure_row` — the serial per-row
     logic, unmodified — against a locally reconstructed dataset and
-    service, flushing an ordinary checkpoint file per
-    ``checkpoint_every`` completions.
+    service; otherwise the shard's rows are grouped into lockstep
+    banks via :func:`repro.harness.runtime.iter_banked_rows`, whose
+    results are byte-identical by the oracle contract.  Either way an
+    ordinary checkpoint file is flushed per ``checkpoint_every``
+    completions.
 
     With ``instrument=True`` the worker records into its own
     process-local :class:`~repro.obs.metrics.MetricsRegistry` and
@@ -163,8 +171,18 @@ def _shard_worker(
 
     try:
         with use_registry(registry):
-            for index in row_indices:
-                state = measure_row(service, retry, subset, index, seed)
+            if mode is not ExecutionMode.ORACLE and bankable_service(
+                service
+            ):
+                results = iter_banked_rows(
+                    service, retry, subset, row_indices, seed, mode=mode
+                )
+            else:
+                results = (
+                    (i, measure_row(service, retry, subset, i, seed))
+                    for i in row_indices
+                )
+            for index, state in results:
                 rows[index] = state
                 since_flush += 1
                 events.put((
@@ -232,7 +250,16 @@ def run_sharded_campaign(
         contexts, seed=config.seed, max_tests=config.max_tests
     )
     n = len(subset)
-    service_name = config.make_test().name
+    probe = config.make_test()
+    service_name = probe.name
+    if config.mode is ExecutionMode.VECTORIZED and not bankable_service(
+        probe
+    ):
+        raise ValueError(
+            f"mode='vectorized' requires a bankable test "
+            f"(swiftest-loopback on a fixed ladder), got "
+            f"{service_name!r}; use mode='auto' or 'oracle'"
+        )
     fingerprint = campaign_fingerprint(
         subset, config.seed, config.max_tests, service_name
     )
@@ -300,6 +327,7 @@ def run_sharded_campaign(
                 config.checkpoint_every,
                 events,
                 instrument,
+                config.mode,
             ),
             daemon=True,
         )

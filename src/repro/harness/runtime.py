@@ -53,6 +53,7 @@ import numpy as np
 
 from repro.baselines.common import BandwidthTestService
 from repro.dataset.records import Dataset, SCHEMA
+from repro.execmode import ExecutionMode
 from repro.ioutil import atomic_write_json
 from repro.harness.collection import campaign_subset, row_environment
 from repro.harness.config import CampaignConfig, RetryPolicy
@@ -66,6 +67,7 @@ from repro.obs.metrics import (
 from repro.obs.trace import span
 
 __all__ = [
+    "BANK_SIZE",
     "CHECKPOINT_VERSION",
     "CampaignConfig",
     "CampaignReport",
@@ -74,8 +76,10 @@ __all__ = [
     "CorruptCheckpointError",
     "QuarantinedRow",
     "RetryPolicy",
+    "bankable_service",
     "build_report",
     "campaign_fingerprint",
+    "iter_banked_rows",
     "load_checkpoint",
     "measure_row",
     "run_supervised_campaign",
@@ -234,6 +238,129 @@ def measure_row(
         time.perf_counter() - started
     )
     return state
+
+
+# -- the batched (session-bank) executor -----------------------------------
+
+#: Rows grouped into one lockstep SessionBank call.  Large enough to
+#: amortize the per-tick Python overhead across thousands of sessions,
+#: small enough that a bank's column arrays stay cache- and
+#: checkpoint-friendly.  The value never changes results (oracle
+#: contract: bank results are invariant to bank size).
+BANK_SIZE = 4096
+
+
+def bankable_service(service) -> bool:
+    """Whether ``service`` can execute rows through the columnar
+    :class:`~repro.core.sessionbank.SessionBank`.
+
+    Bankable means: the packet-loopback Swiftest variant, on a finite
+    fixed ladder (the bank precomputes the rung table), with the
+    service itself not pinned to its per-packet ``oracle`` interval
+    loop (the perf benchmark's serial baseline must stay serial).
+    Everything else — other services, fitted mixture models — takes
+    the per-row engine.
+    """
+    from repro.core.variants import FixedLadderModel, LoopbackSwiftest
+    from repro.units import SAMPLE_INTERVAL_S
+
+    return (
+        isinstance(service, LoopbackSwiftest)
+        and isinstance(service.model, FixedLadderModel)
+        and service.mode is not ExecutionMode.ORACLE
+        and service.max_duration_s > SAMPLE_INTERVAL_S
+    )
+
+
+def iter_banked_rows(
+    service,
+    retry: RetryPolicy,
+    subset: Dataset,
+    indices,
+    seed: int,
+    mode: ExecutionMode = ExecutionMode.AUTO,
+    bank_size: int = BANK_SIZE,
+):
+    """Measure ``indices`` through the session bank, yielding
+    ``(index, _RowState)`` as rows finish.
+
+    The batched counterpart of calling :func:`measure_row` per index:
+    fault-free rows are packed ``bank_size`` at a time into one
+    :class:`~repro.core.sessionbank.SessionBank` call, whose results
+    are byte-identical to the per-row engine's (the oracle contract),
+    so the caller's checkpoints and reports cannot tell the difference.
+    Any row the bank cannot express — an active
+    :class:`~repro.netsim.faults.FaultPlan` on its environment, a
+    non-positive capacity — falls back to :func:`measure_row`
+    automatically under ``auto`` mode and raises under ``vectorized``
+    (which demands the fast path rather than silently degrade).
+
+    Yield order is completion order (fallback rows immediately, banked
+    rows when their bank flushes), not index order; per-row results
+    are order-free by construction.
+
+    Metrics parity: banked rows record the same per-row counters as
+    :func:`measure_row` (rows measured, zero retries, the outcome
+    taxonomy) and share the bank's wall time evenly across its rows'
+    ``campaign.row_wall_s`` observations.
+    """
+    from repro.core.sessionbank import run_session_bank
+
+    metrics = active_registry()
+    pending: List[int] = []
+    capacities: List[float] = []
+    server_caps: List[float] = []
+
+    def flush():
+        started = time.perf_counter()
+        bank = run_session_bank(
+            service.model,
+            np.asarray(capacities, dtype=np.float64),
+            server_capacity_mbps=np.asarray(server_caps, dtype=np.float64),
+            max_duration_s=service.max_duration_s,
+        )
+        per_row_s = (time.perf_counter() - started) / len(pending)
+        for pos, index in enumerate(pending):
+            outcome = bank.outcome(pos)
+            metrics.counter("campaign.rows_measured").inc()
+            metrics.counter("campaign.retries").inc(0)
+            metrics.counter(f"campaign.outcome.{outcome.value}").inc()
+            metrics.histogram("campaign.row_wall_s").observe(per_row_s)
+            yield index, _RowState(
+                measured_mbps=float(bank.bandwidth_mbps[pos]), attempts=1
+            )
+        pending.clear()
+        capacities.clear()
+        server_caps.clear()
+
+    for index in indices:
+        env = row_environment(subset, index, seed, attempt=0)
+        capacity = env.true_mean_capacity(0.0, service.max_duration_s)
+        if env.faults is not None or capacity <= 0:
+            if mode is ExecutionMode.VECTORIZED:
+                raise ValueError(
+                    f"mode='vectorized' cannot bank row {index}: "
+                    + (
+                        "it has an active fault plan"
+                        if env.faults is not None
+                        else f"non-positive capacity {capacity}"
+                    )
+                    + "; use mode='auto' to fall back per-row"
+                )
+            yield index, measure_row(service, retry, subset, index, seed)
+            continue
+        ranked = env.servers_by_rtt()
+        pending.append(index)
+        capacities.append(capacity)
+        server_caps.append(
+            ranked[0].capacity_mbps if ranked else 10_000.0
+        )
+        if len(pending) >= bank_size:
+            for item in flush():
+                yield item
+    if pending:
+        for item in flush():
+            yield item
 
 
 # -- shared report assembly ------------------------------------------------
@@ -607,17 +734,36 @@ class CampaignRuntime:
                 )
                 resumed_rows = sum(1 for s in rows.values() if s.done)
 
+            mode = self.config.mode
+            if mode is ExecutionMode.VECTORIZED and not bankable_service(
+                self.service
+            ):
+                raise ValueError(
+                    f"mode='vectorized' requires a bankable test "
+                    f"(swiftest-loopback on a fixed ladder), got "
+                    f"{self.service.name!r}; use mode='auto' or 'oracle'"
+                )
+            todo = [
+                i for i in range(n)
+                if not (i in rows and rows[i].done)
+            ]
+            if mode is not ExecutionMode.ORACLE and bankable_service(
+                self.service
+            ):
+                results = iter_banked_rows(
+                    self.service, self.retry, subset, todo, seed, mode=mode
+                )
+            else:
+                results = (
+                    (i, measure_row(self.service, self.retry, subset, i, seed))
+                    for i in todo
+                )
             retries = 0
             checkpoints_written = 0
             since_flush = 0
             try:
-                for i in range(n):
-                    state = rows.get(i)
-                    if state is not None and state.done:
-                        continue
-                    rows[i] = state = measure_row(
-                        self.service, self.retry, subset, i, seed
-                    )
+                for i, state in results:
+                    rows[i] = state
                     retries += max(0, state.attempts - 1)
                     since_flush += 1
                     if (

@@ -16,9 +16,11 @@ discrete-event simulation requires.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
+
+from repro.execmode import ExecutionMode
 
 try:
     from scipy.signal import lfilter as _lfilter
@@ -38,13 +40,25 @@ class CapacityTrace:
         """Instantaneous capacity in Mbps at simulated time ``time_s``."""
         return self.base_mbps
 
+    def capacities_at(self, times_s) -> np.ndarray:
+        """Capacities at an array of times — the batch counterpart of
+        :meth:`capacity_at`, byte-identical element by element.
+
+        The base implementation just loops; traces with a vectorizable
+        lookup (:class:`FluctuatingTrace`) override it, which is what
+        makes :meth:`mean_capacity` cheap on the campaign hot path.
+        """
+        return np.array(
+            [self.capacity_at(t) for t in times_s], dtype=np.float64
+        )
+
     def mean_capacity(self, start_s: float, end_s: float, step_s: float = 0.05) -> float:
         """Average capacity over ``[start_s, end_s)`` sampled every
         ``step_s`` seconds.  Used by tests and estimator ground truth."""
         if end_s <= start_s:
             raise ValueError("end must follow start")
         times = np.arange(start_s, end_s, step_s)
-        return float(np.mean([self.capacity_at(t) for t in times]))
+        return float(np.mean(self.capacities_at(times)))
 
 
 class ConstantTrace(CapacityTrace):
@@ -71,6 +85,15 @@ class FluctuatingTrace(CapacityTrace):
         Length of the pre-drawn trace; queries beyond it wrap around.
     rng:
         Randomness source.  Required — there is no hidden global seed.
+    mode:
+        :class:`~repro.execmode.ExecutionMode` of the OU grid
+        evaluation.  The AR(1) recursion is an IIR filter, so
+        ``vectorized`` evaluates it through ``scipy.signal.lfilter``
+        (raising when scipy is unavailable), ``oracle`` forces the
+        reference Python loop, and ``auto`` (default) uses lfilter
+        exactly when scipy is importable.  The two paths are
+        bit-identical (lfilter's direct form performs the same fused
+        multiply-add sequence), so the mode never changes the trace.
     """
 
     GRID_STEP_S = 0.05
@@ -83,6 +106,7 @@ class FluctuatingTrace(CapacityTrace):
         duration_s: float,
         rng: np.random.Generator,
         floor_fraction: float = 0.05,
+        mode: Optional[Union[ExecutionMode, str]] = None,
     ):
         super().__init__(base_mbps)
         if sigma < 0:
@@ -101,10 +125,21 @@ class FluctuatingTrace(CapacityTrace):
         # variance sigma^2.
         a = math.exp(-self.GRID_STEP_S / tau_s)
         noise_scale = sigma * math.sqrt(max(0.0, 1.0 - a * a))
+        resolved = ExecutionMode.coerce(mode)
+        if resolved is ExecutionMode.VECTORIZED and _lfilter is None:
+            raise ValueError(
+                "mode='vectorized' needs scipy.signal.lfilter; "
+                "use mode='oracle' (or 'auto') without scipy"
+            )
+        use_lfilter = (
+            _lfilter is not None
+            if resolved is ExecutionMode.AUTO
+            else resolved is ExecutionMode.VECTORIZED
+        )
         x = np.empty(n)
         x[0] = rng.normal(0.0, sigma) if sigma > 0 else 0.0
         shocks = rng.normal(0.0, 1.0, size=n - 1)
-        if _lfilter is not None:
+        if use_lfilter:
             # The AR(1) recursion is an IIR filter; lfilter's direct-
             # form evaluation performs the identical fused multiply-add
             # sequence, so the grid is bit-for-bit the same as the
@@ -124,6 +159,17 @@ class FluctuatingTrace(CapacityTrace):
         hi = min(lo + 1, len(self._grid) - 1)
         frac = pos - lo
         return float(self._grid[lo] * (1.0 - frac) + self._grid[hi] * frac)
+
+    def capacities_at(self, times_s) -> np.ndarray:
+        """Batch grid lookup: the same modulo / interpolation arithmetic
+        as :meth:`capacity_at`, evaluated elementwise over the whole
+        array — bit-identical lane by lane."""
+        t = np.asarray(times_s, dtype=np.float64) % self.duration_s
+        pos = t / self.GRID_STEP_S
+        lo = pos.astype(np.int64)
+        hi = np.minimum(lo + 1, len(self._grid) - 1)
+        frac = pos - lo
+        return self._grid[lo] * (1.0 - frac) + self._grid[hi] * frac
 
 
 class ShapedTrace(CapacityTrace):

@@ -33,6 +33,7 @@ behind without extra configuration.
 from __future__ import annotations
 
 import dataclasses
+import enum
 import json
 import platform
 import subprocess
@@ -103,13 +104,16 @@ def describe_versions() -> Dict[str, Optional[str]]:
 
 
 def _jsonable_config(config) -> Dict:
-    """A frozen dataclass config as plain JSON (Paths become strings)."""
+    """A frozen dataclass config as plain JSON (Paths become strings,
+    enums their values)."""
     def convert(value):
         if dataclasses.is_dataclass(value) and not isinstance(value, type):
             return {
                 f.name: convert(getattr(value, f.name))
                 for f in dataclasses.fields(value)
             }
+        if isinstance(value, enum.Enum):
+            return value.value
         if isinstance(value, Path):
             return str(value)
         if isinstance(value, dict):

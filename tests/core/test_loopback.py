@@ -68,10 +68,10 @@ def test_vectorized_interval_loop_is_bit_identical(capacity):
     drop accounting, server byte counters — must match the legacy loop
     exactly, not approximately."""
     legacy = run_loopback_session(
-        make_model(), capacity_mbps=capacity, vectorized=False
+        make_model(), capacity_mbps=capacity, mode="oracle"
     )
     fast = run_loopback_session(
-        make_model(), capacity_mbps=capacity, vectorized=True
+        make_model(), capacity_mbps=capacity, mode="vectorized"
     )
     assert fast.bandwidth_mbps == legacy.bandwidth_mbps
     assert fast.duration_s == legacy.duration_s
@@ -87,10 +87,11 @@ def test_vectorized_interval_loop_is_bit_identical(capacity):
 
 
 def test_vectorized_is_the_default_without_faults():
-    # vectorized=None auto-selects the fast path; explicit True agrees.
+    # mode=None coerces to 'auto', which selects the fast path when no
+    # data-plane faults are present; explicit 'vectorized' agrees.
     auto = run_loopback_session(make_model(), capacity_mbps=120.0)
     fast = run_loopback_session(
-        make_model(), capacity_mbps=120.0, vectorized=True
+        make_model(), capacity_mbps=120.0, mode="vectorized"
     )
     assert auto.samples == fast.samples
 
@@ -105,5 +106,22 @@ def test_vectorized_refuses_data_plane_faults():
     with pytest.raises(ValueError):
         run_loopback_session(
             make_model(), capacity_mbps=60.0,
-            data_faults=faults, vectorized=True,
+            data_faults=faults, mode="vectorized",
+        )
+
+
+def test_vectorized_kwarg_still_works_but_warns():
+    """``vectorized=`` survives one release as a deprecated alias."""
+    with pytest.warns(DeprecationWarning, match="mode='oracle'"):
+        legacy = run_loopback_session(
+            make_model(), capacity_mbps=60.0, vectorized=False
+        )
+    reference = run_loopback_session(
+        make_model(), capacity_mbps=60.0, mode="oracle"
+    )
+    assert legacy.samples == reference.samples
+    with pytest.raises(ValueError, match="both"):
+        run_loopback_session(
+            make_model(), capacity_mbps=60.0,
+            vectorized=True, mode="vectorized",
         )

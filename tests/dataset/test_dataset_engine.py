@@ -41,7 +41,7 @@ def test_chunk_size_invariant(small_config, small_reference, chunk_size):
 
 def test_oracle_equality(small_config, small_reference):
     """The per-row oracle and the fast path agree byte for byte."""
-    oracle = generate_campaign(small_config, vectorized=False)
+    oracle = generate_campaign(small_config, mode="oracle")
     assert_datasets_byte_identical(small_reference, oracle)
 
 
@@ -50,7 +50,7 @@ def test_oracle_equality_2020():
     config = CampaignConfig(year=2020, n_tests=1_500, seed=99)
     assert_datasets_byte_identical(
         generate_campaign(config),
-        generate_campaign(config, vectorized=False),
+        generate_campaign(config, mode="oracle"),
     )
 
 

@@ -1,0 +1,238 @@
+"""The unified ExecutionMode API and its campaign-path guarantees.
+
+Covers the enum itself (coercion, JSON behaviour), the deprecated
+``vectorized=`` bridge, and the harness-level contracts: banked and
+per-row execution are byte-identical, checkpoints interoperate across
+modes (mode is not part of the campaign fingerprint), manifests record
+the mode as its plain string, fault-plan rows fall back to the oracle
+under ``auto`` and raise under ``vectorized``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.dataset.generator import CampaignConfig as GenerationConfig
+from repro.dataset.generator import generate_campaign
+from repro.dataset.records import SCHEMA
+from repro.execmode import ExecutionMode, resolve_execution_mode
+from repro.harness.config import CampaignConfig
+from repro.harness.parallel import run_campaign
+from repro.harness.runtime import bankable_service, iter_banked_rows
+
+
+@pytest.fixture(scope="module")
+def contexts():
+    return generate_campaign(
+        GenerationConfig(n_tests=1_000, seed=311,
+                         tech_shares={"4G": 0.5, "WiFi5": 0.5})
+    )
+
+
+def datasets_identical(a, b):
+    assert len(a) == len(b)
+    for name in SCHEMA:
+        ca, cb = a.column(name), b.column(name)
+        if ca.dtype == np.float64:
+            assert np.array_equal(ca, cb, equal_nan=True), name
+        else:
+            assert np.array_equal(ca, cb), name
+
+
+# -- the enum -----------------------------------------------------------
+
+
+def test_coerce_accepts_enum_string_none():
+    assert ExecutionMode.coerce(None) is ExecutionMode.AUTO
+    assert ExecutionMode.coerce("oracle") is ExecutionMode.ORACLE
+    assert ExecutionMode.coerce("VeCtOrIzEd") is ExecutionMode.VECTORIZED
+    assert (
+        ExecutionMode.coerce(ExecutionMode.AUTO) is ExecutionMode.AUTO
+    )
+
+
+def test_coerce_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown execution mode"):
+        ExecutionMode.coerce("turbo")
+
+
+def test_mode_is_json_transparent():
+    # str subclass: survives JSON as its plain value and compares
+    # equal to it, so manifests and checkpoints need no adapter.
+    assert ExecutionMode.AUTO == "auto"
+    assert json.loads(json.dumps(ExecutionMode.ORACLE)) == "oracle"
+
+
+def test_resolve_prefers_mode_and_bridges_vectorized():
+    assert resolve_execution_mode("oracle") is ExecutionMode.ORACLE
+    assert resolve_execution_mode(None) is ExecutionMode.AUTO
+    with pytest.warns(DeprecationWarning, match="mode='vectorized'"):
+        assert (
+            resolve_execution_mode(vectorized=True)
+            is ExecutionMode.VECTORIZED
+        )
+    with pytest.warns(DeprecationWarning, match="mode='oracle'"):
+        assert (
+            resolve_execution_mode(vectorized=False)
+            is ExecutionMode.ORACLE
+        )
+    with pytest.raises(ValueError, match="not both"):
+        resolve_execution_mode("auto", vectorized=True)
+
+
+def test_campaign_config_coerces_mode_strings():
+    assert CampaignConfig().mode is ExecutionMode.AUTO
+    assert (
+        CampaignConfig(mode="vectorized").mode is ExecutionMode.VECTORIZED
+    )
+    with pytest.raises(ValueError):
+        CampaignConfig(mode="warp")
+
+
+def test_loopback_swiftest_exposes_mode_and_legacy_property():
+    from repro.core.variants import LoopbackSwiftest
+
+    service = LoopbackSwiftest(mode="vectorized")
+    assert service.mode is ExecutionMode.VECTORIZED
+    assert service.vectorized is True
+    assert LoopbackSwiftest().vectorized is None  # auto
+    with pytest.warns(DeprecationWarning):
+        assert LoopbackSwiftest(vectorized=False).vectorized is False
+
+
+# -- banked vs per-row execution ---------------------------------------
+
+
+def _config(mode, n_shards=1, **kwargs):
+    return CampaignConfig(
+        seed=13,
+        max_tests=48,
+        test="swiftest-loopback",
+        n_shards=n_shards,
+        mode=mode,
+        **kwargs,
+    )
+
+
+def test_banked_campaign_is_byte_identical_to_oracle(contexts):
+    """The acceptance property: auto (banked), vectorized and oracle
+    runs produce the same dataset bytes, serial or sharded."""
+    oracle = run_campaign(contexts, _config("oracle"))
+    banked = run_campaign(contexts, _config("auto"))
+    forced = run_campaign(contexts, _config("vectorized"))
+    sharded = run_campaign(contexts, _config("auto", n_shards=3))
+    datasets_identical(oracle.dataset, banked.dataset)
+    datasets_identical(oracle.dataset, forced.dataset)
+    datasets_identical(oracle.dataset, sharded.dataset)
+
+
+def test_vectorized_requires_bankable_test(contexts):
+    with pytest.raises(ValueError, match="bankable"):
+        run_campaign(
+            contexts,
+            CampaignConfig(seed=1, max_tests=4, test="bts-app",
+                           mode="vectorized"),
+        )
+    with pytest.raises(ValueError, match="bankable"):
+        run_campaign(
+            contexts,
+            CampaignConfig(seed=1, max_tests=4, test="bts-app",
+                           n_shards=2, mode="vectorized"),
+        )
+
+
+def test_bankable_service_predicate():
+    from repro.core.variants import LoopbackSwiftest, create_bandwidth_test
+
+    assert bankable_service(LoopbackSwiftest())
+    # A service pinned to its per-packet oracle loop must stay serial.
+    assert not bankable_service(LoopbackSwiftest(mode="oracle"))
+    assert not bankable_service(create_bandwidth_test("bts-app"))
+
+
+def test_fault_plan_rows_fall_back_to_oracle(contexts, monkeypatch):
+    """Rows the bank cannot express (active fault plans) silently take
+    the per-row engine under auto — and the results still match a pure
+    oracle run byte for byte."""
+    import repro.harness.runtime as runtime_mod
+    from repro.netsim.faults import FaultInjector, IIDLoss
+
+    real_row_environment = runtime_mod.row_environment
+
+    def faulty_row_environment(subset, index, seed, attempt=0):
+        env = real_row_environment(subset, index, seed, attempt=attempt)
+        if index % 3 == 0:  # every third row carries a fault plan
+            env.faults = FaultInjector(
+                np.random.default_rng([seed, index]),
+                loss=IIDLoss(0.0, np.random.default_rng([seed, index, 1])),
+            )
+        return env
+
+    monkeypatch.setattr(
+        runtime_mod, "row_environment", faulty_row_environment
+    )
+    oracle = run_campaign(contexts, _config("oracle"))
+    banked = run_campaign(contexts, _config("auto"))
+    datasets_identical(oracle.dataset, banked.dataset)
+    # Under 'vectorized' the same rows are a hard error, not a fallback.
+    with pytest.raises(ValueError, match="fault plan"):
+        run_campaign(contexts, _config("vectorized"))
+
+
+def test_iter_banked_rows_bank_size_is_invisible(contexts):
+    """Any bank_size partition yields the same per-row states."""
+    from repro.core.variants import LoopbackSwiftest
+    from repro.harness.collection import campaign_subset
+    from repro.harness.config import RetryPolicy
+
+    service = LoopbackSwiftest()
+    retry = RetryPolicy()
+    subset = campaign_subset(contexts, seed=13, max_tests=24)
+    indices = list(range(len(subset)))
+
+    def states(bank_size):
+        return {
+            i: s.measured_mbps
+            for i, s in iter_banked_rows(
+                service, retry, subset, indices, seed=13,
+                bank_size=bank_size,
+            )
+        }
+
+    reference = states(4096)
+    assert states(1) == reference
+    assert states(7) == reference
+
+
+# -- persistence: checkpoints and manifests ----------------------------
+
+
+def test_checkpoints_interoperate_across_modes(contexts, tmp_path):
+    """Mode is excluded from the campaign fingerprint: a checkpoint
+    written under 'oracle' resumes cleanly under 'auto' (and vice
+    versa) with every row adopted, not re-measured."""
+    ckpt = tmp_path / "run.ckpt"
+    first = run_campaign(
+        contexts, _config("oracle", checkpoint_path=ckpt)
+    )
+    resumed = run_campaign(
+        contexts, _config("auto", checkpoint_path=ckpt), resume=True
+    )
+    assert resumed.resumed_rows == first.n_measured
+    datasets_identical(first.dataset, resumed.dataset)
+
+
+def test_manifest_records_mode_as_plain_string(contexts, tmp_path):
+    manifest_path = tmp_path / "run.manifest.json"
+    run_campaign(
+        contexts,
+        _config("vectorized", manifest_path=manifest_path),
+    )
+    manifest = json.loads(manifest_path.read_text())
+    assert manifest["config"]["mode"] == "vectorized"
+    # Round trip: the stored string coerces straight back.
+    assert (
+        ExecutionMode.coerce(manifest["config"]["mode"])
+        is ExecutionMode.VECTORIZED
+    )
