@@ -1,0 +1,59 @@
+"""Out-of-core backend performance: the flat-RSS acceptance gate.
+
+The tentpole guarantee of the out-of-core backend is *flat* peak
+memory: a generate → ingest → compare round trip must cost O(chunk)
+RSS however many rows flow through it, with every streaming kernel
+byte-identical to its in-memory oracle.  The smoke test runs a small
+round trip with a generous ceiling (CI machines share the runner);
+the ``slow`` test reproduces the committed ``BENCH_ooc.json`` gate —
+10M rows under the 150 MiB ceiling that a 1M-row *in-memory* load
+already exceeds five-fold.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.bench import (
+    DEFAULT_SEED,
+    OOC_DEFAULT_ROWS,
+    OOC_DEFAULT_RSS_CEILING_MB,
+    run_ooc_bench,
+)
+
+
+def test_perf_ooc_smoke(tmp_path):
+    """Small round trip: byte-identical, phases tracked, gate wired."""
+    out = tmp_path / "BENCH_ooc.json"
+    summary = run_ooc_bench(
+        rows=30_000, verify_rows=8_000, rss_ceiling_mb=4096.0,
+        seed=DEFAULT_SEED, out_path=out,
+    )
+    assert summary["all_byte_identical"]
+    assert summary["within_ceiling"]
+    assert set(summary["identity"]) == {
+        "mapped_columns_identical",
+        "to_csv_identical",
+        "group_reduce_identical",
+        "hourly_identical",
+        "longitudinal_identical",
+        "bootstrap_identical",
+        "compare_months_identical",
+    }
+    assert all(
+        phase["peak_rss_mb"] > 0
+        for phase in summary["phases"].values()
+    )
+    on_disk = json.loads(out.read_text())
+    assert on_disk["rows"] == 30_000
+    assert on_disk["compare"]["decline"] > 0
+
+
+@pytest.mark.slow
+def test_perf_full_ooc_bench():
+    """The committed BENCH_ooc.json gate: 10M rows under 150 MiB."""
+    summary = run_ooc_bench(
+        rows=OOC_DEFAULT_ROWS, rss_ceiling_mb=OOC_DEFAULT_RSS_CEILING_MB
+    )
+    assert summary["all_byte_identical"]
+    assert summary["within_ceiling"], summary["peak_rss_mb"]

@@ -9,18 +9,29 @@ Helpers live in :mod:`repro.analysis.stats` (CDFs, summaries),
 """
 
 from repro.analysis.stats import BandwidthSummary, cdf, pdf_histogram, summarize
-from repro.analysis.diurnal import hourly_profile
+from repro.analysis.diurnal import hourly_profile, hourly_profile_stream
 from repro.analysis.report import campaign_report, compare_report
 from repro.analysis.spatial import city_disparity, urban_rural_gap
+from repro.analysis.streams import (
+    GroupReduceStream,
+    MeanStream,
+    PoissonBootstrapStream,
+    poisson_bootstrap_ci,
+)
 
 __all__ = [
     "BandwidthSummary",
+    "GroupReduceStream",
+    "MeanStream",
+    "PoissonBootstrapStream",
     "campaign_report",
     "cdf",
     "city_disparity",
     "compare_report",
     "hourly_profile",
+    "hourly_profile_stream",
     "pdf_histogram",
+    "poisson_bootstrap_ci",
     "summarize",
     "urban_rural_gap",
 ]

@@ -10,10 +10,11 @@ hour, for a user base of any size (§5.2 sizes for 3.54M users).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Iterable, Mapping, Optional
 
 import numpy as np
 
+from repro.analysis.streams import GroupReduceStream
 from repro.dataset.records import Dataset, group_reduce
 from repro.radio.sleeping import DiurnalProfile
 
@@ -82,6 +83,29 @@ def hourly_profile(dataset: Dataset, tech: str) -> HourlyProfile:
     if len(sub) == 0:
         raise ValueError(f"no {tech} tests in the dataset")
     hours, means, counts = group_reduce(sub.column("hour"), sub.bandwidth)
+    return HourlyProfile(
+        counts={int(h): int(n) for h, n in zip(hours, counts)},
+        mean_bandwidth={int(h): float(m) for h, m in zip(hours, means)},
+    )
+
+
+def hourly_profile_stream(
+    chunks: Iterable[Mapping[str, np.ndarray]], tech: str
+) -> HourlyProfile:
+    """Single-pass :func:`hourly_profile` over column chunks.
+
+    Feed it ``dataset.iter_chunks(columns=["tech", "hour",
+    "bandwidth_mbps"])`` — in-memory or mapped — and it produces a
+    profile bit-identical to :func:`hourly_profile` on the same rows
+    (the oracle), at O(chunk) peak memory for any chunk partition.
+    """
+    stream = GroupReduceStream()
+    for chunk in chunks:
+        mask = chunk["tech"] == tech
+        stream.update(chunk["hour"][mask], chunk["bandwidth_mbps"][mask])
+    hours, means, counts = stream.result()
+    if not hours:
+        raise ValueError(f"no {tech} tests in the dataset")
     return HourlyProfile(
         counts={int(h): int(n) for h, n in zip(hours, counts)},
         mean_bandwidth={int(h): float(m) for h, m in zip(hours, means)},

@@ -11,10 +11,11 @@ their summary.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Mapping, Tuple
 
 import numpy as np
 
+from repro.analysis.streams import GroupReduceStream
 from repro.dataset.records import Dataset, group_reduce
 
 #: Minimum tests a group needs in both years to be compared.
@@ -71,8 +72,17 @@ def matched_group_declines(
             out[key] = (float(mean), int(n))
         return out
 
-    means_before = group_means(before)
-    means_after = group_means(after)
+    return _declines_from_group_means(
+        group_means(before), group_means(after), tech, min_tests
+    )
+
+
+def _declines_from_group_means(
+    means_before: Dict[Tuple[int, str], Tuple[float, int]],
+    means_after: Dict[Tuple[int, str], Tuple[float, int]],
+    tech: str,
+    min_tests: int,
+) -> List[GroupDecline]:
     declines = []
     for key in sorted(set(means_before) & set(means_after)):
         mean_b, n_b = means_before[key]
@@ -90,6 +100,52 @@ def matched_group_declines(
             "both campaigns; use larger campaigns"
         )
     return declines
+
+
+def stream_group_means(
+    chunks: Iterable[Mapping[str, np.ndarray]], tech: str
+) -> Tuple[int, Dict[Tuple[int, str], Tuple[float, int]]]:
+    """Single-pass (ISP, city-tier) group means for one technology.
+
+    Returns ``(matching row count, {(isp, tier): (mean, n)})`` —
+    the per-group means are bit-identical to the factorized
+    ``group_reduce`` inside :func:`matched_group_declines` for any
+    chunk partition of the same rows (see
+    :mod:`repro.analysis.streams` for why).
+    """
+    stream = GroupReduceStream()
+    total = 0
+    for chunk in chunks:
+        mask = chunk["tech"] == tech
+        total += int(mask.sum())
+        stream.update_pairs(
+            chunk["isp"][mask],
+            chunk["city_tier"][mask],
+            chunk["bandwidth_mbps"][mask],
+        )
+    return total, stream.result_dict()
+
+
+def matched_group_declines_stream(
+    chunks_before: Iterable[Mapping[str, np.ndarray]],
+    chunks_after: Iterable[Mapping[str, np.ndarray]],
+    tech: str,
+    min_tests: int = MIN_GROUP_TESTS,
+) -> List[GroupDecline]:
+    """Streaming :func:`matched_group_declines` over column chunks.
+
+    Feed it two ``iter_chunks(columns=["tech", "isp", "city_tier",
+    "bandwidth_mbps"])`` streams; produces the same
+    :class:`GroupDecline` list (and the same error messages) as the
+    in-memory oracle, at O(chunk) peak memory.
+    """
+    n_before, means_before = stream_group_means(chunks_before, tech)
+    n_after, means_after = stream_group_means(chunks_after, tech)
+    if n_before == 0 or n_after == 0:
+        raise ValueError(f"both campaigns need {tech} tests")
+    return _declines_from_group_means(
+        means_before, means_after, tech, min_tests
+    )
 
 
 def decline_summary(declines: List[GroupDecline]) -> Dict[str, float]:

@@ -1,4 +1,12 @@
-"""Statistical helpers for the analysis pipeline."""
+"""Statistical helpers for the analysis pipeline.
+
+The classic :func:`bootstrap_ci` resamples by drawing whole index
+matrices and needs the full sample in memory.  For out-of-core
+datasets, :func:`poisson_bootstrap_ci` (re-exported from
+:mod:`repro.analysis.streams`, with :class:`PoissonBootstrapStream`
+for incremental use) computes a percentile CI in one pass over column
+chunks, bit-identical for any chunking.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +14,11 @@ from dataclasses import dataclass
 from typing import Sequence, Tuple
 
 import numpy as np
+
+from repro.analysis.streams import (  # noqa: F401  (re-exports)
+    PoissonBootstrapStream,
+    poisson_bootstrap_ci,
+)
 
 
 @dataclass(frozen=True)

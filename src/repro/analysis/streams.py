@@ -1,0 +1,401 @@
+"""Single-pass streaming folds, bit-identical to in-memory kernels.
+
+Every analysis the paper runs at corpus scale — per-group means
+(§3.1's (ISP, city-tier) decline table), hourly profiles (§5.2), and
+bootstrap confidence intervals — reduces to a handful of folds over
+the rows.  This module provides those folds as **chunk streams**: feed
+them :meth:`Dataset.iter_chunks` output (in-memory slices or the
+out-of-core mapped reader's positioned reads — the fold cannot tell)
+and peak RSS stays at O(chunk) however many rows go by.
+
+The contract, and why the results are *bit*-identical rather than
+merely close:
+
+* The in-memory oracles sum each group with ``np.bincount``, which
+  accumulates weights **sequentially in row order**.  The streams
+  accumulate with ``np.add.at`` onto persistent accumulators —
+  ``np.add.at`` is unbuffered, so it applies the same additions in
+  the same row order, one chunk at a time.  A left fold split at any
+  chunk boundary is the same left fold, so the final IEEE-754 sums
+  match to the last bit for **any** chunk partition of the same rows.
+  (A per-chunk-partials-then-combine scheme would NOT have this
+  property: float addition is not associative.)
+* Counts are exact integers; means are then the same ``sums /
+  counts`` division in both implementations.
+* The bootstrap cannot replay an rng-stateful index draw chunkwise,
+  so the streaming variant is a **Poisson bootstrap** (per-row
+  multiplicities ~ Poisson(1)) on the counter-based Philox substream
+  fabric of PR 4: each draw is a pure function of ``(seed,
+  SLOT_BOOTSTRAP, word index)``, so any chunking of the rows reads
+  the same words.  Its in-memory oracle (``mode="oracle"``) is an
+  independently-structured implementation over the same draws.
+
+Note these folds use *sequential-sum* semantics, matching
+``group_reduce``.  ``np.mean`` uses pairwise summation and will
+differ in the last ulps — compare streams against the bincount-based
+oracles, not against ``np.mean``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple, Union
+
+import numpy as np
+
+from repro.dataset.substreams import SLOT_BOOTSTRAP, uniform_block
+
+__all__ = [
+    "BOOTSTRAP_BLOCK_ROWS",
+    "GroupReduceStream",
+    "MeanStream",
+    "PoissonBootstrapStream",
+    "poisson_bootstrap_ci",
+]
+
+
+class GroupReduceStream:
+    """Streaming ``group_reduce``: per-group sequential sums + counts.
+
+    >>> stream = GroupReduceStream()
+    >>> for chunk in dataset.iter_chunks():            # doctest: +SKIP
+    ...     stream.update(chunk["hour"], chunk["bandwidth_mbps"])
+    >>> keys, means, counts = stream.result()          # doctest: +SKIP
+
+    ``result()`` equals ``group_reduce(all_keys, all_values)`` bit for
+    bit (keys as python scalars rather than an array), for any chunk
+    partition of the same row sequence.
+    """
+
+    def __init__(self) -> None:
+        self._slots: Dict = {}
+        self._sums = np.zeros(64, dtype=np.float64)
+        self._counts = np.zeros(64, dtype=np.int64)
+
+    def _slot(self, key) -> int:
+        slot = self._slots.get(key)
+        if slot is None:
+            slot = len(self._slots)
+            self._slots[key] = slot
+        return slot
+
+    def _grow(self) -> None:
+        needed = len(self._slots)
+        if needed <= len(self._sums):
+            return
+        size = len(self._sums)
+        while size < needed:
+            size *= 2
+        sums = np.zeros(size, dtype=np.float64)
+        counts = np.zeros(size, dtype=np.int64)
+        sums[: len(self._sums)] = self._sums
+        counts[: len(self._counts)] = self._counts
+        self._sums, self._counts = sums, counts
+
+    def update(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Fold one chunk of (key, value) rows."""
+        keys = np.asarray(keys)
+        values = np.asarray(values, dtype=np.float64)
+        if len(keys) != len(values):
+            raise ValueError(
+                f"keys length {len(keys)} != values length {len(values)}"
+            )
+        if len(keys) == 0:
+            return
+        unique, inverse = np.unique(keys, return_inverse=True)
+        slots = np.fromiter(
+            (self._slot(k) for k in unique.tolist()),
+            dtype=np.intp,
+            count=len(unique),
+        )
+        self._grow()
+        rows = slots[inverse.reshape(-1)]
+        np.add.at(self._sums, rows, values)
+        np.add.at(self._counts, rows, 1)
+
+    def update_pairs(
+        self,
+        first: np.ndarray,
+        second: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        """Fold one chunk keyed by ``(first, second)`` tuples — the
+        (ISP, city-tier) factorisation of the longitudinal analysis."""
+        first = np.asarray(first)
+        second = np.asarray(second)
+        values = np.asarray(values, dtype=np.float64)
+        if not (len(first) == len(second) == len(values)):
+            raise ValueError(
+                f"column lengths disagree: {len(first)}, {len(second)}, "
+                f"{len(values)}"
+            )
+        if len(values) == 0:
+            return
+        ua, ia = np.unique(first, return_inverse=True)
+        ub, ib = np.unique(second, return_inverse=True)
+        nb = len(ub)
+        codes = ia.reshape(-1) * nb + ib.reshape(-1)
+        code_vals, code_inv = np.unique(codes, return_inverse=True)
+        la, lb = ua.tolist(), ub.tolist()
+        slots = np.fromiter(
+            (
+                self._slot((la[c // nb], lb[c % nb]))
+                for c in code_vals.tolist()
+            ),
+            dtype=np.intp,
+            count=len(code_vals),
+        )
+        self._grow()
+        rows = slots[code_inv.reshape(-1)]
+        np.add.at(self._sums, rows, values)
+        np.add.at(self._counts, rows, 1)
+
+    def result(self) -> Tuple[List, np.ndarray, np.ndarray]:
+        """``(sorted keys, means, counts)`` — the ``group_reduce``
+        triple, with keys as a python list."""
+        if not self._slots:
+            return [], np.empty(0), np.empty(0, dtype=np.int64)
+        keys = sorted(self._slots)
+        idx = np.fromiter(
+            (self._slots[k] for k in keys), dtype=np.intp, count=len(keys)
+        )
+        sums = self._sums[idx]
+        counts = self._counts[idx]
+        return keys, sums / counts, counts.copy()
+
+    def result_dict(self) -> Dict:
+        """``{key: (mean, count)}`` with python floats/ints."""
+        keys, means, counts = self.result()
+        return {
+            key: (float(mean), int(count))
+            for key, mean, count in zip(keys, means.tolist(), counts.tolist())
+        }
+
+
+class MeanStream:
+    """Streaming sequential-sum mean (one-group group_reduce)."""
+
+    def __init__(self) -> None:
+        self._acc = np.zeros(1, dtype=np.float64)
+        self._n = 0
+
+    def update(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        if len(values) == 0:
+            return
+        np.add.at(self._acc, np.zeros(len(values), dtype=np.intp), values)
+        self._n += len(values)
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def total(self) -> float:
+        return float(self._acc[0])
+
+    def result(self) -> float:
+        """Sequential-sum mean of everything folded (empty → NaN)."""
+        if self._n == 0:
+            return float("nan")
+        return float(self._acc[0] / self._n)
+
+
+#: Canonical bootstrap block size: rows ``[b*B, (b+1)*B)`` consume
+#: Philox words ``[b*R*B, b*R*B + R*len)`` of SLOT_BOOTSTRAP.  Fixed —
+#: changing it changes which uniforms each row sees.
+BOOTSTRAP_BLOCK_ROWS = 1024
+
+#: Poisson(1) multiplicities are inverted through a cumulative table;
+#: P(X > 32) < 1e-36, far below the 2^-53 resolution of the uniforms.
+_POISSON_MAX_K = 32
+
+
+def _poisson_cdf_table() -> np.ndarray:
+    pmf = np.empty(_POISSON_MAX_K + 1)
+    pmf[0] = np.exp(-1.0)
+    for k in range(1, _POISSON_MAX_K + 1):
+        pmf[k] = pmf[k - 1] / k
+    table = np.cumsum(pmf)
+    table[-1] = 1.0  # saturate: searchsorted can never step past the end
+    return table
+
+
+_POISSON_CDF = _poisson_cdf_table()
+
+
+def _validate_bootstrap(confidence: float, n_resamples: int) -> None:
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if n_resamples < 10:
+        raise ValueError(f"need >= 10 resamples, got {n_resamples}")
+
+
+class PoissonBootstrapStream:
+    """Streaming percentile bootstrap over chunked values.
+
+    A classic bootstrap draws ``n`` indices per resample — impossible
+    in one pass when ``n`` is unknown and the rows go by once.  The
+    Poisson bootstrap replaces the multinomial row-multiplicities with
+    independent Poisson(1) counts, which need only the current chunk:
+    resample ``r``'s statistic over row multiplicities ``m[r, i]`` is
+    a running ``(sum, count)`` pair.
+
+    Multiplicities come from the deterministic Philox substream fabric
+    (:data:`~repro.dataset.substreams.SLOT_BOOTSTRAP`), keyed by the
+    row's absolute position — so the resample draw for row ``i`` does
+    not depend on how the rows were chunked, and any chunking yields
+    bit-identical intervals.  Statistics: ``"mean"`` (empty resample →
+    the point estimate) or ``"sum"`` (empty resample → 0.0).
+
+    >>> stream = PoissonBootstrapStream(seed=7)
+    >>> for chunk in dataset.iter_chunks():            # doctest: +SKIP
+    ...     stream.update(chunk["bandwidth_mbps"])
+    >>> point, low, high = stream.result()             # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        n_resamples: int = 1000,
+        confidence: float = 0.95,
+        statistic: str = "mean",
+    ) -> None:
+        _validate_bootstrap(confidence, n_resamples)
+        if statistic not in ("mean", "sum"):
+            raise ValueError(
+                f"statistic must be 'mean' or 'sum', got {statistic!r}"
+            )
+        self.seed = int(seed)
+        self.n_resamples = int(n_resamples)
+        self.confidence = float(confidence)
+        self.statistic = statistic
+        self._sums = np.zeros(self.n_resamples, dtype=np.float64)
+        self._ns = np.zeros(self.n_resamples, dtype=np.int64)
+        self._point = MeanStream()
+        self._block = 0
+        self._pending = np.empty(0, dtype=np.float64)
+
+    def update(self, values: np.ndarray) -> None:
+        """Fold one chunk of values (any chunking; order matters)."""
+        values = np.asarray(values, dtype=np.float64)
+        if len(values) == 0:
+            return
+        self._point.update(values)
+        # Re-block to the canonical BOOTSTRAP_BLOCK_ROWS grid so the
+        # Philox words a row consumes depend only on its absolute
+        # position, never on the caller's chunk boundaries.
+        if len(self._pending):
+            values = np.concatenate([self._pending, values])
+            self._pending = np.empty(0, dtype=np.float64)
+        full = (len(values) // BOOTSTRAP_BLOCK_ROWS) * BOOTSTRAP_BLOCK_ROWS
+        for start in range(0, full, BOOTSTRAP_BLOCK_ROWS):
+            self._fold(values[start:start + BOOTSTRAP_BLOCK_ROWS])
+        if full < len(values):
+            self._pending = values[full:].copy()
+
+    def _fold(self, rows: np.ndarray) -> None:
+        blen = len(rows)
+        words = uniform_block(
+            self.seed,
+            SLOT_BOOTSTRAP,
+            self._block * self.n_resamples * BOOTSTRAP_BLOCK_ROWS,
+            self.n_resamples * blen,
+        ).reshape(self.n_resamples, blen)
+        mult = np.searchsorted(_POISSON_CDF, words, side="right")
+        self._sums += (mult * rows).sum(axis=1)
+        self._ns += mult.sum(axis=1)
+        self._block += 1
+
+    def result(self) -> Tuple[float, float, float]:
+        """``(point, low, high)`` like :func:`bootstrap_ci`."""
+        if len(self._pending):
+            self._fold(self._pending)
+            self._pending = np.empty(0, dtype=np.float64)
+        if self._point.count == 0:
+            raise ValueError("cannot bootstrap an empty sample")
+        if self.statistic == "mean":
+            point = self._point.result()
+            stats = np.where(
+                self._ns > 0, self._sums / np.maximum(self._ns, 1), point
+            )
+        else:
+            point = self._point.total
+            stats = self._sums.copy()
+        alpha = (1.0 - self.confidence) / 2.0
+        low, high = np.quantile(stats, [alpha, 1.0 - alpha])
+        return float(point), float(low), float(high)
+
+
+def poisson_bootstrap_ci(
+    values: Union[np.ndarray, Iterable[np.ndarray]],
+    seed: int,
+    n_resamples: int = 1000,
+    confidence: float = 0.95,
+    statistic: str = "mean",
+    mode: str = "stream",
+) -> Tuple[float, float, float]:
+    """Poisson-bootstrap CI over an array or an iterable of chunks.
+
+    ``mode="stream"`` runs :class:`PoissonBootstrapStream`;
+    ``mode="oracle"`` is an independently-structured in-memory
+    implementation over the same Philox draws (blocks outer, resamples
+    inner, 1-D arithmetic) used by the test suite and the bench
+    identity gate to pin the stream down bit for bit.
+    """
+    if mode not in ("stream", "oracle"):
+        raise ValueError(f"mode must be 'stream' or 'oracle', got {mode!r}")
+    if isinstance(values, np.ndarray):
+        chunks: Iterable[np.ndarray] = [values]
+    else:
+        chunks = values
+    if mode == "stream":
+        stream = PoissonBootstrapStream(
+            seed,
+            n_resamples=n_resamples,
+            confidence=confidence,
+            statistic=statistic,
+        )
+        for chunk in chunks:
+            stream.update(chunk)
+        return stream.result()
+
+    _validate_bootstrap(confidence, n_resamples)
+    if statistic not in ("mean", "sum"):
+        raise ValueError(
+            f"statistic must be 'mean' or 'sum', got {statistic!r}"
+        )
+    arr = np.concatenate(
+        [np.asarray(c, dtype=np.float64) for c in chunks]
+    ) if not isinstance(values, np.ndarray) else np.asarray(
+        values, dtype=np.float64
+    )
+    n = len(arr)
+    if n == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    # Point estimate with the stream's sequential-sum semantics.
+    acc = np.zeros(1, dtype=np.float64)
+    np.add.at(acc, np.zeros(n, dtype=np.intp), arr)
+    point = float(acc[0] / n) if statistic == "mean" else float(acc[0])
+    sums = np.zeros(n_resamples, dtype=np.float64)
+    ns = np.zeros(n_resamples, dtype=np.int64)
+    seed = int(seed)
+    for block, start in enumerate(range(0, n, BOOTSTRAP_BLOCK_ROWS)):
+        rows = arr[start:start + BOOTSTRAP_BLOCK_ROWS]
+        blen = len(rows)
+        words = uniform_block(
+            seed,
+            SLOT_BOOTSTRAP,
+            block * n_resamples * BOOTSTRAP_BLOCK_ROWS,
+            n_resamples * blen,
+        ).reshape(n_resamples, blen)
+        for r in range(n_resamples):
+            mult_r = np.searchsorted(_POISSON_CDF, words[r], side="right")
+            sums[r] += (mult_r * rows).sum()
+            ns[r] += int(mult_r.sum())
+    if statistic == "mean":
+        stats = np.where(ns > 0, sums / np.maximum(ns, 1), point)
+    else:
+        stats = sums
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(stats, [alpha, 1.0 - alpha])
+    return float(point), float(low), float(high)

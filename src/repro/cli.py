@@ -87,7 +87,15 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
-    """Generate a campaign with the paper-scale chunked engine."""
+    """Generate a campaign with the paper-scale chunked engine.
+
+    The ``.npd`` format and ``--store`` take the out-of-core path:
+    chunks stream from the generator straight into the columnar
+    writer / catalog ingest, and the per-tech stats fold through
+    :class:`~repro.analysis.streams.GroupReduceStream`, so peak memory
+    is O(chunk) no matter how many rows are generated.  The printed
+    stats are bit-identical between the two paths.
+    """
     import time
 
     from repro.dataset.generator import DEFAULT_CHUNK_SIZE
@@ -96,29 +104,112 @@ def cmd_generate(args: argparse.Namespace) -> int:
         print(f"error: --chunk-size must be positive, got {args.chunk_size}",
               file=sys.stderr)
         return 2
+    if args.store_month and not args.store:
+        print("error: --store-month needs --store", file=sys.stderr)
+        return 2
     config = GenerationConfig(
         year=args.year, n_tests=args.n_tests, seed=args.seed
     )
     chunk_size = args.chunk_size or DEFAULT_CHUNK_SIZE
+    out = args.out
+    fmt = args.format
+    if fmt and out:  # explicit format wins over the suffix
+        wanted = "." + fmt
+        # Suffix dispatch is case-insensitive (matching
+        # Dataset.save): "data.NPZ" already counts as .npz.
+        if not out.lower().endswith(wanted):
+            out += wanted
+    elif out and not fmt:
+        for suffix in ("csv", "npz", "npd"):
+            if out.lower().endswith("." + suffix):
+                fmt = suffix
+                break
+    streaming = fmt == "npd" or (args.store and not out)
+
+    def _print_stats(n_rows: int, elapsed: float, per_tech) -> None:
+        print(f"generated {n_rows} tests in {elapsed:.2f}s "
+              f"({n_rows / elapsed:,.0f} rows/s, "
+              f"chunk size {chunk_size}, seed {args.seed})")
+        for tech, (mean, n) in sorted(per_tech.items()):
+            print(f"  {tech:6s} n={n:7d}  mean {mean:7.1f} Mbps")
+
+    def _manifest() -> dict:
+        return {
+            "kind": "campaign",
+            "seed": args.seed,
+            "created_unix_s": time.time(),
+            "run": {
+                "n_rows": args.n_tests,
+                "year": args.year,
+                "chunk_size": chunk_size,
+            },
+        }
+
+    if streaming:
+        from repro.analysis.streams import GroupReduceStream
+        from repro.dataset.generator import iter_campaign_chunks
+
+        stats = GroupReduceStream()
+        counted = 0
+
+        def tee():
+            nonlocal counted
+            for chunk in iter_campaign_chunks(config, chunk_size=chunk_size):
+                stats.update(chunk["tech"], chunk["bandwidth_mbps"])
+                counted += len(chunk["bandwidth_mbps"])
+                yield chunk
+
+        run_id = None
+        start = time.perf_counter()
+        if out:
+            from repro.dataset.ooc import write_npd
+
+            write_npd(out, tee())
+            if args.store:
+                from repro.store import RunStore
+
+                with RunStore.open(args.store) as store:
+                    run_id = store.ingest_run(
+                        _manifest(), Dataset.open_mapped(out),
+                        label=args.label or "", month=args.store_month,
+                        layout="npd",
+                    )
+        else:
+            from repro.store import RunStore
+
+            with RunStore.open(args.store) as store:
+                run_id = store.ingest_chunks(
+                    _manifest(), tee(),
+                    label=args.label or "", month=args.store_month,
+                )
+        elapsed = time.perf_counter() - start
+        _print_stats(counted, elapsed, stats.result_dict())
+        if out:
+            print(f"wrote {out}")
+        if run_id:
+            print(f"stored run {run_id} in {args.store}")
+        return 0
+
     start = time.perf_counter()
     dataset = generate_campaign(config, chunk_size=chunk_size)
     elapsed = time.perf_counter() - start
-    print(f"generated {len(dataset)} tests in {elapsed:.2f}s "
-          f"({len(dataset) / elapsed:,.0f} rows/s, "
-          f"chunk size {chunk_size}, seed {args.seed})")
-    for tech, mean in sorted(dataset.group_mean_bandwidth("tech").items()):
-        n = dataset.group_counts("tech")[tech]
-        print(f"  {tech:6s} n={n:7d}  mean {mean:7.1f} Mbps")
-    if args.out:
-        out = args.out
-        if args.format:  # explicit format wins over the suffix
-            wanted = "." + args.format
-            # Suffix dispatch is case-insensitive (matching
-            # Dataset.save): "data.NPZ" already counts as .npz.
-            if not out.lower().endswith(wanted):
-                out += wanted
+    per_tech = {
+        tech: (mean, dataset.group_counts("tech")[tech])
+        for tech, mean in dataset.group_mean_bandwidth("tech").items()
+    }
+    _print_stats(len(dataset), elapsed, per_tech)
+    if out:
         dataset.save(out)
         print(f"wrote {out}")
+    if args.store:
+        from repro.store import RunStore
+
+        with RunStore.open(args.store) as store:
+            run_id = store.ingest_run(
+                _manifest(), dataset,
+                label=args.label or "", month=args.store_month,
+            )
+        print(f"stored run {run_id} in {args.store}")
     return 0
 
 
@@ -347,9 +438,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
     Targets: ``campaign`` (serial vs sharded supervisor, the default),
     ``dataset`` (chunked generator vs per-row oracle), ``fleet``
     (fleet-day determinism), ``sessions`` (batched session bank vs the
-    per-packet Swiftest oracle).  Each writes ``BENCH_<target>.json``
-    when ``--out`` is given and exits non-zero if any fast path
-    diverged from its oracle.
+    per-packet Swiftest oracle), ``ooc`` (out-of-core generate →
+    ingest → compare round trip under a flat peak-RSS ceiling).  Each
+    writes ``BENCH_<target>.json`` when ``--out`` is given and exits
+    non-zero if any fast path diverged from its oracle.
     """
     target = getattr(args, "target", "campaign")
     if target == "dataset":
@@ -364,7 +456,64 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return cmd_bench_fleet(args)
     if target == "sessions":
         return _cmd_bench_sessions(args)
+    if target == "ooc":
+        return _cmd_bench_ooc(args)
     return _cmd_bench_campaign(args)
+
+
+def _cmd_bench_ooc(args: argparse.Namespace) -> int:
+    """Benchmark the out-of-core backend and enforce the flat-RSS gate."""
+    from repro.harness.bench import (
+        OOC_DEFAULT_ROWS,
+        OOC_DEFAULT_VERIFY_ROWS,
+        run_ooc_bench,
+    )
+
+    try:
+        rows = int(args.rows) if args.rows else OOC_DEFAULT_ROWS
+    except ValueError:
+        print(f"error: --rows must be an integer, got {args.rows!r}",
+              file=sys.stderr)
+        return 2
+    if args.seed is None:
+        args.seed = 20220801
+    summary = run_ooc_bench(
+        rows=rows,
+        chunk_size=args.chunk_size,
+        seed=args.seed,
+        rss_ceiling_mb=args.rss_ceiling,
+        verify_rows=args.verify_rows or OOC_DEFAULT_VERIFY_ROWS,
+        out_path=args.out,
+    )
+    print(f"out-of-core backend bench ({summary['rows']:,} rows, "
+          f"chunk size {summary['chunk_size']}, seed {summary['seed']})")
+    print(f"{'phase':16s} {'elapsed':>9s} {'rows/s':>11s} "
+          f"{'peak RSS':>9s}")
+    for name, phase in summary["phases"].items():
+        rate = (f"{phase['rows_per_s']:11,.0f}"
+                if "rows_per_s" in phase else f"{'-':>11s}")
+        print(f"{name:16s} {phase['elapsed_s']:8.2f}s {rate} "
+              f"{phase['peak_rss_mb']:7.1f}MB")
+    gate = "<" if summary["within_ceiling"] else ">="
+    print(f"gated peak RSS {summary['peak_rss_mb']:.1f} MiB "
+          f"{gate} ceiling {summary['rss_ceiling_mb']:.0f} MiB")
+    print(f"streaming kernels byte-identical to oracles: "
+          f"{summary['all_byte_identical']}")
+    if args.out:
+        print(f"wrote {args.out}")
+    if not summary["all_byte_identical"]:
+        failed = sorted(
+            name for name, ok in summary["identity"].items() if not ok
+        )
+        print(f"error: streaming kernels diverged from their oracles: "
+              f"{', '.join(failed)}", file=sys.stderr)
+        return 1
+    if not summary["within_ceiling"]:
+        print(f"error: peak RSS {summary['peak_rss_mb']:.1f} MiB breaches "
+              f"the {summary['rss_ceiling_mb']:.0f} MiB ceiling",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_bench_campaign(args: argparse.Namespace) -> int:
@@ -706,8 +855,14 @@ def cmd_runs_ls(args: argparse.Namespace) -> int:
 
 
 def cmd_runs_show(args: argparse.Namespace) -> int:
-    """Show one run: index row, payload checksums, manifest summary."""
-    from repro.store import RunNotFoundError
+    """Show one run: index row, payload checksums, manifest summary.
+
+    The dataset schema comes from the payload *headers* (npz central
+    directory / npd metadata) — no column data is read, so showing a
+    10M-row run is as cheap as a 10-row one.  ``--columns`` opts into
+    reading just the named columns for a summary.
+    """
+    from repro.store import RunNotFoundError, StoreError
 
     store = _open_store(args)
     if store is None:
@@ -723,19 +878,53 @@ def cmd_runs_show(args: argparse.Namespace) -> int:
         print(f"  created {_iso(run.created_unix_s)} UTC  "
               f"seed {run.seed}  label {run.label or '-'}")
         if run.n_rows is not None:
-            print(f"  rows {run.n_measured}/{run.n_rows} measured"
+            rows = (f"{run.n_measured}/{run.n_rows} measured"
+                    if run.n_measured is not None else f"{run.n_rows}")
+            print(f"  rows {rows}"
                   + (f"  mean {run.mean_mbps:.1f} Mbps"
                      if run.mean_mbps is not None else ""))
         print("  files")
         for name in sorted(run.files):
             entry = run.files[name]
-            print(f"    {name:14s} {entry['bytes']:>10d} B  "
+            print(f"    {name:24s} {entry['bytes']:>10d} B  "
                   f"sha256 {entry['sha256'][:16]}…")
+        if run.has_dataset:
+            try:
+                schema = store.dataset_schema(run.run_id)
+            except StoreError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            print(f"  dataset  layout {schema['layout']}  "
+                  f"rows {schema['n_rows']}")
+            for name, descr in schema["columns"].items():
+                print(f"    {name:16s} {descr}")
         outcomes = manifest.get("outcomes", {})
         if outcomes:
             print("  outcomes")
             for key in sorted(outcomes):
                 print(f"    {key:24s} {outcomes[key]:>10d}")
+        if args.columns:
+            names = [c.strip() for c in args.columns.split(",") if c.strip()]
+            try:
+                columns = store.load_columns(run.run_id, names)
+            except StoreError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            print("  columns")
+            for name in names:
+                values = np.asarray(columns[name])
+                if len(values) == 0:
+                    print(f"    {name:16s} (empty)")
+                elif values.dtype.kind in "fiu":
+                    print(f"    {name:16s} min {values.min():.3f}  "
+                          f"mean {values.mean():.3f}  "
+                          f"max {values.max():.3f}")
+                else:
+                    uniques = np.unique(values.astype("U"))
+                    shown = ", ".join(uniques[:8].tolist())
+                    more = ("" if len(uniques) <= 8
+                            else f", … ({len(uniques)} distinct)")
+                    print(f"    {name:16s} {shown}{more}")
     return 0
 
 
@@ -877,10 +1066,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chunk-size", type=int, default=None,
                    help="rows per streamed chunk (bounds peak memory; "
                         "the output is identical for any value)")
-    p.add_argument("--format", choices=("csv", "npz"),
+    p.add_argument("--format", choices=("csv", "npz", "npd"),
                    help="output format (default: from --out suffix, "
-                        "CSV otherwise)")
-    p.add_argument("--out", help="output path (.npz or .csv)")
+                        "CSV otherwise); npd streams an out-of-core "
+                        "column directory at O(chunk) memory")
+    p.add_argument("--out", help="output path (.npz, .csv or .npd)")
+    p.add_argument("--store",
+                   help="run-store root: the generated campaign is "
+                        "streamed into this catalog as an out-of-core "
+                        "run (created if missing)")
+    p.add_argument("--store-month", choices=_store_months(),
+                   help="month label the stored run is filed under "
+                        "for 'repro runs compare' (default: current "
+                        "month)")
+    p.add_argument("--label", help="free-form label for the stored run")
     p.set_defaults(func=cmd_generate)
 
     p = sub.add_parser("analyze", help="run the §3 analyses on a campaign")
@@ -953,10 +1152,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="benchmark an engine against its oracle — campaign "
              "(serial vs sharded), dataset (chunked vs per-row), "
              "fleet (determinism), sessions (batched bank vs "
-             "per-packet) — and write BENCH_<target>.json",
+             "per-packet), ooc (out-of-core round trip under a "
+             "flat-RSS ceiling) — and write BENCH_<target>.json",
     )
     p.add_argument("target", nargs="?", default="campaign",
-                   choices=("campaign", "dataset", "fleet", "sessions"),
+                   choices=("campaign", "dataset", "fleet", "sessions",
+                            "ooc"),
                    help="engine to benchmark (default campaign)")
     p.add_argument("--sizes",
                    help="comma-separated case sizes: campaign rows "
@@ -979,6 +1180,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="sessions: sessions the per-packet oracle "
                         "leg replays for byte-identity (default 8)")
     p.add_argument("--rows", help=argparse.SUPPRESS)  # legacy --sizes
+    p.add_argument("--rss-ceiling", type=float, default=150.0,
+                   help="ooc: peak-RSS ceiling in MiB the streaming "
+                        "round trip must stay under (exit 1 otherwise)")
+    p.add_argument("--verify-rows", type=int, default=None,
+                   help="ooc: rows of the in-memory identity campaign "
+                        "(default 100000; outside the RSS gate)")
     p.add_argument("--users", type=int, default=100_000,
                    help="fleet: user population")
     p.add_argument("--hours", type=int, default=24,
@@ -1075,6 +1282,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     q.add_argument("run_id", help="run id (unambiguous prefix is enough)")
     q.add_argument("--store", required=True, help="run-store root")
+    q.add_argument("--columns", metavar="A,B",
+                   help="also read the named dataset columns and "
+                        "summarise them (numeric: min/mean/max; "
+                        "string: distinct values)")
     q.set_defaults(func=cmd_runs_show)
 
     q = runs_sub.add_parser("diff", help="field-level diff of two runs")

@@ -15,6 +15,13 @@ from repro.dataset.cities import CITY_TIERS, City, make_cities
 from repro.dataset.devices import ANDROID_VERSION_FACTORS, DevicePopulation
 from repro.dataset.generator import CampaignConfig, generate_campaign
 from repro.dataset.isp import ISP, ISPS
+from repro.dataset.ooc import (
+    DatasetWriter,
+    MappedDataset,
+    NpdIntegrityError,
+    open_mapped,
+    write_npd,
+)
 from repro.dataset.records import Dataset
 from repro.dataset.sampling import (
     DEMO_MIXTURES,
@@ -29,11 +36,16 @@ __all__ = [
     "City",
     "DEMO_MIXTURES",
     "Dataset",
+    "DatasetWriter",
     "DevicePopulation",
     "ISP",
     "ISPS",
+    "MappedDataset",
+    "NpdIntegrityError",
     "batch_gmm_bandwidths",
     "demo_campaign",
     "generate_campaign",
     "make_cities",
+    "open_mapped",
+    "write_npd",
 ]

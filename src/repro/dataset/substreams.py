@@ -34,13 +34,27 @@ from typing import Sequence
 
 import numpy as np
 
-try:  # pragma: no cover - exercised indirectly on both branches
-    from scipy import special as _special
+# SciPy is imported lazily on the first inverse-CDF call: importing
+# scipy.special costs ~30 MiB of RSS, which matters to out-of-core
+# consumers whose whole budget is a flat ceiling.  The selection is
+# still made exactly once per process and shared by both execution
+# paths, so byte-identity between them never depends on *when* the
+# import happened.
+_SPECIAL_UNRESOLVED = object()
+_special = _SPECIAL_UNRESOLVED
 
-    _HAVE_SCIPY = True
-except ImportError:  # pragma: no cover
-    _special = None
-    _HAVE_SCIPY = False
+
+def _resolve_special():
+    """scipy.special, imported on first use (``None`` when absent)."""
+    global _special
+    if _special is _SPECIAL_UNRESOLVED:
+        try:  # pragma: no cover - exercised indirectly on both branches
+            from scipy import special
+
+            _special = special
+        except ImportError:  # pragma: no cover
+            _special = None
+    return _special
 
 #: Philox words per counter increment (Philox4x64 emits 4 words).
 _WORDS_PER_BLOCK = 4
@@ -81,6 +95,10 @@ SLOT_USER_VERSION = 65
 SLOT_USER_CITY_TIER = 66
 SLOT_USER_CITY_MEMBER = 67
 
+#: Analysis-side slots (position = resample-block word index, not
+#: test_id — see repro.analysis.streams.PoissonBootstrapStream).
+SLOT_BOOTSTRAP = 128
+
 
 def uniform_block(seed: int, slot: int, start: int, count: int) -> np.ndarray:
     """Words ``[start, start + count)`` of slot ``slot``'s stream as
@@ -120,125 +138,129 @@ def _clip_u(u: np.ndarray) -> np.ndarray:
     return np.clip(u, _U_LO, _U_HI)
 
 
-if _HAVE_SCIPY:
+def _ndtri(u: np.ndarray) -> np.ndarray:
+    special = _resolve_special()
+    if special is not None:
+        return special.ndtri(u)
+    return _ndtri_fallback(u)  # pragma: no cover - container ships scipy
 
-    def _ndtri(u: np.ndarray) -> np.ndarray:
-        return _special.ndtri(u)
 
-    def _betaincinv(a, b, u):
-        return _special.betaincinv(a, b, u)
+def _betaincinv(a, b, u):
+    special = _resolve_special()
+    if special is not None:
+        return special.betaincinv(a, b, u)
+    return _betaincinv_fallback(a, b, u)  # pragma: no cover
 
-else:  # pragma: no cover - container ships scipy; kept importable without
 
-    def _ndtri(u: np.ndarray) -> np.ndarray:
-        """Acklam's rational approximation of the normal inverse CDF.
+def _ndtri_fallback(u: np.ndarray) -> np.ndarray:  # pragma: no cover
+    """Acklam's rational approximation of the normal inverse CDF.
 
-        ~1e-9 relative accuracy — far below the sampling noise of any
-        campaign statistic; used only when SciPy is absent and then by
-        *both* execution paths, preserving byte-identity.
-        """
-        u = np.asarray(u, dtype=np.float64)
-        a = (-3.969683028665376e+01, 2.209460984245205e+02,
-             -2.759285104469687e+02, 1.383577518672690e+02,
-             -3.066479806614716e+01, 2.506628277459239e+00)
-        b = (-5.447609879822406e+01, 1.615858368580409e+02,
-             -1.556989798598866e+02, 6.680131188771972e+01,
-             -1.328068155288572e+01)
-        c = (-7.784894002430293e-03, -3.223964580411365e-01,
-             -2.400758277161838e+00, -2.549732539343734e+00,
-             4.374664141464968e+00, 2.938163982698783e+00)
-        d = (7.784695709041462e-03, 3.224671290700398e-01,
-             2.445134137142996e+00, 3.754408661907416e+00)
-        p_low = 0.02425
-        out = np.empty_like(u)
-        lo = u < p_low
-        hi = u > 1.0 - p_low
-        mid = ~(lo | hi)
-        if np.any(lo):
-            q = np.sqrt(-2.0 * np.log(u[lo]))
-            out[lo] = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q
-                        + c[4]) * q + c[5]) / \
-                      ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
-        if np.any(hi):
-            q = np.sqrt(-2.0 * np.log(1.0 - u[hi]))
-            out[hi] = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q
-                         + c[4]) * q + c[5]) / \
-                      ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
-        if np.any(mid):
-            q = u[mid] - 0.5
-            r = q * q
-            out[mid] = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r
-                         + a[4]) * r + a[5]) * q / \
-                       (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r
-                         + b[4]) * r + 1.0)
-        return out
+    ~1e-9 relative accuracy — far below the sampling noise of any
+    campaign statistic; used only when SciPy is absent and then by
+    *both* execution paths, preserving byte-identity.
+    """
+    u = np.asarray(u, dtype=np.float64)
+    a = (-3.969683028665376e+01, 2.209460984245205e+02,
+         -2.759285104469687e+02, 1.383577518672690e+02,
+         -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02,
+         -1.556989798598866e+02, 6.680131188771972e+01,
+         -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01,
+         -2.400758277161838e+00, -2.549732539343734e+00,
+         4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01,
+         2.445134137142996e+00, 3.754408661907416e+00)
+    p_low = 0.02425
+    out = np.empty_like(u)
+    lo = u < p_low
+    hi = u > 1.0 - p_low
+    mid = ~(lo | hi)
+    if np.any(lo):
+        q = np.sqrt(-2.0 * np.log(u[lo]))
+        out[lo] = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q
+                    + c[4]) * q + c[5]) / \
+                  ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    if np.any(hi):
+        q = np.sqrt(-2.0 * np.log(1.0 - u[hi]))
+        out[hi] = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q
+                     + c[4]) * q + c[5]) / \
+                  ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    if np.any(mid):
+        q = u[mid] - 0.5
+        r = q * q
+        out[mid] = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r
+                     + a[4]) * r + a[5]) * q / \
+                   (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r
+                     + b[4]) * r + 1.0)
+    return out
 
-    def _betainc(a, b, x):
-        """Regularized incomplete beta via Lentz's continued fraction."""
-        a = np.asarray(a, dtype=np.float64)
-        b = np.asarray(b, dtype=np.float64)
-        x = np.asarray(x, dtype=np.float64)
-        a, b, x = np.broadcast_arrays(a, b, x)
+def _betainc(a, b, x):  # pragma: no cover
+    """Regularized incomplete beta via Lentz's continued fraction."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+    a, b, x = np.broadcast_arrays(a, b, x)
 
-        def _cf(a_, b_, x_):
-            tiny = 1e-300
-            qab = a_ + b_
-            qap = a_ + 1.0
-            qam = a_ - 1.0
-            c = np.ones_like(x_)
-            d = 1.0 - qab * x_ / qap
+    def _cf(a_, b_, x_):
+        tiny = 1e-300
+        qab = a_ + b_
+        qap = a_ + 1.0
+        qam = a_ - 1.0
+        c = np.ones_like(x_)
+        d = 1.0 - qab * x_ / qap
+        d = np.where(np.abs(d) < tiny, tiny, d)
+        d = 1.0 / d
+        h = d.copy()
+        for m in range(1, 200):
+            m2 = 2 * m
+            aa = m * (b_ - m) * x_ / ((qam + m2) * (a_ + m2))
+            d = 1.0 + aa * d
             d = np.where(np.abs(d) < tiny, tiny, d)
+            c = 1.0 + aa / c
+            c = np.where(np.abs(c) < tiny, tiny, c)
             d = 1.0 / d
-            h = d.copy()
-            for m in range(1, 200):
-                m2 = 2 * m
-                aa = m * (b_ - m) * x_ / ((qam + m2) * (a_ + m2))
-                d = 1.0 + aa * d
-                d = np.where(np.abs(d) < tiny, tiny, d)
-                c = 1.0 + aa / c
-                c = np.where(np.abs(c) < tiny, tiny, c)
-                d = 1.0 / d
-                h = h * d * c
-                aa = -(a_ + m) * (qab + m) * x_ / ((a_ + m2) * (qap + m2))
-                d = 1.0 + aa * d
-                d = np.where(np.abs(d) < tiny, tiny, d)
-                c = 1.0 + aa / c
-                c = np.where(np.abs(c) < tiny, tiny, c)
-                d = 1.0 / d
-                h = h * d * c
-            return h
+            h = h * d * c
+            aa = -(a_ + m) * (qab + m) * x_ / ((a_ + m2) * (qap + m2))
+            d = 1.0 + aa * d
+            d = np.where(np.abs(d) < tiny, tiny, d)
+            c = 1.0 + aa / c
+            c = np.where(np.abs(c) < tiny, tiny, c)
+            d = 1.0 / d
+            h = h * d * c
+        return h
 
-        from math import lgamma
+    from math import lgamma
 
-        lbeta = (np.vectorize(lgamma)(a) + np.vectorize(lgamma)(b)
-                 - np.vectorize(lgamma)(a + b))
-        use_direct = x < (a + 1.0) / (a + b + 2.0)
-        xx = np.where(use_direct, x, 1.0 - x)
-        aa = np.where(use_direct, a, b)
-        bb = np.where(use_direct, b, a)
-        cf = _cf(aa, bb, xx)
-        front = np.exp(aa * np.log(np.maximum(xx, 1e-300))
-                       + bb * np.log(np.maximum(1.0 - xx, 1e-300)) - lbeta)
-        val = front / aa * cf
-        result = np.where(use_direct, val, 1.0 - val)
-        result = np.where(x <= 0.0, 0.0, result)
-        result = np.where(x >= 1.0, 1.0, result)
-        return np.clip(result, 0.0, 1.0)
+    lbeta = (np.vectorize(lgamma)(a) + np.vectorize(lgamma)(b)
+             - np.vectorize(lgamma)(a + b))
+    use_direct = x < (a + 1.0) / (a + b + 2.0)
+    xx = np.where(use_direct, x, 1.0 - x)
+    aa = np.where(use_direct, a, b)
+    bb = np.where(use_direct, b, a)
+    cf = _cf(aa, bb, xx)
+    front = np.exp(aa * np.log(np.maximum(xx, 1e-300))
+                   + bb * np.log(np.maximum(1.0 - xx, 1e-300)) - lbeta)
+    val = front / aa * cf
+    result = np.where(use_direct, val, 1.0 - val)
+    result = np.where(x <= 0.0, 0.0, result)
+    result = np.where(x >= 1.0, 1.0, result)
+    return np.clip(result, 0.0, 1.0)
 
-    def _betaincinv(a, b, u):
-        """Inverse incomplete beta by 80 deterministic bisection steps."""
-        a = np.asarray(a, dtype=np.float64)
-        b = np.asarray(b, dtype=np.float64)
-        u = np.asarray(u, dtype=np.float64)
-        a, b, u = np.broadcast_arrays(a, b, u)
-        lo = np.zeros(a.shape, dtype=np.float64)
-        hi = np.ones(a.shape, dtype=np.float64)
-        for _ in range(80):
-            mid = 0.5 * (lo + hi)
-            below = _betainc(a, b, mid) < u
-            lo = np.where(below, mid, lo)
-            hi = np.where(below, hi, mid)
-        return 0.5 * (lo + hi)
+def _betaincinv_fallback(a, b, u):  # pragma: no cover
+    """Inverse incomplete beta by 80 deterministic bisection steps."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    u = np.asarray(u, dtype=np.float64)
+    a, b, u = np.broadcast_arrays(a, b, u)
+    lo = np.zeros(a.shape, dtype=np.float64)
+    hi = np.ones(a.shape, dtype=np.float64)
+    for _ in range(80):
+        mid = 0.5 * (lo + hi)
+        below = _betainc(a, b, mid) < u
+        lo = np.where(below, mid, lo)
+        hi = np.where(below, hi, mid)
+    return 0.5 * (lo + hi)
 
 
 def ppf_normal(u: np.ndarray, mean, sigma) -> np.ndarray:

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import json
 import resource
+import shutil
 import tempfile
 import time
 from dataclasses import asdict, dataclass
@@ -77,6 +78,7 @@ class BenchCase:
     speedup: float
     byte_identical: bool
     n_quarantined: int
+    peak_rss_mb: float = 0.0
 
 
 def _dataset_csv_bytes(dataset: Dataset) -> bytes:
@@ -91,6 +93,65 @@ def peak_rss_mb() -> float:
     self_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     children_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
     return (self_kb + children_kb) / 1024.0
+
+
+class PeakRssTracker:
+    """Peak RSS of one code region, as a context manager.
+
+    ``getrusage``'s high-water mark is monotone over the process
+    lifetime, which makes it useless for asking "what did *this*
+    phase cost?" once any earlier phase peaked higher.  On Linux,
+    writing ``"5"`` to ``/proc/self/clear_refs`` resets ``VmHWM`` to
+    the current RSS, so each tracked region gets its own high-water
+    mark; child processes reaped during the region are folded in via
+    the rise of the children's rusage counter.  Where the reset is
+    unavailable the tracker degrades to the cumulative
+    :func:`peak_rss_mb` (an over-estimate, never an under-estimate —
+    safe for ceiling gates).
+
+    >>> with PeakRssTracker() as rss:                  # doctest: +SKIP
+    ...     run_phase()
+    >>> rss.peak_mb                                    # doctest: +SKIP
+    """
+
+    def __enter__(self) -> "PeakRssTracker":
+        self.peak_mb: float = 0.0
+        self._children_kb = resource.getrusage(
+            resource.RUSAGE_CHILDREN
+        ).ru_maxrss
+        self._reset_ok = False
+        try:
+            with open("/proc/self/clear_refs", "w") as handle:
+                handle.write("5")
+            self._reset_ok = True
+        except OSError:
+            pass
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.peak_mb = self._read()
+
+    @staticmethod
+    def _vmhwm_kb() -> Optional[int]:
+        try:
+            with open("/proc/self/status") as handle:
+                for line in handle:
+                    if line.startswith("VmHWM:"):
+                        return int(line.split()[1])
+        except (OSError, ValueError, IndexError):
+            pass
+        return None
+
+    def _read(self) -> float:
+        if self._reset_ok:
+            vmhwm_kb = self._vmhwm_kb()
+            if vmhwm_kb is not None:
+                children_kb = resource.getrusage(
+                    resource.RUSAGE_CHILDREN
+                ).ru_maxrss
+                grew_kb = max(0, children_kb - self._children_kb)
+                return (vmhwm_kb + grew_kb) / 1024.0
+        return peak_rss_mb()
 
 
 def bench_one_size(
@@ -112,13 +173,14 @@ def bench_one_size(
         n_shards=n_shards,
     )
 
-    start = time.perf_counter()
-    serial = run_campaign(contexts, serial_cfg)
-    serial_s = time.perf_counter() - start
+    with PeakRssTracker() as rss:
+        start = time.perf_counter()
+        serial = run_campaign(contexts, serial_cfg)
+        serial_s = time.perf_counter() - start
 
-    start = time.perf_counter()
-    sharded = run_campaign(contexts, sharded_cfg)
-    sharded_s = time.perf_counter() - start
+        start = time.perf_counter()
+        sharded = run_campaign(contexts, sharded_cfg)
+        sharded_s = time.perf_counter() - start
 
     identical = (
         serial.dataset is not None
@@ -136,6 +198,7 @@ def bench_one_size(
         speedup=serial_s / sharded_s if sharded_s > 0 else float("inf"),
         byte_identical=identical,
         n_quarantined=serial.n_quarantined,
+        peak_rss_mb=rss.peak_mb,
     )
 
 
@@ -198,6 +261,7 @@ class DatasetBenchCase:
     speedup: float
     chunked_byte_identical: bool
     oracle_byte_identical: bool
+    peak_rss_mb: float = 0.0
 
 
 def _dataset_fingerprint(dataset: Dataset) -> Tuple:
@@ -222,9 +286,10 @@ def bench_dataset_case(
     """Time the chunked engine vs the per-row oracle at one size."""
     config = GenerationConfig(year=year, n_tests=rows, seed=seed)
 
-    start = time.perf_counter()
-    chunked = generate_campaign(config, chunk_size=chunk_size)
-    vectorized_s = time.perf_counter() - start
+    with PeakRssTracker() as rss:
+        start = time.perf_counter()
+        chunked = generate_campaign(config, chunk_size=chunk_size)
+        vectorized_s = time.perf_counter() - start
 
     # Chunk-partition invariance: a different chunk size (and the
     # single-chunk run) must reproduce the exact same bytes.
@@ -260,6 +325,7 @@ def bench_dataset_case(
         speedup=vectorized_rate / oracle_rate if oracle_rate > 0 else float("inf"),
         chunked_byte_identical=chunked_identical,
         oracle_byte_identical=oracle_identical,
+        peak_rss_mb=rss.peak_mb,
     )
 
 
@@ -337,6 +403,7 @@ class SessionsBenchCase:
     byte_identical: bool
     order_invariant: bool
     bank_size_invariant: bool
+    peak_rss_mb: float = 0.0
 
 
 def _bank_result_fields(bank, i: int) -> Tuple:
@@ -382,11 +449,12 @@ def bench_sessions_case(
     rng = np.random.default_rng(seed)
     capacities = rng.uniform(*_SESSIONS_CAPACITY_RANGE, n_sessions)
 
-    start = time.perf_counter()
-    bank = run_session_bank(
-        model, capacities, server_capacity_mbps=_SESSIONS_SERVER_MBPS
-    )
-    bank_s = time.perf_counter() - start
+    with PeakRssTracker() as rss:
+        start = time.perf_counter()
+        bank = run_session_bank(
+            model, capacities, server_capacity_mbps=_SESSIONS_SERVER_MBPS
+        )
+        bank_s = time.perf_counter() - start
 
     n_oracle = min(oracle_sessions, n_sessions)
     start = time.perf_counter()
@@ -457,6 +525,7 @@ def bench_sessions_case(
         byte_identical=identical,
         order_invariant=order_invariant,
         bank_size_invariant=size_invariant,
+        peak_rss_mb=rss.peak_mb,
     )
 
 
@@ -535,15 +604,16 @@ def run_fleet_bench(
     )
 
     def one(config):
-        start = time.perf_counter()
-        report, manifest = run_fleet_day(config)
-        elapsed = time.perf_counter() - start
+        with PeakRssTracker() as rss:
+            start = time.perf_counter()
+            report, manifest = run_fleet_day(config)
+            elapsed = time.perf_counter() - start
         outcomes = json.dumps(manifest["outcomes"], sort_keys=True)
-        return report, outcomes, elapsed
+        return report, outcomes, elapsed, rss.peak_mb
 
-    report_a, outcomes_a, elapsed_a = one(base)
-    _, outcomes_b, _ = one(base)
-    _, outcomes_c, _ = one(sharded)
+    report_a, outcomes_a, elapsed_a, peak_a = one(base)
+    _, outcomes_b, _, peak_b = one(base)
+    _, outcomes_c, _, peak_c = one(sharded)
 
     summary = {
         "benchmark": "fleet-day",
@@ -563,7 +633,265 @@ def run_fleet_bench(
             outcomes_a == outcomes_b == outcomes_c
         ),
         "accounting_balanced": report_a.balanced,
+        "case_peak_rss_mb": [peak_a, peak_b, peak_c],
         "peak_rss_mb": peak_rss_mb(),
+    }
+    if out_path is not None:
+        out_path = Path(out_path)
+        atomic_write_json(out_path, summary, indent=2, trailing_newline=True)
+    return summary
+
+
+# -- out-of-core backend benchmark ------------------------------------------
+
+#: Rows of the flat-RSS round trip (generate -> ingest -> compare).
+OOC_DEFAULT_ROWS = 10_000_000
+
+#: Peak-RSS ceiling (MiB) the streaming phases must stay under — the
+#: acceptance gate: 10M rows must cost less than an in-memory 1M-row
+#: load did (778 MiB in BENCH_dataset.json).
+OOC_DEFAULT_RSS_CEILING_MB = 150.0
+
+#: Rows of the in-memory identity campaign (streaming kernels vs their
+#: oracles; this phase materialises on purpose and sits outside the
+#: RSS gate).
+OOC_DEFAULT_VERIFY_ROWS = 100_000
+
+#: Cap on rows per ingested campaign: the generator's user table (one
+#: user per ~7 tests, a handful of object/float arrays) is the only
+#: remaining O(campaign) allocation, so months bigger than this are
+#: split into several runs and pooled back by ``compare_months``.
+OOC_ROWS_PER_INGEST = 2_000_000
+
+
+def _ooc_identity_checks(
+    workdir: Path, rows: int, chunk_size: int, seed: int
+) -> Dict[str, bool]:
+    """Streaming kernels vs in-memory oracles at a materialisable size.
+
+    Every check is byte identity, not tolerance: the mapped columns,
+    the chunked CSV bytes, and each streaming fold's floats must equal
+    the in-memory computation exactly.
+    """
+    from repro.analysis.diurnal import hourly_profile, hourly_profile_stream
+    from repro.analysis.longitudinal import (
+        matched_group_declines,
+        matched_group_declines_stream,
+    )
+    from repro.analysis.streams import GroupReduceStream, poisson_bootstrap_ci
+    from repro.dataset.generator import iter_campaign_chunks
+    from repro.dataset.ooc import write_npd
+    from repro.dataset.records import group_reduce
+    from repro.store.catalog import RunStore
+    from repro.store.longitudinal import compare_months
+
+    checks: Dict[str, bool] = {}
+    config_a = GenerationConfig(year=2020, n_tests=rows, seed=seed)
+    config_b = GenerationConfig(year=2021, n_tests=rows, seed=seed + 1)
+    ds_a = generate_campaign(config_a, chunk_size=chunk_size)
+    ds_b = generate_campaign(config_b, chunk_size=chunk_size)
+
+    npd = workdir / "verify.npd"
+    write_npd(npd, iter_campaign_chunks(config_a, chunk_size=chunk_size))
+    mapped = Dataset.open_mapped(npd)
+    mapped.verify_checksums()
+    checks["mapped_columns_identical"] = (
+        _dataset_fingerprint(mapped.to_memory())
+        == _dataset_fingerprint(ds_a)
+    )
+
+    csv_a, csv_b = workdir / "oracle.csv", workdir / "stream.csv"
+    ds_a.to_csv(csv_a)
+    mapped.to_csv(csv_b, chunk_size=max(1, chunk_size // 3))
+    checks["to_csv_identical"] = csv_a.read_bytes() == csv_b.read_bytes()
+
+    stream = GroupReduceStream()
+    for chunk in mapped.iter_chunks(
+        chunk_size=max(1, chunk_size // 3),
+        columns=["tech", "bandwidth_mbps"],
+    ):
+        stream.update(chunk["tech"], chunk["bandwidth_mbps"])
+    keys, means, counts = stream.result()
+    ref_keys, ref_means, ref_counts = group_reduce(
+        ds_a.column("tech"), ds_a.bandwidth
+    )
+    checks["group_reduce_identical"] = (
+        keys == ref_keys.tolist()
+        and means.tobytes() == ref_means.tobytes()
+        and counts.tolist() == ref_counts.tolist()
+    )
+
+    hourly_columns = ["tech", "hour", "bandwidth_mbps"]
+    checks["hourly_identical"] = hourly_profile_stream(
+        mapped.iter_chunks(columns=hourly_columns), "4G"
+    ) == hourly_profile(ds_a, "4G")
+
+    group_columns = ["tech", "isp", "city_tier", "bandwidth_mbps"]
+    checks["longitudinal_identical"] = matched_group_declines_stream(
+        mapped.iter_chunks(columns=group_columns),
+        ds_b.iter_chunks(chunk_size=max(1, chunk_size // 3),
+                         columns=group_columns),
+        "4G",
+    ) == matched_group_declines(ds_a, ds_b, "4G")
+
+    sample = ds_a.bandwidth[: min(20_000, rows)]
+    split = min(1000, len(sample))
+    checks["bootstrap_identical"] = poisson_bootstrap_ci(
+        [sample[:split], sample[split:]], seed=seed, n_resamples=200
+    ) == poisson_bootstrap_ci(
+        sample, seed=seed, n_resamples=200, mode="oracle"
+    )
+
+    # compare_months stream vs oracle over a small mixed-layout store
+    # (one out-of-core run, one npz run).
+    with RunStore(workdir / "verify_store") as store:
+        store.ingest_run(
+            {"kind": "campaign", "seed": seed, "run": {"n_rows": rows}},
+            ds_a, month="aug", layout="npd",
+        )
+        store.ingest_run(
+            {"kind": "campaign", "seed": seed + 1, "run": {"n_rows": rows}},
+            ds_b, month="nov", layout="npz",
+        )
+        checks["compare_months_identical"] = compare_months(
+            store, ("aug", "nov"), tech="4G", mode="stream"
+        ) == compare_months(
+            store, ("aug", "nov"), tech="4G", mode="oracle"
+        )
+    return checks
+
+
+def run_ooc_bench(
+    rows: int = OOC_DEFAULT_ROWS,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    seed: int = DEFAULT_SEED,
+    rss_ceiling_mb: float = OOC_DEFAULT_RSS_CEILING_MB,
+    verify_rows: int = OOC_DEFAULT_VERIFY_ROWS,
+    out_path: Optional[Union[str, Path]] = None,
+    workdir: Optional[Union[str, Path]] = None,
+) -> Dict:
+    """The flat-RSS gate: a paper-scale round trip that never holds a
+    dataset in memory.
+
+    Half the rows go to month "aug" (2020 deployment), half to "nov"
+    (2021), each month as one or more campaigns streamed from the
+    generator through :meth:`RunStore.ingest_chunks` into out-of-core
+    payloads; then the §3.1 month comparison runs in streaming mode
+    over the mapped datasets.  Campaigns are capped at
+    :data:`OOC_ROWS_PER_INGEST` rows because the generator's user
+    table scales with campaign size (one user per ~7 tests) — the cap
+    keeps that table, the only O(campaign) allocation left, bounded;
+    ``compare_months`` pools a month's runs, so the split changes run
+    count, not the analysed rows.  Each phase's peak RSS is measured
+    with a fresh high-water mark (:class:`PeakRssTracker`); the gate
+    is the max over the two streaming phases, which must stay under
+    ``rss_ceiling_mb`` no matter how large ``rows`` is.
+
+    A third phase replays every streaming kernel against its in-memory
+    oracle at ``verify_rows`` (materialisable by construction) and
+    requires byte identity; its RSS is reported but deliberately not
+    gated.  When ``out_path`` is given the summary is written there
+    (``BENCH_ooc.json`` by convention).
+    """
+    from repro.dataset.generator import iter_campaign_chunks
+    from repro.store.catalog import RunStore
+    from repro.store.longitudinal import compare_months
+
+    if rows < 2:
+        raise ValueError(f"need at least 2 rows, got {rows}")
+    cleanup = workdir is None
+    workdir = Path(workdir) if workdir is not None else Path(
+        tempfile.mkdtemp(prefix="repro-ooc-bench-")
+    )
+    workdir.mkdir(parents=True, exist_ok=True)
+    try:
+        half = rows // 2
+        legs: List[Tuple[str, int, int, int]] = []
+        for month, year in (("aug", 2020), ("nov", 2021)):
+            remaining = half
+            while remaining > 0:
+                leg_rows = min(remaining, OOC_ROWS_PER_INGEST)
+                # Distinct seeds per leg: identical content would
+                # dedupe under the store's content-addressed ids.
+                legs.append((month, year, seed + len(legs), leg_rows))
+                remaining -= leg_rows
+        with PeakRssTracker() as rss_ingest:
+            start = time.perf_counter()
+            with RunStore(workdir / "store") as store:
+                for month, year, leg_seed, leg_rows in legs:
+                    config = GenerationConfig(
+                        year=year, n_tests=leg_rows, seed=leg_seed
+                    )
+                    manifest = {
+                        "kind": "campaign",
+                        "seed": leg_seed,
+                        "created_unix_s": time.time(),
+                        "run": {"n_rows": leg_rows},
+                    }
+                    store.ingest_chunks(
+                        manifest,
+                        iter_campaign_chunks(config, chunk_size=chunk_size),
+                        month=month,
+                    )
+            ingest_s = time.perf_counter() - start
+
+        with PeakRssTracker() as rss_compare:
+            start = time.perf_counter()
+            with RunStore(workdir / "store") as store:
+                comparison = compare_months(
+                    store, ("aug", "nov"), tech="4G", mode="stream"
+                )
+            compare_s = time.perf_counter() - start
+
+        with PeakRssTracker() as rss_verify:
+            start = time.perf_counter()
+            identity = _ooc_identity_checks(
+                workdir, verify_rows, chunk_size, seed
+            )
+            verify_s = time.perf_counter() - start
+    finally:
+        if cleanup:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    gated_peak = max(rss_ingest.peak_mb, rss_compare.peak_mb)
+    summary = {
+        "benchmark": "ooc-backend",
+        "seed": seed,
+        "rows": 2 * half,
+        "chunk_size": chunk_size,
+        "verify_rows": verify_rows,
+        "rss_ceiling_mb": rss_ceiling_mb,
+        "phases": {
+            "generate_ingest": {
+                "elapsed_s": ingest_s,
+                "rows_per_s": (
+                    2 * half / ingest_s if ingest_s > 0 else float("inf")
+                ),
+                "peak_rss_mb": rss_ingest.peak_mb,
+            },
+            "compare": {
+                "elapsed_s": compare_s,
+                "rows_per_s": (
+                    2 * half / compare_s if compare_s > 0 else float("inf")
+                ),
+                "peak_rss_mb": rss_compare.peak_mb,
+            },
+            "verify": {
+                "elapsed_s": verify_s,
+                "peak_rss_mb": rss_verify.peak_mb,
+            },
+        },
+        "peak_rss_mb": gated_peak,
+        "within_ceiling": gated_peak < rss_ceiling_mb,
+        "identity": identity,
+        "all_byte_identical": all(identity.values()),
+        "compare": {
+            key: comparison[key]
+            for key in (
+                "months", "tech", "n_before", "n_after",
+                "mean_before_mbps", "mean_after_mbps", "decline",
+            )
+        },
     }
     if out_path is not None:
         out_path = Path(out_path)

@@ -22,10 +22,26 @@ import numpy as np
 
 from repro.execmode import ExecutionMode
 
-try:
-    from scipy.signal import lfilter as _lfilter
-except ImportError:  # pragma: no cover - scipy is a declared dependency
-    _lfilter = None
+# scipy.signal costs ~75 MiB of RSS to import, so it is resolved
+# lazily on the first vectorized trace construction rather than at
+# module import (out-of-core pipelines that never build a trace keep
+# the memory).  ``_lfilter`` stays a module-level name so tests can
+# monkeypatch it to ``None`` to force the Python-loop path.
+_LFILTER_UNRESOLVED = object()
+_lfilter = _LFILTER_UNRESOLVED
+
+
+def _resolve_lfilter():
+    """scipy.signal.lfilter, imported on first use (``None`` if absent)."""
+    global _lfilter
+    if _lfilter is _LFILTER_UNRESOLVED:
+        try:
+            from scipy.signal import lfilter
+
+            _lfilter = lfilter
+        except ImportError:  # pragma: no cover - scipy is a dependency
+            _lfilter = None
+    return _lfilter
 
 
 class CapacityTrace:
@@ -126,13 +142,14 @@ class FluctuatingTrace(CapacityTrace):
         a = math.exp(-self.GRID_STEP_S / tau_s)
         noise_scale = sigma * math.sqrt(max(0.0, 1.0 - a * a))
         resolved = ExecutionMode.coerce(mode)
-        if resolved is ExecutionMode.VECTORIZED and _lfilter is None:
+        lfilter = _resolve_lfilter()
+        if resolved is ExecutionMode.VECTORIZED and lfilter is None:
             raise ValueError(
                 "mode='vectorized' needs scipy.signal.lfilter; "
                 "use mode='oracle' (or 'auto') without scipy"
             )
         use_lfilter = (
-            _lfilter is not None
+            lfilter is not None
             if resolved is ExecutionMode.AUTO
             else resolved is ExecutionMode.VECTORIZED
         )
@@ -144,7 +161,7 @@ class FluctuatingTrace(CapacityTrace):
             # form evaluation performs the identical fused multiply-add
             # sequence, so the grid is bit-for-bit the same as the
             # Python loop's — just computed in C.
-            x[1:] = _lfilter(
+            x[1:] = lfilter(
                 [noise_scale], [1.0, -a], shocks, zi=np.array([a * x[0]])
             )[0]
         else:

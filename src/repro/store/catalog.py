@@ -38,11 +38,22 @@ import os
 import shutil
 import sqlite3
 import time
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Union
 
-from repro.dataset.records import Dataset
+import numpy as np
+
+from repro.dataset.ooc import (
+    NPD_META,
+    DatasetWriter,
+    MappedDataset,
+    npd_file_index,
+    read_npd_meta,
+)
+from repro.dataset.records import SCHEMA, Dataset
+from repro.analysis.streams import MeanStream
 from repro.ioutil import fsync_dir, fsync_rename
 from repro.store.errors import (
     CorruptPayloadError,
@@ -53,6 +64,7 @@ from repro.store.journal import Journal, crash_write_limit, maybe_crash
 
 __all__ = [
     "MONTHS",
+    "OOC_ROW_THRESHOLD",
     "RunRecord",
     "RunStore",
     "StoreLayout",
@@ -70,6 +82,17 @@ MONTHS = (
 
 #: Prefix of in-flight ingest directories under ``payloads/``.
 INGEST_TMP_PREFIX = ".ingest-"
+
+#: Dataset payload names.  ``dataset.npz`` is the original in-memory
+#: archive; ``dataset.npd`` is the out-of-core column directory whose
+#: per-file checksums appear in ``files`` as ``dataset.npd/<file>``.
+DATASET_NPZ = "dataset.npz"
+DATASET_NPD = "dataset.npd"
+
+#: ``ingest_run(layout="auto")`` spills datasets at or above this many
+#: rows to the out-of-core layout; smaller ones keep the npz path
+#: (byte-identical files and therefore identical run ids to before).
+OOC_ROW_THRESHOLD = 1_000_000
 
 _INDEX_SCHEMA = """
 CREATE TABLE IF NOT EXISTS runs (
@@ -252,6 +275,7 @@ class RunStore:
         dataset: Optional[Dataset] = None,
         label: str = "",
         month: Optional[str] = None,
+        layout: str = "auto",
     ) -> str:
         """Commit one run (manifest + optional measured dataset).
 
@@ -259,6 +283,13 @@ class RunStore:
         identical content again is a no-op returning the same id.
         ``month`` overrides the label derived from the manifest's
         ``created_unix_s`` (the longitudinal view groups by it).
+
+        ``layout`` picks the dataset payload format: ``"npz"`` buffers
+        the whole archive in memory (the original path — unchanged
+        bytes, unchanged run ids), ``"npd"`` streams an out-of-core
+        column directory at O(chunk) memory, and ``"auto"`` (default)
+        spills to npd for mapped datasets and anything at or above
+        :data:`OOC_ROW_THRESHOLD` rows.
         """
         if not isinstance(manifest, dict):
             raise StoreError("manifest must be a dict")
@@ -266,6 +297,21 @@ class RunStore:
             raise StoreError(
                 f"month must be one of {MONTHS}, got {month!r}"
             )
+        if layout not in ("auto", "npz", "npd"):
+            raise StoreError(
+                f"layout must be 'auto', 'npz' or 'npd', got {layout!r}"
+            )
+        if layout == "auto":
+            spill = dataset is not None and (
+                isinstance(dataset, MappedDataset)
+                or len(dataset) >= OOC_ROW_THRESHOLD
+            )
+            layout = "npd" if spill else "npz"
+        if dataset is not None and layout == "npd":
+            return self.ingest_chunks(
+                manifest, dataset.iter_chunks(), label=label, month=month
+            )
+
         manifest_bytes = json.dumps(
             manifest, indent=2, sort_keys=True
         ).encode("utf-8")
@@ -280,10 +326,10 @@ class RunStore:
             buffer = io.BytesIO()
             dataset.to_npz(buffer)
             npz = buffer.getvalue()
-            files["dataset.npz"] = {
+            files[DATASET_NPZ] = {
                 "sha256": sha256_bytes(npz), "bytes": len(npz),
             }
-            blobs["dataset.npz"] = npz
+            blobs[DATASET_NPZ] = npz
 
         kind = str(manifest.get("kind", "run"))
         identity = json.dumps(
@@ -337,6 +383,112 @@ class RunStore:
         maybe_crash("store.after_index_apply")
         return run_id
 
+    def ingest_chunks(
+        self,
+        manifest: Dict,
+        chunks: Iterable[Mapping[str, "np.ndarray"]],
+        label: str = "",
+        month: Optional[str] = None,
+    ) -> str:
+        """Commit one run whose dataset arrives as column chunks.
+
+        The out-of-core ingest path: chunks (e.g. straight from
+        ``iter_campaign_chunks``) stream through a
+        :class:`~repro.dataset.ooc.DatasetWriter` into a
+        ``dataset.npd`` payload without the dataset ever being
+        resident — peak memory is O(chunk) regardless of row count.
+        Same commit protocol, idempotency, and crash points as
+        :meth:`ingest_run`; the ``files`` map carries one
+        checksummed entry per column file (``dataset.npd/<file>``).
+        """
+        if not isinstance(manifest, dict):
+            raise StoreError("manifest must be a dict")
+        if month is not None and month not in MONTHS:
+            raise StoreError(
+                f"month must be one of {MONTHS}, got {month!r}"
+            )
+        manifest_bytes = json.dumps(
+            manifest, indent=2, sort_keys=True
+        ).encode("utf-8")
+        kind = str(manifest.get("kind", "run"))
+
+        # The run id is content-addressed, so it cannot be known until
+        # the chunks have streamed through; stage under a pid-scoped
+        # .ingest-* name (fsck sweeps those on crash) and rename once
+        # the id is in hand.
+        maybe_crash("store.before_payload")
+        stage = self.layout.payloads_dir / (
+            f"{INGEST_TMP_PREFIX}stage-{os.getpid()}"
+        )
+        if stage.exists():
+            shutil.rmtree(stage)
+        stage.mkdir(parents=True)
+        try:
+            self._write_payload_file(stage / "manifest.json", manifest_bytes)
+            mean = MeanStream()
+            with DatasetWriter(stage / DATASET_NPD) as writer:
+                for chunk in chunks:
+                    writer.append(chunk)
+                    mean.update(chunk["bandwidth_mbps"])
+            files: Dict[str, Dict] = {
+                "manifest.json": {
+                    "sha256": sha256_bytes(manifest_bytes),
+                    "bytes": len(manifest_bytes),
+                }
+            }
+            for name, entry in sorted(
+                npd_file_index(stage / DATASET_NPD).items()
+            ):
+                files[f"{DATASET_NPD}/{name}"] = entry
+            fsync_dir(stage)
+            maybe_crash("store.after_payload_tmp")
+
+            identity = json.dumps(
+                [kind, files, label], separators=(",", ":"), sort_keys=True
+            )
+            run_id = sha256_bytes(identity.encode("utf-8"))[:12]
+            committed = self.journal.scan().committed()
+            if run_id in committed:
+                shutil.rmtree(stage)
+                self.recover()
+                return run_id
+            final_dir = self.layout.payload_dir(run_id)
+            if final_dir.exists():  # stale orphan from an earlier crash
+                shutil.rmtree(final_dir)
+            fsync_rename(stage, final_dir)
+        except BaseException:
+            if stage.exists():
+                shutil.rmtree(stage, ignore_errors=True)
+            raise
+        maybe_crash("store.after_payload_rename")
+
+        created = float(manifest.get("created_unix_s") or time.time())
+        month = month or month_of(created)
+        summary = _manifest_summary(manifest)
+        n_rows = summary["n_rows"]
+        if n_rows is None:
+            n_rows = writer.n_rows
+        record = self.journal.append(
+            "commit",
+            run_id=run_id,
+            kind=kind,
+            created_unix_s=created,
+            month=month,
+            seed=summary["seed"],
+            label=label,
+            n_rows=n_rows,
+            n_measured=summary["n_measured"],
+            mean_mbps=(
+                round(mean.result(), 6) if mean.count else None
+            ),
+            files=files,
+        )
+        maybe_crash("store.after_journal_append")
+        self._apply_commit(record)
+        self._db.commit()
+        maybe_crash("store.after_index_apply")
+        return run_id
+
     def _write_payload_file(self, path: Path, data: bytes) -> None:
         """Write one payload file, fsynced; honours the
         ``mid_payload_write`` crash point by stopping after
@@ -372,7 +524,7 @@ class RunStore:
                 record.get("n_rows"),
                 record.get("n_measured"),
                 record.get("mean_mbps"),
-                int("dataset.npz" in record.get("files", {})),
+                int(_has_dataset_files(record.get("files", {}))),
                 json.dumps(record.get("files", {}), sort_keys=True),
                 self._stored_manifest_text(record["run_id"]),
             ),
@@ -453,14 +605,133 @@ class RunStore:
         return json.loads(data.decode("utf-8"))
 
     def load_dataset(self, run_id: str) -> Dataset:
-        """The measured dataset of a run, checksum-verified."""
+        """The measured dataset of a run, checksum-verified.
+
+        npz payloads load fully into memory (as before); npd payloads
+        come back as a :class:`~repro.dataset.ooc.MappedDataset` —
+        every column file is checksum-verified (streamed, not
+        materialised), then mapped lazily.
+        """
         record = self.get_run(run_id)
         if not record.has_dataset:
             raise StoreError(f"run {record.short_id} has no dataset payload")
-        self._verified_payload(record, "dataset.npz", read=False)
-        return Dataset.from_npz(
-            self.layout.payload_dir(record.run_id) / "dataset.npz"
+        if DATASET_NPZ in record.files:
+            self._verified_payload(record, DATASET_NPZ, read=False)
+            return Dataset.from_npz(
+                self.layout.payload_dir(record.run_id) / DATASET_NPZ
+            )
+        for name in self._npd_members(record):
+            self._verified_payload(record, name, read=False)
+        return Dataset.open_mapped(
+            self.layout.payload_dir(record.run_id) / DATASET_NPD
         )
+
+    @staticmethod
+    def _npd_members(record: RunRecord) -> List[str]:
+        return sorted(
+            name for name in record.files
+            if name.startswith(DATASET_NPD + "/")
+        )
+
+    def dataset_schema(self, run_id: str) -> Dict:
+        """Row count and column dtypes from the payload headers alone.
+
+        Reads the npd meta file or the npz member headers — never a
+        column's data — so ``repro runs show`` stays O(1) however
+        large the dataset is.  Returns ``{"layout", "n_rows",
+        "columns": {name: dtype descr}}``.
+        """
+        record = self.get_run(run_id)
+        if not record.has_dataset:
+            raise StoreError(f"run {record.short_id} has no dataset payload")
+        payload_dir = self.layout.payload_dir(record.run_id)
+        if DATASET_NPZ in record.files:
+            path = payload_dir / DATASET_NPZ
+            if not path.exists():
+                raise CorruptPayloadError(
+                    f"run {record.short_id}: {DATASET_NPZ} is missing on "
+                    f"disk; run `repro store fsck --repair`"
+                )
+            columns: Dict[str, str] = {}
+            n_rows = None
+            try:
+                with zipfile.ZipFile(path) as archive:
+                    for member in sorted(archive.namelist()):
+                        with archive.open(member) as handle:
+                            version = np.lib.format.read_magic(handle)
+                            if version == (1, 0):
+                                header = np.lib.format.read_array_header_1_0
+                            elif version == (2, 0):
+                                header = np.lib.format.read_array_header_2_0
+                            else:
+                                raise ValueError(
+                                    f"unsupported npy version {version} "
+                                    f"in member {member!r}"
+                                )
+                            shape, _, dtype = header(handle)
+                        name = member[:-4] if member.endswith(".npy") else member
+                        columns[name] = np.lib.format.dtype_to_descr(dtype)
+                        if n_rows is None and shape:
+                            n_rows = int(shape[0])
+            except (zipfile.BadZipFile, ValueError, OSError) as exc:
+                raise CorruptPayloadError(
+                    f"run {record.short_id}: {DATASET_NPZ} headers are "
+                    f"unreadable ({exc}); run `repro store fsck --repair`"
+                )
+            return {
+                "layout": "npz",
+                "n_rows": n_rows or 0,
+                "columns": columns,
+            }
+        meta_name = f"{DATASET_NPD}/{NPD_META}"
+        self._verified_payload(record, meta_name, read=False)
+        meta = read_npd_meta(payload_dir / DATASET_NPD)
+        return {
+            "layout": "npd",
+            "n_rows": int(meta["n_rows"]),
+            "columns": {
+                name: entry["descr"]
+                for name, entry in sorted(meta["columns"].items())
+            },
+        }
+
+    def load_columns(
+        self, run_id: str, names: List[str]
+    ) -> Dict[str, "np.ndarray"]:
+        """Load only the named columns of a run's dataset.
+
+        For npd payloads this verifies and maps just the requested
+        column files; npz payloads (single-archive) are verified whole
+        but only the requested members are decoded.
+        """
+        unknown = sorted(set(names) - set(SCHEMA))
+        if unknown:
+            raise StoreError(
+                f"unknown columns {unknown}; known: {sorted(SCHEMA)}"
+            )
+        record = self.get_run(run_id)
+        if not record.has_dataset:
+            raise StoreError(f"run {record.short_id} has no dataset payload")
+        payload_dir = self.layout.payload_dir(record.run_id)
+        if DATASET_NPZ in record.files:
+            self._verified_payload(record, DATASET_NPZ, read=False)
+            with np.load(
+                payload_dir / DATASET_NPZ, allow_pickle=False
+            ) as archive:
+                return {name: archive[name] for name in names}
+        meta = read_npd_meta(payload_dir / DATASET_NPD)
+        out: Dict[str, np.ndarray] = {}
+        self._verified_payload(
+            record, f"{DATASET_NPD}/{NPD_META}", read=False
+        )
+        mapped = Dataset.open_mapped(payload_dir / DATASET_NPD)
+        for name in names:
+            self._verified_payload(
+                record, f"{DATASET_NPD}/{meta['columns'][name]['file']}",
+                read=False,
+            )
+            out[name] = mapped.column(name)
+        return out
 
     def _verified_payload(
         self, record: RunRecord, name: str, read: bool = True
@@ -512,6 +783,14 @@ class RunStore:
         for key in sorted(set(out_a) | set(out_b)):
             note(f"outcomes.{key}", out_a.get(key, 0), out_b.get(key, 0))
         return diff
+
+
+def _has_dataset_files(files: Dict[str, Dict]) -> bool:
+    """A run has a dataset if it carries the npz archive or any file
+    of the out-of-core column directory."""
+    return DATASET_NPZ in files or any(
+        name.startswith(DATASET_NPD + "/") for name in files
+    )
 
 
 def _dataset_mean(dataset: Optional[Dataset]) -> Optional[float]:

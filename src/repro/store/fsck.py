@@ -342,6 +342,16 @@ def _payload_parses(payload_dir: Path) -> bool:
             Dataset.from_npz(dataset_path)
         except Exception:
             return False
+    npd_path = payload_dir / "dataset.npd"
+    if npd_path.exists():
+        try:
+            from repro.dataset.ooc import open_mapped
+
+            # Mapped open validates the meta; the checksum sweep
+            # catches column-file damage the meta can't see.
+            open_mapped(npd_path).verify_checksums()
+        except Exception:
+            return False
     return True
 
 
@@ -356,12 +366,14 @@ def _recommit(
     marked ``recommitted`` (provenance note that these checksums are
     post-hoc, not from the original commit)."""
     payload_dir = layout.payload_dir(run_id)
+    # rglob, not iterdir: out-of-core payloads nest their column files
+    # under dataset.npd/, named in the files map by relative path.
     files = {
-        path.name: {
+        path.relative_to(payload_dir).as_posix(): {
             "sha256": sha256_file(path),
             "bytes": path.stat().st_size,
         }
-        for path in sorted(payload_dir.iterdir())
+        for path in sorted(payload_dir.rglob("*"))
         if path.is_file()
     }
     journal.append(

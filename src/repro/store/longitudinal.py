@@ -10,16 +10,29 @@ dataset in each, and rerun the decline analysis
 (:mod:`repro.analysis.longitudinal`), falling back to the plain mean
 comparison when no matched (ISP, city-tier) group reaches the
 paper's sample-size floor.
+
+:func:`compare_months` runs in one of two modes.  ``"stream"`` (the
+default) folds each month's runs chunk by chunk — means and matched
+(ISP, city-tier) group means in a single pass per month at O(chunk)
+peak memory, which is what lets a 10M-row month compare under the
+flat-RSS ceiling.  ``"oracle"`` pools everything in memory and runs
+the original kernels; both modes produce bit-identical results (the
+bench identity gate holds them to that), so the oracle exists to keep
+the stream honest, not for callers.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.analysis.longitudinal import (
+    _declines_from_group_means,
     decline_summary,
     matched_group_declines,
 )
+from repro.analysis.streams import GroupReduceStream, MeanStream
 from repro.dataset.records import Dataset
 from repro.store.catalog import MONTHS, RunRecord, RunStore
 from repro.store.errors import StoreError
@@ -29,15 +42,19 @@ __all__ = [
     "monthly_dataset",
 ]
 
+#: Columns the month comparison needs — the streaming pass reads only
+#: these files of an out-of-core payload.
+_COMPARE_COLUMNS = ("tech", "isp", "city_tier", "bandwidth_mbps")
 
-def monthly_dataset(
-    store: RunStore, month: str, kind: Optional[str] = "campaign"
-) -> Dataset:
-    """Every measured dataset ingested under ``month``, pooled into
-    one dataset (runs without a dataset payload are skipped)."""
+
+def _month_runs(
+    store: RunStore, month: str, kind: Optional[str]
+) -> List[RunRecord]:
+    """The month's dataset-bearing runs, oldest first (the stable
+    pooling order shared by both compare modes)."""
     if month not in MONTHS:
         raise StoreError(f"month must be one of {MONTHS}, got {month!r}")
-    runs: List[RunRecord] = [
+    runs = [
         run for run in store.list_runs(kind=kind, month=month)
         if run.has_dataset
     ]
@@ -46,12 +63,48 @@ def monthly_dataset(
             f"no {kind or 'any'}-kind runs with datasets for month "
             f"{month!r} in {store.layout.root}"
         )
+    return sorted(runs, key=lambda r: (r.created_unix_s, r.run_id))
+
+
+def monthly_dataset(
+    store: RunStore, month: str, kind: Optional[str] = "campaign"
+) -> Dataset:
+    """Every measured dataset ingested under ``month``, pooled into
+    one in-memory dataset (runs without a dataset payload are
+    skipped; out-of-core payloads are materialised)."""
     pooled: Optional[Dataset] = None
-    # Oldest first, so pooling order is stable under re-ingestion.
-    for run in sorted(runs, key=lambda r: (r.created_unix_s, r.run_id)):
-        dataset = store.load_dataset(run.run_id)
+    for run in _month_runs(store, month, kind):
+        dataset = store.load_dataset(run.run_id).to_memory()
         pooled = dataset if pooled is None else pooled.concat(dataset)
     return pooled
+
+
+def _month_chunks(
+    store: RunStore, runs: List[RunRecord]
+) -> Iterator[Mapping[str, np.ndarray]]:
+    """Chunk stream over a month's runs in pooling order."""
+    for run in runs:
+        dataset = store.load_dataset(run.run_id)
+        for chunk in dataset.iter_chunks(columns=list(_COMPARE_COLUMNS)):
+            yield chunk
+
+
+def _month_fold(
+    store: RunStore, runs: List[RunRecord], tech: str
+) -> Tuple[MeanStream, Dict]:
+    """One pass over a month: overall mean + (ISP, tier) group means
+    for ``tech`` rows."""
+    mean = MeanStream()
+    groups = GroupReduceStream()
+    for chunk in _month_chunks(store, runs):
+        mask = chunk["tech"] == tech
+        mean.update(chunk["bandwidth_mbps"][mask])
+        groups.update_pairs(
+            chunk["isp"][mask],
+            chunk["city_tier"][mask],
+            chunk["bandwidth_mbps"][mask],
+        )
+    return mean, groups.result_dict()
 
 
 def compare_months(
@@ -60,6 +113,7 @@ def compare_months(
     tech: str = "4G",
     min_group_tests: int = 40,
     kind: Optional[str] = "campaign",
+    mode: str = "stream",
 ) -> Dict:
     """The Aug→Nov decline analysis over the store's own runs.
 
@@ -68,39 +122,65 @@ def compare_months(
     at least one matched (ISP, city tier) group reaches
     ``min_group_tests`` in both months — the matched-group summary
     from :func:`repro.analysis.longitudinal.decline_summary`.
+
+    Means use sequential-sum (``group_reduce``) semantics in both
+    modes, so ``"stream"`` and ``"oracle"`` agree bit for bit.
     """
     if len(months) != 2:
         raise StoreError(
             f"compare needs exactly two months, got {list(months)}"
         )
+    if mode not in ("stream", "oracle"):
+        raise StoreError(
+            f"mode must be 'stream' or 'oracle', got {mode!r}"
+        )
     before_month, after_month = months
-    before = monthly_dataset(store, before_month, kind=kind)
-    after = monthly_dataset(store, after_month, kind=kind)
-    before_tech = before.where(tech=tech)
-    after_tech = after.where(tech=tech)
-    if len(before_tech) == 0 or len(after_tech) == 0:
+
+    if mode == "oracle":
+        before = monthly_dataset(store, before_month, kind=kind)
+        after = monthly_dataset(store, after_month, kind=kind)
+        mean_s_before, mean_s_after = MeanStream(), MeanStream()
+        mean_s_before.update(before.where(tech=tech).bandwidth)
+        mean_s_after.update(after.where(tech=tech).bandwidth)
+        n_before, n_after = mean_s_before.count, mean_s_after.count
+        declines = None
+        if n_before and n_after:
+            try:
+                declines = matched_group_declines(
+                    before, after, tech=tech, min_tests=min_group_tests
+                )
+            except ValueError:
+                declines = None
+    else:
+        runs_before = _month_runs(store, before_month, kind)
+        runs_after = _month_runs(store, after_month, kind)
+        mean_s_before, groups_before = _month_fold(store, runs_before, tech)
+        mean_s_after, groups_after = _month_fold(store, runs_after, tech)
+        n_before, n_after = mean_s_before.count, mean_s_after.count
+        declines = None
+        if n_before and n_after:
+            try:
+                declines = _declines_from_group_means(
+                    groups_before, groups_after, tech, min_group_tests
+                )
+            except ValueError:
+                declines = None
+
+    if n_before == 0 or n_after == 0:
         raise StoreError(
             f"both months need {tech} rows "
-            f"({before_month}: {len(before_tech)}, "
-            f"{after_month}: {len(after_tech)})"
+            f"({before_month}: {n_before}, {after_month}: {n_after})"
         )
-    mean_before = before_tech.mean_bandwidth()
-    mean_after = after_tech.mean_bandwidth()
+    mean_before = mean_s_before.result()
+    mean_after = mean_s_after.result()
     result: Dict = {
         "months": [before_month, after_month],
         "tech": tech,
-        "n_before": len(before_tech),
-        "n_after": len(after_tech),
+        "n_before": n_before,
+        "n_after": n_after,
         "mean_before_mbps": mean_before,
         "mean_after_mbps": mean_after,
         "decline": 1.0 - mean_after / mean_before,
-        "groups": None,
+        "groups": decline_summary(declines) if declines else None,
     }
-    try:
-        declines = matched_group_declines(
-            before, after, tech=tech, min_tests=min_group_tests
-        )
-    except ValueError:
-        return result  # no matched group large enough: means only
-    result["groups"] = decline_summary(declines)
     return result

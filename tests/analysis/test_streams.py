@@ -1,0 +1,193 @@
+"""Streaming analysis kernels vs their in-memory oracles.
+
+Every assertion here is *byte* identity, not tolerance: the streaming
+folds use the same unbuffered accumulate (``np.add.at``) semantics as
+``group_reduce``'s ``bincount`` left fold, so any chunk partition of
+the input must produce literally the same floats.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.diurnal import hourly_profile, hourly_profile_stream
+from repro.analysis.longitudinal import (
+    matched_group_declines,
+    matched_group_declines_stream,
+)
+from repro.analysis.stats import bootstrap_ci
+from repro.analysis.streams import (
+    GroupReduceStream,
+    MeanStream,
+    PoissonBootstrapStream,
+    poisson_bootstrap_ci,
+)
+from repro.dataset.generator import CampaignConfig, generate_campaign
+from repro.dataset.records import group_reduce
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return generate_campaign(CampaignConfig(year=2020, n_tests=4000, seed=3))
+
+
+@pytest.fixture(scope="module")
+def campaign_after():
+    return generate_campaign(CampaignConfig(year=2021, n_tests=4000, seed=4))
+
+
+def _chunks(dataset, chunk_size, columns=None):
+    return dataset.iter_chunks(chunk_size=chunk_size, columns=columns)
+
+
+# -- GroupReduceStream -------------------------------------------------
+
+
+@pytest.mark.parametrize("chunk_size", [1, 7, 131, 4000, 9999])
+def test_group_stream_identical_to_group_reduce(campaign, chunk_size):
+    stream = GroupReduceStream()
+    for chunk in _chunks(campaign, chunk_size, ["tech", "bandwidth_mbps"]):
+        stream.update(chunk["tech"], chunk["bandwidth_mbps"])
+    keys, means, counts = stream.result()
+    ref_keys, ref_means, ref_counts = group_reduce(
+        campaign.column("tech"), campaign.bandwidth
+    )
+    assert keys == ref_keys.tolist()
+    assert means.tobytes() == ref_means.tobytes()
+    assert counts.tolist() == ref_counts.tolist()
+
+
+def test_group_stream_empty():
+    keys, means, counts = GroupReduceStream().result()
+    assert keys == [] and len(means) == 0 and len(counts) == 0
+
+
+def test_group_stream_pairs_match_flat_codes(campaign):
+    stream = GroupReduceStream()
+    for chunk in _chunks(campaign, 257, ["isp", "city_tier",
+                                         "bandwidth_mbps"]):
+        stream.update_pairs(
+            chunk["isp"], chunk["city_tier"], chunk["bandwidth_mbps"]
+        )
+    result = stream.result_dict()
+    isp = campaign.column("isp")
+    tier = campaign.column("city_tier")
+    for (key_a, key_b), (mean, count) in result.items():
+        mask = (isp == key_a) & (tier == key_b)
+        assert count == int(mask.sum())
+        acc = np.zeros(1)
+        np.add.at(acc, np.zeros(count, np.intp),
+                  campaign.bandwidth[mask])
+        assert mean == acc[0] / count
+
+
+# -- MeanStream --------------------------------------------------------
+
+
+@pytest.mark.parametrize("chunk_size", [1, 13, 4000])
+def test_mean_stream_sequential_sum_identity(campaign, chunk_size):
+    stream = MeanStream()
+    for chunk in _chunks(campaign, chunk_size, ["bandwidth_mbps"]):
+        stream.update(chunk["bandwidth_mbps"])
+    acc = np.zeros(1)
+    np.add.at(acc, np.zeros(len(campaign), np.intp), campaign.bandwidth)
+    assert stream.total == acc[0]
+    assert stream.count == len(campaign)
+    assert stream.result() == acc[0] / len(campaign)
+
+
+def test_mean_stream_empty_is_nan():
+    assert np.isnan(MeanStream().result())
+
+
+# -- hourly / longitudinal streams ------------------------------------
+
+
+@pytest.mark.parametrize("chunk_size", [17, 4000])
+def test_hourly_stream_identical(campaign, chunk_size):
+    columns = ["tech", "hour", "bandwidth_mbps"]
+    assert hourly_profile_stream(
+        _chunks(campaign, chunk_size, columns), "4G"
+    ) == hourly_profile(campaign, "4G")
+
+
+def test_hourly_stream_missing_tech_raises(campaign):
+    with pytest.raises(ValueError, match="no 2G tests"):
+        hourly_profile_stream(
+            _chunks(campaign, 100, ["tech", "hour", "bandwidth_mbps"]), "2G"
+        )
+
+
+@pytest.mark.parametrize("chunk_before,chunk_after", [(19, 501), (4000, 37)])
+def test_longitudinal_stream_identical(
+    campaign, campaign_after, chunk_before, chunk_after
+):
+    columns = ["tech", "isp", "city_tier", "bandwidth_mbps"]
+    ours = matched_group_declines_stream(
+        _chunks(campaign, chunk_before, columns),
+        _chunks(campaign_after, chunk_after, columns),
+        "4G", min_tests=10,
+    )
+    theirs = matched_group_declines(
+        campaign, campaign_after, "4G", min_tests=10
+    )
+    assert ours == theirs
+
+
+def test_longitudinal_stream_empty_campaign_raises(campaign):
+    with pytest.raises(ValueError, match="both campaigns need"):
+        matched_group_declines_stream(
+            campaign.iter_chunks(chunk_size=100), iter([]), "4G"
+        )
+
+
+# -- Poisson bootstrap -------------------------------------------------
+
+
+@pytest.mark.parametrize("statistic", ["mean", "sum"])
+def test_bootstrap_stream_equals_oracle(campaign, statistic):
+    values = campaign.bandwidth[:3000]
+    oracle = poisson_bootstrap_ci(
+        values, seed=5, n_resamples=150, statistic=statistic, mode="oracle"
+    )
+    streamed = poisson_bootstrap_ci(
+        values, seed=5, n_resamples=150, statistic=statistic, mode="stream"
+    )
+    assert streamed == oracle
+
+
+@pytest.mark.parametrize("split", [1, 512, 1024, 1027, 2999])
+def test_bootstrap_chunking_invariant(campaign, split):
+    values = campaign.bandwidth[:3000]
+    whole = poisson_bootstrap_ci(values, seed=6, n_resamples=100)
+    chunked = poisson_bootstrap_ci(
+        [values[:split], values[split:]], seed=6, n_resamples=100
+    )
+    assert chunked == whole
+
+
+def test_bootstrap_interval_brackets_point_estimate(campaign):
+    values = campaign.bandwidth[:2000]
+    stream = PoissonBootstrapStream(seed=7, n_resamples=200)
+    stream.update(values)
+    point, low, high = stream.result()
+    acc = np.zeros(1)
+    np.add.at(acc, np.zeros(len(values), np.intp), values)
+    assert point == acc[0] / len(values)
+    assert low <= point <= high
+    # Same confidence contract as the exact resampler.
+    exact = bootstrap_ci(
+        values, n_resamples=200, rng=np.random.default_rng(7)
+    )
+    exact_high = max(exact)
+    assert 0 < low and high < 2 * exact_high
+
+
+def test_bootstrap_validation_errors():
+    with pytest.raises(ValueError, match="confidence must be in"):
+        PoissonBootstrapStream(seed=0, confidence=1.5)
+    with pytest.raises(ValueError, match="need >= 10 resamples"):
+        PoissonBootstrapStream(seed=0, n_resamples=3)
+    with pytest.raises(ValueError):
+        PoissonBootstrapStream(seed=0, statistic="median")
+    with pytest.raises(ValueError, match="empty sample"):
+        PoissonBootstrapStream(seed=0).result()

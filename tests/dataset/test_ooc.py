@@ -1,0 +1,186 @@
+"""Out-of-core columnar backend: writer, mapped reads, byte identity."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.generator import CampaignConfig, generate_campaign
+from repro.dataset.ooc import (
+    DatasetWriter,
+    MappedDataset,
+    NpdIntegrityError,
+    npd_file_index,
+    open_mapped,
+    read_npd_meta,
+    write_npd,
+)
+from repro.dataset.records import SCHEMA, Dataset
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return generate_campaign(CampaignConfig(year=2021, n_tests=700, seed=9))
+
+
+def _write(tmp_path, dataset, chunk_size=97):
+    path = tmp_path / "data.npd"
+    write_npd(path, dataset.iter_chunks(chunk_size=chunk_size))
+    return path
+
+
+def test_roundtrip_columns_identical(campaign, tmp_path):
+    mapped = open_mapped(_write(tmp_path, campaign))
+    assert len(mapped) == len(campaign)
+    for name in SCHEMA:
+        theirs = mapped.column(name)
+        ours = campaign.column(name)
+        if ours.dtype == object:
+            assert theirs.astype(object).tolist() == ours.tolist()
+        else:
+            assert theirs.dtype == ours.dtype
+            assert theirs.tobytes() == ours.tobytes()
+
+
+def test_to_memory_equals_source(campaign, tmp_path):
+    mapped = open_mapped(_write(tmp_path, campaign))
+    back = mapped.to_memory()
+    assert isinstance(back, Dataset)
+    for name in SCHEMA:
+        ours = campaign.column(name)
+        assert back.column(name).dtype == ours.dtype
+        if ours.dtype == object:
+            assert back.column(name).tolist() == ours.tolist()
+        else:
+            assert back.column(name).tobytes() == ours.tobytes()
+
+
+def test_chunk_size_does_not_change_bytes(campaign, tmp_path):
+    a = _write(tmp_path / "a", campaign, chunk_size=31)
+    b = _write(tmp_path / "b", campaign, chunk_size=700)
+    index_a, index_b = npd_file_index(a), npd_file_index(b)
+    assert set(index_a) == set(index_b)
+    for name in index_a:
+        if name.endswith("_meta.json"):
+            continue
+        assert index_a[name]["sha256"] == index_b[name]["sha256"], name
+
+
+def test_string_widening_across_chunks(tmp_path):
+    # The max-width string arrives in a *later* chunk, forcing the
+    # streaming widen-rewrite of the already-written prefix.
+    chunks = [
+        {name: np.zeros(2, SCHEMA[name]) if SCHEMA[name] != object
+         else np.array(["ab", "c"], dtype=object) for name in SCHEMA},
+        {name: np.zeros(2, SCHEMA[name]) if SCHEMA[name] != object
+         else np.array(["wider-string", "d"], dtype=object)
+         for name in SCHEMA},
+    ]
+    path = tmp_path / "wide.npd"
+    write_npd(path, iter(chunks))
+    mapped = open_mapped(path)
+    assert mapped.column("tech").tolist() == [
+        "ab", "c", "wider-string", "d"
+    ]
+    assert mapped.column("tech").dtype == np.dtype("<U12")
+
+
+def test_to_csv_byte_identical(campaign, tmp_path):
+    mapped = open_mapped(_write(tmp_path, campaign))
+    oracle, streamed = tmp_path / "a.csv", tmp_path / "b.csv"
+    campaign.to_csv(oracle)
+    mapped.to_csv(streamed, chunk_size=13)
+    assert oracle.read_bytes() == streamed.read_bytes()
+
+
+def test_iter_chunks_covers_everything(campaign, tmp_path):
+    mapped = open_mapped(_write(tmp_path, campaign))
+    rebuilt = np.concatenate([
+        chunk["bandwidth_mbps"]
+        for chunk in mapped.iter_chunks(chunk_size=41)
+    ])
+    assert np.array_equal(rebuilt, campaign.bandwidth)
+
+
+def test_iter_chunks_column_subset_and_unknown(campaign, tmp_path):
+    mapped = open_mapped(_write(tmp_path, campaign))
+    chunk = next(mapped.iter_chunks(columns=["tech", "hour"]))
+    assert set(chunk) == {"tech", "hour"}
+    with pytest.raises(KeyError):
+        next(mapped.iter_chunks(columns=["nope"]))
+
+
+def test_filter_and_where_match_in_memory(campaign, tmp_path):
+    mapped = open_mapped(_write(tmp_path, campaign))
+    ours = campaign.where(tech="4G")
+    theirs = mapped.where(tech="4G")
+    assert theirs.column("test_id").tolist() == ours.column("test_id").tolist()
+    assert theirs.column("tech").dtype == ours.column("tech").dtype
+
+
+def test_save_load_dispatch_on_suffix(campaign, tmp_path):
+    path = tmp_path / "ds.npd"
+    campaign.save(path)
+    loaded = Dataset.load(path)
+    assert isinstance(loaded, MappedDataset)
+    assert np.array_equal(loaded.column("bandwidth_mbps"), campaign.bandwidth)
+
+
+def test_checksum_verification_catches_corruption(campaign, tmp_path):
+    path = _write(tmp_path, campaign)
+    victim = path / "bandwidth_mbps.npy"
+    blob = bytearray(victim.read_bytes())
+    blob[200] ^= 0xFF
+    victim.write_bytes(bytes(blob))
+    with pytest.raises(NpdIntegrityError):
+        open_mapped(path).verify_checksums()
+
+
+def test_truncated_column_detected_when_streaming(campaign, tmp_path):
+    path = _write(tmp_path, campaign)
+    victim = path / "bandwidth_mbps.npy"
+    victim.write_bytes(victim.read_bytes()[:-64])
+    mapped = open_mapped(path)
+    with pytest.raises(NpdIntegrityError):
+        for _ in mapped.iter_chunks(columns=["bandwidth_mbps"]):
+            pass
+
+
+def test_zero_row_dataset_roundtrips(tmp_path):
+    path = tmp_path / "empty.npd"
+    write_npd(path, iter([]))
+    mapped = open_mapped(path)
+    assert len(mapped) == 0
+    assert len(mapped.column("bandwidth_mbps")) == 0
+    assert mapped.to_memory().column("tech").dtype == object
+
+
+def test_writer_rejects_schema_mismatch(tmp_path):
+    with pytest.raises(ValueError):
+        with DatasetWriter(tmp_path / "bad.npd") as writer:
+            writer.append({"tech": np.array(["4G"], dtype=object)})
+
+
+def test_writer_abort_leaves_no_output(tmp_path):
+    target = tmp_path / "gone.npd"
+    with pytest.raises(RuntimeError):
+        with DatasetWriter(target) as writer:
+            writer.append({
+                name: (np.array(["x"], dtype=object)
+                       if SCHEMA[name] == object else np.zeros(1, SCHEMA[name]))
+                for name in SCHEMA
+            })
+            raise RuntimeError("boom")
+    assert not target.exists()
+    assert not list(tmp_path.glob("*.tmp*"))
+
+
+def test_open_mapped_rejects_non_npd(tmp_path):
+    (tmp_path / "junk").mkdir()
+    with pytest.raises(NpdIntegrityError):
+        open_mapped(tmp_path / "junk")
+
+
+def test_meta_reports_rows_and_descrs(campaign, tmp_path):
+    meta = read_npd_meta(_write(tmp_path, campaign))
+    assert meta["n_rows"] == len(campaign)
+    assert set(meta["columns"]) == set(SCHEMA)
+    assert meta["columns"]["bandwidth_mbps"]["descr"] == "<f8"

@@ -110,7 +110,7 @@ def test_fluctuating_trace_lfilter_matches_python_loop(monkeypatch):
     float operations, just batched."""
     import repro.netsim.trace as trace_mod
 
-    if trace_mod._lfilter is None:
+    if trace_mod._resolve_lfilter() is None:
         pytest.skip("scipy unavailable; only the fallback path exists")
 
     kwargs = dict(sigma=0.12, tau_s=1.5, duration_s=20.0)

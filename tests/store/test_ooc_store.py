@@ -1,0 +1,174 @@
+"""Out-of-core payloads in the run store: streaming ingest, mapped
+loads, schema/column reads, fsck, and the mixed-layout month compare."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.generator import (
+    CampaignConfig,
+    generate_campaign,
+    iter_campaign_chunks,
+)
+from repro.dataset.ooc import MappedDataset
+from repro.store import (
+    CorruptPayloadError,
+    RunStore,
+    StoreError,
+    compare_months,
+    fsck,
+)
+
+
+def make_manifest(seed=1, n_rows=80, created=1660000000.0):
+    return {
+        "kind": "campaign",
+        "seed": seed,
+        "created_unix_s": created,
+        "run": {"n_rows": n_rows},
+    }
+
+
+@pytest.fixture(scope="module")
+def config():
+    return CampaignConfig(year=2020, n_tests=80, seed=13)
+
+
+@pytest.fixture(scope="module")
+def dataset(config):
+    return generate_campaign(config)
+
+
+@pytest.fixture
+def store(tmp_path):
+    with RunStore.open(tmp_path / "store") as s:
+        yield s
+
+
+def _ingest_npd(store, config, seed=1, month="aug"):
+    return store.ingest_chunks(
+        make_manifest(seed=seed, n_rows=config.n_tests),
+        iter_campaign_chunks(config, chunk_size=17),
+        month=month,
+    )
+
+
+def test_ingest_chunks_creates_npd_payload(store, config, dataset):
+    run_id = _ingest_npd(store, config)
+    run = store.get_run(run_id)
+    assert run.has_dataset
+    assert run.n_rows == 80
+    assert run.mean_mbps == pytest.approx(float(dataset.bandwidth.mean()),
+                                          abs=1e-5)
+    assert "manifest.json" in run.files
+    assert any(name.startswith("dataset.npd/") for name in run.files)
+
+
+def test_ingest_chunks_idempotent(store, config):
+    a = _ingest_npd(store, config)
+    b = _ingest_npd(store, config)
+    assert a == b
+    assert len(store.list_runs()) == 1
+
+
+def test_load_dataset_maps_and_matches(store, config, dataset):
+    run_id = _ingest_npd(store, config)
+    loaded = store.load_dataset(run_id)
+    assert isinstance(loaded, MappedDataset)
+    assert loaded.column("bandwidth_mbps").tobytes() == \
+        dataset.bandwidth.tobytes()
+    assert loaded.column("tech").astype(object).tolist() == \
+        dataset.column("tech").tolist()
+
+
+def test_ingest_run_layout_dispatch(store, dataset):
+    npz_id = store.ingest_run(make_manifest(seed=2), dataset, month="aug")
+    npd_id = store.ingest_run(
+        make_manifest(seed=3), dataset, month="aug", layout="npd"
+    )
+    assert "dataset.npz" in store.get_run(npz_id).files
+    assert any(n.startswith("dataset.npd/")
+               for n in store.get_run(npd_id).files)
+    with pytest.raises(StoreError):
+        store.ingest_run(make_manifest(seed=4), dataset, layout="parquet")
+
+
+def test_dataset_schema_reads_headers_only(store, config, dataset):
+    run_id = _ingest_npd(store, config)
+    schema = store.dataset_schema(run_id)
+    assert schema["layout"] == "npd"
+    assert schema["n_rows"] == 80
+    assert schema["columns"]["bandwidth_mbps"] == "<f8"
+
+    npz_id = store.ingest_run(make_manifest(seed=5), dataset, month="aug")
+    npz_schema = store.dataset_schema(npz_id)
+    assert npz_schema["layout"] == "npz"
+    assert npz_schema["n_rows"] == 80
+    assert npz_schema["columns"] == schema["columns"]
+
+
+def test_load_columns_subset(store, config, dataset):
+    run_id = _ingest_npd(store, config)
+    columns = store.load_columns(run_id, ["tech", "bandwidth_mbps"])
+    assert set(columns) == {"tech", "bandwidth_mbps"}
+    assert columns["bandwidth_mbps"].tobytes() == dataset.bandwidth.tobytes()
+    with pytest.raises(StoreError, match="unknown columns"):
+        store.load_columns(run_id, ["nope"])
+
+
+def test_corrupt_npd_column_detected_on_load(store, config, tmp_path):
+    run_id = _ingest_npd(store, config)
+    victim = (store.layout.payload_dir(run_id) / "dataset.npd"
+              / "bandwidth_mbps.npy")
+    blob = bytearray(victim.read_bytes())
+    blob[300] ^= 0xFF
+    victim.write_bytes(bytes(blob))
+    with pytest.raises(CorruptPayloadError):
+        store.load_dataset(run_id)
+
+
+def test_fsck_quarantines_corrupt_npd(tmp_path, config):
+    root = tmp_path / "store"
+    with RunStore.open(root) as store:
+        run_id = _ingest_npd(store, config)
+        victim = (store.layout.payload_dir(run_id) / "dataset.npd"
+                  / "tech.npy")
+        blob = bytearray(victim.read_bytes())
+        blob[150] ^= 0xFF
+        victim.write_bytes(bytes(blob))
+    report = fsck(root, repair=True)
+    assert any(f.action == "quarantined" for f in report.findings)
+    assert (root / "quarantine" / run_id / "dataset.npd"
+            / "tech.npy").exists()
+    with RunStore.open(root) as store:
+        assert store.list_runs() == []
+
+
+def test_fsck_clean_on_intact_npd(tmp_path, config):
+    root = tmp_path / "store"
+    with RunStore.open(root) as store:
+        _ingest_npd(store, config)
+    report = fsck(root, repair=False)
+    assert report.clean
+    assert report.verified_files > 2  # every column file was hashed
+
+
+def test_compare_months_stream_equals_oracle_mixed_layouts(store):
+    ds_aug = generate_campaign(CampaignConfig(year=2020, n_tests=3000,
+                                              seed=31))
+    ds_nov = generate_campaign(CampaignConfig(year=2021, n_tests=3000,
+                                              seed=32))
+    store.ingest_run(make_manifest(seed=31, n_rows=3000), ds_aug,
+                     month="aug", layout="npd")
+    store.ingest_run(make_manifest(seed=32, n_rows=3000), ds_nov,
+                     month="nov", layout="npz")
+    streamed = compare_months(store, ("aug", "nov"), tech="4G",
+                              min_group_tests=10, mode="stream")
+    oracle = compare_months(store, ("aug", "nov"), tech="4G",
+                            min_group_tests=10, mode="oracle")
+    assert streamed == oracle
+    assert streamed["decline"] > 0  # refarming fell between the years
+
+
+def test_compare_months_rejects_bad_mode(store):
+    with pytest.raises(StoreError, match="mode must be"):
+        compare_months(store, ("aug", "nov"), mode="turbo")

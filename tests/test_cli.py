@@ -507,3 +507,105 @@ def test_fleet_day_store_flag(tmp_path, capsys):
     assert main(["runs", "ls", "--store", str(store),
                  "--kind", "fleet-day"]) == 0
     assert "fleet-day" in capsys.readouterr().out
+
+
+# -- out-of-core: generate --format npd / --store, runs show, bench ooc ----
+
+
+def test_generate_npd_out_and_store(tmp_path, capsys):
+    out = tmp_path / "camp.npd"
+    store = tmp_path / "runs"
+    code = main(["generate", "--n-tests", "4000", "--seed", "9",
+                 "--year", "2020", "--out", str(out),
+                 "--store", str(store), "--store-month", "aug"])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "generated 4000 tests" in captured
+    assert "stored run " in captured
+    mapped = Dataset.load(out)
+    assert len(mapped) == 4000
+
+    # The streamed per-tech stats printed must be bit-identical to the
+    # in-memory path's.
+    capsys.readouterr()
+    assert main(["generate", "--n-tests", "4000", "--seed", "9",
+                 "--year", "2020"]) == 0
+    in_memory = capsys.readouterr().out.splitlines()[1:]
+    streamed = [line for line in captured.splitlines()[1:]
+                if line.startswith("  ")]
+    assert streamed == in_memory
+
+
+def test_generate_store_without_out_streams(tmp_path, capsys):
+    store = tmp_path / "runs"
+    code = main(["generate", "--n-tests", "3000", "--seed", "10",
+                 "--store", str(store), "--store-month", "nov",
+                 "--label", "streamed"])
+    assert code == 0
+    assert "stored run " in capsys.readouterr().out
+    assert main(["runs", "ls", "--store", str(store)]) == 0
+    listing = capsys.readouterr().out
+    assert "streamed" in listing and "3000" in listing
+
+
+def test_generate_store_month_requires_store(capsys):
+    code = main(["generate", "--n-tests", "10", "--store-month", "aug"])
+    assert code == 2
+    assert "--store-month needs --store" in capsys.readouterr().err
+
+
+def test_runs_show_schema_and_columns(tmp_path, capsys):
+    store = tmp_path / "runs"
+    main(["generate", "--n-tests", "2000", "--seed", "11",
+          "--store", str(store), "--store-month", "aug"])
+    capsys.readouterr()
+    main(["runs", "ls", "--store", str(store)])
+    run_id = capsys.readouterr().out.splitlines()[1].split()[0]
+    code = main(["runs", "show", run_id, "--store", str(store),
+                 "--columns", "tech,bandwidth_mbps"])
+    assert code == 0
+    shown = capsys.readouterr().out
+    assert "layout npd" in shown
+    assert "rows 2000" in shown
+    assert "bandwidth_mbps   <f8" in shown
+    assert "4G" in shown  # tech uniques
+    assert "mean" in shown
+
+
+def test_runs_show_rejects_unknown_column(tmp_path, capsys):
+    store = tmp_path / "runs"
+    main(["generate", "--n-tests", "100", "--seed", "12",
+          "--store", str(store)])
+    capsys.readouterr()
+    main(["runs", "ls", "--store", str(store)])
+    run_id = capsys.readouterr().out.splitlines()[1].split()[0]
+    code = main(["runs", "show", run_id, "--store", str(store),
+                 "--columns", "nope"])
+    assert code == 2
+    assert "unknown columns" in capsys.readouterr().err
+
+
+def test_bench_ooc_command(tmp_path, capsys):
+    out = tmp_path / "BENCH_ooc.json"
+    code = main(["bench", "ooc", "--rows", "20000",
+                 "--verify-rows", "6000", "--rss-ceiling", "4096",
+                 "--out", str(out)])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "out-of-core backend bench" in captured
+    assert "generate_ingest" in captured
+    assert "byte-identical to oracles: True" in captured
+    import json as _json
+
+    summary = _json.loads(out.read_text())
+    assert summary["within_ceiling"] is True
+    assert summary["all_byte_identical"] is True
+    assert set(summary["phases"]) == {"generate_ingest", "compare",
+                                      "verify"}
+
+
+def test_bench_ooc_ceiling_breach_fails(tmp_path, capsys):
+    code = main(["bench", "ooc", "--rows", "20000",
+                 "--verify-rows", "6000", "--rss-ceiling", "1"])
+    assert code == 1
+    assert "breaches" in capsys.readouterr().err
