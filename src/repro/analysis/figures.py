@@ -250,6 +250,69 @@ def broadband_cap_share(dataset: Dataset, threshold_mbps: int = 200) -> float:
     return float(np.mean(plans <= threshold_mbps))
 
 
+def fig_bottleneck_prevalence(
+    dataset: Dataset, column: str = "bottleneck"
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Binding-hop prevalence across the WiFi home-path population.
+
+    The figure the paper could not draw: for every labelled WiFi test
+    (home-path campaigns carry the simulator's ground truth in
+    ``bottleneck``; measured datasets additionally carry Swiftest's
+    inference in ``bottleneck_attr`` — select via ``column``), the share
+    of air-, plan- and contention-limited tests, broken down three ways:
+
+    * ``by_standard`` — WiFi generation (keys ``WiFi4``/``WiFi5``/``WiFi6``);
+    * ``by_plan`` — subscribed plan tier in Mbps (keys like ``"200"``);
+    * ``by_rss`` — WiFi RSS level 1-5 (keys like ``"3"``).
+
+    Each leaf maps hop name to its share within that slice; slices with
+    no labelled rows are omitted.  Unlabelled rows (cellular tests,
+    legacy campaigns without the home-path model) never contribute.
+    """
+    from repro.wifi.homepath import (
+        BOTTLENECK_AIR,
+        BOTTLENECK_CONTENTION,
+        BOTTLENECK_NAMES,
+        BOTTLENECK_NONE,
+        BOTTLENECK_PLAN,
+    )
+
+    wifi = _wifi_subset(dataset)
+    labels = wifi.column(column)
+    labelled = wifi.filter(labels != BOTTLENECK_NONE)
+    codes = labelled.column(column)
+    hop_codes = (BOTTLENECK_AIR, BOTTLENECK_PLAN, BOTTLENECK_CONTENTION)
+
+    def shares(mask: np.ndarray) -> Dict[str, float]:
+        total = int(mask.sum())
+        return {
+            BOTTLENECK_NAMES[code]: float((codes[mask] == code).sum() / total)
+            for code in hop_codes
+        }
+
+    out: Dict[str, Dict[str, Dict[str, float]]] = {
+        "by_standard": {}, "by_plan": {}, "by_rss": {}
+    }
+    techs = labelled.column("tech")
+    for tech in WIFI_TECHS:
+        mask = techs == tech
+        if mask.any():
+            out["by_standard"][tech] = shares(mask)
+    plans = labelled.column("plan_mbps")
+    for plan in np.unique(plans):
+        mask = plans == plan
+        if mask.any():
+            out["by_plan"][str(int(plan))] = shares(mask)
+    rss = labelled.column("rss_level")
+    for level in np.unique(rss):
+        if level < 1:
+            continue
+        mask = rss == level
+        if mask.any():
+            out["by_rss"][str(int(level))] = shares(mask)
+    return out
+
+
 # -- multi-modal distributions (Figures 16, 18, 19) -------------------------
 
 

@@ -89,6 +89,15 @@ def campaign_report(dataset: Dataset, title: str = "Measurement campaign") -> st
         lines.append(
             f"  behind <=200 Mbps broadband plans: {share * 100:.0f}%"
         )
+        prevalence = figures.fig_bottleneck_prevalence(dataset)
+        if prevalence["by_standard"]:
+            lines += _section("Home-path bottlenecks")
+            for tech, shares in prevalence["by_standard"].items():
+                lines.append(
+                    f"  {tech:5s} air {shares['air'] * 100:5.1f}%  "
+                    f"plan {shares['plan'] * 100:5.1f}%  "
+                    f"contention {shares['contention'] * 100:5.1f}%"
+                )
 
     return "\n".join(lines)
 

@@ -73,7 +73,8 @@ def _load_or_generate(path: Optional[str], tests: int, seed: int) -> Dataset:
 def cmd_campaign(args: argparse.Namespace) -> int:
     """Generate a synthetic measurement campaign."""
     config = GenerationConfig(
-        year=args.year, n_tests=args.tests, seed=args.seed
+        year=args.year, n_tests=args.tests, seed=args.seed,
+        home_path=args.home_path,
     )
     dataset = generate_campaign(config)
     print(f"generated {len(dataset)} tests (year {args.year}, seed {args.seed})")
@@ -108,7 +109,8 @@ def cmd_generate(args: argparse.Namespace) -> int:
         print("error: --store-month needs --store", file=sys.stderr)
         return 2
     config = GenerationConfig(
-        year=args.year, n_tests=args.n_tests, seed=args.seed
+        year=args.year, n_tests=args.n_tests, seed=args.seed,
+        home_path=args.home_path,
     )
     chunk_size = args.chunk_size or DEFAULT_CHUNK_SIZE
     out = args.out
@@ -238,6 +240,22 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     for tech, summary in figures.fig13_wifi_cdfs(dataset).items():
         print(f"  {tech:5s} mean {summary.mean:7.1f}  median "
               f"{summary.median:7.1f} Mbps")
+
+    prevalence = figures.fig_bottleneck_prevalence(dataset)
+    if prevalence["by_standard"]:
+        print()
+        print("Home-path bottleneck prevalence (ground truth):")
+        for tech, shares in prevalence["by_standard"].items():
+            print(f"  {tech:5s} air {shares['air'] * 100:5.1f}%  "
+                  f"plan {shares['plan'] * 100:5.1f}%  "
+                  f"contention {shares['contention'] * 100:5.1f}%")
+        by_rss = prevalence["by_rss"]
+        if by_rss:
+            pretty = "  ".join(
+                f"L{level}:{by_rss[level]['air'] * 100:.0f}%"
+                for level in sorted(by_rss)
+            )
+            print(f"  air-limited share by RSS level: {pretty}")
     return 0
 
 
@@ -291,6 +309,17 @@ def cmd_measure(args: argparse.Namespace) -> int:
     print(f"measured {report.n_measured}/{report.n_rows} rows "
           f"({report.retries} retries, "
           f"{report.backoff_wait_s:.1f}s backoff accounted)")
+    if report.attribution and report.attribution.get("n_attributed"):
+        attribution = report.attribution
+        shares = "  ".join(
+            f"{name} {share * 100:.1f}%"
+            for name, share in attribution["shares"].items()
+        )
+        print(f"bottleneck attribution ({attribution['n_attributed']:,} "
+              f"rows): {shares}")
+        if attribution.get("agreement") is not None:
+            print(f"  agreement with simulated ground truth: "
+                  f"{attribution['agreement'] * 100:.1f}%")
     for row in report.quarantined:
         detail = row.error or row.outcome
         print(f"  quarantined test {row.test_id}: "
@@ -458,7 +487,72 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return _cmd_bench_sessions(args)
     if target == "ooc":
         return _cmd_bench_ooc(args)
+    if target == "attribution":
+        return _cmd_bench_attribution(args)
     return _cmd_bench_campaign(args)
+
+
+def _cmd_bench_attribution(args: argparse.Namespace) -> int:
+    """The bottleneck-attribution gate: accuracy + shard/mode identity."""
+    from repro.harness.bench import (
+        ATTRIBUTION_DEFAULT_ROWS,
+        ATTRIBUTION_MIN_AGREEMENT,
+        run_attribution_bench,
+    )
+
+    rows = ATTRIBUTION_DEFAULT_ROWS
+    if args.sizes:
+        try:
+            rows = int(args.sizes)
+        except ValueError:
+            print(f"error: attribution takes a single --sizes value, "
+                  f"got {args.sizes!r}", file=sys.stderr)
+            return 2
+    min_agreement = (
+        args.min_agreement if args.min_agreement is not None
+        else ATTRIBUTION_MIN_AGREEMENT
+    )
+    summary = run_attribution_bench(
+        rows=rows,
+        oracle_rows=args.oracle_rows,
+        seed=args.seed if args.seed is not None else 20220801,
+        min_agreement=min_agreement,
+        out_path=args.out,
+        manifest_path=args.manifest,
+    )
+    attribution = summary["attribution"]
+    print(f"bottleneck attribution gate ({summary['rows']:,} home-path "
+          f"rows, seed {summary['seed']})")
+    print(f"  attributed {attribution.get('n_attributed', 0):,}/"
+          f"{attribution.get('n_rows', 0):,} rows; shares "
+          + "  ".join(f"{name} {share * 100:.1f}%"
+                      for name, share in attribution.get("shares",
+                                                         {}).items()))
+    agreement = attribution.get("agreement")
+    shown = "n/a" if agreement is None else f"{agreement * 100:.1f}%"
+    print(f"  ground-truth agreement {shown} "
+          f"(gate >= {summary['min_agreement'] * 100:.0f}%)")
+    print(f"  byte-identical across shards {summary['shard_counts']}: "
+          f"{summary['shard_identical']}")
+    print(f"  oracle == vectorized on {summary['oracle_rows']:,} rows: "
+          f"{summary['mode_identical']}")
+    if args.out:
+        print(f"wrote {args.out}")
+    if args.manifest:
+        print(f"manifest {args.manifest}")
+    if not summary["accurate"]:
+        print(f"error: attribution agreement {shown} below the "
+              f"{summary['min_agreement'] * 100:.0f}% gate", file=sys.stderr)
+        return 1
+    if not summary["shard_identical"]:
+        print("error: measured dataset or attribution diverged across "
+              "shard counts", file=sys.stderr)
+        return 1
+    if not summary["mode_identical"]:
+        print("error: oracle and vectorized engines diverged",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_bench_ooc(args: argparse.Namespace) -> int:
@@ -1052,6 +1146,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--year", type=int, default=2021, choices=(2020, 2021))
     p.add_argument("--tests", type=int, default=50_000)
     p.add_argument("--seed", type=int, default=20210801)
+    p.add_argument("--home-path", action="store_true",
+                   help="model WiFi rows as a two-hop home path "
+                        "(RSS-degraded air link, LAN cross traffic, "
+                        "ground-truth bottleneck labels)")
     p.add_argument("--out", help="CSV output path")
     p.set_defaults(func=cmd_campaign)
 
@@ -1080,6 +1178,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "for 'repro runs compare' (default: current "
                         "month)")
     p.add_argument("--label", help="free-form label for the stored run")
+    p.add_argument("--home-path", action="store_true",
+                   help="model WiFi rows as a two-hop home path "
+                        "(RSS-degraded air link, LAN cross traffic, "
+                        "ground-truth bottleneck labels)")
     p.set_defaults(func=cmd_generate)
 
     p = sub.add_parser("analyze", help="run the §3 analyses on a campaign")
@@ -1157,13 +1259,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("target", nargs="?", default="campaign",
                    choices=("campaign", "dataset", "fleet", "sessions",
-                            "ooc"),
+                            "ooc", "attribution"),
                    help="engine to benchmark (default campaign)")
     p.add_argument("--sizes",
                    help="comma-separated case sizes: campaign rows "
                         "(default 16,48,96), dataset rows (default "
-                        "100000), or bank sessions (default "
-                        "64,512,4096)")
+                        "100000), bank sessions (default "
+                        "64,512,4096), or attribution campaign rows "
+                        "(single value, default 10000)")
     p.add_argument("--seed", type=int, default=None,
                    help="RNG seed (default 20220801; fleet: 7)")
     p.add_argument("--out", "--output", dest="out",
@@ -1172,8 +1275,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="campaign: shard count of the parallel "
                         "configuration")
     p.add_argument("--oracle-rows", type=int, default=5_000,
-                   help="dataset: rows the per-row oracle leg is "
-                        "timed on")
+                   help="dataset/attribution: rows the per-row oracle "
+                        "leg is timed on")
+    p.add_argument("--min-agreement", type=float, default=None,
+                   help="attribution: required agreement with the "
+                        "ground-truth binding hop (default 0.90)")
+    p.add_argument("-M", "--manifest",
+                   help="attribution: write the baseline run's "
+                        "campaign manifest (with attribution block) "
+                        "here")
     p.add_argument("--chunk-size", type=int, default=65_536,
                    help="dataset: rows per streamed chunk")
     p.add_argument("--oracle-sessions", type=int, default=None,

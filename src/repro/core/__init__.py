@@ -19,6 +19,13 @@ The paper's systems contribution.  Three ideas, each a submodule:
 Cost-effective server *deployment* lives in :mod:`repro.deploy`.
 """
 
+from repro.core.attribution import (
+    attribute_rows,
+    attribution_summary,
+    classify_session,
+    classify_test,
+    session_estimate_mbps,
+)
 from repro.core.client import SwiftestClient, SwiftestConfig, SwiftestResult
 from repro.core.convergence import ConvergenceDetector
 from repro.core.gmm import GaussianMixture1D, fit_gmm, select_gmm_bic
@@ -37,6 +44,11 @@ from repro.core.variants import (
 
 __all__ = [
     "BandwidthModelRegistry",
+    "attribute_rows",
+    "attribution_summary",
+    "classify_session",
+    "classify_test",
+    "session_estimate_mbps",
     "BandwidthTest",
     "ConvergenceDetector",
     "FixedLadderModel",

@@ -1,0 +1,226 @@
+"""Swiftest bottleneck attribution: which hop capped a WiFi test?
+
+A capability no baseline bandwidth-test service has (§3.4 can only
+report *that* WiFi tests cluster at plan rates): given a finished
+Swiftest ladder, classify the test as **air-limited**, **plan-limited**
+or **contention-limited**, using only quantities a deployed client can
+know:
+
+* the ladder's plateau estimate — Swiftest's rate commands converge on
+  the path capacity, so the median of the later 50 ms throughput
+  samples estimates the test flow's fair share;
+* the negotiated air-link rate (Android exposes it via
+  ``WifiInfo.getLinkSpeed()``; the simulator records it in the
+  dataset's ``air_mbps`` column);
+* the household's subscribed plan tier (user-known) and the population
+  delivery ratio ISPs provision against it;
+* the device's Android version, whose known bandwidth factor
+  (:data:`repro.dataset.devices.ANDROID_VERSION_FACTORS`, the paper's
+  Figure 2 trend) is calibrated out of the estimate.
+
+The decision rule: an estimate falling well below *both* per-hop
+predictions can only be explained by LAN cross traffic stealing air
+share (contention); otherwise the test is attributed to whichever hop
+its estimate is closer to in log-space.  Classifications are validated
+against the simulator's ground-truth binding hop
+(:func:`repro.wifi.homepath.binding_hop`, the ``bottleneck`` column).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.dataset.devices import (
+    ANDROID_VERSION_FACTORS,
+    ANDROID_VERSION_SHARES,
+)
+from repro.wifi.homepath import (
+    BOTTLENECK_AIR,
+    BOTTLENECK_CONTENTION,
+    BOTTLENECK_NAMES,
+    BOTTLENECK_NONE,
+    BOTTLENECK_PLAN,
+)
+
+#: Contention threshold: an estimate below ``(1 - tau)`` of the best
+#: per-hop prediction is attributed to LAN cross traffic.  Sits between
+#: the benign noise floor (delivery sigma, device-model spread, trace
+#: weather — each under ~10%) and the smallest contended share loss
+#: the generator models (≥ 35% of the air link offered, ≥ 30% lost).
+DEFAULT_TAU = 0.25
+
+#: Population delivery ratio ISPs provision plans against
+#: (:class:`repro.wifi.broadband.BroadbandPlanMix` default).
+DEFAULT_DELIVERY_MEAN = 0.96
+
+#: Population-mean Android version factor — the same normalisation the
+#: device population applies at generation time
+#: (:meth:`repro.dataset.devices.DevicePopulation.normalization`); a
+#: pure constant of the published share/factor tables, so the
+#: classifier needs no access to any campaign seed.
+_VERSION_NORM = sum(
+    ANDROID_VERSION_FACTORS[v] * s for v, s in ANDROID_VERSION_SHARES.items()
+)
+
+
+def device_speed_factor(android_version) -> np.ndarray:
+    """Known relative device speed for Android version(s), mean 1.
+
+    Unknown versions map to 1.0 (no correction).  Vectorized over an
+    int array; also accepts a scalar.
+    """
+    versions = np.asarray(android_version)
+    factors = np.ones(versions.shape, dtype=np.float64)
+    for version, factor in ANDROID_VERSION_FACTORS.items():
+        factors = np.where(versions == version, factor / _VERSION_NORM, factors)
+    return factors
+
+
+def attribute_rows(
+    bandwidth_mbps: np.ndarray,
+    plan_mbps: np.ndarray,
+    air_mbps: np.ndarray,
+    android_version: Optional[np.ndarray] = None,
+    tau: float = DEFAULT_TAU,
+    delivery_mean: float = DEFAULT_DELIVERY_MEAN,
+) -> np.ndarray:
+    """Attribute each measured row to its binding hop (vectorized).
+
+    Returns an int8 array of :mod:`repro.wifi.homepath` codes; rows
+    without home-path context (``air_mbps`` or ``plan_mbps`` absent —
+    cellular tests) get :data:`BOTTLENECK_NONE`.  Each row's code is a
+    pure elementwise function of that row's inputs, so the result is
+    invariant to row order, shard count, and batch size.
+    """
+    if not 0.0 < tau < 1.0:
+        raise ValueError(f"tau must be in (0, 1), got {tau}")
+    bandwidth = np.asarray(bandwidth_mbps, dtype=np.float64)
+    plan = np.asarray(plan_mbps, dtype=np.float64)
+    air = np.asarray(air_mbps, dtype=np.float64)
+    attributable = (bandwidth > 0) & (plan > 0) & (air > 0)
+
+    estimate = bandwidth.copy()
+    if android_version is not None:
+        estimate = estimate / device_speed_factor(android_version)
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        predicted_plan = plan * delivery_mean
+        floor = (1.0 - tau) * np.minimum(air, predicted_plan)
+        contended = estimate < floor
+        air_closer = np.abs(np.log(estimate / np.where(air > 0, air, 1.0))) <= \
+            np.abs(np.log(estimate / np.where(predicted_plan > 0,
+                                              predicted_plan, 1.0)))
+    codes = np.where(
+        contended,
+        np.int8(BOTTLENECK_CONTENTION),
+        np.where(air_closer, np.int8(BOTTLENECK_AIR), np.int8(BOTTLENECK_PLAN)),
+    )
+    return np.where(attributable, codes, np.int8(BOTTLENECK_NONE)).astype(np.int8)
+
+
+def classify_test(
+    estimate_mbps: float,
+    plan_mbps: float,
+    air_mbps: float,
+    android_version: Optional[int] = None,
+    tau: float = DEFAULT_TAU,
+    delivery_mean: float = DEFAULT_DELIVERY_MEAN,
+) -> int:
+    """Scalar :func:`attribute_rows` for one finished test."""
+    version = None if android_version is None else np.asarray(android_version)
+    return int(
+        attribute_rows(
+            np.asarray([estimate_mbps]),
+            np.asarray([plan_mbps]),
+            np.asarray([air_mbps]),
+            None if version is None else version.reshape(1),
+            tau=tau,
+            delivery_mean=delivery_mean,
+        )[0]
+    )
+
+
+def session_estimate_mbps(result) -> float:
+    """Plateau estimate from a Swiftest ladder's throughput samples.
+
+    The fixed ladder's rate commands overshoot then converge, so the
+    later 50 ms samples sit on ``min(command, capacity)``'s plateau;
+    their median is robust to the ramp-up and to transient dips.  Falls
+    back to the session's reported bandwidth when the sample record is
+    too short to split.
+    """
+    samples = getattr(result, "samples", None) or []
+    if len(samples) >= 4:
+        tail = [mbps for _, mbps in samples[len(samples) // 2:]]
+        return float(np.median(tail))
+    return float(result.bandwidth_mbps)
+
+
+def classify_session(
+    result,
+    plan_mbps: float,
+    air_mbps: float,
+    android_version: Optional[int] = None,
+    tau: float = DEFAULT_TAU,
+    delivery_mean: float = DEFAULT_DELIVERY_MEAN,
+) -> int:
+    """Attribute one finished loopback/Swiftest session.
+
+    ``result`` is any object with ``samples`` (50 ms ``(t, Mbps)``
+    pairs) and ``bandwidth_mbps`` — e.g.
+    :class:`repro.core.loopback.LoopbackResult`.
+    """
+    return classify_test(
+        session_estimate_mbps(result),
+        plan_mbps,
+        air_mbps,
+        android_version=android_version,
+        tau=tau,
+        delivery_mean=delivery_mean,
+    )
+
+
+def attribution_summary(
+    attributed: np.ndarray,
+    ground_truth: Optional[np.ndarray] = None,
+) -> Dict:
+    """Aggregate attribution results (and validation when truth known).
+
+    Returns counts and shares per binding-hop label over the
+    attributed rows, plus — when the simulator's ground-truth
+    ``bottleneck`` column is provided — the agreement rate over rows
+    where both sides carry a label.
+    """
+    attributed = np.asarray(attributed)
+    labelled = attributed != BOTTLENECK_NONE
+    n_attributed = int(labelled.sum())
+    counts = {
+        BOTTLENECK_NAMES[code]: int((attributed == code).sum())
+        for code in (BOTTLENECK_AIR, BOTTLENECK_PLAN, BOTTLENECK_CONTENTION)
+    }
+    summary: Dict = {
+        "n_rows": int(attributed.size),
+        "n_attributed": n_attributed,
+        "counts": counts,
+        "shares": {
+            name: (count / n_attributed if n_attributed else 0.0)
+            for name, count in counts.items()
+        },
+    }
+    if ground_truth is not None:
+        truth = np.asarray(ground_truth)
+        if truth.shape != attributed.shape:
+            raise ValueError(
+                f"ground truth shape {truth.shape} != attributed "
+                f"shape {attributed.shape}"
+            )
+        both = labelled & (truth != BOTTLENECK_NONE)
+        n_validated = int(both.sum())
+        summary["n_validated"] = n_validated
+        summary["agreement"] = (
+            float((attributed[both] == truth[both]).mean())
+            if n_validated else None
+        )
+    return summary

@@ -70,6 +70,7 @@ from repro.dataset.isp import (
     WIFI_ISP_SHARES,
 )
 from repro.dataset.kernels import (
+    home_path_allocation,
     lte_user_throughput,
     ltea_user_throughput,
     nr_user_throughput,
@@ -85,6 +86,7 @@ from repro.radio.rss import (
 )
 from repro.radio.sleeping import DiurnalProfile, SleepPolicy
 from repro.wifi.broadband import DEFAULT_PLAN_RATES, PLAN_MIX_BY_STANDARD
+from repro.wifi.homepath import RSS_AIR_FACTOR
 from repro.wifi.standards import wifi_standard
 
 #: RSS level distribution for a typical cellular test.
@@ -226,6 +228,19 @@ WIFI_CHANNEL_MHZ: Dict[Tuple[str, str], float] = {
 #: Log-normal sigma of the WiFi PHY-rate deployment spread.
 WIFI_PHY_SIGMA = 0.45
 
+#: WiFi RSS level mix (levels 1..5) of home-path campaigns.  Indoor
+#: clients skew toward good signal: most tests run in the same or an
+#: adjacent room to the AP (Sharma et al.), with a weak-signal tail.
+WIFI_RSS_LEVEL_PROBS: Tuple[float, ...] = (0.08, 0.12, 0.20, 0.30, 0.30)
+
+#: Probability that a home-path test contends with active LAN cross
+#: traffic on the air hop (another device streaming/syncing mid-test).
+XTRAFFIC_ACTIVE_PROB = 0.35
+
+#: Aggregate LAN competitor demand, as a uniform fraction of the
+#: effective air-link rate, when cross traffic is active.
+XTRAFFIC_SHARE_RANGE: Tuple[float, float] = (0.35, 0.80)
+
 #: Multiplicative log-normal sigma for fast fading / measurement
 #: noise, per generation.  NR's wide channels and HARQ average out more
 #: of the fast fading, so its spread is tighter.
@@ -279,6 +294,13 @@ class CampaignConfig:
     #: by the §4 "widen LTE-Advanced" what-if analysis.  ``None`` keeps
     #: the calibrated default.
     lte_advanced_prob: Optional[float] = None
+    #: Enable the home-path dual-bottleneck model for WiFi rows: the
+    #: air link is attenuated by a drawn WiFi RSS level and shared
+    #: with LAN cross traffic, and the ``air/wire/xtraffic/bottleneck``
+    #: columns record the composed topology's ground truth.  Off by
+    #: default — legacy campaigns stay byte-identical (the extra draws
+    #: come from dedicated substream slots).
+    home_path: bool = False
 
     def __post_init__(self) -> None:
         if self.year not in TECH_SHARES:
@@ -526,6 +548,10 @@ class _CampaignTables:
             self.wifi_delivery_mean[r] = mix.delivery_mean
             self.wifi_delivery_sigma[r] = mix.delivery_sigma
         self.plan_rates = np.array(DEFAULT_PLAN_RATES, dtype=np.int32)
+        self.wifi_rss_cdf = ss.cdf_of(WIFI_RSS_LEVEL_PROBS)
+        self.wifi_rss_factor = np.array(
+            [RSS_AIR_FACTOR[level] for level in range(6)]
+        )
 
         # User population: devices and home cities, one vectorized pass
         # over user-indexed substreams (position = user_id).
@@ -674,6 +700,10 @@ def _generate_chunk(
     sleep_col = np.zeros(m, dtype=bool)
     dense_col = np.zeros(m, dtype=bool)
     bw_col = np.empty(m)
+    air_col = np.zeros(m)
+    wire_col = np.zeros(m)
+    xtraffic_col = np.zeros(m)
+    bott_col = np.zeros(m, dtype=np.int8)
 
     # -- 4G ------------------------------------------------------------
     i4 = np.flatnonzero(category == tables._CAT_4G)
@@ -851,11 +881,35 @@ def _generate_chunk(
                 tables.wifi_delivery_sigma[wrow],
             ),
         )
-        bandwidth = np.minimum(link, wire) * device_factor[iw]
+        if config.home_path:
+            # Home-path model: RSS attenuates the air link, and LAN
+            # cross traffic contends on it.  All three draws live in
+            # dedicated slots, so rows keep their legacy bandwidth
+            # stream and flipping the flag cannot reshuffle anything
+            # else.
+            hp_level = 1 + ss.pick(
+                tables.wifi_rss_cdf, draw(ss.SLOT_WIFI_RSS)[iw]
+            )
+            air = np.maximum(1.0, link * tables.wifi_rss_factor[hp_level])
+            active = draw(ss.SLOT_XTRAFFIC_GATE)[iw] < XTRAFFIC_ACTIVE_PROB
+            share = ss.ppf_uniform(
+                draw(ss.SLOT_XTRAFFIC_SHARE)[iw], *XTRAFFIC_SHARE_RANGE
+            )
+            xdemand = np.where(active, air * share, 0.0)
+            rss_col[iw] = hp_level.astype(np.int8)
+        else:
+            air = link
+            xdemand = np.zeros(len(iw))
+        allocated, hop = home_path_allocation(air, wire, xdemand)
+        bandwidth = allocated * device_factor[iw]
         isp_col[iw] = (isp_idx + 1).astype(np.int8)
         band_col[iw] = tables.wifi_band_names[wrow, band_local]
         channel_col[iw] = tables.wifi_channel[wrow, band_local]
         plan_col[iw] = plan
+        air_col[iw] = air
+        wire_col[iw] = wire
+        xtraffic_col[iw] = xdemand
+        bott_col[iw] = hop
         bw_col[iw] = np.maximum(0.5, bandwidth)
 
     return {
@@ -882,6 +936,11 @@ def _generate_chunk(
         "lte_advanced": ltea_col,
         "sleeping": sleep_col,
         "bandwidth_mbps": bw_col,
+        "air_mbps": air_col,
+        "wire_mbps": wire_col,
+        "xtraffic_mbps": xtraffic_col,
+        "bottleneck": bott_col,
+        "bottleneck_attr": np.zeros(m, dtype=np.int8),
     }
 
 

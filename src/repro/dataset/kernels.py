@@ -109,3 +109,47 @@ def wifi_link_mbps(
                     + np.asarray(contention_sigma) * contention_normal)
     )
     return np.maximum(1.0, phy * MAC_EFFICIENCY * contention)
+
+
+def home_path_allocation(
+    air_mbps: np.ndarray,
+    wire_mbps: np.ndarray,
+    xtraffic_mbps: np.ndarray,
+):
+    """Vector max-min allocation of the two-hop home path.
+
+    Closed form of :class:`repro.wifi.homepath.HomePath` with one
+    aggregate competitor of demand ``xtraffic_mbps`` on the air hop:
+    progressive filling gives the competitor ``min(x, air/2)``, so the
+    test flow's air-side share is ``max(air - x, air/2)``, further
+    capped by the wire hop.  Returns ``(allocated_mbps, bottleneck)``
+    where ``bottleneck`` holds the ground-truth binding-hop codes of
+    :mod:`repro.wifi.homepath` (int8).
+
+    With ``xtraffic == 0`` the allocation is exactly
+    ``min(air, wire)`` in float math — the legacy single-draw WiFi
+    bandwidth — so enabling the home-path model cannot perturb
+    undisturbed rows.
+    """
+    from repro.wifi.homepath import (
+        BOTTLENECK_AIR,
+        BOTTLENECK_CONTENTION,
+        BOTTLENECK_PLAN,
+        _EPS,
+    )
+
+    air = np.asarray(air_mbps, dtype=np.float64)
+    wire = np.asarray(wire_mbps, dtype=np.float64)
+    x = np.asarray(xtraffic_mbps, dtype=np.float64)
+    test_air = np.maximum(air - x, 0.5 * air)
+    allocated = np.minimum(test_air, wire)
+    bottleneck = np.where(
+        allocated >= wire - _EPS,
+        np.int8(BOTTLENECK_PLAN),
+        np.where(
+            allocated >= air - _EPS,
+            np.int8(BOTTLENECK_AIR),
+            np.int8(BOTTLENECK_CONTENTION),
+        ),
+    ).astype(np.int8)
+    return allocated, bottleneck

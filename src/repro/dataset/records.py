@@ -36,7 +36,7 @@ SCHEMA: Dict[str, object] = {
     "dense_urban": bool,
     "band": object,            # 'B3', 'N78', '2.4GHz', '5GHz', ...
     "channel_mhz": np.float64,
-    "rss_level": np.int8,      # 1..5 cellular; 0 for WiFi
+    "rss_level": np.int8,      # 1..5 cellular and home-path WiFi; else 0
     "rsrp_dbm": np.float64,    # NaN for WiFi
     "snr_db": np.float64,      # NaN for WiFi
     "android_version": np.int8,
@@ -47,6 +47,11 @@ SCHEMA: Dict[str, object] = {
     "lte_advanced": bool,
     "sleeping": bool,
     "bandwidth_mbps": np.float64,
+    "air_mbps": np.float64,       # effective WiFi air-link rate; 0 for cellular
+    "wire_mbps": np.float64,      # delivered broadband rate; 0 for cellular
+    "xtraffic_mbps": np.float64,  # LAN competitor demand on the air hop
+    "bottleneck": np.int8,        # ground-truth binding hop; see wifi.homepath
+    "bottleneck_attr": np.int8,   # Swiftest-attributed hop; 0 = unattributed
 }
 
 
@@ -103,6 +108,13 @@ class TestRecord:
     lte_advanced: bool
     sleeping: bool
     bandwidth_mbps: float
+    # Home-path columns (PR 10); default so pre-existing row literals
+    # and fixtures stay valid.
+    air_mbps: float = 0.0
+    wire_mbps: float = 0.0
+    xtraffic_mbps: float = 0.0
+    bottleneck: int = 0
+    bottleneck_attr: int = 0
 
 
 class Dataset:

@@ -176,5 +176,12 @@ def demo_campaign(
     columns["bandwidth_mbps"] = batch_gmm_bandwidths(
         techs, rng, mixtures=mixtures
     )
+    # Home-path columns: the GMM demo draws a single bandwidth, so the
+    # per-hop decomposition is absent.
+    columns["air_mbps"] = np.zeros(n)
+    columns["wire_mbps"] = np.zeros(n)
+    columns["xtraffic_mbps"] = np.zeros(n)
+    columns["bottleneck"] = np.zeros(n, dtype=np.int8)
+    columns["bottleneck_attr"] = np.zeros(n, dtype=np.int8)
     assert set(columns) == set(SCHEMA)
     return Dataset(columns)

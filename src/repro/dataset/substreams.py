@@ -88,6 +88,9 @@ SLOT_PLAN_SHIFT = 17
 SLOT_LINK_PHY = 18
 SLOT_LINK_CONTENTION = 19
 SLOT_WIRE = 20
+SLOT_WIFI_RSS = 21
+SLOT_XTRAFFIC_GATE = 22
+SLOT_XTRAFFIC_SHARE = 23
 
 #: User-table slots (position = user_id, not test_id).
 SLOT_USER_MODEL = 64

@@ -897,3 +897,128 @@ def run_ooc_bench(
         out_path = Path(out_path)
         atomic_write_json(out_path, summary, indent=2, trailing_newline=True)
     return summary
+
+
+# -- bottleneck attribution gate ---------------------------------------
+
+#: Home-path campaign size of the attribution gate.
+ATTRIBUTION_DEFAULT_ROWS = 10_000
+
+#: Shard counts whose measured datasets (including ``bottleneck_attr``)
+#: must be byte-identical.
+ATTRIBUTION_DEFAULT_SHARDS: Tuple[int, ...] = (1, 2, 8)
+
+#: Minimum required agreement between Swiftest's inferred binding hop
+#: and the simulator's ground truth over validated rows.
+ATTRIBUTION_MIN_AGREEMENT = 0.90
+
+
+def run_attribution_bench(
+    rows: int = ATTRIBUTION_DEFAULT_ROWS,
+    oracle_rows: Optional[int] = None,
+    seed: int = DEFAULT_SEED,
+    shard_counts: Sequence[int] = ATTRIBUTION_DEFAULT_SHARDS,
+    min_agreement: float = ATTRIBUTION_MIN_AGREEMENT,
+    out_path: Optional[Union[str, Path]] = None,
+    manifest_path: Optional[Union[str, Path]] = None,
+) -> Dict:
+    """The bottleneck-attribution gate (``repro bench attribution``).
+
+    Generates a seeded home-path campaign (dual-bottleneck WiFi rows
+    with ground-truth ``bottleneck`` labels), measures it through the
+    loopback Swiftest engine at every shard count in ``shard_counts``,
+    and checks three properties:
+
+    * **accuracy** — Swiftest's inferred binding hop agrees with the
+      simulator's ground truth on at least ``min_agreement`` of the
+      validated rows;
+    * **shard invariance** — the measured dataset (including the
+      ``bottleneck_attr`` column) and the attribution summary are
+      byte-identical across all shard counts;
+    * **mode parity** — the per-packet oracle engine and the vectorized
+      session bank produce byte-identical measured rows and attribution
+      (over the first ``oracle_rows`` rows; ``None`` replays the whole
+      campaign).
+
+    When ``manifest_path`` is given the baseline (first shard count)
+    run writes its campaign manifest there — including the attribution
+    block — for CI to upload as an artifact.
+    """
+    if rows < 1:
+        raise ValueError(f"need at least 1 row, got {rows}")
+    if not shard_counts:
+        raise ValueError("at least one shard count is required")
+    import numpy as np
+
+    config = GenerationConfig(n_tests=rows, seed=seed, home_path=True)
+    start = time.perf_counter()
+    contexts = generate_campaign(config)
+    generate_s = time.perf_counter() - start
+
+    def measure(subset: Dataset, n_shards: int, mode: str = "auto",
+                manifest: Optional[Union[str, Path]] = None):
+        cfg = CampaignConfig(
+            seed=seed,
+            test="swiftest-loopback",
+            n_shards=n_shards,
+            mode=mode,
+            manifest_path=Path(manifest) if manifest else None,
+        )
+        return run_campaign(subset, cfg)
+
+    with PeakRssTracker() as rss:
+        reports = {}
+        timings = {}
+        for i, n_shards in enumerate(shard_counts):
+            start = time.perf_counter()
+            reports[n_shards] = measure(
+                contexts, n_shards,
+                manifest=manifest_path if i == 0 else None,
+            )
+            timings[n_shards] = time.perf_counter() - start
+        baseline = reports[shard_counts[0]]
+        baseline_bytes = _dataset_csv_bytes(baseline.dataset)
+        shard_identical = all(
+            _dataset_csv_bytes(reports[n].dataset) == baseline_bytes
+            and reports[n].attribution == baseline.attribution
+            for n in shard_counts[1:]
+        )
+
+        subset = (
+            contexts if oracle_rows is None or oracle_rows >= rows
+            else contexts.filter(np.arange(rows) < oracle_rows)
+        )
+        start = time.perf_counter()
+        oracle = measure(subset, 1, mode="oracle")
+        oracle_s = time.perf_counter() - start
+        vectorized = measure(subset, 1, mode="vectorized")
+        mode_identical = (
+            _dataset_csv_bytes(oracle.dataset)
+            == _dataset_csv_bytes(vectorized.dataset)
+            and oracle.attribution == vectorized.attribution
+        )
+
+    attribution = baseline.attribution or {}
+    agreement = attribution.get("agreement")
+    accurate = agreement is not None and agreement >= min_agreement
+    summary = {
+        "benchmark": "bottleneck-attribution",
+        "seed": seed,
+        "rows": rows,
+        "oracle_rows": len(subset),
+        "shard_counts": list(shard_counts),
+        "generate_s": generate_s,
+        "measure_s": {str(n): timings[n] for n in shard_counts},
+        "oracle_s": oracle_s,
+        "attribution": attribution,
+        "min_agreement": min_agreement,
+        "accurate": accurate,
+        "shard_identical": shard_identical,
+        "mode_identical": mode_identical,
+        "passed": accurate and shard_identical and mode_identical,
+        "peak_rss_mb": rss.peak_mb,
+    }
+    if out_path is not None:
+        out_path = Path(out_path)
+        atomic_write_json(out_path, summary, indent=2, trailing_newline=True)
+    return summary

@@ -140,6 +140,16 @@ def measured_campaign(
         env = row_environment(subset, i, seed)
         measured[i] = service.run(env).bandwidth_mbps
     columns["bandwidth_mbps"] = measured
+    # Same per-row attribution the supervised runtime applies in
+    # build_report — the two paths stay bit-identical drop-ins.
+    from repro.core.attribution import attribute_rows
+
+    columns["bottleneck_attr"] = attribute_rows(
+        measured,
+        columns["plan_mbps"],
+        columns["air_mbps"],
+        columns["android_version"],
+    )
     return Dataset(columns)
 
 

@@ -52,6 +52,7 @@ from typing import Dict, List, Optional, Union
 import numpy as np
 
 from repro.baselines.common import BandwidthTestService
+from repro.core.attribution import attribute_rows, attribution_summary
 from repro.dataset.records import Dataset, SCHEMA
 from repro.execmode import ExecutionMode
 from repro.ioutil import atomic_write_json
@@ -144,6 +145,11 @@ class CampaignReport:
     store_run_id:
         Catalog id the run was ingested under when the config names a
         run store (see :mod:`repro.store`); ``None`` otherwise.
+    attribution:
+        Bottleneck-attribution summary over the measured rows
+        (:func:`repro.core.attribution.attribution_summary`, including
+        agreement against the generator's ground-truth ``bottleneck``
+        column); ``None`` when nothing was measured.
     """
 
     dataset: Optional[Dataset]
@@ -155,6 +161,7 @@ class CampaignReport:
     resumed_rows: int = 0
     checkpoints_written: int = 0
     store_run_id: Optional[str] = None
+    attribution: Optional[Dict] = None
 
     @property
     def n_quarantined(self) -> int:
@@ -378,6 +385,11 @@ def build_report(
     Rows are emitted in subset order regardless of the order they were
     measured in — completion order (and therefore sharding) cannot
     affect the output bytes.
+
+    Measured home-path rows are attributed to their binding hop here —
+    the single assembly point shared by the serial and sharded engines,
+    so the ``bottleneck_attr`` column and the attribution summary are
+    automatically identical across shard counts.
     """
     n = len(subset)
     measured_idx = [
@@ -389,6 +401,7 @@ def build_report(
         if i in rows and rows[i].quarantine is not None
     ]
     dataset: Optional[Dataset] = None
+    attribution: Optional[Dict] = None
     if measured_idx:
         mask = np.zeros(n, dtype=bool)
         mask[measured_idx] = True
@@ -401,6 +414,15 @@ def build_report(
             [rows[i].measured_mbps for i in measured_idx],
             dtype=np.float64,
         )
+        columns["bottleneck_attr"] = attribute_rows(
+            columns["bandwidth_mbps"],
+            columns["plan_mbps"],
+            columns["air_mbps"],
+            columns["android_version"],
+        )
+        attribution = attribution_summary(
+            columns["bottleneck_attr"], columns["bottleneck"]
+        )
         dataset = Dataset(columns)
     return CampaignReport(
         dataset=dataset,
@@ -411,6 +433,7 @@ def build_report(
         backoff_wait_s=sum(s.backoff_wait_s for s in rows.values()),
         resumed_rows=resumed_rows,
         checkpoints_written=checkpoints_written,
+        attribution=attribution,
     )
 
 

@@ -25,6 +25,7 @@ from repro.netsim.crosstraffic import (
     CrossTrafficSource,
     OnOffSource,
     attach_cross_traffic,
+    cross_traffic_rng,
 )
 from repro.netsim.engine import Simulator
 from repro.netsim.faults import (
@@ -68,5 +69,6 @@ __all__ = [
     "Simulator",
     "SteppedTrace",
     "attach_cross_traffic",
+    "cross_traffic_rng",
     "outage_plan",
 ]

@@ -13,6 +13,7 @@ call :meth:`advance` once per slice before the network allocates.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -21,6 +22,14 @@ import numpy as np
 from repro.netsim.flow import Flow
 from repro.netsim.link import Link
 from repro.netsim.network import Network
+
+#: Catch-up horizon of :meth:`CrossTrafficSource.advance`, in mean
+#: on+off periods.  A time jump beyond this many periods (a blackout
+#: window, a long idle gap in the fleet simulator) is resolved by one
+#: closed-form stationary resample instead of replaying every toggle —
+#: the exponential on/off process mixes to its stationary law in a few
+#: periods, so nothing observable is lost past the horizon.
+CATCHUP_HORIZON_PERIODS = 64.0
 
 
 @dataclass
@@ -76,12 +85,28 @@ class CrossTrafficSource:
             flow.demand_mbps = source.rate_mbps if on else 0.0
 
     def advance(self, now_s: float) -> None:
-        """Toggle sources whose periods elapsed; update demands."""
+        """Toggle sources whose periods elapsed; update demands.
+
+        The catch-up is bounded: a jump past
+        :data:`CATCHUP_HORIZON_PERIODS` mean periods resamples the
+        source's stationary state in O(1) (two draws) rather than
+        replaying O(gap / mean period) toggles.
+        """
         for i, source in enumerate(self._sources):
-            while now_s >= self._next_toggle_s[i]:
-                self._on[i] = not self._on[i]
-                mean = source.mean_on_s if self._on[i] else source.mean_off_s
-                self._next_toggle_s[i] += float(self.rng.exponential(mean))
+            period = source.mean_on_s + source.mean_off_s
+            if now_s - self._next_toggle_s[i] > CATCHUP_HORIZON_PERIODS * period:
+                # Stationary closed form: P(on) is the on-fraction, and
+                # the residual to the next toggle is exponential in the
+                # current state's mean (memorylessness).
+                on = bool(self.rng.random() < source.mean_on_s / period)
+                self._on[i] = on
+                mean = source.mean_on_s if on else source.mean_off_s
+                self._next_toggle_s[i] = now_s + float(self.rng.exponential(mean))
+            else:
+                while now_s >= self._next_toggle_s[i]:
+                    self._on[i] = not self._on[i]
+                    mean = source.mean_on_s if self._on[i] else source.mean_off_s
+                    self._next_toggle_s[i] += float(self.rng.exponential(mean))
             self._flows[i].demand_mbps = (
                 source.rate_mbps if self._on[i] else 0.0
             )
@@ -100,20 +125,54 @@ class CrossTrafficSource:
         return sum(self._on)
 
 
+def cross_traffic_rng(seed: int, label: str) -> np.random.Generator:
+    """Deterministic cross-traffic stream keyed on ``(seed, label)``.
+
+    Mirrors the substream discipline of :mod:`repro.dataset.substreams`:
+    every link label under a root seed owns an independent stream, so
+    two links never share a burst schedule and a scenario is fully
+    reproducible from its seed.
+    """
+    import zlib
+
+    return np.random.default_rng([seed, zlib.crc32(label.encode("utf-8"))])
+
+
 def attach_cross_traffic(
     network: Network,
     link: Link,
     total_rate_mbps: float,
     n_sources: int,
     rng: Optional[np.random.Generator] = None,
+    *,
+    seed: Optional[int] = None,
 ) -> CrossTrafficSource:
     """Convenience: split ``total_rate_mbps`` of bursty background load
-    across ``n_sources`` on/off flows on one link."""
+    across ``n_sources`` on/off flows on one link.
+
+    Pass an explicit ``rng``, or a ``seed`` to derive one keyed on
+    ``(seed, link.name)`` via :func:`cross_traffic_rng`.  Omitting both
+    is deprecated: it reuses ``default_rng(0)``, so every unseeded call
+    site gets an identical burst schedule, defeating scenario diversity
+    and masking contention variance.
+    """
     if n_sources < 1:
         raise ValueError("need at least one source")
     if total_rate_mbps <= 0:
         raise ValueError("rate must be positive")
-    rng = rng if rng is not None else np.random.default_rng(0)
+    if rng is not None and seed is not None:
+        raise ValueError("pass either rng or seed, not both")
+    if rng is None and seed is not None:
+        rng = cross_traffic_rng(seed, link.name)
+    elif rng is None:
+        warnings.warn(
+            "attach_cross_traffic without rng or seed reuses "
+            "default_rng(0) (identical burst schedule at every call "
+            "site); pass an explicit rng or seed",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        rng = np.random.default_rng(0)
     per_source = total_rate_mbps / n_sources
     sources = [
         OnOffSource(

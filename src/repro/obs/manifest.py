@@ -178,6 +178,7 @@ def build_campaign_manifest(
             "n_shards": config.n_shards,
         },
         "outcomes": outcomes,
+        "attribution": getattr(report, "attribution", None),
         "shards": shards or [],
         "metrics": metrics or {},
     }

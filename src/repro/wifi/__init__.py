@@ -15,7 +15,23 @@ from repro.wifi.ap import AccessPoint, sample_wifi_bandwidth
 from repro.wifi.broadband import (
     BroadbandPlanMix,
     DEFAULT_PLAN_RATES,
+    PLAN_MIX_BY_STANDARD,
+    UnknownPlanMixError,
     fraction_at_or_below,
+    plan_mix_for,
+)
+from repro.wifi.homepath import (
+    BOTTLENECK_AIR,
+    BOTTLENECK_CONTENTION,
+    BOTTLENECK_NAMES,
+    BOTTLENECK_NONE,
+    BOTTLENECK_PLAN,
+    HomePath,
+    HomePathSample,
+    RSS_AIR_FACTOR,
+    binding_hop,
+    rss_air_factor,
+    sample_home_path,
 )
 from repro.wifi.standards import (
     WIFI_STANDARDS,
@@ -25,11 +41,25 @@ from repro.wifi.standards import (
 
 __all__ = [
     "AccessPoint",
+    "BOTTLENECK_AIR",
+    "BOTTLENECK_CONTENTION",
+    "BOTTLENECK_NAMES",
+    "BOTTLENECK_NONE",
+    "BOTTLENECK_PLAN",
     "BroadbandPlanMix",
     "DEFAULT_PLAN_RATES",
+    "HomePath",
+    "HomePathSample",
+    "PLAN_MIX_BY_STANDARD",
+    "RSS_AIR_FACTOR",
+    "UnknownPlanMixError",
     "WIFI_STANDARDS",
     "WifiStandard",
+    "binding_hop",
     "fraction_at_or_below",
+    "plan_mix_for",
+    "rss_air_factor",
+    "sample_home_path",
     "sample_wifi_bandwidth",
     "wifi_standard",
 ]

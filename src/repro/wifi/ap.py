@@ -1,8 +1,11 @@
 """Access points: composing the WiFi link with the wired uplink.
 
-The measured WiFi bandwidth of one test is the minimum of what the
-radio link and the fixed broadband connection can carry — the paper's
-central WiFi finding is that the latter usually binds for WiFi 5/6.
+The measured WiFi bandwidth of one test is the test flow's fair share
+of the two-hop home path — air link in series with the fixed
+broadband connection (:mod:`repro.wifi.homepath`).  The paper's
+central WiFi finding is that the wire hop usually binds for WiFi 5/6;
+with RSS attenuation and LAN cross traffic disabled the allocation
+reduces exactly to the historical ``min(link, wire)`` draw.
 """
 
 from __future__ import annotations
@@ -12,7 +15,8 @@ from typing import Optional
 
 import numpy as np
 
-from repro.wifi.broadband import BroadbandPlanMix, PLAN_MIX_BY_STANDARD
+from repro.wifi.broadband import BroadbandPlanMix, plan_mix_for
+from repro.wifi.homepath import HomePath, HomePathSample
 from repro.wifi.standards import WifiStandard, wifi_standard
 
 
@@ -28,28 +32,59 @@ class AccessPoint:
         Operating band (``"2.4GHz"`` or ``"5GHz"``).
     plan_mbps:
         The household's fixed broadband plan tier.
+    rss_level:
+        WiFi signal level 1..5 attenuating the air link; 0 (default)
+        disables RSS modelling and preserves the legacy draw.
+    cross_traffic_mbps / n_competitors:
+        Aggregate LAN competitor demand contending on the air hop and
+        the number of on/off competitor flows; 0 demand disables
+        cross traffic.
     """
 
     standard: WifiStandard
     band: str
     plan_mbps: int
+    rss_level: int = 0
+    cross_traffic_mbps: float = 0.0
+    n_competitors: int = 2
 
     def __post_init__(self) -> None:
-        if not self.standard.supports_band(self.band):
-            raise ValueError(f"{self.standard.name} does not support {self.band}")
-        if self.plan_mbps <= 0:
-            raise ValueError(f"plan must be positive, got {self.plan_mbps}")
+        # HomePath validates band support, plan, RSS level, and the
+        # cross-traffic parameters; constructing it here surfaces bad
+        # arguments at AccessPoint construction time.
+        self._home_path()
+
+    def _home_path(self, plan_mix: Optional[BroadbandPlanMix] = None) -> HomePath:
+        return HomePath(
+            standard=self.standard,
+            band=self.band,
+            plan_mbps=self.plan_mbps,
+            rss_level=self.rss_level,
+            plan_mix=plan_mix,
+            cross_traffic_mbps=self.cross_traffic_mbps,
+            n_competitors=self.n_competitors,
+        )
+
+    def sample_home_path(
+        self,
+        rng: np.random.Generator,
+        plan_mix: Optional[BroadbandPlanMix] = None,
+    ) -> HomePathSample:
+        """One full home-path test: bandwidth, per-hop rates, and the
+        ground-truth binding hop."""
+        mix = plan_mix if plan_mix is not None \
+            else plan_mix_for(self.standard.name)
+        return self._home_path(plan_mix=mix).sample(rng)
 
     def sample_bandwidth_mbps(
         self,
         rng: np.random.Generator,
         plan_mix: Optional[BroadbandPlanMix] = None,
     ) -> float:
-        """One measured bandwidth: ``min(WiFi link, delivered wire)``."""
-        mix = plan_mix or PLAN_MIX_BY_STANDARD[self.standard.name]
-        link = self.standard.sample_link_mbps(self.band, rng)
-        wire = mix.sample_delivered_mbps(self.plan_mbps, rng)
-        return min(link, wire)
+        """One measured bandwidth: the test flow's share of the
+        two-link home path (``min(WiFi link, delivered wire)`` when
+        RSS and cross traffic are off)."""
+        return self.sample_home_path(rng, plan_mix=plan_mix).bandwidth_mbps
 
 
 def sample_wifi_bandwidth(
@@ -64,7 +99,7 @@ def sample_wifi_bandwidth(
     household plan from the standard's mix, then the test bandwidth.
     """
     standard = wifi_standard(standard_name)
-    mix = plan_mix or PLAN_MIX_BY_STANDARD[standard_name]
+    mix = plan_mix if plan_mix is not None else plan_mix_for(standard_name)
     plan = mix.sample_plan_mbps(rng)
     ap = AccessPoint(standard=standard, band=band, plan_mbps=plan)
     return plan, ap.sample_bandwidth_mbps(rng, plan_mix=mix)

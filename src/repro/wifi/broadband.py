@@ -102,3 +102,23 @@ PLAN_MIX_BY_STANDARD: Dict[str, BroadbandPlanMix] = {
     "WiFi5": WIFI5_PLAN_MIX,
     "WiFi6": WIFI6_PLAN_MIX,
 }
+
+
+class UnknownPlanMixError(KeyError):
+    """No default broadband plan mix exists for a WiFi standard."""
+
+
+def plan_mix_for(standard_name: str) -> BroadbandPlanMix:
+    """Default plan mix for a WiFi standard, e.g. ``"WiFi6"``.
+
+    Raises :class:`UnknownPlanMixError` (a :class:`KeyError`) naming
+    the known standards, in the style of
+    :func:`repro.wifi.standards.wifi_standard`.
+    """
+    try:
+        return PLAN_MIX_BY_STANDARD[standard_name]
+    except KeyError:
+        raise UnknownPlanMixError(
+            f"no broadband plan mix for WiFi standard {standard_name!r}; "
+            f"known: {sorted(PLAN_MIX_BY_STANDARD)}"
+        ) from None

@@ -1,0 +1,239 @@
+"""Composed home-path topologies: WiFi air hop × broadband access hop.
+
+The paper's WiFi model collapses the two hops of a home path into a
+single ``min(link, wire)`` draw, which can say *that* a test was
+capped but never *which* hop capped it.  This module models the richer
+reality behind ROADMAP item 4 (Sharma et al., "Measuring the
+Prevalence of WiFi Bottlenecks in Home Access Networks"): a WiFi
+air-link hop — RSS-dependent effective rate from the standard's
+:class:`~repro.wifi.standards.BandProfile`, already degraded by
+2.4/5 GHz co-channel contention — in series with a broadband access
+hop delivering the household's plan tier, with LAN competitor flows
+(other devices in the home) contending on the air hop only.
+
+The measured test bandwidth is the test flow's max-min fair share of
+that two-link :class:`~repro.netsim.network.Network`, which degrades
+exactly to ``min(link, wire)`` when RSS attenuation and cross traffic
+are disabled — a single elastic flow over two links allocates
+``min`` of their capacities in exact float math, so the legacy
+:meth:`AccessPoint.sample_bandwidth_mbps` draw is preserved
+byte-for-byte.
+
+Every sample also reports the **ground-truth binding hop** (air-,
+plan-, or contention-limited), the oracle against which Swiftest's
+bottleneck-attribution mode (:mod:`repro.core.attribution`) is
+validated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.netsim.crosstraffic import CrossTrafficSource, attach_cross_traffic
+from repro.netsim.flow import Flow
+from repro.netsim.link import Link
+from repro.netsim.network import Network
+from repro.wifi.broadband import BroadbandPlanMix, plan_mix_for
+from repro.wifi.standards import WifiStandard, wifi_standard
+
+#: Binding-hop codes, stored in the dataset's ``bottleneck`` /
+#: ``bottleneck_attr`` columns (int8).  0 marks rows with no home-path
+#: ground truth (cellular tests, unattributed rows).
+BOTTLENECK_NONE = 0
+BOTTLENECK_AIR = 1
+BOTTLENECK_PLAN = 2
+BOTTLENECK_CONTENTION = 3
+
+#: Code → human-readable label.
+BOTTLENECK_NAMES: Dict[int, str] = {
+    BOTTLENECK_NONE: "none",
+    BOTTLENECK_AIR: "air",
+    BOTTLENECK_PLAN: "plan",
+    BOTTLENECK_CONTENTION: "contention",
+}
+
+#: Multiplicative air-link attenuation per WiFi RSS level (1 = weakest
+#: signal, 5 = strongest, matching the paper's cellular RSS ladder).
+#: Level 0 means "RSS modelling disabled" and leaves the air link at
+#: the BandProfile draw, preserving the legacy single-draw behaviour.
+RSS_AIR_FACTOR: Dict[int, float] = {
+    0: 1.0,
+    1: 0.25,
+    2: 0.45,
+    3: 0.65,
+    4: 0.85,
+    5: 1.0,
+}
+
+#: Comparison slack when deciding which hop bound an allocation.
+_EPS = 1e-9
+
+
+def rss_air_factor(level: int) -> float:
+    """Air-link attenuation factor for a WiFi RSS level (0 disables)."""
+    try:
+        return RSS_AIR_FACTOR[int(level)]
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"WiFi RSS level must be one of {sorted(RSS_AIR_FACTOR)}, "
+            f"got {level!r}"
+        ) from None
+
+
+def binding_hop(bandwidth_mbps: float, air_mbps: float, wire_mbps: float) -> int:
+    """Ground-truth binding hop of one allocated home-path test.
+
+    ``bandwidth`` is the test flow's allocation, ``air`` the effective
+    air-link capacity, ``wire`` the delivered broadband rate.  The test
+    rate always equals one of: the wire rate (plan-limited), the air
+    rate (air-limited), or a contended share strictly below both.
+    """
+    if bandwidth_mbps >= wire_mbps - _EPS:
+        return BOTTLENECK_PLAN
+    if bandwidth_mbps >= air_mbps - _EPS:
+        return BOTTLENECK_AIR
+    return BOTTLENECK_CONTENTION
+
+
+@dataclass(frozen=True)
+class HomePathSample:
+    """One measured home-path test with its ground-truth attribution.
+
+    Attributes
+    ----------
+    bandwidth_mbps:
+        The test flow's max-min fair share of the two-link path.
+    air_mbps:
+        Effective air-link capacity (after RSS attenuation and band
+        contention), before LAN sharing.
+    wire_mbps:
+        Delivered broadband rate behind the AP.
+    xtraffic_mbps:
+        Aggregate LAN competitor demand offered on the air hop.
+    bottleneck:
+        Ground-truth binding hop (:data:`BOTTLENECK_AIR` /
+        :data:`BOTTLENECK_PLAN` / :data:`BOTTLENECK_CONTENTION`).
+    """
+
+    bandwidth_mbps: float
+    air_mbps: float
+    wire_mbps: float
+    xtraffic_mbps: float
+    bottleneck: int
+
+    @property
+    def bottleneck_name(self) -> str:
+        return BOTTLENECK_NAMES[self.bottleneck]
+
+
+@dataclass
+class HomePath:
+    """A two-hop home path: WiFi air link in series with broadband.
+
+    Attributes
+    ----------
+    standard / band / plan_mbps:
+        The AP's WiFi generation, operating band, and the household's
+        fixed broadband plan tier.
+    rss_level:
+        WiFi signal level 1..5 attenuating the air link
+        (:data:`RSS_AIR_FACTOR`); 0 disables RSS modelling.
+    plan_mix:
+        Delivery model for the wire hop; defaults to the standard's
+        mix (:func:`repro.wifi.broadband.plan_mix_for`).
+    cross_traffic_mbps / n_competitors:
+        Aggregate demand and flow count of LAN competitors contending
+        on the air hop (0 disables cross traffic).
+    """
+
+    standard: WifiStandard
+    band: str
+    plan_mbps: int
+    rss_level: int = 0
+    plan_mix: Optional[BroadbandPlanMix] = None
+    cross_traffic_mbps: float = 0.0
+    n_competitors: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.standard.supports_band(self.band):
+            raise ValueError(f"{self.standard.name} does not support {self.band}")
+        if self.plan_mbps <= 0:
+            raise ValueError(f"plan must be positive, got {self.plan_mbps}")
+        rss_air_factor(self.rss_level)  # validates the level
+        if self.cross_traffic_mbps < 0:
+            raise ValueError(
+                f"cross traffic must be non-negative, got {self.cross_traffic_mbps}"
+            )
+        if self.cross_traffic_mbps > 0 and self.n_competitors < 1:
+            raise ValueError("cross traffic needs at least one competitor")
+
+    def sample(self, rng: np.random.Generator) -> HomePathSample:
+        """Draw one home-path test via a real two-link allocation.
+
+        Draw order is the legacy one — air-link PHY and contention
+        log-normals, then the wire delivery normal — with competitor
+        draws strictly after, so with ``rss_level=0`` and no cross
+        traffic the rng stream and the returned bandwidth are
+        byte-identical to the old ``min(link, wire)`` sample.
+        """
+        mix = self.plan_mix if self.plan_mix is not None \
+            else plan_mix_for(self.standard.name)
+        link = self.standard.sample_link_mbps(self.band, rng)
+        wire = mix.sample_delivered_mbps(self.plan_mbps, rng)
+        air_eff = max(1.0, link * rss_air_factor(self.rss_level))
+
+        network = Network()
+        air = network.add_link(Link(air_eff, name="air"))
+        access = network.add_link(Link(wire, name="access"))
+        test = network.start_flow(Flow([air, access], label="test"))
+        xtraffic: Optional[CrossTrafficSource] = None
+        offered = 0.0
+        if self.cross_traffic_mbps > 0:
+            xtraffic = attach_cross_traffic(
+                network, air, self.cross_traffic_mbps,
+                self.n_competitors, rng=rng,
+            )
+            xtraffic.advance(0.0)
+            offered = xtraffic.offered_load_mbps()
+        network.allocate(0.0)
+        bandwidth = test.allocated_mbps
+        return HomePathSample(
+            bandwidth_mbps=bandwidth,
+            air_mbps=air_eff,
+            wire_mbps=wire,
+            xtraffic_mbps=offered,
+            bottleneck=binding_hop(bandwidth, air_eff, wire),
+        )
+
+
+def sample_home_path(
+    standard_name: str,
+    band: str,
+    rng: np.random.Generator,
+    plan_mix: Optional[BroadbandPlanMix] = None,
+    rss_level: int = 0,
+    cross_traffic_mbps: float = 0.0,
+    n_competitors: int = 2,
+) -> tuple:
+    """Draw ``(plan_mbps, HomePathSample)`` for one WiFi test.
+
+    Home-path counterpart of
+    :func:`repro.wifi.ap.sample_wifi_bandwidth`: samples the household
+    plan from the standard's mix, then allocates the two-hop path.
+    """
+    standard = wifi_standard(standard_name)
+    mix = plan_mix if plan_mix is not None else plan_mix_for(standard_name)
+    plan = mix.sample_plan_mbps(rng)
+    path = HomePath(
+        standard=standard,
+        band=band,
+        plan_mbps=plan,
+        rss_level=rss_level,
+        plan_mix=mix,
+        cross_traffic_mbps=cross_traffic_mbps,
+        n_competitors=n_competitors,
+    )
+    return plan, path.sample(rng)

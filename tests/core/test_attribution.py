@@ -1,0 +1,161 @@
+"""Swiftest bottleneck attribution against simulated ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.core.attribution import (
+    attribute_rows,
+    attribution_summary,
+    classify_session,
+    classify_test,
+    device_speed_factor,
+    session_estimate_mbps,
+)
+from repro.dataset.devices import ANDROID_VERSION_FACTORS
+from repro.wifi.homepath import (
+    BOTTLENECK_AIR,
+    BOTTLENECK_CONTENTION,
+    BOTTLENECK_NONE,
+    BOTTLENECK_PLAN,
+)
+
+
+def test_clear_cut_classifications():
+    attributed = attribute_rows(
+        np.array([95.0, 180.0, 60.0, 20.0]),
+        np.array([100, 200, 200, 0]),
+        np.array([400.0, 190.0, 180.0, 0.0]),
+    )
+    assert list(attributed) == [
+        BOTTLENECK_PLAN,      # at the plan's delivered rate, air is far
+        BOTTLENECK_AIR,       # pinned at the air link
+        BOTTLENECK_CONTENTION,  # far below both hops
+        BOTTLENECK_NONE,      # cellular row: no home-path context
+    ]
+
+
+def test_rows_without_context_stay_unattributed():
+    attributed = attribute_rows(
+        np.array([50.0, 0.0]), np.array([0, 100]), np.array([80.0, 0.0])
+    )
+    assert list(attributed) == [BOTTLENECK_NONE, BOTTLENECK_NONE]
+
+
+def test_device_factor_corrected_before_thresholding():
+    """A slow Android 5 device measuring half the path rate must not
+    be mistaken for LAN contention."""
+    plan, air = 200, 500.0
+    delivered = 200 * 0.96
+    norm_factor = float(device_speed_factor(np.array([5]))[0])
+    measured = delivered * norm_factor  # what the slow device reports
+    assert classify_test(measured, plan, air) == BOTTLENECK_CONTENTION
+    assert classify_test(measured, plan, air, android_version=5) \
+        == BOTTLENECK_PLAN
+
+
+def test_device_speed_factor_population_mean_is_one():
+    from repro.dataset.devices import ANDROID_VERSION_SHARES
+
+    versions = np.array(sorted(ANDROID_VERSION_FACTORS))
+    factors = device_speed_factor(versions)
+    shares = np.array([ANDROID_VERSION_SHARES[v] for v in versions])
+    assert float((factors * shares).sum() / shares.sum()) \
+        == pytest.approx(1.0, abs=0.02)
+    # Unknown versions get no correction.
+    assert float(device_speed_factor(np.array([99]))[0]) == 1.0
+
+
+def test_tau_validation():
+    with pytest.raises(ValueError):
+        attribute_rows(np.array([1.0]), np.array([1]), np.array([1.0]),
+                       tau=1.5)
+
+
+def test_attribution_is_elementwise_pure():
+    """Row order and batch splits cannot change any row's label."""
+    rng = np.random.default_rng(17)
+    n = 500
+    bandwidth = rng.uniform(5.0, 400.0, n)
+    plan = rng.choice([100, 200, 300, 500, 1000], n)
+    air = rng.uniform(10.0, 600.0, n)
+    version = rng.integers(5, 13, n)
+
+    whole = attribute_rows(bandwidth, plan, air, version)
+    perm = rng.permutation(n)
+    permuted = attribute_rows(
+        bandwidth[perm], plan[perm], air[perm], version[perm]
+    )
+    assert np.array_equal(permuted, whole[perm])
+    split = np.concatenate([
+        attribute_rows(bandwidth[:123], plan[:123], air[:123], version[:123]),
+        attribute_rows(bandwidth[123:], plan[123:], air[123:], version[123:]),
+    ])
+    assert np.array_equal(split, whole)
+
+
+def test_session_estimate_uses_plateau_median():
+    class FakeResult:
+        bandwidth_mbps = 70.0
+        samples = [(0.05 * i, mbps) for i, mbps in
+                   enumerate([10.0, 40.0, 80.0, 100.0, 98.0, 102.0, 100.0, 99.0])]
+
+    assert session_estimate_mbps(FakeResult()) == pytest.approx(99.5)
+    assert classify_session(FakeResult(), plan_mbps=100, air_mbps=500.0) \
+        == BOTTLENECK_PLAN
+
+    class ShortResult:
+        bandwidth_mbps = 70.0
+        samples = [(0.05, 70.0)]
+
+    assert session_estimate_mbps(ShortResult()) == 70.0
+
+
+def test_attribution_summary_counts_and_agreement():
+    attributed = np.array([1, 2, 3, 0, 1], dtype=np.int8)
+    truth = np.array([1, 2, 1, 0, 0], dtype=np.int8)
+    summary = attribution_summary(attributed, truth)
+    assert summary["n_rows"] == 5
+    assert summary["n_attributed"] == 4
+    assert summary["counts"] == {"air": 2, "plan": 1, "contention": 1}
+    assert summary["shares"]["air"] == pytest.approx(0.5)
+    # Rows 0-2 have labels on both sides; 2 of 3 agree.
+    assert summary["n_validated"] == 3
+    assert summary["agreement"] == pytest.approx(2 / 3)
+
+
+def test_attribution_summary_shape_mismatch():
+    with pytest.raises(ValueError):
+        attribution_summary(np.array([1, 2]), np.array([1]))
+
+
+def test_attribution_summary_empty():
+    summary = attribution_summary(np.zeros(4, dtype=np.int8),
+                                  np.zeros(4, dtype=np.int8))
+    assert summary["n_attributed"] == 0
+    assert summary["agreement"] is None
+    assert all(share == 0.0 for share in summary["shares"].values())
+
+
+def test_generator_ground_truth_agreement_gate():
+    """On a seeded home-path campaign measured through the loopback
+    Swiftest engine, attribution agrees with the simulator's binding
+    hop on >= 90% of validated rows (the CI gate, at unit-test size)."""
+    from repro.dataset.generator import CampaignConfig, generate_campaign
+    from repro.harness.config import CampaignConfig as RunConfig
+    from repro.harness.parallel import run_campaign
+
+    contexts = generate_campaign(
+        CampaignConfig(n_tests=1500, seed=424242, home_path=True)
+    )
+    report = run_campaign(
+        contexts, RunConfig(seed=11, test="swiftest-loopback", n_shards=1)
+    )
+    summary = report.attribution
+    assert summary is not None
+    assert summary["n_validated"] > 500
+    assert summary["agreement"] >= 0.90
+    attr = np.asarray(report.dataset.column("bottleneck_attr"))
+    # Every labelled hop appears in a contended home-path population.
+    assert set(np.unique(attr[attr > 0])) == {
+        BOTTLENECK_AIR, BOTTLENECK_PLAN, BOTTLENECK_CONTENTION
+    }

@@ -60,7 +60,7 @@ def test_manifest_schema_keys_are_stable(tmp_path):
     manifest = build_campaign_manifest(CampaignConfig(), make_report())
     assert set(manifest) == {
         "manifest_version", "kind", "created_unix_s", "seed", "config",
-        "versions", "run", "outcomes", "shards", "metrics",
+        "versions", "run", "outcomes", "attribution", "shards", "metrics",
     }
     assert manifest["shards"] == []
     assert manifest["metrics"] == {}

@@ -49,3 +49,29 @@ def test_sample_wifi_bandwidth_returns_plan_and_rate(rng):
 def test_sample_wifi_bandwidth_unknown_standard(rng):
     with pytest.raises(KeyError):
         sample_wifi_bandwidth("WiFi9", "5GHz", rng)
+
+
+def test_explicit_plan_mix_is_not_truthiness_checked(rng):
+    """An explicitly passed mix must be used verbatim — the old
+    ``plan_mix or default`` form silently swapped in the standard's
+    default for any falsy-looking argument."""
+    degenerate = BroadbandPlanMix(
+        weights={1: 1.0}, delivery_sigma=0.0, delivery_mean=1.0
+    )
+    plan, bw = sample_wifi_bandwidth("WiFi6", "5GHz", rng,
+                                     plan_mix=degenerate)
+    assert plan == 1
+    assert bw <= 1.0 + 1e-9
+
+
+def test_unknown_standard_surfaces_typed_error(rng):
+    """Sampling without an explicit mix for a standard that has no
+    default raises the typed mapping error, not a bare KeyError."""
+    import dataclasses
+
+    from repro.wifi.broadband import UnknownPlanMixError
+
+    future = dataclasses.replace(wifi_standard("WiFi6"), name="WiFi9")
+    ap = AccessPoint(future, band="5GHz", plan_mbps=100)
+    with pytest.raises(UnknownPlanMixError, match="WiFi9"):
+        ap.sample_bandwidth_mbps(rng)

@@ -69,3 +69,24 @@ def test_mean_plan():
 
 def test_wifi6_users_buy_bigger_plans():
     assert WIFI6_PLAN_MIX.mean_plan_mbps() > OVERALL_PLAN_MIX.mean_plan_mbps()
+
+
+def test_plan_mix_for_known_standards():
+    from repro.wifi.broadband import plan_mix_for
+
+    for name in ("WiFi4", "WiFi5", "WiFi6"):
+        assert plan_mix_for(name) is PLAN_MIX_BY_STANDARD[name]
+
+
+def test_plan_mix_for_unknown_standard_typed_error():
+    from repro.wifi.broadband import UnknownPlanMixError, plan_mix_for
+
+    with pytest.raises(UnknownPlanMixError) as excinfo:
+        plan_mix_for("WiFi7")
+    # The error is catchable as the mapping's native KeyError and
+    # names every known standard, matching wifi_standard's style.
+    assert isinstance(excinfo.value, KeyError)
+    message = str(excinfo.value)
+    assert "WiFi7" in message
+    for name in PLAN_MIX_BY_STANDARD:
+        assert name in message

@@ -1,0 +1,181 @@
+"""Composed home-path topologies and ground-truth binding hops."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.kernels import home_path_allocation
+from repro.netsim.flow import Flow
+from repro.netsim.link import Link
+from repro.netsim.network import Network
+from repro.wifi.ap import AccessPoint, sample_wifi_bandwidth
+from repro.wifi.broadband import BroadbandPlanMix, plan_mix_for
+from repro.wifi.homepath import (
+    BOTTLENECK_AIR,
+    BOTTLENECK_CONTENTION,
+    BOTTLENECK_NONE,
+    BOTTLENECK_PLAN,
+    HomePath,
+    binding_hop,
+    rss_air_factor,
+    sample_home_path,
+)
+from repro.wifi.standards import wifi_standard
+
+
+def legacy_min_draw(standard_name, band, mix, rng):
+    """The historical single-draw WiFi bandwidth: min(link, wire)."""
+    standard = wifi_standard(standard_name)
+    plan = mix.sample_plan_mbps(rng)
+    link = standard.sample_link_mbps(band, rng)
+    wire = mix.sample_delivered_mbps(plan, rng)
+    return plan, min(link, wire)
+
+
+@pytest.mark.parametrize("standard_name,band", [
+    ("WiFi4", "2.4GHz"), ("WiFi5", "5GHz"), ("WiFi6", "5GHz"),
+])
+def test_two_link_allocation_byte_identical_to_legacy_min(standard_name, band):
+    """With RSS and cross traffic off, the real two-link allocation
+    reproduces the legacy ``min(link, wire)`` draw bit-for-bit —
+    including the rng stream, so downstream draws stay aligned."""
+    mix = plan_mix_for(standard_name)
+    for seed in range(100):
+        rng_old = np.random.default_rng(seed)
+        rng_new = np.random.default_rng(seed)
+        plan_old, bw_old = legacy_min_draw(standard_name, band, mix, rng_old)
+        plan_new, bw_new = sample_wifi_bandwidth(
+            standard_name, band, rng_new, plan_mix=mix
+        )
+        assert plan_old == plan_new
+        assert bw_old == bw_new  # exact, not approx
+        assert rng_old.bit_generator.state == rng_new.bit_generator.state
+
+
+def test_rss_attenuates_air_link(rng):
+    weak = HomePath(wifi_standard("WiFi6"), "5GHz", 1000, rss_level=1)
+    strong = HomePath(wifi_standard("WiFi6"), "5GHz", 1000, rss_level=5)
+    weak_mean = np.mean([weak.sample(rng).air_mbps for _ in range(300)])
+    strong_mean = np.mean([strong.sample(rng).air_mbps for _ in range(300)])
+    assert weak_mean < 0.5 * strong_mean
+
+
+def test_level5_equals_disabled(rng):
+    """Strongest signal applies no attenuation — identical to level 0."""
+    r1, r2 = np.random.default_rng(9), np.random.default_rng(9)
+    off = HomePath(wifi_standard("WiFi5"), "5GHz", 300, rss_level=0)
+    top = HomePath(wifi_standard("WiFi5"), "5GHz", 300, rss_level=5)
+    for _ in range(100):
+        assert off.sample(r1).bandwidth_mbps == top.sample(r2).bandwidth_mbps
+
+
+def test_cross_traffic_contends_on_air_hop_only(rng):
+    """LAN competitors steal air share; a test behind a slow wire is
+    unaffected because the wire hop already bound it."""
+    contended = HomePath(
+        wifi_standard("WiFi6"), "5GHz", 1000,
+        cross_traffic_mbps=400.0, n_competitors=1,
+    )
+    saw_contention = False
+    for _ in range(200):
+        sample = contended.sample(rng)
+        assert sample.bandwidth_mbps <= sample.air_mbps + 1e-9
+        assert sample.bandwidth_mbps <= sample.wire_mbps + 1e-9
+        # Max-min fairness guarantees the test at least half the air.
+        assert sample.bandwidth_mbps >= min(
+            0.5 * sample.air_mbps, sample.wire_mbps) - 1e-9
+        if sample.bottleneck == BOTTLENECK_CONTENTION:
+            saw_contention = True
+            assert sample.xtraffic_mbps > 0
+    assert saw_contention
+
+
+def test_binding_hop_codes():
+    assert binding_hop(95.0, 400.0, 95.0) == BOTTLENECK_PLAN
+    assert binding_hop(80.0, 80.0, 500.0) == BOTTLENECK_AIR
+    assert binding_hop(60.0, 100.0, 500.0) == BOTTLENECK_CONTENTION
+    # Ties resolve to plan: the wire delivered everything it could.
+    assert binding_hop(100.0, 100.0, 100.0) == BOTTLENECK_PLAN
+
+
+def test_sample_labels_match_binding_hop(rng):
+    path = HomePath(
+        wifi_standard("WiFi5"), "5GHz", 200,
+        rss_level=3, cross_traffic_mbps=150.0,
+    )
+    seen = set()
+    for _ in range(300):
+        sample = path.sample(rng)
+        assert sample.bottleneck == binding_hop(
+            sample.bandwidth_mbps, sample.air_mbps, sample.wire_mbps
+        )
+        assert sample.bottleneck != BOTTLENECK_NONE
+        seen.add(sample.bottleneck)
+    assert BOTTLENECK_AIR in seen or BOTTLENECK_CONTENTION in seen
+
+
+def test_rss_level_validation():
+    with pytest.raises(ValueError):
+        rss_air_factor(7)
+    with pytest.raises(ValueError):
+        HomePath(wifi_standard("WiFi5"), "5GHz", 200, rss_level=9)
+    with pytest.raises(ValueError):
+        HomePath(wifi_standard("WiFi5"), "5GHz", 200, cross_traffic_mbps=-1.0)
+    with pytest.raises(ValueError):
+        HomePath(wifi_standard("WiFi5"), "5GHz", 200,
+                 cross_traffic_mbps=10.0, n_competitors=0)
+
+
+def test_kernel_matches_network_allocation():
+    """The closed-form generator kernel agrees with a real two-link
+    Network carrying one aggregate competitor flow."""
+    rng = np.random.default_rng(3)
+    for _ in range(200):
+        air_cap = float(rng.uniform(5.0, 800.0))
+        wire_cap = float(rng.uniform(5.0, 800.0))
+        demand = float(rng.uniform(0.0, air_cap))
+
+        network = Network()
+        air = network.add_link(Link(air_cap, name="air"))
+        access = network.add_link(Link(wire_cap, name="access"))
+        test = network.start_flow(Flow([air, access], label="test"))
+        competitor = network.start_flow(
+            Flow([air], demand_mbps=demand, label="lan")
+        )
+        network.allocate(0.0)
+
+        allocated, hop = home_path_allocation(
+            np.array([air_cap]), np.array([wire_cap]), np.array([demand])
+        )
+        assert test.allocated_mbps == pytest.approx(allocated[0], abs=1e-9)
+        assert hop[0] == binding_hop(
+            test.allocated_mbps, air_cap, wire_cap
+        )
+
+
+def test_kernel_zero_xtraffic_is_exact_min():
+    air = np.array([10.0, 500.0, 123.456])
+    wire = np.array([96.0, 96.0, 123.456])
+    allocated, hop = home_path_allocation(air, wire, np.zeros(3))
+    assert np.array_equal(allocated, np.minimum(air, wire))
+    assert list(hop) == [BOTTLENECK_AIR, BOTTLENECK_PLAN, BOTTLENECK_PLAN]
+
+
+def test_access_point_home_path_sample(rng):
+    ap = AccessPoint(
+        wifi_standard("WiFi6"), band="5GHz", plan_mbps=500,
+        rss_level=2, cross_traffic_mbps=200.0,
+    )
+    mix = BroadbandPlanMix(weights={500: 1.0})
+    sample = ap.sample_home_path(rng, plan_mix=mix)
+    assert sample.bandwidth_mbps > 0
+    assert sample.bottleneck_name in ("air", "plan", "contention")
+    assert ap.sample_bandwidth_mbps(rng, plan_mix=mix) <= 500.0 + 1e-9
+
+
+def test_sample_home_path_wrapper(rng):
+    plan, sample = sample_home_path(
+        "WiFi5", "5GHz", rng, rss_level=4, cross_traffic_mbps=50.0
+    )
+    assert plan in plan_mix_for("WiFi5").weights
+    assert sample.air_mbps >= 1.0
+    assert sample.bandwidth_mbps <= min(sample.air_mbps, sample.wire_mbps) + 1e-9
